@@ -1,0 +1,149 @@
+// A5 — admission-policy ablation.
+//
+// The paper's DRCR delegates non-functional constraint resolution to
+// pluggable resolving services ("easily extended with other constraint
+// resolving policies to fit different context"). This bench compares the
+// three built-in policies under a rising deployment load: components with
+// random periods/utilizations arrive until the offered load far exceeds one
+// CPU. For each policy we report how many components were admitted and — the
+// ground truth the policy tries to protect — how many deadline misses the
+// ADMITTED set suffers.
+//
+// Expected shape: always-accept admits everything and melts down;
+// utilization-budget and RM-bound admit less and keep misses at zero, with
+// RM being the more conservative of the two.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+
+namespace drt::bench {
+namespace {
+
+struct PolicyResult {
+  std::size_t offered = 0;
+  std::size_t admitted = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t completions = 0;
+  double admitted_utilization = 0.0;
+};
+
+class BusyComponent : public drcom::RtComponent {
+ public:
+  explicit BusyComponent(SimDuration job_cost) : job_cost_(job_cost) {}
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(job_cost_);
+      co_await job.next_cycle();
+    }
+  }
+
+ private:
+  SimDuration job_cost_;
+};
+
+PolicyResult run_policy(std::unique_ptr<drcom::ResolvingService> policy,
+                        std::size_t offered, std::uint64_t seed) {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  auto config = paper_kernel_config(false, seed);
+  config.cpus = 1;  // single CPU makes overload unambiguous
+  rtos::RtKernel kernel(engine, config);
+  drcom::DrcrConfig drcr_config;
+  drcr_config.auto_resolve = true;
+  drcom::Drcr drcr(framework, kernel, drcr_config);
+  drcr.set_internal_resolver(std::move(policy));
+
+  Rng rng(seed);
+  PolicyResult result;
+  result.offered = offered;
+  for (std::size_t i = 0; i < offered; ++i) {
+    // Random contract: frequency 100..1000 Hz, utilization 2%..20%.
+    const double hz = 100.0 * static_cast<double>(rng.uniform(1, 10));
+    const double utilization = 0.02 * static_cast<double>(rng.uniform(1, 10));
+    const SimDuration job_cost = static_cast<SimDuration>(
+        utilization * static_cast<double>(period_from_hz(hz)));
+    drcom::ComponentDescriptor d;
+    d.name = "w" + std::to_string(i);
+    d.bincode = "bench.Busy" + std::to_string(i);
+    d.type = rtos::TaskType::kPeriodic;
+    d.cpu_usage = utilization;
+    // Rate-monotonic priority assignment: shorter period -> higher priority
+    // (the premise of the RM bound).
+    const int rm_priority =
+        static_cast<int>(period_from_hz(hz) / microseconds(100));
+    d.periodic = drcom::PeriodicSpec{hz, 0, rm_priority};
+    drcr.factories().register_factory(d.bincode, [job_cost] {
+      return std::make_unique<BusyComponent>(job_cost);
+    });
+    (void)drcr.register_component(std::move(d));
+  }
+
+  engine.run_until(seconds(10));
+
+  for (const auto& name : drcr.component_names()) {
+    if (drcr.state_of(name) != drcom::ComponentState::kActive) continue;
+    ++result.admitted;
+    const auto* instance = drcr.instance_of(name);
+    result.admitted_utilization += instance->descriptor().cpu_usage;
+    const auto status = instance->status();
+    result.misses += status.stats.deadline_misses;
+    result.completions += status.stats.completions;
+  }
+  return result;
+}
+
+void print_result(const char* policy, const PolicyResult& result) {
+  std::printf("%-22s %8zu %9zu %10.2f %12llu %12llu\n", policy,
+              result.offered, result.admitted, result.admitted_utilization,
+              static_cast<unsigned long long>(result.completions),
+              static_cast<unsigned long long>(result.misses));
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main() {
+  using namespace drt;
+  using namespace drt::bench;
+  std::printf(
+      "Ablation A5 — admission policies under rising offered load\n"
+      "(random periodic components, 1 CPU, 10 simulated s per cell)\n\n");
+  std::printf("%-22s %8s %9s %10s %12s %12s\n", "policy", "offered",
+              "admitted", "adm. util", "completions", "misses");
+
+  bool ok = true;
+  for (std::size_t offered : {4, 8, 16, 32}) {
+    const std::uint64_t seed = 1'000 + offered;
+    const auto budget = run_policy(
+        std::make_unique<drcom::UtilizationBudgetResolver>(0.9), offered,
+        seed);
+    const auto rm = run_policy(std::make_unique<drcom::RateMonotonicResolver>(),
+                               offered, seed);
+    // Per-job overhead visible to the analysis: 150ns command poll + 900ns
+    // context switch (the default kernel config).
+    const auto rta = run_policy(
+        std::make_unique<drcom::ResponseTimeResolver>(1'100), offered, seed);
+    const auto open = run_policy(
+        std::make_unique<drcom::AlwaysAcceptResolver>(), offered, seed);
+    print_result("utilization-budget", budget);
+    print_result("rate-monotonic", rm);
+    print_result("response-time (RTA)", rta);
+    print_result("always-accept", open);
+    std::printf("\n");
+    ok = ok && budget.misses == 0 && rm.misses == 0 && rta.misses == 0;
+    ok = ok && rm.admitted <= budget.admitted;
+    // The exact test never admits less than the RM sufficient bound.
+    ok = ok && rta.admitted >= rm.admitted;
+    if (offered >= 16) {
+      // Heavy overload: the open policy admits more but pays in misses.
+      ok = ok && open.admitted >= budget.admitted && open.misses > 0;
+    }
+  }
+  std::printf(
+      "Claim: guarded policies keep every admitted contract (0 misses); the\n"
+      "open policy admits everything and breaks contracts under overload.\n"
+      "RESULT: %s\n",
+      ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,176 @@
+// Shared machinery for the scenario benches: the paper's evaluation workload
+// (§4.2 — a 1000 Hz "calculation" task and a 4 Hz "display" task ported from
+// the RTAI latency test suite), buildable both as DRCom components managed by
+// the DRCR (the HRC configuration) and as raw kernel tasks (the "pure RTAI"
+// baseline), plus table-printing helpers.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "drcom/drcr.hpp"
+#include "rtos/kernel.hpp"
+#include "util/stats.hpp"
+
+namespace drt::bench {
+
+/// Job cost of the 1 kHz calculation task (simulated computing, §4.2).
+inline constexpr SimDuration kCalcJobCost = microseconds(50);
+/// Job cost of the 4 Hz display task.
+inline constexpr SimDuration kDisplayJobCost = microseconds(120);
+
+inline rtos::KernelConfig paper_kernel_config(bool stress,
+                                              std::uint64_t seed) {
+  rtos::KernelConfig config;
+  config.cpus = 2;  // HP nc6400 Core Duo
+  config.seed = seed;
+  config.load = stress ? rtos::stress_load() : rtos::light_load();
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// DRCom (HRC) configuration: components deployed through the DRCR.
+// ---------------------------------------------------------------------------
+
+class CalcComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    std::int32_t sequence = 0;
+    while (job.active()) {
+      co_await job.consume(kCalcJobCost);
+      job.write_i32("latdat", 0, ++sequence);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+class DisplayComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(kDisplayJobCost);
+      (void)job.read_i32("latdat", 0);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+inline drcom::ComponentDescriptor calc_descriptor(double hz = 1000.0) {
+  auto parsed = drcom::parse_descriptor(R"(
+    <drt:component name="calc" desc="RTAI latency-test calculation task"
+        type="periodic" cpuusage="0.2">
+      <implementation bincode="bench.Calc"/>
+      <periodictask frequence="1000" runoncpu="0" priority="2"/>
+      <outport name="latdat" interface="RTAI.SHM" type="Integer" size="8"/>
+    </drt:component>)");
+  auto descriptor = std::move(parsed).take();
+  descriptor.periodic->frequency_hz = hz;
+  return descriptor;
+}
+
+inline drcom::ComponentDescriptor display_descriptor() {
+  auto parsed = drcom::parse_descriptor(R"(
+    <drt:component name="disp" desc="latency display task"
+        type="periodic" cpuusage="0.05">
+      <implementation bincode="bench.Display"/>
+      <periodictask frequence="4" runoncpu="0" priority="5"/>
+      <inport name="latdat" interface="RTAI.SHM" type="Integer" size="8"/>
+    </drt:component>)");
+  return std::move(parsed).take();
+}
+
+/// A fully wired HRC system: framework + kernel + DRCR + the two components.
+struct HrcSystem {
+  explicit HrcSystem(bool stress, std::uint64_t seed = 42)
+      : kernel(engine, paper_kernel_config(stress, seed)),
+        drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "bench.Calc", [] { return std::make_unique<CalcComponent>(); });
+    drcr.factories().register_factory(
+        "bench.Display", [] { return std::make_unique<DisplayComponent>(); });
+  }
+
+  void deploy() {
+    (void)drcr.register_component(calc_descriptor());
+    (void)drcr.register_component(display_descriptor());
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+};
+
+// ---------------------------------------------------------------------------
+// Pure-RTAI baseline: the same two tasks created directly on the kernel, no
+// OSGi, no DRCR, no management channel.
+// ---------------------------------------------------------------------------
+
+struct PureRtaiSystem {
+  explicit PureRtaiSystem(bool stress, std::uint64_t seed = 42)
+      : kernel(engine, paper_kernel_config(stress, seed)) {}
+
+  void deploy() {
+    shm = kernel.shm_create("latdat", 32).value_or(nullptr);
+    rtos::TaskParams calc_params;
+    calc_params.name = "calc";
+    calc_params.type = rtos::TaskType::kPeriodic;
+    calc_params.period = milliseconds(1);
+    calc_params.priority = 2;
+    calc_params.cpu = 0;
+    calc_id = kernel
+                  .create_task(calc_params,
+                               [this](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                                 std::int32_t sequence = 0;
+                                 while (!ctx.stop_requested()) {
+                                   co_await ctx.consume(kCalcJobCost);
+                                   shm->write_i32(0, ++sequence, ctx.now());
+                                   co_await ctx.wait_next_period();
+                                 }
+                               })
+                  .value_or(0);
+    rtos::TaskParams disp_params;
+    disp_params.name = "disp";
+    disp_params.type = rtos::TaskType::kPeriodic;
+    disp_params.period = milliseconds(250);
+    disp_params.priority = 5;
+    disp_params.cpu = 0;
+    disp_id = kernel
+                  .create_task(disp_params,
+                               [this](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                                 while (!ctx.stop_requested()) {
+                                   co_await ctx.consume(kDisplayJobCost);
+                                   (void)shm->read_i32(0);
+                                   co_await ctx.wait_next_period();
+                                 }
+                               })
+                  .value_or(0);
+    (void)kernel.start_task(calc_id);
+    (void)kernel.start_task(disp_id);
+  }
+
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel;
+  rtos::Shm* shm = nullptr;
+  TaskId calc_id = 0;
+  TaskId disp_id = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+inline void print_table_header(const char* title, const char* note) {
+  std::printf("\n%s\n", title);
+  if (note != nullptr && note[0] != '\0') std::printf("%s\n", note);
+  std::printf("%-22s %12s %12s %12s %12s %10s\n", "", "AVERAGE", "AVEDEV",
+              "MIN", "MAX", "N");
+}
+
+inline void print_table_row(const std::string& label, const StatSummary& s) {
+  std::printf("%-22s %12.2f %12.2f %12.0f %12.0f %10zu\n", label.c_str(),
+              s.average, s.avedev, s.min, s.max, s.count);
+}
+
+}  // namespace drt::bench

@@ -1,0 +1,172 @@
+// A3 — DRCR overhead scaling (google-benchmark, host CPU time).
+//
+// The DRCR runs in the non-real-time domain; its cost matters for
+// responsiveness of reconfiguration, not for RT latency (that separation is
+// the whole point of the split architecture). These benchmarks measure how
+// registration, resolution, activation cascades and departure cascades scale
+// with the number of installed components.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace drt::bench {
+namespace {
+
+/// Synthetic ticker used by all scaled components.
+class NopComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(5));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+std::string short_name(std::size_t index) {
+  // 6-char limit: c0000..c99999
+  return "c" + std::to_string(index);
+}
+
+drcom::ComponentDescriptor nth_component(std::size_t index, bool chained) {
+  drcom::ComponentDescriptor d;
+  d.name = short_name(index);
+  d.bincode = "bench.Nop";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.0005;
+  d.periodic = drcom::PeriodicSpec{100.0, 0, 10};
+  d.ports.push_back({drcom::PortDirection::kOut, "p" + std::to_string(index),
+                     drcom::PortInterface::kShm, rtos::DataType::kInteger, 2});
+  if (chained && index > 0) {
+    d.ports.push_back({drcom::PortDirection::kIn,
+                       "p" + std::to_string(index - 1),
+                       drcom::PortInterface::kShm, rtos::DataType::kInteger,
+                       2});
+  }
+  return d;
+}
+
+struct ScalingSystem {
+  ScalingSystem()
+      : kernel(engine, paper_kernel_config(false, 42)),
+        drcr(framework, kernel, [] {
+          drcom::DrcrConfig config;
+          config.cpu_budget = 1.0;
+          config.auto_resolve = false;  // benchmarks trigger resolve manually
+          return config;
+        }()) {
+    drcr.factories().register_factory(
+        "bench.Nop", [] { return std::make_unique<NopComponent>(); });
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+};
+
+void BM_RegisterComponent(benchmark::State& state) {
+  ScalingSystem system;
+  std::size_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        system.drcr.register_component(nth_component(index++, false)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(index));
+}
+// Fixed iteration count keeps generated names within the 6-char RT limit.
+BENCHMARK(BM_RegisterComponent)->Iterations(10'000);
+
+void BM_ResolveAndActivateIndependent(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScalingSystem system;
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)system.drcr.register_component(nth_component(i, false));
+    }
+    state.ResumeTiming();
+    system.drcr.resolve();
+    state.PauseTiming();
+    if (system.drcr.active_count() != n) state.SkipWithError("not all active");
+    state.ResumeTiming();
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResolveAndActivateIndependent)
+    ->RangeMultiplier(4)
+    ->Range(4, 256)
+    ->Complexity(benchmark::oAuto)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ResolveAndActivateChain(benchmark::State& state) {
+  // Worst case: a dependency chain registered in reverse order, so the
+  // resolver needs O(n) rounds.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScalingSystem system;
+    for (std::size_t i = n; i-- > 0;) {
+      (void)system.drcr.register_component(nth_component(i, true));
+    }
+    state.ResumeTiming();
+    system.drcr.resolve();
+    state.PauseTiming();
+    if (system.drcr.active_count() != n) state.SkipWithError("not all active");
+    state.ResumeTiming();
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ResolveAndActivateChain)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oAuto)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DepartureCascadeChain(benchmark::State& state) {
+  // Removing the root of an n-component chain cascades through all of it.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    ScalingSystem system;
+    for (std::size_t i = 0; i < n; ++i) {
+      (void)system.drcr.register_component(nth_component(i, true));
+    }
+    system.drcr.resolve();
+    state.ResumeTiming();
+    (void)system.drcr.unregister_component(short_name(0));
+    state.PauseTiming();
+    if (system.drcr.active_count() != 0) state.SkipWithError("cascade failed");
+    state.ResumeTiming();
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_DepartureCascadeChain)
+    ->RangeMultiplier(4)
+    ->Range(4, 64)
+    ->Complexity(benchmark::oAuto)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ManagementServiceLookup(benchmark::State& state) {
+  // Locating one component's management service among n registered ones.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ScalingSystem system;
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)system.drcr.register_component(nth_component(i, false));
+  }
+  system.drcr.resolve();
+  const std::string target =
+      "(component.name=" + short_name(n / 2) + ")";
+  auto filter = osgi::Filter::parse(target).value();
+  for (auto _ : state) {
+    auto reference = system.framework.registry().get_reference(
+        drcom::kManagementInterface, &filter);
+    benchmark::DoNotOptimize(reference);
+  }
+}
+BENCHMARK(BM_ManagementServiceLookup)->RangeMultiplier(4)->Range(4, 256);
+
+}  // namespace
+}  // namespace drt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,208 @@
+// Ablation A2 — inter-real-time-component communication path (§3.3).
+//
+// The paper: "Inter-realtime communication is directly mapped to the
+// real-time OS container ... the non real-time OSGi implementation will not
+// directly interfere with the inter task communication. This approach will
+// keep the existing OSGi implementation largely intact while still providing
+// very good real-time communication support."
+//
+// Two pipelines moving a 1000 Hz sample stream from a producer to a consumer:
+//
+//   kernel-mapped (the paper's design): producer writes RT shared memory,
+//       consumer reads it in its own 1000 Hz job. End-to-end freshness is
+//       bounded by one period + scheduling latency.
+//   registry-routed (the rejected design): every sample crosses the non-RT
+//       OSGi service layer — an LDAP service lookup plus a non-RT relay hop
+//       whose scheduling the RT domain cannot bound.
+//
+// Metric: data age at the consumer (consume time - produce time), plus drops.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+#include "osgi/framework.hpp"
+
+namespace drt::bench {
+namespace {
+
+struct PipeResult {
+  StatSummary age;  // ns between production and consumption of a sample
+  std::uint64_t consumed = 0;
+  std::uint64_t dropped = 0;
+};
+
+PipeResult run_kernel_mapped(std::uint64_t seed) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, seed));
+  auto* shm = kernel.shm_create("pipe", 16).value();
+
+  rtos::TaskParams producer;
+  producer.name = "prod";
+  producer.type = rtos::TaskType::kPeriodic;
+  producer.period = milliseconds(1);
+  producer.priority = 2;
+  auto prod_id =
+      kernel
+          .create_task(producer,
+                       [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                         while (!ctx.stop_requested()) {
+                           co_await ctx.consume(microseconds(20));
+                           // Timestamped sample (truncated to 32 bit pairs).
+                           const auto now = ctx.now();
+                           shm->write_i32(0, static_cast<std::int32_t>(
+                                                 now / 1'000),  // us
+                                          now);
+                           co_await ctx.wait_next_period();
+                         }
+                       })
+          .value();
+
+  SampleSeries age;
+  rtos::TaskParams consumer;
+  consumer.name = "cons";
+  consumer.type = rtos::TaskType::kPeriodic;
+  consumer.period = milliseconds(1);
+  consumer.priority = 3;
+  auto cons_id =
+      kernel
+          .create_task(consumer,
+                       [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                         while (!ctx.stop_requested()) {
+                           co_await ctx.consume(microseconds(20));
+                           const SimTime stamp = shm->last_write_time();
+                           if (stamp > 0) {
+                             age.add(static_cast<double>(ctx.now() - stamp));
+                           }
+                           co_await ctx.wait_next_period();
+                         }
+                       })
+          .value();
+  (void)kernel.start_task(prod_id);
+  (void)kernel.start_task(cons_id, milliseconds(1) + microseconds(500));
+  engine.run_until(seconds(10));
+  return {age.summary(), age.size(), 0};
+}
+
+/// The rejected design: samples travel producer -> (non-RT relay with OSGi
+/// service lookup per message) -> consumer mailbox.
+PipeResult run_registry_routed(std::uint64_t seed) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, seed));
+  osgi::Framework framework;
+  auto* to_relay = kernel.mailbox_create("t_rly", 8).value();
+  auto* to_consumer = kernel.mailbox_create("t_cons", 8).value();
+
+  // The "service" the relay looks up for every message, as a registry-based
+  // invocation would.
+  struct Forwarder {
+    rtos::RtKernel* kernel;
+    rtos::Mailbox* sink;
+  };
+  auto forwarder = std::make_shared<Forwarder>(Forwarder{&kernel, to_consumer});
+  osgi::Properties props;
+  props.set("endpoint", std::string("consumer"));
+  framework.system_context().register_service(
+      "bench.Forwarder", std::static_pointer_cast<void>(forwarder), props);
+  auto filter = osgi::Filter::parse("(endpoint=consumer)").value();
+
+  std::uint64_t dropped = 0;
+  rtos::TaskParams producer;
+  producer.name = "prod";
+  producer.type = rtos::TaskType::kPeriodic;
+  producer.period = milliseconds(1);
+  producer.priority = 2;
+  auto prod_id =
+      kernel
+          .create_task(producer,
+                       [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                         while (!ctx.stop_requested()) {
+                           co_await ctx.consume(microseconds(20));
+                           rtos::Message message(sizeof(SimTime));
+                           const SimTime now = ctx.now();
+                           std::memcpy(message.data(), &now, sizeof(now));
+                           if (!ctx.send(*to_relay, std::move(message))) {
+                             ++dropped;
+                           }
+                           co_await ctx.wait_next_period();
+                         }
+                       })
+          .value();
+
+  // Non-RT relay: polls its inbox at Linux-scheduler granularity and pays a
+  // registry lookup + marshalling cost per message before forwarding.
+  constexpr SimDuration kRelayPoll = milliseconds(4);     // non-RT jiffy-ish
+  constexpr SimDuration kLookupCost = microseconds(180);  // filter + proxy
+  std::function<void()> relay = [&] {
+    SimDuration budget = 0;
+    while (auto message = kernel.mailbox_try_receive(*to_relay)) {
+      budget += kLookupCost;
+      auto reference =
+          framework.registry().get_reference("bench.Forwarder", &filter);
+      if (reference.has_value()) {
+        auto service =
+            framework.registry().get_service<Forwarder>(*reference);
+        rtos::Message forwarded = std::move(*message);
+        engine.schedule_after(budget, [&kernel, service,
+                                       m = std::move(forwarded)]() mutable {
+          (void)kernel.mailbox_send(*service->sink, std::move(m));
+        });
+      }
+    }
+    engine.schedule_after(kRelayPoll, relay);
+  };
+  engine.schedule_after(kRelayPoll, relay);
+
+  SampleSeries age;
+  rtos::TaskParams consumer;
+  consumer.name = "cons";
+  consumer.type = rtos::TaskType::kAperiodic;
+  consumer.priority = 3;
+  auto cons_id =
+      kernel
+          .create_task(consumer,
+                       [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                         while (!ctx.stop_requested()) {
+                           auto message = co_await ctx.receive(*to_consumer);
+                           if (!message.has_value()) continue;
+                           SimTime stamp = 0;
+                           std::memcpy(&stamp, message->data(), sizeof(stamp));
+                           age.add(static_cast<double>(ctx.now() - stamp));
+                         }
+                       })
+          .value();
+  (void)kernel.start_task(prod_id);
+  (void)kernel.start_task(cons_id);
+  engine.run_until(seconds(10));
+  return {age.summary(), age.size(), dropped};
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main() {
+  using namespace drt;
+  using namespace drt::bench;
+  std::printf(
+      "Ablation A2 — inter-component communication path (1000 Hz stream, "
+      "10 simulated s)\n\n");
+  print_table_header("Data age at consumer (ns)", "");
+  const auto direct = run_kernel_mapped(11);
+  const auto routed = run_registry_routed(12);
+  print_table_row("kernel-mapped SHM", direct.age);
+  print_table_row("registry-routed", routed.age);
+  std::printf("\n%-22s consumed=%llu dropped=%llu\n", "kernel-mapped SHM",
+              static_cast<unsigned long long>(direct.consumed),
+              static_cast<unsigned long long>(direct.dropped));
+  std::printf("%-22s consumed=%llu dropped=%llu\n", "registry-routed",
+              static_cast<unsigned long long>(routed.consumed),
+              static_cast<unsigned long long>(routed.dropped));
+  const bool ok = direct.age.max < milliseconds(2) &&
+                  routed.age.average > 2.0 * direct.age.average &&
+                  routed.age.max > direct.age.max;
+  std::printf(
+      "\nClaim (§3.3): mapping inter-RT-component traffic onto the RT kernel "
+      "bounds\nits freshness; routing through the non-RT registry does not.\n"
+      "RESULT: %s\n",
+      ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

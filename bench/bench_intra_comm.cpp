@@ -1,0 +1,169 @@
+// Ablation A1 — intra-component communication discipline (§3.2).
+//
+// The paper: "real-time code should not wait for the command sent by the non
+// real-time counterpart. Asynchronized communication mode was chosen ...
+// Otherwise, the real-time task's performance may be breached."
+//
+// This bench quantifies that claim. Two variants of a 1000 Hz task that is
+// managed from the non-RT side at increasing command rates:
+//
+//   async (the framework's design): commands are drained non-blockingly at
+//       each job boundary; the job rate never depends on the manager.
+//   sync (the rejected design): after each job the task BLOCKS until the
+//       manager sends the next command (a classic request/acknowledge
+//       handshake). The manager is modelled with a realistic non-RT service
+//       delay, so the RT task inherits the manager's latency.
+//
+// Output: deadline misses and latency of the RT task vs management period.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace drt::bench {
+namespace {
+
+struct VariantResult {
+  StatSummary latency;
+  std::uint64_t misses = 0;
+  std::uint64_t completions = 0;
+};
+
+/// Non-RT manager service delay when answering a synchronous handshake: a
+/// JVM-side thread needs to be scheduled, which under load takes ~1-10 ms.
+constexpr SimDuration kManagerDelay = milliseconds(3);
+
+VariantResult run_async(SimDuration command_period, std::uint64_t seed) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, seed));
+  auto* commands = kernel.mailbox_create("cmd", 64).value();
+
+  rtos::TaskParams params;
+  params.name = "rt";
+  params.type = rtos::TaskType::kPeriodic;
+  params.period = milliseconds(1);
+  params.priority = 2;
+  auto id = kernel
+                .create_task(params,
+                             [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                               while (!ctx.stop_requested()) {
+                                 co_await ctx.consume(kCalcJobCost);
+                                 // Async: drain whatever is pending, never
+                                 // block.
+                                 while (ctx.try_receive(*commands)) {
+                                 }
+                                 co_await ctx.wait_next_period();
+                               }
+                             })
+                .value();
+  (void)kernel.start_task(id);
+
+  // The manager fires commands every command_period.
+  std::function<void()> send = [&] {
+    (void)kernel.mailbox_send(*commands, rtos::message_from_string("SET x 1"));
+    engine.schedule_after(command_period, send);
+  };
+  engine.schedule_after(command_period, send);
+
+  engine.run_until(seconds(10));
+  const rtos::Task* task = kernel.find_task(id);
+  return {task->latency.summary(), task->stats.deadline_misses,
+          task->stats.completions};
+}
+
+VariantResult run_sync(SimDuration command_period, std::uint64_t seed) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, seed));
+  auto* commands = kernel.mailbox_create("cmd", 64).value();
+  auto* requests = kernel.mailbox_create("req", 64).value();
+
+  rtos::TaskParams params;
+  params.name = "rt";
+  params.type = rtos::TaskType::kPeriodic;
+  params.period = milliseconds(1);
+  params.priority = 2;
+  auto id =
+      kernel
+          .create_task(params,
+                       [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                         while (!ctx.stop_requested()) {
+                           co_await ctx.consume(kCalcJobCost);
+                           // Sync handshake: request, then BLOCK for the
+                           // reply before finishing the job.
+                           (void)ctx.send(*requests,
+                                          rtos::message_from_string("REQ"));
+                           (void)co_await ctx.receive(*commands);
+                           (void)ctx.skip_missed_periods();
+                           co_await ctx.wait_next_period();
+                         }
+                       })
+          .value();
+  (void)kernel.start_task(id);
+
+  // Non-RT manager: answers each request after its service delay — but only
+  // checks for requests every command_period (its own polling loop).
+  std::function<void()> poll = [&] {
+    while (kernel.mailbox_try_receive(*requests)) {
+      engine.schedule_after(kManagerDelay, [&] {
+        (void)kernel.mailbox_send(*commands,
+                                  rtos::message_from_string("ACK"));
+      });
+    }
+    engine.schedule_after(command_period, poll);
+  };
+  engine.schedule_after(command_period, poll);
+
+  engine.run_until(seconds(10));
+  const rtos::Task* task = kernel.find_task(id);
+  VariantResult result{task->latency.summary(), task->stats.deadline_misses,
+                       task->stats.completions};
+  // For the sync variant, "misses" undercounts the damage because the task
+  // realigns after each stall; throughput tells the story.
+  return result;
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main() {
+  using namespace drt;
+  using namespace drt::bench;
+  std::printf(
+      "Ablation A1 — intra-component management channel (10 simulated s, "
+      "1000 Hz task, expected completions ~10000)\n\n");
+  std::printf("%-18s %-9s %12s %12s %12s\n", "variant", "cmd rate",
+              "completions", "misses", "avg lat(ns)");
+  bool async_healthy = true;
+  std::uint64_t sync_worst_completions = 10'000;
+  const SimDuration periods[] = {milliseconds(1000), milliseconds(100),
+                                 milliseconds(10)};
+  std::uint64_t seed = 7;
+  for (const SimDuration period : periods) {
+    const auto async_result = run_async(period, seed);
+    std::printf("%-18s %6lld/s %12llu %12llu %12.1f\n", "async (paper)",
+                static_cast<long long>(seconds(1) / period),
+                static_cast<unsigned long long>(async_result.completions),
+                static_cast<unsigned long long>(async_result.misses),
+                async_result.latency.average);
+    async_healthy = async_healthy && async_result.misses == 0 &&
+                    async_result.completions > 9'900;
+    ++seed;
+  }
+  for (const SimDuration period : periods) {
+    const auto sync_result = run_sync(period, seed);
+    std::printf("%-18s %6lld/s %12llu %12llu %12.1f\n", "sync (rejected)",
+                static_cast<long long>(seconds(1) / period),
+                static_cast<unsigned long long>(sync_result.completions),
+                static_cast<unsigned long long>(sync_result.misses),
+                sync_result.latency.average);
+    sync_worst_completions =
+        std::min(sync_worst_completions, sync_result.completions);
+    ++seed;
+  }
+  const bool ok = async_healthy && sync_worst_completions < 5'000;
+  std::printf(
+      "\nClaim (§3.2): async keeps the 1 kHz contract at any management "
+      "rate;\nsynchronous handshaking collapses the task to the manager's "
+      "rate.\nRESULT: %s\n",
+      ok ? "REPRODUCED" : "MISMATCH");
+  return ok ? 0 : 1;
+}

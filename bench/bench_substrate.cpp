@@ -1,0 +1,168 @@
+// A4 — substrate microbenchmarks (google-benchmark, host CPU time):
+// service-registry operations, LDAP filter compilation/evaluation, XML
+// descriptor parsing, and the simulated kernel's IPC primitives.
+#include <benchmark/benchmark.h>
+
+#include "drcom/descriptor.hpp"
+#include "osgi/framework.hpp"
+#include "rtos/kernel.hpp"
+#include "xml/parser.hpp"
+
+namespace drt::bench {
+namespace {
+
+constexpr const char* kCameraXml = R"(<?xml version="1.0" encoding="UTF-8"?>
+<drt:component name="camera" desc="smart camera controller"
+    type="periodic" enabled="true" cpuusage="0.1">
+  <implementation bincode="ua.pats.demo.smartcamera.RTComponent"/>
+  <periodictask frequence="100" runoncup="0" priority="2"/>
+  <outport name="images" interface="RTAI.SHM" type="Byte" size="400"/>
+  <inport name="xysize" interface="RTAI.SHM" type="Integer" size="400"/>
+  <property name="prox00" type="Integer" value="6"/>
+</drt:component>)";
+
+void BM_XmlParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto doc = xml::parse(kCameraXml);
+    benchmark::DoNotOptimize(doc);
+  }
+}
+BENCHMARK(BM_XmlParse);
+
+void BM_DescriptorParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto descriptor = drcom::parse_descriptor(kCameraXml);
+    benchmark::DoNotOptimize(descriptor);
+  }
+}
+BENCHMARK(BM_DescriptorParse);
+
+void BM_FilterParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto filter = osgi::Filter::parse(
+        "(&(objectClass=drcom.RtComponentManagement)"
+        "(|(component.name=camera)(component.name=disp))(priority<=5))");
+    benchmark::DoNotOptimize(filter);
+  }
+}
+BENCHMARK(BM_FilterParse);
+
+void BM_FilterMatch(benchmark::State& state) {
+  auto filter = osgi::Filter::parse(
+                    "(&(component.name=cam*)(priority<=5)(enabled=true))")
+                    .value();
+  osgi::Properties props;
+  props.set("component.name", std::string("camera"));
+  props.set("priority", std::int64_t{2});
+  props.set("enabled", true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.matches(props));
+  }
+}
+BENCHMARK(BM_FilterMatch);
+
+void BM_RegistryLookupByInterface(benchmark::State& state) {
+  osgi::ServiceRegistry registry;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    osgi::Properties props;
+    props.set("index", static_cast<std::int64_t>(i));
+    registry.register_service(1, {"app.S" + std::to_string(i % 8)},
+                              std::make_shared<int>(1), props);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.get_reference("app.S3"));
+  }
+}
+BENCHMARK(BM_RegistryLookupByInterface)->RangeMultiplier(8)->Range(8, 512);
+
+void BM_RegistryLookupFiltered(benchmark::State& state) {
+  osgi::ServiceRegistry registry;
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    osgi::Properties props;
+    props.set("index", static_cast<std::int64_t>(i));
+    registry.register_service(1, {"app.S"}, std::make_shared<int>(1), props);
+  }
+  auto filter =
+      osgi::Filter::parse("(index=" + std::to_string(n / 2) + ")").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(registry.get_reference("app.S", &filter));
+  }
+}
+BENCHMARK(BM_RegistryLookupFiltered)->RangeMultiplier(8)->Range(8, 512);
+
+void BM_ServiceRegistration(benchmark::State& state) {
+  osgi::ServiceRegistry registry;
+  for (auto _ : state) {
+    auto registration =
+        registry.register_service(1, {"app.S"}, std::make_shared<int>(1), {});
+    registration.unregister();
+  }
+}
+BENCHMARK(BM_ServiceRegistration);
+
+void BM_ShmWriteRead(benchmark::State& state) {
+  rtos::Shm shm("bench", 4096);
+  std::int32_t value = 0;
+  for (auto _ : state) {
+    shm.write_i32(7, ++value, 0);
+    benchmark::DoNotOptimize(shm.read_i32(7));
+  }
+}
+BENCHMARK(BM_ShmWriteRead);
+
+void BM_MailboxSendReceive(benchmark::State& state) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, {});
+  auto* mailbox = kernel.mailbox_create("bench", 64).value();
+  const auto message = rtos::message_from_string("SET gain 7");
+  for (auto _ : state) {
+    (void)kernel.mailbox_send(*mailbox, message);
+    benchmark::DoNotOptimize(kernel.mailbox_try_receive(*mailbox));
+  }
+}
+BENCHMARK(BM_MailboxSendReceive);
+
+void BM_SimEngineEventCycle(benchmark::State& state) {
+  // Cost of one schedule+fire cycle: bounds the simulator's throughput.
+  rtos::SimEngine engine;
+  for (auto _ : state) {
+    engine.schedule_after(1, [] {});
+    engine.run_until(engine.now() + 1);
+  }
+}
+BENCHMARK(BM_SimEngineEventCycle);
+
+void BM_KernelPeriodicTick(benchmark::State& state) {
+  // Full simulated cost of one 1 kHz task period (release, dispatch, job,
+  // re-arm) — the unit of work behind every latency sample in Table 1.
+  rtos::SimEngine engine;
+  rtos::KernelConfig config;
+  config.seed = 42;
+  rtos::RtKernel kernel(engine, config);
+  rtos::TaskParams params;
+  params.name = "tick";
+  params.type = rtos::TaskType::kPeriodic;
+  params.period = milliseconds(1);
+  auto id = kernel
+                .create_task(params,
+                             [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                               while (!ctx.stop_requested()) {
+                                 co_await ctx.consume(microseconds(50));
+                                 co_await ctx.wait_next_period();
+                               }
+                             })
+                .value();
+  (void)kernel.start_task(id);
+  for (auto _ : state) {
+    engine.run_until(engine.now() + milliseconds(1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KernelPeriodicTick);
+
+}  // namespace
+}  // namespace drt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,196 @@
+// Adaptive real-time system: custom resolving services and an adaptation
+// manager — the "framework for adaptive real-time applications" of the title.
+//
+// Scenario: a machine-vision station runs a mandatory safety monitor plus as
+// many optional inspection workers as the CPU budget allows. Two pluggable
+// policies shape the system at run time:
+//
+//   * a custom ResolvingService ("mode guard", plugged in through the OSGi
+//     service registry, §1) that rejects optional components while the
+//     station is in DEGRADED mode;
+//   * an adaptation manager that watches component status through the
+//     management services (§2.4) and flips the mode when the safety monitor
+//     reports deadline misses, causing the DRCR to shed optional load.
+//
+// Nothing in the component implementations knows about any of this — the
+// adaptation is entirely outside the real-time code, which is the paper's
+// central design argument.
+#include <cstdio>
+
+#include "drcom/drcr.hpp"
+
+using namespace drt;
+
+namespace {
+
+class WorkerComponent : public drcom::RtComponent {
+ public:
+  explicit WorkerComponent(SimDuration job_cost) : job_cost_(job_cost) {}
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(job_cost_);
+      co_await job.next_cycle();
+    }
+  }
+
+ private:
+  SimDuration job_cost_;
+};
+
+drcom::ComponentDescriptor worker_descriptor(const std::string& name,
+                                             double hz, double usage,
+                                             int priority,
+                                             bool optional) {
+  drcom::ComponentDescriptor d;
+  d.name = name;
+  d.bincode = "vision." + name;
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = usage;
+  d.periodic = drcom::PeriodicSpec{hz, 0, priority};
+  d.properties.set("optional", optional);
+  return d;
+}
+
+/// Custom constraint resolver: while the station is degraded, optional
+/// components may not be admitted, and already-active ones are revoked.
+class ModeGuard : public drcom::ResolvingService {
+ public:
+  const std::string& name() const override { return name_; }
+
+  Result<void> admit(const drcom::ComponentDescriptor& candidate,
+                     const drcom::SystemView&) override {
+    if (degraded_ && candidate.properties.get_bool("optional").value_or(false)) {
+      return make_error("vision.degraded",
+                        "optional components are barred in DEGRADED mode");
+    }
+    return Result<void>::success();
+  }
+
+  std::vector<std::string> revoke(const drcom::SystemView& view) override {
+    std::vector<std::string> shed;
+    if (!degraded_) return shed;
+    for (const auto* descriptor : view.active) {
+      if (descriptor->properties.get_bool("optional").value_or(false)) {
+        shed.push_back(descriptor->name);
+      }
+    }
+    return shed;
+  }
+
+  void set_degraded(bool degraded) { degraded_ = degraded; }
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+ private:
+  std::string name_ = "mode-guard";
+  bool degraded_ = false;
+};
+
+}  // namespace
+
+int main() {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, rtos::KernelConfig{});
+  osgi::Framework framework;
+  drcom::DrcrConfig config;
+  config.cpu_budget = 1.0;  // the custom policy is in charge, not the budget
+  drcom::Drcr drcr(framework, kernel, config);
+
+  // Implementations: the safety monitor's job cost will overrun its period
+  // once we inject a "fault" (slow sensor), producing deadline misses.
+  SimDuration monitor_cost = microseconds(100);
+  drcr.factories().register_factory("vision.safety", [&monitor_cost] {
+    // The worker reads the *current* cost each job via a reference.
+    class FaultableWorker : public drcom::RtComponent {
+     public:
+      explicit FaultableWorker(SimDuration& cost) : cost_(&cost) {}
+      rtos::TaskCoro run(drcom::JobContext& job) override {
+        while (job.active()) {
+          co_await job.consume(*cost_);
+          co_await job.next_cycle();
+        }
+      }
+
+     private:
+      SimDuration* cost_;
+    };
+    return std::make_unique<FaultableWorker>(monitor_cost);
+  });
+  for (const char* name : {"insp0", "insp1", "insp2"}) {
+    drcr.factories().register_factory(
+        std::string("vision.") + name,
+        [] { return std::make_unique<WorkerComponent>(microseconds(800)); });
+  }
+
+  // Plug the custom resolving service into the DRCR via the registry (§1).
+  auto guard = std::make_shared<ModeGuard>();
+  framework.system_context().register_service(
+      std::string(drcom::kResolvingServiceInterface),
+      std::static_pointer_cast<void>(guard));
+
+  // Deploy: one mandatory 1 kHz safety monitor, three optional inspectors.
+  (void)drcr.register_component(
+      worker_descriptor("safety", 1000.0, 0.15, 1, false));
+  for (const char* name : {"insp0", "insp1", "insp2"}) {
+    (void)drcr.register_component(
+        worker_descriptor(name, 200.0, 0.2, 5, true));
+  }
+  std::printf("deployed: %zu active (safety + 3 optional inspectors)\n",
+              drcr.active_count());
+
+  // The adaptation manager: a non-RT observer polling the safety monitor's
+  // status and driving the mode.
+  auto filter = osgi::Filter::parse("(component.name=safety)").value();
+  auto safety_management =
+      framework.registry().get_service<drcom::RtComponentManagement>(
+          *framework.registry().get_reference(drcom::kManagementInterface,
+                                              &filter));
+  std::uint64_t misses_seen = 0;
+  std::function<void()> adaptation_tick = [&] {
+    const auto status = safety_management->get_status();
+    if (!guard->degraded() && status.stats.deadline_misses > misses_seen) {
+      std::printf(
+          "t=%.1fs adaptation: safety missed %llu deadlines -> DEGRADED, "
+          "shedding optional load\n",
+          engine.now() / 1e9,
+          static_cast<unsigned long long>(status.stats.deadline_misses));
+      guard->set_degraded(true);
+      drcr.resolve();  // apply the new policy: revoke + bar optionals
+    } else if (guard->degraded() &&
+               status.stats.deadline_misses == misses_seen) {
+      std::printf("t=%.1fs adaptation: safety healthy again -> NORMAL\n",
+                  engine.now() / 1e9);
+      guard->set_degraded(false);
+      drcr.resolve();  // optionals re-admitted
+    }
+    misses_seen = status.stats.deadline_misses;
+    engine.schedule_after(milliseconds(250), adaptation_tick);
+  };
+  engine.schedule_after(milliseconds(250), adaptation_tick);
+
+  // Phase 1: healthy.
+  engine.run_until(seconds(2));
+  std::printf("t=2.0s phase 1 done: %zu active, degraded=%s\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no");
+
+  // Phase 2: fault injection — the safety monitor's job suddenly takes 1.4x
+  // its period (slow sensor), so it starts missing deadlines.
+  std::printf("t=2.0s injecting fault: safety job cost 100us -> 1400us\n");
+  monitor_cost = microseconds(1'400);
+  engine.run_until(seconds(4));
+  std::printf("t=4.0s phase 2 done: %zu active, degraded=%s\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no");
+  const bool shed_worked = drcr.active_count() == 1 && guard->degraded();
+
+  // Phase 3: fault clears; the adaptation manager restores NORMAL mode and
+  // the DRCR re-admits the optional inspectors.
+  std::printf("t=4.0s fault clears: safety job cost back to 100us\n");
+  monitor_cost = microseconds(100);
+  engine.run_until(seconds(6));
+  std::printf("t=6.0s phase 3 done: %zu active, degraded=%s\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no");
+  const bool recovered = drcr.active_count() == 4 && !guard->degraded();
+
+  std::printf("\nADAPTIVE SCENARIO: %s\n",
+              shed_worked && recovered ? "OK" : "FAILED");
+  return shed_worked && recovered ? 0 : 1;
+}

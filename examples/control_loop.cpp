@@ -1,0 +1,202 @@
+// A simulated control system (the domain the paper targets: §3 opens with
+// "In control systems, each component can be mathematically modeled using a
+// transfer function").
+//
+// Closed loop, every block a DRCom with a declared contract:
+//
+//   setpnt (10 Hz) --setp--> pid (500 Hz) --actout--> plant (500 Hz)
+//                              ^                          |
+//                              '---------- meas ---------'
+//
+// The plant is a first-order system x' = (-x + u)/tau integrated at 500 Hz;
+// the PID drives it to the setpoint. The example demonstrates:
+//   * multi-rate real-time composition wired purely from XML contracts,
+//   * bundle-based continuous deployment (§2.1): the PID arrives as a
+//     bundle, is hot-swapped (update) with retuned gains mid-run, and the
+//     loop keeps operating,
+//   * departure cascade: uninstalling the PID bundle strands plant input;
+//     the DRCR reports exactly which contracts broke.
+#include <algorithm>
+#include <cstdio>
+
+#include "drcom/drcr.hpp"
+
+using namespace drt;
+
+namespace {
+
+// Fixed-point scaling for the SHM integers (values are volts * 1000).
+constexpr double kScale = 1000.0;
+
+class SetpointComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      // Square wave: 1 V for 2 s, then 3 V.
+      const double volts = (job.now() / seconds(2)) % 2 == 0 ? 1.0 : 3.0;
+      job.write_i32("setp", 0, static_cast<std::int32_t>(volts * kScale));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+class PidComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    double integral = 0.0;
+    double previous_error = 0.0;
+    const double dt = 1.0 / 500.0;
+    while (job.active()) {
+      co_await job.consume(microseconds(40));
+      const double kp = job.property_int("kp100").value_or(100) / 100.0;
+      const double ki = job.property_int("ki100").value_or(50) / 100.0;
+      const double kd = job.property_int("kd100").value_or(0) / 100.0;
+      const double setpoint =
+          job.read_i32("setp", 0).value_or(0) / kScale;
+      const double measured =
+          job.read_i32("meas", 0).value_or(0) / kScale;
+      const double error = setpoint - measured;
+      integral += error * dt;
+      const double derivative = (error - previous_error) / dt;
+      previous_error = error;
+      double output = kp * error + ki * integral + kd * derivative;
+      // Actuator saturation: +-10 V, like any real output stage.
+      output = std::clamp(output, -10.0, 10.0);
+      job.write_i32("actout", 0, static_cast<std::int32_t>(output * kScale));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+class PlantComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    double state = 0.0;
+    const double tau = 0.05;  // 50 ms time constant
+    const double dt = 1.0 / 500.0;
+    while (job.active()) {
+      co_await job.consume(microseconds(30));
+      const double input = job.read_i32("actout", 0).value_or(0) / kScale;
+      state += dt * (-state + input) / tau;
+      job.write_i32("meas", 0, static_cast<std::int32_t>(state * kScale));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+constexpr const char* kSetpointXml = R"(<?xml version="1.0"?>
+<drt:component name="setpnt" desc="reference generator" type="periodic"
+    cpuusage="0.01">
+  <implementation bincode="ctrl.Setpoint"/>
+  <periodictask frequence="10" runoncpu="1" priority="6"/>
+  <outport name="setp" interface="RTAI.SHM" type="Integer" size="1"/>
+</drt:component>)";
+
+constexpr const char* kPlantXml = R"(<?xml version="1.0"?>
+<drt:component name="plant" desc="first-order plant model" type="periodic"
+    cpuusage="0.05">
+  <implementation bincode="ctrl.Plant"/>
+  <periodictask frequence="500" runoncpu="0" priority="3"/>
+  <inport name="actout" interface="RTAI.SHM" type="Integer" size="1"/>
+  <outport name="meas" interface="RTAI.SHM" type="Integer" size="1"/>
+</drt:component>)";
+
+std::string pid_xml(int kp100, int ki100, int kd100) {
+  char buffer[1024];
+  std::snprintf(buffer, sizeof(buffer), R"(<?xml version="1.0"?>
+<drt:component name="pid" desc="PID controller" type="periodic"
+    cpuusage="0.1">
+  <implementation bincode="ctrl.Pid"/>
+  <periodictask frequence="500" runoncpu="0" priority="2"/>
+  <inport name="setp" interface="RTAI.SHM" type="Integer" size="1"/>
+  <inport name="meas" interface="RTAI.SHM" type="Integer" size="1"/>
+  <outport name="actout" interface="RTAI.SHM" type="Integer" size="1"/>
+  <property name="kp100" type="Integer" value="%d"/>
+  <property name="ki100" type="Integer" value="%d"/>
+  <property name="kd100" type="Integer" value="%d"/>
+</drt:component>)",
+                kp100, ki100, kd100);
+  return buffer;
+}
+
+osgi::BundleDefinition pid_bundle(int kp100, int ki100, int kd100,
+                                  const char* version) {
+  osgi::BundleDefinition definition;
+  definition.manifest.set_symbolic_name("ctrl.pid")
+      .set_version(osgi::Version::parse(version).value());
+  definition.manifest.add_component_resource("DRT-INF/pid.xml");
+  definition.resources["DRT-INF/pid.xml"] = pid_xml(kp100, ki100, kd100);
+  return definition;
+}
+
+double measured_volts(rtos::RtKernel& kernel) {
+  const rtos::Shm* shm = kernel.shm_find("meas");
+  return shm == nullptr ? 0.0 : shm->read_i32(0).value_or(0) / kScale;
+}
+
+}  // namespace
+
+int main() {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, rtos::KernelConfig{});
+  osgi::Framework framework;
+  drcom::Drcr drcr(framework, kernel);
+
+  drcr.factories().register_factory(
+      "ctrl.Setpoint", [] { return std::make_unique<SetpointComponent>(); });
+  drcr.factories().register_factory(
+      "ctrl.Pid", [] { return std::make_unique<PidComponent>(); });
+  drcr.factories().register_factory(
+      "ctrl.Plant", [] { return std::make_unique<PlantComponent>(); });
+
+  // Plant and reference deploy directly; the PID arrives as a bundle so we
+  // can hot-swap it later.
+  (void)drcr.register_component(
+      std::move(drcom::parse_descriptor(kSetpointXml)).take());
+  (void)drcr.register_component(
+      std::move(drcom::parse_descriptor(kPlantXml)).take());
+  std::printf("plant without controller: plant=%s (%s)\n",
+              drcom::to_string(*drcr.state_of("plant")),
+              drcr.last_reason("plant").c_str());
+
+  auto bundle = framework.install(pid_bundle(100, 50, 0, "1.0.0"));
+  (void)framework.start(bundle.value());
+  std::printf("PID bundle v1 started: pid=%s plant=%s\n\n",
+              drcom::to_string(*drcr.state_of("pid")),
+              drcom::to_string(*drcr.state_of("plant")));
+
+  // Let the loop track the square wave; sample the response.
+  std::printf("%-8s %-10s\n", "t(s)", "meas(V)");
+  for (int step = 1; step <= 8; ++step) {
+    engine.run_until(step * milliseconds(500));
+    std::printf("%-8.1f %-10.3f\n", step * 0.5, measured_volts(kernel));
+  }
+
+  // Hot-swap: update the bundle with retuned gains. The DRCR tears the old
+  // component down and activates the new contract; the plant never stops.
+  std::printf("\nhot-swapping PID bundle to v2 (stiffer gains)...\n");
+  (void)framework.update(bundle.value(), pid_bundle(300, 150, 0, "2.0.0"));
+  std::printf("pid=%s (bundle %s)\n\n",
+              drcom::to_string(*drcr.state_of("pid")),
+              framework.get_bundle(bundle.value())
+                  ->manifest()
+                  .version()
+                  .to_string()
+                  .c_str());
+  for (int step = 9; step <= 12; ++step) {
+    engine.run_until(step * milliseconds(500));
+    std::printf("%-8.1f %-10.3f\n", step * 0.5, measured_volts(kernel));
+  }
+
+  // Departure: uninstalling the controller strands the plant's actout port.
+  std::printf("\nuninstalling the PID bundle...\n");
+  (void)framework.uninstall(bundle.value());
+  std::printf("pid registered=%s plant=%s (%s)\n",
+              drcr.state_of("pid").has_value() ? "yes" : "no",
+              drcom::to_string(*drcr.state_of("plant")),
+              drcr.last_reason("plant").c_str());
+
+  const bool ok = *drcr.state_of("plant") == drcom::ComponentState::kUnsatisfied;
+  return ok ? 0 : 1;
+}

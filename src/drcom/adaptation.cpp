@@ -1,0 +1,150 @@
+#include "drcom/adaptation.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+
+namespace drt::drcom {
+
+AdaptationManager::AdaptationManager(Drcr& drcr, AdaptationConfig config)
+    : drcr_(&drcr), config_(config) {
+  tracker_ = std::make_unique<osgi::ServiceTracker>(
+      drcr.framework().system_context(), kManagementInterface);
+  tracker_->open();
+}
+
+AdaptationManager::~AdaptationManager() { stop(); }
+
+namespace {
+
+/// Self-rearming poll tick (a named functor so it can reference itself).
+struct PollTick {
+  AdaptationManager* manager;
+  void operator()() const { manager->on_poll_tick(); }
+};
+
+}  // namespace
+
+void AdaptationManager::on_poll_tick() {
+  if (!running_) return;
+  evaluate_now();
+  poll_event_ = drcr_->kernel().engine().schedule_after(config_.poll_period,
+                                                        PollTick{this});
+}
+
+void AdaptationManager::start() {
+  if (running_) return;
+  running_ = true;
+  on_poll_tick();  // evaluate immediately, then poll on the period
+}
+
+void AdaptationManager::stop() {
+  if (!running_) return;
+  running_ = false;
+  drcr_->kernel().engine().cancel(poll_event_);
+  poll_event_ = 0;
+}
+
+void AdaptationManager::evaluate_now() {
+  for (const auto& reference : tracker_->tracked()) {
+    auto management =
+        drcr_->framework().registry().get_service<RtComponentManagement>(
+            reference);
+    if (management == nullptr) continue;
+    const ComponentStatus status = management->get_status();
+    Baseline& baseline = baselines_[status.component];
+    const std::uint64_t new_misses =
+        baseline.seen ? status.stats.deadline_misses - baseline.misses
+                      : status.stats.deadline_misses;
+    const std::uint64_t new_activations =
+        baseline.seen ? status.stats.activations - baseline.activations
+                      : status.stats.activations;
+    const bool first_poll = !baseline.seen;
+    baseline.misses = status.stats.deadline_misses;
+    baseline.activations = status.stats.activations;
+    baseline.seen = true;
+
+    for (const QosRule& rule : rules_) {
+      if (!rule.component.empty() && rule.component != status.component) {
+        continue;
+      }
+      std::ostringstream tripped;
+      if (rule.max_new_misses.has_value() &&
+          new_misses > *rule.max_new_misses) {
+        tripped << "misses +" << new_misses << " > "
+                << *rule.max_new_misses << "; ";
+      }
+      if (rule.max_avg_latency_ns.has_value() &&
+          status.latency.count > 0 &&
+          status.latency.average > *rule.max_avg_latency_ns) {
+        tripped << "avg latency " << status.latency.average << " > "
+                << *rule.max_avg_latency_ns << "; ";
+      }
+      if (rule.max_latency_ns.has_value() && status.latency.count > 0 &&
+          status.latency.max > *rule.max_latency_ns) {
+        tripped << "max latency " << status.latency.max << " > "
+                << *rule.max_latency_ns << "; ";
+      }
+      // The liveness floor only applies once a baseline exists (the first
+      // poll may cover a partial interval) and while the component is not
+      // deliberately suspended.
+      if (rule.min_new_activations > 0 && !first_poll &&
+          !status.soft_suspended &&
+          new_activations < rule.min_new_activations) {
+        tripped << "activations +" << new_activations << " < "
+                << rule.min_new_activations << "; ";
+      }
+      if (rule.detect_failure && status.failed &&
+          !baseline.failure_reported) {
+        baseline.failure_reported = true;
+        tripped << "body failed: " << status.failure << "; ";
+      }
+      const std::string description = tripped.str();
+      if (description.empty()) continue;
+      QosViolation violation{drcr_->kernel().now(), status.component,
+                             description, status};
+      violations_.push_back(violation);
+      log::Line(log::Level::kWarn, "adaptation", violation.when)
+          << "QoS violation in " << violation.component << ": "
+          << description;
+      act_on(violation);
+    }
+  }
+}
+
+void AdaptationManager::act_on(const QosViolation& violation) {
+  switch (config_.action) {
+    case QosActionKind::kNotify:
+      break;
+    case QosActionKind::kSuspend: {
+      auto filter = osgi::Filter::parse(
+          "(component.name=" + violation.component + ")");
+      if (filter.ok()) {
+        const auto reference = drcr_->framework().registry().get_reference(
+            kManagementInterface, &filter.value());
+        if (reference.has_value()) {
+          auto management =
+              drcr_->framework()
+                  .registry()
+                  .get_service<RtComponentManagement>(*reference);
+          if (management != nullptr) (void)management->suspend();
+        }
+      }
+      break;
+    }
+    case QosActionKind::kDisable:
+      (void)drcr_->disable_component(violation.component);
+      break;
+    case QosActionKind::kRestart:
+      // Watchdog: tear the instance down and bring a fresh one up. The
+      // baseline reset lets the failure/liveness rules re-arm for the new
+      // instance.
+      (void)drcr_->disable_component(violation.component);
+      (void)drcr_->enable_component(violation.component);
+      baselines_.erase(violation.component);
+      break;
+  }
+  if (handler_) handler_(violation);
+}
+
+}  // namespace drt::drcom

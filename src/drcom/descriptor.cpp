@@ -1,0 +1,447 @@
+#include "drcom/descriptor.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace drt::drcom {
+namespace {
+
+Result<PortInterface> parse_interface(std::string_view text) {
+  if (str::iequals(text, "RTAI.SHM")) return PortInterface::kShm;
+  if (str::iequals(text, "RTAI.Mailbox")) return PortInterface::kMailbox;
+  return make_error("drcom.bad_descriptor",
+                    "unknown port interface '" + std::string(text) +
+                        "' (expected RTAI.SHM or RTAI.Mailbox)");
+}
+
+Result<rtos::DataType> parse_data_type(std::string_view text) {
+  if (str::iequals(text, "Byte")) return rtos::DataType::kByte;
+  if (str::iequals(text, "Integer")) return rtos::DataType::kInteger;
+  return make_error("drcom.bad_descriptor",
+                    "unknown port data type '" + std::string(text) +
+                        "' (expected Byte or Integer)");
+}
+
+Result<PortSpec> parse_port(const xml::Element& element,
+                            PortDirection direction) {
+  PortSpec port;
+  port.direction = direction;
+  port.name = element.attribute_or("name", "");
+  if (port.name.empty()) {
+    return make_error("drcom.bad_descriptor",
+                      std::string(to_string(direction)) + " without a name");
+  }
+  auto interface = parse_interface(element.attribute_or("interface", "RTAI.SHM"));
+  if (!interface.ok()) return interface.error();
+  port.interface = interface.value();
+  auto data_type = parse_data_type(element.attribute_or("type", "Byte"));
+  if (!data_type.ok()) return data_type.error();
+  port.data_type = data_type.value();
+  const auto size = str::parse_int(element.attribute_or("size", ""));
+  if (!size || *size <= 0) {
+    return make_error("drcom.bad_descriptor",
+                      "port '" + port.name + "' needs a positive size");
+  }
+  port.size = static_cast<std::size_t>(*size);
+  if (const auto optional_attr = element.attribute("optional")) {
+    const auto parsed = str::parse_bool(*optional_attr);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "port '" + port.name +
+                            "' optional must be true/false");
+    }
+    if (*parsed && direction == PortDirection::kOut) {
+      return make_error("drcom.bad_descriptor",
+                        "out-port '" + port.name +
+                            "' cannot be optional (providers always provide)");
+    }
+    port.optional = *parsed;
+  }
+  return port;
+}
+
+/// Properties carry a Java-style type attribute; map to typed values.
+Result<void> add_property(ComponentDescriptor& descriptor,
+                          const xml::Element& element) {
+  const auto name = element.attribute_or("name", "");
+  if (name.empty()) {
+    return make_error("drcom.bad_descriptor", "property without a name");
+  }
+  const auto type = element.attribute_or("type", "String");
+  const auto value = element.attribute_or("value", "");
+  if (str::iequals(type, "Integer") || str::iequals(type, "Long")) {
+    const auto parsed = str::parse_int(value);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "property '" + std::string(name) +
+                            "' has non-integer value '" + std::string(value) +
+                            "'");
+    }
+    descriptor.properties.set(name, *parsed);
+  } else if (str::iequals(type, "Double") || str::iequals(type, "Float")) {
+    const auto parsed = str::parse_double(value);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "property '" + std::string(name) +
+                            "' has non-numeric value '" + std::string(value) +
+                            "'");
+    }
+    descriptor.properties.set(name, *parsed);
+  } else if (str::iequals(type, "Boolean")) {
+    const auto parsed = str::parse_bool(value);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "property '" + std::string(name) +
+                            "' has non-boolean value '" + std::string(value) +
+                            "'");
+    }
+    descriptor.properties.set(name, *parsed);
+  } else if (str::iequals(type, "String")) {
+    descriptor.properties.set(name, std::string(value));
+  } else {
+    return make_error("drcom.bad_descriptor",
+                      "property '" + std::string(name) +
+                          "' has unknown type '" + std::string(type) + "'");
+  }
+  return Result<void>::success();
+}
+
+}  // namespace
+
+std::vector<const PortSpec*> ComponentDescriptor::inports() const {
+  std::vector<const PortSpec*> out;
+  for (const auto& port : ports) {
+    if (port.direction == PortDirection::kIn) out.push_back(&port);
+  }
+  return out;
+}
+
+std::vector<const PortSpec*> ComponentDescriptor::outports() const {
+  std::vector<const PortSpec*> out;
+  for (const auto& port : ports) {
+    if (port.direction == PortDirection::kOut) out.push_back(&port);
+  }
+  return out;
+}
+
+const PortSpec* ComponentDescriptor::find_port(
+    std::string_view port_name) const {
+  for (const auto& port : ports) {
+    if (port.name == port_name) return &port;
+  }
+  return nullptr;
+}
+
+const PortSpec* ComponentDescriptor::trigger_inport() const {
+  if (!sporadic.has_value()) return nullptr;
+  for (const PortSpec* inport : inports()) {
+    if (inport->interface != PortInterface::kMailbox) continue;
+    if (sporadic->trigger_port.empty() ||
+        inport->name == sporadic->trigger_port) {
+      return inport;
+    }
+  }
+  return nullptr;
+}
+
+Result<ComponentDescriptor> parse_descriptor(std::string_view xml_text) {
+  auto doc = xml::parse_expecting_root(xml_text, "component");
+  if (!doc.ok()) return doc.error();
+  return parse_descriptor_element(*doc.value().root);
+}
+
+Result<ComponentDescriptor> parse_descriptor_element(
+    const xml::Element& root) {
+  ComponentDescriptor descriptor;
+  descriptor.name = root.attribute_or("name", "");
+  descriptor.description = root.attribute_or("desc", "");
+  const auto type_text = root.attribute_or("type", "periodic");
+  if (str::iequals(type_text, "periodic")) {
+    descriptor.type = rtos::TaskType::kPeriodic;
+  } else if (str::iequals(type_text, "aperiodic")) {
+    descriptor.type = rtos::TaskType::kAperiodic;
+  } else if (str::iequals(type_text, "sporadic")) {
+    descriptor.type = rtos::TaskType::kSporadic;
+  } else {
+    return make_error("drcom.bad_descriptor",
+                      "unknown component type '" + std::string(type_text) +
+                          "'");
+  }
+  if (const auto enabled = root.attribute("enabled")) {
+    const auto parsed = str::parse_bool(*enabled);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "enabled must be true/false, got '" +
+                            std::string(*enabled) + "'");
+    }
+    descriptor.enabled = *parsed;
+  }
+  if (const auto usage = root.attribute("cpuusage")) {
+    const auto parsed = str::parse_double(*usage);
+    if (!parsed) {
+      return make_error("drcom.bad_descriptor",
+                        "cpuusage must be numeric, got '" +
+                            std::string(*usage) + "'");
+    }
+    descriptor.cpu_usage = *parsed;
+  }
+
+  for (const auto* child : root.child_elements()) {
+    const auto local = child->local_name();
+    if (local == "implementation") {
+      descriptor.bincode = child->attribute_or("bincode", "");
+    } else if (local == "periodictask") {
+      PeriodicSpec spec;
+      // The paper's own sample spells it "frequence"; accept both.
+      auto freq_text = child->attribute("frequence");
+      if (!freq_text) freq_text = child->attribute("frequency");
+      if (!freq_text) {
+        return make_error("drcom.bad_descriptor",
+                          "periodictask without frequence");
+      }
+      const auto freq = str::parse_double(*freq_text);
+      if (!freq || *freq <= 0.0) {
+        return make_error("drcom.bad_descriptor",
+                          "periodictask frequence must be positive");
+      }
+      spec.frequency_hz = *freq;
+      // Figure 2 spells the CPU attribute "runoncup"; accept the sane
+      // spelling too.
+      auto cpu_text = child->attribute("runoncup");
+      if (!cpu_text) cpu_text = child->attribute("runoncpu");
+      if (cpu_text) {
+        const auto cpu = str::parse_int(*cpu_text);
+        if (!cpu || *cpu < 0) {
+          return make_error("drcom.bad_descriptor",
+                            "runoncpu must be a non-negative integer");
+        }
+        spec.run_on_cpu = static_cast<CpuId>(*cpu);
+      }
+      if (const auto prio_text = child->attribute("priority")) {
+        const auto prio = str::parse_int(*prio_text);
+        if (!prio || *prio < 0) {
+          return make_error("drcom.bad_descriptor",
+                            "priority must be a non-negative integer");
+        }
+        spec.priority = static_cast<int>(*prio);
+      }
+      if (const auto deadline_text = child->attribute("deadline")) {
+        const auto deadline = str::parse_int(*deadline_text);
+        if (!deadline || *deadline <= 0) {
+          return make_error("drcom.bad_descriptor",
+                            "deadline must be a positive nanosecond count");
+        }
+        spec.deadline = *deadline;
+      }
+      descriptor.periodic = spec;
+    } else if (local == "sporadictask") {
+      SporadicSpec spec;
+      const auto mit_text = child->attribute("minarrival");
+      if (!mit_text) {
+        return make_error("drcom.bad_descriptor",
+                          "sporadictask without minarrival");
+      }
+      const auto mit = str::parse_int(*mit_text);
+      if (!mit || *mit <= 0) {
+        return make_error("drcom.bad_descriptor",
+                          "minarrival must be a positive nanosecond count");
+      }
+      spec.min_interarrival = *mit;
+      if (const auto cpu_text = child->attribute("runoncpu")) {
+        const auto cpu = str::parse_int(*cpu_text);
+        if (!cpu || *cpu < 0) {
+          return make_error("drcom.bad_descriptor",
+                            "runoncpu must be a non-negative integer");
+        }
+        spec.run_on_cpu = static_cast<CpuId>(*cpu);
+      }
+      if (const auto prio_text = child->attribute("priority")) {
+        const auto prio = str::parse_int(*prio_text);
+        if (!prio || *prio < 0) {
+          return make_error("drcom.bad_descriptor",
+                            "priority must be a non-negative integer");
+        }
+        spec.priority = static_cast<int>(*prio);
+      }
+      spec.trigger_port = std::string(child->attribute_or("trigger", ""));
+      descriptor.sporadic = spec;
+    } else if (local == "inport" || local == "outport") {
+      auto port = parse_port(*child, local == "inport" ? PortDirection::kIn
+                                                       : PortDirection::kOut);
+      if (!port.ok()) return port.error();
+      descriptor.ports.push_back(std::move(port).take());
+    } else if (local == "property") {
+      auto added = add_property(descriptor, *child);
+      if (!added.ok()) return added.error();
+    } else {
+      return make_error("drcom.bad_descriptor",
+                        "unknown descriptor element <" + child->name + ">");
+    }
+  }
+
+  auto valid = validate(descriptor);
+  if (!valid.ok()) return valid.error();
+  return descriptor;
+}
+
+Result<void> validate(const ComponentDescriptor& descriptor) {
+  if (descriptor.name.empty()) {
+    return make_error("drcom.bad_descriptor", "component without a name");
+  }
+  if (descriptor.name.size() > kMaxRtName) {
+    return make_error("drcom.bad_descriptor",
+                      "component name '" + descriptor.name + "' exceeds " +
+                          std::to_string(kMaxRtName) +
+                          " characters (RT task name limit)");
+  }
+  if (descriptor.bincode.empty()) {
+    return make_error("drcom.bad_descriptor",
+                      "component '" + descriptor.name +
+                          "' has no implementation bincode");
+  }
+  if (descriptor.type == rtos::TaskType::kPeriodic) {
+    if (!descriptor.periodic.has_value()) {
+      return make_error("drcom.bad_descriptor",
+                        "periodic component '" + descriptor.name +
+                            "' needs a periodictask element");
+    }
+    if (descriptor.periodic->frequency_hz <= 0.0) {
+      return make_error("drcom.bad_descriptor",
+                        "component '" + descriptor.name +
+                            "' has non-positive frequency");
+    }
+    if (descriptor.periodic->deadline > descriptor.periodic->period()) {
+      return make_error("drcom.bad_descriptor",
+                        "component '" + descriptor.name +
+                            "' deadline exceeds its period");
+    }
+  }
+  if (descriptor.type == rtos::TaskType::kSporadic) {
+    if (!descriptor.sporadic.has_value()) {
+      return make_error("drcom.bad_descriptor",
+                        "sporadic component '" + descriptor.name +
+                            "' needs a sporadictask element");
+    }
+    if (descriptor.sporadic->min_interarrival <= 0) {
+      return make_error("drcom.bad_descriptor",
+                        "component '" + descriptor.name +
+                            "' has non-positive minarrival");
+    }
+    // The trigger must be (or default to) a declared mailbox in-port.
+    const std::string& trigger = descriptor.sporadic->trigger_port;
+    bool trigger_ok = false;
+    for (const PortSpec* inport : descriptor.inports()) {
+      if (inport->interface != PortInterface::kMailbox) continue;
+      if (trigger.empty() || inport->name == trigger) {
+        trigger_ok = true;
+        break;
+      }
+    }
+    if (!trigger_ok) {
+      return make_error("drcom.bad_descriptor",
+                        "sporadic component '" + descriptor.name +
+                            "' needs a Mailbox in-port as its trigger" +
+                            (trigger.empty() ? "" : (" ('" + trigger + "')")));
+    }
+  }
+  if (descriptor.cpu_usage < 0.0 || descriptor.cpu_usage > 1.0) {
+    return make_error("drcom.bad_descriptor",
+                      "component '" + descriptor.name +
+                          "' cpuusage must lie in [0,1]");
+  }
+  for (const auto& port : descriptor.ports) {
+    if (port.name.size() > kMaxRtName) {
+      return make_error("drcom.bad_descriptor",
+                        "port name '" + port.name + "' exceeds " +
+                            std::to_string(kMaxRtName) + " characters");
+    }
+    if (port.size == 0) {
+      return make_error("drcom.bad_descriptor",
+                        "port '" + port.name + "' has zero size");
+    }
+    // A component must not declare the same port name twice.
+    std::size_t occurrences = 0;
+    for (const auto& other : descriptor.ports) {
+      if (other.name == port.name) ++occurrences;
+    }
+    if (occurrences > 1) {
+      return make_error("drcom.bad_descriptor",
+                        "duplicate port name '" + port.name + "' in '" +
+                            descriptor.name + "'");
+    }
+  }
+  return Result<void>::success();
+}
+
+std::string write_descriptor(const ComponentDescriptor& descriptor) {
+  xml::Element root;
+  root.name = "drt:component";
+  root.set_attribute("name", descriptor.name);
+  if (!descriptor.description.empty()) {
+    root.set_attribute("desc", descriptor.description);
+  }
+  root.set_attribute("type", to_string(descriptor.type));
+  root.set_attribute("enabled", descriptor.enabled ? "true" : "false");
+  {
+    std::ostringstream usage;
+    usage << descriptor.cpu_usage;
+    root.set_attribute("cpuusage", usage.str());
+  }
+  root.append_child("implementation")
+      .set_attribute("bincode", descriptor.bincode);
+  if (descriptor.periodic.has_value()) {
+    auto& periodic = root.append_child("periodictask");
+    std::ostringstream freq;
+    freq << descriptor.periodic->frequency_hz;
+    periodic.set_attribute("frequence", freq.str());
+    periodic.set_attribute("runoncpu",
+                           std::to_string(descriptor.periodic->run_on_cpu));
+    periodic.set_attribute("priority",
+                           std::to_string(descriptor.periodic->priority));
+    if (descriptor.periodic->deadline > 0) {
+      periodic.set_attribute("deadline",
+                             std::to_string(descriptor.periodic->deadline));
+    }
+  }
+  if (descriptor.sporadic.has_value()) {
+    auto& sporadic = root.append_child("sporadictask");
+    sporadic.set_attribute(
+        "minarrival", std::to_string(descriptor.sporadic->min_interarrival));
+    sporadic.set_attribute("runoncpu",
+                           std::to_string(descriptor.sporadic->run_on_cpu));
+    sporadic.set_attribute("priority",
+                           std::to_string(descriptor.sporadic->priority));
+    if (!descriptor.sporadic->trigger_port.empty()) {
+      sporadic.set_attribute("trigger", descriptor.sporadic->trigger_port);
+    }
+  }
+  for (const auto& port : descriptor.ports) {
+    auto& element = root.append_child(to_string(port.direction));
+    element.set_attribute("name", port.name);
+    element.set_attribute("interface", to_string(port.interface));
+    element.set_attribute("type", to_string(port.data_type));
+    element.set_attribute("size", std::to_string(port.size));
+    if (port.optional) element.set_attribute("optional", "true");
+  }
+  for (const auto& [key, entry] : descriptor.properties) {
+    auto& element = root.append_child("property");
+    element.set_attribute("name", entry.original_key);
+    const auto& value = entry.value;
+    if (std::holds_alternative<std::int64_t>(value)) {
+      element.set_attribute("type", "Integer");
+    } else if (std::holds_alternative<double>(value)) {
+      element.set_attribute("type", "Double");
+    } else if (std::holds_alternative<bool>(value)) {
+      element.set_attribute("type", "Boolean");
+    } else {
+      element.set_attribute("type", "String");
+    }
+    element.set_attribute("value", osgi::to_string(value));
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + xml::write(root);
+}
+
+}  // namespace drt::drcom

@@ -1,0 +1,666 @@
+#include "drcom/drcr.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "osgi/event_admin.hpp"
+#include "util/logging.hpp"
+
+namespace drt::drcom {
+
+Drcr::Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
+           DrcrConfig config)
+    : framework_(&framework), kernel_(&kernel), config_(config),
+      internal_resolver_(
+          std::make_unique<UtilizationBudgetResolver>(config.cpu_budget)) {
+  bundle_listener_token_ = framework_->add_bundle_listener(
+      [this](const osgi::BundleEvent& event) { on_bundle_event(event); });
+
+  // Custom resolving services plug in through the OSGi service model (§1).
+  osgi::ServiceTracker::Callbacks callbacks;
+  callbacks.on_added = [this](const osgi::ServiceReference&) {
+    if (config_.auto_resolve) resolve();
+  };
+  callbacks.on_removed = [this](const osgi::ServiceReference&) {
+    if (config_.auto_resolve) resolve();
+  };
+  resolver_tracker_ = std::make_unique<osgi::ServiceTracker>(
+      framework_->system_context(), kResolvingServiceInterface, std::nullopt,
+      std::move(callbacks));
+  resolver_tracker_->open();
+
+  if (config_.register_service) {
+    auto handle = std::make_shared<DrcrHandle>();
+    handle->drcr = this;
+    self_registration_ = framework_->system_context().register_service(
+        std::string(kDrcrServiceInterface), std::move(handle));
+  }
+
+  // Bundles already active before the DRCR came up still contribute.
+  for (const osgi::Bundle* bundle : framework_->bundles()) {
+    if (bundle->state() == osgi::BundleState::kActive) {
+      scan_bundle(*bundle);
+    }
+  }
+  if (config_.auto_resolve) resolve();
+}
+
+Drcr::~Drcr() {
+  // Closing the tracker fires on_removed callbacks that would otherwise
+  // re-enter resolve() against a half-destroyed runtime.
+  shutting_down_ = true;
+  resolver_tracker_.reset();
+  framework_->remove_bundle_listener(bundle_listener_token_);
+  if (self_registration_.is_valid()) self_registration_.unregister();
+  // Deactivate in reverse activation order.
+  std::vector<ComponentRecord*> active;
+  for (auto& [_, record] : components_) {
+    if (record.state == ComponentState::kActive) active.push_back(&record);
+  }
+  std::sort(active.begin(), active.end(), [](const auto* a, const auto* b) {
+    return a->activation_order > b->activation_order;
+  });
+  for (ComponentRecord* record : active) {
+    deactivate(*record, "DRCR shutdown");
+  }
+}
+
+// ------------------------------------------------------------ registration
+
+Result<void> Drcr::register_component(ComponentDescriptor descriptor,
+                                      BundleId owner) {
+  auto valid = validate(descriptor);
+  if (!valid.ok()) return valid;
+  if (components_.contains(descriptor.name)) {
+    return make_error("drcom.duplicate_component",
+                      "component '" + descriptor.name +
+                          "' is already registered (names are global, §2.3)");
+  }
+  ComponentRecord record;
+  record.owner = owner;
+  record.state = descriptor.enabled ? ComponentState::kUnsatisfied
+                                    : ComponentState::kDisabled;
+  record.descriptor = std::move(descriptor);
+  const std::string name = record.descriptor.name;
+  components_.emplace(name, std::move(record));
+  emit(DrcrEventType::kRegistered, name);
+  if (config_.auto_resolve) resolve();
+  return Result<void>::success();
+}
+
+Result<void> Drcr::unregister_component(const std::string& name) {
+  const auto found = components_.find(name);
+  if (found == components_.end()) {
+    return make_error("drcom.no_such_component", name);
+  }
+  if (found->second.state == ComponentState::kActive) {
+    deactivate(found->second, "component unregistered");
+  }
+  components_.erase(found);
+  emit(DrcrEventType::kUnregistered, name);
+  cascade_departures();
+  if (config_.auto_resolve) resolve();
+  return Result<void>::success();
+}
+
+Result<void> Drcr::enable_component(const std::string& name) {
+  const auto found = components_.find(name);
+  if (found == components_.end()) {
+    return make_error("drcom.no_such_component", name);
+  }
+  if (found->second.state != ComponentState::kDisabled) {
+    return Result<void>::success();  // idempotent
+  }
+  found->second.state = ComponentState::kUnsatisfied;
+  emit(DrcrEventType::kEnabled, name);
+  if (config_.auto_resolve) resolve();
+  return Result<void>::success();
+}
+
+Result<void> Drcr::disable_component(const std::string& name) {
+  const auto found = components_.find(name);
+  if (found == components_.end()) {
+    return make_error("drcom.no_such_component", name);
+  }
+  ComponentRecord& record = found->second;
+  if (record.state == ComponentState::kDisabled) {
+    return Result<void>::success();
+  }
+  if (record.state == ComponentState::kActive) {
+    deactivate(record, "component disabled");
+  }
+  record.state = ComponentState::kDisabled;
+  emit(DrcrEventType::kDisabled, name);
+  cascade_departures();
+  if (config_.auto_resolve) resolve();
+  return Result<void>::success();
+}
+
+Result<void> Drcr::deploy_system(const SystemDescriptor& system,
+                                 BundleId owner) {
+  auto valid = validate_system(system);
+  if (!valid.ok()) return valid;
+  if (systems_.contains(system.name)) {
+    return make_error("drcom.duplicate_system",
+                      "system '" + system.name + "' is already deployed");
+  }
+  // Pre-flight: no member name may clash with an existing component, so the
+  // deployment can be all-or-nothing without partial registration.
+  for (const auto& component : system.components) {
+    if (components_.contains(component.name)) {
+      return make_error("drcom.duplicate_component",
+                        "system member '" + component.name +
+                            "' clashes with an existing component");
+    }
+  }
+  // Register all members with resolution deferred to one final pass, so a
+  // composition with internal dependencies (or cycles) comes up as a group.
+  const bool auto_resolve = config_.auto_resolve;
+  config_.auto_resolve = false;
+  std::vector<std::string> members;
+  for (const auto& component : system.components) {
+    auto registered = register_component(component, owner);
+    if (!registered.ok()) {
+      // Roll back: remove the members registered so far.
+      for (const auto& name : members) (void)unregister_component(name);
+      config_.auto_resolve = auto_resolve;
+      return registered;
+    }
+    members.push_back(component.name);
+  }
+  config_.auto_resolve = auto_resolve;
+  (void)members;
+  systems_.emplace(system.name, system);
+  log::Line(log::Level::kInfo, "drcr", kernel_->now())
+      << "deployed system '" << system.name << "' ("
+      << system.components.size() << " members)";
+  if (config_.auto_resolve) resolve();
+  return Result<void>::success();
+}
+
+Result<void> Drcr::undeploy_system(const std::string& system_name) {
+  const auto found = systems_.find(system_name);
+  if (found == systems_.end()) {
+    return make_error("drcom.no_such_system", system_name);
+  }
+  std::vector<std::string> members;
+  for (const auto& component : found->second.components) {
+    members.push_back(component.name);
+  }
+  systems_.erase(found);
+  for (const auto& name : members) {
+    (void)unregister_component(name);
+  }
+  log::Line(log::Level::kInfo, "drcr", kernel_->now())
+      << "undeployed system '" << system_name << "'";
+  return Result<void>::success();
+}
+
+std::vector<std::string> Drcr::deployed_systems() const {
+  std::vector<std::string> out;
+  out.reserve(systems_.size());
+  for (const auto& [name, _] : systems_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Drcr::system_members(
+    const std::string& system_name) const {
+  const auto found = systems_.find(system_name);
+  std::vector<std::string> members;
+  if (found != systems_.end()) {
+    for (const auto& component : found->second.components) {
+      members.push_back(component.name);
+    }
+  }
+  return members;
+}
+
+const SystemDescriptor* Drcr::system_of(
+    const std::string& system_name) const {
+  const auto found = systems_.find(system_name);
+  return found == systems_.end() ? nullptr : &found->second;
+}
+
+const ComponentDescriptor* Drcr::descriptor_of(
+    const std::string& name) const {
+  const auto found = components_.find(name);
+  return found == components_.end() ? nullptr : &found->second.descriptor;
+}
+
+// -------------------------------------------------------------- resolution
+
+void Drcr::resolve() {
+  if (resolving_ || shutting_down_) return;  // listeners may call back in
+  resolving_ = true;
+  cascade_departures();
+  while (resolve_round()) {
+  }
+  apply_revocations();
+  resolving_ = false;
+}
+
+void Drcr::note_rejection(ComponentRecord& record, const std::string& reason) {
+  if (record.last_reason != reason) {
+    record.last_reason = reason;
+    emit(DrcrEventType::kRejected, record.descriptor.name, reason);
+  }
+}
+
+bool Drcr::resolve_round() {
+  std::set<std::string> excluded;  // members that failed activation mechanics
+  for (;;) {
+    // 1. Candidates: everything unsatisfied, minus mechanical failures.
+    std::vector<ComponentRecord*> candidates;
+    for (auto& [name, record] : components_) {
+      if (record.state == ComponentState::kUnsatisfied &&
+          !excluded.contains(name)) {
+        candidates.push_back(&record);
+      }
+    }
+    if (candidates.empty()) return false;
+
+    // 2. Functional fixpoint: keep only candidates whose in-ports are
+    //    satisfied by active components or other surviving candidates.
+    auto shrink_to_functional_closure = [this, &candidates] {
+      bool shrunk = true;
+      while (shrunk) {
+        shrunk = false;
+        for (auto it = candidates.begin(); it != candidates.end();) {
+          std::string reason;
+          if (!functional_satisfied((*it)->descriptor, &reason, &candidates)) {
+            note_rejection(**it, reason);
+            it = candidates.erase(it);
+            shrunk = true;
+          } else {
+            ++it;
+          }
+        }
+      }
+    };
+    shrink_to_functional_closure();
+
+    // 3. Admission, greedy in registration order against the cumulative
+    //    view; a rejection can strand dependents, so re-close afterwards.
+    for (;;) {
+      SystemView view = system_view();
+      std::vector<ComponentRecord*> rejected;
+      for (ComponentRecord* record : candidates) {
+        if (auto admitted = admission_check(record->descriptor, view);
+            admitted.ok()) {
+          view.active.push_back(&record->descriptor);
+        } else {
+          note_rejection(*record, admitted.error().message);
+          rejected.push_back(record);
+        }
+      }
+      if (rejected.empty()) break;
+      for (ComponentRecord* record : rejected) {
+        std::erase(candidates, record);
+      }
+      shrink_to_functional_closure();
+    }
+    if (candidates.empty()) return false;
+
+    // 4. Batch activation: instantiate, prepare all (publishing every
+    //    out-port), then commit all. Any mechanical failure rolls the whole
+    //    batch back and retries without the offender.
+    bool failed = false;
+    for (ComponentRecord* record : candidates) {
+      auto implementation = instantiate(record->descriptor);
+      if (!implementation.ok()) {
+        note_rejection(*record, implementation.error().message);
+        excluded.insert(record->descriptor.name);
+        failed = true;
+        break;
+      }
+      record->instance = std::make_unique<HybridComponent>(
+          record->descriptor, *kernel_, std::move(implementation).take());
+    }
+    if (!failed) {
+      for (ComponentRecord* record : candidates) {
+        if (auto prepared = record->instance->prepare(); !prepared.ok()) {
+          note_rejection(*record, prepared.error().message);
+          excluded.insert(record->descriptor.name);
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (!failed) {
+      for (ComponentRecord* record : candidates) {
+        if (auto committed = record->instance->commit(); !committed.ok()) {
+          note_rejection(*record, committed.error().message);
+          excluded.insert(record->descriptor.name);
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (failed) {
+      for (ComponentRecord* record : candidates) {
+        if (record->instance != nullptr) {
+          record->instance->deactivate();
+          record->instance.reset();
+        }
+      }
+      continue;  // retry without the offender
+    }
+
+    for (ComponentRecord* record : candidates) {
+      finalize_activation(*record);
+    }
+    return true;
+  }
+}
+
+void Drcr::cascade_departures() {
+  // Deactivate every active component that lost an in-port provider; repeat
+  // until stable (a deactivation can strand further dependents).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, record] : components_) {
+      if (record.state != ComponentState::kActive) continue;
+      std::string reason;
+      if (!functional_satisfied(record.descriptor, &reason)) {
+        deactivate(record, "dependency lost: " + reason);
+        changed = true;
+      }
+    }
+  }
+}
+
+void Drcr::apply_revocations() {
+  auto view = system_view();
+  std::vector<std::string> revoked = internal_resolver_->revoke(view);
+  for (const auto& reference : resolver_tracker_->tracked()) {
+    auto service =
+        framework_->registry().get_service<ResolvingService>(reference);
+    if (service == nullptr) continue;
+    auto extra = service->revoke(view);
+    revoked.insert(revoked.end(), extra.begin(), extra.end());
+  }
+  for (const auto& name : revoked) {
+    const auto found = components_.find(name);
+    if (found == components_.end() ||
+        found->second.state != ComponentState::kActive) {
+      continue;
+    }
+    deactivate(found->second, "revoked by resolving service");
+  }
+  if (!revoked.empty()) cascade_departures();
+}
+
+bool Drcr::functional_satisfied(
+    const ComponentDescriptor& candidate, std::string* reason,
+    const std::vector<ComponentRecord*>* group) const {
+  auto provides = [&candidate](const ComponentDescriptor& provider,
+                               const PortSpec& inport) {
+    if (provider.name == candidate.name) return false;
+    for (const PortSpec* outport : provider.outports()) {
+      if (outport->compatible_with(inport)) return true;
+    }
+    return false;
+  };
+  const PortSpec* trigger = candidate.trigger_inport();
+  for (const PortSpec* inport : candidate.inports()) {
+    if (inport->optional) continue;  // never gates activation
+    if (inport == trigger) continue;  // self-owned sporadic inbox
+    bool satisfied = false;
+    for (const auto& [other_name, other] : components_) {
+      if (other.state == ComponentState::kActive &&
+          provides(other.descriptor, *inport)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied && group != nullptr) {
+      for (const ComponentRecord* member : *group) {
+        if (provides(member->descriptor, *inport)) {
+          satisfied = true;
+          break;
+        }
+      }
+    }
+    if (!satisfied) {
+      if (reason != nullptr) {
+        *reason = "inport '" + inport->name + "' has no active provider";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<void> Drcr::admission_check(const ComponentDescriptor& candidate,
+                                   const SystemView& view) const {
+  // Internal resolving service first, then every plugged-in custom service;
+  // all must return a positive result (§4.3).
+  if (auto internal = internal_resolver_->admit(candidate, view);
+      !internal.ok()) {
+    return make_error("drcom.admission_rejected",
+                      internal_resolver_->name() + ": " +
+                          internal.error().message);
+  }
+  for (const auto& reference : resolver_tracker_->tracked()) {
+    auto service =
+        framework_->registry().get_service<ResolvingService>(reference);
+    if (service == nullptr) continue;
+    if (auto custom = service->admit(candidate, view); !custom.ok()) {
+      return make_error("drcom.admission_rejected",
+                        service->name() + ": " + custom.error().message);
+    }
+  }
+  return Result<void>::success();
+}
+
+Result<std::unique_ptr<RtComponent>> Drcr::instantiate(
+    const ComponentDescriptor& descriptor) const {
+  // Directly registered factories win; factories published as services (with
+  // a drcom.bincode property) are the fallback.
+  if (factories_.contains(descriptor.bincode)) {
+    return factories_.create(descriptor.bincode);
+  }
+  auto filter = osgi::Filter::parse("(drcom.bincode=" + descriptor.bincode +
+                                    ")");
+  if (filter.ok()) {
+    const auto reference = framework_->registry().get_reference(
+        kFactoryServiceInterface, &filter.value());
+    if (reference.has_value()) {
+      auto service =
+          framework_->registry().get_service<ComponentFactoryService>(
+              *reference);
+      if (service != nullptr && service->create) {
+        auto instance = service->create();
+        if (instance != nullptr) {
+          return instance;
+        }
+        return make_error("drcom.factory_failed",
+                          "factory service for '" + descriptor.bincode +
+                              "' returned null");
+      }
+    }
+  }
+  return make_error("drcom.no_factory",
+                    "no implementation registered for bincode '" +
+                        descriptor.bincode + "'");
+}
+
+void Drcr::finalize_activation(ComponentRecord& record) {
+  record.state = ComponentState::kActive;
+  record.last_reason.clear();
+  record.activation_order = next_activation_order_++;
+
+  // Publish the management interface with the component's properties so the
+  // instance is discoverable and tunable through the registry (§2.4).
+  record.management = std::make_shared<HybridManagement>(*record.instance);
+  osgi::Properties properties = record.descriptor.properties;
+  properties.set("component.name", record.descriptor.name);
+  properties.set("component.bincode", record.descriptor.bincode);
+  properties.set("component.type",
+                 std::string(to_string(record.descriptor.type)));
+  record.management_registration =
+      framework_->system_context().register_service(
+          std::string(kManagementInterface), record.management, properties);
+
+  emit(DrcrEventType::kActivated, record.descriptor.name);
+}
+
+void Drcr::deactivate(ComponentRecord& record, const std::string& reason) {
+  if (record.management_registration.is_valid()) {
+    record.management_registration.unregister();
+  }
+  record.management.reset();
+  if (record.instance != nullptr) {
+    record.instance->deactivate();
+    record.instance.reset();
+  }
+  record.state = ComponentState::kUnsatisfied;
+  record.last_reason = reason;
+  emit(DrcrEventType::kDeactivated, record.descriptor.name, reason);
+}
+
+// ---------------------------------------------------------- introspection
+
+std::optional<ComponentState> Drcr::state_of(const std::string& name) const {
+  const auto found = components_.find(name);
+  if (found == components_.end()) return std::nullopt;
+  return found->second.state;
+}
+
+std::string Drcr::last_reason(const std::string& name) const {
+  const auto found = components_.find(name);
+  return found == components_.end() ? std::string{}
+                                    : found->second.last_reason;
+}
+
+std::vector<std::string> Drcr::component_names() const {
+  std::vector<std::string> out;
+  out.reserve(components_.size());
+  for (const auto& [name, _] : components_) out.push_back(name);
+  return out;
+}
+
+std::size_t Drcr::active_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      components_.begin(), components_.end(), [](const auto& entry) {
+        return entry.second.state == ComponentState::kActive;
+      }));
+}
+
+HybridComponent* Drcr::instance_of(const std::string& name) const {
+  const auto found = components_.find(name);
+  return found == components_.end() ? nullptr : found->second.instance.get();
+}
+
+SystemView Drcr::system_view() const {
+  SystemView view;
+  view.kernel = kernel_;
+  view.cpu_count = kernel_->config().cpus;
+  // Active descriptors in activation order (revocation policies shed the
+  // most recent first).
+  std::vector<const ComponentRecord*> active;
+  for (const auto& [_, record] : components_) {
+    if (record.state == ComponentState::kActive) active.push_back(&record);
+  }
+  std::sort(active.begin(), active.end(), [](const auto* a, const auto* b) {
+    return a->activation_order < b->activation_order;
+  });
+  for (const auto* record : active) view.active.push_back(&record->descriptor);
+  return view;
+}
+
+void Drcr::set_internal_resolver(std::unique_ptr<ResolvingService> resolver) {
+  if (resolver == nullptr) return;
+  internal_resolver_ = std::move(resolver);
+  if (config_.auto_resolve) resolve();
+}
+
+// ----------------------------------------------------------------- bundles
+
+void Drcr::on_bundle_event(const osgi::BundleEvent& event) {
+  switch (event.type) {
+    case osgi::BundleEventType::kStarted: {
+      const osgi::Bundle* bundle = framework_->get_bundle(event.bundle_id);
+      if (bundle != nullptr) scan_bundle(*bundle);
+      if (config_.auto_resolve) resolve();
+      break;
+    }
+    case osgi::BundleEventType::kStopped:
+    case osgi::BundleEventType::kUninstalled:
+    case osgi::BundleEventType::kUpdated:
+      remove_components_of(event.bundle_id);
+      if (config_.auto_resolve) resolve();
+      break;
+    default:
+      break;
+  }
+}
+
+void Drcr::scan_bundle(const osgi::Bundle& bundle) {
+  for (const auto& path : bundle.manifest().component_resources()) {
+    const auto content = bundle.resource(path);
+    if (!content.has_value()) {
+      log::Line(log::Level::kWarn, "drcr", kernel_->now())
+          << "bundle " << bundle.symbolic_name()
+          << " declares missing descriptor resource " << path;
+      continue;
+    }
+    auto descriptor = parse_descriptor(*content);
+    if (!descriptor.ok()) {
+      log::Line(log::Level::kError, "drcr", kernel_->now())
+          << "bundle " << bundle.symbolic_name() << " descriptor " << path
+          << ": " << descriptor.error().to_string();
+      continue;
+    }
+    auto registered =
+        register_component(std::move(descriptor).take(), bundle.id());
+    if (!registered.ok()) {
+      log::Line(log::Level::kError, "drcr", kernel_->now())
+          << "bundle " << bundle.symbolic_name() << " descriptor " << path
+          << ": " << registered.error().to_string();
+    }
+  }
+}
+
+void Drcr::remove_components_of(BundleId owner) {
+  std::vector<std::string> names;
+  for (const auto& [name, record] : components_) {
+    if (record.owner == owner && owner != 0) names.push_back(name);
+  }
+  for (const auto& name : names) {
+    (void)unregister_component(name);
+  }
+}
+
+void Drcr::emit(DrcrEventType type, const std::string& component,
+                std::string reason) {
+  DrcrEvent event{kernel_->now(), type, component, std::move(reason)};
+  events_.push_back(event);
+  log::Line(log::Level::kInfo, "drcr", event.when)
+      << to_string(type) << " " << component
+      << (event.reason.empty() ? "" : (": " + event.reason));
+  // During shutdown only the log records the teardown: listeners (and the
+  // event bus) may already be destroyed or mid-destruction.
+  if (shutting_down_) return;
+  const auto snapshot = listeners_;
+  for (const auto& listener : snapshot) listener(event);
+
+  // Bridge onto the Event Admin bus when one is registered, so any bundle
+  // can observe the real-time system through standard OSGi events.
+  const auto reference =
+      framework_->registry().get_reference(osgi::kEventAdminInterface);
+  if (reference.has_value()) {
+    auto bus = framework_->registry().get_service<osgi::EventAdmin>(*reference);
+    if (bus != nullptr) {
+      osgi::Properties properties;
+      properties.set("component", component);
+      properties.set("reason", event.reason);
+      properties.set("timestamp", static_cast<std::int64_t>(event.when));
+      bus->post(std::string("drcom/ComponentEvent/") + to_string(type),
+                std::move(properties));
+    }
+  }
+}
+
+}  // namespace drt::drcom

@@ -1,0 +1,244 @@
+// DRCR — the Declarative Real-time Component Runtime (paper §2.2).
+//
+// The DRCR owns the whole lifecycle of every declarative real-time component
+// in the system. Components are never created or destroyed through their own
+// interfaces; only the DRCR activates and deactivates instances, which is
+// what keeps its global view of promised real-time contracts complete and
+// accurate. It:
+//
+//   * watches the OSGi framework for bundle starts/stops and parses the
+//     DRCom descriptors those bundles carry (DRT-Components manifest header),
+//   * resolves functional constraints (in-port/out-port compatibility) and
+//     non-functional constraints (admission through the internal resolving
+//     service AND every custom resolving service discovered in the OSGi
+//     registry),
+//   * activates satisfied components (creating the hybrid instance and its
+//     RT task) and registers one RtComponentManagement service per instance,
+//   * reacts to departures with cascading deactivation of dependents and to
+//     arrivals with re-resolution — the §4.3 dynamicity behaviour.
+//
+// Lifecycle (Figure 1):  DISABLED <-> UNSATISFIED -> ACTIVE -> (departure)
+// with every transition driven by the DRCR, never by the component.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "drcom/descriptor.hpp"
+#include "drcom/factory.hpp"
+#include "drcom/hybrid.hpp"
+#include "drcom/resolver.hpp"
+#include "drcom/system_descriptor.hpp"
+#include "osgi/framework.hpp"
+#include "osgi/service_tracker.hpp"
+#include "rtos/kernel.hpp"
+
+namespace drt::drcom {
+
+/// Service interface name under which the DRCR itself is discoverable.
+inline constexpr const char* kDrcrServiceInterface = "drcom.DRCR";
+
+enum class ComponentState {
+  kDisabled,     ///< registered but enabled="false" / disable_component()
+  kUnsatisfied,  ///< enabled, but constraints not (currently) satisfiable
+  kActive,       ///< hybrid instance running under its real-time contract
+};
+
+[[nodiscard]] constexpr const char* to_string(ComponentState state) {
+  switch (state) {
+    case ComponentState::kDisabled: return "DISABLED";
+    case ComponentState::kUnsatisfied: return "UNSATISFIED";
+    case ComponentState::kActive: return "ACTIVE";
+  }
+  return "?";
+}
+
+enum class DrcrEventType {
+  kRegistered,
+  kUnregistered,
+  kActivated,
+  kDeactivated,
+  kRejected,  ///< admission or functional resolution failed this round
+  kEnabled,
+  kDisabled,
+};
+
+[[nodiscard]] constexpr const char* to_string(DrcrEventType type) {
+  switch (type) {
+    case DrcrEventType::kRegistered: return "REGISTERED";
+    case DrcrEventType::kUnregistered: return "UNREGISTERED";
+    case DrcrEventType::kActivated: return "ACTIVATED";
+    case DrcrEventType::kDeactivated: return "DEACTIVATED";
+    case DrcrEventType::kRejected: return "REJECTED";
+    case DrcrEventType::kEnabled: return "ENABLED";
+    case DrcrEventType::kDisabled: return "DISABLED";
+  }
+  return "?";
+}
+
+struct DrcrEvent {
+  SimTime when = 0;
+  DrcrEventType type = DrcrEventType::kRegistered;
+  std::string component;
+  std::string reason;
+};
+
+using DrcrListener = std::function<void(const DrcrEvent&)>;
+
+struct DrcrConfig {
+  /// Budget of the built-in internal resolving service (declared utilization
+  /// per CPU). Replaceable via set_internal_resolver().
+  double cpu_budget = 0.9;
+  /// Re-resolve automatically on every registration/bundle/resolver change.
+  bool auto_resolve = true;
+  /// Publish the DRCR handle in the service registry.
+  bool register_service = true;
+};
+
+class Drcr {
+ public:
+  /// Attaches to the framework (bundle listener + resolver tracker) and
+  /// scans bundles that are already active.
+  Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
+       DrcrConfig config = {});
+  ~Drcr();
+  Drcr(const Drcr&) = delete;
+  Drcr& operator=(const Drcr&) = delete;
+
+  // ------------------------------------------------------ registration ----
+  /// Registers a descriptor directly (tests, programmatic deployment). The
+  /// normal path is automatic via bundle descriptors.
+  Result<void> register_component(ComponentDescriptor descriptor,
+                                  BundleId owner = 0);
+  Result<void> unregister_component(const std::string& name);
+
+  /// The paper's enableRTComponent / disable counterpart.
+  Result<void> enable_component(const std::string& name);
+  Result<void> disable_component(const std::string& name);
+
+  /// Deploys a validated <drt:system> composition atomically: either every
+  /// member registers (followed by one resolution pass) or none does.
+  /// Member ownership is tracked so undeploy_system() removes exactly them.
+  Result<void> deploy_system(const SystemDescriptor& system,
+                             BundleId owner = 0);
+  Result<void> undeploy_system(const std::string& system_name);
+  [[nodiscard]] std::vector<std::string> deployed_systems() const;
+  [[nodiscard]] std::vector<std::string> system_members(
+      const std::string& system_name) const;
+
+  /// Runs resolution rounds until no further component can be activated,
+  /// then applies resolver revocations. Called automatically when
+  /// auto_resolve is on.
+  void resolve();
+
+  // ------------------------------------------------------ introspection ---
+  [[nodiscard]] std::optional<ComponentState> state_of(
+      const std::string& name) const;
+  /// The registered contract (nullptr when unknown).
+  [[nodiscard]] const ComponentDescriptor* descriptor_of(
+      const std::string& name) const;
+  /// The composition a deployed system was created from (nullptr when
+  /// unknown). Used by snapshots.
+  [[nodiscard]] const SystemDescriptor* system_of(
+      const std::string& system_name) const;
+  [[nodiscard]] std::string last_reason(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> component_names() const;
+  [[nodiscard]] std::size_t active_count() const;
+  /// The live hybrid instance (nullptr unless ACTIVE). Non-const: callers
+  /// legitimately send management commands through it.
+  [[nodiscard]] HybridComponent* instance_of(const std::string& name) const;
+  [[nodiscard]] SystemView system_view() const;
+
+  [[nodiscard]] const std::vector<DrcrEvent>& events() const {
+    return events_;
+  }
+  void clear_events() { events_.clear(); }
+  void add_listener(DrcrListener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+  // ------------------------------------------------------------ plumbing --
+  [[nodiscard]] ComponentFactoryRegistry& factories() { return factories_; }
+  [[nodiscard]] rtos::RtKernel& kernel() { return *kernel_; }
+  [[nodiscard]] osgi::Framework& framework() { return *framework_; }
+
+  /// Replaces the internal resolving service (default:
+  /// UtilizationBudgetResolver with config.cpu_budget).
+  void set_internal_resolver(std::unique_ptr<ResolvingService> resolver);
+  [[nodiscard]] ResolvingService& internal_resolver() {
+    return *internal_resolver_;
+  }
+
+ private:
+  struct ComponentRecord {
+    ComponentDescriptor descriptor;
+    BundleId owner = 0;
+    ComponentState state = ComponentState::kUnsatisfied;
+    std::string last_reason;
+    std::unique_ptr<HybridComponent> instance;
+    std::shared_ptr<HybridManagement> management;
+    osgi::ServiceRegistration management_registration;
+    std::uint64_t activation_order = 0;
+  };
+
+  void on_bundle_event(const osgi::BundleEvent& event);
+  void scan_bundle(const osgi::Bundle& bundle);
+  void remove_components_of(BundleId owner);
+
+  /// One resolution pass. Computes the largest activatable GROUP of
+  /// unsatisfied components — in-ports may be satisfied by active components
+  /// or by other group members, which is what makes feedback cycles
+  /// (controller <-> plant) deployable — admits it against the resolving
+  /// services, and activates it in two phases (prepare all out-ports, then
+  /// commit all tasks). Returns true when at least one component activated.
+  bool resolve_round();
+  /// Deactivates actives whose in-ports lost their provider, repeatedly.
+  void cascade_departures();
+  /// Applies ResolvingService::revoke results.
+  void apply_revocations();
+
+  /// `group` (optional) adds the out-ports of not-yet-active candidates to
+  /// the provider set.
+  [[nodiscard]] bool functional_satisfied(
+      const ComponentDescriptor& candidate, std::string* reason,
+      const std::vector<ComponentRecord*>* group = nullptr) const;
+  [[nodiscard]] Result<void> admission_check(
+      const ComponentDescriptor& candidate, const SystemView& view) const;
+  /// Registers the management service and emits ACTIVATED for a component
+  /// whose hybrid instance just committed.
+  void finalize_activation(ComponentRecord& record);
+  void deactivate(ComponentRecord& record, const std::string& reason);
+  void note_rejection(ComponentRecord& record, const std::string& reason);
+  [[nodiscard]] Result<std::unique_ptr<RtComponent>> instantiate(
+      const ComponentDescriptor& descriptor) const;
+
+  void emit(DrcrEventType type, const std::string& component,
+            std::string reason = {});
+
+  osgi::Framework* framework_;
+  rtos::RtKernel* kernel_;
+  DrcrConfig config_;
+  ComponentFactoryRegistry factories_;
+  std::unique_ptr<ResolvingService> internal_resolver_;
+  std::map<std::string, ComponentRecord> components_;
+  std::map<std::string, SystemDescriptor> systems_;  ///< deployed compositions
+  std::vector<DrcrEvent> events_;
+  std::vector<DrcrListener> listeners_;
+  std::unique_ptr<osgi::ServiceTracker> resolver_tracker_;
+  osgi::ListenerToken bundle_listener_token_ = 0;
+  osgi::ServiceRegistration self_registration_;
+  std::uint64_t next_activation_order_ = 1;
+  bool resolving_ = false;      ///< re-entrancy guard for resolve()
+  bool shutting_down_ = false;  ///< destructor in progress: no more resolution
+};
+
+/// Handle object published under kDrcrServiceInterface so other bundles can
+/// discover the runtime through the registry.
+struct DrcrHandle {
+  Drcr* drcr = nullptr;
+};
+
+}  // namespace drt::drcom

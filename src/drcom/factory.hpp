@@ -1,0 +1,101 @@
+// Component implementation binding.
+//
+// The paper instantiates implementation classes reflectively from the
+// descriptor's `bincode` (a Java fully-qualified class name). C++ has no
+// portable runtime class loading, so bundles register a factory for each
+// bincode they provide instead (see DESIGN.md, substitution table). The DRCR
+// looks the factory up at activation time — the same late binding, same
+// failure mode (activation fails when no provider is installed).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "rtos/subtask.hpp"
+#include "rtos/task.hpp"
+#include "util/result.hpp"
+
+namespace drt::drcom {
+
+class JobContext;
+
+/// Base class of real-time component implementations (the "standard object"
+/// of §3.1 whose methods define the RT task's functionality).
+class RtComponent {
+ public:
+  virtual ~RtComponent() = default;
+
+  /// The component's real-time behaviour, executed as an RT task coroutine.
+  /// Periodic components loop `while (job.active()) { ...; co_await
+  /// job.next_cycle(); }`; the framework handles management commands and
+  /// period waits inside next_cycle(). init/uninit hooks run around it but
+  /// are never exposed to other modules (§2.4).
+  virtual rtos::TaskCoro run(JobContext& job) = 0;
+
+  /// Non-real-time initialisation before the task starts. Kept out of the
+  /// management interface on purpose.
+  virtual void init(JobContext&) {}
+  /// Non-real-time teardown after the task is destroyed.
+  virtual void uninit() {}
+};
+
+using ComponentFactory = std::function<std::unique_ptr<RtComponent>()>;
+
+/// Service interface name for factories contributed through the OSGi service
+/// registry (alternative to direct registration); such services must carry a
+/// "drcom.bincode" string property.
+inline constexpr const char* kFactoryServiceInterface =
+    "drcom.ComponentFactory";
+
+/// A factory service object published in the registry.
+struct ComponentFactoryService {
+  ComponentFactory create;
+};
+
+/// bincode -> factory map. One per DRCR.
+class ComponentFactoryRegistry {
+ public:
+  /// Registers a factory; overwrites silently (bundle update semantics).
+  void register_factory(std::string bincode, ComponentFactory factory) {
+    factories_[std::move(bincode)] = std::move(factory);
+  }
+
+  bool unregister_factory(std::string_view bincode) {
+    const auto found = factories_.find(std::string(bincode));
+    if (found == factories_.end()) return false;
+    factories_.erase(found);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(std::string_view bincode) const {
+    return factories_.contains(std::string(bincode));
+  }
+
+  /// Instantiates the implementation class for `bincode`.
+  [[nodiscard]] Result<std::unique_ptr<RtComponent>> create(
+      std::string_view bincode) const {
+    const auto found = factories_.find(std::string(bincode));
+    if (found == factories_.end()) {
+      return make_error("drcom.no_factory",
+                        "no implementation registered for bincode '" +
+                            std::string(bincode) + "'");
+    }
+    auto instance = found->second();
+    if (instance == nullptr) {
+      return make_error("drcom.factory_failed",
+                        "factory for '" + std::string(bincode) +
+                            "' returned null");
+    }
+    return instance;
+  }
+
+  [[nodiscard]] std::size_t size() const { return factories_.size(); }
+
+ private:
+  std::map<std::string, ComponentFactory> factories_;
+};
+
+}  // namespace drt::drcom

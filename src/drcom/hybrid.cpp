@@ -1,0 +1,525 @@
+#include "drcom/hybrid.hpp"
+
+#include <sstream>
+
+#include "util/logging.hpp"
+#include "util/strings.hpp"
+
+namespace drt::drcom {
+namespace {
+
+/// Suffixes for the intra-component command channel. Derived names may exceed
+/// the six-character descriptor limit — the limit applies to descriptor-level
+/// names (task + ports), not to kernel-internal objects.
+std::string command_mailbox_name(const std::string& component) {
+  return component + ".cmd";
+}
+std::string response_mailbox_name(const std::string& component) {
+  return component + ".rsp";
+}
+
+constexpr std::size_t kChannelCapacity = 16;
+
+/// CPU cost of the end-of-job command-mailbox poll (§3.2). This is the only
+/// real-time overhead the declarative wrapper adds to a component's job —
+/// the reason Table 1 finds HRC ~ pure RTAI.
+constexpr SimDuration kCommandPollCost = 150;  // ns
+
+}  // namespace
+
+// ------------------------------------------------------------ JobContext --
+
+JobContext::JobContext(HybridComponent& owner, rtos::TaskContext& task)
+    : owner_(&owner), task_(&task) {}
+
+bool JobContext::active() const { return !task_->stop_requested(); }
+
+SimTime JobContext::now() const { return task_->now(); }
+
+const ComponentDescriptor& JobContext::descriptor() const {
+  return owner_->descriptor_;
+}
+
+rtos::SubTask<> JobContext::next_cycle() {
+  // The poll itself costs real-time budget (a mailbox check per job).
+  co_await task_->consume(kCommandPollCost);
+  owner_->drain_commands();
+  // Soft suspension (§2.4 suspend): park on the command mailbox so that the
+  // task consumes zero CPU and skips its releases until RESUME arrives.
+  bool was_suspended = false;
+  while (owner_->soft_suspended_ && active()) {
+    was_suspended = true;
+    auto message = co_await task_->receive(*owner_->command_mailbox_);
+    if (message.has_value()) {
+      owner_->handle_command(rtos::message_to_string(*message));
+    }
+  }
+  if (!active()) co_return;
+  if (owner_->descriptor_.type == rtos::TaskType::kPeriodic) {
+    if (was_suspended) {
+      // Do not replay releases missed during suspension as overruns.
+      (void)task_->skip_missed_periods();
+    }
+    co_await task_->wait_next_period();
+  }
+}
+
+namespace {
+/// While parked between events, the RT side re-checks its command mailbox at
+/// this interval (a trigger-mailbox wait cannot also observe the command
+/// mailbox). Bounds the reaction time to SUSPEND/SET for idle event-driven
+/// components without burning meaningful CPU (one poll costs ~150 ns).
+constexpr SimDuration kSporadicManagementPoll = milliseconds(10);
+}  // namespace
+
+rtos::SubTask<std::optional<rtos::Message>> JobContext::next_event() {
+  for (;;) {
+    co_await task_->consume(kCommandPollCost);
+    owner_->drain_commands();
+    while (owner_->soft_suspended_ && active()) {
+      auto command = co_await task_->receive(*owner_->command_mailbox_);
+      if (command.has_value()) {
+        owner_->handle_command(rtos::message_to_string(*command));
+      }
+    }
+    if (!active()) co_return std::nullopt;
+    // Enforce the sporadic contract: never start processing two events
+    // closer than the declared minimum inter-arrival (early arrivals queue
+    // in the trigger mailbox).
+    if (owner_->descriptor_.sporadic.has_value() && owner_->has_last_event_) {
+      const SimTime earliest =
+          owner_->last_event_time_ +
+          owner_->descriptor_.sporadic->min_interarrival;
+      if (now() < earliest) {
+        co_await task_->sleep_until(earliest);
+      }
+    }
+    rtos::Mailbox* trigger = owner_->trigger_mailbox();
+    if (trigger == nullptr) co_return std::nullopt;
+    auto message =
+        co_await task_->receive_timed(*trigger, kSporadicManagementPoll);
+    if (message.has_value()) {
+      owner_->last_event_time_ = now();
+      owner_->has_last_event_ = true;
+      co_return message;
+    }
+    // Timed out: loop to service the management channel, then wait again.
+  }
+}
+
+rtos::Mailbox* HybridComponent::trigger_mailbox() const {
+  const std::string* trigger_name = nullptr;
+  if (descriptor_.sporadic.has_value() &&
+      !descriptor_.sporadic->trigger_port.empty()) {
+    trigger_name = &descriptor_.sporadic->trigger_port;
+  }
+  for (const PortSpec* inport : descriptor_.inports()) {
+    if (inport->interface != PortInterface::kMailbox) continue;
+    if (trigger_name == nullptr || inport->name == *trigger_name) {
+      return kernel_->mailbox_find(inport->name);
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+const PortSpec* checked_port(const ComponentDescriptor& descriptor,
+                             std::string_view name, PortDirection direction,
+                             PortInterface interface) {
+  const PortSpec* port = descriptor.find_port(name);
+  if (port == nullptr || port->direction != direction ||
+      port->interface != interface) {
+    return nullptr;
+  }
+  return port;
+}
+
+}  // namespace
+
+rtos::Shm* JobContext::in_shm(std::string_view port) const {
+  const auto* spec = checked_port(owner_->descriptor_, port, PortDirection::kIn,
+                                  PortInterface::kShm);
+  return spec == nullptr ? nullptr : owner_->kernel_->shm_find(spec->name);
+}
+
+rtos::Shm* JobContext::out_shm(std::string_view port) const {
+  const auto* spec = checked_port(owner_->descriptor_, port,
+                                  PortDirection::kOut, PortInterface::kShm);
+  return spec == nullptr ? nullptr : owner_->kernel_->shm_find(spec->name);
+}
+
+rtos::Mailbox* JobContext::in_mailbox(std::string_view port) const {
+  const auto* spec = checked_port(owner_->descriptor_, port, PortDirection::kIn,
+                                  PortInterface::kMailbox);
+  return spec == nullptr ? nullptr : owner_->kernel_->mailbox_find(spec->name);
+}
+
+rtos::Mailbox* JobContext::out_mailbox(std::string_view port) const {
+  const auto* spec = checked_port(owner_->descriptor_, port,
+                                  PortDirection::kOut, PortInterface::kMailbox);
+  return spec == nullptr ? nullptr : owner_->kernel_->mailbox_find(spec->name);
+}
+
+bool JobContext::write_i32(std::string_view out_port, std::size_t index,
+                           std::int32_t value) {
+  rtos::Shm* shm = out_shm(out_port);
+  return shm != nullptr && shm->write_i32(index, value, now());
+}
+
+std::optional<std::int32_t> JobContext::read_i32(std::string_view in_port,
+                                                 std::size_t index) const {
+  const rtos::Shm* shm = in_shm(in_port);
+  return shm == nullptr ? std::nullopt : shm->read_i32(index);
+}
+
+bool JobContext::write_bytes(std::string_view out_port, std::size_t offset,
+                             std::span<const std::byte> bytes) {
+  rtos::Shm* shm = out_shm(out_port);
+  return shm != nullptr && shm->write(offset, bytes, now());
+}
+
+bool JobContext::send(std::string_view out_port, rtos::Message message) {
+  rtos::Mailbox* mailbox = out_mailbox(out_port);
+  return mailbox != nullptr &&
+         owner_->kernel_->mailbox_send(*mailbox, std::move(message));
+}
+
+rtos::detail::ReceiveAwaiter JobContext::receive(std::string_view in_port) {
+  rtos::Mailbox* mailbox = in_mailbox(in_port);
+  // A receive on an undeclared port is a programming error; fail loudly via
+  // an exception into the task body rather than blocking forever.
+  if (mailbox == nullptr) {
+    throw std::logic_error("receive on unknown/undeclared in-port '" +
+                           std::string(in_port) + "' of component '" +
+                           owner_->descriptor_.name + "'");
+  }
+  return task_->receive(*mailbox);
+}
+
+std::optional<std::string> JobContext::property(std::string_view key) const {
+  const auto* value = owner_->live_properties_.get(key);
+  if (value == nullptr) return std::nullopt;
+  return osgi::to_string(*value);
+}
+
+std::optional<std::int64_t> JobContext::property_int(
+    std::string_view key) const {
+  return owner_->live_properties_.get_int(key);
+}
+
+// ------------------------------------------------------- HybridComponent --
+
+HybridComponent::HybridComponent(ComponentDescriptor descriptor,
+                                 rtos::RtKernel& kernel,
+                                 std::unique_ptr<RtComponent> implementation)
+    : descriptor_(std::move(descriptor)), kernel_(&kernel),
+      implementation_(std::move(implementation)),
+      live_properties_(descriptor_.properties) {}
+
+HybridComponent::~HybridComponent() { deactivate(); }
+
+Result<void> HybridComponent::activate() {
+  if (active_) return Result<void>::success();
+  if (auto prepared = prepare(); !prepared.ok()) return prepared;
+  return commit();
+}
+
+Result<void> HybridComponent::prepare() {
+  if (prepared_ || active_) return Result<void>::success();
+  if (implementation_ == nullptr) {
+    return make_error("drcom.no_implementation",
+                      "component '" + descriptor_.name +
+                          "' has no implementation instance");
+  }
+
+  // 1. Create the out-ports this component provides.
+  for (const auto* port : descriptor_.outports()) {
+    if (port->interface == PortInterface::kShm) {
+      auto shm = kernel_->shm_create(port->name, port->byte_size());
+      if (!shm.ok()) {
+        rollback_ipc();
+        return make_error("drcom.port_conflict",
+                          "outport '" + port->name + "' of '" +
+                              descriptor_.name +
+                              "': " + shm.error().message);
+      }
+      owned_shms_.push_back(port->name);
+    } else {
+      auto mailbox = kernel_->mailbox_create(port->name, port->size);
+      if (!mailbox.ok()) {
+        rollback_ipc();
+        return make_error("drcom.port_conflict",
+                          "outport '" + port->name + "' of '" +
+                              descriptor_.name +
+                              "': " + mailbox.error().message);
+      }
+      owned_mailboxes_.push_back(port->name);
+    }
+  }
+
+  // 1b. A sporadic component owns its trigger inbox (unless some other
+  //     component already provides a mailbox of that name).
+  if (const PortSpec* trigger = descriptor_.trigger_inport();
+      trigger != nullptr && kernel_->mailbox_find(trigger->name) == nullptr) {
+    auto mailbox = kernel_->mailbox_create(trigger->name, trigger->size);
+    if (!mailbox.ok()) {
+      rollback_ipc();
+      return mailbox.error();
+    }
+    owned_mailboxes_.push_back(trigger->name);
+  }
+
+  // 2. The intra-component command channel (§3.2).
+  auto cmd = kernel_->mailbox_create(command_mailbox_name(descriptor_.name),
+                                     kChannelCapacity);
+  if (!cmd.ok()) {
+    rollback_ipc();
+    return cmd.error();
+  }
+  command_mailbox_ = cmd.value();
+  owned_mailboxes_.push_back(command_mailbox_->name());
+  auto rsp = kernel_->mailbox_create(response_mailbox_name(descriptor_.name),
+                                     kChannelCapacity);
+  if (!rsp.ok()) {
+    rollback_ipc();
+    return rsp.error();
+  }
+  response_mailbox_ = rsp.value();
+  owned_mailboxes_.push_back(response_mailbox_->name());
+
+  prepared_ = true;
+  return Result<void>::success();
+}
+
+Result<void> HybridComponent::commit() {
+  if (active_) return Result<void>::success();
+  if (!prepared_) {
+    return make_error("drcom.not_prepared",
+                      "commit() before prepare() on '" + descriptor_.name +
+                          "'");
+  }
+
+  // 3. Mandatory in-ports must exist by now — their providers are either
+  //    active or prepared members of the same activation group. Optional
+  //    in-ports may be absent; the component reads them as nullptr.
+  for (const auto* port : descriptor_.inports()) {
+    if (port->optional) continue;
+    const bool present = port->interface == PortInterface::kShm
+                             ? kernel_->shm_find(port->name) != nullptr
+                             : kernel_->mailbox_find(port->name) != nullptr;
+    if (!present) {
+      prepared_ = false;
+      rollback_ipc();
+      return make_error("drcom.unresolved_inport",
+                        "inport '" + port->name + "' of '" + descriptor_.name +
+                            "' has no provider");
+    }
+  }
+
+  // 4. Create and release the RT task.
+  rtos::TaskParams params;
+  params.name = descriptor_.name;
+  params.type = descriptor_.type;
+  if (descriptor_.periodic.has_value()) {
+    params.priority = descriptor_.periodic->priority;
+    params.cpu = descriptor_.periodic->run_on_cpu;
+    params.period = descriptor_.periodic->period();
+    params.deadline = descriptor_.periodic->deadline;
+  } else if (descriptor_.sporadic.has_value()) {
+    params.priority = descriptor_.sporadic->priority;
+    params.cpu = descriptor_.sporadic->run_on_cpu;
+    // The kernel schedules sporadics as event-driven tasks; the MIT contract
+    // is enforced by JobContext::next_event.
+  }
+  auto task = kernel_->create_task(
+      std::move(params), [this](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        job_context_ = std::make_unique<JobContext>(*this, ctx);
+        implementation_->init(*job_context_);
+        return implementation_->run(*job_context_);
+      });
+  if (!task.ok()) {
+    prepared_ = false;
+    rollback_ipc();
+    return task.error();
+  }
+  task_id_ = task.value();
+  auto started = kernel_->start_task(task_id_);
+  if (!started.ok()) {
+    (void)kernel_->delete_task(task_id_);
+    task_id_ = 0;
+    prepared_ = false;
+    rollback_ipc();
+    return started;
+  }
+  soft_suspended_ = false;
+  active_ = true;
+  log::Line(log::Level::kInfo, "drcom", kernel_->now())
+      << "activated component '" << descriptor_.name << "' (task #" << task_id_
+      << ")";
+  return Result<void>::success();
+}
+
+void HybridComponent::deactivate() {
+  if (!active_) {
+    // A prepared-but-uncommitted component (failed group activation) still
+    // owns IPC objects.
+    if (prepared_) {
+      prepared_ = false;
+      rollback_ipc();
+    }
+    return;
+  }
+  active_ = false;
+  prepared_ = false;
+  if (task_id_ != 0) {
+    (void)kernel_->request_stop(task_id_);
+    (void)kernel_->delete_task(task_id_);
+    task_id_ = 0;
+  }
+  if (implementation_ != nullptr) implementation_->uninit();
+  job_context_.reset();
+  rollback_ipc();
+  soft_suspended_ = false;
+  log::Line(log::Level::kInfo, "drcom", kernel_->now())
+      << "deactivated component '" << descriptor_.name << "'";
+}
+
+Result<void> HybridComponent::send_command(const std::string& command) {
+  if (!active_ || command_mailbox_ == nullptr) {
+    return make_error("drcom.not_active",
+                      "component '" + descriptor_.name + "' is not active");
+  }
+  if (!kernel_->mailbox_send(*command_mailbox_,
+                             rtos::message_from_string(command))) {
+    return make_error("drcom.channel_full",
+                      "command channel of '" + descriptor_.name +
+                          "' is full (command dropped)");
+  }
+  return Result<void>::success();
+}
+
+std::optional<std::string> HybridComponent::live_property(
+    const std::string& key) const {
+  const auto* value = live_properties_.get(key);
+  if (value == nullptr) return std::nullopt;
+  return osgi::to_string(*value);
+}
+
+ComponentStatus HybridComponent::status() const {
+  ComponentStatus status;
+  status.component = descriptor_.name;
+  status.soft_suspended = soft_suspended_;
+  status.sampled_at = kernel_->now();
+  if (const rtos::Task* task = kernel_->find_task(task_id_)) {
+    status.task_state = task->state;
+    status.stats = task->stats;
+    status.latency = task->latency.summary();
+    if (task->error != nullptr) {
+      status.failed = true;
+      try {
+        std::rethrow_exception(task->error);
+      } catch (const std::exception& e) {
+        status.failure = e.what();
+      } catch (...) {
+        status.failure = "unknown exception";
+      }
+    }
+  }
+  return status;
+}
+
+std::vector<std::string> HybridComponent::drain_responses() {
+  std::vector<std::string> out;
+  if (response_mailbox_ == nullptr) return out;
+  while (auto message = kernel_->mailbox_try_receive(*response_mailbox_)) {
+    out.push_back(rtos::message_to_string(*message));
+  }
+  return out;
+}
+
+void HybridComponent::drain_commands() {
+  if (command_mailbox_ == nullptr) return;
+  while (auto message = kernel_->mailbox_try_receive(*command_mailbox_)) {
+    handle_command(rtos::message_to_string(*message));
+  }
+}
+
+void HybridComponent::handle_command(const std::string& command) {
+  const auto trimmed = std::string(str::trim(command));
+  if (trimmed == "SUSPEND") {
+    soft_suspended_ = true;
+    respond("OK SUSPEND");
+  } else if (trimmed == "RESUME") {
+    soft_suspended_ = false;
+    respond("OK RESUME");
+  } else if (trimmed == "STATUS") {
+    std::ostringstream out;
+    out << "STATUS " << descriptor_.name << " suspended="
+        << (soft_suspended_ ? "true" : "false");
+    respond(out.str());
+  } else if (trimmed == "STOP") {
+    (void)kernel_->request_stop(task_id_);
+    respond("OK STOP");
+  } else if (str::starts_with(trimmed, "SET ")) {
+    const auto rest = std::string(str::trim(trimmed.substr(4)));
+    const auto space = rest.find(' ');
+    if (space == std::string::npos) {
+      respond("ERR SET needs key and value");
+      return;
+    }
+    const std::string key = rest.substr(0, space);
+    const std::string value = std::string(str::trim(rest.substr(space + 1)));
+    // Preserve the declared type of an existing property where possible.
+    if (const auto* existing = live_properties_.get(key);
+        existing != nullptr && std::holds_alternative<std::int64_t>(*existing)) {
+      if (const auto parsed = str::parse_int(value)) {
+        live_properties_.set(key, *parsed);
+        respond("OK SET " + key);
+        return;
+      }
+      respond("ERR SET " + key + ": expected integer");
+      return;
+    } else if (existing != nullptr &&
+               std::holds_alternative<double>(*existing)) {
+      if (const auto parsed = str::parse_double(value)) {
+        live_properties_.set(key, *parsed);
+        respond("OK SET " + key);
+        return;
+      }
+      respond("ERR SET " + key + ": expected number");
+      return;
+    } else if (existing != nullptr && std::holds_alternative<bool>(*existing)) {
+      if (const auto parsed = str::parse_bool(value)) {
+        live_properties_.set(key, *parsed);
+        respond("OK SET " + key);
+        return;
+      }
+      respond("ERR SET " + key + ": expected boolean");
+      return;
+    }
+    live_properties_.set(key, value);
+    respond("OK SET " + key);
+  } else {
+    respond("ERR unknown command: " + trimmed);
+  }
+}
+
+void HybridComponent::respond(const std::string& response) {
+  if (response_mailbox_ == nullptr) return;
+  // Best effort: a full response mailbox drops the acknowledgement; the
+  // command itself has already been applied (asynchronous contract).
+  (void)kernel_->mailbox_send(*response_mailbox_,
+                              rtos::message_from_string(response));
+}
+
+void HybridComponent::rollback_ipc() {
+  for (const auto& name : owned_shms_) (void)kernel_->shm_delete(name);
+  for (const auto& name : owned_mailboxes_) (void)kernel_->mailbox_delete(name);
+  owned_shms_.clear();
+  owned_mailboxes_.clear();
+  command_mailbox_ = nullptr;
+  response_mailbox_ = nullptr;
+}
+
+}  // namespace drt::drcom

@@ -1,0 +1,207 @@
+// Hybrid Real-time Component (paper §3.1) and the RT-side job facade.
+//
+// Each activated DRCom instance is split exactly as Figure 3 shows:
+//
+//   * a real-time part — an RT task on the simulated RTAI kernel, whose
+//     behaviour is the user's RtComponent::run coroutine, restricted to its
+//     declared in/out ports for communication;
+//   * a non-real-time management part — the RtComponentManagement service
+//     (management.hpp) registered in the OSGi registry.
+//
+// The two halves communicate over an asynchronous command mailbox (§3.2):
+// the RT task drains pending commands at each job boundary inside
+// JobContext::next_cycle() and NEVER blocks waiting for the non-RT side —
+// except when soft-suspended, in which case blocking on the command mailbox
+// is precisely the suspension.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "drcom/descriptor.hpp"
+#include "drcom/factory.hpp"
+#include "drcom/management.hpp"
+#include "rtos/kernel.hpp"
+#include "rtos/subtask.hpp"
+#include "util/result.hpp"
+
+namespace drt::drcom {
+
+class HybridComponent;
+
+/// RT-side facade handed to RtComponent::run. Wraps the kernel TaskContext
+/// with port-scoped IPC (a component may only touch its declared ports) and
+/// the management-command processing the framework performs on the
+/// component's behalf.
+class JobContext {
+ public:
+  JobContext(HybridComponent& owner, rtos::TaskContext& task);
+
+  /// False once the DRCR requested the component to stop; user loops must
+  /// check it each cycle.
+  [[nodiscard]] bool active() const;
+  [[nodiscard]] SimTime now() const;
+  [[nodiscard]] const ComponentDescriptor& descriptor() const;
+  [[nodiscard]] rtos::TaskContext& task() { return *task_; }
+
+  // --- CPU demand & blocking (forwarders to the kernel awaiters) ---
+  [[nodiscard]] rtos::detail::ConsumeAwaiter consume(SimDuration amount) {
+    return task_->consume(amount);
+  }
+  [[nodiscard]] rtos::detail::SleepAwaiter sleep_for(SimDuration amount) {
+    return task_->sleep_for(amount);
+  }
+
+  /// End-of-job processing: drains management commands, parks the task while
+  /// soft-suspended, and (for periodic components) waits for the next
+  /// release. THE one call every periodic component makes per cycle.
+  [[nodiscard]] rtos::SubTask<> next_cycle();
+
+  /// Sporadic/event-driven counterpart of next_cycle(): drains commands,
+  /// honours soft suspension, enforces the declared minimum inter-arrival
+  /// time, then blocks for the next message on the trigger port. Returns
+  /// nullopt when the component should stop (or the trigger vanished).
+  [[nodiscard]] rtos::SubTask<std::optional<rtos::Message>> next_event();
+
+  // --- ports (restricted to the component's declared ports) ---
+  [[nodiscard]] rtos::Shm* in_shm(std::string_view port) const;
+  [[nodiscard]] rtos::Shm* out_shm(std::string_view port) const;
+  [[nodiscard]] rtos::Mailbox* in_mailbox(std::string_view port) const;
+  [[nodiscard]] rtos::Mailbox* out_mailbox(std::string_view port) const;
+
+  /// Typed conveniences (no-ops returning false/nullopt on bad port).
+  bool write_i32(std::string_view out_port, std::size_t index,
+                 std::int32_t value);
+  [[nodiscard]] std::optional<std::int32_t> read_i32(std::string_view in_port,
+                                                     std::size_t index) const;
+  bool write_bytes(std::string_view out_port, std::size_t offset,
+                   std::span<const std::byte> bytes);
+  bool send(std::string_view out_port, rtos::Message message);
+  [[nodiscard]] rtos::detail::ReceiveAwaiter receive(std::string_view in_port);
+
+  // --- live component properties (updated by SET commands) ---
+  [[nodiscard]] std::optional<std::string> property(
+      std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> property_int(
+      std::string_view key) const;
+
+ private:
+  friend class HybridComponent;
+  HybridComponent* owner_;
+  rtos::TaskContext* task_;
+};
+
+/// One activated component instance: descriptor + implementation + RT task +
+/// management channel + owned IPC objects. Created and destroyed exclusively
+/// by the DRCR (lifecycle ownership, §2.2).
+class HybridComponent {
+ public:
+  HybridComponent(ComponentDescriptor descriptor, rtos::RtKernel& kernel,
+                  std::unique_ptr<RtComponent> implementation);
+  ~HybridComponent();
+  HybridComponent(const HybridComponent&) = delete;
+  HybridComponent& operator=(const HybridComponent&) = delete;
+
+  /// Creates out-ports, the command channel and the RT task, runs init, and
+  /// releases the task. Rolls everything back on failure. Equivalent to
+  /// prepare() + commit().
+  [[nodiscard]] Result<void> activate();
+
+  /// Phase 1 of activation: creates this component's out-ports and command
+  /// channel only. Used by the DRCR's group activation so that mutually
+  /// dependent components (feedback cycles) can all publish their ports
+  /// before any in-port is checked.
+  [[nodiscard]] Result<void> prepare();
+
+  /// Phase 2: verifies in-ports exist, creates and releases the RT task.
+  /// Requires a successful prepare(); rolls the component back on failure.
+  [[nodiscard]] Result<void> commit();
+
+  /// Destroys the RT task (coroutine frame included), runs uninit, removes
+  /// owned IPC. Idempotent.
+  void deactivate();
+
+  [[nodiscard]] bool is_active() const { return active_; }
+  [[nodiscard]] const ComponentDescriptor& descriptor() const {
+    return descriptor_;
+  }
+  [[nodiscard]] TaskId task_id() const { return task_id_; }
+  [[nodiscard]] bool soft_suspended() const { return soft_suspended_; }
+
+  /// Non-RT side: queues a textual command on the asynchronous channel
+  /// ("SUSPEND", "RESUME", "SET <key> <value>", "STATUS", "STOP").
+  [[nodiscard]] Result<void> send_command(const std::string& command);
+
+  /// Non-RT side: live property value (string rendering).
+  [[nodiscard]] std::optional<std::string> live_property(
+      const std::string& key) const;
+
+  /// Non-RT side: status snapshot assembled from the kernel task state and
+  /// the RT-side flags.
+  [[nodiscard]] ComponentStatus status() const;
+
+  /// Drains the response mailbox (acknowledgements the RT side emitted);
+  /// returns the messages in order. Mostly useful to tests.
+  [[nodiscard]] std::vector<std::string> drain_responses();
+
+ private:
+  friend class JobContext;
+
+  void drain_commands();
+  void handle_command(const std::string& command);
+  void respond(const std::string& response);
+  void rollback_ipc();
+
+  ComponentDescriptor descriptor_;
+  rtos::RtKernel* kernel_;
+  std::unique_ptr<RtComponent> implementation_;
+  std::unique_ptr<JobContext> job_context_;
+  TaskId task_id_ = 0;
+  rtos::Mailbox* command_mailbox_ = nullptr;
+  rtos::Mailbox* response_mailbox_ = nullptr;
+  std::vector<std::string> owned_shms_;
+  std::vector<std::string> owned_mailboxes_;
+  osgi::Properties live_properties_;
+  bool soft_suspended_ = false;
+  bool prepared_ = false;
+  bool active_ = false;
+  // Sporadic bookkeeping (JobContext::next_event).
+  SimTime last_event_time_ = 0;
+  bool has_last_event_ = false;
+
+  /// The mailbox releasing a sporadic component (declared trigger, or its
+  /// first Mailbox in-port).
+  [[nodiscard]] rtos::Mailbox* trigger_mailbox() const;
+};
+
+/// The management-service implementation the DRCR registers per active
+/// component (non-RT half of the split).
+class HybridManagement : public RtComponentManagement {
+ public:
+  explicit HybridManagement(HybridComponent& hybrid) : hybrid_(&hybrid) {}
+
+  [[nodiscard]] const std::string& component_name() const override {
+    return hybrid_->descriptor().name;
+  }
+  Result<void> suspend() override { return hybrid_->send_command("SUSPEND"); }
+  Result<void> resume() override { return hybrid_->send_command("RESUME"); }
+  Result<void> set_property(const std::string& key,
+                            const std::string& value) override {
+    return hybrid_->send_command("SET " + key + " " + value);
+  }
+  [[nodiscard]] std::optional<std::string> get_property(
+      const std::string& key) const override {
+    return hybrid_->live_property(key);
+  }
+  [[nodiscard]] ComponentStatus get_status() const override {
+    return hybrid_->status();
+  }
+
+ private:
+  HybridComponent* hybrid_;
+};
+
+}  // namespace drt::drcom

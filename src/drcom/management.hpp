@@ -1,0 +1,65 @@
+// The general real-time component management interface (paper §2.4).
+//
+// Every compatible real-time component exposes this interface; the DRCR
+// registers it in the OSGi service registry together with the component's
+// properties, so any module can discover a component and participate in
+// dynamic reconfiguration. Kept deliberately small, exactly as the paper
+// prescribes: suspend, resume, get/set properties, get status.
+//
+// Note (§2.4): init and uninit exist on the implementation but are NOT part
+// of this interface — lifecycle is owned exclusively by the DRCR so its
+// global view stays accurate.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "rtos/task.hpp"
+#include "util/result.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace drt::drcom {
+
+/// Service interface name under which management services are registered.
+inline constexpr const char* kManagementInterface =
+    "drcom.RtComponentManagement";
+
+/// Snapshot returned by get_status().
+struct ComponentStatus {
+  std::string component;
+  rtos::TaskState task_state = rtos::TaskState::kCreated;
+  bool soft_suspended = false;  ///< suspended through the command channel
+  /// True when the real-time body terminated with an escaped exception; the
+  /// diagnostic (what()) is in `failure`. Adaptation managers key off this.
+  bool failed = false;
+  std::string failure;
+  rtos::TaskStats stats;
+  StatSummary latency;   ///< release-latency summary so far
+  SimTime sampled_at = 0;
+};
+
+class RtComponentManagement {
+ public:
+  virtual ~RtComponentManagement() = default;
+
+  [[nodiscard]] virtual const std::string& component_name() const = 0;
+
+  /// Requests suspension through the asynchronous command channel; takes
+  /// effect at the end of the component's current job (§3.2).
+  virtual Result<void> suspend() = 0;
+  virtual Result<void> resume() = 0;
+
+  /// Updates a component property; delivered asynchronously and applied by
+  /// the real-time side at its next job boundary.
+  virtual Result<void> set_property(const std::string& key,
+                                    const std::string& value) = 0;
+
+  /// Reads a component property (live value, including RT-side updates).
+  [[nodiscard]] virtual std::optional<std::string> get_property(
+      const std::string& key) const = 0;
+
+  [[nodiscard]] virtual ComponentStatus get_status() const = 0;
+};
+
+}  // namespace drt::drcom

@@ -1,0 +1,165 @@
+#include "drcom/resolver.hpp"
+
+#include <sstream>
+
+namespace drt::drcom {
+
+Result<void> UtilizationBudgetResolver::admit(
+    const ComponentDescriptor& candidate, const SystemView& view) {
+  const CpuId cpu = candidate.target_cpu();
+  const double current = view.declared_utilization(cpu);
+  if (current + candidate.cpu_usage > budget_ + 1e-12) {
+    std::ostringstream reason;
+    reason << "cpu " << cpu << " budget exceeded: " << current << " + "
+           << candidate.cpu_usage << " > " << budget_;
+    return make_error("drcom.admission_rejected", reason.str());
+  }
+  return Result<void>::success();
+}
+
+std::vector<std::string> UtilizationBudgetResolver::revoke(
+    const SystemView& view) {
+  // If the budget shrank below the active set's demand, shed the most
+  // recently activated components first (the view lists them in activation
+  // order) until every CPU fits again.
+  std::vector<std::string> revoked;
+  for (CpuId cpu = 0; cpu < view.cpu_count; ++cpu) {
+    double total = view.declared_utilization(cpu);
+    if (total <= budget_ + 1e-12) continue;
+    for (auto it = view.active.rbegin();
+         it != view.active.rend() && total > budget_ + 1e-12; ++it) {
+      const ComponentDescriptor* descriptor = *it;
+      if (descriptor->target_cpu() != cpu) continue;
+      revoked.push_back(descriptor->name);
+      total -= descriptor->cpu_usage;
+    }
+  }
+  return revoked;
+}
+
+namespace {
+
+/// True for components with a recurring real-time contract — periodic, or
+/// sporadic (analysed as periodic with T = MIT).
+bool has_recurring_contract(const ComponentDescriptor& descriptor) {
+  return descriptor.type == rtos::TaskType::kPeriodic ||
+         descriptor.type == rtos::TaskType::kSporadic;
+}
+
+}  // namespace
+
+Result<void> RateMonotonicResolver::admit(const ComponentDescriptor& candidate,
+                                          const SystemView& view) {
+  if (!has_recurring_contract(candidate)) {
+    return Result<void>::success();
+  }
+  const CpuId cpu = candidate.target_cpu();
+  double total = candidate.cpu_usage;
+  std::size_t n = 1;
+  for (const auto* descriptor : view.active) {
+    if (!has_recurring_contract(*descriptor)) continue;
+    if (descriptor->target_cpu() != cpu) continue;
+    total += descriptor->cpu_usage;
+    ++n;
+  }
+  const double bound = bound_for(n);
+  if (total > bound + 1e-12) {
+    std::ostringstream reason;
+    reason << "RM bound violated on cpu " << cpu << ": U=" << total << " > "
+           << bound << " (n=" << n << ")";
+    return make_error("drcom.admission_rejected", reason.str());
+  }
+  return Result<void>::success();
+}
+
+SimTime ResponseTimeResolver::response_time(
+    SimDuration cost, SimTime deadline,
+    const std::vector<std::pair<SimDuration, SimDuration>>& interferers) {
+  SimTime response = cost;
+  for (int iteration = 0; iteration < 1'000; ++iteration) {
+    SimTime next = cost;
+    for (const auto& [other_cost, other_period] : interferers) {
+      // ceil(response / period) * cost, in integer arithmetic.
+      const SimTime jobs = (response + other_period - 1) / other_period;
+      next += jobs * other_cost;
+    }
+    if (next == response) return response;  // fixpoint
+    if (next > deadline) return kSimTimeNever;  // already infeasible
+    response = next;
+  }
+  return kSimTimeNever;  // did not converge (treat as infeasible)
+}
+
+Result<void> ResponseTimeResolver::admit(const ComponentDescriptor& candidate,
+                                         const SystemView& view) {
+  if (!has_recurring_contract(candidate)) {
+    return Result<void>::success();
+  }
+  const CpuId cpu = candidate.target_cpu();
+
+  struct Entry {
+    const ComponentDescriptor* descriptor;
+    SimDuration period;
+    SimDuration cost;
+    int priority;
+    SimTime deadline;
+  };
+  std::vector<Entry> tasks;
+  auto add = [&](const ComponentDescriptor& descriptor) {
+    Entry entry;
+    entry.descriptor = &descriptor;
+    if (descriptor.periodic.has_value()) {
+      entry.period = descriptor.periodic->period();
+      entry.priority = descriptor.periodic->priority;
+      entry.deadline = descriptor.periodic->effective_deadline();
+    } else {
+      // Sporadic: worst case is periodic arrival at the MIT.
+      entry.period = descriptor.sporadic->min_interarrival;
+      entry.priority = descriptor.sporadic->priority;
+      entry.deadline = descriptor.sporadic->min_interarrival;
+    }
+    entry.cost = static_cast<SimDuration>(
+                     descriptor.cpu_usage * static_cast<double>(entry.period)) +
+                 per_job_overhead_;
+    tasks.push_back(entry);
+  };
+  for (const auto* descriptor : view.active) {
+    if (has_recurring_contract(*descriptor) &&
+        descriptor->target_cpu() == cpu) {
+      add(*descriptor);
+    }
+  }
+  add(candidate);
+
+  // Check every task (the candidate interferes with existing lower-priority
+  // tasks too — admitting it must not break deployed contracts, §2.2).
+  for (const Entry& task : tasks) {
+    std::vector<std::pair<SimDuration, SimDuration>> interferers;
+    for (const Entry& other : tasks) {
+      if (&other == &task) continue;
+      // Strictly higher priority preempts; equal priority round-robins —
+      // treat equal as interference too (conservative for RR).
+      if (other.priority <= task.priority) {
+        interferers.emplace_back(other.cost, other.period);
+      }
+    }
+    const SimTime response =
+        response_time(task.cost, task.deadline, interferers);
+    if (response > task.deadline) {
+      std::ostringstream reason;
+      reason << "RTA: task '" << task.descriptor->name
+             << "' would miss its deadline on cpu " << cpu << " (R";
+      if (response == kSimTimeNever) {
+        reason << " diverges";
+      } else {
+        reason << "=" << response;
+      }
+      reason << " > D=" << task.deadline << ") if '" << candidate.name
+             << "' were admitted";
+      return make_error("drcom.admission_rejected", reason.str());
+    }
+  }
+  return Result<void>::success();
+}
+
+}  // namespace drt::drcom

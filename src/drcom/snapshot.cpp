@@ -1,0 +1,87 @@
+#include "drcom/snapshot.hpp"
+
+#include <set>
+
+#include "drcom/system_descriptor.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace drt::drcom {
+
+std::string snapshot_to_xml(const Drcr& drcr) {
+  xml::Element root;
+  root.name = "drt:snapshot";
+
+  // Systems first (full compositions), tracking which components they own.
+  std::set<std::string> in_system;
+  for (const auto& system_name : drcr.deployed_systems()) {
+    const SystemDescriptor* system = drcr.system_of(system_name);
+    if (system == nullptr) continue;
+    auto doc = xml::parse(write_system_descriptor(*system));
+    if (doc.ok()) {
+      root.children.emplace_back(std::move(doc.value().root));
+    }
+    for (const auto& member : system->components) {
+      in_system.insert(member.name);
+    }
+  }
+
+  // Standalone components, with the *current* enabled state (a component
+  // disabled at runtime restores disabled).
+  for (const auto& name : drcr.component_names()) {
+    if (in_system.contains(name)) continue;
+    const ComponentDescriptor* descriptor = drcr.descriptor_of(name);
+    if (descriptor == nullptr) continue;
+    ComponentDescriptor copy = *descriptor;
+    copy.enabled = drcr.state_of(name) != ComponentState::kDisabled;
+    auto doc = xml::parse(write_descriptor(copy));
+    if (doc.ok()) {
+      root.children.emplace_back(std::move(doc.value().root));
+    }
+  }
+
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + xml::write(root);
+}
+
+Result<void> restore_from_xml(Drcr& drcr, std::string_view xml_text) {
+  auto doc = xml::parse_expecting_root(xml_text, "snapshot");
+  if (!doc.ok()) return doc.error();
+
+  std::string problems;
+  for (const auto* child : doc.value().root->child_elements()) {
+    xml::WriteOptions options;
+    options.pretty = false;
+    options.include_declaration = false;
+    const std::string fragment = xml::write(*child, options);
+    if (child->local_name() == "system") {
+      auto system = parse_system_descriptor(fragment);
+      if (!system.ok()) {
+        problems += system.error().message + "; ";
+        continue;
+      }
+      if (auto deployed = drcr.deploy_system(system.value());
+          !deployed.ok()) {
+        problems += deployed.error().message + "; ";
+      }
+    } else if (child->local_name() == "component") {
+      auto descriptor = parse_descriptor(fragment);
+      if (!descriptor.ok()) {
+        problems += descriptor.error().message + "; ";
+        continue;
+      }
+      if (auto registered =
+              drcr.register_component(std::move(descriptor).take());
+          !registered.ok()) {
+        problems += registered.error().message + "; ";
+      }
+    } else {
+      problems += "unknown snapshot element <" + child->name + ">; ";
+    }
+  }
+  if (!problems.empty()) {
+    return make_error("drcom.partial_restore", problems);
+  }
+  return Result<void>::success();
+}
+
+}  // namespace drt::drcom

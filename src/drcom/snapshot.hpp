@@ -1,0 +1,40 @@
+// DRCR deployment snapshots.
+//
+// OSGi's continuous deployment (§2.1) implies the configuration "will evolve
+// during the whole system lifecycle" — which makes the *current* deployment
+// state valuable operational data. A snapshot captures everything the DRCR
+// knows declaratively (component descriptors, enabled/disabled marks, system
+// groupings) as one XML document that can be inspected, diffed, versioned,
+// or restored into a fresh runtime:
+//
+//   <drt:snapshot>
+//     <drt:system name="vision"> ...members by reference... </drt:system>
+//     <drt:component .../>            (standalone components, full contract)
+//   </drt:snapshot>
+//
+// Restore is declarative redeployment: descriptors re-register and resolve
+// under the *current* resolving services — a snapshot taken on a big machine
+// restored onto a loaded one simply admits less, with the usual rejection
+// reasons. Runtime state (task statistics, live property values) is
+// intentionally NOT captured: contracts are durable, execution state is not.
+#pragma once
+
+#include <string>
+
+#include "drcom/drcr.hpp"
+#include "util/result.hpp"
+
+namespace drt::drcom {
+
+/// Serialises the runtime's current deployment (all registered components,
+/// their enabled state, and system groupings) to XML.
+[[nodiscard]] std::string snapshot_to_xml(const Drcr& drcr);
+
+/// Re-deploys a snapshot into `drcr`: systems via deploy_system (atomic per
+/// system), standalone components via register_component. Names that already
+/// exist are skipped and reported in the error (the rest still deploys);
+/// returns success only when everything applied cleanly.
+[[nodiscard]] Result<void> restore_from_xml(Drcr& drcr,
+                                            std::string_view xml_text);
+
+}  // namespace drt::drcom

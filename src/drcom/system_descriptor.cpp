@@ -1,0 +1,235 @@
+#include "drcom/system_descriptor.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace drt::drcom {
+namespace {
+
+/// Splits "component.port"; returns false on malformed references.
+bool split_endpoint(std::string_view endpoint, std::string* component,
+                    std::string* port) {
+  const auto dot = endpoint.find('.');
+  if (dot == std::string_view::npos || dot == 0 ||
+      dot + 1 >= endpoint.size()) {
+    return false;
+  }
+  *component = std::string(endpoint.substr(0, dot));
+  *port = std::string(endpoint.substr(dot + 1));
+  return true;
+}
+
+}  // namespace
+
+const ComponentDescriptor* SystemDescriptor::find_component(
+    std::string_view component_name) const {
+  for (const auto& component : components) {
+    if (component.name == component_name) return &component;
+  }
+  return nullptr;
+}
+
+Result<SystemDescriptor> parse_system_descriptor(std::string_view xml_text) {
+  auto doc = xml::parse_expecting_root(xml_text, "system");
+  if (!doc.ok()) return doc.error();
+  const xml::Element& root = *doc.value().root;
+
+  SystemDescriptor system;
+  system.name = root.attribute_or("name", "");
+  system.description = root.attribute_or("desc", "");
+
+  for (const auto* child : root.child_elements()) {
+    const auto local = child->local_name();
+    if (local == "component") {
+      auto component = parse_descriptor_element(*child);
+      if (!component.ok()) return component.error();
+      system.components.push_back(std::move(component).take());
+    } else if (local == "connection") {
+      ConnectionSpec connection;
+      const auto from = child->attribute_or("from", "");
+      const auto to = child->attribute_or("to", "");
+      if (!split_endpoint(from, &connection.from_component,
+                          &connection.from_port) ||
+          !split_endpoint(to, &connection.to_component,
+                          &connection.to_port)) {
+        return make_error("drcom.bad_system",
+                          "connection endpoints must be "
+                          "\"component.port\" (got from='" +
+                              std::string(from) + "' to='" + std::string(to) +
+                              "')");
+      }
+      system.connections.push_back(std::move(connection));
+    } else if (local == "cpubudget") {
+      CpuBudgetSpec budget;
+      const auto cpu = str::parse_int(child->attribute_or("cpu", ""));
+      const auto limit = str::parse_double(child->attribute_or("limit", ""));
+      if (!cpu || *cpu < 0 || !limit || *limit <= 0.0 || *limit > 1.0) {
+        return make_error("drcom.bad_system",
+                          "cpubudget needs cpu>=0 and limit in (0,1]");
+      }
+      budget.cpu = static_cast<CpuId>(*cpu);
+      budget.limit = *limit;
+      system.budgets.push_back(budget);
+    } else {
+      return make_error("drcom.bad_system",
+                        "unknown system element <" + child->name + ">");
+    }
+  }
+
+  auto valid = validate_system(system);
+  if (!valid.ok()) return valid.error();
+  return system;
+}
+
+Result<void> validate_system(const SystemDescriptor& system) {
+  if (system.name.empty()) {
+    return make_error("drcom.bad_system", "system without a name");
+  }
+  // Members individually valid, names unique.
+  for (const auto& component : system.components) {
+    auto valid = validate(component);
+    if (!valid.ok()) return valid;
+    std::size_t occurrences = 0;
+    for (const auto& other : system.components) {
+      if (other.name == component.name) ++occurrences;
+    }
+    if (occurrences > 1) {
+      return make_error("drcom.bad_system",
+                        "duplicate member name '" + component.name + "'");
+    }
+  }
+  // No two members provide the same out-port (would collide in the kernel).
+  std::map<std::string, std::string> providers;  // port -> component
+  for (const auto& component : system.components) {
+    for (const PortSpec* outport : component.outports()) {
+      const auto [it, inserted] =
+          providers.emplace(outport->name, component.name);
+      if (!inserted) {
+        return make_error("drcom.bad_system",
+                          "out-port '" + outport->name + "' provided by both '" +
+                              it->second + "' and '" + component.name + "'");
+      }
+    }
+  }
+  // Connections reference real, compatible, correctly oriented ports.
+  for (const auto& connection : system.connections) {
+    const ComponentDescriptor* from =
+        system.find_component(connection.from_component);
+    const ComponentDescriptor* to =
+        system.find_component(connection.to_component);
+    if (from == nullptr || to == nullptr) {
+      return make_error("drcom.bad_system",
+                        "connection references unknown component: " +
+                            connection.to_string());
+    }
+    if (from == to) {
+      return make_error("drcom.bad_system",
+                        "connection must link two different components: " +
+                            connection.to_string());
+    }
+    const PortSpec* out = from->find_port(connection.from_port);
+    const PortSpec* in = to->find_port(connection.to_port);
+    if (out == nullptr || out->direction != PortDirection::kOut) {
+      return make_error("drcom.bad_system",
+                        "'" + connection.from_component + "." +
+                            connection.from_port + "' is not an out-port");
+    }
+    if (in == nullptr || in->direction != PortDirection::kIn) {
+      return make_error("drcom.bad_system",
+                        "'" + connection.to_component + "." +
+                            connection.to_port + "' is not an in-port");
+    }
+    if (connection.from_port != connection.to_port) {
+      // DRCom wires by shared name (§2.3); a cross-name connection can never
+      // materialize at run time.
+      return make_error("drcom.bad_system",
+                        "DRCom connects ports by name; '" +
+                            connection.from_port + "' != '" +
+                            connection.to_port + "' in " +
+                            connection.to_string());
+    }
+    if (!out->compatible_with(*in)) {
+      return make_error("drcom.bad_system",
+                        "incompatible ports in " + connection.to_string());
+    }
+  }
+  // Internal wiring must be declared: if member B's in-port is provided by
+  // member A's out-port, the architect must have said so.
+  for (const auto& consumer : system.components) {
+    for (const PortSpec* inport : consumer.inports()) {
+      const auto provider = providers.find(inport->name);
+      if (provider == providers.end() ||
+          provider->second == consumer.name) {
+        continue;  // externally provided (or self; self never matches)
+      }
+      bool declared = false;
+      for (const auto& connection : system.connections) {
+        if (connection.from_component == provider->second &&
+            connection.to_component == consumer.name &&
+            connection.to_port == inport->name) {
+          declared = true;
+          break;
+        }
+      }
+      if (!declared) {
+        return make_error("drcom.bad_system",
+                          "undeclared internal wiring: '" + provider->second +
+                              "." + inport->name + "' feeds '" +
+                              consumer.name + "." + inport->name +
+                              "' but no <connection> declares it");
+      }
+    }
+  }
+  // Static utilization check against the declared budgets.
+  for (const auto& budget : system.budgets) {
+    double total = 0.0;
+    for (const auto& component : system.components) {
+      if (component.target_cpu() == budget.cpu) total += component.cpu_usage;
+    }
+    if (total > budget.limit + 1e-12) {
+      std::ostringstream reason;
+      reason << "declared utilization " << total << " on cpu " << budget.cpu
+             << " exceeds the system budget " << budget.limit;
+      return make_error("drcom.bad_system", reason.str());
+    }
+  }
+  return Result<void>::success();
+}
+
+std::string write_system_descriptor(const SystemDescriptor& system) {
+  xml::Element root;
+  root.name = "drt:system";
+  root.set_attribute("name", system.name);
+  if (!system.description.empty()) {
+    root.set_attribute("desc", system.description);
+  }
+  for (const auto& component : system.components) {
+    // Reuse the component writer and re-parse it as a child element — going
+    // through text keeps one canonical serializer for components.
+    auto doc = xml::parse(write_descriptor(component));
+    if (doc.ok()) {
+      root.children.emplace_back(std::move(doc.value().root));
+    }
+  }
+  for (const auto& connection : system.connections) {
+    auto& element = root.append_child("connection");
+    element.set_attribute(
+        "from", connection.from_component + "." + connection.from_port);
+    element.set_attribute("to",
+                          connection.to_component + "." + connection.to_port);
+  }
+  for (const auto& budget : system.budgets) {
+    auto& element = root.append_child("cpubudget");
+    element.set_attribute("cpu", std::to_string(budget.cpu));
+    std::ostringstream limit;
+    limit << budget.limit;
+    element.set_attribute("limit", limit.str());
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + xml::write(root);
+}
+
+}  // namespace drt::drcom

@@ -1,0 +1,85 @@
+// System-level composition descriptor — the Architecture-Description-
+// Language direction the paper names as future work (§6: "We are working to
+// integrate certain Architecture Description Language into our DRCom").
+//
+// A <drt:system> document declares a whole application: its member
+// components (inline DRCom descriptors), the intended connections between
+// their ports, and per-CPU utilization budgets:
+//
+//   <?xml version="1.0"?>
+//   <drt:system name="vision" desc="inspection station">
+//     <drt:component name="camera" ...> ... </drt:component>
+//     <drt:component name="roi" ...> ... </drt:component>
+//     <connection from="camera.images" to="roi.images"/>
+//     <cpubudget cpu="0" limit="0.8"/>
+//   </drt:system>
+//
+// DRCom wires ports implicitly by name (§2.3); the explicit <connection>
+// elements therefore do not create links — they make the architect's INTENT
+// checkable. validate_system() verifies every declared connection against
+// the member contracts (existence, direction, full port compatibility, the
+// shared-name rule) and statically checks the declared utilization against
+// the budgets, so composition errors surface at deployment time rather than
+// as an unsatisfied component at run time.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "drcom/descriptor.hpp"
+
+namespace drt::drcom {
+
+/// Declared port-to-port link ("producer.port" -> "consumer.port").
+struct ConnectionSpec {
+  std::string from_component;
+  std::string from_port;
+  std::string to_component;
+  std::string to_port;
+
+  [[nodiscard]] std::string to_string() const {
+    return from_component + "." + from_port + " -> " + to_component + "." +
+           to_port;
+  }
+};
+
+/// Static utilization budget for one CPU.
+struct CpuBudgetSpec {
+  CpuId cpu = 0;
+  double limit = 1.0;
+};
+
+struct SystemDescriptor {
+  std::string name;
+  std::string description;
+  std::vector<ComponentDescriptor> components;
+  std::vector<ConnectionSpec> connections;
+  std::vector<CpuBudgetSpec> budgets;
+
+  [[nodiscard]] const ComponentDescriptor* find_component(
+      std::string_view component_name) const;
+};
+
+/// Parses a <drt:system> document (validates it too).
+[[nodiscard]] Result<SystemDescriptor> parse_system_descriptor(
+    std::string_view xml_text);
+
+/// Structural + architectural validation:
+///   * system has a name; member names are unique and individually valid;
+///   * every <connection> endpoint exists, runs out->in, connects two
+///     DIFFERENT members, uses the same port name on both sides (DRCom's
+///     name-based wiring), and the ports are fully compatible (§2.3);
+///   * no two members provide the same out-port name;
+///   * declared per-CPU utilization of the members respects every
+///     <cpubudget>;
+///   * every member in-port that is fed by a member out-port has a matching
+///     <connection> declared — undeclared internal wiring is an architecture
+///     error (external providers are fine and simply not declared).
+[[nodiscard]] Result<void> validate_system(const SystemDescriptor& system);
+
+/// Serializes back to the <drt:system> dialect.
+[[nodiscard]] std::string write_system_descriptor(
+    const SystemDescriptor& system);
+
+}  // namespace drt::drcom

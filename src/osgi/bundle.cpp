@@ -1,0 +1,18 @@
+#include "osgi/bundle.hpp"
+
+#include "osgi/framework.hpp"
+
+namespace drt::osgi {
+
+Bundle::Bundle(BundleId id, BundleDefinition definition)
+    : id_(id), definition_(std::move(definition)) {}
+
+Bundle::~Bundle() = default;
+
+std::optional<std::string> Bundle::resource(const std::string& path) const {
+  const auto found = definition_.resources.find(path);
+  if (found == definition_.resources.end()) return std::nullopt;
+  return found->second;
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,95 @@
+// Bundle: the OSGi unit of deployment.
+//
+// A bundle in this reproduction is a manifest + an activator factory + a map
+// of named string resources (standing in for files inside the jar — DRCom XML
+// descriptors live here). Java class loading is replaced by the activator
+// factory: the "code" a bundle contributes is whatever its activator wires up
+// (component factories, services). The lifecycle states and transitions
+// follow OSGi Core §4.4.2 exactly; continuous deployment (install / start /
+// stop / update / uninstall without restarting the framework) is the property
+// the paper builds on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "osgi/events.hpp"
+#include "osgi/manifest.hpp"
+
+namespace drt::osgi {
+
+class BundleContext;
+
+/// User entry point, equivalent to org.osgi.framework.BundleActivator.
+/// Exceptions thrown from start()/stop() mark the bundle start as failed,
+/// matching the OSGi contract.
+class BundleActivator {
+ public:
+  virtual ~BundleActivator() = default;
+  virtual void start(BundleContext& context) = 0;
+  virtual void stop(BundleContext& context) = 0;
+};
+
+/// Everything needed to install a bundle (the "jar file").
+struct BundleDefinition {
+  Manifest manifest;
+  /// May be null for pure-library bundles (exports only).
+  std::function<std::unique_ptr<BundleActivator>()> activator_factory;
+  /// Resource path -> content. DRCom descriptors referenced from the
+  /// DRT-Components manifest header are looked up here.
+  std::map<std::string, std::string> resources;
+  /// OSGi start level: the bundle only runs while the framework's active
+  /// start level is >= this (ordered bring-up/tear-down; StartLevel spec).
+  int start_level = 1;
+};
+
+/// One wire: this bundle's import satisfied by an exporting bundle.
+struct PackageWire {
+  std::string package;
+  BundleId exporter;
+  Version version;
+};
+
+class Framework;
+
+/// Installed bundle. Owned by the Framework; users hold BundleId handles or
+/// non-owning pointers obtained from it.
+class Bundle {
+ public:
+  Bundle(BundleId id, BundleDefinition definition);
+  ~Bundle();  // out of line: BundleContext is incomplete here
+
+  [[nodiscard]] BundleId id() const { return id_; }
+  [[nodiscard]] const Manifest& manifest() const { return definition_.manifest; }
+  [[nodiscard]] const std::string& symbolic_name() const {
+    return definition_.manifest.symbolic_name();
+  }
+  [[nodiscard]] BundleState state() const { return state_; }
+
+  /// Resource content by path, or nullopt (e.g. descriptor XML).
+  [[nodiscard]] std::optional<std::string> resource(
+      const std::string& path) const;
+
+  /// Wires established by the resolver (empty until RESOLVED).
+  [[nodiscard]] const std::vector<PackageWire>& wires() const { return wires_; }
+
+  [[nodiscard]] int start_level() const { return definition_.start_level; }
+  /// True when start() was requested (the bundle runs whenever the framework
+  /// start level allows it).
+  [[nodiscard]] bool autostart() const { return autostart_; }
+
+ private:
+  friend class Framework;
+  BundleId id_;
+  BundleDefinition definition_;
+  BundleState state_ = BundleState::kInstalled;
+  bool autostart_ = false;
+  std::unique_ptr<BundleActivator> activator_;
+  std::unique_ptr<BundleContext> context_;
+  std::vector<PackageWire> wires_;
+};
+
+}  // namespace drt::osgi

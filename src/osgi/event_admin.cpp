@@ -1,0 +1,58 @@
+#include "osgi/event_admin.hpp"
+
+#include "util/logging.hpp"
+
+namespace drt::osgi {
+
+HandlerToken EventAdmin::subscribe(std::string topic_pattern,
+                                   EventHandler handler,
+                                   std::optional<Filter> filter) {
+  const HandlerToken token = next_token_++;
+  subscriptions_.push_back(
+      {token, std::move(topic_pattern), std::move(handler),
+       std::move(filter)});
+  return token;
+}
+
+void EventAdmin::unsubscribe(HandlerToken token) {
+  std::erase_if(subscriptions_,
+                [token](const auto& sub) { return sub.token == token; });
+}
+
+void EventAdmin::post(const Event& event) {
+  // Snapshot: handlers may (un)subscribe during delivery.
+  const auto snapshot = subscriptions_;
+  for (const auto& subscription : snapshot) {
+    if (!topic_matches(subscription.pattern, event.topic)) continue;
+    if (subscription.filter.has_value() &&
+        !subscription.filter->matches(event.properties)) {
+      continue;
+    }
+    try {
+      subscription.handler(event);
+      ++delivered_;
+    } catch (const std::exception& e) {
+      // Spec: a broken handler must not break the bus.
+      log::Line(log::Level::kWarn, "osgi.event")
+          << "event handler threw on topic " << event.topic << ": "
+          << e.what();
+    }
+  }
+}
+
+void EventAdmin::post(std::string topic, Properties properties) {
+  post(Event{std::move(topic), std::move(properties)});
+}
+
+bool EventAdmin::topic_matches(std::string_view pattern,
+                               std::string_view topic) {
+  if (pattern == "*") return true;
+  if (pattern.size() >= 2 && pattern.substr(pattern.size() - 2) == "/*") {
+    const auto prefix = pattern.substr(0, pattern.size() - 1);  // keep '/'
+    return topic.size() > prefix.size() &&
+           topic.substr(0, prefix.size()) == prefix;
+  }
+  return pattern == topic;
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,79 @@
+// Event Admin — the OSGi compendium publish/subscribe service (the standard
+// way OSGi applications broadcast state changes; Equinox ships it). Topics
+// are hierarchical ("drcom/ComponentEvent/ACTIVATED"); subscriptions match
+// an exact topic, a trailing wildcard ("drcom/ComponentEvent/*") or
+// everything ("*"), optionally refined by an LDAP filter over the event
+// properties — the same matching rules as org.osgi.service.event.
+//
+// Delivery is synchronous and in subscription order (deterministic, like
+// everything else in this reproduction); post() therefore behaves like the
+// spec's sendEvent(). The DRCR bridges its lifecycle events onto this bus
+// when an EventAdmin service is registered (see drcr.cpp), so any bundle can
+// observe the real-time system without linking against the DRCR API.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "osgi/ldap_filter.hpp"
+#include "osgi/properties.hpp"
+
+namespace drt::osgi {
+
+/// Service interface name under which an EventAdmin is registered.
+inline constexpr const char* kEventAdminInterface =
+    "org.osgi.service.event.EventAdmin";
+
+struct Event {
+  std::string topic;
+  Properties properties;
+};
+
+using EventHandler = std::function<void(const Event&)>;
+using HandlerToken = std::uint64_t;
+
+class EventAdmin {
+ public:
+  EventAdmin() = default;
+  EventAdmin(const EventAdmin&) = delete;
+  EventAdmin& operator=(const EventAdmin&) = delete;
+
+  /// Subscribes to `topic_pattern` ("a/b/c", "a/b/*", or "*"), optionally
+  /// refined by a property filter. Returns a token for unsubscribe().
+  HandlerToken subscribe(std::string topic_pattern, EventHandler handler,
+                         std::optional<Filter> filter = std::nullopt);
+  void unsubscribe(HandlerToken token);
+
+  /// Delivers the event synchronously to every matching subscriber, in
+  /// subscription order. A handler throwing does not disturb the others.
+  void post(const Event& event);
+
+  /// Convenience: post with topic + properties.
+  void post(std::string topic, Properties properties = {});
+
+  [[nodiscard]] std::size_t subscriber_count() const {
+    return subscriptions_.size();
+  }
+  [[nodiscard]] std::uint64_t delivered_count() const { return delivered_; }
+
+  /// True when `topic` matches `pattern` under the OSGi rules.
+  [[nodiscard]] static bool topic_matches(std::string_view pattern,
+                                          std::string_view topic);
+
+ private:
+  struct Subscription {
+    HandlerToken token;
+    std::string pattern;
+    EventHandler handler;
+    std::optional<Filter> filter;
+  };
+  std::vector<Subscription> subscriptions_;
+  HandlerToken next_token_ = 1;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace drt::osgi

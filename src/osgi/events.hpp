@@ -1,0 +1,73 @@
+// Framework event types (OSGi Core §4.7 / §5.4).
+//
+// All event delivery in this reproduction is synchronous and in registration
+// order, which keeps the simulator deterministic (Equinox delivers service
+// events synchronously too; only bundle events may be asynchronous there).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/types.hpp"
+
+namespace drt::osgi {
+
+enum class BundleState {
+  kInstalled,
+  kResolved,
+  kStarting,
+  kActive,
+  kStopping,
+  kUninstalled,
+};
+
+[[nodiscard]] constexpr const char* to_string(BundleState state) {
+  switch (state) {
+    case BundleState::kInstalled: return "INSTALLED";
+    case BundleState::kResolved: return "RESOLVED";
+    case BundleState::kStarting: return "STARTING";
+    case BundleState::kActive: return "ACTIVE";
+    case BundleState::kStopping: return "STOPPING";
+    case BundleState::kUninstalled: return "UNINSTALLED";
+  }
+  return "?";
+}
+
+enum class BundleEventType {
+  kInstalled,
+  kResolved,
+  kStarted,
+  kStopped,
+  kUpdated,
+  kUnresolved,
+  kUninstalled,
+};
+
+[[nodiscard]] constexpr const char* to_string(BundleEventType type) {
+  switch (type) {
+    case BundleEventType::kInstalled: return "INSTALLED";
+    case BundleEventType::kResolved: return "RESOLVED";
+    case BundleEventType::kStarted: return "STARTED";
+    case BundleEventType::kStopped: return "STOPPED";
+    case BundleEventType::kUpdated: return "UPDATED";
+    case BundleEventType::kUnresolved: return "UNRESOLVED";
+    case BundleEventType::kUninstalled: return "UNINSTALLED";
+  }
+  return "?";
+}
+
+struct BundleEvent {
+  BundleEventType type;
+  BundleId bundle_id;
+  std::string symbolic_name;
+};
+
+enum class FrameworkEventType { kStarted, kError, kWarning, kInfo };
+
+struct FrameworkEvent {
+  FrameworkEventType type;
+  BundleId bundle_id;  ///< 0 = the framework itself
+  std::string message;
+};
+
+}  // namespace drt::osgi

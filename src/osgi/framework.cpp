@@ -1,0 +1,437 @@
+#include "osgi/framework.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace drt::osgi {
+
+// ---------------------------------------------------------------- context --
+
+BundleId BundleContext::bundle_id() const { return bundle_->id(); }
+
+ServiceRegistration BundleContext::register_service(
+    std::vector<std::string> interfaces, std::shared_ptr<void> service,
+    Properties properties) {
+  return framework_->registry().register_service(
+      bundle_->id(), std::move(interfaces), std::move(service),
+      std::move(properties));
+}
+
+std::vector<ServiceReference> BundleContext::get_service_references(
+    std::string_view interface_name, const Filter* filter) const {
+  return framework_->registry().get_references(interface_name, filter);
+}
+
+std::optional<ServiceReference> BundleContext::get_service_reference(
+    std::string_view interface_name, const Filter* filter) const {
+  return framework_->registry().get_reference(interface_name, filter);
+}
+
+ListenerToken BundleContext::add_service_listener(ServiceListener listener,
+                                                  std::optional<Filter> filter) {
+  return framework_->registry().add_listener(std::move(listener),
+                                             std::move(filter));
+}
+
+void BundleContext::remove_service_listener(ListenerToken token) {
+  framework_->registry().remove_listener(token);
+}
+
+ListenerToken BundleContext::add_bundle_listener(BundleListener listener) {
+  return framework_->add_bundle_listener(std::move(listener));
+}
+
+void BundleContext::remove_bundle_listener(ListenerToken token) {
+  framework_->remove_bundle_listener(token);
+}
+
+// -------------------------------------------------------------- framework --
+
+Framework::Framework() {
+  BundleDefinition system_def;
+  system_def.manifest.set_symbolic_name("system.bundle").set_name("System Bundle");
+  system_bundle_ = std::make_unique<Bundle>(0, std::move(system_def));
+  system_bundle_->state_ = BundleState::kActive;
+  system_context_ = std::make_unique<BundleContext>(*this, *system_bundle_);
+}
+
+Framework::~Framework() {
+  // Stop active bundles in reverse install order so dependents shut down
+  // before their providers — the framework-shutdown order OSGi prescribes.
+  for (auto it = bundles_.rbegin(); it != bundles_.rend(); ++it) {
+    Bundle& bundle = **it;
+    if (bundle.state() == BundleState::kActive) {
+      (void)stop_locked(bundle);
+    }
+  }
+}
+
+Result<BundleId> Framework::install(BundleDefinition definition) {
+  const auto& manifest = definition.manifest;
+  if (manifest.symbolic_name().empty()) {
+    return make_error("osgi.bad_bundle", "bundle has no symbolic name");
+  }
+  for (const auto& existing : bundles_) {
+    if (existing->state() != BundleState::kUninstalled &&
+        existing->symbolic_name() == manifest.symbolic_name() &&
+        existing->manifest().version() == manifest.version()) {
+      return make_error("osgi.duplicate_bundle",
+                        "bundle " + manifest.symbolic_name() + "/" +
+                            manifest.version().to_string() +
+                            " is already installed");
+    }
+  }
+  const BundleId id = next_bundle_id_++;
+  bundles_.push_back(std::make_unique<Bundle>(id, std::move(definition)));
+  Bundle& bundle = *bundles_.back();
+  log::Line(log::Level::kInfo, "osgi")
+      << "installed bundle #" << id << " " << bundle.symbolic_name();
+  fire_bundle_event(BundleEventType::kInstalled, bundle);
+  return id;
+}
+
+Result<void> Framework::resolve(BundleId id) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  return resolve_locked(*bundle);
+}
+
+Result<void> Framework::resolve_locked(Bundle& bundle) {
+  if (bundle.state() != BundleState::kInstalled) {
+    return Result<void>::success();  // already resolved (or beyond)
+  }
+  // Gather the best exporter for every import. A bundle may satisfy imports
+  // from exporters in any non-uninstalled state; choosing an exporter pulls
+  // it into the resolution transitively.
+  std::vector<PackageWire> wires;
+  std::vector<Bundle*> providers;
+  for (const auto& import : bundle.manifest().imports()) {
+    Bundle* best = nullptr;
+    Version best_version;
+    for (const auto& candidate : bundles_) {
+      if (candidate->state() == BundleState::kUninstalled) continue;
+      if (candidate.get() == &bundle) continue;
+      for (const auto& exp : candidate->manifest().exports()) {
+        if (exp.package != import.package) continue;
+        if (!import.version_range.includes(exp.version)) continue;
+        if (best == nullptr || exp.version > best_version ||
+            (exp.version == best_version && candidate->id() < best->id())) {
+          best = candidate.get();
+          best_version = exp.version;
+        }
+      }
+    }
+    // Self-export satisfies an import (substitutable exports).
+    if (best == nullptr) {
+      for (const auto& exp : bundle.manifest().exports()) {
+        if (exp.package == import.package &&
+            import.version_range.includes(exp.version)) {
+          best = &bundle;
+          best_version = exp.version;
+          break;
+        }
+      }
+    }
+    if (best == nullptr) {
+      if (import.optional) continue;
+      return make_error("osgi.unresolved",
+                        "bundle " + bundle.symbolic_name() +
+                            ": no exporter for package " + import.package +
+                            " " + import.version_range.to_string());
+    }
+    wires.push_back({import.package, best->id(), best_version});
+    if (best != &bundle) providers.push_back(best);
+  }
+  // Transitively resolve providers first; a provider that fails to resolve
+  // invalidates this resolution.
+  bundle.state_ = BundleState::kResolved;  // set early to tolerate cycles
+  for (Bundle* provider : providers) {
+    auto resolved = resolve_locked(*provider);
+    if (!resolved.ok()) {
+      bundle.state_ = BundleState::kInstalled;
+      return make_error("osgi.unresolved",
+                        "bundle " + bundle.symbolic_name() +
+                            ": provider failed to resolve: " +
+                            resolved.error().message);
+    }
+  }
+  bundle.wires_ = std::move(wires);
+  log::Line(log::Level::kDebug, "osgi")
+      << "resolved bundle #" << bundle.id() << " " << bundle.symbolic_name();
+  fire_bundle_event(BundleEventType::kResolved, bundle);
+  return Result<void>::success();
+}
+
+Result<void> Framework::start(BundleId id) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  bundle->autostart_ = true;
+  if (bundle->start_level() > start_level_) {
+    // Persistently marked; actual start deferred until the framework start
+    // level reaches the bundle's (StartLevel spec semantics).
+    log::Line(log::Level::kInfo, "osgi")
+        << "bundle #" << id << " start deferred (level "
+        << bundle->start_level() << " > framework " << start_level_ << ")";
+    return Result<void>::success();
+  }
+  return start_locked(*bundle);
+}
+
+Result<void> Framework::start_locked(Bundle& bundle) {
+  switch (bundle.state()) {
+    case BundleState::kActive:
+      return Result<void>::success();
+    case BundleState::kUninstalled:
+      return make_error("osgi.invalid_state", "cannot start uninstalled bundle");
+    case BundleState::kStarting:
+    case BundleState::kStopping:
+      return make_error("osgi.invalid_state", "bundle is in transition");
+    case BundleState::kInstalled: {
+      auto resolved = resolve_locked(bundle);
+      if (!resolved.ok()) return resolved;
+      break;
+    }
+    case BundleState::kResolved:
+      break;
+  }
+  bundle.state_ = BundleState::kStarting;
+  if (bundle.definition_.activator_factory) {
+    bundle.activator_ = bundle.definition_.activator_factory();
+    bundle.context_ = std::make_unique<BundleContext>(*this, bundle);
+    try {
+      bundle.activator_->start(*bundle.context_);
+    } catch (const std::exception& e) {
+      bundle.activator_.reset();
+      bundle.context_.reset();
+      bundle.state_ = BundleState::kResolved;
+      registry_.unregister_all(bundle.id());
+      fire_framework_event(FrameworkEventType::kError, bundle.id(),
+                           std::string("activator start failed: ") + e.what());
+      return make_error("osgi.activator_failed", e.what());
+    }
+  }
+  bundle.state_ = BundleState::kActive;
+  log::Line(log::Level::kInfo, "osgi")
+      << "started bundle #" << bundle.id() << " " << bundle.symbolic_name();
+  fire_bundle_event(BundleEventType::kStarted, bundle);
+  return Result<void>::success();
+}
+
+Result<void> Framework::stop(BundleId id) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  bundle->autostart_ = false;
+  return stop_locked(*bundle);
+}
+
+Result<void> Framework::stop_locked(Bundle& bundle) {
+  if (bundle.state() != BundleState::kActive) {
+    return Result<void>::success();
+  }
+  bundle.state_ = BundleState::kStopping;
+  std::optional<Error> activator_error;
+  if (bundle.activator_) {
+    try {
+      bundle.activator_->stop(*bundle.context_);
+    } catch (const std::exception& e) {
+      // OSGi: a stop() exception is reported but the bundle still stops.
+      activator_error = make_error("osgi.activator_failed", e.what());
+      fire_framework_event(FrameworkEventType::kError, bundle.id(),
+                           std::string("activator stop failed: ") + e.what());
+    }
+    bundle.activator_.reset();
+    bundle.context_.reset();
+  }
+  // Any services the bundle forgot to unregister go away with it.
+  registry_.unregister_all(bundle.id());
+  bundle.state_ = BundleState::kResolved;
+  log::Line(log::Level::kInfo, "osgi")
+      << "stopped bundle #" << bundle.id() << " " << bundle.symbolic_name();
+  fire_bundle_event(BundleEventType::kStopped, bundle);
+  if (activator_error.has_value()) return *activator_error;
+  return Result<void>::success();
+}
+
+Result<void> Framework::uninstall(BundleId id) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  if (bundle->state() == BundleState::kUninstalled) {
+    return make_error("osgi.invalid_state", "bundle already uninstalled");
+  }
+  (void)stop_locked(*bundle);  // stop errors do not block uninstall
+  bundle->state_ = BundleState::kUninstalled;
+  bundle->wires_.clear();
+  log::Line(log::Level::kInfo, "osgi")
+      << "uninstalled bundle #" << bundle->id() << " "
+      << bundle->symbolic_name();
+  fire_bundle_event(BundleEventType::kUninstalled, *bundle);
+  return Result<void>::success();
+}
+
+Result<void> Framework::update(BundleId id, BundleDefinition definition) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  if (bundle->state() == BundleState::kUninstalled) {
+    return make_error("osgi.invalid_state", "cannot update uninstalled bundle");
+  }
+  const bool was_active = bundle->state() == BundleState::kActive;
+  auto stopped = stop_locked(*bundle);
+  if (!stopped.ok()) return stopped;
+  bundle->definition_ = std::move(definition);
+  bundle->state_ = BundleState::kInstalled;
+  bundle->wires_.clear();
+  fire_bundle_event(BundleEventType::kUpdated, *bundle);
+  if (was_active) {
+    return start_locked(*bundle);
+  }
+  return Result<void>::success();
+}
+
+void Framework::refresh() {
+  // Drop wiring of every RESOLVED (non-active) bundle and re-resolve, so
+  // that stale wires to updated/uninstalled exporters disappear.
+  for (const auto& bundle : bundles_) {
+    if (bundle->state() == BundleState::kResolved) {
+      bundle->state_ = BundleState::kInstalled;
+      bundle->wires_.clear();
+      fire_bundle_event(BundleEventType::kUnresolved, *bundle);
+    }
+  }
+  for (const auto& bundle : bundles_) {
+    if (bundle->state() == BundleState::kInstalled) {
+      (void)resolve_locked(*bundle);
+    }
+  }
+}
+
+void Framework::set_start_level(int level) {
+  if (level < 1) level = 1;
+  if (level == start_level_) return;
+  if (level > start_level_) {
+    // Ascend one level at a time; install order within a level.
+    for (int l = start_level_ + 1; l <= level; ++l) {
+      for (const auto& bundle : bundles_) {
+        if (bundle->start_level() != l || !bundle->autostart_) continue;
+        if (bundle->state() == BundleState::kUninstalled ||
+            bundle->state() == BundleState::kActive) {
+          continue;
+        }
+        if (auto started = start_locked(*bundle); !started.ok()) {
+          fire_framework_event(FrameworkEventType::kError, bundle->id(),
+                               "start-level start failed: " +
+                                   started.error().message);
+        }
+      }
+    }
+  } else {
+    // Descend; reverse install order within a level.
+    for (int l = start_level_; l > level; --l) {
+      for (auto it = bundles_.rbegin(); it != bundles_.rend(); ++it) {
+        Bundle& bundle = **it;
+        if (bundle.start_level() != l) continue;
+        if (bundle.state() == BundleState::kActive) {
+          (void)stop_locked(bundle);  // autostart mark survives
+        }
+      }
+    }
+  }
+  start_level_ = level;
+  fire_framework_event(FrameworkEventType::kInfo, 0,
+                       "start level is now " + std::to_string(level));
+}
+
+Result<void> Framework::set_bundle_start_level(BundleId id, int level) {
+  Bundle* bundle = get_bundle(id);
+  if (bundle == nullptr || bundle->state() == BundleState::kUninstalled) {
+    return make_error("osgi.no_such_bundle", "bundle " + std::to_string(id));
+  }
+  if (level < 1) {
+    return make_error("osgi.bad_start_level", "start level must be >= 1");
+  }
+  bundle->definition_.start_level = level;
+  if (bundle->state() == BundleState::kActive && level > start_level_) {
+    return stop_locked(*bundle);  // moved out of reach; mark survives
+  }
+  if (bundle->state() != BundleState::kActive && bundle->autostart_ &&
+      level <= start_level_) {
+    return start_locked(*bundle);
+  }
+  return Result<void>::success();
+}
+
+Bundle* Framework::get_bundle(BundleId id) {
+  if (id == 0) return system_bundle_.get();
+  for (const auto& bundle : bundles_) {
+    if (bundle->id() == id) return bundle.get();
+  }
+  return nullptr;
+}
+
+const Bundle* Framework::get_bundle(BundleId id) const {
+  return const_cast<Framework*>(this)->get_bundle(id);
+}
+
+Bundle* Framework::find_bundle(std::string_view symbolic_name) {
+  for (const auto& bundle : bundles_) {
+    if (bundle->state() != BundleState::kUninstalled &&
+        bundle->symbolic_name() == symbolic_name) {
+      return bundle.get();
+    }
+  }
+  return nullptr;
+}
+
+std::vector<const Bundle*> Framework::bundles() const {
+  std::vector<const Bundle*> out;
+  out.reserve(bundles_.size());
+  for (const auto& bundle : bundles_) out.push_back(bundle.get());
+  return out;
+}
+
+ListenerToken Framework::add_bundle_listener(BundleListener listener) {
+  const ListenerToken token = next_token_++;
+  bundle_listeners_.push_back({token, std::move(listener)});
+  return token;
+}
+
+void Framework::remove_bundle_listener(ListenerToken token) {
+  std::erase_if(bundle_listeners_,
+                [token](const auto& rec) { return rec.token == token; });
+}
+
+ListenerToken Framework::add_framework_listener(FrameworkListener listener) {
+  const ListenerToken token = next_token_++;
+  framework_listeners_.push_back({token, std::move(listener)});
+  return token;
+}
+
+void Framework::remove_framework_listener(ListenerToken token) {
+  std::erase_if(framework_listeners_,
+                [token](const auto& rec) { return rec.token == token; });
+}
+
+void Framework::fire_bundle_event(BundleEventType type, const Bundle& bundle) {
+  const BundleEvent event{type, bundle.id(), bundle.symbolic_name()};
+  const auto snapshot = bundle_listeners_;
+  for (const auto& record : snapshot) record.listener(event);
+}
+
+void Framework::fire_framework_event(FrameworkEventType type,
+                                     BundleId bundle_id, std::string message) {
+  const FrameworkEvent event{type, bundle_id, std::move(message)};
+  const auto snapshot = framework_listeners_;
+  for (const auto& record : snapshot) record.listener(event);
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,169 @@
+// The OSGi framework: bundle lifecycle management, module resolution and
+// event dispatch, plus the shared service registry.
+//
+// This is the "large non-real-time container" half of the paper's split
+// architecture (Figure 3). The DRCR (src/drcom/drcr.hpp) runs inside it as a
+// bundle like any other.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "osgi/bundle.hpp"
+#include "osgi/events.hpp"
+#include "osgi/service_registry.hpp"
+#include "util/result.hpp"
+
+namespace drt::osgi {
+
+using BundleListener = std::function<void(const BundleEvent&)>;
+using FrameworkListener = std::function<void(const FrameworkEvent&)>;
+
+/// Per-bundle facade handed to activators — the equivalent of
+/// org.osgi.framework.BundleContext. All service operations performed through
+/// a context are attributed to (and cleaned up with) its bundle.
+class BundleContext {
+ public:
+  BundleContext(Framework& framework, Bundle& bundle)
+      : framework_(&framework), bundle_(&bundle) {}
+
+  [[nodiscard]] BundleId bundle_id() const;
+  [[nodiscard]] const Bundle& bundle() const { return *bundle_; }
+  [[nodiscard]] Framework& framework() { return *framework_; }
+
+  /// Service facade (attributed to this bundle).
+  ServiceRegistration register_service(std::vector<std::string> interfaces,
+                                       std::shared_ptr<void> service,
+                                       Properties properties = {});
+  template <typename T>
+  ServiceRegistration register_service(std::string interface_name,
+                                       std::shared_ptr<T> service,
+                                       Properties properties = {}) {
+    return register_service(std::vector<std::string>{std::move(interface_name)},
+                            std::static_pointer_cast<void>(std::move(service)),
+                            std::move(properties));
+  }
+
+  [[nodiscard]] std::vector<ServiceReference> get_service_references(
+      std::string_view interface_name, const Filter* filter = nullptr) const;
+  [[nodiscard]] std::optional<ServiceReference> get_service_reference(
+      std::string_view interface_name, const Filter* filter = nullptr) const;
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> get_service(
+      const ServiceReference& reference) const;
+
+  ListenerToken add_service_listener(ServiceListener listener,
+                                     std::optional<Filter> filter = {});
+  void remove_service_listener(ListenerToken token);
+
+  ListenerToken add_bundle_listener(BundleListener listener);
+  void remove_bundle_listener(ListenerToken token);
+
+ private:
+  Framework* framework_;
+  Bundle* bundle_;
+};
+
+class Framework {
+ public:
+  Framework();
+  ~Framework();
+  Framework(const Framework&) = delete;
+  Framework& operator=(const Framework&) = delete;
+
+  /// Installs a bundle (state INSTALLED). Fails on duplicate symbolic name +
+  /// version (OSGi forbids that combination).
+  Result<BundleId> install(BundleDefinition definition);
+
+  /// Attempts to resolve one bundle's imports (transitively resolving its
+  /// providers). INSTALLED -> RESOLVED on success.
+  Result<void> resolve(BundleId id);
+
+  /// Resolves then starts: INSTALLED/RESOLVED -> STARTING -> ACTIVE. An
+  /// activator exception rolls back to RESOLVED and returns the error.
+  Result<void> start(BundleId id);
+
+  /// ACTIVE -> STOPPING -> RESOLVED. The bundle's services are unregistered
+  /// automatically after its activator ran stop().
+  Result<void> stop(BundleId id);
+
+  /// Stops (if needed) and removes the bundle. Bundles wired to its exports
+  /// keep working until refresh() — the OSGi rule that makes hot-swap safe.
+  Result<void> uninstall(BundleId id);
+
+  /// In-place replacement: stop, swap definition, re-resolve, restart if the
+  /// bundle was ACTIVE before. This is OSGi's continuous-deployment verb.
+  Result<void> update(BundleId id, BundleDefinition definition);
+
+  /// Recomputes wiring for every non-active bundle whose providers changed.
+  void refresh();
+
+  // ---------------------------------------------------- start levels ----
+  /// The framework's active start level (StartLevel spec). Raising it starts
+  /// every autostart bundle whose level became reachable (ascending level,
+  /// install order within a level); lowering stops bundles above the new
+  /// level (descending). Start failures are reported as framework ERROR
+  /// events, not returned — level changes are best-effort per bundle.
+  void set_start_level(int level);
+  [[nodiscard]] int start_level() const { return start_level_; }
+
+  /// Moves one bundle to a different start level, starting/stopping it as
+  /// the new level dictates.
+  Result<void> set_bundle_start_level(BundleId id, int level);
+
+  [[nodiscard]] Bundle* get_bundle(BundleId id);
+  [[nodiscard]] const Bundle* get_bundle(BundleId id) const;
+  [[nodiscard]] Bundle* find_bundle(std::string_view symbolic_name);
+  [[nodiscard]] std::vector<const Bundle*> bundles() const;
+
+  [[nodiscard]] ServiceRegistry& registry() { return registry_; }
+  [[nodiscard]] const ServiceRegistry& registry() const { return registry_; }
+
+  /// System-level context (bundle id 0) for code that is not itself a bundle
+  /// (test harnesses, the examples' main()).
+  [[nodiscard]] BundleContext& system_context() { return *system_context_; }
+
+  ListenerToken add_bundle_listener(BundleListener listener);
+  void remove_bundle_listener(ListenerToken token);
+  ListenerToken add_framework_listener(FrameworkListener listener);
+  void remove_framework_listener(ListenerToken token);
+
+ private:
+  friend class BundleContext;
+
+  Result<void> resolve_locked(Bundle& bundle);
+  Result<void> start_locked(Bundle& bundle);
+  Result<void> stop_locked(Bundle& bundle);
+  void fire_bundle_event(BundleEventType type, const Bundle& bundle);
+  void fire_framework_event(FrameworkEventType type, BundleId bundle_id,
+                            std::string message);
+
+  struct BundleListenerRecord {
+    ListenerToken token;
+    BundleListener listener;
+  };
+  struct FrameworkListenerRecord {
+    ListenerToken token;
+    FrameworkListener listener;
+  };
+
+  std::vector<std::unique_ptr<Bundle>> bundles_;
+  ServiceRegistry registry_;
+  std::vector<BundleListenerRecord> bundle_listeners_;
+  std::vector<FrameworkListenerRecord> framework_listeners_;
+  BundleId next_bundle_id_ = 1;
+  ListenerToken next_token_ = 1;
+  int start_level_ = 1;
+  std::unique_ptr<Bundle> system_bundle_;
+  std::unique_ptr<BundleContext> system_context_;
+};
+
+template <typename T>
+std::shared_ptr<T> BundleContext::get_service(
+    const ServiceReference& reference) const {
+  return framework_->registry().get_service<T>(reference);
+}
+
+}  // namespace drt::osgi

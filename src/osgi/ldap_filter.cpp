@@ -1,0 +1,354 @@
+#include "osgi/ldap_filter.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace drt::osgi {
+
+namespace {
+
+enum class Op { kAnd, kOr, kNot, kEqual, kApprox, kGreaterEq, kLessEq, kPresent, kSubstring };
+
+}  // namespace
+
+/// AST node. Composite ops use `children`; leaf ops use attr/value.
+class FilterNode {
+ public:
+  Op op;
+  std::vector<std::shared_ptr<const FilterNode>> children;  // and/or/not
+  std::string attr;
+  std::string value;                   // raw pattern for substring
+  std::vector<std::string> segments;   // substring split on '*'
+  bool leading_star = false;
+  bool trailing_star = false;
+};
+
+namespace {
+
+class FilterParseError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Case + whitespace folding for the '~=' approximate match.
+std::string fold_approx(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    out += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool substring_match(const FilterNode& node, std::string_view candidate) {
+  const auto& segs = node.segments;
+  if (segs.empty()) return true;  // pattern was all wildcards
+  std::size_t begin = 0;
+  std::size_t end = candidate.size();
+  std::size_t first = 0;
+  std::size_t last = segs.size();
+  if (!node.leading_star) {
+    // Anchored prefix.
+    const std::string& seg = segs.front();
+    if (candidate.size() < seg.size() ||
+        candidate.substr(0, seg.size()) != seg) {
+      return false;
+    }
+    begin = seg.size();
+    ++first;
+  }
+  if (!node.trailing_star && first < last) {
+    // Anchored suffix, carved off before the floating middle segments so a
+    // greedy earlier match can never steal the final occurrence.
+    const std::string& seg = segs.back();
+    if (end - begin < seg.size() ||
+        candidate.substr(end - seg.size()) != seg) {
+      return false;
+    }
+    end -= seg.size();
+    --last;
+  }
+  for (std::size_t i = first; i < last; ++i) {
+    const std::string& seg = segs[i];
+    const auto found = candidate.substr(0, end).find(seg, begin);
+    if (found == std::string_view::npos) return false;
+    begin = found + seg.size();
+  }
+  return true;
+}
+
+/// Compares one scalar property value against the filter's string literal.
+bool compare_scalar(Op op, const PropertyValue& stored,
+                    const std::string& literal) {
+  if (const auto* num = std::get_if<std::int64_t>(&stored)) {
+    const auto rhs_int = str::parse_int(literal);
+    if (rhs_int) {
+      switch (op) {
+        case Op::kEqual: case Op::kApprox: return *num == *rhs_int;
+        case Op::kGreaterEq: return *num >= *rhs_int;
+        case Op::kLessEq: return *num <= *rhs_int;
+        default: return false;
+      }
+    }
+    const auto rhs_dbl = str::parse_double(literal);
+    if (!rhs_dbl) return false;
+    const auto lhs = static_cast<double>(*num);
+    switch (op) {
+      case Op::kEqual: case Op::kApprox: return lhs == *rhs_dbl;
+      case Op::kGreaterEq: return lhs >= *rhs_dbl;
+      case Op::kLessEq: return lhs <= *rhs_dbl;
+      default: return false;
+    }
+  }
+  if (const auto* num = std::get_if<double>(&stored)) {
+    const auto rhs = str::parse_double(literal);
+    if (!rhs) return false;
+    switch (op) {
+      case Op::kEqual: case Op::kApprox: return *num == *rhs;
+      case Op::kGreaterEq: return *num >= *rhs;
+      case Op::kLessEq: return *num <= *rhs;
+      default: return false;
+    }
+  }
+  if (const auto* flag = std::get_if<bool>(&stored)) {
+    const auto rhs = str::parse_bool(literal);
+    if (!rhs) return false;
+    return (op == Op::kEqual || op == Op::kApprox) && *flag == *rhs;
+  }
+  if (const auto* text = std::get_if<std::string>(&stored)) {
+    switch (op) {
+      case Op::kEqual: return *text == literal;
+      case Op::kApprox: return fold_approx(*text) == fold_approx(literal);
+      case Op::kGreaterEq: return *text >= literal;
+      case Op::kLessEq: return *text <= literal;
+      default: return false;
+    }
+  }
+  return false;
+}
+
+bool evaluate(const FilterNode& node, const Properties& properties) {
+  switch (node.op) {
+    case Op::kAnd:
+      return std::all_of(node.children.begin(), node.children.end(),
+                         [&](const auto& c) { return evaluate(*c, properties); });
+    case Op::kOr:
+      return std::any_of(node.children.begin(), node.children.end(),
+                         [&](const auto& c) { return evaluate(*c, properties); });
+    case Op::kNot:
+      return !evaluate(*node.children.front(), properties);
+    case Op::kPresent:
+      return properties.contains(node.attr);
+    case Op::kSubstring: {
+      const auto* stored = properties.get(node.attr);
+      if (stored == nullptr) return false;
+      if (const auto* text = std::get_if<std::string>(stored)) {
+        return substring_match(node, *text);
+      }
+      if (const auto* arr = std::get_if<std::vector<std::string>>(stored)) {
+        return std::any_of(arr->begin(), arr->end(), [&](const auto& elem) {
+          return substring_match(node, elem);
+        });
+      }
+      return false;
+    }
+    default: {
+      const auto* stored = properties.get(node.attr);
+      if (stored == nullptr) return false;
+      if (const auto* arr = std::get_if<std::vector<std::string>>(stored)) {
+        return std::any_of(arr->begin(), arr->end(), [&](const auto& elem) {
+          return compare_scalar(node.op, PropertyValue{elem}, node.value);
+        });
+      }
+      return compare_scalar(node.op, *stored, node.value);
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  std::shared_ptr<const FilterNode> parse() {
+    skip_ws();
+    auto node = parse_filter();
+    skip_ws();
+    if (pos_ != input_.size()) {
+      throw FilterParseError("trailing characters after filter");
+    }
+    return node;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= input_.size()) throw FilterParseError("unexpected end of filter");
+    return input_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      throw FilterParseError(std::string("expected '") + c + "'");
+    }
+  }
+
+  std::shared_ptr<const FilterNode> parse_filter() {
+    expect('(');
+    skip_ws();
+    auto node = std::make_shared<FilterNode>();
+    const char c = peek();
+    if (c == '&' || c == '|') {
+      next();
+      node->op = (c == '&') ? Op::kAnd : Op::kOr;
+      skip_ws();
+      while (peek() == '(') {
+        node->children.push_back(parse_filter());
+        skip_ws();
+      }
+      if (node->children.empty()) {
+        throw FilterParseError("composite filter needs at least one operand");
+      }
+      expect(')');
+      return node;
+    }
+    if (c == '!') {
+      next();
+      node->op = Op::kNot;
+      skip_ws();
+      node->children.push_back(parse_filter());
+      skip_ws();
+      expect(')');
+      return node;
+    }
+    // Leaf operation: attr OP value ')'.
+    node->attr = parse_attr();
+    skip_ws();
+    const char op_char = next();
+    if (op_char == '~') {
+      expect('=');
+      node->op = Op::kApprox;
+    } else if (op_char == '>') {
+      expect('=');
+      node->op = Op::kGreaterEq;
+    } else if (op_char == '<') {
+      expect('=');
+      node->op = Op::kLessEq;
+    } else if (op_char == '=') {
+      node->op = Op::kEqual;
+    } else {
+      throw FilterParseError("expected comparison operator");
+    }
+    bool has_star = false;
+    node->value = parse_value(has_star);
+    expect(')');
+    if (node->op == Op::kEqual && has_star) {
+      if (node->value == "*") {
+        node->op = Op::kPresent;
+      } else {
+        node->op = Op::kSubstring;
+        compile_substring(*node);
+      }
+    } else if (has_star && node->op != Op::kEqual) {
+      throw FilterParseError("'*' only allowed in equality values");
+    }
+    return node;
+  }
+
+  std::string parse_attr() {
+    std::string attr;
+    while (pos_ < input_.size()) {
+      const char c = input_[pos_];
+      if (c == '=' || c == '~' || c == '>' || c == '<' || c == '(' ||
+          c == ')') {
+        break;
+      }
+      attr += c;
+      ++pos_;
+    }
+    const auto trimmed = str::trim(attr);
+    if (trimmed.empty()) throw FilterParseError("empty attribute name");
+    return std::string(trimmed);
+  }
+
+  /// Parses a value up to ')'. '\' escapes the next character. Positions of
+  /// unescaped '*' wildcards are recorded in star_positions_ so that escaped
+  /// stars ("\*") survive as literal characters inside segments.
+  std::string parse_value(bool& has_unescaped_star) {
+    std::string value;
+    star_positions_.clear();
+    while (true) {
+      const char c = peek();
+      if (c == ')') break;
+      if (c == '(') throw FilterParseError("'(' in value must be escaped");
+      next();
+      if (c == '\\') {
+        value += next();  // escaped char taken literally
+        continue;
+      }
+      if (c == '*') {
+        has_unescaped_star = true;
+        star_positions_.push_back(value.size());
+      }
+      value += c;
+    }
+    return value;
+  }
+
+  void compile_substring(FilterNode& node) {
+    // Split node.value on the star positions recorded during parse_value.
+    node.segments.clear();
+    std::size_t start = 0;
+    for (std::size_t star : star_positions_) {
+      if (star > start) {
+        node.segments.push_back(node.value.substr(start, star - start));
+      }
+      // star == start: consecutive wildcards collapse into one.
+      start = star + 1;
+    }
+    if (start < node.value.size()) {
+      node.segments.push_back(node.value.substr(start));
+    }
+    node.leading_star = !star_positions_.empty() && star_positions_.front() == 0;
+    node.trailing_star =
+        !star_positions_.empty() && star_positions_.back() == node.value.size() - 1;
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::vector<std::size_t> star_positions_;
+};
+
+}  // namespace
+
+Result<Filter> Filter::parse(std::string_view text) {
+  try {
+    Parser parser(text);
+    auto root = parser.parse();
+    return Filter(std::move(root), std::string(str::trim(text)));
+  } catch (const FilterParseError& e) {
+    return make_error("osgi.bad_filter",
+                      std::string(e.what()) + " in filter '" +
+                          std::string(text) + "'");
+  }
+}
+
+bool Filter::matches(const Properties& properties) const {
+  return evaluate(*root_, properties);
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,54 @@
+// RFC 1960 / OSGi LDAP filter language.
+//
+// This is the query language OSGi uses everywhere: service lookup, service
+// trackers, declarative-service target filters, and — in the paper — the
+// package-level module matching whose inflexibility §2.1 criticises. The
+// grammar:
+//
+//   filter     ::= '(' (and | or | not | operation) ')'
+//   and        ::= '&' filter+          or ::= '|' filter+
+//   not        ::= '!' filter
+//   operation  ::= attr '=' value       (equality; value may contain '*'
+//                                        wildcards => substring match)
+//                | attr '~=' value      (approximate: case/whitespace folded)
+//                | attr '>=' value | attr '<=' value
+//                | attr '=*'            (presence)
+//
+// Values escape '(', ')', '*' and '\' with a backslash. Comparisons are
+// type-aware against Properties: numeric when the stored value is numeric,
+// boolean for bools, lexicographic for strings; array values match when any
+// element matches.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "osgi/properties.hpp"
+#include "util/result.hpp"
+
+namespace drt::osgi {
+
+class FilterNode;  // internal AST
+
+/// A compiled, immutable filter. Cheap to copy (shared AST).
+class Filter {
+ public:
+  /// Compiles the filter; Error code "osgi.bad_filter" on syntax problems.
+  [[nodiscard]] static Result<Filter> parse(std::string_view text);
+
+  /// Evaluates against a property dictionary.
+  [[nodiscard]] bool matches(const Properties& properties) const;
+
+  /// The normalised source text of the filter.
+  [[nodiscard]] const std::string& to_string() const { return source_; }
+
+ private:
+  Filter(std::shared_ptr<const FilterNode> root, std::string source)
+      : root_(std::move(root)), source_(std::move(source)) {}
+
+  std::shared_ptr<const FilterNode> root_;
+  std::string source_;
+};
+
+}  // namespace drt::osgi

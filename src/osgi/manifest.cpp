@@ -1,0 +1,182 @@
+#include "osgi/manifest.hpp"
+
+#include "util/strings.hpp"
+
+namespace drt::osgi {
+namespace {
+
+/// Splits a package header value on top-level commas — commas inside quoted
+/// attribute values ("[1.0,2.0)") must not split clauses.
+std::vector<std::string> split_clauses(std::string_view value) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_quotes = false;
+  for (char c : value) {
+    if (c == '"') {
+      in_quotes = !in_quotes;
+      current += c;
+    } else if (c == ',' && !in_quotes) {
+      const auto trimmed = str::trim(current);
+      if (!trimmed.empty()) out.emplace_back(trimmed);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const auto trimmed = str::trim(current);
+  if (!trimmed.empty()) out.emplace_back(trimmed);
+  return out;
+}
+
+/// Parses one clause "pkg;attr=value;dir:=value" into the package name and an
+/// attribute map (quotes stripped).
+struct Clause {
+  std::string target;
+  std::map<std::string, std::string> attributes;   // attr=value
+  std::map<std::string, std::string> directives;   // dir:=value
+};
+
+Result<Clause> parse_clause(std::string_view text) {
+  Clause clause;
+  const auto parts = str::split(text, ';');
+  if (parts.empty() || parts.front().empty()) {
+    return make_error("osgi.bad_manifest", "empty package clause");
+  }
+  clause.target = parts.front();
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string_view part{parts[i]};
+    const auto eq = part.find('=');
+    if (eq == std::string_view::npos) {
+      return make_error("osgi.bad_manifest",
+                        "malformed parameter '" + std::string(part) + "'");
+    }
+    bool directive = eq > 0 && part[eq - 1] == ':';
+    auto key = std::string(
+        str::trim(part.substr(0, directive ? eq - 1 : eq)));
+    auto value = std::string(str::trim(part.substr(eq + 1)));
+    if (value.size() >= 2 && value.front() == '"' && value.back() == '"') {
+      value = value.substr(1, value.size() - 2);
+    }
+    if (directive) {
+      clause.directives[key] = value;
+    } else {
+      clause.attributes[key] = value;
+    }
+  }
+  return clause;
+}
+
+}  // namespace
+
+Result<Manifest> Manifest::parse(std::string_view text) {
+  Manifest manifest;
+  // Unfold continuation lines (JAR rule: a line starting with one space
+  // continues the previous header value).
+  std::vector<std::pair<std::string, std::string>> headers;
+  for (const auto& raw_line : str::split(text, '\n')) {
+    // str::split already trims, so re-detect continuations from the raw text
+    // is impossible; instead treat lines without ':' as continuations.
+    if (raw_line.empty()) continue;
+    const auto colon = raw_line.find(':');
+    if (colon == std::string::npos) {
+      if (headers.empty()) {
+        return make_error("osgi.bad_manifest",
+                          "continuation line before any header: '" + raw_line +
+                              "'");
+      }
+      headers.back().second += raw_line;
+      continue;
+    }
+    auto key = std::string(str::trim(std::string_view(raw_line).substr(0, colon)));
+    auto value =
+        std::string(str::trim(std::string_view(raw_line).substr(colon + 1)));
+    headers.emplace_back(std::move(key), std::move(value));
+  }
+
+  for (const auto& [key, value] : headers) {
+    manifest.raw_headers_[str::to_lower(key)] = value;
+    if (str::iequals(key, "Bundle-SymbolicName")) {
+      // The symbolic name may carry directives (singleton:=true); keep name.
+      manifest.symbolic_name_ = str::split(value, ';').front();
+    } else if (str::iequals(key, "Bundle-Version")) {
+      auto version = Version::parse(value);
+      if (!version.ok()) return version.error();
+      manifest.version_ = std::move(version).take();
+    } else if (str::iequals(key, "Bundle-Name")) {
+      manifest.name_ = value;
+    } else if (str::iequals(key, "Import-Package")) {
+      for (const auto& clause_text : split_clauses(value)) {
+        auto clause = parse_clause(clause_text);
+        if (!clause.ok()) return clause.error();
+        ImportClause import;
+        import.package = clause.value().target;
+        if (const auto found = clause.value().attributes.find("version");
+            found != clause.value().attributes.end()) {
+          auto range = VersionRange::parse(found->second);
+          if (!range.ok()) return range.error();
+          import.version_range = std::move(range).take();
+        }
+        if (const auto found = clause.value().directives.find("resolution");
+            found != clause.value().directives.end()) {
+          import.optional = str::iequals(found->second, "optional");
+        }
+        manifest.imports_.push_back(std::move(import));
+      }
+    } else if (str::iequals(key, "Export-Package")) {
+      for (const auto& clause_text : split_clauses(value)) {
+        auto clause = parse_clause(clause_text);
+        if (!clause.ok()) return clause.error();
+        ExportClause exp;
+        exp.package = clause.value().target;
+        if (const auto found = clause.value().attributes.find("version");
+            found != clause.value().attributes.end()) {
+          auto version = Version::parse(found->second);
+          if (!version.ok()) return version.error();
+          exp.version = std::move(version).take();
+        }
+        manifest.exports_.push_back(std::move(exp));
+      }
+    } else if (str::iequals(key, "DRT-Components")) {
+      for (auto& path : str::split_non_empty(value, ',')) {
+        manifest.component_resources_.push_back(std::move(path));
+      }
+    }
+  }
+
+  if (manifest.symbolic_name_.empty()) {
+    return make_error("osgi.bad_manifest", "missing Bundle-SymbolicName");
+  }
+  return manifest;
+}
+
+std::string Manifest::header(std::string_view key) const {
+  const auto found = raw_headers_.find(str::to_lower(key));
+  return found == raw_headers_.end() ? std::string{} : found->second;
+}
+
+Manifest& Manifest::set_symbolic_name(std::string value) {
+  symbolic_name_ = std::move(value);
+  return *this;
+}
+Manifest& Manifest::set_version(Version value) {
+  version_ = std::move(value);
+  return *this;
+}
+Manifest& Manifest::set_name(std::string value) {
+  name_ = std::move(value);
+  return *this;
+}
+Manifest& Manifest::add_import(ImportClause clause) {
+  imports_.push_back(std::move(clause));
+  return *this;
+}
+Manifest& Manifest::add_export(ExportClause clause) {
+  exports_.push_back(std::move(clause));
+  return *this;
+}
+Manifest& Manifest::add_component_resource(std::string path) {
+  component_resources_.push_back(std::move(path));
+  return *this;
+}
+
+}  // namespace drt::osgi

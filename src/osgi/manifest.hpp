@@ -1,0 +1,80 @@
+// Bundle manifest model (the subset of OSGi Core manifest headers the
+// framework needs for module resolution).
+//
+// Headers understood:
+//   Bundle-SymbolicName: <name>
+//   Bundle-Version: <version>
+//   Bundle-Name: <human readable>
+//   Import-Package: pkg.a;version="[1.0,2.0)", pkg.b;resolution:=optional
+//   Export-Package: pkg.a;version="1.2.0"
+//   DRT-Components: path/a.xml, path/b.xml   (this reproduction's analogue
+//       of SCR's Service-Component header: where the DRCom descriptors live
+//       inside the bundle's resources)
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "osgi/version.hpp"
+#include "util/result.hpp"
+
+namespace drt::osgi {
+
+struct ImportClause {
+  std::string package;
+  VersionRange version_range;  ///< defaults to [0, inf)
+  bool optional = false;       ///< resolution:=optional
+};
+
+struct ExportClause {
+  std::string package;
+  Version version;  ///< defaults to 0.0.0
+};
+
+class Manifest {
+ public:
+  /// Parses "Header: value" lines. Continuation lines start with a space
+  /// (JAR manifest rule). Unknown headers are preserved in raw form.
+  [[nodiscard]] static Result<Manifest> parse(std::string_view text);
+
+  /// Builder-style construction for programmatic bundles.
+  Manifest() = default;
+
+  [[nodiscard]] const std::string& symbolic_name() const {
+    return symbolic_name_;
+  }
+  [[nodiscard]] const Version& version() const { return version_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<ImportClause>& imports() const {
+    return imports_;
+  }
+  [[nodiscard]] const std::vector<ExportClause>& exports() const {
+    return exports_;
+  }
+  /// Descriptor resource paths from the DRT-Components header.
+  [[nodiscard]] const std::vector<std::string>& component_resources() const {
+    return component_resources_;
+  }
+  /// Raw value of any header (empty if absent).
+  [[nodiscard]] std::string header(std::string_view key) const;
+
+  Manifest& set_symbolic_name(std::string value);
+  Manifest& set_version(Version value);
+  Manifest& set_name(std::string value);
+  Manifest& add_import(ImportClause clause);
+  Manifest& add_export(ExportClause clause);
+  Manifest& add_component_resource(std::string path);
+
+ private:
+  std::string symbolic_name_;
+  Version version_;
+  std::string name_;
+  std::vector<ImportClause> imports_;
+  std::vector<ExportClause> exports_;
+  std::vector<std::string> component_resources_;
+  std::map<std::string, std::string> raw_headers_;  // lowercase key
+};
+
+}  // namespace drt::osgi

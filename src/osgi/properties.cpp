@@ -1,0 +1,103 @@
+#include "osgi/properties.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace drt::osgi {
+
+std::string to_string(const PropertyValue& value) {
+  return std::visit(
+      [](const auto& v) -> std::string {
+        using T = std::decay_t<decltype(v)>;
+        if constexpr (std::is_same_v<T, std::string>) {
+          return v;
+        } else if constexpr (std::is_same_v<T, std::int64_t>) {
+          return std::to_string(v);
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::ostringstream out;
+          out << v;
+          return out.str();
+        } else if constexpr (std::is_same_v<T, bool>) {
+          return v ? "true" : "false";
+        } else {
+          std::string out = "[";
+          for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i != 0) out += ", ";
+            out += v[i];
+          }
+          out += "]";
+          return out;
+        }
+      },
+      value);
+}
+
+Properties::Properties(
+    std::initializer_list<std::pair<std::string, PropertyValue>> init) {
+  for (auto& [key, value] : init) set(key, value);
+}
+
+void Properties::set(std::string_view key, PropertyValue value) {
+  entries_[str::to_lower(key)] = Entry{std::string(key), std::move(value)};
+}
+
+const PropertyValue* Properties::get(std::string_view key) const {
+  const auto found = entries_.find(str::to_lower(key));
+  return found == entries_.end() ? nullptr : &found->second.value;
+}
+
+bool Properties::contains(std::string_view key) const {
+  return get(key) != nullptr;
+}
+
+bool Properties::erase(std::string_view key) {
+  return entries_.erase(str::to_lower(key)) > 0;
+}
+
+std::optional<std::string> Properties::get_string(std::string_view key) const {
+  const auto* value = get(key);
+  if (value == nullptr) return std::nullopt;
+  if (const auto* s = std::get_if<std::string>(value)) return *s;
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Properties::get_int(std::string_view key) const {
+  const auto* value = get(key);
+  if (value == nullptr) return std::nullopt;
+  if (const auto* i = std::get_if<std::int64_t>(value)) return *i;
+  return std::nullopt;
+}
+
+std::optional<double> Properties::get_double(std::string_view key) const {
+  const auto* value = get(key);
+  if (value == nullptr) return std::nullopt;
+  if (const auto* d = std::get_if<double>(value)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(value)) {
+    return static_cast<double>(*i);
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> Properties::get_bool(std::string_view key) const {
+  const auto* value = get(key);
+  if (value == nullptr) return std::nullopt;
+  if (const auto* b = std::get_if<bool>(value)) return *b;
+  return std::nullopt;
+}
+
+std::string Properties::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [_, entry] : entries_) {
+    if (!first) out += ", ";
+    first = false;
+    out += entry.original_key;
+    out += "=";
+    out += osgi::to_string(entry.value);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,65 @@
+// Service and component property dictionaries.
+//
+// OSGi service properties are case-insensitive-keyed dictionaries of a small
+// set of value types. The LDAP filter evaluator (ldap_filter.hpp) compares
+// against these values with type-aware semantics: numeric comparison for
+// numbers, lexicographic for strings, any-element-matches for arrays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace drt::osgi {
+
+using PropertyValue =
+    std::variant<std::string, std::int64_t, double, bool,
+                 std::vector<std::string>>;
+
+/// Renders a value for diagnostics ("[a, b]" for arrays).
+[[nodiscard]] std::string to_string(const PropertyValue& value);
+
+/// Case-insensitive keyed property map (OSGi Core §5.2.5: service property
+/// keys are case-insensitive but case-preserving).
+class Properties {
+ public:
+  /// Stored entry: the key as originally written plus the value. Exposed so
+  /// iteration can recover the case-preserved key.
+  struct Entry {
+    std::string original_key;  ///< case-preserved
+    PropertyValue value;
+  };
+
+  Properties() = default;
+  Properties(std::initializer_list<std::pair<std::string, PropertyValue>> init);
+
+  void set(std::string_view key, PropertyValue value);
+  [[nodiscard]] const PropertyValue* get(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const;
+  bool erase(std::string_view key);
+
+  /// Typed accessors returning nullopt on absence or type mismatch.
+  [[nodiscard]] std::optional<std::string> get_string(std::string_view key) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(std::string_view key) const;
+  [[nodiscard]] std::optional<double> get_double(std::string_view key) const;
+  [[nodiscard]] std::optional<bool> get_bool(std::string_view key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Iteration in case-folded key order (deterministic).
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  // Keyed by lowercase key.
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace drt::osgi

@@ -1,0 +1,158 @@
+#include "osgi/service_registry.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace drt::osgi {
+
+namespace {
+const Properties kEmptyProperties;
+const std::vector<std::string> kNoInterfaces;
+}  // namespace
+
+const Properties& ServiceReference::properties() const {
+  return entry_ ? entry_->properties : kEmptyProperties;
+}
+
+const std::vector<std::string>& ServiceReference::interfaces() const {
+  return entry_ ? entry_->interfaces : kNoInterfaces;
+}
+
+std::int64_t ServiceReference::ranking() const {
+  if (!entry_) return 0;
+  return entry_->properties.get_int("service.ranking").value_or(0);
+}
+
+void ServiceRegistration::set_properties(Properties properties) {
+  if (registry_ != nullptr && entry_ != nullptr && entry_->registered) {
+    registry_->do_set_properties(entry_, std::move(properties));
+  }
+}
+
+void ServiceRegistration::unregister() {
+  if (registry_ != nullptr && entry_ != nullptr && entry_->registered) {
+    registry_->do_unregister(entry_);
+  }
+}
+
+ServiceRegistration ServiceRegistry::register_service(
+    BundleId owner, std::vector<std::string> interfaces,
+    std::shared_ptr<void> service, Properties properties) {
+  auto entry = std::make_shared<detail::ServiceEntry>();
+  entry->id = next_service_id_++;
+  entry->owner = owner;
+  entry->interfaces = std::move(interfaces);
+  entry->service = std::move(service);
+  entry->properties = std::move(properties);
+  entry->properties.set("objectClass", entry->interfaces);
+  entry->properties.set("service.id",
+                        static_cast<std::int64_t>(entry->id));
+  entry->properties.set("service.bundleid",
+                        static_cast<std::int64_t>(owner));
+  entries_.push_back(entry);
+  log::Line(log::Level::kDebug, "osgi.registry")
+      << "registered service #" << entry->id << " "
+      << entry->properties.to_string();
+  fire(ServiceEventType::kRegistered, entry);
+  return ServiceRegistration{entry, this};
+}
+
+std::vector<ServiceReference> ServiceRegistry::get_references(
+    std::string_view interface_name, const Filter* filter) const {
+  std::vector<std::shared_ptr<detail::ServiceEntry>> matched;
+  for (const auto& entry : entries_) {
+    if (!entry->registered) continue;
+    if (!interface_name.empty()) {
+      const bool provides =
+          std::find(entry->interfaces.begin(), entry->interfaces.end(),
+                    interface_name) != entry->interfaces.end();
+      if (!provides) continue;
+    }
+    if (filter != nullptr && !filter->matches(entry->properties)) continue;
+    matched.push_back(entry);
+  }
+  std::sort(matched.begin(), matched.end(),
+            [](const auto& a, const auto& b) {
+              const auto rank_a = a->properties.get_int("service.ranking").value_or(0);
+              const auto rank_b = b->properties.get_int("service.ranking").value_or(0);
+              if (rank_a != rank_b) return rank_a > rank_b;
+              return a->id < b->id;
+            });
+  std::vector<ServiceReference> out;
+  out.reserve(matched.size());
+  for (auto& entry : matched) out.push_back(ServiceReference{std::move(entry)});
+  return out;
+}
+
+std::optional<ServiceReference> ServiceRegistry::get_reference(
+    std::string_view interface_name, const Filter* filter) const {
+  auto refs = get_references(interface_name, filter);
+  if (refs.empty()) return std::nullopt;
+  return refs.front();
+}
+
+ListenerToken ServiceRegistry::add_listener(ServiceListener listener,
+                                            std::optional<Filter> filter) {
+  const ListenerToken token = next_listener_token_++;
+  listeners_.push_back({token, std::move(listener), std::move(filter)});
+  return token;
+}
+
+void ServiceRegistry::remove_listener(ListenerToken token) {
+  std::erase_if(listeners_,
+                [token](const auto& rec) { return rec.token == token; });
+}
+
+void ServiceRegistry::unregister_all(BundleId owner) {
+  // Snapshot first: unregistering fires listeners that may mutate entries_.
+  std::vector<std::shared_ptr<detail::ServiceEntry>> owned;
+  for (const auto& entry : entries_) {
+    if (entry->registered && entry->owner == owner) owned.push_back(entry);
+  }
+  for (const auto& entry : owned) do_unregister(entry);
+}
+
+std::size_t ServiceRegistry::size() const {
+  return static_cast<std::size_t>(
+      std::count_if(entries_.begin(), entries_.end(),
+                    [](const auto& e) { return e->registered; }));
+}
+
+void ServiceRegistry::do_unregister(
+    const std::shared_ptr<detail::ServiceEntry>& entry) {
+  fire(ServiceEventType::kUnregistering, entry);
+  entry->registered = false;
+  std::erase(entries_, entry);
+  log::Line(log::Level::kDebug, "osgi.registry")
+      << "unregistered service #" << entry->id;
+}
+
+void ServiceRegistry::do_set_properties(
+    const std::shared_ptr<detail::ServiceEntry>& entry,
+    Properties properties) {
+  // Standard properties survive modification (OSGi Core §5.2.5).
+  properties.set("objectClass", entry->interfaces);
+  properties.set("service.id", static_cast<std::int64_t>(entry->id));
+  properties.set("service.bundleid",
+                 static_cast<std::int64_t>(entry->owner));
+  entry->properties = std::move(properties);
+  fire(ServiceEventType::kModified, entry);
+}
+
+void ServiceRegistry::fire(ServiceEventType type,
+                           const std::shared_ptr<detail::ServiceEntry>& entry) {
+  // Copy the listener list: a listener may add/remove listeners while being
+  // notified (the DRCR does exactly that when a resolver appears).
+  const auto snapshot = listeners_;
+  const ServiceEvent event{type, ServiceReference{entry}};
+  for (const auto& record : snapshot) {
+    if (record.filter.has_value() &&
+        !record.filter->matches(entry->properties)) {
+      continue;
+    }
+    record.listener(event);
+  }
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,186 @@
+// The OSGi service registry.
+//
+// Services are objects published under one or more interface names with a
+// property dictionary; consumers look them up by interface + LDAP filter and
+// get ranked references (highest service.ranking wins, ties broken by lowest
+// service.id — the OSGi rule). The paper's DRCR publishes one
+// RtComponentManagement service per active component here (§2.4), and custom
+// resolving services are discovered through it (§1, §4.3).
+//
+// Services are stored as std::shared_ptr<void>; the typed accessor performs a
+// static_pointer_cast, mirroring the Object-and-cast contract of Java OSGi.
+// Publishing under an interface name the object does not implement is the
+// same programming error in both worlds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "osgi/ldap_filter.hpp"
+#include "osgi/properties.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace drt::osgi {
+
+namespace detail {
+struct ServiceEntry {
+  ServiceId id = 0;
+  BundleId owner = 0;
+  std::vector<std::string> interfaces;
+  std::shared_ptr<void> service;
+  Properties properties;
+  bool registered = true;
+};
+}  // namespace detail
+
+/// Lightweight handle to a registered service. Remains safe to hold after
+/// unregistration (is_valid() turns false).
+class ServiceReference {
+ public:
+  ServiceReference() = default;
+
+  [[nodiscard]] bool is_valid() const {
+    return entry_ != nullptr && entry_->registered;
+  }
+  explicit operator bool() const { return is_valid(); }
+
+  [[nodiscard]] ServiceId service_id() const {
+    return entry_ ? entry_->id : 0;
+  }
+  [[nodiscard]] BundleId owner_bundle() const {
+    return entry_ ? entry_->owner : 0;
+  }
+  [[nodiscard]] const Properties& properties() const;
+  [[nodiscard]] const std::vector<std::string>& interfaces() const;
+  [[nodiscard]] std::int64_t ranking() const;
+
+  [[nodiscard]] bool operator==(const ServiceReference& other) const {
+    return entry_ == other.entry_;
+  }
+
+ private:
+  friend class ServiceRegistry;
+  friend class ServiceRegistration;
+  explicit ServiceReference(std::shared_ptr<detail::ServiceEntry> entry)
+      : entry_(std::move(entry)) {}
+  std::shared_ptr<detail::ServiceEntry> entry_;
+};
+
+/// Handle owned by the publisher; unregisters on demand (NOT on destruction —
+/// the framework auto-unregisters a stopping bundle's services, matching
+/// OSGi semantics).
+class ServiceRegistration {
+ public:
+  ServiceRegistration() = default;
+
+  [[nodiscard]] bool is_valid() const {
+    return entry_ != nullptr && entry_->registered;
+  }
+  [[nodiscard]] ServiceReference reference() const {
+    return ServiceReference{entry_};
+  }
+
+  /// Replaces the service properties (service.id/objectClass are preserved)
+  /// and fires a MODIFIED event.
+  void set_properties(Properties properties);
+
+  /// Removes the service from the registry, firing UNREGISTERING first so
+  /// consumers can release it.
+  void unregister();
+
+ private:
+  friend class ServiceRegistry;
+  class ServiceRegistryAccess;
+  ServiceRegistration(std::shared_ptr<detail::ServiceEntry> entry,
+                      class ServiceRegistry* registry)
+      : entry_(std::move(entry)), registry_(registry) {}
+  std::shared_ptr<detail::ServiceEntry> entry_;
+  ServiceRegistry* registry_ = nullptr;
+};
+
+enum class ServiceEventType { kRegistered, kModified, kUnregistering };
+
+[[nodiscard]] constexpr const char* to_string(ServiceEventType type) {
+  switch (type) {
+    case ServiceEventType::kRegistered: return "REGISTERED";
+    case ServiceEventType::kModified: return "MODIFIED";
+    case ServiceEventType::kUnregistering: return "UNREGISTERING";
+  }
+  return "?";
+}
+
+struct ServiceEvent {
+  ServiceEventType type;
+  ServiceReference reference;
+};
+
+using ServiceListener = std::function<void(const ServiceEvent&)>;
+using ListenerToken = std::uint64_t;
+
+class ServiceRegistry {
+ public:
+  ServiceRegistry() = default;
+  ServiceRegistry(const ServiceRegistry&) = delete;
+  ServiceRegistry& operator=(const ServiceRegistry&) = delete;
+
+  /// Publishes `service` under `interfaces`. The registry adds the standard
+  /// "objectClass" and "service.id" properties.
+  ServiceRegistration register_service(BundleId owner,
+                                       std::vector<std::string> interfaces,
+                                       std::shared_ptr<void> service,
+                                       Properties properties = {});
+
+  /// All live references exposing `interface_name` (any interface if empty),
+  /// optionally filtered, ordered best-first (ranking desc, id asc).
+  [[nodiscard]] std::vector<ServiceReference> get_references(
+      std::string_view interface_name, const Filter* filter = nullptr) const;
+
+  /// Best reference or empty optional.
+  [[nodiscard]] std::optional<ServiceReference> get_reference(
+      std::string_view interface_name, const Filter* filter = nullptr) const;
+
+  /// Typed access; nullptr when the reference is stale.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> get_service(
+      const ServiceReference& reference) const {
+    if (!reference.is_valid()) return nullptr;
+    return std::static_pointer_cast<T>(reference.entry_->service);
+  }
+
+  /// Adds a listener; `filter` (optional) restricts delivered events. The
+  /// listener fires synchronously for REGISTERED/MODIFIED/UNREGISTERING.
+  ListenerToken add_listener(ServiceListener listener,
+                             std::optional<Filter> filter = std::nullopt);
+  void remove_listener(ListenerToken token);
+
+  /// Unregisters every service a bundle still owns (bundle stop/uninstall).
+  void unregister_all(BundleId owner);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  friend class ServiceRegistration;
+  void do_unregister(const std::shared_ptr<detail::ServiceEntry>& entry);
+  void do_set_properties(const std::shared_ptr<detail::ServiceEntry>& entry,
+                         Properties properties);
+  void fire(ServiceEventType type,
+            const std::shared_ptr<detail::ServiceEntry>& entry);
+
+  struct ListenerRecord {
+    ListenerToken token;
+    ServiceListener listener;
+    std::optional<Filter> filter;
+  };
+
+  std::vector<std::shared_ptr<detail::ServiceEntry>> entries_;
+  std::vector<ListenerRecord> listeners_;
+  ServiceId next_service_id_ = 1;
+  ListenerToken next_listener_token_ = 1;
+};
+
+}  // namespace drt::osgi

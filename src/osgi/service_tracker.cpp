@@ -1,0 +1,107 @@
+#include "osgi/service_tracker.hpp"
+
+#include <algorithm>
+
+namespace drt::osgi {
+
+ServiceTracker::ServiceTracker(BundleContext& context,
+                               std::string interface_name,
+                               std::optional<Filter> filter,
+                               Callbacks callbacks)
+    : context_(&context), interface_name_(std::move(interface_name)),
+      filter_(std::move(filter)), callbacks_(std::move(callbacks)) {}
+
+ServiceTracker::~ServiceTracker() { close(); }
+
+void ServiceTracker::open() {
+  if (open_) return;
+  open_ = true;
+  token_ = context_->add_service_listener(
+      [this](const ServiceEvent& event) { handle_event(event); });
+  // Deliver pre-existing services.
+  for (const auto& reference : context_->get_service_references(
+           interface_name_, filter_ ? &*filter_ : nullptr)) {
+    tracked_.push_back(reference);
+    if (callbacks_.on_added) callbacks_.on_added(reference);
+  }
+}
+
+void ServiceTracker::close() {
+  if (!open_) return;
+  open_ = false;
+  if (token_.has_value()) {
+    context_->remove_service_listener(*token_);
+    token_.reset();
+  }
+  // Removal callbacks let consumers release references deterministically.
+  auto snapshot = tracked_;
+  tracked_.clear();
+  if (callbacks_.on_removed) {
+    for (const auto& reference : snapshot) callbacks_.on_removed(reference);
+  }
+}
+
+std::vector<ServiceReference> ServiceTracker::tracked() const {
+  auto sorted = tracked_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ServiceReference& a, const ServiceReference& b) {
+              if (a.ranking() != b.ranking()) return a.ranking() > b.ranking();
+              return a.service_id() < b.service_id();
+            });
+  return sorted;
+}
+
+std::optional<ServiceReference> ServiceTracker::best() const {
+  const auto sorted = tracked();
+  if (sorted.empty()) return std::nullopt;
+  return sorted.front();
+}
+
+bool ServiceTracker::matches(const ServiceReference& reference) const {
+  if (!interface_name_.empty()) {
+    const auto& interfaces = reference.interfaces();
+    if (std::find(interfaces.begin(), interfaces.end(), interface_name_) ==
+        interfaces.end()) {
+      return false;
+    }
+  }
+  if (filter_.has_value() && !filter_->matches(reference.properties())) {
+    return false;
+  }
+  return true;
+}
+
+void ServiceTracker::handle_event(const ServiceEvent& event) {
+  const bool currently_tracked =
+      std::find(tracked_.begin(), tracked_.end(), event.reference) !=
+      tracked_.end();
+  switch (event.type) {
+    case ServiceEventType::kRegistered:
+      if (!currently_tracked && matches(event.reference)) {
+        tracked_.push_back(event.reference);
+        if (callbacks_.on_added) callbacks_.on_added(event.reference);
+      }
+      break;
+    case ServiceEventType::kModified:
+      if (matches(event.reference)) {
+        if (!currently_tracked) {
+          tracked_.push_back(event.reference);
+          if (callbacks_.on_added) callbacks_.on_added(event.reference);
+        } else if (callbacks_.on_modified) {
+          callbacks_.on_modified(event.reference);
+        }
+      } else if (currently_tracked) {
+        std::erase(tracked_, event.reference);
+        if (callbacks_.on_removed) callbacks_.on_removed(event.reference);
+      }
+      break;
+    case ServiceEventType::kUnregistering:
+      if (currently_tracked) {
+        std::erase(tracked_, event.reference);
+        if (callbacks_.on_removed) callbacks_.on_removed(event.reference);
+      }
+      break;
+  }
+}
+
+}  // namespace drt::osgi

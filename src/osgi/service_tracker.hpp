@@ -1,0 +1,69 @@
+// ServiceTracker: the standard OSGi utility for consuming services that come
+// and go. The DRCR uses one to watch for custom resolving services (paper
+// §1: "a resolving service ... can be plugged into the DRCR runtime by using
+// the OSGi service model"); adaptation managers use one to watch component
+// management services (§2.4).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "osgi/framework.hpp"
+
+namespace drt::osgi {
+
+class ServiceTracker {
+ public:
+  struct Callbacks {
+    std::function<void(const ServiceReference&)> on_added;
+    std::function<void(const ServiceReference&)> on_modified;
+    std::function<void(const ServiceReference&)> on_removed;
+  };
+
+  /// Tracks services providing `interface_name` that match `filter` (if any).
+  /// Callbacks fire synchronously; on open(), on_added fires for services
+  /// that already exist.
+  ServiceTracker(BundleContext& context, std::string interface_name,
+                 std::optional<Filter> filter = std::nullopt,
+                 Callbacks callbacks = {});
+  ~ServiceTracker();
+
+  ServiceTracker(const ServiceTracker&) = delete;
+  ServiceTracker& operator=(const ServiceTracker&) = delete;
+
+  void open();
+  void close();
+  [[nodiscard]] bool is_open() const { return open_; }
+
+  /// Snapshot of currently tracked references (best-first).
+  [[nodiscard]] std::vector<ServiceReference> tracked() const;
+
+  /// Best tracked reference (highest ranking), if any.
+  [[nodiscard]] std::optional<ServiceReference> best() const;
+
+  [[nodiscard]] std::size_t size() const { return tracked_.size(); }
+
+  /// Convenience: typed service for the best reference.
+  template <typename T>
+  [[nodiscard]] std::shared_ptr<T> best_service() const {
+    const auto reference = best();
+    if (!reference.has_value()) return nullptr;
+    return context_->get_service<T>(*reference);
+  }
+
+ private:
+  bool matches(const ServiceReference& reference) const;
+  void handle_event(const ServiceEvent& event);
+
+  BundleContext* context_;
+  std::string interface_name_;
+  std::optional<Filter> filter_;
+  Callbacks callbacks_;
+  std::vector<ServiceReference> tracked_;
+  std::optional<ListenerToken> token_;
+  bool open_ = false;
+};
+
+}  // namespace drt::osgi

@@ -1,0 +1,119 @@
+#include "osgi/version.hpp"
+
+#include "util/strings.hpp"
+
+namespace drt::osgi {
+
+Result<Version> Version::parse(std::string_view text) {
+  const auto trimmed = str::trim(text);
+  if (trimmed.empty()) {
+    return make_error("osgi.bad_version", "empty version string");
+  }
+  const auto pieces = str::split(trimmed, '.');
+  if (pieces.size() > 4) {
+    return make_error("osgi.bad_version",
+                      "too many segments in '" + std::string(trimmed) + "'");
+  }
+  Version v;
+  auto parse_segment = [&](std::size_t idx, int& out) -> bool {
+    if (pieces.size() <= idx) return true;
+    const auto num = str::parse_int(pieces[idx]);
+    if (!num || *num < 0) return false;
+    out = static_cast<int>(*num);
+    return true;
+  };
+  if (!parse_segment(0, v.major_) || !parse_segment(1, v.minor_) ||
+      !parse_segment(2, v.micro_)) {
+    return make_error("osgi.bad_version",
+                      "non-numeric segment in '" + std::string(trimmed) + "'");
+  }
+  if (pieces.size() == 4) {
+    if (pieces[3].empty()) {
+      return make_error("osgi.bad_version", "empty qualifier");
+    }
+    v.qualifier_ = pieces[3];
+  }
+  return v;
+}
+
+std::strong_ordering Version::operator<=>(const Version& other) const {
+  if (const auto c = major_ <=> other.major_; c != 0) return c;
+  if (const auto c = minor_ <=> other.minor_; c != 0) return c;
+  if (const auto c = micro_ <=> other.micro_; c != 0) return c;
+  return qualifier_.compare(other.qualifier_) <=> 0;
+}
+
+std::string Version::to_string() const {
+  std::string out = std::to_string(major_) + "." + std::to_string(minor_) +
+                    "." + std::to_string(micro_);
+  if (!qualifier_.empty()) out += "." + qualifier_;
+  return out;
+}
+
+const Version& Version::zero() {
+  static const Version kZero;
+  return kZero;
+}
+
+Result<VersionRange> VersionRange::parse(std::string_view text) {
+  const auto trimmed = str::trim(text);
+  if (trimmed.empty()) {
+    return make_error("osgi.bad_version_range", "empty range");
+  }
+  VersionRange range;
+  const char first = trimmed.front();
+  if (first != '[' && first != '(') {
+    // Bare version: [v, infinity).
+    auto version = Version::parse(trimmed);
+    if (!version.ok()) return version.error();
+    range.floor_ = std::move(version).take();
+    return range;
+  }
+  const char last = trimmed.back();
+  if (last != ']' && last != ')') {
+    return make_error("osgi.bad_version_range",
+                      "missing closing bracket in '" + std::string(trimmed) +
+                          "'");
+  }
+  const auto body = trimmed.substr(1, trimmed.size() - 2);
+  const auto comma = body.find(',');
+  if (comma == std::string_view::npos) {
+    return make_error("osgi.bad_version_range",
+                      "interval needs two endpoints: '" +
+                          std::string(trimmed) + "'");
+  }
+  auto floor = Version::parse(body.substr(0, comma));
+  if (!floor.ok()) return floor.error();
+  auto ceiling = Version::parse(body.substr(comma + 1));
+  if (!ceiling.ok()) return ceiling.error();
+  range.floor_ = std::move(floor).take();
+  range.ceiling_ = std::move(ceiling).take();
+  range.has_ceiling_ = true;
+  range.floor_inclusive_ = (first == '[');
+  range.ceiling_inclusive_ = (last == ']');
+  if (range.ceiling_ < range.floor_) {
+    return make_error("osgi.bad_version_range",
+                      "floor exceeds ceiling in '" + std::string(trimmed) +
+                          "'");
+  }
+  return range;
+}
+
+bool VersionRange::includes(const Version& version) const {
+  if (floor_inclusive_ ? version < floor_ : version <= floor_) return false;
+  if (!has_ceiling_) return true;
+  return ceiling_inclusive_ ? version <= ceiling_ : version < ceiling_;
+}
+
+std::string VersionRange::to_string() const {
+  if (!has_ceiling_) return floor_.to_string();
+  std::string out;
+  out += floor_inclusive_ ? '[' : '(';
+  out += floor_.to_string();
+  out += ',';
+  out += ceiling_.to_string();
+  out += ceiling_inclusive_ ? ']' : ')';
+  return out;
+}
+
+}  // namespace drt::osgi

@@ -1,0 +1,70 @@
+// OSGi version and version-range semantics (OSGi Core R4 §3.2.5).
+//
+// Versions are "major.minor.micro.qualifier"; ranges use interval notation
+// such as "[1.0,2.0)". The package resolver uses these to wire Import-Package
+// clauses to Export-Package offers exactly the way Equinox does.
+#pragma once
+
+#include <compare>
+#include <string>
+#include <string_view>
+
+#include "util/result.hpp"
+
+namespace drt::osgi {
+
+class Version {
+ public:
+  Version() = default;
+  Version(int major, int minor, int micro, std::string qualifier = "")
+      : major_(major), minor_(minor), micro_(micro),
+        qualifier_(std::move(qualifier)) {}
+
+  /// Parses "1", "1.2", "1.2.3" or "1.2.3.qualifier".
+  [[nodiscard]] static Result<Version> parse(std::string_view text);
+
+  [[nodiscard]] int major() const { return major_; }
+  [[nodiscard]] int minor() const { return minor_; }
+  [[nodiscard]] int micro() const { return micro_; }
+  [[nodiscard]] const std::string& qualifier() const { return qualifier_; }
+
+  /// Numeric parts compare numerically; the qualifier compares as a string
+  /// (the OSGi total order).
+  [[nodiscard]] std::strong_ordering operator<=>(const Version& other) const;
+  [[nodiscard]] bool operator==(const Version& other) const = default;
+
+  [[nodiscard]] std::string to_string() const;
+
+  static const Version& zero();
+
+ private:
+  int major_ = 0;
+  int minor_ = 0;
+  int micro_ = 0;
+  std::string qualifier_;
+};
+
+/// "[1.0,2.0)", "(1.0,2.0]", or a bare version "1.0" which per OSGi means
+/// the unbounded range [1.0, infinity).
+class VersionRange {
+ public:
+  VersionRange() = default;  ///< matches everything ([0.0.0, inf))
+
+  [[nodiscard]] static Result<VersionRange> parse(std::string_view text);
+
+  [[nodiscard]] bool includes(const Version& version) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] const Version& floor() const { return floor_; }
+  [[nodiscard]] bool has_ceiling() const { return has_ceiling_; }
+  [[nodiscard]] const Version& ceiling() const { return ceiling_; }
+
+ private:
+  Version floor_;
+  Version ceiling_;
+  bool floor_inclusive_ = true;
+  bool ceiling_inclusive_ = false;
+  bool has_ceiling_ = false;
+};
+
+}  // namespace drt::osgi

@@ -1,0 +1,74 @@
+#include "rtos/ipc.hpp"
+
+#include <cstring>
+
+namespace drt::rtos {
+
+bool Shm::write(std::size_t offset, std::span<const std::byte> bytes,
+                SimTime when) {
+  if (offset + bytes.size() > data_.size()) return false;
+  std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  ++version_;
+  last_write_time_ = when;
+  return true;
+}
+
+bool Shm::read(std::size_t offset, std::span<std::byte> out) const {
+  if (offset + out.size() > data_.size()) return false;
+  std::memcpy(out.data(), data_.data() + offset, out.size());
+  return true;
+}
+
+bool Shm::write_i32(std::size_t index, std::int32_t value, SimTime when) {
+  std::byte buffer[4];
+  std::memcpy(buffer, &value, 4);
+  return write(index * 4, buffer, when);
+}
+
+std::optional<std::int32_t> Shm::read_i32(std::size_t index) const {
+  std::byte buffer[4];
+  if (!read(index * 4, buffer)) return std::nullopt;
+  std::int32_t value = 0;
+  std::memcpy(&value, buffer, 4);
+  return value;
+}
+
+bool Shm::write_byte(std::size_t index, std::byte value, SimTime when) {
+  return write(index, {&value, 1}, when);
+}
+
+std::optional<std::byte> Shm::read_byte(std::size_t index) const {
+  std::byte value{};
+  if (!read(index, {&value, 1})) return std::nullopt;
+  return value;
+}
+
+Message message_from_string(std::string_view text) {
+  Message out(text.size());
+  std::memcpy(out.data(), text.data(), text.size());
+  return out;
+}
+
+std::string message_to_string(const Message& message) {
+  return std::string(reinterpret_cast<const char*>(message.data()),
+                     message.size());
+}
+
+bool Mailbox::push(Message message) {
+  if (full()) {
+    ++dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(message));
+  ++sent_;
+  return true;
+}
+
+std::optional<Message> Mailbox::pop() {
+  if (queue_.empty()) return std::nullopt;
+  Message out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+}  // namespace drt::rtos

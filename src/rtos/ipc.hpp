@@ -1,0 +1,130 @@
+// RTAI-style inter-process communication: named shared memory and mailboxes.
+//
+// The paper's prototype supports exactly two inter-component interfaces —
+// RTAI.SHM and RTAI.Mailbox (§2.3) — and routes all inter-real-time-component
+// communication directly through the RT kernel rather than the OSGi registry
+// (§3.3). These are the C++ equivalents. SHM is a versioned byte array with
+// typed accessors; Mailbox is a bounded FIFO of byte messages with
+// asynchronous (never-blocking) send, which is what §3.2 prescribes for the
+// management command channel.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace drt::rtos {
+
+struct Task;
+class RtKernel;
+
+/// Port data types from the descriptor schema (§2.3: "integer or byte").
+enum class DataType { kByte, kInteger };
+
+[[nodiscard]] constexpr const char* to_string(DataType type) {
+  return type == DataType::kByte ? "Byte" : "Integer";
+}
+
+[[nodiscard]] constexpr std::size_t element_size(DataType type) {
+  return type == DataType::kByte ? 1 : 4;
+}
+
+/// Named shared-memory segment (rt_shm_alloc equivalent).
+class Shm {
+ public:
+  Shm(std::string name, std::size_t size_bytes)
+      : name_(std::move(name)), data_(size_bytes, std::byte{0}) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  /// Whole-segment or ranged raw access. Out-of-range => false, no effect.
+  bool write(std::size_t offset, std::span<const std::byte> bytes,
+             SimTime when = 0);
+  bool read(std::size_t offset, std::span<std::byte> out) const;
+
+  /// Typed accessors (little-endian 32-bit for kInteger).
+  bool write_i32(std::size_t index, std::int32_t value, SimTime when = 0);
+  [[nodiscard]] std::optional<std::int32_t> read_i32(std::size_t index) const;
+  bool write_byte(std::size_t index, std::byte value, SimTime when = 0);
+  [[nodiscard]] std::optional<std::byte> read_byte(std::size_t index) const;
+
+  /// Monotonic write counter — lets a consumer detect fresh data without
+  /// locking (the classic seqlock-light pattern used on RTAI shm).
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] SimTime last_write_time() const { return last_write_time_; }
+
+ private:
+  std::string name_;
+  std::vector<std::byte> data_;
+  std::uint64_t version_ = 0;
+  SimTime last_write_time_ = 0;
+};
+
+using Message = std::vector<std::byte>;
+
+/// Helpers for string payloads (management command channel).
+[[nodiscard]] Message message_from_string(std::string_view text);
+[[nodiscard]] std::string message_to_string(const Message& message);
+
+/// Bounded mailbox (rt_mbx equivalent). Send is asynchronous and fails fast
+/// when full; receive can be polled (try_receive) or awaited from a task
+/// coroutine (TaskContext::receive).
+class Mailbox {
+ public:
+  Mailbox(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+  [[nodiscard]] bool full() const { return queue_.size() >= capacity_; }
+
+  [[nodiscard]] std::uint64_t sent_count() const { return sent_; }
+  [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
+
+ private:
+  friend class RtKernel;
+  // Raw queue ops; waiting-task wakeups are the kernel's job, so the mailbox
+  // only exposes them to it.
+  bool push(Message message);
+  std::optional<Message> pop();
+
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<Message> queue_;
+  std::deque<Task*> waiting_;  ///< FIFO of blocked receivers (kernel-managed)
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Counting semaphore (rt_sem equivalent) — the paper's §6 notes "limited
+/// communication support between real-time tasks"; semaphores extend the IPC
+/// set beyond SHM + mailboxes. Waiters queue FIFO; signal wakes the first
+/// waiter directly (no thundering herd). All waiting/waking policy lives in
+/// the kernel.
+class Semaphore {
+ public:
+  Semaphore(std::string name, int initial)
+      : name_(std::move(name)), count_(initial) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int count() const { return count_; }
+  [[nodiscard]] std::size_t waiting_count() const { return waiting_.size(); }
+
+ private:
+  friend class RtKernel;
+  std::string name_;
+  int count_;
+  std::deque<Task*> waiting_;
+};
+
+}  // namespace drt::rtos

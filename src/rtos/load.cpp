@@ -1,0 +1,53 @@
+#include "rtos/load.hpp"
+
+#include <algorithm>
+
+namespace drt::rtos {
+
+LinuxLoad::LinuxLoad(SimEngine& engine, std::size_t cpus, LoadConfig config,
+                     Rng rng)
+    : engine_(&engine), config_(config), rng_(rng), busy_(cpus, false),
+      state_since_(cpus, 0) {}
+
+void LinuxLoad::start() {
+  if (started_) return;
+  started_ = true;
+  for (CpuId cpu = 0; cpu < busy_.size(); ++cpu) {
+    // Start in the steady-state distribution so early samples are unbiased.
+    busy_[cpu] = rng_.chance(config_.busy_fraction);
+    schedule_toggle(cpu);
+  }
+}
+
+bool LinuxLoad::busy(CpuId cpu) const {
+  return cpu < busy_.size() && busy_[cpu];
+}
+
+SimTime LinuxLoad::state_since(CpuId cpu) const {
+  return cpu < state_since_.size() ? state_since_[cpu] : 0;
+}
+
+void LinuxLoad::schedule_toggle(CpuId cpu) {
+  const double fraction = std::clamp(config_.busy_fraction, 0.0, 1.0);
+  SimDuration dwell;
+  if (busy_[cpu]) {
+    dwell = static_cast<SimDuration>(
+        rng_.exponential(static_cast<double>(config_.mean_burst)));
+  } else {
+    // Choose the idle dwell so busy/(busy+idle) == fraction in expectation.
+    const double mean_idle =
+        fraction >= 1.0
+            ? 1.0  // degenerate: essentially always busy
+            : static_cast<double>(config_.mean_burst) * (1.0 - fraction) /
+                  std::max(fraction, 1e-9);
+    dwell = static_cast<SimDuration>(rng_.exponential(mean_idle));
+  }
+  dwell = std::max<SimDuration>(dwell, 1'000);  // >= 1us per dwell
+  engine_->schedule_after(dwell, [this, cpu] {
+    busy_[cpu] = !busy_[cpu];
+    state_since_[cpu] = engine_->now();
+    schedule_toggle(cpu);
+  });
+}
+
+}  // namespace drt::rtos

@@ -1,0 +1,67 @@
+// Linux-domain (non-real-time) load generator.
+//
+// In the dual-kernel architecture RTAI tasks always preempt Linux, so Linux
+// load cannot steal CPU from RT tasks — but it *does* keep the CPU out of
+// idle states, which changes the wake-up path cost (see latency_model.hpp).
+// The paper's "stress mode" runs CPU-saturating Linux commands next to the
+// OSGi platform (§4.4); this generator reproduces that as an alternating
+// busy/idle renewal process per CPU, queried by the kernel at each periodic
+// release to decide whether the CPU was idle.
+#pragma once
+
+#include <vector>
+
+#include "rtos/sim_engine.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace drt::rtos {
+
+struct LoadConfig {
+  /// Long-run fraction of time each CPU is busy with Linux work.
+  /// Paper: light mode ~ background OS noise; stress mode ~ 1.0.
+  double busy_fraction = 0.02;
+  /// Mean length of one busy burst (ns). Idle gaps follow from the fraction.
+  SimDuration mean_burst = milliseconds(2);
+};
+
+/// Pre-canned configurations matching the paper's two test environments.
+/// Stress mode runs CPU-saturating commands (§4.4: "CPU usage is close to
+/// 100%"), so the CPU essentially never reaches an idle state between
+/// 1 kHz releases.
+[[nodiscard]] inline LoadConfig light_load() { return {0.03, milliseconds(1)}; }
+[[nodiscard]] inline LoadConfig stress_load() {
+  return {0.9998, milliseconds(20)};
+}
+
+class LinuxLoad {
+ public:
+  LinuxLoad(SimEngine& engine, std::size_t cpus, LoadConfig config,
+            Rng rng);
+
+  /// Starts the renewal processes (idempotent).
+  void start();
+
+  /// True when the Linux domain currently occupies `cpu`.
+  [[nodiscard]] bool busy(CpuId cpu) const;
+
+  /// Time at which the CPU entered its current busy/idle state. Used by the
+  /// kernel's wake model: only a CPU that has been idle long enough to enter
+  /// a sleep state pays the idle-wake cost.
+  [[nodiscard]] SimTime state_since(CpuId cpu) const;
+
+  [[nodiscard]] const LoadConfig& config() const { return config_; }
+  void set_config(LoadConfig config) { config_ = config; }
+
+ private:
+  void schedule_toggle(CpuId cpu);
+
+  SimEngine* engine_;
+  LoadConfig config_;
+  Rng rng_;
+  std::vector<bool> busy_;
+  std::vector<SimTime> state_since_;
+  bool started_ = false;
+};
+
+}  // namespace drt::rtos

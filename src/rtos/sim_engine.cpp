@@ -1,0 +1,76 @@
+#include "rtos/sim_engine.hpp"
+
+#include <cassert>
+
+namespace drt::rtos {
+
+EventId SimEngine::schedule_at(SimTime when, Callback callback) {
+  assert(when >= now_ && "cannot schedule into the past");
+  const EventId id = next_id_++;
+  queue_.push(Event{when < now_ ? now_ : when, id, std::move(callback)});
+  live_ids_.insert(id);
+  return id;
+}
+
+EventId SimEngine::schedule_after(SimDuration delay, Callback callback) {
+  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(callback));
+}
+
+void SimEngine::cancel(EventId id) {
+  if (id == kInvalidEvent) return;
+  // Only live events become cancelled; stale ids (already fired) are no-ops
+  // so callers need not track whether their event raced with execution.
+  if (live_ids_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void SimEngine::skim_cancelled() {
+  while (!queue_.empty() && cancelled_.erase(queue_.top().id) > 0) {
+    queue_.pop();
+  }
+}
+
+bool SimEngine::pop_next(Event& out) {
+  skim_cancelled();
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the callback must be moved out, so
+  // copy the POD bits first, then pop.
+  const Event& top = queue_.top();
+  out.when = top.when;
+  out.id = top.id;
+  out.callback = std::move(const_cast<Event&>(top).callback);
+  queue_.pop();
+  live_ids_.erase(out.id);
+  return true;
+}
+
+std::size_t SimEngine::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  for (;;) {
+    skim_cancelled();
+    if (queue_.empty() || queue_.top().when > deadline) break;
+    Event event;
+    if (!pop_next(event)) break;
+    now_ = event.when;
+    event.callback();
+    ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+std::size_t SimEngine::run_to_completion(std::size_t max_events) {
+  std::size_t fired = 0;
+  Event event;
+  while (fired < max_events && pop_next(event)) {
+    now_ = event.when;
+    event.callback();
+    ++fired;
+  }
+  return fired;
+}
+
+bool SimEngine::idle() const { return live_ids_.empty(); }
+
+std::size_t SimEngine::pending_events() const { return live_ids_.size(); }
+
+}  // namespace drt::rtos

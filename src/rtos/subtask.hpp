@@ -1,0 +1,140 @@
+// SubTask<T>: an awaitable sub-coroutine for task bodies.
+//
+// A task body (TaskCoro) may factor logic into sub-coroutines that themselves
+// await kernel operations:
+//
+//   SubTask<int> read_sensor(TaskContext& ctx, Shm& shm) {
+//     co_await ctx.consume(microseconds(5));
+//     co_return shm.read_i32(0).value_or(0);
+//   }
+//   TaskCoro body(TaskContext& ctx) {
+//     int v = co_await read_sensor(ctx, *ctx.shm("sensor"));
+//     ...
+//   }
+//
+// The kernel always resumes the *innermost* suspended coroutine (the task's
+// resume_handle, set by every kernel awaiter); completion of a SubTask
+// symmetrically transfers control back to its awaiter. The DRCom hybrid
+// component uses this to implement the per-cycle management-command
+// processing loop as one awaitable (hybrid.hpp).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace drt::rtos {
+
+template <typename T = void>
+class [[nodiscard]] SubTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+    std::optional<T> value;
+
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct Transfer {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(
+            std::coroutine_handle<promise_type> h) const noexcept {
+          return h.promise().continuation ? h.promise().continuation
+                                          : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+      };
+      return Transfer{};
+    }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit SubTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaitable interface: start the sub-coroutine on first await.
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiter) noexcept {
+    handle_.promise().continuation = awaiter;
+    return handle_;  // symmetric transfer into the sub-coroutine
+  }
+  T await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+    return std::move(*handle_.promise().value);
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] SubTask<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    SubTask get_return_object() {
+      return SubTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept {
+      struct Transfer {
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(
+            std::coroutine_handle<promise_type> h) const noexcept {
+          return h.promise().continuation ? h.promise().continuation
+                                          : std::noop_coroutine();
+        }
+        void await_resume() const noexcept {}
+      };
+      return Transfer{};
+    }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+  };
+
+  explicit SubTask(std::coroutine_handle<promise_type> handle)
+      : handle_(handle) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<> awaiter) noexcept {
+    handle_.promise().continuation = awaiter;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().exception) {
+      std::rethrow_exception(handle_.promise().exception);
+    }
+  }
+
+ private:
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace drt::rtos

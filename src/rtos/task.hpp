@@ -1,0 +1,234 @@
+// Real-time task model: control blocks and the C++20 coroutine vehicle for
+// task bodies.
+//
+// A task body is a coroutine `TaskCoro body(TaskContext& ctx)` that expresses
+// CPU demand explicitly:
+//
+//   TaskCoro calc(TaskContext& ctx) {
+//     while (!ctx.stop_requested()) {
+//       co_await ctx.consume(microseconds(50));   // burn 50us of CPU
+//       shm->write_i32(0, result);                // instantaneous effect
+//       co_await ctx.wait_next_period();          // block to next release
+//     }
+//   }
+//
+// The kernel (kernel.hpp) serves demand under fixed-priority preemptive
+// scheduling with round-robin among equal priorities — the scheduler the
+// paper's evaluation uses (§4.1) — entirely in virtual time, so preemption,
+// latency and jitter are deterministic and replayable.
+//
+// Priorities follow RTAI convention: smaller number = more important
+// (0 is the highest priority).
+#pragma once
+
+#include <coroutine>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace drt::rtos {
+
+class RtKernel;
+class TaskContext;
+class Mailbox;
+class Semaphore;
+struct Task;
+
+enum class TaskType {
+  kPeriodic,
+  kAperiodic,
+  /// Event-driven with a minimum inter-arrival time. Scheduled by the
+  /// kernel exactly like an aperiodic task; the inter-arrival contract is
+  /// enforced at the DRCom layer (JobContext::next_event) and consumed by
+  /// admission analysis as if the task were periodic with T = MIT.
+  kSporadic,
+};
+
+[[nodiscard]] constexpr const char* to_string(TaskType type) {
+  switch (type) {
+    case TaskType::kPeriodic: return "periodic";
+    case TaskType::kAperiodic: return "aperiodic";
+    case TaskType::kSporadic: return "sporadic";
+  }
+  return "?";
+}
+
+enum class TaskState {
+  kCreated,           ///< exists, never started
+  kReady,             ///< runnable, waiting for the CPU
+  kRunning,           ///< being served by its CPU
+  kWaitingPeriod,     ///< blocked until the next periodic release
+  kSleeping,          ///< blocked in sleep_for / wait_until
+  kWaitingMailbox,    ///< blocked in a mailbox receive
+  kWaitingSemaphore,  ///< blocked in a semaphore wait
+  kSuspended,         ///< suspended via the management interface
+  kFinished,          ///< body returned (or threw)
+};
+
+[[nodiscard]] constexpr const char* to_string(TaskState state) {
+  switch (state) {
+    case TaskState::kCreated: return "CREATED";
+    case TaskState::kReady: return "READY";
+    case TaskState::kRunning: return "RUNNING";
+    case TaskState::kWaitingPeriod: return "WAIT_PERIOD";
+    case TaskState::kSleeping: return "SLEEPING";
+    case TaskState::kWaitingMailbox: return "WAIT_MAILBOX";
+    case TaskState::kWaitingSemaphore: return "WAIT_SEMAPHORE";
+    case TaskState::kSuspended: return "SUSPENDED";
+    case TaskState::kFinished: return "FINISHED";
+  }
+  return "?";
+}
+
+/// Coroutine return object for task bodies. The kernel takes ownership of the
+/// frame; user code never resumes or destroys it directly.
+class TaskCoro {
+ public:
+  struct promise_type {
+    TaskCoro get_return_object() {
+      return TaskCoro{Handle::from_promise(*this)};
+    }
+    // Suspend immediately: the task runs only when the scheduler dispatches.
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    // Suspend at the end so the kernel observes done() and cleans up.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { exception = std::current_exception(); }
+
+    std::exception_ptr exception;
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  TaskCoro() = default;
+  explicit TaskCoro(Handle handle) : handle_(handle) {}
+  TaskCoro(TaskCoro&& other) noexcept : handle_(other.release()) {}
+  TaskCoro& operator=(TaskCoro&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = other.release();
+    }
+    return *this;
+  }
+  TaskCoro(const TaskCoro&) = delete;
+  TaskCoro& operator=(const TaskCoro&) = delete;
+  ~TaskCoro() { destroy(); }
+
+  [[nodiscard]] Handle get() const { return handle_; }
+  [[nodiscard]] Handle release() {
+    Handle h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+  Handle handle_;
+};
+
+/// A task body factory: invoked once when the task is started.
+using TaskBody = std::function<TaskCoro(TaskContext&)>;
+
+/// Creation parameters (mirrors rt_task_init + rt_task_make_periodic).
+struct TaskParams {
+  std::string name;                 ///< unique; the paper limits it to 6 chars
+  TaskType type = TaskType::kPeriodic;
+  int priority = 10;                ///< 0 = highest (RTAI convention)
+  CpuId cpu = 0;                    ///< pinning, per descriptor `runoncup`
+  SimDuration period = 0;           ///< required for periodic tasks
+  SimDuration deadline = 0;         ///< relative; 0 = implicit (== period)
+  SimDuration rr_quantum = 0;       ///< 0 = kernel default round-robin slice
+};
+
+/// Read-only statistics snapshot exposed through the management interface.
+struct TaskStats {
+  std::uint64_t activations = 0;      ///< periodic releases delivered
+  std::uint64_t completions = 0;      ///< jobs that reached wait_next_period
+  std::uint64_t deadline_misses = 0;  ///< job finished after next release
+  std::uint64_t overruns = 0;         ///< releases delivered late (immediate)
+  std::uint64_t skipped_releases = 0; ///< releases dropped while suspended
+  std::uint64_t preemptions = 0;
+  std::uint64_t dispatches = 0;
+  SimDuration cpu_time = 0;           ///< total demand served
+};
+
+/// What a coroutine asked for when it last suspended (set by the awaiters,
+/// consumed by the kernel's serve loop).
+enum class PendingOp {
+  kNone,
+  kDemand,         ///< consume(ns)
+  kWaitPeriod,     ///< wait_next_period()
+  kSleep,          ///< sleep_for / wait_until
+  kWaitMailbox,    ///< blocking receive
+  kWaitSemaphore,  ///< semaphore wait
+};
+
+/// Task control block. Owned by the kernel; user code interacts through
+/// TaskContext and the kernel's management API.
+struct Task {
+  TaskId id = 0;
+  TaskParams params;
+  TaskState state = TaskState::kCreated;
+  TaskCoro::Handle handle;
+  /// The innermost suspended coroutine — what the kernel actually resumes.
+  /// Equal to `handle` unless the body is awaiting inside a SubTask.
+  std::coroutine_handle<> resume_handle;
+  std::unique_ptr<TaskContext> context;
+  /// The body closure. A coroutine lambda's captures live in the closure
+  /// object, NOT in the coroutine frame, so the kernel must keep the closure
+  /// alive (and un-moved) for as long as the coroutine may run.
+  TaskBody body;
+
+  // --- scheduling ---
+  SimDuration remaining_demand = 0;   ///< unserved part of current consume
+  SimTime last_dispatch = 0;
+  std::uint64_t completion_event = 0; ///< EventId of pending completion/slice
+  std::int64_t ready_seq = 0;         ///< FIFO tie-break within a priority
+                                      ///< (negative = re-entry at the front)
+  SimDuration quantum_left = 0;       ///< round-robin budget left this turn
+
+  // --- coroutine handshake ---
+  PendingOp pending_op = PendingOp::kNone;
+  SimDuration pending_amount = 0;
+  SimTime pending_wake_time = 0;
+  Mailbox* pending_mailbox = nullptr;
+  Semaphore* pending_semaphore = nullptr;
+  SimDuration pending_timeout = -1;   ///< <0: infinite
+  std::uint64_t timeout_event = 0;
+  std::optional<std::vector<std::byte>> mailbox_result;
+  bool semaphore_acquired = false;    ///< result of the last semaphore wait
+  bool stop_requested = false;
+
+  // --- periodic bookkeeping ---
+  SimTime ideal_release = 0;     ///< ideal time of the most recent release
+  SimTime pending_ideal = -1;    ///< set at release, consumed at first resume
+  std::uint64_t release_event = 0;
+  bool resume_needs_release = false;  ///< re-arm releases after resume
+
+  // --- state before suspension (to restore on resume) ---
+  TaskState pre_suspend_state = TaskState::kCreated;
+
+  // --- statistics ---
+  TaskStats stats;
+  SampleSeries latency;          ///< dispatch latency per release (ns)
+  std::exception_ptr error;      ///< exception escaped from the body
+
+  [[nodiscard]] bool is_blocked() const {
+    return state == TaskState::kWaitingPeriod ||
+           state == TaskState::kSleeping ||
+           state == TaskState::kWaitingMailbox;
+  }
+};
+
+}  // namespace drt::rtos

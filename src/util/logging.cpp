@@ -1,0 +1,60 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <mutex>
+
+namespace drt::log {
+namespace {
+
+Level g_level = Level::kWarn;
+Sink g_sink;  // empty => stderr default
+
+void default_sink(Level, const std::string& line) {
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+std::string_view to_string(Level level) {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+void set_sink(Sink sink) { g_sink = std::move(sink); }
+bool enabled(Level level) { return level >= g_level && g_level != Level::kOff; }
+
+void write(Level level, std::string_view component, SimTime when,
+           std::string_view message) {
+  if (!enabled(level)) return;
+  std::string line;
+  line.reserve(message.size() + component.size() + 32);
+  line += '[';
+  line += to_string(level);
+  line += "] ";
+  if (when >= 0) {
+    line += "t=";
+    line += std::to_string(when);
+    line += "ns ";
+  }
+  line += '[';
+  line += component;
+  line += "] ";
+  line += message;
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    default_sink(level, line);
+  }
+}
+
+}  // namespace drt::log

@@ -1,0 +1,89 @@
+// A minimal expected-style result type.
+//
+// The Core Guidelines recommend exceptions for truly exceptional conditions;
+// in this codebase recoverable domain failures (unresolvable component,
+// admission rejection, bad descriptor, full mailbox, ...) are ordinary control
+// flow, so they are carried in `Result<T>` values instead. Parsers throw
+// internally and translate to Result at their public boundary.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace drt {
+
+/// Error payload: a stable machine-readable code plus human-readable context.
+struct Error {
+  std::string code;     ///< e.g. "drcom.admission_rejected"
+  std::string message;  ///< free-form diagnostic for logs
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+/// Value-or-error. `T == void` is supported through the `Result<void>`
+/// specialisation below.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : repr_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(repr_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  [[nodiscard]] T&& take() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(repr_);
+  }
+
+  /// Returns the value or `fallback` when this result holds an error.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> repr_;
+};
+
+/// Result specialisation for operations that produce no value.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() = default;
+  Result(Error error) : error_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return !error_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const Error& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+  static Result success() { return Result{}; }
+
+ private:
+  std::optional<Error> error_;
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+}  // namespace drt

@@ -1,0 +1,65 @@
+// Deterministic random number generation for the simulator.
+//
+// Everything stochastic in the reproduction (wake-up jitter, load-generator
+// burst lengths, workload contents) draws from an explicitly seeded SplitMix64
+// stream so that every test and bench run is bit-reproducible.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace drt {
+
+/// SplitMix64: tiny, fast, and passes BigCrush for this use. Used instead of
+/// <random> engines because its state is one word and its output is identical
+/// across standard libraries (libstdc++'s distributions are not portable).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next_u64() % span);
+  }
+
+  /// Standard normal via Box-Muller (no cached second value; determinism over
+  /// micro-efficiency).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1 = next_double();
+    double u2 = next_double();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean) {
+    double u = next_double();
+    if (u < 1e-300) u = 1e-300;
+    return -mean * std::log(u);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derives an independent child stream (stable split for subsystems).
+  Rng split() { return Rng(next_u64() ^ 0xA5A5A5A55A5A5A5AULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace drt

@@ -1,0 +1,116 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace drt {
+
+std::string StatSummary::to_string() const {
+  std::ostringstream out;
+  out << "avg=" << average << " avedev=" << avedev << " min=" << min
+      << " max=" << max << " n=" << count;
+  return out.str();
+}
+
+StatSummary summarize(std::span<const double> samples) {
+  StatSummary s;
+  s.count = samples.size();
+  if (samples.empty()) return s;
+  double sum = 0.0;
+  s.min = samples.front();
+  s.max = samples.front();
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.average = sum / static_cast<double>(samples.size());
+  double dev = 0.0;
+  for (double v : samples) dev += std::abs(v - s.average);
+  s.avedev = dev / static_cast<double>(samples.size());
+  return s;
+}
+
+StatSummary summarize(std::span<const std::int64_t> samples) {
+  std::vector<double> d(samples.begin(), samples.end());
+  return summarize(std::span<const double>(d));
+}
+
+double SampleSeries::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+void RunningStats::add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), bucket_width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+void Histogram::add(double sample) {
+  std::size_t idx;
+  if (sample < lo_) {
+    idx = 0;
+  } else if (sample >= hi_) {
+    idx = counts_.size() - 1;
+  } else {
+    idx = static_cast<std::size_t>((sample - lo_) / bucket_width_);
+    idx = std::min(idx, counts_.size() - 1);
+  }
+  ++counts_[idx];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return lo_ + bucket_width_ * static_cast<double>(i + 1);
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = peak == 0 ? std::size_t{0}
+                               : static_cast<std::size_t>(
+                                     static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(width));
+    out << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+        << std::string(std::max<std::size_t>(bar, 1), '#') << " "
+        << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace drt

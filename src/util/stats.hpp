@@ -1,0 +1,95 @@
+// Descriptive statistics used by the evaluation harness.
+//
+// Table 1 of the paper reports AVERAGE, AVEDEV (mean absolute deviation from
+// the mean — the spreadsheet function the authors evidently used), MIN and
+// MAX over the sampled scheduling latencies. `SampleSeries` stores raw
+// samples so AVEDEV can be computed exactly in a second pass; `RunningStats`
+// offers a single-pass mean/variance for places where sample storage would be
+// wasteful.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace drt {
+
+/// Summary row matching Table 1's columns.
+struct StatSummary {
+  double average = 0.0;
+  double avedev = 0.0;  ///< mean absolute deviation from the mean
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes the Table-1 summary of a sample span. Empty input yields a
+/// zeroed summary with count == 0.
+[[nodiscard]] StatSummary summarize(std::span<const double> samples);
+[[nodiscard]] StatSummary summarize(std::span<const std::int64_t> samples);
+
+/// Collects raw samples (e.g. per-period scheduling latencies in ns).
+class SampleSeries {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::span<const double> samples() const { return samples_; }
+  [[nodiscard]] StatSummary summary() const { return summarize(samples_); }
+
+  /// p in [0,100]; linear interpolation between closest ranks.
+  [[nodiscard]] double percentile(double p) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Single-pass mean / variance (Welford). No AVEDEV — that needs two passes.
+class RunningStats {
+ public:
+  void add(double sample);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width bucket histogram over [lo, hi); out-of-range samples land in
+/// saturating edge buckets. Used for latency distribution plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double sample);
+  [[nodiscard]] std::size_t bucket_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucket_lo(std::size_t i) const;
+  [[nodiscard]] double bucket_hi(std::size_t i) const;
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// ASCII rendering for bench output (one line per non-empty bucket).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bucket_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace drt

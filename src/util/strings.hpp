@@ -1,0 +1,42 @@
+// Small string helpers shared by the XML parser, LDAP filter parser, manifest
+// reader and descriptor validation. Kept header-light: string_view in,
+// string/vector out.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drt::str {
+
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] std::string to_upper(std::string_view s);
+
+/// Splits on `sep`, trimming each piece; empty pieces are kept so that
+/// positional formats (manifest attribute lists) stay aligned.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Splits and drops empty pieces after trimming.
+[[nodiscard]] std::vector<std::string> split_non_empty(std::string_view s,
+                                                       char sep);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality (OSGi manifest headers, XML booleans).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+
+/// Strict integer / double parsing: entire string must be consumed.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view s);
+[[nodiscard]] std::optional<double> parse_double(std::string_view s);
+
+/// Parses "true"/"false" (case-insensitive) only.
+[[nodiscard]] std::optional<bool> parse_bool(std::string_view s);
+
+/// Joins pieces with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+}  // namespace drt::str

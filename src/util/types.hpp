@@ -1,0 +1,51 @@
+// Fundamental value types shared by every subsystem.
+//
+// The whole reproduction runs on a deterministic virtual clock, so time is
+// represented as a signed 64-bit count of *simulated nanoseconds* rather than
+// a std::chrono clock (there is no wall clock anywhere in the simulator).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace drt {
+
+/// Simulated time in nanoseconds since simulation start.
+/// Signed so that latencies (actual - expected) can be negative: RTAI's
+/// periodic timer mode routinely fires *early*, which is exactly what the
+/// paper's Table 1 shows (negative averages).
+using SimTime = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = std::numeric_limits<SimTime>::max();
+
+inline constexpr SimDuration nanoseconds(std::int64_t n) { return n; }
+inline constexpr SimDuration microseconds(std::int64_t us) { return us * 1'000; }
+inline constexpr SimDuration milliseconds(std::int64_t ms) { return ms * 1'000'000; }
+inline constexpr SimDuration seconds(std::int64_t s) { return s * 1'000'000'000; }
+
+/// Converts a task frequency in Hz to its period. Frequencies above 1 GHz are
+/// clamped to a 1 ns period; zero/negative frequencies are invalid and mapped
+/// to `kSimTimeNever` so that misuse is loud in tests rather than dividing by
+/// zero.
+inline constexpr SimDuration period_from_hz(double hz) {
+  if (hz <= 0.0) return kSimTimeNever;
+  const double ns = 1e9 / hz;
+  return ns < 1.0 ? 1 : static_cast<SimDuration>(ns);
+}
+
+/// Identifier of a simulated CPU core.
+using CpuId = std::uint32_t;
+
+/// Bundle identifier assigned by the framework at install time (monotonic).
+using BundleId = std::uint64_t;
+
+/// Service identifier assigned by the service registry (monotonic).
+using ServiceId = std::uint64_t;
+
+/// Real-time task identifier assigned by the RT kernel (monotonic).
+using TaskId = std::uint64_t;
+
+}  // namespace drt

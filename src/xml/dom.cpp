@@ -1,0 +1,99 @@
+#include "xml/dom.hpp"
+
+namespace drt::xml {
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view attr_name) const {
+  for (const auto& attr : attributes) {
+    if (attr.name == attr_name) return std::string_view{attr.value};
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::attribute_or(std::string_view attr_name,
+                                       std::string_view fallback) const {
+  const auto found = attribute(attr_name);
+  return found.value_or(fallback);
+}
+
+bool Element::has_attribute(std::string_view attr_name) const {
+  return attribute(attr_name).has_value();
+}
+
+void Element::set_attribute(std::string_view attr_name,
+                            std::string_view value) {
+  for (auto& attr : attributes) {
+    if (attr.name == attr_name) {
+      attr.value = std::string(value);
+      return;
+    }
+  }
+  attributes.push_back({std::string(attr_name), std::string(value)});
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> out;
+  for (const auto& node : children) {
+    if (const auto* elem = std::get_if<std::unique_ptr<Element>>(&node)) {
+      out.push_back(elem->get());
+    }
+  }
+  return out;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view child_name) const {
+  std::vector<const Element*> out;
+  for (const auto* elem : child_elements()) {
+    if (elem->name == child_name || elem->local_name() == child_name) {
+      out.push_back(elem);
+    }
+  }
+  return out;
+}
+
+const Element* Element::first_child(std::string_view child_name) const {
+  for (const auto* elem : child_elements()) {
+    if (elem->name == child_name || elem->local_name() == child_name) {
+      return elem;
+    }
+  }
+  return nullptr;
+}
+
+std::string Element::text() const {
+  std::string out;
+  for (const auto& node : children) {
+    if (const auto* text_node = std::get_if<Text>(&node)) {
+      out += text_node->value;
+    }
+  }
+  return out;
+}
+
+std::string_view Element::local_name() const {
+  const std::string_view qname{name};
+  const auto colon = qname.find(':');
+  return colon == std::string_view::npos ? qname : qname.substr(colon + 1);
+}
+
+std::string_view Element::prefix() const {
+  const std::string_view qname{name};
+  const auto colon = qname.find(':');
+  return colon == std::string_view::npos ? std::string_view{}
+                                         : qname.substr(0, colon);
+}
+
+Element& Element::append_child(std::string_view child_name) {
+  auto child = std::make_unique<Element>();
+  child->name = std::string(child_name);
+  Element& ref = *child;
+  children.emplace_back(std::move(child));
+  return ref;
+}
+
+void Element::append_text(std::string_view value) {
+  children.emplace_back(Text{std::string(value)});
+}
+
+}  // namespace drt::xml

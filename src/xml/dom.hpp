@@ -1,0 +1,96 @@
+// A minimal XML document object model.
+//
+// DRCom descriptors (paper §2.3, Figure 2) are XML documents; the OSGi layer
+// also uses XML for bundle metadata in this reproduction. The DOM keeps
+// attributes and children in document order, supports the subset of XML 1.0
+// the descriptors need (elements, attributes, character data, CDATA,
+// comments, processing instructions, the five predefined entities and
+// numeric character references), and deliberately models namespaces as plain
+// prefixed names ("drt:component") the way the paper's own descriptors use
+// them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace drt::xml {
+
+struct Element;
+
+/// Character data (already entity-decoded).
+struct Text {
+  std::string value;
+};
+
+/// <!-- comment --> (kept so documents round-trip).
+struct Comment {
+  std::string value;
+};
+
+/// <?target data?>
+struct ProcessingInstruction {
+  std::string target;
+  std::string data;
+};
+
+using Node = std::variant<std::unique_ptr<Element>, Text, Comment,
+                          ProcessingInstruction>;
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+/// An XML element. Owned exclusively by its parent (or the Document root).
+struct Element {
+  std::string name;  ///< qualified name, e.g. "drt:component"
+  std::vector<Attribute> attributes;
+  std::vector<Node> children;
+
+  /// Attribute lookup by exact qualified name.
+  [[nodiscard]] std::optional<std::string_view> attribute(
+      std::string_view attr_name) const;
+
+  /// Attribute value or `fallback` when absent.
+  [[nodiscard]] std::string_view attribute_or(std::string_view attr_name,
+                                              std::string_view fallback) const;
+
+  [[nodiscard]] bool has_attribute(std::string_view attr_name) const;
+
+  void set_attribute(std::string_view attr_name, std::string_view value);
+
+  /// All direct child elements (document order).
+  [[nodiscard]] std::vector<const Element*> child_elements() const;
+
+  /// Direct child elements with the given qualified name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view child_name) const;
+
+  /// First direct child element with the given name, or nullptr.
+  [[nodiscard]] const Element* first_child(std::string_view child_name) const;
+
+  /// Concatenated text content of direct Text children (not recursive).
+  [[nodiscard]] std::string text() const;
+
+  /// Local part of the qualified name ("component" for "drt:component").
+  [[nodiscard]] std::string_view local_name() const;
+  /// Prefix of the qualified name ("drt" for "drt:component"; "" if none).
+  [[nodiscard]] std::string_view prefix() const;
+
+  /// Appends a child element and returns a reference to it.
+  Element& append_child(std::string_view child_name);
+  void append_text(std::string_view value);
+};
+
+/// A parsed document: optional XML declaration data plus the root element.
+struct Document {
+  std::string declaration;  ///< raw content of <?xml ...?> if present
+  std::vector<Node> prolog;  ///< comments/PIs before the root
+  std::unique_ptr<Element> root;
+};
+
+}  // namespace drt::xml

@@ -1,0 +1,354 @@
+#include "xml/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+#include <string>
+
+namespace drt::xml {
+namespace {
+
+/// Internal exception carrying the error position; converted to Result at the
+/// public boundary (exceptions never escape this translation unit).
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(std::string message, std::size_t offset)
+      : std::runtime_error(std::move(message)), offset(offset) {}
+  std::size_t offset;
+};
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+         c == '-' || c == '.';
+}
+
+bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Document parse_document() {
+    Document doc;
+    skip_ws();
+    if (lookahead("<?xml")) {
+      doc.declaration = parse_declaration();
+    }
+    // Prolog: comments and PIs before the root element.
+    for (;;) {
+      skip_ws();
+      if (lookahead("<!--")) {
+        doc.prolog.emplace_back(Comment{parse_comment()});
+      } else if (lookahead("<!DOCTYPE")) {
+        fail("DOCTYPE is not supported");
+      } else if (lookahead("<?")) {
+        doc.prolog.emplace_back(parse_pi());
+      } else {
+        break;
+      }
+    }
+    skip_ws();
+    if (!lookahead("<")) fail("expected root element");
+    doc.root = parse_element();
+    skip_ws();
+    // Trailing comments/PIs are legal; anything else is not.
+    while (!at_end()) {
+      if (lookahead("<!--")) {
+        parse_comment();
+      } else if (lookahead("<?")) {
+        parse_pi();
+      } else {
+        fail("content after root element");
+      }
+      skip_ws();
+    }
+    return doc;
+  }
+
+  [[nodiscard]] ParseLocation location_of(std::size_t offset) const {
+    ParseLocation loc;
+    for (std::size_t i = 0; i < offset && i < input_.size(); ++i) {
+      if (input_[i] == '\n') {
+        ++loc.line;
+        loc.column = 1;
+      } else {
+        ++loc.column;
+      }
+    }
+    return loc;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, pos_);
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= input_.size(); }
+
+  [[nodiscard]] char peek() const {
+    if (at_end()) fail("unexpected end of input");
+    return input_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  [[nodiscard]] bool lookahead(std::string_view token) const {
+    return input_.substr(pos_, token.size()) == token;
+  }
+
+  void expect(std::string_view token) {
+    if (!lookahead(token)) fail("expected '" + std::string(token) + "'");
+    pos_ += token.size();
+  }
+
+  void skip_ws() {
+    while (!at_end() && is_ws(input_[pos_])) ++pos_;
+  }
+
+  std::string parse_name() {
+    if (at_end() || !is_name_start(peek())) fail("expected name");
+    const std::size_t start = pos_;
+    while (!at_end() && is_name_char(input_[pos_])) ++pos_;
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  /// Consumes until `terminator`, returning the content before it.
+  std::string consume_until(std::string_view terminator) {
+    const auto found = input_.find(terminator, pos_);
+    if (found == std::string_view::npos) {
+      fail("unterminated construct (expected '" + std::string(terminator) +
+           "')");
+    }
+    std::string content(input_.substr(pos_, found - pos_));
+    pos_ = found + terminator.size();
+    return content;
+  }
+
+  std::string parse_declaration() {
+    expect("<?xml");
+    return consume_until("?>");
+  }
+
+  std::string parse_comment() {
+    expect("<!--");
+    const std::string content = consume_until("-->");
+    // XML 1.0 forbids "--" inside comments.
+    if (content.find("--") != std::string::npos) {
+      fail("'--' inside comment");
+    }
+    return content;
+  }
+
+  ProcessingInstruction parse_pi() {
+    expect("<?");
+    ProcessingInstruction pi;
+    pi.target = parse_name();
+    if (str_iequals(pi.target, "xml")) fail("misplaced XML declaration");
+    skip_ws();
+    pi.data = consume_until("?>");
+    return pi;
+  }
+
+  static bool str_iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(a[i])) !=
+          std::tolower(static_cast<unsigned char>(b[i]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Decodes &lt; &gt; &amp; &apos; &quot; &#NN; &#xHH; starting at the '&'.
+  std::string parse_entity() {
+    expect("&");
+    if (lookahead("#")) {
+      next();  // '#'
+      std::uint32_t code = 0;
+      if (lookahead("x") || lookahead("X")) {
+        next();
+        bool any = false;
+        while (!at_end() && std::isxdigit(static_cast<unsigned char>(peek()))) {
+          const char c = next();
+          const auto digit =
+              c <= '9' ? c - '0'
+                       : (std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+          code = code * 16 + static_cast<std::uint32_t>(digit);
+          any = true;
+        }
+        if (!any) fail("empty hex character reference");
+      } else {
+        bool any = false;
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+          code = code * 10 + static_cast<std::uint32_t>(next() - '0');
+          any = true;
+        }
+        if (!any) fail("empty character reference");
+      }
+      expect(";");
+      return encode_utf8(code);
+    }
+    const std::string name = parse_name();
+    expect(";");
+    if (name == "lt") return "<";
+    if (name == "gt") return ">";
+    if (name == "amp") return "&";
+    if (name == "apos") return "'";
+    if (name == "quot") return "\"";
+    fail("unknown entity '&" + name + ";'");
+  }
+
+  static std::string encode_utf8(std::uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = next();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    std::string value;
+    for (;;) {
+      if (at_end()) fail("unterminated attribute value");
+      const char c = peek();
+      if (c == quote) {
+        next();
+        return value;
+      }
+      if (c == '<') fail("'<' in attribute value");
+      if (c == '&') {
+        value += parse_entity();
+      } else {
+        value += next();
+      }
+    }
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect("<");
+    auto elem = std::make_unique<Element>();
+    elem->name = parse_name();
+    // Attributes.
+    for (;;) {
+      const bool had_ws = !at_end() && is_ws(peek());
+      skip_ws();
+      if (lookahead("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (lookahead(">")) {
+        ++pos_;
+        break;
+      }
+      if (!had_ws) fail("expected whitespace before attribute");
+      Attribute attr;
+      attr.name = parse_name();
+      skip_ws();
+      expect("=");
+      skip_ws();
+      attr.value = parse_attribute_value();
+      if (elem->has_attribute(attr.name)) {
+        fail("duplicate attribute '" + attr.name + "'");
+      }
+      elem->attributes.push_back(std::move(attr));
+    }
+    // Content until matching close tag.
+    std::string pending_text;
+    auto flush_text = [&] {
+      if (!pending_text.empty()) {
+        elem->children.emplace_back(Text{std::move(pending_text)});
+        pending_text.clear();
+      }
+    };
+    for (;;) {
+      if (at_end()) fail("unterminated element <" + elem->name + ">");
+      if (lookahead("</")) {
+        flush_text();
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != elem->name) {
+          fail("mismatched close tag </" + closing + "> for <" + elem->name +
+               ">");
+        }
+        skip_ws();
+        expect(">");
+        return elem;
+      }
+      if (lookahead("<!--")) {
+        flush_text();
+        elem->children.emplace_back(Comment{parse_comment()});
+      } else if (lookahead("<![CDATA[")) {
+        pos_ += 9;
+        pending_text += consume_until("]]>");
+      } else if (lookahead("<?")) {
+        flush_text();
+        elem->children.emplace_back(parse_pi());
+      } else if (lookahead("<")) {
+        flush_text();
+        elem->children.emplace_back(parse_element());
+      } else if (peek() == '&') {
+        pending_text += parse_entity();
+      } else {
+        pending_text += next();
+      }
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Document> parse(std::string_view input) {
+  Parser parser(input);
+  try {
+    return parser.parse_document();
+  } catch (const ParseError& e) {
+    const auto loc = parser.location_of(e.offset);
+    return make_error("xml.parse_error",
+                      std::string(e.what()) + " at line " +
+                          std::to_string(loc.line) + ", column " +
+                          std::to_string(loc.column));
+  }
+}
+
+Result<Document> parse_expecting_root(std::string_view input,
+                                      std::string_view root_name) {
+  auto doc = parse(input);
+  if (!doc.ok()) return doc;
+  const Element& root = *doc.value().root;
+  if (root.name != root_name && root.local_name() != root_name) {
+    return make_error("xml.unexpected_root",
+                      "expected root element '" + std::string(root_name) +
+                          "', found '" + root.name + "'");
+  }
+  return doc;
+}
+
+}  // namespace drt::xml

@@ -1,0 +1,34 @@
+// Recursive-descent XML parser (subset of XML 1.0).
+//
+// Supported: XML declaration, comments, processing instructions, elements
+// with attributes ('/" quoting), nested content, character data, CDATA
+// sections, the five predefined entities and decimal/hex character
+// references. Not supported (rejected with an error, never silently
+// mis-parsed): DOCTYPE/internal DTD subsets and external entities — the
+// descriptor format does not use them and omitting them avoids the classic
+// XXE trap.
+#pragma once
+
+#include <string_view>
+
+#include "util/result.hpp"
+#include "xml/dom.hpp"
+
+namespace drt::xml {
+
+/// Parse error location, 1-based.
+struct ParseLocation {
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// Parses `input` into a Document. On failure the Error message contains
+/// "line L, column C" so descriptor authors can find the problem.
+[[nodiscard]] Result<Document> parse(std::string_view input);
+
+/// Convenience: parses and requires the root element to have the given
+/// qualified or local name.
+[[nodiscard]] Result<Document> parse_expecting_root(std::string_view input,
+                                                    std::string_view root_name);
+
+}  // namespace drt::xml

@@ -1,0 +1,106 @@
+#include "xml/writer.hpp"
+
+#include <sstream>
+
+namespace drt::xml {
+namespace {
+
+void write_element(std::ostringstream& out, const Element& elem,
+                   const WriteOptions& options, std::size_t depth);
+
+std::string indent(const WriteOptions& options, std::size_t depth) {
+  return options.pretty ? std::string(depth * options.indent_width, ' ')
+                        : std::string{};
+}
+
+void write_node(std::ostringstream& out, const Node& node,
+                const WriteOptions& options, std::size_t depth) {
+  if (const auto* elem = std::get_if<std::unique_ptr<Element>>(&node)) {
+    write_element(out, **elem, options, depth);
+  } else if (const auto* text = std::get_if<Text>(&node)) {
+    out << indent(options, depth) << escape_text(text->value);
+    if (options.pretty) out << '\n';
+  } else if (const auto* comment = std::get_if<Comment>(&node)) {
+    out << indent(options, depth) << "<!--" << comment->value << "-->";
+    if (options.pretty) out << '\n';
+  } else if (const auto* pi = std::get_if<ProcessingInstruction>(&node)) {
+    out << indent(options, depth) << "<?" << pi->target << ' ' << pi->data
+        << "?>";
+    if (options.pretty) out << '\n';
+  }
+}
+
+void write_element(std::ostringstream& out, const Element& elem,
+                   const WriteOptions& options, std::size_t depth) {
+  out << indent(options, depth) << '<' << elem.name;
+  for (const auto& attr : elem.attributes) {
+    out << ' ' << attr.name << "=\"" << escape_attribute(attr.value) << '"';
+  }
+  if (elem.children.empty()) {
+    out << "/>";
+    if (options.pretty) out << '\n';
+    return;
+  }
+  out << '>';
+  if (options.pretty) out << '\n';
+  for (const auto& child : elem.children) {
+    write_node(out, child, options, depth + 1);
+  }
+  out << indent(options, depth) << "</" << elem.name << '>';
+  if (options.pretty) out << '\n';
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_attribute(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '&': out += "&amp;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string write(const Element& element, const WriteOptions& options) {
+  std::ostringstream out;
+  write_element(out, element, options, 0);
+  return out.str();
+}
+
+std::string write(const Document& document, const WriteOptions& options) {
+  std::ostringstream out;
+  if (options.include_declaration) {
+    out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+    if (options.pretty) out << '\n';
+  }
+  for (const auto& node : document.prolog) {
+    write_node(out, node, options, 0);
+  }
+  if (document.root) {
+    write_element(out, *document.root, options, 0);
+  }
+  return out.str();
+}
+
+}  // namespace drt::xml

@@ -1,0 +1,29 @@
+// XML serializer: turns a DOM back into text. Used by tests (round-trip
+// properties) and by tooling that generates DRCom descriptors
+// programmatically (see examples/).
+#pragma once
+
+#include <string>
+
+#include "xml/dom.hpp"
+
+namespace drt::xml {
+
+struct WriteOptions {
+  bool pretty = true;          ///< indent nested elements
+  std::size_t indent_width = 2;
+  bool include_declaration = true;
+};
+
+/// Escapes the five XML special characters for use in character data.
+[[nodiscard]] std::string escape_text(std::string_view raw);
+
+/// Escapes for a double-quoted attribute value.
+[[nodiscard]] std::string escape_attribute(std::string_view raw);
+
+[[nodiscard]] std::string write(const Element& element,
+                                const WriteOptions& options = {});
+[[nodiscard]] std::string write(const Document& document,
+                                const WriteOptions& options = {});
+
+}  // namespace drt::xml

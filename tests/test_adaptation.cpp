@@ -1,0 +1,203 @@
+// AdaptationManager: registry-driven QoS monitoring and reactions (§2.4's
+// "adaptation managers ... monitor the tasks status and adjust the parameter
+// or even change the application structure").
+#include <gtest/gtest.h>
+
+#include "drcom/adaptation.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+/// Periodic worker whose job cost is externally adjustable (fault injection).
+class Variable : public RtComponent {
+ public:
+  explicit Variable(SimDuration* cost) : cost_(cost) {}
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(*cost_);
+      co_await job.next_cycle();
+    }
+  }
+
+ private:
+  SimDuration* cost_;
+};
+
+struct AdaptationFixture : public ::testing::Test {
+  AdaptationFixture()
+      : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory("var.Impl", [this] {
+      return std::make_unique<Variable>(&job_cost);
+    });
+  }
+
+  ComponentDescriptor worker(const std::string& name, double hz = 1000.0) {
+    ComponentDescriptor d;
+    d.name = name;
+    d.bincode = "var.Impl";
+    d.type = rtos::TaskType::kPeriodic;
+    d.cpu_usage = 0.3;
+    d.periodic = PeriodicSpec{hz, 0, 3};
+    return d;
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+  SimDuration job_cost = microseconds(100);
+};
+
+TEST_F(AdaptationFixture, NoViolationsWhileHealthy) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(seconds(1));
+  EXPECT_TRUE(manager.violations().empty());
+  manager.stop();
+}
+
+TEST_F(AdaptationFixture, DetectsDeadlineMisses) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(milliseconds(500));
+  ASSERT_TRUE(manager.violations().empty());
+  job_cost = microseconds(1'500);  // overruns the 1 kHz period
+  engine.run_until(seconds(1));
+  ASSERT_FALSE(manager.violations().empty());
+  EXPECT_EQ(manager.violations().front().component, "w");
+  EXPECT_NE(manager.violations().front().rule_description.find("misses"),
+            std::string::npos);
+}
+
+TEST_F(AdaptationFixture, RuleScopedToComponent) {
+  ASSERT_TRUE(drcr.register_component(worker("good")).ok());
+  ASSERT_TRUE(drcr.register_component(worker("bad")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.component = "good";  // only watch "good"
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  manager.start();
+  job_cost = microseconds(1'500);  // both miss, only "good" is watched
+  engine.run_until(seconds(1));
+  for (const auto& violation : manager.violations()) {
+    EXPECT_EQ(violation.component, "good");
+  }
+  EXPECT_FALSE(manager.violations().empty());
+}
+
+TEST_F(AdaptationFixture, LatencyBoundRule) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_latency_ns = 0.5;  // quiet config latencies are exactly 0
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(milliseconds(300));
+  EXPECT_TRUE(manager.violations().empty());
+  QosRule strict;
+  strict.max_latency_ns = -1.0;  // any sample violates
+  manager.add_rule(strict);
+  engine.run_until(milliseconds(600));
+  EXPECT_FALSE(manager.violations().empty());
+}
+
+TEST_F(AdaptationFixture, LivenessFloorDetectsStalledComponent) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr, {milliseconds(100), QosActionKind::kNotify});
+  QosRule rule;
+  rule.min_new_activations = 50;  // expect ~100 per 100ms poll at 1 kHz
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(milliseconds(400));
+  EXPECT_TRUE(manager.violations().empty());
+  // Kernel-level suspension stalls activations without soft-suspension.
+  ASSERT_TRUE(kernel.suspend_task(drcr.instance_of("w")->task_id()).ok());
+  engine.run_until(milliseconds(800));
+  EXPECT_FALSE(manager.violations().empty());
+}
+
+TEST_F(AdaptationFixture, SuspendActionParksTheOffender) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr,
+                            {milliseconds(100), QosActionKind::kSuspend});
+  QosRule rule;
+  rule.max_new_misses = 5;
+  manager.add_rule(rule);
+  manager.start();
+  job_cost = microseconds(1'500);
+  engine.run_until(seconds(1));
+  EXPECT_TRUE(drcr.instance_of("w")->soft_suspended());
+}
+
+TEST_F(AdaptationFixture, DisableActionChangesApplicationStructure) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr,
+                            {milliseconds(100), QosActionKind::kDisable});
+  QosRule rule;
+  rule.max_new_misses = 5;
+  manager.add_rule(rule);
+  manager.start();
+  job_cost = microseconds(1'500);
+  engine.run_until(seconds(1));
+  EXPECT_EQ(drcr.state_of("w").value(), ComponentState::kDisabled);
+}
+
+TEST_F(AdaptationFixture, HandlerReceivesViolations) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  int handled = 0;
+  manager.set_violation_handler([&](const QosViolation& violation) {
+    ++handled;
+    EXPECT_EQ(violation.component, "w");
+    EXPECT_GT(violation.when, 0);
+  });
+  manager.start();
+  job_cost = microseconds(1'500);
+  engine.run_until(seconds(1));
+  EXPECT_GT(handled, 0);
+}
+
+TEST_F(AdaptationFixture, StopHaltsPolling) {
+  ASSERT_TRUE(drcr.register_component(worker("w")).ok());
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  manager.start();
+  manager.stop();
+  job_cost = microseconds(1'500);
+  engine.run_until(seconds(1));
+  EXPECT_TRUE(manager.violations().empty());
+}
+
+TEST_F(AdaptationFixture, TracksComponentsArrivingLater) {
+  AdaptationManager manager(drcr);
+  QosRule rule;
+  rule.max_new_misses = 0;
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(milliseconds(200));
+  ASSERT_TRUE(drcr.register_component(worker("late")).ok());
+  job_cost = microseconds(1'500);
+  engine.run_until(seconds(1));
+  EXPECT_FALSE(manager.violations().empty());
+  EXPECT_EQ(manager.violations().front().component, "late");
+}
+
+}  // namespace
+}  // namespace drt::drcom

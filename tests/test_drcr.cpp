@@ -1,0 +1,392 @@
+// DRCR runtime tests: registration, functional resolution with dependency
+// ordering, admission, the §4.3 departure cascade, bundle-driven deployment,
+// custom resolving services, enable/disable, management-service publication.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+/// Minimal periodic implementation: counts jobs.
+class Ticker : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      if (auto* shm = job.out_shm("out0")) shm->write_i32(0, ++count_, job.now());
+      if (auto* shm = job.out_shm("out1")) shm->write_i32(0, ++count_, job.now());
+      co_await job.next_cycle();
+    }
+  }
+
+ private:
+  std::int32_t count_ = 0;
+};
+
+/// Consumer: reads its single in-port if present.
+class Reader : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+ComponentDescriptor component(std::string name, double usage = 0.1,
+                              std::vector<std::string> outs = {},
+                              std::vector<std::string> ins = {},
+                              CpuId cpu = 0) {
+  ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "test.Ticker";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = usage;
+  d.periodic = PeriodicSpec{1000.0, cpu, 5};
+  std::size_t index = 0;
+  for (auto& out : outs) {
+    d.ports.push_back({PortDirection::kOut, std::move(out),
+                       PortInterface::kShm, rtos::DataType::kInteger, 4});
+    (void)index;
+  }
+  for (auto& in : ins) {
+    d.ports.push_back({PortDirection::kIn, std::move(in), PortInterface::kShm,
+                       rtos::DataType::kInteger, 4});
+  }
+  return d;
+}
+
+struct DrcrFixture : public ::testing::Test {
+  DrcrFixture()
+      : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "test.Ticker", [] { return std::make_unique<Ticker>(); });
+    drcr.factories().register_factory(
+        "test.Reader", [] { return std::make_unique<Reader>(); });
+  }
+
+  std::vector<DrcrEventType> event_types() const {
+    std::vector<DrcrEventType> out;
+    for (const auto& event : drcr.events()) out.push_back(event.type);
+    return out;
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+};
+
+TEST_F(DrcrFixture, IndependentComponentActivatesImmediately) {
+  ASSERT_TRUE(drcr.register_component(component("solo")).ok());
+  EXPECT_EQ(drcr.state_of("solo").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.active_count(), 1u);
+  engine.run_until(milliseconds(10));
+  const auto* instance = drcr.instance_of("solo");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_GT(instance->status().stats.activations, 5u);
+}
+
+TEST_F(DrcrFixture, DuplicateNameRejected) {
+  ASSERT_TRUE(drcr.register_component(component("dup")).ok());
+  auto second = drcr.register_component(component("dup"));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "drcom.duplicate_component");
+}
+
+TEST_F(DrcrFixture, InvalidDescriptorRejected) {
+  ComponentDescriptor bad = component("x");
+  bad.bincode.clear();
+  EXPECT_FALSE(drcr.register_component(std::move(bad)).ok());
+}
+
+TEST_F(DrcrFixture, MissingFactoryLeavesUnsatisfied) {
+  ComponentDescriptor d = component("orphan");
+  d.bincode = "no.such.Class";
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  EXPECT_EQ(drcr.state_of("orphan").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("orphan").find("no implementation"),
+            std::string::npos);
+  // Late factory registration + resolve fixes it (late binding).
+  drcr.factories().register_factory("no.such.Class",
+                                    [] { return std::make_unique<Ticker>(); });
+  drcr.resolve();
+  EXPECT_EQ(drcr.state_of("orphan").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, DependentWaitsForProviderThenActivates) {
+  // Register the dependent FIRST: stays unsatisfied.
+  ASSERT_TRUE(
+      drcr.register_component(component("disp", 0.1, {}, {"data"})).ok());
+  EXPECT_EQ(drcr.state_of("disp").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("disp").find("inport 'data'"),
+            std::string::npos);
+  // Provider arrives: both become active in one resolution (rounds).
+  ASSERT_TRUE(
+      drcr.register_component(component("calc", 0.1, {"data"})).ok());
+  EXPECT_EQ(drcr.state_of("calc").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("disp").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, PortCompatibilityRequiresMatchingShape) {
+  ASSERT_TRUE(
+      drcr.register_component(component("calc", 0.1, {"data"})).ok());
+  ComponentDescriptor d = component("disp", 0.1, {}, {});
+  // Same name but different size: incompatible (§2.3).
+  d.ports.push_back({PortDirection::kIn, "data", PortInterface::kShm,
+                     rtos::DataType::kInteger, 8});
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  EXPECT_EQ(drcr.state_of("disp").value(), ComponentState::kUnsatisfied);
+}
+
+TEST_F(DrcrFixture, DependencyChainActivatesInRounds) {
+  // c depends on b depends on a; registered in worst-case order.
+  ASSERT_TRUE(drcr.register_component(component("c", 0.1, {}, {"bc"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"bc"}, {"ab"})).ok());
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.state_of("c").value(), ComponentState::kUnsatisfied);
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"})).ok());
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("c").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, DepartureCascadesThroughChain) {
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"bc"}, {"ab"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("c", 0.1, {}, {"bc"})).ok());
+  ASSERT_EQ(drcr.active_count(), 3u);
+  // The §4.3 scenario: stopping the provider deactivates the dependents.
+  ASSERT_TRUE(drcr.unregister_component("a").ok());
+  EXPECT_FALSE(drcr.state_of("a").has_value());
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.state_of("c").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.active_count(), 0u);
+  // Provider returns: the whole chain re-activates.
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"})).ok());
+  EXPECT_EQ(drcr.active_count(), 3u);
+}
+
+TEST_F(DrcrFixture, AdmissionRejectionLeavesUnsatisfied) {
+  ASSERT_TRUE(drcr.register_component(component("big", 0.7)).ok());
+  ASSERT_TRUE(drcr.register_component(component("more", 0.3)).ok());
+  // 0.7 + 0.3 > 0.9 default budget.
+  EXPECT_EQ(drcr.state_of("big").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("more").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("more").find("budget exceeded"),
+            std::string::npos);
+  // Capacity frees up: the pending component is admitted on the next pass.
+  ASSERT_TRUE(drcr.unregister_component("big").ok());
+  EXPECT_EQ(drcr.state_of("more").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, AdmissionIsPerCpu) {
+  ASSERT_TRUE(drcr.register_component(component("one", 0.7, {}, {}, 0)).ok());
+  ASSERT_TRUE(drcr.register_component(component("two", 0.7, {}, {}, 1)).ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+}
+
+TEST_F(DrcrFixture, DisabledComponentWaitsForEnable) {
+  ComponentDescriptor d = component("manual");
+  d.enabled = false;
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  EXPECT_EQ(drcr.state_of("manual").value(), ComponentState::kDisabled);
+  ASSERT_TRUE(drcr.enable_component("manual").ok());
+  EXPECT_EQ(drcr.state_of("manual").value(), ComponentState::kActive);
+  ASSERT_TRUE(drcr.disable_component("manual").ok());
+  EXPECT_EQ(drcr.state_of("manual").value(), ComponentState::kDisabled);
+  EXPECT_EQ(drcr.active_count(), 0u);
+}
+
+TEST_F(DrcrFixture, DisableCascadesToDependents) {
+  ASSERT_TRUE(drcr.register_component(component("src", 0.1, {"pipe"})).ok());
+  ASSERT_TRUE(
+      drcr.register_component(component("sink", 0.1, {}, {"pipe"})).ok());
+  ASSERT_EQ(drcr.active_count(), 2u);
+  ASSERT_TRUE(drcr.disable_component("src").ok());
+  EXPECT_EQ(drcr.state_of("sink").value(), ComponentState::kUnsatisfied);
+  ASSERT_TRUE(drcr.enable_component("src").ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+}
+
+TEST_F(DrcrFixture, ManagementServicePublishedPerActiveComponent) {
+  ASSERT_TRUE(drcr.register_component(component("tuner")).ok());
+  auto filter = osgi::Filter::parse("(component.name=tuner)").value();
+  const auto reference =
+      framework.registry().get_reference(kManagementInterface, &filter);
+  ASSERT_TRUE(reference.has_value());
+  auto management =
+      framework.registry().get_service<RtComponentManagement>(*reference);
+  ASSERT_NE(management, nullptr);
+  EXPECT_EQ(management->component_name(), "tuner");
+  // Service disappears on deactivation.
+  ASSERT_TRUE(drcr.disable_component("tuner").ok());
+  EXPECT_FALSE(framework.registry()
+                   .get_reference(kManagementInterface, &filter)
+                   .has_value());
+}
+
+TEST_F(DrcrFixture, EventsTellTheStory) {
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"x"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {}, {"x"})).ok());
+  ASSERT_TRUE(drcr.unregister_component("a").ok());
+  const auto types = event_types();
+  // REGISTERED a, ACTIVATED a, REGISTERED b, ACTIVATED b,
+  // DEACTIVATED a, UNREGISTERED a, DEACTIVATED b (cascade).
+  ASSERT_GE(types.size(), 7u);
+  EXPECT_EQ(types[0], DrcrEventType::kRegistered);
+  EXPECT_EQ(types[1], DrcrEventType::kActivated);
+  const auto deactivations = std::count(types.begin(), types.end(),
+                                        DrcrEventType::kDeactivated);
+  EXPECT_EQ(deactivations, 2);
+}
+
+TEST_F(DrcrFixture, ListenerReceivesEvents) {
+  std::vector<std::string> seen;
+  drcr.add_listener([&](const DrcrEvent& event) {
+    seen.push_back(std::string(to_string(event.type)) + ":" + event.component);
+  });
+  ASSERT_TRUE(drcr.register_component(component("seen")).ok());
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "REGISTERED:seen");
+  EXPECT_EQ(seen[1], "ACTIVATED:seen");
+}
+
+TEST_F(DrcrFixture, CustomResolverIsConsulted) {
+  // A custom resolving service that vetoes any component named "banned".
+  class Veto : public ResolvingService {
+   public:
+    const std::string& name() const override { return name_; }
+    Result<void> admit(const ComponentDescriptor& candidate,
+                       const SystemView&) override {
+      if (candidate.name == "banned") {
+        return make_error("custom.veto", "name is banned");
+      }
+      return Result<void>::success();
+    }
+
+   private:
+    std::string name_ = "veto-service";
+  };
+  auto registration = framework.system_context().register_service(
+      std::string(kResolvingServiceInterface),
+      std::static_pointer_cast<void>(std::make_shared<Veto>()));
+  ASSERT_TRUE(drcr.register_component(component("banned")).ok());
+  EXPECT_EQ(drcr.state_of("banned").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("banned").find("veto-service"),
+            std::string::npos);
+  // Unplugging the custom resolver lets the component in (adaptation).
+  registration.unregister();
+  EXPECT_EQ(drcr.state_of("banned").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, InternalResolverReplaceable) {
+  drcr.set_internal_resolver(std::make_unique<RateMonotonicResolver>());
+  ASSERT_TRUE(drcr.register_component(component("a", 0.5)).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.4)).ok());
+  // 0.9 > RM bound for n=2 (0.828): b rejected.
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+}
+
+TEST_F(DrcrFixture, RevocationShedsWhenBudgetShrinks) {
+  ASSERT_TRUE(drcr.register_component(component("a", 0.5)).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.3)).ok());
+  ASSERT_EQ(drcr.active_count(), 2u);
+  auto* budget =
+      dynamic_cast<UtilizationBudgetResolver*>(&drcr.internal_resolver());
+  ASSERT_NE(budget, nullptr);
+  budget->set_budget(0.6);
+  drcr.resolve();
+  // b (newest) revoked; a stays.
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+}
+
+TEST_F(DrcrFixture, DrcrServiceDiscoverableInRegistry) {
+  const auto reference =
+      framework.registry().get_reference(kDrcrServiceInterface);
+  ASSERT_TRUE(reference.has_value());
+  auto handle = framework.registry().get_service<DrcrHandle>(*reference);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->drcr, &drcr);
+}
+
+TEST_F(DrcrFixture, FactoryServiceFallback) {
+  // Factory contributed as an OSGi service with a drcom.bincode property.
+  auto factory = std::make_shared<ComponentFactoryService>();
+  factory->create = [] { return std::make_unique<Ticker>(); };
+  osgi::Properties props;
+  props.set("drcom.bincode", std::string("svc.Ticker"));
+  framework.system_context().register_service(
+      std::string(kFactoryServiceInterface),
+      std::static_pointer_cast<void>(factory), props);
+  ComponentDescriptor d = component("svc");
+  d.bincode = "svc.Ticker";
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  EXPECT_EQ(drcr.state_of("svc").value(), ComponentState::kActive);
+}
+
+// ------------------------------- bundle-driven deployment -----------------
+
+osgi::BundleDefinition component_bundle(const std::string& symbolic_name,
+                                        const ComponentDescriptor& descriptor) {
+  osgi::BundleDefinition definition;
+  definition.manifest.set_symbolic_name(symbolic_name);
+  definition.manifest.add_component_resource("DRT-INF/component.xml");
+  definition.resources["DRT-INF/component.xml"] =
+      write_descriptor(descriptor);
+  return definition;
+}
+
+TEST_F(DrcrFixture, BundleStartRegistersDescribedComponents) {
+  auto id = framework.install(component_bundle("rt.calc", component("calc")));
+  ASSERT_TRUE(id.ok());
+  EXPECT_FALSE(drcr.state_of("calc").has_value());  // not scanned yet
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  EXPECT_EQ(drcr.state_of("calc").value(), ComponentState::kActive);
+  // Bundle stop removes the component (continuous deployment).
+  ASSERT_TRUE(framework.stop(id.value()).ok());
+  EXPECT_FALSE(drcr.state_of("calc").has_value());
+  EXPECT_EQ(drcr.active_count(), 0u);
+}
+
+TEST_F(DrcrFixture, BundleStopCascadesToDependentsInOtherBundles) {
+  auto calc_id = framework.install(
+      component_bundle("rt.calc", component("calc", 0.1, {"data"})));
+  auto disp_id = framework.install(
+      component_bundle("rt.disp", component("disp", 0.1, {}, {"data"})));
+  ASSERT_TRUE(framework.start(calc_id.value()).ok());
+  ASSERT_TRUE(framework.start(disp_id.value()).ok());
+  ASSERT_EQ(drcr.active_count(), 2u);
+  ASSERT_TRUE(framework.stop(calc_id.value()).ok());
+  EXPECT_EQ(drcr.state_of("disp").value(), ComponentState::kUnsatisfied);
+  // Restart brings both back without restarting anything else.
+  ASSERT_TRUE(framework.start(calc_id.value()).ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+}
+
+TEST_F(DrcrFixture, PreActiveBundlesScannedAtAttach) {
+  // A second DRCR attaching later still sees running bundles' components.
+  auto id = framework.install(component_bundle("rt.pre", component("pre")));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  EXPECT_EQ(drcr.state_of("pre").value(), ComponentState::kActive);
+}
+
+TEST_F(DrcrFixture, MalformedBundleDescriptorIsSkipped) {
+  osgi::BundleDefinition definition;
+  definition.manifest.set_symbolic_name("rt.bad");
+  definition.manifest.add_component_resource("DRT-INF/broken.xml");
+  definition.resources["DRT-INF/broken.xml"] = "<not-a-component/>";
+  auto id = framework.install(std::move(definition));
+  EXPECT_TRUE(framework.start(id.value()).ok());  // bundle itself is fine
+  EXPECT_TRUE(drcr.component_names().empty());
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -1,0 +1,166 @@
+// Group activation: dependency cycles (feedback loops), batch admission
+// interaction, rollback of failed groups. These cover the DRCR extension
+// beyond the paper's §4.3 linear-dependency scenario — the "port based
+// components' limitations" its §6 flags as future work.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+class Echo : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+ComponentDescriptor component(std::string name, double usage,
+                              std::vector<std::string> outs,
+                              std::vector<std::string> ins) {
+  ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "grp.Echo";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = usage;
+  d.periodic = PeriodicSpec{500.0, 0, 5};
+  for (auto& out : outs) {
+    d.ports.push_back({PortDirection::kOut, std::move(out),
+                       PortInterface::kShm, rtos::DataType::kInteger, 2});
+  }
+  for (auto& in : ins) {
+    d.ports.push_back({PortDirection::kIn, std::move(in), PortInterface::kShm,
+                       rtos::DataType::kInteger, 2});
+  }
+  return d;
+}
+
+struct GroupFixture : public ::testing::Test {
+  GroupFixture() : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "grp.Echo", [] { return std::make_unique<Echo>(); });
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+};
+
+TEST_F(GroupFixture, TwoComponentFeedbackCycleActivates) {
+  // a -> ab -> b -> ba -> a : neither can activate alone.
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"}, {"ba"})).ok());
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kUnsatisfied);
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"ba"}, {"ab"})).ok());
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kActive);
+  // Both ports exist in the kernel.
+  EXPECT_NE(kernel.shm_find("ab"), nullptr);
+  EXPECT_NE(kernel.shm_find("ba"), nullptr);
+  engine.run_until(milliseconds(20));
+  EXPECT_GT(drcr.instance_of("a")->status().stats.activations, 5u);
+}
+
+TEST_F(GroupFixture, ThreeComponentRingActivates) {
+  ASSERT_TRUE(drcr.register_component(component("x", 0.1, {"xy"}, {"zx"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("y", 0.1, {"yz"}, {"xy"})).ok());
+  EXPECT_EQ(drcr.active_count(), 0u);
+  ASSERT_TRUE(drcr.register_component(component("z", 0.1, {"zx"}, {"yz"})).ok());
+  EXPECT_EQ(drcr.active_count(), 3u);
+}
+
+TEST_F(GroupFixture, CycleCascadesDownTogether) {
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"}, {"ba"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"ba"}, {"ab"})).ok());
+  ASSERT_EQ(drcr.active_count(), 2u);
+  ASSERT_TRUE(drcr.unregister_component("a").ok());
+  // b loses its provider; the cycle cannot stand half-built.
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(kernel.shm_find("ba"), nullptr);
+  // Re-registering a restores the whole cycle.
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"}, {"ba"})).ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+}
+
+TEST_F(GroupFixture, AdmissionRejectionOfCycleMemberBlocksWholeCycle) {
+  // Fill the budget so the second cycle member cannot be admitted.
+  ASSERT_TRUE(drcr.register_component(component("fill", 0.7, {}, {})).ok());
+  ASSERT_TRUE(drcr.register_component(component("a", 0.15, {"ab"}, {"ba"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("b", 0.15, {"ba"}, {"ab"})).ok());
+  // 0.7 + 0.15 admits a, but b busts 0.9: the functional closure then kills
+  // a too — half a feedback loop must never run.
+  EXPECT_EQ(drcr.state_of("a").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.state_of("b").value(), ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.active_count(), 1u);
+  // Freeing budget activates the cycle.
+  ASSERT_TRUE(drcr.unregister_component("fill").ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+}
+
+TEST_F(GroupFixture, MixedChainAndCycleActivateInOneResolve) {
+  // Source feeds a cycle; a sink hangs off the cycle.
+  ASSERT_TRUE(drcr.register_component(component("sink", 0.05, {}, {"cd"})).ok());
+  ASSERT_TRUE(
+      drcr.register_component(component("c", 0.1, {"cd"}, {"dc", "in"})).ok());
+  ASSERT_TRUE(drcr.register_component(component("d", 0.1, {"dc"}, {"cd"})).ok());
+  EXPECT_EQ(drcr.active_count(), 0u);
+  ASSERT_TRUE(drcr.register_component(component("src", 0.05, {"in"}, {})).ok());
+  EXPECT_EQ(drcr.active_count(), 4u);
+}
+
+TEST_F(GroupFixture, SelfLoopIsRejected) {
+  // A component consuming its own out-port name cannot satisfy itself
+  // (provider must be a different component, §2.3 port matching).
+  ASSERT_TRUE(
+      drcr.register_component(component("narc", 0.1, {"me"}, {"me2"})).ok());
+  EXPECT_EQ(drcr.state_of("narc").value(), ComponentState::kUnsatisfied);
+}
+
+TEST_F(GroupFixture, MechanicalFailureOfOneMemberRetriesWithoutIt) {
+  // "bad" has no factory: instantiation fails. The group logic must exclude
+  // it and still activate the independent "good".
+  ComponentDescriptor bad = component("bad", 0.1, {"bx"}, {});
+  bad.bincode = "grp.Missing";
+  ASSERT_TRUE(drcr.register_component(std::move(bad)).ok());
+  ASSERT_TRUE(drcr.register_component(component("good", 0.1, {"gx"}, {})).ok());
+  EXPECT_EQ(drcr.state_of("good").value(), ComponentState::kActive);
+  EXPECT_EQ(drcr.state_of("bad").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("bad").find("no implementation"),
+            std::string::npos);
+}
+
+TEST_F(GroupFixture, PortSquatterFailsOnlyTheSquattedComponent) {
+  // An out-port name already taken in the kernel (stale object) must fail
+  // that component's activation but not poison the rest of the group.
+  ASSERT_TRUE(kernel.shm_create("px", 8).ok());
+  ASSERT_TRUE(drcr.register_component(component("p", 0.1, {"px"}, {})).ok());
+  ASSERT_TRUE(drcr.register_component(component("q", 0.1, {"qx"}, {})).ok());
+  EXPECT_EQ(drcr.state_of("p").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("p").find("port"), std::string::npos);
+  EXPECT_EQ(drcr.state_of("q").value(), ComponentState::kActive);
+  // And q's IPC survived the rollback of p.
+  EXPECT_NE(kernel.shm_find("qx"), nullptr);
+  EXPECT_NE(kernel.mailbox_find("q.cmd"), nullptr);
+  EXPECT_EQ(kernel.mailbox_find("p.cmd"), nullptr);
+}
+
+TEST_F(GroupFixture, CycleMembersShareOneActivationBatchInEvents) {
+  ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"}, {"ba"})).ok());
+  drcr.clear_events();
+  ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"ba"}, {"ab"})).ok());
+  std::size_t activated = 0;
+  for (const auto& event : drcr.events()) {
+    if (event.type == DrcrEventType::kActivated) ++activated;
+  }
+  EXPECT_EQ(activated, 2u);
+}
+
+}  // namespace
+}  // namespace drt::drcom

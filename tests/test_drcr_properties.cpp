@@ -1,0 +1,163 @@
+// DRCR resolution as a property: for random dependency graphs deployed in
+// random order with random churn, the runtime must always converge to the
+// correct fixpoint — a component is ACTIVE iff every mandatory in-port has
+// an ACTIVE provider (admission disabled so functional logic is isolated).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+class Echo : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(1'000);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+struct GraphNode {
+  std::string name;
+  std::vector<std::string> outs;  // port names
+  std::vector<std::string> ins;   // port names (provided by other nodes)
+};
+
+/// Generates a random directed graph: `count` nodes, each with one out-port;
+/// edges (in-port references) chosen randomly — cycles included on purpose.
+std::vector<GraphNode> random_graph(Rng& rng, std::size_t count,
+                                    double edge_probability) {
+  std::vector<GraphNode> nodes(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    nodes[i].name = "n" + std::to_string(i);
+    nodes[i].outs.push_back("p" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t j = 0; j < count; ++j) {
+      if (i == j) continue;
+      if (rng.next_double() < edge_probability) {
+        nodes[i].ins.push_back("p" + std::to_string(j));
+      }
+    }
+  }
+  return nodes;
+}
+
+ComponentDescriptor node_descriptor(const GraphNode& node) {
+  ComponentDescriptor d;
+  d.name = node.name;
+  d.bincode = "prop.Echo";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.0;  // admission neutral
+  d.periodic = PeriodicSpec{100.0, 0, 5};
+  for (const auto& out : node.outs) {
+    d.ports.push_back({PortDirection::kOut, out, PortInterface::kShm,
+                       rtos::DataType::kInteger, 1});
+  }
+  for (const auto& in : node.ins) {
+    d.ports.push_back({PortDirection::kIn, in, PortInterface::kShm,
+                       rtos::DataType::kInteger, 1});
+  }
+  return d;
+}
+
+/// Ground truth: the greatest set S of registered nodes such that every
+/// member's in-ports are provided by members of S (computed independently of
+/// the DRCR by fixpoint deletion).
+std::set<std::string> expected_active(
+    const std::map<std::string, GraphNode>& registered) {
+  std::set<std::string> active;
+  for (const auto& [name, _] : registered) active.insert(name);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, node] : registered) {
+      if (!active.contains(name)) continue;
+      for (const auto& in : node.ins) {
+        bool provided = false;
+        for (const auto& [other_name, other] : registered) {
+          if (other_name == name || !active.contains(other_name)) continue;
+          for (const auto& out : other.outs) {
+            if (out == in) {
+              provided = true;
+              break;
+            }
+          }
+          if (provided) break;
+        }
+        if (!provided) {
+          active.erase(name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return active;
+}
+
+class DrcrFixpoint : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DrcrFixpoint, RandomGraphWithChurnMatchesGroundTruth) {
+  Rng rng(GetParam());
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel(engine, quiet_config());
+  DrcrConfig config;
+  config.cpu_budget = 1.0;  // admission neutral for usage 0 components
+  Drcr drcr(framework, kernel, config);
+  drcr.factories().register_factory(
+      "prop.Echo", [] { return std::make_unique<Echo>(); });
+
+  const auto graph = random_graph(rng, 8, 0.18);
+  std::map<std::string, GraphNode> registered;
+
+  // Churn: 40 random register/unregister operations.
+  for (int step = 0; step < 40; ++step) {
+    const auto& node = graph[static_cast<std::size_t>(rng.uniform(0, 7))];
+    if (registered.contains(node.name)) {
+      ASSERT_TRUE(drcr.unregister_component(node.name).ok());
+      registered.erase(node.name);
+    } else {
+      ASSERT_TRUE(drcr.register_component(node_descriptor(node)).ok());
+      registered.emplace(node.name, node);
+    }
+    engine.run_until(engine.now() + milliseconds(1));
+
+    // Invariant: DRCR state == independent fixpoint, at every step.
+    const auto truth = expected_active(registered);
+    for (const auto& [name, _] : registered) {
+      const auto state = drcr.state_of(name);
+      ASSERT_TRUE(state.has_value()) << name;
+      if (truth.contains(name)) {
+        EXPECT_EQ(*state, ComponentState::kActive)
+            << name << " at step " << step << " seed " << GetParam();
+      } else {
+        EXPECT_EQ(*state, ComponentState::kUnsatisfied)
+            << name << " at step " << step << " seed " << GetParam();
+      }
+    }
+    // Kernel-side consistency: exactly one live task per active component.
+    std::size_t live_tasks = 0;
+    for (const auto* task : kernel.tasks()) {
+      if (task->state != rtos::TaskState::kFinished) ++live_tasks;
+    }
+    EXPECT_EQ(live_tasks, truth.size()) << "at step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DrcrFixpoint,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u));
+
+}  // namespace
+}  // namespace drt::drcom

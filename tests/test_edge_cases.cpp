@@ -1,0 +1,169 @@
+// Edge cases across module boundaries that the main suites don't reach.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "osgi/event_admin.hpp"
+#include "test_helpers.hpp"
+
+namespace drt {
+namespace {
+
+using rtos::testing::quiet_config;
+
+TEST(RegistryEdge, SetPropertiesAfterUnregisterIsNoOp) {
+  osgi::ServiceRegistry registry;
+  auto registration =
+      registry.register_service(1, {"a"}, std::make_shared<int>(1), {});
+  registration.unregister();
+  osgi::Properties props;
+  props.set("x", std::int64_t{1});
+  registration.set_properties(props);  // must not crash or fire events
+  registration.unregister();           // double unregister: no-op
+  EXPECT_FALSE(registration.is_valid());
+}
+
+TEST(RegistryEdge, DefaultConstructedHandlesAreInert) {
+  osgi::ServiceReference reference;
+  EXPECT_FALSE(reference.is_valid());
+  EXPECT_EQ(reference.service_id(), 0u);
+  EXPECT_TRUE(reference.properties().empty());
+  osgi::ServiceRegistration registration;
+  EXPECT_FALSE(registration.is_valid());
+  registration.unregister();  // no-op
+}
+
+TEST(EventAdminEdge, UnsubscribeUnknownTokenIsNoOp) {
+  osgi::EventAdmin bus;
+  bus.unsubscribe(12345);
+  bus.post("t");  // no subscribers: fine
+  EXPECT_EQ(bus.delivered_count(), 0u);
+}
+
+TEST(DrcrEdge, UndeploySystemWithExternalDependentCascades) {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel(engine, quiet_config());
+  drcom::Drcr drcr(framework, kernel);
+  class Echo : public drcom::RtComponent {
+   public:
+    rtos::TaskCoro run(drcom::JobContext& job) override {
+      while (job.active()) {
+        co_await job.consume(1'000);
+        co_await job.next_cycle();
+      }
+    }
+  };
+  drcr.factories().register_factory(
+      "edge.Echo", [] { return std::make_unique<Echo>(); });
+
+  // System provides port "feed"; an externally registered component eats it.
+  auto system = drcom::parse_system_descriptor(R"(<drt:system name="core">
+    <drt:component name="src" type="periodic" cpuusage="0.1">
+      <implementation bincode="edge.Echo"/>
+      <periodictask frequence="100" runoncpu="0" priority="3"/>
+      <outport name="feed" interface="RTAI.SHM" type="Integer" size="1"/>
+    </drt:component>
+  </drt:system>)");
+  ASSERT_TRUE(system.ok()) << system.error().to_string();
+  ASSERT_TRUE(drcr.deploy_system(system.value()).ok());
+
+  drcom::ComponentDescriptor sink;
+  sink.name = "sink";
+  sink.bincode = "edge.Echo";
+  sink.type = rtos::TaskType::kPeriodic;
+  sink.cpu_usage = 0.1;
+  sink.periodic = drcom::PeriodicSpec{100.0, 0, 5};
+  sink.ports.push_back({drcom::PortDirection::kIn, "feed",
+                        drcom::PortInterface::kShm, rtos::DataType::kInteger,
+                        1});
+  ASSERT_TRUE(drcr.register_component(std::move(sink)).ok());
+  ASSERT_EQ(drcr.active_count(), 2u);
+
+  // Undeploying the system strands the external sink — and says why.
+  ASSERT_TRUE(drcr.undeploy_system("core").ok());
+  EXPECT_EQ(drcr.state_of("sink").value(),
+            drcom::ComponentState::kUnsatisfied);
+  EXPECT_FALSE(drcr.state_of("src").has_value());
+}
+
+TEST(DrcrEdge, EnableUnknownAndDisableUnknownFail) {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel(engine, quiet_config());
+  drcom::Drcr drcr(framework, kernel);
+  EXPECT_FALSE(drcr.enable_component("ghost").ok());
+  EXPECT_FALSE(drcr.disable_component("ghost").ok());
+  EXPECT_FALSE(drcr.unregister_component("ghost").ok());
+  EXPECT_FALSE(drcr.state_of("ghost").has_value());
+  EXPECT_EQ(drcr.instance_of("ghost"), nullptr);
+  EXPECT_TRUE(drcr.last_reason("ghost").empty());
+  EXPECT_TRUE(drcr.system_members("ghost").empty());
+}
+
+TEST(KernelEdge, StartTaskTwiceFails) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "t", .type = rtos::TaskType::kAperiodic},
+      [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        co_await ctx.sleep_for(seconds(1));
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  EXPECT_FALSE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_FALSE(kernel.suspend_task(999).ok());
+  EXPECT_FALSE(kernel.delete_task(999).ok());
+  EXPECT_FALSE(kernel.request_stop(999).ok());
+}
+
+TEST(KernelEdge, DeleteFinishedTaskIsIdempotentish) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "t", .type = rtos::TaskType::kAperiodic},
+      [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        co_await ctx.consume(1'000);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(kernel.find_task(id.value())->state,
+            rtos::TaskState::kFinished);
+  // Deleting an already-finished task is allowed (frees nothing twice).
+  EXPECT_TRUE(kernel.delete_task(id.value()).ok());
+  EXPECT_TRUE(kernel.delete_task(id.value()).ok());
+}
+
+TEST(KernelEdge, SporadicTaskTypeBehavesLikeAperiodicInKernel) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  SimTime ran_at = -1;
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "sp", .type = rtos::TaskType::kSporadic},
+      [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        co_await ctx.consume(1'000);
+        ran_at = ctx.now();
+      });
+  ASSERT_TRUE(id.ok());  // no period required
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(ran_at, 1'000);
+}
+
+TEST(HybridEdge, DrainResponsesOnInactiveComponentIsEmpty) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  drcom::ComponentDescriptor d;
+  d.name = "idle";
+  d.bincode = "x";
+  d.type = rtos::TaskType::kAperiodic;
+  drcom::HybridComponent hybrid(std::move(d), kernel, nullptr);
+  EXPECT_TRUE(hybrid.drain_responses().empty());
+  EXPECT_FALSE(hybrid.send_command("STATUS").ok());
+  EXPECT_FALSE(hybrid.activate().ok());  // no implementation
+  const auto status = hybrid.status();
+  EXPECT_EQ(status.component, "idle");
+  EXPECT_FALSE(status.failed);
+}
+
+}  // namespace
+}  // namespace drt

@@ -1,0 +1,166 @@
+// Event Admin (publish/subscribe) semantics and the DRCR bridge.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "osgi/event_admin.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::osgi {
+namespace {
+
+TEST(EventAdmin, ExactTopicDelivery) {
+  EventAdmin bus;
+  std::vector<std::string> seen;
+  bus.subscribe("a/b/c",
+                [&](const Event& event) { seen.push_back(event.topic); });
+  bus.post("a/b/c");
+  bus.post("a/b/d");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "a/b/c");
+  EXPECT_EQ(bus.delivered_count(), 1u);
+}
+
+TEST(EventAdmin, TrailingWildcard) {
+  EXPECT_TRUE(EventAdmin::topic_matches("a/b/*", "a/b/c"));
+  EXPECT_TRUE(EventAdmin::topic_matches("a/b/*", "a/b/c/d"));
+  EXPECT_FALSE(EventAdmin::topic_matches("a/b/*", "a/b"));
+  EXPECT_FALSE(EventAdmin::topic_matches("a/b/*", "a/bx/c"));
+  EXPECT_TRUE(EventAdmin::topic_matches("*", "anything/at/all"));
+  EXPECT_FALSE(EventAdmin::topic_matches("a/b/c", "a/b"));
+}
+
+TEST(EventAdmin, PropertyFilterRefinesSubscription) {
+  EventAdmin bus;
+  int matched = 0;
+  bus.subscribe("evt/*", [&](const Event&) { ++matched; },
+                Filter::parse("(severity>=3)").value());
+  Properties low;
+  low.set("severity", std::int64_t{1});
+  Properties high;
+  high.set("severity", std::int64_t{5});
+  bus.post("evt/x", low);
+  bus.post("evt/x", high);
+  EXPECT_EQ(matched, 1);
+}
+
+TEST(EventAdmin, DeliveryInSubscriptionOrder) {
+  EventAdmin bus;
+  std::vector<int> order;
+  bus.subscribe("t", [&](const Event&) { order.push_back(1); });
+  bus.subscribe("t", [&](const Event&) { order.push_back(2); });
+  bus.subscribe("*", [&](const Event&) { order.push_back(3); });
+  bus.post("t");
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventAdmin, UnsubscribeStopsDelivery) {
+  EventAdmin bus;
+  int count = 0;
+  const auto token = bus.subscribe("t", [&](const Event&) { ++count; });
+  bus.post("t");
+  bus.unsubscribe(token);
+  bus.post("t");
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+}
+
+TEST(EventAdmin, ThrowingHandlerDoesNotBreakBus) {
+  EventAdmin bus;
+  int delivered = 0;
+  bus.subscribe("t", [](const Event&) { throw std::runtime_error("bad"); });
+  bus.subscribe("t", [&](const Event&) { ++delivered; });
+  bus.post("t");
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(EventAdmin, HandlerMaySubscribeDuringDelivery) {
+  EventAdmin bus;
+  int late = 0;
+  bus.subscribe("t", [&](const Event&) {
+    bus.subscribe("t", [&](const Event&) { ++late; });
+  });
+  bus.post("t");   // late handler subscribed but not called for this event
+  EXPECT_EQ(late, 0);
+  bus.post("t");
+  EXPECT_EQ(late, 1);
+}
+
+// ----------------------------------------------------------- DRCR bridge --
+
+class Echo : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(1'000);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+TEST(EventAdminBridge, DrcrLifecycleEventsReachTheBus) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, rtos::testing::quiet_config());
+  Framework framework;
+  auto bus = std::make_shared<EventAdmin>();
+  framework.system_context().register_service(
+      std::string(kEventAdminInterface), bus);
+  drcom::Drcr drcr(framework, kernel);
+  drcr.factories().register_factory(
+      "bridge.Echo", [] { return std::make_unique<Echo>(); });
+
+  std::vector<std::string> topics;
+  std::vector<std::string> components;
+  bus->subscribe("drcom/ComponentEvent/*", [&](const Event& event) {
+    topics.push_back(event.topic);
+    components.push_back(
+        event.properties.get_string("component").value_or(""));
+    EXPECT_TRUE(event.properties.get_int("timestamp").has_value());
+  });
+
+  drcom::ComponentDescriptor d;
+  d.name = "echo";
+  d.bincode = "bridge.Echo";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.1;
+  d.periodic = drcom::PeriodicSpec{1000.0, 0, 5};
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  ASSERT_TRUE(drcr.unregister_component("echo").ok());
+
+  ASSERT_GE(topics.size(), 4u);
+  EXPECT_EQ(topics[0], "drcom/ComponentEvent/REGISTERED");
+  EXPECT_EQ(topics[1], "drcom/ComponentEvent/ACTIVATED");
+  EXPECT_EQ(topics[2], "drcom/ComponentEvent/DEACTIVATED");
+  EXPECT_EQ(topics[3], "drcom/ComponentEvent/UNREGISTERED");
+  for (const auto& component : components) EXPECT_EQ(component, "echo");
+}
+
+TEST(EventAdminBridge, FilteredSubscriptionSelectsOneComponent) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, rtos::testing::quiet_config());
+  Framework framework;
+  auto bus = std::make_shared<EventAdmin>();
+  framework.system_context().register_service(
+      std::string(kEventAdminInterface), bus);
+  drcom::Drcr drcr(framework, kernel);
+  drcr.factories().register_factory(
+      "bridge.Echo", [] { return std::make_unique<Echo>(); });
+
+  int target_events = 0;
+  bus->subscribe("drcom/ComponentEvent/*",
+                 [&](const Event&) { ++target_events; },
+                 Filter::parse("(component=two)").value());
+
+  for (const char* name : {"one", "two", "three"}) {
+    drcom::ComponentDescriptor d;
+    d.name = name;
+    d.bincode = "bridge.Echo";
+    d.type = rtos::TaskType::kPeriodic;
+    d.cpu_usage = 0.1;
+    d.periodic = drcom::PeriodicSpec{1000.0, 0, 5};
+    ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  }
+  EXPECT_EQ(target_events, 2);  // REGISTERED + ACTIVATED for "two" only
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,221 @@
+// Descriptor extensions: optional in-ports and constrained deadlines — and
+// their behaviour through the kernel, the hybrid component and the DRCR.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+// ------------------------------------------------------ descriptor level --
+
+TEST(OptionalPorts, ParsesOptionalInport) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="aperiodic">
+      <implementation bincode="x.Y"/>
+      <inport name="extra" interface="RTAI.SHM" type="Integer" size="4"
+              optional="true"/>
+      <inport name="main" interface="RTAI.SHM" type="Integer" size="4"/>
+    </drt:component>)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_TRUE(parsed.value().find_port("extra")->optional);
+  EXPECT_FALSE(parsed.value().find_port("main")->optional);
+}
+
+TEST(OptionalPorts, OptionalOutportRejected) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="aperiodic">
+      <implementation bincode="x.Y"/>
+      <outport name="p" interface="RTAI.SHM" type="Integer" size="4"
+               optional="true"/>
+    </drt:component>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("cannot be optional"),
+            std::string::npos);
+}
+
+TEST(OptionalPorts, RoundTripsThroughWriter) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="aperiodic">
+      <implementation bincode="x.Y"/>
+      <inport name="extra" interface="RTAI.SHM" type="Integer" size="4"
+              optional="true"/>
+    </drt:component>)");
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = parse_descriptor(write_descriptor(parsed.value()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value().find_port("extra")->optional);
+}
+
+TEST(Deadlines, ParsesAndValidates) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="periodic" cpuusage="0.1">
+      <implementation bincode="x.Y"/>
+      <periodictask frequence="1000" priority="2" deadline="400000"/>
+    </drt:component>)");
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  EXPECT_EQ(parsed.value().periodic->deadline, 400'000);
+  EXPECT_EQ(parsed.value().periodic->effective_deadline(), 400'000);
+}
+
+TEST(Deadlines, ImplicitDeadlineEqualsPeriod) {
+  PeriodicSpec spec{1000.0, 0, 2};
+  EXPECT_EQ(spec.effective_deadline(), milliseconds(1));
+}
+
+TEST(Deadlines, DeadlineBeyondPeriodRejected) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="periodic" cpuusage="0.1">
+      <implementation bincode="x.Y"/>
+      <periodictask frequence="1000" priority="2" deadline="2000000"/>
+    </drt:component>)");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("deadline exceeds"),
+            std::string::npos);
+}
+
+TEST(Deadlines, RoundTripsThroughWriter) {
+  auto parsed = parse_descriptor(R"(
+    <drt:component name="c" type="periodic" cpuusage="0.1">
+      <implementation bincode="x.Y"/>
+      <periodictask frequence="1000" priority="2" deadline="250000"/>
+    </drt:component>)");
+  ASSERT_TRUE(parsed.ok());
+  auto reparsed = parse_descriptor(write_descriptor(parsed.value()));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().periodic->deadline, 250'000);
+}
+
+// ---------------------------------------------------------- kernel level --
+
+TEST(Deadlines, ConstrainedDeadlineTightensMissAccounting) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  // 600us job in a 1ms period: fine with the implicit deadline, late
+  // against a 500us constrained deadline.
+  auto body = [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+    while (!ctx.stop_requested()) {
+      co_await ctx.consume(microseconds(600));
+      co_await ctx.wait_next_period();
+    }
+  };
+  rtos::TaskParams implicit;
+  implicit.name = "imp";
+  implicit.type = rtos::TaskType::kPeriodic;
+  implicit.period = milliseconds(1);
+  rtos::TaskParams constrained = implicit;
+  constrained.name = "con";
+  constrained.deadline = microseconds(500);
+  constrained.cpu = 1;  // isolate the two
+  auto a = kernel.create_task(implicit, body);
+  auto b = kernel.create_task(constrained, body);
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(milliseconds(100));
+  EXPECT_EQ(kernel.find_task(a.value())->stats.deadline_misses, 0u);
+  EXPECT_GT(kernel.find_task(b.value())->stats.deadline_misses, 50u);
+}
+
+// ------------------------------------------------------------ DRCR level --
+
+class Probe : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      saw_optional = job.in_shm("bonus") != nullptr;
+      if (saw_optional) {
+        last_value = job.read_i32("bonus", 0).value_or(-1);
+      }
+      co_await job.next_cycle();
+    }
+  }
+  bool saw_optional = false;
+  std::int32_t last_value = -1;
+};
+
+class Feeder : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      job.write_i32("bonus", 0, 7);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+struct OptionalPortFixture : public ::testing::Test {
+  OptionalPortFixture()
+      : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory("opt.Probe", [this] {
+      auto instance = std::make_unique<Probe>();
+      probe = instance.get();
+      return instance;
+    });
+    drcr.factories().register_factory(
+        "opt.Feeder", [] { return std::make_unique<Feeder>(); });
+  }
+
+  ComponentDescriptor probe_descriptor() {
+    auto parsed = parse_descriptor(R"(
+      <drt:component name="probe" type="periodic" cpuusage="0.1">
+        <implementation bincode="opt.Probe"/>
+        <periodictask frequence="1000" priority="3"/>
+        <inport name="bonus" interface="RTAI.SHM" type="Integer" size="2"
+                optional="true"/>
+      </drt:component>)");
+    return std::move(parsed).take();
+  }
+
+  ComponentDescriptor feeder_descriptor() {
+    auto parsed = parse_descriptor(R"(
+      <drt:component name="feeder" type="periodic" cpuusage="0.1">
+        <implementation bincode="opt.Feeder"/>
+        <periodictask frequence="1000" priority="2"/>
+        <outport name="bonus" interface="RTAI.SHM" type="Integer" size="2"/>
+      </drt:component>)");
+    return std::move(parsed).take();
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+  Probe* probe = nullptr;
+};
+
+TEST_F(OptionalPortFixture, ActivatesWithoutOptionalProvider) {
+  ASSERT_TRUE(drcr.register_component(probe_descriptor()).ok());
+  EXPECT_EQ(drcr.state_of("probe").value(), ComponentState::kActive);
+  engine.run_until(milliseconds(10));
+  ASSERT_NE(probe, nullptr);
+  EXPECT_FALSE(probe->saw_optional);
+}
+
+TEST_F(OptionalPortFixture, PicksUpLateProviderAutomatically) {
+  ASSERT_TRUE(drcr.register_component(probe_descriptor()).ok());
+  engine.run_until(milliseconds(10));
+  ASSERT_TRUE(drcr.register_component(feeder_descriptor()).ok());
+  engine.run_until(milliseconds(20));
+  EXPECT_TRUE(probe->saw_optional);
+  EXPECT_EQ(probe->last_value, 7);
+}
+
+TEST_F(OptionalPortFixture, LosingOptionalProviderDoesNotCascade) {
+  ASSERT_TRUE(drcr.register_component(feeder_descriptor()).ok());
+  ASSERT_TRUE(drcr.register_component(probe_descriptor()).ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_TRUE(probe->saw_optional);
+  ASSERT_TRUE(drcr.unregister_component("feeder").ok());
+  // The probe stays ACTIVE — an optional dependency never cascades.
+  EXPECT_EQ(drcr.state_of("probe").value(), ComponentState::kActive);
+  engine.run_until(milliseconds(20));
+  EXPECT_FALSE(probe->saw_optional);
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -1,0 +1,225 @@
+// Failure injection across the stack: throwing component bodies, factories
+// that fail, init() exceptions, and recovery paths. A managed RT system must
+// degrade loudly and locally, never silently or globally.
+#include <gtest/gtest.h>
+
+#include "drcom/adaptation.hpp"
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+/// Body that explodes after N jobs.
+class Bomb : public RtComponent {
+ public:
+  explicit Bomb(int fuse) : fuse_(fuse) {}
+  rtos::TaskCoro run(JobContext& job) override {
+    int jobs = 0;
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      if (++jobs >= fuse_) throw std::runtime_error("boom after job " +
+                                                    std::to_string(jobs));
+      co_await job.next_cycle();
+    }
+  }
+
+ private:
+  int fuse_;
+};
+
+class Steady : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      if (auto* shm = job.out_shm("feed")) shm->write_i32(0, 1, job.now());
+      co_await job.next_cycle();
+    }
+  }
+};
+
+ComponentDescriptor descriptor(std::string name, std::string bincode,
+                               std::vector<std::string> outs = {}) {
+  ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = std::move(bincode);
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.1;
+  d.periodic = PeriodicSpec{1000.0, 0, 5};
+  for (auto& out : outs) {
+    d.ports.push_back({PortDirection::kOut, std::move(out),
+                       PortInterface::kShm, rtos::DataType::kInteger, 2});
+  }
+  return d;
+}
+
+struct FailureFixture : public ::testing::Test {
+  FailureFixture() : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "fail.Bomb", [] { return std::make_unique<Bomb>(5); });
+    drcr.factories().register_factory(
+        "fail.Steady", [] { return std::make_unique<Steady>(); });
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+};
+
+TEST_F(FailureFixture, BodyExceptionSurfacesInStatus) {
+  ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
+  engine.run_until(milliseconds(20));
+  const auto status = drcr.instance_of("bomb")->status();
+  EXPECT_TRUE(status.failed);
+  EXPECT_NE(status.failure.find("boom after job 5"), std::string::npos);
+  EXPECT_EQ(status.task_state, rtos::TaskState::kFinished);
+}
+
+TEST_F(FailureFixture, FailureIsIsolatedFromOtherComponents) {
+  ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
+  ASSERT_TRUE(
+      drcr.register_component(descriptor("rock", "fail.Steady")).ok());
+  engine.run_until(milliseconds(100));
+  EXPECT_TRUE(drcr.instance_of("bomb")->status().failed);
+  const auto rock_status = drcr.instance_of("rock")->status();
+  EXPECT_FALSE(rock_status.failed);
+  EXPECT_GT(rock_status.stats.activations, 90u);
+}
+
+TEST_F(FailureFixture, AdaptationDetectsBodyFailureOnce) {
+  ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
+  AdaptationManager manager(drcr, {milliseconds(50), QosActionKind::kNotify});
+  QosRule rule;
+  rule.detect_failure = true;
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(seconds(1));
+  // Exactly one violation despite ~20 polls after the crash.
+  ASSERT_EQ(manager.violations().size(), 1u);
+  EXPECT_NE(manager.violations()[0].rule_description.find("body failed"),
+            std::string::npos);
+}
+
+TEST_F(FailureFixture, AdaptationDisableClearsFailedComponent) {
+  ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
+  AdaptationManager manager(drcr,
+                            {milliseconds(50), QosActionKind::kDisable});
+  QosRule rule;
+  rule.detect_failure = true;
+  manager.add_rule(rule);
+  manager.start();
+  engine.run_until(milliseconds(500));
+  EXPECT_EQ(drcr.state_of("bomb").value(), ComponentState::kDisabled);
+  // The dead task and its ports are gone.
+  EXPECT_EQ(kernel.find_task("bomb"), nullptr);
+  // Re-enable redeploys a FRESH instance (restart-on-failure policy).
+  ASSERT_TRUE(drcr.enable_component("bomb").ok());
+  EXPECT_EQ(drcr.state_of("bomb").value(), ComponentState::kActive);
+  EXPECT_FALSE(drcr.instance_of("bomb")->status().failed);
+}
+
+TEST_F(FailureFixture, InitExceptionFailsActivationCleanly) {
+  class BadInit : public RtComponent {
+   public:
+    rtos::TaskCoro run(JobContext& job) override {
+      while (job.active()) co_await job.next_cycle();
+    }
+    void init(JobContext&) override {
+      throw std::runtime_error("init exploded");
+    }
+  };
+  drcr.factories().register_factory(
+      "fail.BadInit", [] { return std::make_unique<BadInit>(); });
+  // init() runs inside the task-body factory during create_task; the
+  // exception propagates out of activation as a rejection, not a crash.
+  auto d = descriptor("badi", "fail.BadInit", {"bport"});
+  EXPECT_NO_THROW({
+    auto result = drcr.register_component(std::move(d));
+    EXPECT_TRUE(result.ok());  // registration itself succeeds
+  });
+  EXPECT_NE(drcr.state_of("badi").value(), ComponentState::kActive);
+  // Nothing leaked: the out-port was rolled back.
+  EXPECT_EQ(kernel.shm_find("bport"), nullptr);
+  EXPECT_EQ(kernel.mailbox_find("badi.cmd"), nullptr);
+}
+
+TEST_F(FailureFixture, NullFactoryProductIsARejection) {
+  drcr.factories().register_factory("fail.Null",
+                                    [] () -> std::unique_ptr<RtComponent> {
+                                      return nullptr;
+                                    });
+  ASSERT_TRUE(drcr.register_component(descriptor("nullc", "fail.Null")).ok());
+  EXPECT_EQ(drcr.state_of("nullc").value(), ComponentState::kUnsatisfied);
+  EXPECT_FALSE(drcr.last_reason("nullc").empty());
+}
+
+TEST_F(FailureFixture, FailedProviderStillCountsAsActiveUntilManaged) {
+  // A crashed provider's ports remain in the kernel (its record is still
+  // ACTIVE); dependents keep reading stale data until an adaptation policy
+  // disables the provider — then the cascade happens. This codifies the
+  // (documented) semantics.
+  ASSERT_TRUE(
+      drcr.register_component(descriptor("bomb", "fail.Bomb", {"feed"})).ok());
+  ComponentDescriptor consumer = descriptor("cons", "fail.Steady");
+  consumer.ports.push_back({PortDirection::kIn, "feed", PortInterface::kShm,
+                            rtos::DataType::kInteger, 2});
+  ASSERT_TRUE(drcr.register_component(std::move(consumer)).ok());
+  engine.run_until(milliseconds(100));
+  EXPECT_TRUE(drcr.instance_of("bomb")->status().failed);
+  EXPECT_EQ(drcr.state_of("cons").value(), ComponentState::kActive);
+  // Management steps in:
+  ASSERT_TRUE(drcr.disable_component("bomb").ok());
+  EXPECT_EQ(drcr.state_of("cons").value(), ComponentState::kUnsatisfied);
+}
+
+// ----------------------------------------------------------- kernel level
+
+TEST(KernelFailure, ExceptionInFirstJobBeforeAnyAwait) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "insta", .type = rtos::TaskType::kAperiodic},
+      [](rtos::TaskContext&) -> rtos::TaskCoro {
+        throw std::logic_error("immediate");
+        co_return;  // unreachable; makes this a coroutine
+      });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  const rtos::Task* task = kernel.find_task(id.value());
+  EXPECT_EQ(task->state, rtos::TaskState::kFinished);
+  EXPECT_NE(task->error, nullptr);
+}
+
+TEST(KernelFailure, CpuStaysUsableAfterTaskCrash) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto bomb = kernel.create_task(
+      rtos::TaskParams{.name = "bomb", .type = rtos::TaskType::kAperiodic,
+                       .priority = 1},
+      [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        co_await ctx.consume(microseconds(100));
+        throw std::runtime_error("crash");
+      });
+  SimTime finished = -1;
+  auto survivor = kernel.create_task(
+      rtos::TaskParams{.name = "surv", .type = rtos::TaskType::kAperiodic,
+                       .priority = 5},
+      [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        co_await ctx.consume(microseconds(300));
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(bomb.value()).ok());
+  ASSERT_TRUE(kernel.start_task(survivor.value()).ok());
+  engine.run_until(milliseconds(1));
+  // Survivor was preempted-adjacent to a crashing task and still completed:
+  // 100us (bomb) + 300us (survivor).
+  EXPECT_EQ(finished, microseconds(400));
+}
+
+}  // namespace
+}  // namespace drt::drcom

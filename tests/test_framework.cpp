@@ -1,0 +1,288 @@
+// Framework/bundle lifecycle: install, resolve (package wiring), start/stop,
+// update, uninstall, refresh, events — the OSGi continuous-deployment verbs
+// the paper builds on.
+#include <gtest/gtest.h>
+
+#include "osgi/framework.hpp"
+
+namespace drt::osgi {
+namespace {
+
+Manifest simple_manifest(std::string name, Version version = Version(1, 0, 0)) {
+  Manifest manifest;
+  manifest.set_symbolic_name(std::move(name)).set_version(version);
+  return manifest;
+}
+
+/// Test activator that logs transitions into a shared vector.
+class LoggingActivator : public BundleActivator {
+ public:
+  LoggingActivator(std::string name, std::vector<std::string>& log)
+      : name_(std::move(name)), log_(&log) {}
+  void start(BundleContext&) override { log_->push_back(name_ + ":start"); }
+  void stop(BundleContext&) override { log_->push_back(name_ + ":stop"); }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+BundleDefinition logging_bundle(std::string name,
+                                std::vector<std::string>& log) {
+  BundleDefinition definition;
+  definition.manifest = simple_manifest(name);
+  definition.activator_factory = [name, &log] {
+    return std::make_unique<LoggingActivator>(name, log);
+  };
+  return definition;
+}
+
+TEST(Framework, InstallStartStopLifecycle) {
+  Framework framework;
+  std::vector<std::string> log;
+  auto id = framework.install(logging_bundle("app", log));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kInstalled);
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kActive);
+  ASSERT_TRUE(framework.stop(id.value()).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kResolved);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "app:start");
+  EXPECT_EQ(log[1], "app:stop");
+}
+
+TEST(Framework, DuplicateSymbolicNameAndVersionRejected) {
+  Framework framework;
+  BundleDefinition a;
+  a.manifest = simple_manifest("dup");
+  ASSERT_TRUE(framework.install(std::move(a)).ok());
+  BundleDefinition b;
+  b.manifest = simple_manifest("dup");
+  auto second = framework.install(std::move(b));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, "osgi.duplicate_bundle");
+  // Same name, different version is fine.
+  BundleDefinition c;
+  c.manifest = simple_manifest("dup", Version(2, 0, 0));
+  EXPECT_TRUE(framework.install(std::move(c)).ok());
+}
+
+TEST(Framework, ResolveWiresImportsToBestExporter) {
+  Framework framework;
+  BundleDefinition exporter_old;
+  exporter_old.manifest = simple_manifest("exp.old");
+  exporter_old.manifest.add_export({"com.api", Version(1, 1, 0)});
+  BundleDefinition exporter_new;
+  exporter_new.manifest = simple_manifest("exp.new");
+  exporter_new.manifest.add_export({"com.api", Version(1, 5, 0)});
+  BundleDefinition importer;
+  importer.manifest = simple_manifest("imp");
+  importer.manifest.add_import(
+      {"com.api", VersionRange::parse("[1.0,2.0)").value(), false});
+  auto old_id = framework.install(std::move(exporter_old));
+  auto new_id = framework.install(std::move(exporter_new));
+  auto imp_id = framework.install(std::move(importer));
+  ASSERT_TRUE(framework.resolve(imp_id.value()).ok());
+  const Bundle* bundle = framework.get_bundle(imp_id.value());
+  ASSERT_EQ(bundle->wires().size(), 1u);
+  EXPECT_EQ(bundle->wires()[0].exporter, new_id.value());  // highest version
+  EXPECT_EQ(bundle->wires()[0].version, Version(1, 5, 0));
+  // Providers were resolved transitively.
+  EXPECT_EQ(framework.get_bundle(new_id.value())->state(),
+            BundleState::kResolved);
+  EXPECT_EQ(framework.get_bundle(old_id.value())->state(),
+            BundleState::kInstalled);
+}
+
+TEST(Framework, UnresolvableImportFailsStart) {
+  Framework framework;
+  BundleDefinition importer;
+  importer.manifest = simple_manifest("imp");
+  importer.manifest.add_import({"no.such.pkg", VersionRange{}, false});
+  auto id = framework.install(std::move(importer));
+  auto started = framework.start(id.value());
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.error().code, "osgi.unresolved");
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kInstalled);
+}
+
+TEST(Framework, OptionalImportResolvesWithoutProvider) {
+  Framework framework;
+  BundleDefinition importer;
+  importer.manifest = simple_manifest("imp");
+  importer.manifest.add_import({"maybe.pkg", VersionRange{}, true});
+  auto id = framework.install(std::move(importer));
+  EXPECT_TRUE(framework.start(id.value()).ok());
+}
+
+TEST(Framework, SelfExportSatisfiesOwnImport) {
+  Framework framework;
+  BundleDefinition bundle;
+  bundle.manifest = simple_manifest("self");
+  bundle.manifest.add_export({"self.pkg", Version(1, 0, 0)});
+  bundle.manifest.add_import({"self.pkg", VersionRange{}, false});
+  auto id = framework.install(std::move(bundle));
+  EXPECT_TRUE(framework.resolve(id.value()).ok());
+}
+
+TEST(Framework, ActivatorStartExceptionRollsBack) {
+  Framework framework;
+  class Exploding : public BundleActivator {
+   public:
+    void start(BundleContext&) override {
+      throw std::runtime_error("start failed");
+    }
+    void stop(BundleContext&) override {}
+  };
+  BundleDefinition definition;
+  definition.manifest = simple_manifest("boom");
+  definition.activator_factory = [] { return std::make_unique<Exploding>(); };
+  auto id = framework.install(std::move(definition));
+  std::vector<FrameworkEvent> errors;
+  framework.add_framework_listener([&](const FrameworkEvent& event) {
+    if (event.type == FrameworkEventType::kError) errors.push_back(event);
+  });
+  auto started = framework.start(id.value());
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.error().code, "osgi.activator_failed");
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kResolved);
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(Framework, StopUnregistersForgottenServices) {
+  Framework framework;
+  class Publisher : public BundleActivator {
+   public:
+    void start(BundleContext& context) override {
+      context.register_service("app.S", std::make_shared<int>(42));
+      // deliberately never unregistered
+    }
+    void stop(BundleContext&) override {}
+  };
+  BundleDefinition definition;
+  definition.manifest = simple_manifest("pub");
+  definition.activator_factory = [] { return std::make_unique<Publisher>(); };
+  auto id = framework.install(std::move(definition));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  EXPECT_TRUE(framework.registry().get_reference("app.S").has_value());
+  ASSERT_TRUE(framework.stop(id.value()).ok());
+  EXPECT_FALSE(framework.registry().get_reference("app.S").has_value());
+}
+
+TEST(Framework, UpdateSwapsDefinitionAndRestarts) {
+  // log must outlive framework: the bundle stays ACTIVE and its activator
+  // logs once more when the framework destructor stops it.
+  std::vector<std::string> log;
+  Framework framework;
+  auto id = framework.install(logging_bundle("v1", log));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  ASSERT_TRUE(framework.update(id.value(), logging_bundle("v2", log)).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kActive);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "v1:start");
+  EXPECT_EQ(log[1], "v1:stop");
+  EXPECT_EQ(log[2], "v2:start");
+  EXPECT_EQ(framework.get_bundle(id.value())->symbolic_name(), "v2");
+}
+
+TEST(Framework, UpdateOfStoppedBundleStaysStopped) {
+  Framework framework;
+  std::vector<std::string> log;
+  auto id = framework.install(logging_bundle("v1", log));
+  ASSERT_TRUE(framework.update(id.value(), logging_bundle("v2", log)).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kInstalled);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(Framework, UninstallStopsAndRemoves) {
+  Framework framework;
+  std::vector<std::string> log;
+  auto id = framework.install(logging_bundle("gone", log));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  ASSERT_TRUE(framework.uninstall(id.value()).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kUninstalled);
+  EXPECT_EQ(log.back(), "gone:stop");
+  EXPECT_EQ(framework.find_bundle("gone"), nullptr);
+  EXPECT_FALSE(framework.uninstall(id.value()).ok());  // already gone
+  EXPECT_FALSE(framework.start(id.value()).ok());
+}
+
+TEST(Framework, BundleEventsInOrder) {
+  Framework framework;
+  std::vector<std::string> events;
+  framework.add_bundle_listener([&](const BundleEvent& event) {
+    events.push_back(std::string(to_string(event.type)));
+  });
+  std::vector<std::string> log;
+  auto id = framework.install(logging_bundle("evt", log));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  ASSERT_TRUE(framework.stop(id.value()).ok());
+  ASSERT_TRUE(framework.uninstall(id.value()).ok());
+  ASSERT_EQ(events.size(), 5u);
+  EXPECT_EQ(events[0], "INSTALLED");
+  EXPECT_EQ(events[1], "RESOLVED");
+  EXPECT_EQ(events[2], "STARTED");
+  EXPECT_EQ(events[3], "STOPPED");
+  EXPECT_EQ(events[4], "UNINSTALLED");
+}
+
+TEST(Framework, RefreshRewiresAfterUninstall) {
+  Framework framework;
+  BundleDefinition exporter;
+  exporter.manifest = simple_manifest("exp");
+  exporter.manifest.add_export({"api", Version(1, 0, 0)});
+  BundleDefinition importer;
+  importer.manifest = simple_manifest("imp");
+  importer.manifest.add_import({"api", VersionRange{}, false});
+  auto exp_id = framework.install(std::move(exporter));
+  auto imp_id = framework.install(std::move(importer));
+  ASSERT_TRUE(framework.resolve(imp_id.value()).ok());
+  // Exporter goes away; stale wire survives until refresh (OSGi rule).
+  ASSERT_TRUE(framework.uninstall(exp_id.value()).ok());
+  EXPECT_EQ(framework.get_bundle(imp_id.value())->state(),
+            BundleState::kResolved);
+  framework.refresh();
+  EXPECT_EQ(framework.get_bundle(imp_id.value())->state(),
+            BundleState::kInstalled);  // unresolvable now
+}
+
+TEST(Framework, SystemContextBelongsToBundleZero) {
+  Framework framework;
+  EXPECT_EQ(framework.system_context().bundle_id(), 0u);
+  auto registration = framework.system_context().register_service(
+      "sys.S", std::make_shared<int>(1));
+  EXPECT_EQ(registration.reference().owner_bundle(), 0u);
+}
+
+TEST(Framework, DestructorStopsActiveBundlesInReverseOrder) {
+  std::vector<std::string> log;
+  {
+    Framework framework;
+    auto a = framework.install(logging_bundle("a", log));
+    auto b = framework.install(logging_bundle("b", log));
+    ASSERT_TRUE(framework.start(a.value()).ok());
+    ASSERT_TRUE(framework.start(b.value()).ok());
+  }
+  ASSERT_EQ(log.size(), 4u);
+  EXPECT_EQ(log[2], "b:stop");
+  EXPECT_EQ(log[3], "a:stop");
+}
+
+TEST(Framework, BundleResourcesAccessible) {
+  Framework framework;
+  BundleDefinition definition;
+  definition.manifest = simple_manifest("res");
+  definition.resources["DRT-INF/a.xml"] = "<drt:component/>";
+  auto id = framework.install(std::move(definition));
+  const Bundle* bundle = framework.get_bundle(id.value());
+  EXPECT_EQ(bundle->resource("DRT-INF/a.xml").value(), "<drt:component/>");
+  EXPECT_FALSE(bundle->resource("missing").has_value());
+}
+
+}  // namespace
+}  // namespace drt::osgi

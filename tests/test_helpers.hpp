@@ -1,0 +1,25 @@
+// Shared helpers for kernel-level tests: a "quiet" configuration with every
+// stochastic latency source zeroed, so scheduling arithmetic is exact.
+#pragma once
+
+#include "rtos/kernel.hpp"
+
+namespace drt::rtos::testing {
+
+inline KernelConfig quiet_config(std::size_t cpus = 2) {
+  KernelConfig config;
+  config.cpus = cpus;
+  config.context_switch_ns = 0;
+  config.latency.timer_calibration_ns = 0.0;
+  config.latency.timer_jitter_ns = 0.0;
+  config.latency.idle_wake_mean_ns = 0.0;
+  config.latency.idle_wake_stddev_ns = 0.0;
+  config.latency.hot_wake_mean_ns = 0.0;
+  config.latency.hot_wake_stddev_ns = 0.0;
+  config.latency.spike_probability = 0.0;
+  config.latency.shallow_idle_probability = 0.0;
+  config.load.busy_fraction = 0.0;
+  return config;
+}
+
+}  // namespace drt::rtos::testing

@@ -1,0 +1,285 @@
+// Hybrid component tests: activation/rollback, ports, the asynchronous
+// management command channel (§3.2), soft suspension, properties, status.
+#include <gtest/gtest.h>
+
+#include "drcom/hybrid.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+/// Periodic producer: writes an incrementing counter to out-SHM "count".
+class Counter : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    std::int32_t value = 0;
+    while (job.active()) {
+      co_await job.consume(microseconds(20));
+      job.write_i32("count", 0, ++value);
+      co_await job.next_cycle();
+    }
+  }
+  void init(JobContext&) override { ++init_calls; }
+  void uninit() override { ++uninit_calls; }
+
+  int init_calls = 0;
+  int uninit_calls = 0;
+};
+
+ComponentDescriptor counter_descriptor(double hz = 1000.0) {
+  ComponentDescriptor d;
+  d.name = "cnt";
+  d.bincode = "test.Counter";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.1;
+  d.periodic = PeriodicSpec{hz, 0, 3};
+  d.ports.push_back({PortDirection::kOut, "count", PortInterface::kShm,
+                     rtos::DataType::kInteger, 4});
+  d.properties.set("gain", std::int64_t{2});
+  return d;
+}
+
+struct HybridFixture : public ::testing::Test {
+  HybridFixture() : kernel(engine, quiet_config()) {}
+
+  HybridComponent make(ComponentDescriptor descriptor,
+                       std::unique_ptr<RtComponent> impl = nullptr) {
+    if (impl == nullptr) impl = std::make_unique<Counter>();
+    return HybridComponent(std::move(descriptor), kernel, std::move(impl));
+  }
+
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel;
+};
+
+TEST_F(HybridFixture, ActivateCreatesPortsChannelAndTask) {
+  auto counter = std::make_unique<Counter>();
+  Counter* raw = counter.get();
+  HybridComponent hybrid = make(counter_descriptor(), std::move(counter));
+  ASSERT_TRUE(hybrid.activate().ok());
+  EXPECT_TRUE(hybrid.is_active());
+  EXPECT_EQ(raw->init_calls, 1);
+  EXPECT_NE(kernel.shm_find("count"), nullptr);
+  EXPECT_NE(kernel.mailbox_find("cnt.cmd"), nullptr);
+  EXPECT_NE(kernel.mailbox_find("cnt.rsp"), nullptr);
+  const rtos::Task* task = kernel.find_task(hybrid.task_id());
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->params.name, "cnt");
+  EXPECT_EQ(task->params.priority, 3);
+  EXPECT_EQ(task->params.period, milliseconds(1));
+}
+
+TEST_F(HybridFixture, TaskProducesDataEachPeriod) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(10));
+  const rtos::Shm* shm = kernel.shm_find("count");
+  ASSERT_NE(shm, nullptr);
+  EXPECT_GE(shm->read_i32(0).value(), 9);
+  EXPECT_GE(shm->version(), 9u);
+}
+
+TEST_F(HybridFixture, DeactivateDestroysEverythingAndRunsUninit) {
+  auto counter = std::make_unique<Counter>();
+  Counter* raw = counter.get();
+  HybridComponent hybrid = make(counter_descriptor(), std::move(counter));
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(5));
+  hybrid.deactivate();
+  EXPECT_FALSE(hybrid.is_active());
+  EXPECT_EQ(raw->uninit_calls, 1);
+  EXPECT_EQ(kernel.shm_find("count"), nullptr);
+  EXPECT_EQ(kernel.mailbox_find("cnt.cmd"), nullptr);
+  // Idempotent.
+  hybrid.deactivate();
+  EXPECT_EQ(raw->uninit_calls, 1);
+}
+
+TEST_F(HybridFixture, ActivationFailsOnPortConflictAndRollsBack) {
+  ASSERT_TRUE(kernel.shm_create("count", 4).ok());  // name squatter
+  HybridComponent hybrid = make(counter_descriptor());
+  auto result = hybrid.activate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "drcom.port_conflict");
+  EXPECT_FALSE(hybrid.is_active());
+  // No leaked channel mailboxes.
+  EXPECT_EQ(kernel.mailbox_find("cnt.cmd"), nullptr);
+}
+
+TEST_F(HybridFixture, ActivationFailsOnMissingInport) {
+  ComponentDescriptor d = counter_descriptor();
+  d.ports.push_back({PortDirection::kIn, "feed", PortInterface::kShm,
+                     rtos::DataType::kByte, 8});
+  HybridComponent hybrid = make(std::move(d));
+  auto result = hybrid.activate();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "drcom.unresolved_inport");
+  // The out-port created before the failure was rolled back.
+  EXPECT_EQ(kernel.shm_find("count"), nullptr);
+}
+
+TEST_F(HybridFixture, SuspendCommandParksTaskAtJobBoundary) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(5));
+  const auto count_before =
+      kernel.shm_find("count")->read_i32(0).value();
+  ASSERT_TRUE(hybrid.send_command("SUSPEND").ok());
+  engine.run_until(milliseconds(30));
+  EXPECT_TRUE(hybrid.soft_suspended());
+  const auto count_suspended = kernel.shm_find("count")->read_i32(0).value();
+  // At most one more job ran (the one in flight when the command arrived).
+  EXPECT_LE(count_suspended, count_before + 2);
+  // Task is parked on the command mailbox, consuming nothing.
+  EXPECT_EQ(kernel.find_task(hybrid.task_id())->state,
+            rtos::TaskState::kWaitingMailbox);
+  ASSERT_TRUE(hybrid.send_command("RESUME").ok());
+  engine.run_until(milliseconds(60));
+  EXPECT_FALSE(hybrid.soft_suspended());
+  EXPECT_GT(kernel.shm_find("count")->read_i32(0).value(),
+            count_suspended + 10);
+  const auto responses = hybrid.drain_responses();
+  EXPECT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0], "OK SUSPEND");
+  EXPECT_EQ(responses[1], "OK RESUME");
+}
+
+TEST_F(HybridFixture, SetPropertyAppliedAtJobBoundaryPreservingType) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  EXPECT_EQ(hybrid.live_property("gain").value(), "2");
+  ASSERT_TRUE(hybrid.send_command("SET gain 7").ok());
+  // Not applied until the RT side reaches its job boundary.
+  engine.run_until(milliseconds(3));
+  EXPECT_EQ(hybrid.live_property("gain").value(), "7");
+  const auto responses = hybrid.drain_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0], "OK SET gain");
+}
+
+TEST_F(HybridFixture, SetPropertyRejectsTypeMismatch) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  ASSERT_TRUE(hybrid.send_command("SET gain banana").ok());
+  engine.run_until(milliseconds(3));
+  EXPECT_EQ(hybrid.live_property("gain").value(), "2");  // unchanged
+  const auto responses = hybrid.drain_responses();
+  ASSERT_EQ(responses.size(), 1u);
+  EXPECT_EQ(responses[0], "ERR SET gain: expected integer");
+}
+
+TEST_F(HybridFixture, UnknownAndMalformedCommands) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  ASSERT_TRUE(hybrid.send_command("DANCE").ok());
+  ASSERT_TRUE(hybrid.send_command("SET onlykey").ok());
+  engine.run_until(milliseconds(3));
+  const auto responses = hybrid.drain_responses();
+  ASSERT_EQ(responses.size(), 2u);
+  EXPECT_EQ(responses[0], "ERR unknown command: DANCE");
+  EXPECT_EQ(responses[1], "ERR SET needs key and value");
+}
+
+TEST_F(HybridFixture, StatusReflectsKernelTask) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(20));
+  const ComponentStatus status = hybrid.status();
+  EXPECT_EQ(status.component, "cnt");
+  EXPECT_FALSE(status.soft_suspended);
+  EXPECT_GE(status.stats.activations, 19u);
+  EXPECT_EQ(status.stats.deadline_misses, 0u);
+  EXPECT_EQ(status.latency.count, status.stats.activations);
+  EXPECT_EQ(status.sampled_at, engine.now());
+}
+
+TEST_F(HybridFixture, CommandsToInactiveComponentFail) {
+  HybridComponent hybrid = make(counter_descriptor());
+  auto result = hybrid.send_command("SUSPEND");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "drcom.not_active");
+}
+
+TEST_F(HybridFixture, ManagementServiceForwards) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  HybridManagement management(hybrid);
+  EXPECT_EQ(management.component_name(), "cnt");
+  ASSERT_TRUE(management.set_property("gain", "11").ok());
+  engine.run_until(milliseconds(3));
+  EXPECT_EQ(management.get_property("gain").value(), "11");
+  EXPECT_FALSE(management.get_property("nope").has_value());
+  ASSERT_TRUE(management.suspend().ok());
+  engine.run_until(milliseconds(6));
+  EXPECT_TRUE(management.get_status().soft_suspended);
+  ASSERT_TRUE(management.resume().ok());
+  engine.run_until(milliseconds(9));
+  EXPECT_FALSE(management.get_status().soft_suspended);
+}
+
+TEST_F(HybridFixture, StopCommandEndsTask) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(3));
+  ASSERT_TRUE(hybrid.send_command("STOP").ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_EQ(kernel.find_task(hybrid.task_id())->state,
+            rtos::TaskState::kFinished);
+}
+
+/// Producer/consumer pair communicating over a SHM port, as §3.3 prescribes:
+/// inter-component traffic goes through the RT kernel, not the registry.
+class Doubler : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      const auto input = job.read_i32("count", 0);
+      if (input.has_value()) job.write_i32("twice", 0, *input * 2);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+TEST_F(HybridFixture, InterComponentShmPipeline) {
+  HybridComponent producer = make(counter_descriptor());
+  ASSERT_TRUE(producer.activate().ok());
+
+  ComponentDescriptor consumer_desc;
+  consumer_desc.name = "dbl";
+  consumer_desc.bincode = "test.Doubler";
+  consumer_desc.type = rtos::TaskType::kPeriodic;
+  consumer_desc.periodic = PeriodicSpec{1000.0, 0, 5};
+  consumer_desc.ports.push_back({PortDirection::kIn, "count",
+                                 PortInterface::kShm,
+                                 rtos::DataType::kInteger, 4});
+  consumer_desc.ports.push_back({PortDirection::kOut, "twice",
+                                 PortInterface::kShm,
+                                 rtos::DataType::kInteger, 4});
+  HybridComponent consumer =
+      make(std::move(consumer_desc), std::make_unique<Doubler>());
+  ASSERT_TRUE(consumer.activate().ok());
+
+  engine.run_until(milliseconds(20));
+  const auto count = kernel.shm_find("count")->read_i32(0).value();
+  const auto twice = kernel.shm_find("twice")->read_i32(0).value();
+  EXPECT_GT(count, 10);
+  EXPECT_NEAR(twice, count * 2, 4);  // consumer may lag one period
+}
+
+TEST_F(HybridFixture, PortAccessRestrictedToDeclaredDirection) {
+  HybridComponent hybrid = make(counter_descriptor());
+  ASSERT_TRUE(hybrid.activate().ok());
+  engine.run_until(milliseconds(2));
+  // "count" is an OUT port: reading it as an IN port must fail (nullptr).
+  // We can only check through the public JobContext of a running instance —
+  // exercised indirectly: read_i32 on the out port name returns nullopt.
+  // (Direct check: descriptor knows the port is out.)
+  EXPECT_EQ(hybrid.descriptor().find_port("count")->direction,
+            PortDirection::kOut);
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -1,0 +1,268 @@
+// IPC semantics: shared memory segments and mailboxes, including blocking
+// receive, timeouts, direct handoff and destruction while waited on.
+#include <gtest/gtest.h>
+
+#include "rtos/kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using testing::quiet_config;
+
+// ------------------------------------------------------------------- Shm --
+
+TEST(Shm, RawReadWriteRoundTrip) {
+  Shm shm("seg", 16);
+  const std::byte data[4] = {std::byte{1}, std::byte{2}, std::byte{3},
+                             std::byte{4}};
+  EXPECT_TRUE(shm.write(4, data, 100));
+  std::byte out[4] = {};
+  EXPECT_TRUE(shm.read(4, out));
+  EXPECT_EQ(out[0], std::byte{1});
+  EXPECT_EQ(out[3], std::byte{4});
+  EXPECT_EQ(shm.version(), 1u);
+  EXPECT_EQ(shm.last_write_time(), 100);
+}
+
+TEST(Shm, OutOfRangeAccessFailsWithoutEffect) {
+  Shm shm("seg", 8);
+  const std::byte data[4] = {};
+  EXPECT_FALSE(shm.write(6, data));  // 6+4 > 8
+  std::byte out[4] = {};
+  EXPECT_FALSE(shm.read(5, out));
+  EXPECT_EQ(shm.version(), 0u);
+}
+
+TEST(Shm, TypedInt32Accessors) {
+  Shm shm("seg", 16);  // 4 int32 slots
+  EXPECT_TRUE(shm.write_i32(0, -123));
+  EXPECT_TRUE(shm.write_i32(3, 456));
+  EXPECT_EQ(shm.read_i32(0).value(), -123);
+  EXPECT_EQ(shm.read_i32(3).value(), 456);
+  EXPECT_FALSE(shm.write_i32(4, 1));  // out of range
+  EXPECT_FALSE(shm.read_i32(4).has_value());
+}
+
+TEST(Shm, VersionCountsWrites) {
+  Shm shm("seg", 8);
+  for (int i = 0; i < 5; ++i) shm.write_i32(0, i);
+  EXPECT_EQ(shm.version(), 5u);
+}
+
+TEST(ShmKernel, CreateFindDelete) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto shm = kernel.shm_create("images", 400);
+  ASSERT_TRUE(shm.ok());
+  EXPECT_EQ(kernel.shm_find("images"), shm.value());
+  EXPECT_EQ(kernel.shm_find("other"), nullptr);
+  // Duplicate name rejected (the port-conflict mechanism).
+  EXPECT_FALSE(kernel.shm_create("images", 100).ok());
+  EXPECT_TRUE(kernel.shm_delete("images").ok());
+  EXPECT_EQ(kernel.shm_find("images"), nullptr);
+  EXPECT_FALSE(kernel.shm_delete("images").ok());
+}
+
+TEST(ShmKernel, RejectsZeroSize) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  EXPECT_FALSE(kernel.shm_create("bad", 0).ok());
+}
+
+// --------------------------------------------------------------- Mailbox --
+
+TEST(Mailbox, PushPopFifoOrder) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  ASSERT_TRUE(mailbox.ok());
+  EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(), message_from_string("a")));
+  EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(), message_from_string("b")));
+  EXPECT_EQ(message_to_string(*kernel.mailbox_try_receive(*mailbox.value())),
+            "a");
+  EXPECT_EQ(message_to_string(*kernel.mailbox_try_receive(*mailbox.value())),
+            "b");
+  EXPECT_FALSE(kernel.mailbox_try_receive(*mailbox.value()).has_value());
+}
+
+TEST(Mailbox, SendFailsWhenFull) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 2);
+  ASSERT_TRUE(mailbox.ok());
+  EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(), message_from_string("1")));
+  EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(), message_from_string("2")));
+  EXPECT_FALSE(kernel.mailbox_send(*mailbox.value(), message_from_string("3")));
+  EXPECT_EQ(mailbox.value()->dropped_count(), 1u);
+  EXPECT_EQ(mailbox.value()->sent_count(), 2u);
+}
+
+TEST(Mailbox, BlockingReceiveWakesOnSend) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  ASSERT_TRUE(mailbox.ok());
+  std::string received;
+  SimTime received_at = -1;
+  auto id = kernel.create_task(
+      TaskParams{.name = "rx", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message = co_await ctx.receive(*mailbox.value());
+        received = message_to_string(*message);
+        received_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kWaitingMailbox);
+  engine.schedule_at(milliseconds(5), [&] {
+    kernel.mailbox_send(*mailbox.value(), message_from_string("hello"));
+  });
+  engine.run_until(milliseconds(10));
+  EXPECT_EQ(received, "hello");
+  EXPECT_EQ(received_at, milliseconds(5));
+}
+
+TEST(Mailbox, ReceiveReturnsImmediatelyWhenMessagePending) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  kernel.mailbox_send(*mailbox.value(), message_from_string("early"));
+  std::string received;
+  auto id = kernel.create_task(
+      TaskParams{.name = "rx", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message = co_await ctx.receive(*mailbox.value());
+        received = message_to_string(*message);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(received, "early");
+}
+
+TEST(Mailbox, TimedReceiveTimesOut) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  bool got_message = true;
+  SimTime resumed_at = -1;
+  auto id = kernel.create_task(
+      TaskParams{.name = "rx", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message =
+            co_await ctx.receive_timed(*mailbox.value(), milliseconds(3));
+        got_message = message.has_value();
+        resumed_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_FALSE(got_message);
+  EXPECT_EQ(resumed_at, milliseconds(3));
+}
+
+TEST(Mailbox, TimedReceiveDeliversBeforeTimeout) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  std::string received;
+  auto id = kernel.create_task(
+      TaskParams{.name = "rx", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message =
+            co_await ctx.receive_timed(*mailbox.value(), milliseconds(30));
+        if (message) received = message_to_string(*message);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.schedule_at(milliseconds(2), [&] {
+    kernel.mailbox_send(*mailbox.value(), message_from_string("fast"));
+  });
+  engine.run_until(milliseconds(50));
+  EXPECT_EQ(received, "fast");
+  // The timeout event must have been cancelled: engine drains fully except
+  // the load-model events.
+}
+
+TEST(Mailbox, MultipleWaitersServedFifo) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  std::vector<std::string> log;
+  for (int i = 0; i < 3; ++i) {
+    auto id = kernel.create_task(
+        TaskParams{.name = "rx" + std::to_string(i),
+                   .type = TaskType::kAperiodic},
+        [&, i](TaskContext& ctx) -> TaskCoro {
+          auto message = co_await ctx.receive(*mailbox.value());
+          log.push_back("rx" + std::to_string(i) + ":" +
+                        message_to_string(*message));
+        });
+    ASSERT_TRUE(kernel.start_task(id.value()).ok());
+    engine.run_until(engine.now() + 1'000);  // deterministic waiting order
+  }
+  for (int i = 0; i < 3; ++i) {
+    kernel.mailbox_send(*mailbox.value(),
+                        message_from_string("m" + std::to_string(i)));
+  }
+  engine.run_until(engine.now() + milliseconds(1));
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "rx0:m0");
+  EXPECT_EQ(log[1], "rx1:m1");
+  EXPECT_EQ(log[2], "rx2:m2");
+}
+
+TEST(Mailbox, DeleteWakesWaitersWithNoMessage) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  bool resumed_empty = false;
+  auto id = kernel.create_task(
+      TaskParams{.name = "rx", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message = co_await ctx.receive(*mailbox.value());
+        resumed_empty = !message.has_value();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel.mailbox_delete("mbx").ok());
+  engine.run_until(milliseconds(2));
+  EXPECT_TRUE(resumed_empty);
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kFinished);
+}
+
+TEST(Mailbox, SuspendedReceiverDoesNotStealHandoff) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  std::string first_receiver;
+  auto a = kernel.create_task(
+      TaskParams{.name = "a", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message = co_await ctx.receive(*mailbox.value());
+        if (message && first_receiver.empty()) first_receiver = "a";
+      });
+  auto b = kernel.create_task(
+      TaskParams{.name = "b", .type = TaskType::kAperiodic},
+      [&](TaskContext& ctx) -> TaskCoro {
+        auto message = co_await ctx.receive(*mailbox.value());
+        if (message && first_receiver.empty()) first_receiver = "b";
+      });
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  engine.run_until(engine.now() + 1'000);
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(engine.now() + 1'000);
+  // a waits first but gets suspended; the handoff must go to b.
+  ASSERT_TRUE(kernel.suspend_task(a.value()).ok());
+  kernel.mailbox_send(*mailbox.value(), message_from_string("x"));
+  engine.run_until(engine.now() + milliseconds(1));
+  EXPECT_EQ(first_receiver, "b");
+}
+
+TEST(Mailbox, StringMessageHelpersRoundTrip) {
+  const Message message = message_from_string("hello world");
+  EXPECT_EQ(message.size(), 11u);
+  EXPECT_EQ(message_to_string(message), "hello world");
+  EXPECT_EQ(message_to_string(message_from_string("")), "");
+}
+
+}  // namespace
+}  // namespace drt::rtos

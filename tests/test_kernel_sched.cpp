@@ -1,0 +1,453 @@
+// Scheduler semantics: creation validation, demand accounting, priorities,
+// preemption, round-robin, CPU pinning, suspension, deletion, errors.
+//
+// All tests run with the quiet configuration (test_helpers.hpp): zero context
+// switch cost and zero timer/wake latency, so completion times are exact.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rtos/kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using testing::quiet_config;
+
+TaskParams aperiodic(std::string name, int priority = 10, CpuId cpu = 0) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kAperiodic;
+  params.priority = priority;
+  params.cpu = cpu;
+  return params;
+}
+
+TaskParams periodic(std::string name, SimDuration period, int priority = 10,
+                    CpuId cpu = 0) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kPeriodic;
+  params.period = period;
+  params.priority = priority;
+  params.cpu = cpu;
+  return params;
+}
+
+// ------------------------------------------------------------- validation
+
+TEST(KernelCreate, RejectsEmptyName) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto result = kernel.create_task(aperiodic(""), [](TaskContext&) -> TaskCoro {
+    co_return;
+  });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "rtos.bad_task");
+}
+
+TEST(KernelCreate, RejectsDuplicateName) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto body = [](TaskContext&) -> TaskCoro { co_return; };
+  ASSERT_TRUE(kernel.create_task(aperiodic("a"), body).ok());
+  auto dup = kernel.create_task(aperiodic("a"), body);
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, "rtos.duplicate_task");
+}
+
+TEST(KernelCreate, RejectsOutOfRangeCpu) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config(2));
+  auto result = kernel.create_task(aperiodic("a", 10, 7),
+                                   [](TaskContext&) -> TaskCoro { co_return; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "rtos.bad_task");
+}
+
+TEST(KernelCreate, RejectsPeriodicWithoutPeriod) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto result = kernel.create_task(periodic("p", 0),
+                                   [](TaskContext&) -> TaskCoro { co_return; });
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(KernelCreate, RejectsNullBody) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto result = kernel.create_task(aperiodic("a"), TaskBody{});
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(KernelCreate, FindsTaskByNameAndId) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(aperiodic("sensor"),
+                               [](TaskContext&) -> TaskCoro { co_return; });
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(kernel.find_task("sensor"), kernel.find_task(id.value()));
+  EXPECT_EQ(kernel.find_task("nonexistent"), nullptr);
+}
+
+// --------------------------------------------------------- demand serving
+
+TEST(KernelDemand, ConsumeAdvancesVirtualTime) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime finished = -1;
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(microseconds(250));
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(finished, microseconds(250));
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kFinished);
+}
+
+TEST(KernelDemand, SequentialConsumesAccumulate) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  std::vector<SimTime> marks;
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(microseconds(100));
+        marks.push_back(ctx.now());
+        co_await ctx.consume(microseconds(200));
+        marks.push_back(ctx.now());
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_EQ(marks.size(), 2u);
+  EXPECT_EQ(marks[0], microseconds(100));
+  EXPECT_EQ(marks[1], microseconds(300));
+}
+
+TEST(KernelDemand, ContextSwitchCostIsCharged) {
+  auto config = quiet_config();
+  config.context_switch_ns = 900;
+  SimEngine engine;
+  RtKernel kernel(engine, config);
+  SimTime finished = -1;
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(1'000);
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  // One dispatch charges one switch; the consume resumes the same dispatch.
+  EXPECT_EQ(finished, 1'900);
+}
+
+TEST(KernelDemand, CpuBusyTimeAccounted) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(microseconds(500));
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(kernel.cpu_busy_time(0), microseconds(500));
+  EXPECT_EQ(kernel.cpu_busy_time(1), 0);
+  EXPECT_EQ(kernel.find_task(id.value())->stats.cpu_time, microseconds(500));
+}
+
+TEST(KernelDemand, SleepDoesNotConsumeCpu) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime finished = -1;
+  auto id = kernel.create_task(
+      aperiodic("idle"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.sleep_for(microseconds(300));
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(finished, microseconds(300));
+  EXPECT_EQ(kernel.cpu_busy_time(0), 0);
+}
+
+// ----------------------------------------------------- priority/preemption
+
+TEST(KernelPriority, HigherPriorityPreemptsLower) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime low_finished = -1;
+  SimTime high_finished = -1;
+  // Low priority (larger number) runs a 10ms job from t=0.
+  auto low = kernel.create_task(
+      aperiodic("low", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(10));
+        low_finished = ctx.now();
+      });
+  // High priority arrives at t=2ms with a 1ms job.
+  auto high = kernel.create_task(
+      aperiodic("high", 1), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(1));
+        high_finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(low.value()).ok());
+  ASSERT_TRUE(kernel.start_task(high.value(), milliseconds(2)).ok());
+  engine.run_until(milliseconds(20));
+  // High runs 2..3ms; low is preempted for 1ms and finishes at 11ms.
+  EXPECT_EQ(high_finished, milliseconds(3));
+  EXPECT_EQ(low_finished, milliseconds(11));
+  EXPECT_EQ(kernel.find_task(low.value())->stats.preemptions, 1u);
+}
+
+TEST(KernelPriority, EqualPriorityDoesNotPreempt) {
+  SimEngine engine;
+  auto config = quiet_config();
+  config.default_rr_quantum = milliseconds(100);  // no rotation in this test
+  RtKernel kernel(engine, config);
+  SimTime first_finished = -1;
+  SimTime second_finished = -1;
+  auto first = kernel.create_task(
+      aperiodic("first", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(4));
+        first_finished = ctx.now();
+      });
+  auto second = kernel.create_task(
+      aperiodic("second", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(2));
+        second_finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(first.value()).ok());
+  ASSERT_TRUE(kernel.start_task(second.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(20));
+  EXPECT_EQ(first_finished, milliseconds(4));   // runs to completion
+  EXPECT_EQ(second_finished, milliseconds(6));  // then second
+  EXPECT_EQ(kernel.find_task(first.value())->stats.preemptions, 0u);
+}
+
+TEST(KernelPriority, RoundRobinRotatesAtQuantum) {
+  SimEngine engine;
+  auto config = quiet_config();
+  config.default_rr_quantum = milliseconds(1);
+  RtKernel kernel(engine, config);
+  SimTime a_finished = -1;
+  SimTime b_finished = -1;
+  auto a = kernel.create_task(
+      aperiodic("a", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(3));
+        a_finished = ctx.now();
+      });
+  auto b = kernel.create_task(
+      aperiodic("b", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(3));
+        b_finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(milliseconds(20));
+  // Interleaved 1ms slices: a runs [0,1),[2,3),[4,5); b runs [1,2),[3,4),[5,6).
+  EXPECT_EQ(a_finished, milliseconds(5));
+  EXPECT_EQ(b_finished, milliseconds(6));
+}
+
+TEST(KernelPriority, PreemptedTaskResumesBeforeLaterArrivals) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  std::vector<std::string> finish_order;
+  auto victim = kernel.create_task(
+      aperiodic("victim", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(4));
+        finish_order.push_back("victim");
+      });
+  auto intruder = kernel.create_task(
+      aperiodic("intrud", 1), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(1));
+        finish_order.push_back("intruder");
+      });
+  // Same-priority competitor arriving while the victim is preempted.
+  auto late = kernel.create_task(
+      aperiodic("late", 5), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(1));
+        finish_order.push_back("late");
+      });
+  ASSERT_TRUE(kernel.start_task(victim.value()).ok());
+  ASSERT_TRUE(kernel.start_task(intruder.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(late.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(20));
+  ASSERT_EQ(finish_order.size(), 3u);
+  EXPECT_EQ(finish_order[0], "intruder");
+  // The preempted victim continues before the later same-priority arrival.
+  EXPECT_EQ(finish_order[1], "victim");
+  EXPECT_EQ(finish_order[2], "late");
+}
+
+TEST(KernelPriority, CpuPinningIsolatesLoads) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config(2));
+  SimTime a_finished = -1;
+  SimTime b_finished = -1;
+  auto a = kernel.create_task(
+      aperiodic("a", 5, 0), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(5));
+        a_finished = ctx.now();
+      });
+  auto b = kernel.create_task(
+      aperiodic("b", 5, 1), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(5));
+        b_finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(milliseconds(20));
+  // True parallelism: both finish at 5ms, not serialized.
+  EXPECT_EQ(a_finished, milliseconds(5));
+  EXPECT_EQ(b_finished, milliseconds(5));
+}
+
+// ------------------------------------------------------ suspension & stop
+
+TEST(KernelSuspend, SuspendFreezesRunningTask) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime finished = -1;
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(10));
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(3));
+  ASSERT_TRUE(kernel.suspend_task(id.value()).ok());
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kSuspended);
+  engine.run_until(milliseconds(30));
+  EXPECT_EQ(finished, -1);  // frozen
+  ASSERT_TRUE(kernel.resume_task(id.value()).ok());
+  engine.run_until(milliseconds(60));
+  // 3ms served before suspension + 7ms after resume at t=30ms.
+  EXPECT_EQ(finished, milliseconds(37));
+}
+
+TEST(KernelSuspend, SuspendIsIdempotentAndValidated) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      aperiodic("work"), [](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(10));
+      });
+  // Not started yet -> cannot suspend.
+  EXPECT_FALSE(kernel.suspend_task(id.value()).ok());
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel.suspend_task(id.value()).ok());
+  EXPECT_TRUE(kernel.suspend_task(id.value()).ok());  // idempotent
+  EXPECT_FALSE(kernel.resume_task(999).ok());
+  ASSERT_TRUE(kernel.resume_task(id.value()).ok());
+  EXPECT_FALSE(kernel.resume_task(id.value()).ok());  // not suspended now
+}
+
+TEST(KernelStop, RequestStopIsCooperative) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  int cycles = 0;
+  auto id = kernel.create_task(
+      aperiodic("loop"), [&](TaskContext& ctx) -> TaskCoro {
+        while (!ctx.stop_requested()) {
+          co_await ctx.consume(microseconds(100));
+          co_await ctx.sleep_for(microseconds(900));
+          ++cycles;
+        }
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(5));
+  ASSERT_TRUE(kernel.request_stop(id.value()).ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kFinished);
+  EXPECT_GT(cycles, 0);
+  const int cycles_at_stop = cycles;
+  engine.run_until(milliseconds(20));
+  EXPECT_EQ(cycles, cycles_at_stop);
+}
+
+TEST(KernelDelete, DeleteDestroysBlockedTask) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  bool destructor_ran = false;
+  struct Sentinel {
+    bool* flag;
+    ~Sentinel() { *flag = true; }
+  };
+  auto id = kernel.create_task(
+      aperiodic("work"), [&](TaskContext& ctx) -> TaskCoro {
+        Sentinel sentinel{&destructor_ran};
+        co_await ctx.sleep_for(seconds(100));
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel.delete_task(id.value()).ok());
+  // Coroutine frame destroyed -> locals destructed (RAII holds).
+  EXPECT_TRUE(destructor_ran);
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kFinished);
+}
+
+TEST(KernelError, BodyExceptionIsCaptured) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      aperiodic("boom"), [](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(1'000);
+        throw std::runtime_error("bang");
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  const Task* task = kernel.find_task(id.value());
+  EXPECT_EQ(task->state, TaskState::kFinished);
+  ASSERT_TRUE(task->error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(task->error), std::runtime_error);
+}
+
+TEST(KernelError, WaitPeriodOnAperiodicTaskFails) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      aperiodic("bad"), [](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.wait_next_period();  // throws std::logic_error
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  const Task* task = kernel.find_task(id.value());
+  EXPECT_EQ(task->state, TaskState::kFinished);
+  EXPECT_TRUE(task->error != nullptr);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(KernelTrace, RecordsDispatchAndFinish) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  kernel.trace().enable();
+  auto id = kernel.create_task(
+      aperiodic("work"), [](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(1'000);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_FALSE(kernel.trace().filter(TraceKind::kTaskCreated).empty());
+  EXPECT_FALSE(kernel.trace().filter(TraceKind::kDispatched).empty());
+  EXPECT_FALSE(kernel.trace().filter(TraceKind::kFinished).empty());
+}
+
+TEST(KernelTrace, DisabledTraceRecordsNothing) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto id = kernel.create_task(
+      aperiodic("work"), [](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(1'000);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_TRUE(kernel.trace().events().empty());
+}
+
+}  // namespace
+}  // namespace drt::rtos

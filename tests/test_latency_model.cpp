@@ -1,0 +1,152 @@
+// Latency model and Linux-domain load generator: the statistical machinery
+// behind Table 1. These tests pin the *shape* the model must produce — the
+// same shape EXPERIMENTS.md compares against the paper.
+#include <gtest/gtest.h>
+
+#include "rtos/latency_model.hpp"
+#include "rtos/load.hpp"
+#include "rtos/sim_engine.hpp"
+#include "util/stats.hpp"
+
+namespace drt::rtos {
+namespace {
+
+StatSummary sample_model(const LatencyModel& model, bool idle, int n,
+                         std::uint64_t seed = 99) {
+  Rng rng(seed);
+  SampleSeries series;
+  for (int i = 0; i < n; ++i) {
+    series.add(static_cast<double>(model.sample_release_error(idle, rng)));
+  }
+  return series.summary();
+}
+
+TEST(LatencyModel, TimerErrorCentersOnCalibration) {
+  LatencyModel model;
+  Rng rng(1);
+  SampleSeries series;
+  for (int i = 0; i < 20'000; ++i) {
+    series.add(static_cast<double>(model.sample_timer_error(rng)));
+  }
+  const auto s = series.summary();
+  EXPECT_NEAR(s.average, model.config().timer_calibration_ns, 50.0);
+  EXPECT_LT(s.avedev, 3.0 * model.config().timer_jitter_ns);
+}
+
+TEST(LatencyModel, WakeCostIsNonNegative) {
+  LatencyModel model;
+  Rng rng(2);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_GE(model.sample_wake_cost(true, rng), 0);
+    EXPECT_GE(model.sample_wake_cost(false, rng), 0);
+  }
+}
+
+TEST(LatencyModel, HotCpuShowsRawEarlyOffset) {
+  // Stress-mode shape: large negative average, small deviation.
+  LatencyModel model;
+  const auto s = sample_model(model, /*idle=*/false, 20'000);
+  EXPECT_LT(s.average, -15'000.0);
+  EXPECT_LT(s.avedev, 2'000.0);
+}
+
+TEST(LatencyModel, IdleCpuRoughlyCancelsOffset) {
+  // Light-mode shape: small average (idle wake cost cancels the early
+  // offset), large deviation.
+  LatencyModel model;
+  const auto s = sample_model(model, /*idle=*/true, 20'000);
+  EXPECT_GT(s.average, -8'000.0);
+  EXPECT_LT(s.average, 8'000.0);
+  EXPECT_GT(s.avedev, 2'000.0);
+}
+
+TEST(LatencyModel, Table1ShapeInvariants) {
+  // The headline relations of Table 1, as model-level invariants:
+  //   avg(stress) << avg(light) < ~0   and   avedev(stress) << avedev(light).
+  LatencyModel model;
+  const auto light = sample_model(model, true, 20'000);
+  const auto stress = sample_model(model, false, 20'000);
+  EXPECT_LT(stress.average, light.average - 10'000.0);
+  EXPECT_LT(stress.avedev, light.avedev / 3.0);
+  // MIN dips below the calibration offset in light mode (shallow-idle tail).
+  EXPECT_LT(light.min, model.config().timer_calibration_ns);
+  EXPECT_GT(light.max, 0.0);
+}
+
+TEST(LatencyModel, DeterministicForSeed) {
+  LatencyModel model;
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample_release_error(true, a),
+              model.sample_release_error(true, b));
+  }
+}
+
+TEST(LatencyModel, ConfigIsAdjustable) {
+  LatencyModelConfig config;
+  config.timer_calibration_ns = 0.0;
+  config.timer_jitter_ns = 0.0;
+  config.idle_wake_mean_ns = 0.0;
+  config.idle_wake_stddev_ns = 0.0;
+  config.hot_wake_mean_ns = 0.0;
+  config.hot_wake_stddev_ns = 0.0;
+  config.spike_probability = 0.0;
+  config.shallow_idle_probability = 0.0;
+  LatencyModel model(config);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(model.sample_release_error(true, rng), 0);
+  }
+}
+
+// -------------------------------------------------------------- LinuxLoad
+
+TEST(LinuxLoad, LightLoadIsMostlyIdle) {
+  SimEngine engine;
+  LinuxLoad load(engine, 1, light_load(), Rng(5));
+  load.start();
+  int busy_samples = 0;
+  const int n = 2'000;
+  for (int i = 0; i < n; ++i) {
+    engine.run_until(engine.now() + microseconds(500));
+    busy_samples += load.busy(0) ? 1 : 0;
+  }
+  EXPECT_LT(static_cast<double>(busy_samples) / n, 0.15);
+}
+
+TEST(LinuxLoad, StressLoadIsMostlyBusy) {
+  SimEngine engine;
+  LinuxLoad load(engine, 1, stress_load(), Rng(6));
+  load.start();
+  int busy_samples = 0;
+  const int n = 2'000;
+  for (int i = 0; i < n; ++i) {
+    engine.run_until(engine.now() + microseconds(500));
+    busy_samples += load.busy(0) ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(busy_samples) / n, 0.9);
+}
+
+TEST(LinuxLoad, PerCpuIndependentState) {
+  SimEngine engine;
+  LoadConfig config{0.5, milliseconds(1)};
+  LinuxLoad load(engine, 2, config, Rng(7));
+  load.start();
+  bool differed = false;
+  for (int i = 0; i < 200 && !differed; ++i) {
+    engine.run_until(engine.now() + milliseconds(1));
+    differed = load.busy(0) != load.busy(1);
+  }
+  EXPECT_TRUE(differed);
+}
+
+TEST(LinuxLoad, OutOfRangeCpuIsIdle) {
+  SimEngine engine;
+  LinuxLoad load(engine, 1, stress_load(), Rng(8));
+  load.start();
+  EXPECT_FALSE(load.busy(7));
+}
+
+}  // namespace
+}  // namespace drt::rtos

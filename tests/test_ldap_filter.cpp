@@ -1,0 +1,173 @@
+// RFC 1960 / OSGi LDAP filter tests: grammar, operators, type-aware
+// comparison, wildcards, escaping and error cases.
+#include <gtest/gtest.h>
+
+#include "osgi/ldap_filter.hpp"
+
+namespace drt::osgi {
+namespace {
+
+Properties camera_props() {
+  Properties props;
+  props.set("component.name", std::string("camera"));
+  props.set("priority", std::int64_t{2});
+  props.set("cpuusage", 0.1);
+  props.set("enabled", true);
+  props.set("objectClass",
+            std::vector<std::string>{"drcom.RtComponentManagement",
+                                     "drcom.Tunable"});
+  return props;
+}
+
+bool matches(const std::string& filter_text, const Properties& props) {
+  auto filter = Filter::parse(filter_text);
+  EXPECT_TRUE(filter.ok()) << filter_text << ": "
+                           << (filter.ok() ? "" : filter.error().message);
+  return filter.ok() && filter.value().matches(props);
+}
+
+TEST(LdapFilter, EqualityOnStrings) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(component.name=camera)", props));
+  EXPECT_FALSE(matches("(component.name=display)", props));
+  EXPECT_FALSE(matches("(no.such.key=x)", props));
+}
+
+TEST(LdapFilter, KeysAreCaseInsensitive) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(Component.Name=camera)", props));
+  // ...but string values are case-sensitive for '='.
+  EXPECT_FALSE(matches("(component.name=CAMERA)", props));
+}
+
+TEST(LdapFilter, ApproxFoldsCaseAndWhitespace) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(component.name~=CAMERA)", props));
+  EXPECT_TRUE(matches("(component.name~= ca mera )", props));
+}
+
+TEST(LdapFilter, NumericComparisons) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(priority=2)", props));
+  EXPECT_TRUE(matches("(priority>=2)", props));
+  EXPECT_TRUE(matches("(priority<=2)", props));
+  EXPECT_TRUE(matches("(priority>=1)", props));
+  EXPECT_FALSE(matches("(priority>=3)", props));
+  EXPECT_TRUE(matches("(cpuusage<=0.5)", props));
+  EXPECT_FALSE(matches("(cpuusage>=0.5)", props));
+}
+
+TEST(LdapFilter, IntegerComparedAgainstDoubleLiteral) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(priority>=1.5)", props));
+  EXPECT_FALSE(matches("(priority>=2.5)", props));
+}
+
+TEST(LdapFilter, BooleanEquality) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(enabled=true)", props));
+  EXPECT_FALSE(matches("(enabled=false)", props));
+  EXPECT_FALSE(matches("(enabled=banana)", props));
+}
+
+TEST(LdapFilter, Presence) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(priority=*)", props));
+  EXPECT_FALSE(matches("(no.such.key=*)", props));
+}
+
+TEST(LdapFilter, SubstringWildcards) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(component.name=cam*)", props));
+  EXPECT_TRUE(matches("(component.name=*era)", props));
+  EXPECT_TRUE(matches("(component.name=*ame*)", props));
+  EXPECT_TRUE(matches("(component.name=c*m*a)", props));
+  EXPECT_FALSE(matches("(component.name=cam*x)", props));
+  EXPECT_FALSE(matches("(component.name=x*era)", props));
+}
+
+TEST(LdapFilter, SubstringAnchorsDoNotOverlap) {
+  Properties props;
+  props.set("k", std::string("aba"));
+  EXPECT_TRUE(matches("(k=a*a)", props));
+  props.set("k", std::string("a"));
+  // "a*a" needs at least two characters.
+  EXPECT_FALSE(matches("(k=a*a)", props));
+}
+
+TEST(LdapFilter, ArrayValuesMatchAnyElement) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(objectClass=drcom.RtComponentManagement)", props));
+  EXPECT_TRUE(matches("(objectClass=drcom.Tunable)", props));
+  EXPECT_FALSE(matches("(objectClass=other)", props));
+  EXPECT_TRUE(matches("(objectClass=drcom.*)", props));
+}
+
+TEST(LdapFilter, CompositeAndOrNot) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("(&(component.name=camera)(priority<=3))", props));
+  EXPECT_FALSE(matches("(&(component.name=camera)(priority<=1))", props));
+  EXPECT_TRUE(matches("(|(component.name=nope)(priority=2))", props));
+  EXPECT_FALSE(matches("(|(component.name=nope)(priority=9))", props));
+  EXPECT_TRUE(matches("(!(component.name=nope))", props));
+  EXPECT_FALSE(matches("(!(component.name=camera))", props));
+}
+
+TEST(LdapFilter, DeepNesting) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches(
+      "(&(|(component.name=display)(component.name=camera))"
+      "(!(priority>=5))(enabled=true))",
+      props));
+}
+
+TEST(LdapFilter, EscapedSpecialCharacters) {
+  Properties props;
+  props.set("path", std::string("a(b)c*d\\e"));
+  EXPECT_TRUE(matches(R"((path=a\(b\)c\*d\\e))", props));
+  // An escaped star is a literal, not a wildcard.
+  props.set("star", std::string("x*y"));
+  EXPECT_TRUE(matches(R"((star=x\*y))", props));
+  EXPECT_FALSE(matches(R"((star=x\*z))", props));
+}
+
+TEST(LdapFilter, WhitespaceTolerated) {
+  const auto props = camera_props();
+  EXPECT_TRUE(matches("( &  (component.name=camera) (priority=2) )", props));
+}
+
+struct BadFilter {
+  const char* name;
+  const char* text;
+};
+
+class LdapFilterErrors : public ::testing::TestWithParam<BadFilter> {};
+
+TEST_P(LdapFilterErrors, Rejected) {
+  auto filter = Filter::parse(GetParam().text);
+  ASSERT_FALSE(filter.ok()) << GetParam().name;
+  EXPECT_EQ(filter.error().code, "osgi.bad_filter");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, LdapFilterErrors,
+    ::testing::Values(BadFilter{"empty", ""},
+                      BadFilter{"no_parens", "a=b"},
+                      BadFilter{"unclosed", "(a=b"},
+                      BadFilter{"trailing", "(a=b))"},
+                      BadFilter{"empty_composite", "(&)"},
+                      BadFilter{"missing_operand", "(!)"},
+                      BadFilter{"no_operator", "(abc)"},
+                      BadFilter{"star_in_gte", "(a>=1*2)"},
+                      BadFilter{"unescaped_paren", "(a=b(c)"},
+                      BadFilter{"empty_attr", "(=b)"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(LdapFilter, ToStringIsNormalizedSource) {
+  auto filter = Filter::parse("  (a=b)  ");
+  ASSERT_TRUE(filter.ok());
+  EXPECT_EQ(filter.value().to_string(), "(a=b)");
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,158 @@
+// RTAI.Mailbox-interface ports end-to-end: event-driven (aperiodic)
+// components consuming messages produced by periodic components — the second
+// communication interface of §2.3.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+/// Periodic producer pushing one message per job into its mailbox out-port.
+class EventSource : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    std::int32_t sequence = 0;
+    while (job.active()) {
+      co_await job.consume(microseconds(20));
+      ++sequence;
+      if (!job.send("events", rtos::message_from_string(
+                                  "evt" + std::to_string(sequence)))) {
+        ++dropped;
+      }
+      co_await job.next_cycle();
+    }
+  }
+  int dropped = 0;
+};
+
+/// Aperiodic, event-driven consumer: blocks on its in-port mailbox.
+class EventSink : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      auto message = co_await job.receive("events");
+      if (!message.has_value()) continue;  // mailbox vanished / stale wake
+      co_await job.consume(microseconds(50));
+      received.push_back(rtos::message_to_string(*message));
+    }
+  }
+  std::vector<std::string> received;
+};
+
+struct MailboxPortFixture : public ::testing::Test {
+  MailboxPortFixture()
+      : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory("mbx.Source", [this] {
+      auto instance = std::make_unique<EventSource>();
+      source = instance.get();
+      return instance;
+    });
+    drcr.factories().register_factory("mbx.Sink", [this] {
+      auto instance = std::make_unique<EventSink>();
+      sink = instance.get();
+      return instance;
+    });
+  }
+
+  ComponentDescriptor source_descriptor(double hz = 100.0) {
+    auto parsed = parse_descriptor(R"(
+      <drt:component name="src" type="periodic" cpuusage="0.05">
+        <implementation bincode="mbx.Source"/>
+        <periodictask frequence="100" priority="3"/>
+        <outport name="events" interface="RTAI.Mailbox" type="Byte"
+                 size="16"/>
+      </drt:component>)");
+    auto descriptor = std::move(parsed).take();
+    descriptor.periodic->frequency_hz = hz;
+    return descriptor;
+  }
+
+  ComponentDescriptor sink_descriptor() {
+    auto parsed = parse_descriptor(R"(
+      <drt:component name="snk" type="aperiodic">
+        <implementation bincode="mbx.Sink"/>
+        <inport name="events" interface="RTAI.Mailbox" type="Byte"
+                size="16"/>
+      </drt:component>)");
+    return std::move(parsed).take();
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+  EventSource* source = nullptr;
+  EventSink* sink = nullptr;
+};
+
+TEST_F(MailboxPortFixture, EventsFlowFromPeriodicToAperiodic) {
+  ASSERT_TRUE(drcr.register_component(source_descriptor()).ok());
+  ASSERT_TRUE(drcr.register_component(sink_descriptor()).ok());
+  EXPECT_EQ(drcr.active_count(), 2u);
+  EXPECT_NE(kernel.mailbox_find("events"), nullptr);
+  engine.run_until(milliseconds(105));
+  ASSERT_NE(sink, nullptr);
+  // 100 Hz for ~100ms -> ~10 events, delivered in order, none dropped.
+  ASSERT_GE(sink->received.size(), 9u);
+  EXPECT_EQ(sink->received[0], "evt1");
+  EXPECT_EQ(sink->received[1], "evt2");
+  EXPECT_EQ(source->dropped, 0);
+}
+
+TEST_F(MailboxPortFixture, AperiodicConsumerIdlesBetweenEvents) {
+  ASSERT_TRUE(drcr.register_component(source_descriptor(10.0)).ok());
+  ASSERT_TRUE(drcr.register_component(sink_descriptor()).ok());
+  engine.run_until(milliseconds(500));
+  const rtos::Task* task = kernel.find_task("snk");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->state, rtos::TaskState::kWaitingMailbox);
+  // ~5 events in 500ms at 10 Hz; each costs 50us.
+  EXPECT_NEAR(static_cast<double>(task->stats.cpu_time),
+              static_cast<double>(sink->received.size()) * 50'000.0, 1.0);
+}
+
+TEST_F(MailboxPortFixture, SlowConsumerDropsWhenMailboxFull) {
+  // Sink admits but its jobs take longer than the production period, so the
+  // 16-slot mailbox eventually overflows and the producer's sends fail fast
+  // (asynchronous contract: the producer never blocks).
+  class SlowSink : public RtComponent {
+   public:
+    rtos::TaskCoro run(JobContext& job) override {
+      while (job.active()) {
+        auto message = co_await job.receive("events");
+        if (!message.has_value()) continue;
+        co_await job.consume(milliseconds(25));  // slower than 100 Hz
+      }
+    }
+  };
+  drcr.factories().register_factory(
+      "mbx.Slow", [] { return std::make_unique<SlowSink>(); });
+  ComponentDescriptor slow = sink_descriptor();
+  slow.bincode = "mbx.Slow";
+  ASSERT_TRUE(drcr.register_component(source_descriptor()).ok());
+  ASSERT_TRUE(drcr.register_component(std::move(slow)).ok());
+  engine.run_until(seconds(1));
+  EXPECT_GT(source->dropped, 0);
+  EXPECT_GT(kernel.mailbox_find("events")->dropped_count(), 0u);
+  // The producer's own schedule never degraded (async send).
+  EXPECT_EQ(kernel.find_task("src")->stats.deadline_misses, 0u);
+}
+
+TEST_F(MailboxPortFixture, SinkDeactivationLeavesProducerRunning) {
+  ASSERT_TRUE(drcr.register_component(source_descriptor()).ok());
+  ASSERT_TRUE(drcr.register_component(sink_descriptor()).ok());
+  engine.run_until(milliseconds(50));
+  ASSERT_TRUE(drcr.unregister_component("snk").ok());
+  // Producer owns the mailbox port; it keeps running (a consumer is not a
+  // functional dependency of the producer).
+  EXPECT_EQ(drcr.state_of("src").value(), ComponentState::kActive);
+  engine.run_until(milliseconds(100));
+  EXPECT_GT(kernel.find_task("src")->stats.activations, 8u);
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -1,0 +1,94 @@
+// Bundle manifest parsing: headers, package clauses, the DRT-Components
+// descriptor header.
+#include <gtest/gtest.h>
+
+#include "osgi/manifest.hpp"
+
+namespace drt::osgi {
+namespace {
+
+TEST(Manifest, MinimalManifest) {
+  auto manifest = Manifest::parse("Bundle-SymbolicName: org.example.app\n");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().symbolic_name(), "org.example.app");
+  EXPECT_EQ(manifest.value().version(), Version(0, 0, 0));
+}
+
+TEST(Manifest, RequiresSymbolicName) {
+  auto manifest = Manifest::parse("Bundle-Name: whatever\n");
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.error().code, "osgi.bad_manifest");
+}
+
+TEST(Manifest, FullHeaders) {
+  auto manifest = Manifest::parse(
+      "Bundle-SymbolicName: com.acme.rt;singleton:=true\n"
+      "Bundle-Version: 1.2.3\n"
+      "Bundle-Name: Acme RT Components\n"
+      "Import-Package: org.osgi.framework;version=\"[1.3,2.0)\", "
+      "com.acme.util;resolution:=optional\n"
+      "Export-Package: com.acme.rt.api;version=\"1.2.0\"\n"
+      "DRT-Components: DRT-INF/camera.xml, DRT-INF/display.xml\n");
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  const Manifest& m = manifest.value();
+  EXPECT_EQ(m.symbolic_name(), "com.acme.rt");  // directives stripped
+  EXPECT_EQ(m.version(), Version(1, 2, 3));
+  EXPECT_EQ(m.name(), "Acme RT Components");
+
+  ASSERT_EQ(m.imports().size(), 2u);
+  EXPECT_EQ(m.imports()[0].package, "org.osgi.framework");
+  EXPECT_TRUE(m.imports()[0].version_range.includes(Version(1, 5, 0)));
+  EXPECT_FALSE(m.imports()[0].version_range.includes(Version(2, 0, 0)));
+  EXPECT_FALSE(m.imports()[0].optional);
+  EXPECT_TRUE(m.imports()[1].optional);
+
+  ASSERT_EQ(m.exports().size(), 1u);
+  EXPECT_EQ(m.exports()[0].package, "com.acme.rt.api");
+  EXPECT_EQ(m.exports()[0].version, Version(1, 2, 0));
+
+  ASSERT_EQ(m.component_resources().size(), 2u);
+  EXPECT_EQ(m.component_resources()[0], "DRT-INF/camera.xml");
+  EXPECT_EQ(m.component_resources()[1], "DRT-INF/display.xml");
+}
+
+TEST(Manifest, QuotedVersionRangeCommaDoesNotSplitClauses) {
+  auto manifest = Manifest::parse(
+      "Bundle-SymbolicName: x\n"
+      "Import-Package: a;version=\"[1.0,2.0)\", b;version=\"[3.0,4.0]\"\n");
+  ASSERT_TRUE(manifest.ok());
+  ASSERT_EQ(manifest.value().imports().size(), 2u);
+  EXPECT_EQ(manifest.value().imports()[0].package, "a");
+  EXPECT_EQ(manifest.value().imports()[1].package, "b");
+}
+
+TEST(Manifest, HeaderLookupIsCaseInsensitive) {
+  auto manifest = Manifest::parse(
+      "Bundle-SymbolicName: x\n"
+      "X-Custom-Header: hello\n");
+  ASSERT_TRUE(manifest.ok());
+  EXPECT_EQ(manifest.value().header("x-custom-header"), "hello");
+  EXPECT_EQ(manifest.value().header("X-CUSTOM-HEADER"), "hello");
+  EXPECT_EQ(manifest.value().header("absent"), "");
+}
+
+TEST(Manifest, InvalidVersionRejected) {
+  auto manifest = Manifest::parse(
+      "Bundle-SymbolicName: x\nBundle-Version: not.a.version\n");
+  EXPECT_FALSE(manifest.ok());
+}
+
+TEST(Manifest, BuilderApi) {
+  Manifest manifest;
+  manifest.set_symbolic_name("prog.bundle")
+      .set_version(Version(2, 0, 0))
+      .add_import({"pkg.a", VersionRange{}, false})
+      .add_export({"pkg.b", Version(1, 0, 0)})
+      .add_component_resource("DRT-INF/c.xml");
+  EXPECT_EQ(manifest.symbolic_name(), "prog.bundle");
+  EXPECT_EQ(manifest.imports().size(), 1u);
+  EXPECT_EQ(manifest.exports().size(), 1u);
+  EXPECT_EQ(manifest.component_resources().size(), 1u);
+}
+
+}  // namespace
+}  // namespace drt::osgi

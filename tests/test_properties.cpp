@@ -1,0 +1,87 @@
+// osgi::Properties: case-insensitive keyed dictionary semantics.
+#include <gtest/gtest.h>
+
+#include "osgi/properties.hpp"
+
+namespace drt::osgi {
+namespace {
+
+TEST(Properties, SetAndGetAllTypes) {
+  Properties props;
+  props.set("s", std::string("text"));
+  props.set("i", std::int64_t{42});
+  props.set("d", 2.5);
+  props.set("b", true);
+  props.set("v", std::vector<std::string>{"a", "b"});
+  EXPECT_EQ(props.get_string("s").value(), "text");
+  EXPECT_EQ(props.get_int("i").value(), 42);
+  EXPECT_DOUBLE_EQ(props.get_double("d").value(), 2.5);
+  EXPECT_TRUE(props.get_bool("b").value());
+  ASSERT_NE(props.get("v"), nullptr);
+  EXPECT_EQ(std::get<std::vector<std::string>>(*props.get("v")).size(), 2u);
+  EXPECT_EQ(props.size(), 5u);
+}
+
+TEST(Properties, KeysCaseInsensitiveButPreserved) {
+  Properties props;
+  props.set("Component.Name", std::string("camera"));
+  EXPECT_TRUE(props.contains("component.name"));
+  EXPECT_TRUE(props.contains("COMPONENT.NAME"));
+  EXPECT_EQ(props.get_string("component.NAME").value(), "camera");
+  // Iteration exposes the original spelling.
+  bool found = false;
+  for (const auto& [key, entry] : props) {
+    if (entry.original_key == "Component.Name") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Overwriting through a different casing replaces the value.
+  props.set("component.name", std::string("other"));
+  EXPECT_EQ(props.size(), 1u);
+  EXPECT_EQ(props.get_string("Component.Name").value(), "other");
+}
+
+TEST(Properties, TypedGettersRejectWrongType) {
+  Properties props;
+  props.set("i", std::int64_t{42});
+  EXPECT_FALSE(props.get_string("i").has_value());
+  EXPECT_FALSE(props.get_bool("i").has_value());
+  // Int is promotable to double (convenience used by resolvers).
+  EXPECT_DOUBLE_EQ(props.get_double("i").value(), 42.0);
+  props.set("d", 1.5);
+  EXPECT_FALSE(props.get_int("d").has_value());
+}
+
+TEST(Properties, EraseAndMissing) {
+  Properties props;
+  props.set("k", std::int64_t{1});
+  EXPECT_TRUE(props.erase("K"));
+  EXPECT_FALSE(props.erase("k"));
+  EXPECT_FALSE(props.contains("k"));
+  EXPECT_EQ(props.get("k"), nullptr);
+  EXPECT_TRUE(props.empty());
+}
+
+TEST(Properties, InitializerListConstruction) {
+  Properties props{{"a", std::int64_t{1}}, {"b", std::string("x")}};
+  EXPECT_EQ(props.size(), 2u);
+  EXPECT_EQ(props.get_int("a").value(), 1);
+}
+
+TEST(Properties, ToStringIsDeterministic) {
+  Properties props;
+  props.set("b", std::int64_t{2});
+  props.set("a", std::int64_t{1});
+  EXPECT_EQ(props.to_string(), "{a=1, b=2}");
+}
+
+TEST(PropertyValue, ToStringRendersAllTypes) {
+  EXPECT_EQ(to_string(PropertyValue{std::string("x")}), "x");
+  EXPECT_EQ(to_string(PropertyValue{std::int64_t{-3}}), "-3");
+  EXPECT_EQ(to_string(PropertyValue{true}), "true");
+  EXPECT_EQ(to_string(PropertyValue{false}), "false");
+  EXPECT_EQ(to_string(PropertyValue{std::vector<std::string>{"a", "b"}}),
+            "[a, b]");
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,214 @@
+// Counting semaphore semantics: P/V, FIFO wakeup, timeouts, suspension and
+// deletion interactions.
+#include <gtest/gtest.h>
+
+#include "rtos/kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using testing::quiet_config;
+
+TaskParams aperiodic(std::string name, int priority = 10) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kAperiodic;
+  params.priority = priority;
+  return params;
+}
+
+TEST(Semaphore, CreateFindDeleteAndValidation) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto sem = kernel.semaphore_create("mutex", 1);
+  ASSERT_TRUE(sem.ok());
+  EXPECT_EQ(kernel.semaphore_find("mutex"), sem.value());
+  EXPECT_FALSE(kernel.semaphore_create("mutex", 1).ok());
+  EXPECT_FALSE(kernel.semaphore_create("neg", -1).ok());
+  EXPECT_TRUE(kernel.semaphore_delete("mutex").ok());
+  EXPECT_EQ(kernel.semaphore_find("mutex"), nullptr);
+  EXPECT_FALSE(kernel.semaphore_delete("mutex").ok());
+}
+
+TEST(Semaphore, TryWaitDecrementsSignalIncrements) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 2).value();
+  EXPECT_TRUE(kernel.semaphore_try_wait(*sem));
+  EXPECT_TRUE(kernel.semaphore_try_wait(*sem));
+  EXPECT_FALSE(kernel.semaphore_try_wait(*sem));
+  kernel.semaphore_signal(*sem);
+  EXPECT_EQ(sem->count(), 1);
+  EXPECT_TRUE(kernel.semaphore_try_wait(*sem));
+}
+
+TEST(Semaphore, WaitBlocksUntilSignal) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  SimTime acquired_at = -1;
+  auto id = kernel.create_task(
+      aperiodic("w"), [&](TaskContext& ctx) -> TaskCoro {
+        const bool acquired = co_await ctx.sem_wait(*sem);
+        if (acquired) acquired_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(kernel.find_task(id.value())->state,
+            TaskState::kWaitingSemaphore);
+  engine.schedule_at(milliseconds(5), [&] { kernel.semaphore_signal(*sem); });
+  engine.run_until(milliseconds(10));
+  EXPECT_EQ(acquired_at, milliseconds(5));
+  // Direct handoff: the count stays 0 (no double credit).
+  EXPECT_EQ(sem->count(), 0);
+}
+
+TEST(Semaphore, NonZeroInitialCountAcquiresImmediately) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 1).value();
+  SimTime acquired_at = -1;
+  auto id = kernel.create_task(
+      aperiodic("w"), [&](TaskContext& ctx) -> TaskCoro {
+        (void)co_await ctx.sem_wait(*sem);
+        acquired_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(acquired_at, 0);
+}
+
+TEST(Semaphore, FifoWakeup) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  std::vector<std::string> order;
+  for (int i = 0; i < 3; ++i) {
+    auto id = kernel.create_task(
+        aperiodic("w" + std::to_string(i)),
+        [&, i](TaskContext& ctx) -> TaskCoro {
+          (void)co_await ctx.sem_wait(*sem);
+          order.push_back("w" + std::to_string(i));
+        });
+    ASSERT_TRUE(kernel.start_task(id.value()).ok());
+    engine.run_until(engine.now() + 1'000);
+  }
+  for (int i = 0; i < 3; ++i) kernel.semaphore_signal(*sem);
+  engine.run_until(engine.now() + milliseconds(1));
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "w0");
+  EXPECT_EQ(order[1], "w1");
+  EXPECT_EQ(order[2], "w2");
+}
+
+TEST(Semaphore, TimedWaitTimesOut) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  bool acquired = true;
+  SimTime resumed_at = -1;
+  auto id = kernel.create_task(
+      aperiodic("w"), [&](TaskContext& ctx) -> TaskCoro {
+        acquired = co_await ctx.sem_wait_timed(*sem, milliseconds(2));
+        resumed_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_FALSE(acquired);
+  EXPECT_EQ(resumed_at, milliseconds(2));
+  EXPECT_EQ(sem->waiting_count(), 0u);
+}
+
+TEST(Semaphore, TimedWaitAcquiresBeforeTimeout) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  bool acquired = false;
+  auto id = kernel.create_task(
+      aperiodic("w"), [&](TaskContext& ctx) -> TaskCoro {
+        acquired = co_await ctx.sem_wait_timed(*sem, milliseconds(20));
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.schedule_at(milliseconds(1), [&] { kernel.semaphore_signal(*sem); });
+  engine.run_until(milliseconds(30));
+  EXPECT_TRUE(acquired);
+}
+
+TEST(Semaphore, DeleteWakesWaitersUnacquired) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  bool acquired = true;
+  auto id = kernel.create_task(
+      aperiodic("w"), [&](TaskContext& ctx) -> TaskCoro {
+        acquired = co_await ctx.sem_wait(*sem);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel.semaphore_delete("s").ok());
+  engine.run_until(milliseconds(2));
+  EXPECT_FALSE(acquired);
+  EXPECT_EQ(kernel.find_task(id.value())->state, TaskState::kFinished);
+}
+
+TEST(Semaphore, SuspendedWaiterSkippedBySignal) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* sem = kernel.semaphore_create("s", 0).value();
+  std::string first;
+  auto a = kernel.create_task(
+      aperiodic("a"), [&](TaskContext& ctx) -> TaskCoro {
+        if (co_await ctx.sem_wait(*sem); first.empty()) first = "a";
+      });
+  auto b = kernel.create_task(
+      aperiodic("b"), [&](TaskContext& ctx) -> TaskCoro {
+        if (co_await ctx.sem_wait(*sem); first.empty()) first = "b";
+      });
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  engine.run_until(engine.now() + 1'000);
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(engine.now() + 1'000);
+  ASSERT_TRUE(kernel.suspend_task(a.value()).ok());
+  kernel.semaphore_signal(*sem);
+  engine.run_until(engine.now() + milliseconds(1));
+  EXPECT_EQ(first, "b");
+  // Resumed a re-queues and gets the next signal.
+  ASSERT_TRUE(kernel.resume_task(a.value()).ok());
+  kernel.semaphore_signal(*sem);
+  engine.run_until(engine.now() + milliseconds(1));
+  EXPECT_EQ(kernel.find_task(a.value())->state, TaskState::kFinished);
+}
+
+TEST(Semaphore, MutexStyleCriticalSection) {
+  // Two tasks alternating through a mutex: accesses never overlap.
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto* mutex = kernel.semaphore_create("mtx", 1).value();
+  int inside = 0;
+  int max_inside = 0;
+  int entries = 0;
+  auto body = [&](TaskContext& ctx) -> TaskCoro {
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await ctx.sem_wait(*mutex);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      ++entries;
+      co_await ctx.consume(microseconds(100));
+      --inside;
+      ctx.sem_signal(*mutex);
+      co_await ctx.sleep_for(microseconds(50));
+    }
+  };
+  auto a = kernel.create_task(aperiodic("a", 5), body);
+  auto b = kernel.create_task(aperiodic("b", 5), body);
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(milliseconds(50));
+  EXPECT_EQ(entries, 10);
+  EXPECT_EQ(max_inside, 1);  // mutual exclusion held
+  EXPECT_EQ(mutex->count(), 1);
+}
+
+}  // namespace
+}  // namespace drt::rtos

@@ -1,0 +1,245 @@
+// Service registry semantics: registration, ranked lookup, filters,
+// listeners, trackers, bundle-scoped cleanup.
+#include <gtest/gtest.h>
+
+#include "osgi/framework.hpp"
+#include "osgi/service_tracker.hpp"
+
+namespace drt::osgi {
+namespace {
+
+struct Greeter {
+  std::string greeting = "hello";
+};
+
+TEST(ServiceRegistry, RegisterAndLookup) {
+  ServiceRegistry registry;
+  auto registration = registry.register_service(
+      1, {"app.Greeter"}, std::make_shared<Greeter>(), {});
+  ASSERT_TRUE(registration.is_valid());
+  const auto reference = registry.get_reference("app.Greeter");
+  ASSERT_TRUE(reference.has_value());
+  auto service = registry.get_service<Greeter>(*reference);
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->greeting, "hello");
+}
+
+TEST(ServiceRegistry, StandardPropertiesInjected) {
+  ServiceRegistry registry;
+  auto registration = registry.register_service(
+      7, {"a.B", "a.C"}, std::make_shared<Greeter>(), {});
+  const auto reference = registration.reference();
+  EXPECT_TRUE(reference.properties().contains("objectClass"));
+  EXPECT_EQ(reference.properties().get_int("service.id").value(),
+            static_cast<std::int64_t>(reference.service_id()));
+  EXPECT_EQ(reference.properties().get_int("service.bundleid").value(), 7);
+  EXPECT_EQ(reference.interfaces().size(), 2u);
+}
+
+TEST(ServiceRegistry, LookupByAnyRegisteredInterface) {
+  ServiceRegistry registry;
+  registry.register_service(1, {"a.B", "a.C"}, std::make_shared<Greeter>(),
+                            {});
+  EXPECT_TRUE(registry.get_reference("a.B").has_value());
+  EXPECT_TRUE(registry.get_reference("a.C").has_value());
+  EXPECT_FALSE(registry.get_reference("a.D").has_value());
+}
+
+TEST(ServiceRegistry, FilterRestrictsLookup) {
+  ServiceRegistry registry;
+  Properties props_a;
+  props_a.set("flavor", std::string("vanilla"));
+  registry.register_service(1, {"app.S"}, std::make_shared<Greeter>(),
+                            props_a);
+  Properties props_b;
+  props_b.set("flavor", std::string("chocolate"));
+  registry.register_service(1, {"app.S"}, std::make_shared<Greeter>(),
+                            props_b);
+  auto filter = Filter::parse("(flavor=chocolate)").value();
+  const auto references = registry.get_references("app.S", &filter);
+  ASSERT_EQ(references.size(), 1u);
+  EXPECT_EQ(references[0].properties().get_string("flavor").value(),
+            "chocolate");
+}
+
+TEST(ServiceRegistry, RankingOrdersReferences) {
+  ServiceRegistry registry;
+  Properties low;
+  low.set("service.ranking", std::int64_t{1});
+  Properties high;
+  high.set("service.ranking", std::int64_t{10});
+  auto first = registry.register_service(1, {"app.S"},
+                                         std::make_shared<Greeter>(), low);
+  auto second = registry.register_service(1, {"app.S"},
+                                          std::make_shared<Greeter>(), high);
+  const auto best = registry.get_reference("app.S");
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->service_id(), second.reference().service_id());
+  // Equal ranking: lowest service.id wins.
+  auto third = registry.register_service(1, {"app.S"},
+                                         std::make_shared<Greeter>(), high);
+  EXPECT_EQ(registry.get_reference("app.S")->service_id(),
+            second.reference().service_id());
+}
+
+TEST(ServiceRegistry, UnregisterInvalidatesReferences) {
+  ServiceRegistry registry;
+  auto registration =
+      registry.register_service(1, {"app.S"}, std::make_shared<Greeter>(), {});
+  auto reference = registration.reference();
+  EXPECT_TRUE(reference.is_valid());
+  registration.unregister();
+  EXPECT_FALSE(reference.is_valid());
+  EXPECT_EQ(registry.get_service<Greeter>(reference), nullptr);
+  EXPECT_FALSE(registry.get_reference("app.S").has_value());
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServiceRegistry, UnregisterAllForBundle) {
+  ServiceRegistry registry;
+  registry.register_service(1, {"a"}, std::make_shared<Greeter>(), {});
+  registry.register_service(2, {"b"}, std::make_shared<Greeter>(), {});
+  registry.register_service(1, {"c"}, std::make_shared<Greeter>(), {});
+  registry.unregister_all(1);
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.get_reference("b").has_value());
+}
+
+TEST(ServiceRegistry, ListenersSeeLifecycleEvents) {
+  ServiceRegistry registry;
+  std::vector<std::string> log;
+  registry.add_listener([&](const ServiceEvent& event) {
+    log.push_back(std::string(to_string(event.type)));
+  });
+  auto registration =
+      registry.register_service(1, {"app.S"}, std::make_shared<Greeter>(), {});
+  Properties updated;
+  updated.set("x", std::int64_t{1});
+  registration.set_properties(updated);
+  registration.unregister();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "REGISTERED");
+  EXPECT_EQ(log[1], "MODIFIED");
+  EXPECT_EQ(log[2], "UNREGISTERING");
+}
+
+TEST(ServiceRegistry, FilteredListenerOnlySeesMatches) {
+  ServiceRegistry registry;
+  int events = 0;
+  registry.add_listener([&](const ServiceEvent&) { ++events; },
+                        Filter::parse("(kind=rt)").value());
+  Properties rt;
+  rt.set("kind", std::string("rt"));
+  registry.register_service(1, {"a"}, std::make_shared<Greeter>(), rt);
+  registry.register_service(1, {"b"}, std::make_shared<Greeter>(), {});
+  EXPECT_EQ(events, 1);
+}
+
+TEST(ServiceRegistry, RemoveListenerStopsDelivery) {
+  ServiceRegistry registry;
+  int events = 0;
+  const auto token =
+      registry.add_listener([&](const ServiceEvent&) { ++events; });
+  registry.register_service(1, {"a"}, std::make_shared<Greeter>(), {});
+  registry.remove_listener(token);
+  registry.register_service(1, {"b"}, std::make_shared<Greeter>(), {});
+  EXPECT_EQ(events, 1);
+}
+
+TEST(ServiceRegistry, SetPropertiesPreservesStandardKeys) {
+  ServiceRegistry registry;
+  auto registration =
+      registry.register_service(3, {"app.S"}, std::make_shared<Greeter>(), {});
+  Properties replacement;
+  replacement.set("only", std::string("this"));
+  registration.set_properties(replacement);
+  const auto reference = registration.reference();
+  EXPECT_TRUE(reference.properties().contains("objectClass"));
+  EXPECT_TRUE(reference.properties().contains("service.id"));
+  EXPECT_EQ(reference.properties().get_string("only").value(), "this");
+}
+
+// ---------------------------------------------------------------- tracker
+
+TEST(ServiceTracker, TracksExistingAndNewServices) {
+  Framework framework;
+  auto& context = framework.system_context();
+  // Pre-existing service.
+  context.register_service("app.S", std::make_shared<Greeter>());
+  std::vector<std::string> log;
+  ServiceTracker::Callbacks callbacks;
+  callbacks.on_added = [&](const ServiceReference&) { log.push_back("add"); };
+  callbacks.on_removed = [&](const ServiceReference&) {
+    log.push_back("remove");
+  };
+  ServiceTracker tracker(context, "app.S", std::nullopt,
+                         std::move(callbacks));
+  tracker.open();
+  EXPECT_EQ(tracker.size(), 1u);
+  auto registration =
+      context.register_service("app.S", std::make_shared<Greeter>());
+  EXPECT_EQ(tracker.size(), 2u);
+  registration.unregister();
+  EXPECT_EQ(tracker.size(), 1u);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "add");
+  EXPECT_EQ(log[1], "add");
+  EXPECT_EQ(log[2], "remove");
+}
+
+TEST(ServiceTracker, BestPrefersRanking) {
+  Framework framework;
+  auto& context = framework.system_context();
+  ServiceTracker tracker(context, "app.S");
+  tracker.open();
+  Properties low;
+  low.set("service.ranking", std::int64_t{1});
+  low.set("tag", std::string("low"));
+  Properties high;
+  high.set("service.ranking", std::int64_t{5});
+  high.set("tag", std::string("high"));
+  context.register_service("app.S", std::make_shared<Greeter>(), low);
+  context.register_service("app.S", std::make_shared<Greeter>(), high);
+  const auto best = tracker.best();
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->properties().get_string("tag").value(), "high");
+  auto service = tracker.best_service<Greeter>();
+  EXPECT_NE(service, nullptr);
+}
+
+TEST(ServiceTracker, CloseDeliversRemovals) {
+  Framework framework;
+  auto& context = framework.system_context();
+  context.register_service("app.S", std::make_shared<Greeter>());
+  int removals = 0;
+  ServiceTracker::Callbacks callbacks;
+  callbacks.on_removed = [&](const ServiceReference&) { ++removals; };
+  ServiceTracker tracker(context, "app.S", std::nullopt,
+                         std::move(callbacks));
+  tracker.open();
+  tracker.close();
+  EXPECT_EQ(removals, 1);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+TEST(ServiceTracker, ModifiedPropertiesMoveServicesInAndOut) {
+  Framework framework;
+  auto& context = framework.system_context();
+  ServiceTracker tracker(context, "app.S",
+                         Filter::parse("(active=true)").value());
+  tracker.open();
+  Properties inactive;
+  inactive.set("active", false);
+  auto registration =
+      context.register_service("app.S", std::make_shared<Greeter>(), inactive);
+  EXPECT_EQ(tracker.size(), 0u);
+  Properties active;
+  active.set("active", true);
+  registration.set_properties(active);
+  EXPECT_EQ(tracker.size(), 1u);
+  registration.set_properties(inactive);
+  EXPECT_EQ(tracker.size(), 0u);
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,144 @@
+// Unit tests for the discrete-event engine: ordering, cancellation, clock
+// semantics.
+#include "rtos/sim_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace drt::rtos {
+namespace {
+
+TEST(SimEngine, StartsAtTimeZero) {
+  SimEngine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.idle());
+  EXPECT_EQ(engine.pending_events(), 0u);
+}
+
+TEST(SimEngine, FiresEventsInTimeOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(SimEngine, SameTimeEventsFireInScheduleOrder) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(5, [&] { order.push_back(1); });
+  engine.schedule_at(5, [&] { order.push_back(2); });
+  engine.schedule_at(5, [&] { order.push_back(3); });
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEngine, ScheduleAfterUsesRelativeDelay) {
+  SimEngine engine;
+  SimTime seen = -1;
+  engine.schedule_at(100, [&] {
+    engine.schedule_after(50, [&] { seen = engine.now(); });
+  });
+  engine.run_to_completion();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimEngine, CancelPreventsExecution) {
+  SimEngine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(10, [&] { fired = true; });
+  engine.cancel(id);
+  engine.run_to_completion();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(SimEngine, CancelOfFiredEventIsNoOp) {
+  SimEngine engine;
+  int count = 0;
+  const EventId id = engine.schedule_at(10, [&] { ++count; });
+  engine.run_to_completion();
+  engine.cancel(id);  // stale: must not disturb anything
+  engine.schedule_at(20, [&] { ++count; });
+  engine.run_to_completion();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(SimEngine, CancelInvalidIdIsNoOp) {
+  SimEngine engine;
+  engine.cancel(kInvalidEvent);
+  engine.cancel(999'999);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(SimEngine, RunUntilStopsAtDeadline) {
+  SimEngine engine;
+  std::vector<SimTime> fired;
+  for (SimTime t = 10; t <= 100; t += 10) {
+    engine.schedule_at(t, [&, t] { fired.push_back(t); });
+  }
+  const std::size_t count = engine.run_until(45);
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(engine.now(), 45);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_EQ(engine.pending_events(), 6u);
+  engine.run_until(1'000);
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(SimEngine, RunUntilAdvancesClockEvenWithoutEvents) {
+  SimEngine engine;
+  engine.run_until(12'345);
+  EXPECT_EQ(engine.now(), 12'345);
+}
+
+TEST(SimEngine, RunUntilWithCancelledHeadDoesNotLoseLaterEvents) {
+  SimEngine engine;
+  bool late_fired = false;
+  const EventId head = engine.schedule_at(10, [] {});
+  engine.schedule_at(100, [&] { late_fired = true; });
+  engine.cancel(head);
+  engine.run_until(50);  // deadline between the cancelled and live event
+  EXPECT_FALSE(late_fired);
+  engine.run_until(200);
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(SimEngine, EventsScheduledDuringRunAreExecuted) {
+  SimEngine engine;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    if (++chain < 5) engine.schedule_after(10, step);
+  };
+  engine.schedule_at(0, step);
+  engine.run_to_completion();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(SimEngine, RunToCompletionHonoursMaxEvents) {
+  SimEngine engine;
+  std::function<void()> forever = [&] { engine.schedule_after(1, forever); };
+  engine.schedule_at(0, forever);
+  const std::size_t fired = engine.run_to_completion(100);
+  EXPECT_EQ(fired, 100u);
+}
+
+TEST(SimEngine, PendingEventsTracksCancellation) {
+  SimEngine engine;
+  const EventId a = engine.schedule_at(10, [] {});
+  engine.schedule_at(20, [] {});
+  EXPECT_EQ(engine.pending_events(), 2u);
+  engine.cancel(a);
+  EXPECT_EQ(engine.pending_events(), 1u);
+  EXPECT_FALSE(engine.idle());
+  engine.run_to_completion();
+  EXPECT_TRUE(engine.idle());
+}
+
+}  // namespace
+}  // namespace drt::rtos

@@ -1,0 +1,176 @@
+// Deployment snapshots: serialize the DRCR's declarative state, restore it
+// into a fresh runtime, and confirm equivalence — plus the kRestart
+// watchdog action of the adaptation manager.
+#include <gtest/gtest.h>
+
+#include "drcom/adaptation.hpp"
+#include "drcom/snapshot.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+class Echo : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(1'000);
+      co_await job.next_cycle();
+    }
+  }
+};
+
+struct World {
+  World() : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "snap.Echo", [] { return std::make_unique<Echo>(); });
+  }
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+};
+
+ComponentDescriptor component(std::string name,
+                              std::vector<std::string> outs = {},
+                              std::vector<std::string> ins = {}) {
+  ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "snap.Echo";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.05;
+  d.periodic = PeriodicSpec{100.0, 0, 5};
+  for (auto& out : outs) {
+    d.ports.push_back({PortDirection::kOut, std::move(out),
+                       PortInterface::kShm, rtos::DataType::kInteger, 1});
+  }
+  for (auto& in : ins) {
+    d.ports.push_back({PortDirection::kIn, std::move(in), PortInterface::kShm,
+                       rtos::DataType::kInteger, 1});
+  }
+  return d;
+}
+
+constexpr const char* kSystemXml = R"(<drt:system name="pipe">
+  <drt:component name="src" type="periodic" cpuusage="0.1">
+    <implementation bincode="snap.Echo"/>
+    <periodictask frequence="100" runoncpu="0" priority="3"/>
+    <outport name="flow" interface="RTAI.SHM" type="Integer" size="1"/>
+  </drt:component>
+  <drt:component name="dst" type="periodic" cpuusage="0.1">
+    <implementation bincode="snap.Echo"/>
+    <periodictask frequence="100" runoncpu="0" priority="4"/>
+    <inport name="flow" interface="RTAI.SHM" type="Integer" size="1"/>
+  </drt:component>
+  <connection from="src.flow" to="dst.flow"/>
+</drt:system>)";
+
+TEST(Snapshot, CapturesSystemsStandalonesAndDisabledState) {
+  World world;
+  ASSERT_TRUE(world.drcr
+                  .deploy_system(
+                      parse_system_descriptor(kSystemXml).value())
+                  .ok());
+  ASSERT_TRUE(world.drcr.register_component(component("solo")).ok());
+  ASSERT_TRUE(world.drcr.register_component(component("off")).ok());
+  ASSERT_TRUE(world.drcr.disable_component("off").ok());
+
+  const std::string snapshot = snapshot_to_xml(world.drcr);
+
+  // Restore into a FRESH runtime.
+  World fresh;
+  auto restored = restore_from_xml(fresh.drcr, snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(fresh.drcr.state_of("src").value(), ComponentState::kActive);
+  EXPECT_EQ(fresh.drcr.state_of("dst").value(), ComponentState::kActive);
+  EXPECT_EQ(fresh.drcr.state_of("solo").value(), ComponentState::kActive);
+  EXPECT_EQ(fresh.drcr.state_of("off").value(), ComponentState::kDisabled);
+  EXPECT_EQ(fresh.drcr.deployed_systems().size(), 1u);
+  EXPECT_EQ(fresh.drcr.system_members("pipe").size(), 2u);
+  // The restored contracts are intact (ports, rates).
+  const ComponentDescriptor* src = fresh.drcr.descriptor_of("src");
+  ASSERT_NE(src, nullptr);
+  EXPECT_EQ(src->outports().size(), 1u);
+  EXPECT_DOUBLE_EQ(src->periodic->frequency_hz, 100.0);
+}
+
+TEST(Snapshot, RoundTripIsStable) {
+  World world;
+  ASSERT_TRUE(world.drcr
+                  .deploy_system(
+                      parse_system_descriptor(kSystemXml).value())
+                  .ok());
+  ASSERT_TRUE(world.drcr.register_component(component("solo")).ok());
+  const std::string first = snapshot_to_xml(world.drcr);
+  World fresh;
+  ASSERT_TRUE(restore_from_xml(fresh.drcr, first).ok());
+  EXPECT_EQ(snapshot_to_xml(fresh.drcr), first);
+}
+
+TEST(Snapshot, RestoreIntoOccupiedRuntimeReportsClashes) {
+  World world;
+  ASSERT_TRUE(world.drcr.register_component(component("solo")).ok());
+  const std::string snapshot = snapshot_to_xml(world.drcr);
+  // Restoring on top of itself: "solo" already exists.
+  auto restored = restore_from_xml(world.drcr, snapshot);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.error().code, "drcom.partial_restore");
+  EXPECT_NE(restored.error().message.find("solo"), std::string::npos);
+}
+
+TEST(Snapshot, GarbageInputRejected) {
+  World world;
+  EXPECT_FALSE(restore_from_xml(world.drcr, "<nope/>").ok());
+  EXPECT_FALSE(restore_from_xml(world.drcr, "not xml").ok());
+}
+
+TEST(Snapshot, EmptyRuntimeSnapshotsAndRestores) {
+  World world;
+  const std::string snapshot = snapshot_to_xml(world.drcr);
+  World fresh;
+  EXPECT_TRUE(restore_from_xml(fresh.drcr, snapshot).ok());
+  EXPECT_TRUE(fresh.drcr.component_names().empty());
+}
+
+// ----------------------------------------------------- kRestart watchdog --
+
+TEST(RestartAction, CrashedComponentComesBackFresh) {
+  World world;
+  int instances = 0;
+  world.drcr.factories().register_factory("snap.Bomb", [&instances] {
+    ++instances;
+    class Bomb : public RtComponent {
+     public:
+      rtos::TaskCoro run(JobContext& job) override {
+        int jobs = 0;
+        while (job.active()) {
+          co_await job.consume(microseconds(10));
+          if (++jobs >= 3) throw std::runtime_error("crash");
+          co_await job.next_cycle();
+        }
+      }
+    };
+    return std::make_unique<Bomb>();
+  });
+  ComponentDescriptor d = component("bomb");
+  d.bincode = "snap.Bomb";
+  ASSERT_TRUE(world.drcr.register_component(std::move(d)).ok());
+
+  AdaptationManager manager(world.drcr,
+                            {milliseconds(50), QosActionKind::kRestart});
+  QosRule rule;
+  rule.detect_failure = true;
+  manager.add_rule(rule);
+  manager.start();
+  world.engine.run_until(seconds(1));
+  // The watchdog kept restarting it: several instances were created and the
+  // component is ACTIVE (the latest incarnation, pre-crash) or mid-cycle.
+  EXPECT_GT(instances, 3);
+  EXPECT_EQ(world.drcr.state_of("bomb").value(), ComponentState::kActive);
+  EXPECT_GT(manager.violations().size(), 2u);
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -1,0 +1,186 @@
+// StartLevel semantics: ordered bring-up/tear-down, deferred starts,
+// per-bundle level moves — and the pattern that matters for RT systems:
+// infrastructure (DRCR, drivers) before applications.
+#include <gtest/gtest.h>
+
+#include "drcom/drcr.hpp"
+#include "osgi/framework.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::osgi {
+namespace {
+
+class LoggingActivator : public BundleActivator {
+ public:
+  LoggingActivator(std::string name, std::vector<std::string>* log)
+      : name_(std::move(name)), log_(log) {}
+  void start(BundleContext&) override { log_->push_back(name_ + ":start"); }
+  void stop(BundleContext&) override { log_->push_back(name_ + ":stop"); }
+
+ private:
+  std::string name_;
+  std::vector<std::string>* log_;
+};
+
+BundleDefinition leveled_bundle(std::string name, int level,
+                                std::vector<std::string>* log) {
+  BundleDefinition definition;
+  definition.manifest.set_symbolic_name(name);
+  definition.start_level = level;
+  definition.activator_factory = [name, log] {
+    return std::make_unique<LoggingActivator>(name, log);
+  };
+  return definition;
+}
+
+TEST(StartLevels, FrameworkStartsAtLevelOne) {
+  Framework framework;
+  EXPECT_EQ(framework.start_level(), 1);
+}
+
+TEST(StartLevels, StartAboveCurrentLevelIsDeferred) {
+  std::vector<std::string> log;
+  Framework framework;
+  auto id = framework.install(leveled_bundle("app", 3, &log));
+  ASSERT_TRUE(framework.start(id.value()).ok());  // marked, not started
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kInstalled);
+  EXPECT_TRUE(framework.get_bundle(id.value())->autostart());
+  EXPECT_TRUE(log.empty());
+  framework.set_start_level(3);
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kActive);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], "app:start");
+}
+
+TEST(StartLevels, RaisingStartsInLevelThenInstallOrder) {
+  std::vector<std::string> log;
+  Framework framework;
+  // Installed out of level order on purpose.
+  auto app2 = framework.install(leveled_bundle("app2", 3, &log));
+  auto infra = framework.install(leveled_bundle("infra", 2, &log));
+  auto app1 = framework.install(leveled_bundle("app1", 3, &log));
+  for (auto id : {app2, infra, app1}) {
+    ASSERT_TRUE(framework.start(id.value()).ok());
+  }
+  framework.set_start_level(5);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "infra:start");  // level 2 first
+  EXPECT_EQ(log[1], "app2:start");   // then level 3 in install order
+  EXPECT_EQ(log[2], "app1:start");
+}
+
+TEST(StartLevels, LoweringStopsReverseOrderAndKeepsMark) {
+  std::vector<std::string> log;
+  Framework framework;
+  auto infra = framework.install(leveled_bundle("infra", 2, &log));
+  auto app = framework.install(leveled_bundle("app", 3, &log));
+  ASSERT_TRUE(framework.start(infra.value()).ok());
+  ASSERT_TRUE(framework.start(app.value()).ok());
+  framework.set_start_level(4);
+  log.clear();
+  framework.set_start_level(1);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "app:stop");    // higher level torn down first
+  EXPECT_EQ(log[1], "infra:stop");
+  // Marks survive: raising again restarts both.
+  log.clear();
+  framework.set_start_level(3);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], "infra:start");
+  EXPECT_EQ(log[1], "app:start");
+}
+
+TEST(StartLevels, ExplicitStopClearsTheMark) {
+  std::vector<std::string> log;
+  Framework framework;
+  auto id = framework.install(leveled_bundle("app", 2, &log));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  framework.set_start_level(2);
+  ASSERT_TRUE(framework.stop(id.value()).ok());
+  log.clear();
+  framework.set_start_level(1);
+  framework.set_start_level(3);
+  EXPECT_TRUE(log.empty());  // stopped bundles stay stopped across cycles
+}
+
+TEST(StartLevels, BundleLevelMoveStartsOrStops) {
+  std::vector<std::string> log;
+  Framework framework;
+  auto id = framework.install(leveled_bundle("app", 1, &log));
+  ASSERT_TRUE(framework.start(id.value()).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kActive);
+  // Move above the active level: stops, mark survives.
+  ASSERT_TRUE(framework.set_bundle_start_level(id.value(), 5).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(),
+            BundleState::kResolved);
+  EXPECT_TRUE(framework.get_bundle(id.value())->autostart());
+  // Move back within reach: starts again.
+  ASSERT_TRUE(framework.set_bundle_start_level(id.value(), 1).ok());
+  EXPECT_EQ(framework.get_bundle(id.value())->state(), BundleState::kActive);
+  EXPECT_FALSE(framework.set_bundle_start_level(id.value(), 0).ok());
+  EXPECT_FALSE(framework.set_bundle_start_level(999, 2).ok());
+}
+
+TEST(StartLevels, FailedStartReportsFrameworkError) {
+  Framework framework;
+  BundleDefinition definition;
+  definition.manifest.set_symbolic_name("broken");
+  definition.start_level = 2;
+  definition.manifest.add_import({"no.such.pkg", VersionRange{}, false});
+  auto id = framework.install(std::move(definition));
+  ASSERT_TRUE(framework.start(id.value()).ok());  // deferred
+  int errors = 0;
+  framework.add_framework_listener([&](const FrameworkEvent& event) {
+    if (event.type == FrameworkEventType::kError) ++errors;
+  });
+  framework.set_start_level(2);  // best-effort: failure reported, not thrown
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(framework.start_level(), 2);
+}
+
+// ------------------------ the RT pattern: DRCR before applications --------
+
+TEST(StartLevels, StagedRtBringUp) {
+  // Components arrive in app bundles at level 3; the operator raises the
+  // level once the level-2 infrastructure is up. Descriptors are only
+  // scanned when their bundle actually starts.
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, rtos::testing::quiet_config());
+  Framework framework;
+  drcom::Drcr drcr(framework, kernel);
+  class Echo : public drcom::RtComponent {
+   public:
+    rtos::TaskCoro run(drcom::JobContext& job) override {
+      while (job.active()) {
+        co_await job.consume(1'000);
+        co_await job.next_cycle();
+      }
+    }
+  };
+  drcr.factories().register_factory(
+      "lvl.Echo", [] { return std::make_unique<Echo>(); });
+
+  drcom::ComponentDescriptor d;
+  d.name = "tick";
+  d.bincode = "lvl.Echo";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.1;
+  d.periodic = drcom::PeriodicSpec{1000.0, 0, 5};
+  BundleDefinition app;
+  app.manifest.set_symbolic_name("rt.app");
+  app.manifest.add_component_resource("DRT-INF/c.xml");
+  app.resources["DRT-INF/c.xml"] = drcom::write_descriptor(d);
+  app.start_level = 3;
+  auto id = framework.install(std::move(app));
+  ASSERT_TRUE(framework.start(id.value()).ok());  // deferred
+  EXPECT_FALSE(drcr.state_of("tick").has_value());
+
+  framework.set_start_level(3);
+  EXPECT_EQ(drcr.state_of("tick").value(), drcom::ComponentState::kActive);
+  framework.set_start_level(1);
+  EXPECT_FALSE(drcr.state_of("tick").has_value());
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,196 @@
+// SubTask<T> sub-coroutines: value propagation, exception propagation,
+// nesting, interaction with kernel awaiters and task deletion.
+#include <gtest/gtest.h>
+
+#include "rtos/kernel.hpp"
+#include "rtos/subtask.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using testing::quiet_config;
+
+TaskParams aperiodic(std::string name) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kAperiodic;
+  return params;
+}
+
+TEST(SubTask, VoidSubtaskRunsInline) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  std::vector<int> order;
+  auto sub = [&](TaskContext& ctx) -> SubTask<> {
+    order.push_back(2);
+    co_await ctx.consume(1'000);
+    order.push_back(3);
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        order.push_back(1);
+        co_await sub(ctx);
+        order.push_back(4);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(SubTask, ValueSubtaskReturnsThroughAwait) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  std::string result;
+  auto sub = [](TaskContext& ctx, int n) -> SubTask<std::string> {
+    co_await ctx.consume(n * 100);
+    co_return "value-" + std::to_string(n);
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        result = co_await sub(ctx, 7);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_EQ(result, "value-7");
+}
+
+TEST(SubTask, TimeAdvancesAcrossNestedAwaits) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime after_inner = -1;
+  SimTime after_outer = -1;
+  auto inner = [](TaskContext& ctx) -> SubTask<> {
+    co_await ctx.consume(microseconds(100));
+    co_await ctx.sleep_for(microseconds(400));
+  };
+  auto middle = [&](TaskContext& ctx) -> SubTask<> {
+    co_await inner(ctx);
+    co_await ctx.consume(microseconds(100));
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        co_await middle(ctx);
+        after_inner = ctx.now();
+        co_await ctx.consume(microseconds(100));
+        after_outer = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(5));
+  EXPECT_EQ(after_inner, microseconds(600));
+  EXPECT_EQ(after_outer, microseconds(700));
+}
+
+TEST(SubTask, DeepNesting) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  int total = 0;
+  // Recursive sub-coroutine chain, 32 deep, each consuming 10us.
+  std::function<SubTask<int>(TaskContext&, int)> chain =
+      [&chain](TaskContext& ctx, int depth) -> SubTask<int> {
+    co_await ctx.consume(microseconds(10));
+    if (depth == 0) co_return 0;
+    co_return 1 + co_await chain(ctx, depth - 1);
+  };
+  SimTime finished = -1;
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        total = co_await chain(ctx, 32);
+        finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(5));
+  EXPECT_EQ(total, 32);
+  EXPECT_EQ(finished, microseconds(330));  // 33 levels x 10us
+}
+
+TEST(SubTask, ExceptionPropagatesToOuterCoroutine) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  bool caught = false;
+  auto sub = [](TaskContext& ctx) -> SubTask<> {
+    co_await ctx.consume(1'000);
+    throw std::runtime_error("inner bang");
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        try {
+          co_await sub(ctx);
+        } catch (const std::runtime_error& e) {
+          caught = std::string(e.what()) == "inner bang";
+        }
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(kernel.find_task(id.value())->error, nullptr);  // handled
+}
+
+TEST(SubTask, UncaughtInnerExceptionBecomesTaskError) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto sub = [](TaskContext& ctx) -> SubTask<int> {
+    co_await ctx.consume(1'000);
+    throw std::runtime_error("unhandled");
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        int v = co_await sub(ctx);
+        (void)v;
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  EXPECT_NE(kernel.find_task(id.value())->error, nullptr);
+}
+
+TEST(SubTask, DeleteTaskWhileSuspendedInsideSubtaskRunsDestructors) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  int destroyed = 0;
+  struct Guard {
+    int* counter;
+    ~Guard() { ++*counter; }
+  };
+  auto sub = [&](TaskContext& ctx) -> SubTask<> {
+    Guard inner{&destroyed};
+    co_await ctx.sleep_for(seconds(100));
+  };
+  auto id = kernel.create_task(
+      aperiodic("t"), [&](TaskContext& ctx) -> TaskCoro {
+        Guard outer{&destroyed};
+        co_await sub(ctx);
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  ASSERT_TRUE(kernel.delete_task(id.value()).ok());
+  // Both coroutine frames (inner first) were destroyed.
+  EXPECT_EQ(destroyed, 2);
+}
+
+TEST(SubTask, PreemptionInsideSubtaskResumesCorrectFrame) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  SimTime sub_finished = -1;
+  auto sub = [&](TaskContext& ctx) -> SubTask<> {
+    co_await ctx.consume(milliseconds(4));
+    sub_finished = ctx.now();
+  };
+  auto low = kernel.create_task(
+      TaskParams{.name = "low", .type = TaskType::kAperiodic, .priority = 5},
+      [&](TaskContext& ctx) -> TaskCoro { co_await sub(ctx); });
+  SimTime high_finished = -1;
+  auto high = kernel.create_task(
+      TaskParams{.name = "high", .type = TaskType::kAperiodic, .priority = 1},
+      [&](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(milliseconds(1));
+        high_finished = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(low.value()).ok());
+  ASSERT_TRUE(kernel.start_task(high.value(), milliseconds(2)).ok());
+  engine.run_until(milliseconds(10));
+  EXPECT_EQ(high_finished, milliseconds(3));
+  EXPECT_EQ(sub_finished, milliseconds(5));  // 4ms demand + 1ms preemption
+}
+
+}  // namespace
+}  // namespace drt::rtos

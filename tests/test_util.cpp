@@ -1,0 +1,241 @@
+// Foundations: Result, statistics (Table-1 columns), strings, RNG, types.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/result.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/types.hpp"
+
+namespace drt {
+namespace {
+
+// ------------------------------------------------------------------ Result
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = make_error("x.code", "boom");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "x.code");
+  EXPECT_EQ(r.error().message, "boom");
+  EXPECT_EQ(r.error().to_string(), "x.code: boom");
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, VoidSpecialization) {
+  Result<void> ok = Result<void>::success();
+  EXPECT_TRUE(ok.ok());
+  Result<void> bad = make_error("x", "y");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, "x");
+}
+
+TEST(Result, TakeMovesValue) {
+  Result<std::string> r = std::string("hello");
+  std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "hello");
+}
+
+// ------------------------------------------------------------------- stats
+
+TEST(Stats, SummaryMatchesTable1Columns) {
+  // AVEDEV is the mean absolute deviation from the mean (the spreadsheet
+  // function the paper used for Table 1).
+  const std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 6.0};
+  const auto s = summarize(samples);
+  EXPECT_DOUBLE_EQ(s.average, 4.0);
+  EXPECT_DOUBLE_EQ(s.avedev, 0.8);  // (2+0+0+0+2)/5
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_EQ(s.count, 5u);
+}
+
+TEST(Stats, EmptySummaryIsZeroed) {
+  const auto s = summarize(std::span<const double>{});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.average, 0.0);
+}
+
+TEST(Stats, NegativeSamplesSupported) {
+  // Latencies in this reproduction are routinely negative (early timer).
+  const std::vector<double> samples = {-21'000.0, -21'500.0, -20'500.0};
+  const auto s = summarize(samples);
+  EXPECT_NEAR(s.average, -21'000.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min, -21'500.0);
+  EXPECT_DOUBLE_EQ(s.max, -20'500.0);
+}
+
+TEST(Stats, SampleSeriesPercentile) {
+  SampleSeries series;
+  for (int i = 1; i <= 100; ++i) series.add(i);
+  EXPECT_DOUBLE_EQ(series.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(series.percentile(100), 100.0);
+  EXPECT_NEAR(series.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(series.percentile(99), 99.01, 0.1);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  RunningStats running;
+  const std::vector<double> samples = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (double s : samples) running.add(s);
+  EXPECT_DOUBLE_EQ(running.mean(), 4.5);
+  EXPECT_DOUBLE_EQ(running.min(), 1.0);
+  EXPECT_DOUBLE_EQ(running.max(), 8.0);
+  EXPECT_NEAR(running.stddev(), 2.29128, 1e-4);  // population stddev
+}
+
+TEST(Stats, HistogramBucketsAndSaturation) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(0.5);   // bucket 0
+  hist.add(9.99);  // bucket 4
+  hist.add(-3.0);  // below range -> bucket 0
+  hist.add(42.0);  // above range -> bucket 4
+  EXPECT_EQ(hist.bucket(0), 2u);
+  EXPECT_EQ(hist.bucket(4), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+  EXPECT_DOUBLE_EQ(hist.bucket_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bucket_hi(1), 4.0);
+  EXPECT_FALSE(hist.render().empty());
+}
+
+// ----------------------------------------------------------------- strings
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(str::trim("  x  "), "x");
+  EXPECT_EQ(str::trim("\t\na b\r "), "a b");
+  EXPECT_EQ(str::trim(""), "");
+  EXPECT_EQ(str::trim("   "), "");
+}
+
+TEST(Strings, SplitKeepsEmptyPieces) {
+  const auto pieces = str::split("a,,b", ',');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "");
+}
+
+TEST(Strings, SplitNonEmptyDropsBlanks) {
+  const auto pieces = str::split_non_empty(" a , , b ,", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(str::to_lower("AbC"), "abc");
+  EXPECT_EQ(str::to_upper("AbC"), "ABC");
+  EXPECT_TRUE(str::iequals("RTAI.SHM", "rtai.shm"));
+  EXPECT_FALSE(str::iequals("a", "ab"));
+}
+
+TEST(Strings, StrictIntParsing) {
+  EXPECT_EQ(str::parse_int("42").value(), 42);
+  EXPECT_EQ(str::parse_int(" -7 ").value(), -7);
+  EXPECT_FALSE(str::parse_int("42x").has_value());
+  EXPECT_FALSE(str::parse_int("").has_value());
+  EXPECT_FALSE(str::parse_int("4.2").has_value());
+}
+
+TEST(Strings, StrictDoubleParsing) {
+  EXPECT_DOUBLE_EQ(str::parse_double("0.1").value(), 0.1);
+  EXPECT_DOUBLE_EQ(str::parse_double("-3e2").value(), -300.0);
+  EXPECT_FALSE(str::parse_double("1.0.0").has_value());
+  EXPECT_FALSE(str::parse_double("abc").has_value());
+}
+
+TEST(Strings, BoolParsing) {
+  EXPECT_TRUE(str::parse_bool("true").value());
+  EXPECT_FALSE(str::parse_bool("FALSE").value());
+  EXPECT_FALSE(str::parse_bool("1").has_value());
+}
+
+TEST(Strings, PrefixSuffixJoin) {
+  EXPECT_TRUE(str::starts_with("drcom.DRCR", "drcom."));
+  EXPECT_TRUE(str::ends_with("a.xml", ".xml"));
+  EXPECT_FALSE(str::starts_with("x", "xy"));
+  EXPECT_EQ(str::join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(str::join({}, ","), "");
+}
+
+// --------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1'000; ++i) {
+    const auto v = rng.uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, NormalHasExpectedMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double stddev = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(stddev, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, ChanceProbabilityConverges) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+// ------------------------------------------------------------------- types
+
+TEST(Types, PeriodFromHz) {
+  EXPECT_EQ(period_from_hz(1000.0), milliseconds(1));
+  EXPECT_EQ(period_from_hz(4.0), milliseconds(250));
+  EXPECT_EQ(period_from_hz(0.0), kSimTimeNever);
+  EXPECT_EQ(period_from_hz(-1.0), kSimTimeNever);
+  EXPECT_EQ(period_from_hz(2e9), 1);  // clamped to 1 ns
+}
+
+TEST(Types, DurationHelpers) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+}
+
+}  // namespace
+}  // namespace drt

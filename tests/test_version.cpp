@@ -1,0 +1,84 @@
+// OSGi version and version-range semantics.
+#include <gtest/gtest.h>
+
+#include "osgi/version.hpp"
+
+namespace drt::osgi {
+namespace {
+
+TEST(Version, ParseForms) {
+  EXPECT_EQ(Version::parse("1").value(), Version(1, 0, 0));
+  EXPECT_EQ(Version::parse("1.2").value(), Version(1, 2, 0));
+  EXPECT_EQ(Version::parse("1.2.3").value(), Version(1, 2, 3));
+  EXPECT_EQ(Version::parse("1.2.3.beta").value(), Version(1, 2, 3, "beta"));
+  EXPECT_EQ(Version::parse(" 2.0 ").value(), Version(2, 0, 0));
+}
+
+TEST(Version, ParseErrors) {
+  EXPECT_FALSE(Version::parse("").ok());
+  EXPECT_FALSE(Version::parse("a.b").ok());
+  EXPECT_FALSE(Version::parse("1.2.3.4.5").ok());
+  EXPECT_FALSE(Version::parse("-1").ok());
+  EXPECT_FALSE(Version::parse("1..2").ok());
+}
+
+TEST(Version, TotalOrder) {
+  EXPECT_LT(Version(1, 0, 0), Version(2, 0, 0));
+  EXPECT_LT(Version(1, 1, 0), Version(1, 2, 0));
+  EXPECT_LT(Version(1, 1, 1), Version(1, 1, 2));
+  EXPECT_LT(Version(1, 0, 0, "alpha"), Version(1, 0, 0, "beta"));
+  EXPECT_LT(Version(1, 0, 0), Version(1, 0, 0, "x"));  // no qualifier first
+  EXPECT_EQ(Version(1, 2, 3), Version(1, 2, 3));
+}
+
+TEST(Version, ToStringRoundTrip) {
+  const Version v(1, 2, 3, "rc1");
+  EXPECT_EQ(v.to_string(), "1.2.3.rc1");
+  EXPECT_EQ(Version::parse(v.to_string()).value(), v);
+  EXPECT_EQ(Version(1, 0, 0).to_string(), "1.0.0");
+}
+
+TEST(VersionRange, BareVersionMeansUnboundedAbove) {
+  auto range = VersionRange::parse("1.5").value();
+  EXPECT_FALSE(range.includes(Version(1, 4, 9)));
+  EXPECT_TRUE(range.includes(Version(1, 5, 0)));
+  EXPECT_TRUE(range.includes(Version(99, 0, 0)));
+}
+
+TEST(VersionRange, ClosedOpenInterval) {
+  auto range = VersionRange::parse("[1.0,2.0)").value();
+  EXPECT_TRUE(range.includes(Version(1, 0, 0)));
+  EXPECT_TRUE(range.includes(Version(1, 9, 9)));
+  EXPECT_FALSE(range.includes(Version(2, 0, 0)));
+  EXPECT_FALSE(range.includes(Version(0, 9, 9)));
+}
+
+TEST(VersionRange, OpenClosedInterval) {
+  auto range = VersionRange::parse("(1.0,2.0]").value();
+  EXPECT_FALSE(range.includes(Version(1, 0, 0)));
+  EXPECT_TRUE(range.includes(Version(1, 0, 1)));
+  EXPECT_TRUE(range.includes(Version(2, 0, 0)));
+}
+
+TEST(VersionRange, DefaultMatchesEverything) {
+  const VersionRange range;
+  EXPECT_TRUE(range.includes(Version(0, 0, 0)));
+  EXPECT_TRUE(range.includes(Version(100, 0, 0)));
+}
+
+TEST(VersionRange, ParseErrors) {
+  EXPECT_FALSE(VersionRange::parse("").ok());
+  EXPECT_FALSE(VersionRange::parse("[1.0").ok());
+  EXPECT_FALSE(VersionRange::parse("[1.0]").ok());
+  EXPECT_FALSE(VersionRange::parse("[2.0,1.0)").ok());
+  EXPECT_FALSE(VersionRange::parse("[a,b]").ok());
+}
+
+TEST(VersionRange, ToString) {
+  EXPECT_EQ(VersionRange::parse("[1.0,2.0)").value().to_string(),
+            "[1.0.0,2.0.0)");
+  EXPECT_EQ(VersionRange::parse("1.5").value().to_string(), "1.5.0");
+}
+
+}  // namespace
+}  // namespace drt::osgi

@@ -1,0 +1,140 @@
+// Property tests for the XML layer: randomized documents survive a
+// write→parse round trip structurally intact; escaping is total.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace drt::xml {
+namespace {
+
+std::string random_name(Rng& rng) {
+  static const char* names[] = {"component", "port",  "task", "prop",
+                                "drt:item",  "a",     "b2",   "x-y",
+                                "ns:deep",   "under_score"};
+  return names[rng.uniform(0, 9)];
+}
+
+std::string random_text(Rng& rng) {
+  std::string out;
+  const auto length = rng.uniform(0, 24);
+  for (std::int64_t i = 0; i < length; ++i) {
+    // Bias towards the characters that must be escaped.
+    static const char alphabet[] = "abc <>&\"' xyz=.;/\\!?";
+    out += alphabet[rng.uniform(0, sizeof(alphabet) - 2)];
+  }
+  return out;
+}
+
+void build_random_tree(Rng& rng, Element& element, int depth) {
+  const auto attribute_count = rng.uniform(0, 3);
+  for (std::int64_t i = 0; i < attribute_count; ++i) {
+    element.set_attribute("a" + std::to_string(i), random_text(rng));
+  }
+  if (depth <= 0) return;
+  const auto child_count = rng.uniform(0, 3);
+  for (std::int64_t i = 0; i < child_count; ++i) {
+    if (rng.chance(0.3)) {
+      element.append_text(random_text(rng));
+    } else {
+      auto& child = element.append_child(random_name(rng));
+      build_random_tree(rng, child, depth - 1);
+    }
+  }
+}
+
+/// Structural equality modulo whitespace-only text nodes (the pretty
+/// printer adds indentation).
+void expect_equivalent(const Element& a, const Element& b) {
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.attributes.size(), b.attributes.size());
+  for (const auto& attr : a.attributes) {
+    ASSERT_TRUE(b.attribute(attr.name).has_value()) << attr.name;
+    EXPECT_EQ(b.attribute(attr.name).value(), attr.value);
+  }
+  const auto a_children = a.child_elements();
+  const auto b_children = b.child_elements();
+  ASSERT_EQ(a_children.size(), b_children.size());
+  for (std::size_t i = 0; i < a_children.size(); ++i) {
+    expect_equivalent(*a_children[i], *b_children[i]);
+  }
+  // Text content survives modulo surrounding whitespace per node.
+  auto normalize = [](std::string text) {
+    std::string out;
+    for (char c : text) {
+      if (c != '\n') out += c;
+    }
+    while (!out.empty() && out.front() == ' ') out.erase(out.begin());
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    return out;
+  };
+  EXPECT_EQ(normalize(a.text()), normalize(b.text()));
+}
+
+class XmlRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XmlRoundTrip, RandomTreeSurvivesWriteParse) {
+  Rng rng(GetParam());
+  Element root;
+  root.name = "root";
+  build_random_tree(rng, root, 4);
+  WriteOptions options;
+  options.pretty = false;  // exact text preservation
+  options.include_declaration = false;
+  const std::string serialized = write(root, options);
+  auto reparsed = parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string() << "\n"
+                             << serialized;
+  expect_equivalent(root, *reparsed.value().root);
+}
+
+TEST_P(XmlRoundTrip, DoubleRoundTripIsIdempotent) {
+  Rng rng(GetParam() ^ 0xD00D);
+  Element root;
+  root.name = "root";
+  build_random_tree(rng, root, 3);
+  WriteOptions options;
+  options.pretty = false;
+  options.include_declaration = false;
+  const std::string once = write(root, options);
+  auto reparsed = parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  const std::string twice = write(*reparsed.value().root, options);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           9u, 10u, 11u, 12u));
+
+TEST(XmlEscaping, EveryAsciiByteRoundTripsInAttribute) {
+  Element root;
+  root.name = "r";
+  std::string hostile;
+  for (int c = 0x20; c < 0x7F; ++c) hostile += static_cast<char>(c);
+  root.set_attribute("v", hostile);
+  WriteOptions options;
+  options.pretty = false;
+  options.include_declaration = false;
+  auto reparsed = parse(write(root, options));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed.value().root->attribute("v").value(), hostile);
+}
+
+TEST(XmlEscaping, EveryAsciiByteRoundTripsInText) {
+  Element root;
+  root.name = "r";
+  std::string hostile;
+  for (int c = 0x20; c < 0x7F; ++c) hostile += static_cast<char>(c);
+  root.append_text(hostile);
+  WriteOptions options;
+  options.pretty = false;
+  options.include_declaration = false;
+  auto reparsed = parse(write(root, options));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error().to_string();
+  EXPECT_EQ(reparsed.value().root->text(), hostile);
+}
+
+}  // namespace
+}  // namespace drt::xml
