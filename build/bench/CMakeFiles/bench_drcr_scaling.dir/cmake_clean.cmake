@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drcr_scaling.dir/bench_drcr_scaling.cpp.o"
+  "CMakeFiles/bench_drcr_scaling.dir/bench_drcr_scaling.cpp.o.d"
+  "bench_drcr_scaling"
+  "bench_drcr_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drcr_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_intra_comm.dir/bench_intra_comm.cpp.o"
+  "CMakeFiles/bench_intra_comm.dir/bench_intra_comm.cpp.o.d"
+  "bench_intra_comm"
+  "bench_intra_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_intra_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_latency_histogram.cpp" "bench/CMakeFiles/bench_latency_histogram.dir/bench_latency_histogram.cpp.o" "gcc" "bench/CMakeFiles/bench_latency_histogram.dir/bench_latency_histogram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/drcom/CMakeFiles/drt_drcom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/drt_rtos.dir/DependInfo.cmake"
+  "/root/repo/build/src/osgi/CMakeFiles/drt_osgi.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/drt_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/drt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_histogram.dir/bench_latency_histogram.cpp.o"
+  "CMakeFiles/bench_latency_histogram.dir/bench_latency_histogram.cpp.o.d"
+  "bench_latency_histogram"
+  "bench_latency_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

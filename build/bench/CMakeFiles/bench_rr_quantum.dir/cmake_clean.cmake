@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rr_quantum.dir/bench_rr_quantum.cpp.o"
+  "CMakeFiles/bench_rr_quantum.dir/bench_rr_quantum.cpp.o.d"
+  "bench_rr_quantum"
+  "bench_rr_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rr_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

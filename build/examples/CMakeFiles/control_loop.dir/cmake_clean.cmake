@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/control_loop.dir/control_loop.cpp.o"
+  "CMakeFiles/control_loop.dir/control_loop.cpp.o.d"
+  "control_loop"
+  "control_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/control_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

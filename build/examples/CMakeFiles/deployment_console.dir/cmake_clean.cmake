@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_console.dir/deployment_console.cpp.o"
+  "CMakeFiles/deployment_console.dir/deployment_console.cpp.o.d"
+  "deployment_console"
+  "deployment_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

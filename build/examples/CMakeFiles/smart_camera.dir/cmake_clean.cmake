@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_camera.dir/smart_camera.cpp.o"
+  "CMakeFiles/smart_camera.dir/smart_camera.cpp.o.d"
+  "smart_camera"
+  "smart_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drcom/adaptation.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/adaptation.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/adaptation.cpp.o.d"
+  "/root/repo/src/drcom/descriptor.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/descriptor.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/descriptor.cpp.o.d"
+  "/root/repo/src/drcom/drcr.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/drcr.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/drcr.cpp.o.d"
+  "/root/repo/src/drcom/hybrid.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/hybrid.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/hybrid.cpp.o.d"
+  "/root/repo/src/drcom/resolver.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/resolver.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/resolver.cpp.o.d"
+  "/root/repo/src/drcom/snapshot.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/snapshot.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/snapshot.cpp.o.d"
+  "/root/repo/src/drcom/system_descriptor.cpp" "src/drcom/CMakeFiles/drt_drcom.dir/system_descriptor.cpp.o" "gcc" "src/drcom/CMakeFiles/drt_drcom.dir/system_descriptor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/drt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/drt_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/osgi/CMakeFiles/drt_osgi.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtos/CMakeFiles/drt_rtos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

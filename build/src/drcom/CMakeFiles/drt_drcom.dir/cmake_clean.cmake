@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drt_drcom.dir/adaptation.cpp.o"
+  "CMakeFiles/drt_drcom.dir/adaptation.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/descriptor.cpp.o"
+  "CMakeFiles/drt_drcom.dir/descriptor.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/drcr.cpp.o"
+  "CMakeFiles/drt_drcom.dir/drcr.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/hybrid.cpp.o"
+  "CMakeFiles/drt_drcom.dir/hybrid.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/resolver.cpp.o"
+  "CMakeFiles/drt_drcom.dir/resolver.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/snapshot.cpp.o"
+  "CMakeFiles/drt_drcom.dir/snapshot.cpp.o.d"
+  "CMakeFiles/drt_drcom.dir/system_descriptor.cpp.o"
+  "CMakeFiles/drt_drcom.dir/system_descriptor.cpp.o.d"
+  "libdrt_drcom.a"
+  "libdrt_drcom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drt_drcom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrt_drcom.a"
+)

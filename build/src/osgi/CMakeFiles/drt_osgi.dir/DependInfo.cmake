@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/osgi/bundle.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/bundle.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/bundle.cpp.o.d"
+  "/root/repo/src/osgi/event_admin.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/event_admin.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/event_admin.cpp.o.d"
+  "/root/repo/src/osgi/framework.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/framework.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/framework.cpp.o.d"
+  "/root/repo/src/osgi/ldap_filter.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/ldap_filter.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/ldap_filter.cpp.o.d"
+  "/root/repo/src/osgi/manifest.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/manifest.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/manifest.cpp.o.d"
+  "/root/repo/src/osgi/properties.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/properties.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/properties.cpp.o.d"
+  "/root/repo/src/osgi/service_registry.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/service_registry.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/service_registry.cpp.o.d"
+  "/root/repo/src/osgi/service_tracker.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/service_tracker.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/service_tracker.cpp.o.d"
+  "/root/repo/src/osgi/version.cpp" "src/osgi/CMakeFiles/drt_osgi.dir/version.cpp.o" "gcc" "src/osgi/CMakeFiles/drt_osgi.dir/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/drt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

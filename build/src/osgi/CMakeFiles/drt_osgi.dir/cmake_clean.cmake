@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drt_osgi.dir/bundle.cpp.o"
+  "CMakeFiles/drt_osgi.dir/bundle.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/event_admin.cpp.o"
+  "CMakeFiles/drt_osgi.dir/event_admin.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/framework.cpp.o"
+  "CMakeFiles/drt_osgi.dir/framework.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/ldap_filter.cpp.o"
+  "CMakeFiles/drt_osgi.dir/ldap_filter.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/manifest.cpp.o"
+  "CMakeFiles/drt_osgi.dir/manifest.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/properties.cpp.o"
+  "CMakeFiles/drt_osgi.dir/properties.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/service_registry.cpp.o"
+  "CMakeFiles/drt_osgi.dir/service_registry.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/service_tracker.cpp.o"
+  "CMakeFiles/drt_osgi.dir/service_tracker.cpp.o.d"
+  "CMakeFiles/drt_osgi.dir/version.cpp.o"
+  "CMakeFiles/drt_osgi.dir/version.cpp.o.d"
+  "libdrt_osgi.a"
+  "libdrt_osgi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drt_osgi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for drt_osgi.
+# This may be replaced when dependencies are built.

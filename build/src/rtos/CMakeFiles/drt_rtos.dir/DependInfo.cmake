@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtos/ipc.cpp" "src/rtos/CMakeFiles/drt_rtos.dir/ipc.cpp.o" "gcc" "src/rtos/CMakeFiles/drt_rtos.dir/ipc.cpp.o.d"
+  "/root/repo/src/rtos/kernel.cpp" "src/rtos/CMakeFiles/drt_rtos.dir/kernel.cpp.o" "gcc" "src/rtos/CMakeFiles/drt_rtos.dir/kernel.cpp.o.d"
+  "/root/repo/src/rtos/latency_model.cpp" "src/rtos/CMakeFiles/drt_rtos.dir/latency_model.cpp.o" "gcc" "src/rtos/CMakeFiles/drt_rtos.dir/latency_model.cpp.o.d"
+  "/root/repo/src/rtos/load.cpp" "src/rtos/CMakeFiles/drt_rtos.dir/load.cpp.o" "gcc" "src/rtos/CMakeFiles/drt_rtos.dir/load.cpp.o.d"
+  "/root/repo/src/rtos/sim_engine.cpp" "src/rtos/CMakeFiles/drt_rtos.dir/sim_engine.cpp.o" "gcc" "src/rtos/CMakeFiles/drt_rtos.dir/sim_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/drt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drt_rtos.dir/ipc.cpp.o"
+  "CMakeFiles/drt_rtos.dir/ipc.cpp.o.d"
+  "CMakeFiles/drt_rtos.dir/kernel.cpp.o"
+  "CMakeFiles/drt_rtos.dir/kernel.cpp.o.d"
+  "CMakeFiles/drt_rtos.dir/latency_model.cpp.o"
+  "CMakeFiles/drt_rtos.dir/latency_model.cpp.o.d"
+  "CMakeFiles/drt_rtos.dir/load.cpp.o"
+  "CMakeFiles/drt_rtos.dir/load.cpp.o.d"
+  "CMakeFiles/drt_rtos.dir/sim_engine.cpp.o"
+  "CMakeFiles/drt_rtos.dir/sim_engine.cpp.o.d"
+  "libdrt_rtos.a"
+  "libdrt_rtos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drt_rtos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

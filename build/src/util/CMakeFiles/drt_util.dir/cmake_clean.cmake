@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drt_util.dir/logging.cpp.o"
+  "CMakeFiles/drt_util.dir/logging.cpp.o.d"
+  "CMakeFiles/drt_util.dir/stats.cpp.o"
+  "CMakeFiles/drt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/drt_util.dir/strings.cpp.o"
+  "CMakeFiles/drt_util.dir/strings.cpp.o.d"
+  "libdrt_util.a"
+  "libdrt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

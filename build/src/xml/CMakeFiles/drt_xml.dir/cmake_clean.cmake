@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drt_xml.dir/dom.cpp.o"
+  "CMakeFiles/drt_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/drt_xml.dir/parser.cpp.o"
+  "CMakeFiles/drt_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/drt_xml.dir/writer.cpp.o"
+  "CMakeFiles/drt_xml.dir/writer.cpp.o.d"
+  "libdrt_xml.a"
+  "libdrt_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drt_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

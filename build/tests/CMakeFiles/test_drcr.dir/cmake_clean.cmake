@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drcr.dir/test_drcr.cpp.o"
+  "CMakeFiles/test_drcr.dir/test_drcr.cpp.o.d"
+  "test_drcr"
+  "test_drcr.pdb"
+  "test_drcr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_drcr.
+# This may be replaced when dependencies are built.

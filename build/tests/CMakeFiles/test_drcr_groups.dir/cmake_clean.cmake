@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drcr_groups.dir/test_drcr_groups.cpp.o"
+  "CMakeFiles/test_drcr_groups.dir/test_drcr_groups.cpp.o.d"
+  "test_drcr_groups"
+  "test_drcr_groups.pdb"
+  "test_drcr_groups[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drcr_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

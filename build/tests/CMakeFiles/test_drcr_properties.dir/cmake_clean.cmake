@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drcr_properties.dir/test_drcr_properties.cpp.o"
+  "CMakeFiles/test_drcr_properties.dir/test_drcr_properties.cpp.o.d"
+  "test_drcr_properties"
+  "test_drcr_properties.pdb"
+  "test_drcr_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drcr_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

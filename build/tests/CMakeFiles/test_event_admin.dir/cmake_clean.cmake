@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_admin.dir/test_event_admin.cpp.o"
+  "CMakeFiles/test_event_admin.dir/test_event_admin.cpp.o.d"
+  "test_event_admin"
+  "test_event_admin.pdb"
+  "test_event_admin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_admin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_periodic.dir/test_kernel_periodic.cpp.o"
+  "CMakeFiles/test_kernel_periodic.dir/test_kernel_periodic.cpp.o.d"
+  "test_kernel_periodic"
+  "test_kernel_periodic.pdb"
+  "test_kernel_periodic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_periodic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ldap_filter.dir/test_ldap_filter.cpp.o"
+  "CMakeFiles/test_ldap_filter.dir/test_ldap_filter.cpp.o.d"
+  "test_ldap_filter"
+  "test_ldap_filter.pdb"
+  "test_ldap_filter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ldap_filter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logging_trace.dir/test_logging_trace.cpp.o"
+  "CMakeFiles/test_logging_trace.dir/test_logging_trace.cpp.o.d"
+  "test_logging_trace"
+  "test_logging_trace.pdb"
+  "test_logging_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logging_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mailbox_ports.dir/test_mailbox_ports.cpp.o"
+  "CMakeFiles/test_mailbox_ports.dir/test_mailbox_ports.cpp.o.d"
+  "test_mailbox_ports"
+  "test_mailbox_ports.pdb"
+  "test_mailbox_ports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mailbox_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rta.dir/test_rta.cpp.o"
+  "CMakeFiles/test_rta.dir/test_rta.cpp.o.d"
+  "test_rta"
+  "test_rta.pdb"
+  "test_rta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_semaphore.dir/test_semaphore.cpp.o"
+  "CMakeFiles/test_semaphore.dir/test_semaphore.cpp.o.d"
+  "test_semaphore"
+  "test_semaphore.pdb"
+  "test_semaphore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_semaphore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_service_registry.dir/test_service_registry.cpp.o"
+  "CMakeFiles/test_service_registry.dir/test_service_registry.cpp.o.d"
+  "test_service_registry"
+  "test_service_registry.pdb"
+  "test_service_registry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_service_registry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sporadic.dir/test_sporadic.cpp.o"
+  "CMakeFiles/test_sporadic.dir/test_sporadic.cpp.o.d"
+  "test_sporadic"
+  "test_sporadic.pdb"
+  "test_sporadic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sporadic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_subtask.dir/test_subtask.cpp.o"
+  "CMakeFiles/test_subtask.dir/test_subtask.cpp.o.d"
+  "test_subtask"
+  "test_subtask.pdb"
+  "test_subtask[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_subtask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_descriptor.dir/test_system_descriptor.cpp.o"
+  "CMakeFiles/test_system_descriptor.dir/test_system_descriptor.cpp.o.d"
+  "test_system_descriptor"
+  "test_system_descriptor.pdb"
+  "test_system_descriptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_descriptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

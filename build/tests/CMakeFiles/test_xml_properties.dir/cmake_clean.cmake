@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xml_properties.dir/test_xml_properties.cpp.o"
+  "CMakeFiles/test_xml_properties.dir/test_xml_properties.cpp.o.d"
+  "test_xml_properties"
+  "test_xml_properties.pdb"
+  "test_xml_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xml_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
