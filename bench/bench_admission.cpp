@@ -103,9 +103,10 @@ void print_result(const char* policy, const PolicyResult& result) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::printf(
       "Ablation A5 — admission policies under rising offered load\n"
       "(random periodic components, 1 CPU, 10 simulated s per cell)\n\n");

@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "drcom/drcr.hpp"
 #include "rtos/kernel.hpp"
@@ -161,16 +163,130 @@ struct PureRtaiSystem {
 // Reporting
 // ---------------------------------------------------------------------------
 
+/// Machine-readable mirror of the printed tables. When enabled via the
+/// `--json <path>` flag (see parse_bench_args), every print_table_row call
+/// is also recorded and the collected rows are written as a JSON document —
+/// one object per row with the table's AVERAGE/AVEDEV/MIN/MAX/N — so the
+/// perf trajectory of each bench can be tracked across PRs.
+class JsonReport {
+ public:
+  static JsonReport& instance() {
+    static JsonReport report;
+    return report;
+  }
+
+  void enable(std::string bench_name, std::string path) {
+    bench_name_ = std::move(bench_name);
+    path_ = std::move(path);
+  }
+  [[nodiscard]] bool enabled() const { return !path_.empty(); }
+
+  void add(const std::string& table, const std::string& label,
+           const StatSummary& s) {
+    if (!enabled()) return;
+    rows_.push_back({table, label, s});
+  }
+
+  /// Writes the document. Called automatically at destruction (program
+  /// exit), so benches need no explicit teardown.
+  void flush() {
+    if (!enabled() || flushed_) return;
+    std::FILE* out = std::fopen(path_.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench: cannot write JSON to '%s'\n",
+                   path_.c_str());
+      return;
+    }
+    std::fprintf(out, "{\n  \"bench\": \"%s\",\n  \"rows\": [",
+                 escaped(bench_name_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(out,
+                   "%s\n    {\"table\": \"%s\", \"label\": \"%s\", "
+                   "\"average\": %.6f, \"avedev\": %.6f, \"min\": %.6f, "
+                   "\"max\": %.6f, \"n\": %zu}",
+                   i == 0 ? "" : ",", escaped(row.table).c_str(),
+                   escaped(row.label).c_str(), row.summary.average,
+                   row.summary.avedev, row.summary.min, row.summary.max,
+                   row.summary.count);
+    }
+    std::fprintf(out, "\n  ]\n}\n");
+    std::fclose(out);
+    flushed_ = true;
+  }
+
+  ~JsonReport() { flush(); }
+
+ private:
+  struct Row {
+    std::string table;
+    std::string label;
+    StatSummary summary;
+  };
+
+  static std::string escaped(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) {
+        out += ' ';
+        continue;
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Row> rows_;
+  bool flushed_ = false;
+};
+
+/// Handles the flags shared by every table bench: `--json <path>` and
+/// `--json=<path>` enable the machine-readable report. Unknown flags are
+/// left for the bench's own parsing (e.g. --seed=). The bench name recorded
+/// in the JSON is argv[0]'s basename.
+inline void parse_bench_args(int argc, char** argv) {
+  std::string name = argc > 0 ? argv[0] : "bench";
+  if (const auto slash = name.find_last_of('/'); slash != std::string::npos) {
+    name.erase(0, slash + 1);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      JsonReport::instance().enable(name, argv[i] + 7);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      if (i + 1 < argc) {
+        JsonReport::instance().enable(name, argv[i + 1]);
+        ++i;
+      } else {
+        std::fprintf(stderr, "bench: --json requires a path argument\n");
+      }
+    }
+  }
+}
+
+namespace detail {
+/// Title of the table currently being printed (recorded into JSON rows).
+inline std::string& current_table() {
+  static std::string table;
+  return table;
+}
+}  // namespace detail
+
 inline void print_table_header(const char* title, const char* note) {
   std::printf("\n%s\n", title);
   if (note != nullptr && note[0] != '\0') std::printf("%s\n", note);
   std::printf("%-22s %12s %12s %12s %12s %10s\n", "", "AVERAGE", "AVEDEV",
               "MIN", "MAX", "N");
+  detail::current_table() = title;
 }
 
 inline void print_table_row(const std::string& label, const StatSummary& s) {
   std::printf("%-22s %12.2f %12.2f %12.0f %12.0f %10zu\n", label.c_str(),
               s.average, s.avedev, s.min, s.max, s.count);
+  JsonReport::instance().add(detail::current_table(), label, s);
 }
 
 }  // namespace drt::bench

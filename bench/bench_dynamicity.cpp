@@ -37,9 +37,10 @@ double host_us(std::chrono::steady_clock::time_point begin) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
 
   HrcSystem system(/*stress=*/false, /*seed=*/42);
 

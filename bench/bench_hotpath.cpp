@@ -1,0 +1,195 @@
+// Microbenchmarks for the three hot dispatch paths (host wall-clock, ns/op):
+//
+//   1. SimEngine event queue — steady-state schedule+fire churn and
+//      schedule+cancel pairs with 1000 events pending.
+//   2. RtKernel dispatch — one CPU serving N equal-priority round-robin
+//      tasks (N = 10/100/1000 ready), ns per fired event. This is the path
+//      every consume()/slice/preemption decision takes.
+//   3. ServiceRegistry lookup — get_references/get_reference against a
+//      10- and 1000-service registry, the DRCR resolver-consultation path.
+//
+// Rows report ns/op over kSamples repetitions, so AVEDEV/MIN/MAX expose
+// host noise. Virtual-time determinism is NOT measured here (that is
+// bench_table1_latency's job); this bench tracks how fast the machinery
+// itself runs. Use --json <path> to record the trajectory across PRs.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "osgi/service_registry.hpp"
+#include "rtos/sim_engine.hpp"
+
+namespace drt::bench {
+namespace {
+
+constexpr int kSamples = 7;
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           start)
+          .count());
+}
+
+/// ns per schedule+fire pair at a steady backlog of `pending` events.
+StatSummary event_churn(std::size_t pending, std::size_t ops) {
+  SampleSeries samples;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    rtos::SimEngine engine;
+    std::size_t fired = 0;
+    // Self-replenishing events: each firing schedules its replacement one
+    // horizon ahead, so the heap stays at `pending` entries.
+    std::function<void()> tick = [&engine, &fired, &tick] {
+      ++fired;
+      engine.schedule_after(milliseconds(1), tick);
+    };
+    for (std::size_t i = 0; i < pending; ++i) {
+      engine.schedule_after(1 + static_cast<SimDuration>(i), tick);
+    }
+    const auto start = Clock::now();
+    engine.run_to_completion(ops);
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+    (void)fired;
+  }
+  return samples.summary();
+}
+
+/// ns per schedule+cancel pair at a steady backlog of `pending` events.
+StatSummary event_cancel(std::size_t pending, std::size_t ops) {
+  SampleSeries samples;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    rtos::SimEngine engine;
+    for (std::size_t i = 0; i < pending; ++i) {
+      engine.schedule_after(static_cast<SimDuration>(i + 1), [] {});
+    }
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      const rtos::EventId id = engine.schedule_after(
+          static_cast<SimDuration>(pending + i % 97), [] {});
+      engine.cancel(id);
+    }
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+  }
+  return samples.summary();
+}
+
+/// ns per fired kernel event with `tasks` equal-priority RR tasks ready on
+/// one CPU, each task an endless chain of small consume() demands.
+StatSummary dispatch_storm(std::size_t tasks, SimDuration horizon) {
+  SampleSeries samples;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    rtos::SimEngine engine;
+    rtos::KernelConfig config;
+    config.cpus = 1;
+    config.seed = 42 + static_cast<std::uint64_t>(rep);
+    rtos::RtKernel kernel(engine, config);
+    for (std::size_t i = 0; i < tasks; ++i) {
+      rtos::TaskParams params;
+      params.name = "t" + std::to_string(i);
+      params.type = rtos::TaskType::kAperiodic;
+      params.priority = 5;
+      params.cpu = 0;
+      const TaskId id =
+          kernel
+              .create_task(params,
+                           [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                             while (!ctx.stop_requested()) {
+                               co_await ctx.consume(microseconds(2));
+                             }
+                           })
+              .value_or(0);
+      (void)kernel.start_task(id);
+    }
+    // Warm up so every task has been dispatched at least once.
+    engine.run_until(milliseconds(2));
+    const SimTime end = engine.now() + horizon;
+    const auto start = Clock::now();
+    const std::size_t fired = engine.run_until(end);
+    samples.add(elapsed_ns(start) / static_cast<double>(fired));
+  }
+  return samples.summary();
+}
+
+std::shared_ptr<int> dummy_service() { return std::make_shared<int>(0); }
+
+/// Registry with `count` services spread over 10 interfaces, ranked so the
+/// best match sits mid-registration-order (the sort cannot be skipped).
+void fill_registry(osgi::ServiceRegistry& registry, std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    osgi::Properties props;
+    props.set("service.ranking",
+              static_cast<std::int64_t>((i * 7) % 23));
+    props.set("component.name", "c" + std::to_string(i));
+    registry.register_service(
+        1, {"svc.i" + std::to_string(i % 10)}, dummy_service(),
+        std::move(props));
+  }
+}
+
+/// ns per get_references() call on a populated registry.
+StatSummary registry_lookup(std::size_t count, std::size_t ops) {
+  SampleSeries samples;
+  osgi::ServiceRegistry registry;
+  fill_registry(registry, count);
+  for (int rep = 0; rep < kSamples; ++rep) {
+    std::size_t total = 0;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      total += registry.get_references("svc.i3").size();
+    }
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+    (void)total;
+  }
+  return samples.summary();
+}
+
+/// ns per get_reference() (best-match) call on a populated registry.
+StatSummary registry_best(std::size_t count, std::size_t ops) {
+  SampleSeries samples;
+  osgi::ServiceRegistry registry;
+  fill_registry(registry, count);
+  for (int rep = 0; rep < kSamples; ++rep) {
+    std::size_t hits = 0;
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      hits += registry.get_reference("svc.i3").has_value() ? 1 : 0;
+    }
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+    (void)hits;
+  }
+  return samples.summary();
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main(int argc, char** argv) {
+  using namespace drt;
+  using namespace drt::bench;
+  parse_bench_args(argc, argv);
+
+  std::printf(
+      "Hot-path microbenchmarks (host wall-clock, ns/op; %d samples/row)\n",
+      kSamples);
+
+  print_table_header("Event queue (ns/op)", "");
+  print_table_row("sched+fire @1000", event_churn(1000, 200'000));
+  print_table_row("sched+cancel @1000", event_cancel(1000, 200'000));
+
+  print_table_header("Kernel dispatch (ns/event)",
+                     "one CPU, equal-priority RR consume() storm");
+  print_table_row("dispatch @10", dispatch_storm(10, milliseconds(40)));
+  print_table_row("dispatch @100", dispatch_storm(100, milliseconds(40)));
+  print_table_row("dispatch @1000", dispatch_storm(1000, milliseconds(40)));
+
+  print_table_header("Service registry (ns/call)",
+                     "10 interfaces, ranked entries");
+  print_table_row("get_references @10", registry_lookup(10, 200'000));
+  print_table_row("get_references @1000", registry_lookup(1000, 20'000));
+  print_table_row("get_reference @10", registry_best(10, 200'000));
+  print_table_row("get_reference @1000", registry_best(1000, 20'000));
+  return 0;
+}

@@ -179,9 +179,10 @@ PipeResult run_registry_routed(std::uint64_t seed) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::printf(
       "Ablation A2 — inter-component communication path (1000 Hz stream, "
       "10 simulated s)\n\n");

@@ -124,9 +124,10 @@ VariantResult run_sync(SimDuration command_period, std::uint64_t seed) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::printf(
       "Ablation A1 — intra-component management channel (10 simulated s, "
       "1000 Hz task, expected completions ~10000)\n\n");

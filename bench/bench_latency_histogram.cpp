@@ -29,9 +29,10 @@ Histogram run_histogram(bool stress, std::uint64_t seed) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::printf(
       "Scheduling-latency distribution (1000 Hz HRC calculation task,\n"
       "%llds simulated per mode, 1us buckets, ns on the left axis)\n",

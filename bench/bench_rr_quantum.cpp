@@ -80,9 +80,10 @@ QuantumResult run(SimDuration quantum, std::uint64_t seed) {
 }  // namespace
 }  // namespace drt::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::printf(
       "Ablation A6 — round-robin quantum sweep (two 2s equal-priority batch "
       "jobs + 1 kHz RT task, one CPU)\n\n");

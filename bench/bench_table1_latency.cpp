@@ -82,6 +82,7 @@ bool check_shape(const StatSummary& hrc_light, const StatSummary& pure_light,
 int main(int argc, char** argv) {
   using namespace drt;
   using namespace drt::bench;
+  parse_bench_args(argc, argv);
   std::uint64_t seed = 42;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {

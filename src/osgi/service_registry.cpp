@@ -9,6 +9,26 @@ namespace drt::osgi {
 namespace {
 const Properties kEmptyProperties;
 const std::vector<std::string> kNoInterfaces;
+
+/// The OSGi ordering rule: highest ranking first, ties broken by lowest
+/// service id. Ids are unique, so this is a strict weak order with no equal
+/// elements — lower_bound yields the unique insertion point.
+bool ranks_before(const std::shared_ptr<detail::ServiceEntry>& a,
+                  const std::shared_ptr<detail::ServiceEntry>& b) {
+  if (a->ranking != b->ranking) return a->ranking > b->ranking;
+  return a->id < b->id;
+}
+
+void insert_sorted(std::vector<std::shared_ptr<detail::ServiceEntry>>& pool,
+                   const std::shared_ptr<detail::ServiceEntry>& entry) {
+  pool.insert(std::lower_bound(pool.begin(), pool.end(), entry, ranks_before),
+              entry);
+}
+
+void erase_entry(std::vector<std::shared_ptr<detail::ServiceEntry>>& pool,
+                 const std::shared_ptr<detail::ServiceEntry>& entry) {
+  pool.erase(std::remove(pool.begin(), pool.end(), entry), pool.end());
+}
 }  // namespace
 
 const Properties& ServiceReference::properties() const {
@@ -20,8 +40,7 @@ const std::vector<std::string>& ServiceReference::interfaces() const {
 }
 
 std::int64_t ServiceReference::ranking() const {
-  if (!entry_) return 0;
-  return entry_->properties.get_int("service.ranking").value_or(0);
+  return entry_ ? entry_->ranking : 0;
 }
 
 void ServiceRegistration::set_properties(Properties properties) {
@@ -50,7 +69,9 @@ ServiceRegistration ServiceRegistry::register_service(
                         static_cast<std::int64_t>(entry->id));
   entry->properties.set("service.bundleid",
                         static_cast<std::int64_t>(owner));
+  entry->ranking = entry->properties.get_int("service.ranking").value_or(0);
   entries_.push_back(entry);
+  index_entry(entry);
   log::Line(log::Level::kDebug, "osgi.registry")
       << "registered service #" << entry->id << " "
       << entry->properties.to_string();
@@ -58,38 +79,41 @@ ServiceRegistration ServiceRegistry::register_service(
   return ServiceRegistration{entry, this};
 }
 
+const std::vector<ServiceRegistry::EntryPtr>* ServiceRegistry::pool_for(
+    std::string_view interface_name) const {
+  if (interface_name.empty()) return &sorted_all_;
+  const auto found = by_interface_.find(interface_name);
+  return found == by_interface_.end() ? nullptr : &found->second;
+}
+
 std::vector<ServiceReference> ServiceRegistry::get_references(
     std::string_view interface_name, const Filter* filter) const {
-  std::vector<std::shared_ptr<detail::ServiceEntry>> matched;
-  for (const auto& entry : entries_) {
-    if (!entry->registered) continue;
-    if (!interface_name.empty()) {
-      const bool provides =
-          std::find(entry->interfaces.begin(), entry->interfaces.end(),
-                    interface_name) != entry->interfaces.end();
-      if (!provides) continue;
-    }
-    if (filter != nullptr && !filter->matches(entry->properties)) continue;
-    matched.push_back(entry);
-  }
-  std::sort(matched.begin(), matched.end(),
-            [](const auto& a, const auto& b) {
-              const auto rank_a = a->properties.get_int("service.ranking").value_or(0);
-              const auto rank_b = b->properties.get_int("service.ranking").value_or(0);
-              if (rank_a != rank_b) return rank_a > rank_b;
-              return a->id < b->id;
-            });
+  // The index pools are already sorted best-first; filtering preserves the
+  // order, so no per-call sort remains.
+  const std::vector<EntryPtr>* pool = pool_for(interface_name);
+  if (pool == nullptr) return {};
   std::vector<ServiceReference> out;
-  out.reserve(matched.size());
-  for (auto& entry : matched) out.push_back(ServiceReference{std::move(entry)});
+  out.reserve(pool->size());
+  for (const auto& entry : *pool) {
+    if (!entry->registered) continue;
+    if (filter != nullptr && !filter->matches(entry->properties)) continue;
+    out.push_back(ServiceReference{entry});
+  }
   return out;
 }
 
 std::optional<ServiceReference> ServiceRegistry::get_reference(
     std::string_view interface_name, const Filter* filter) const {
-  auto refs = get_references(interface_name, filter);
-  if (refs.empty()) return std::nullopt;
-  return refs.front();
+  // First match in a best-first pool IS the best reference: no vector, no
+  // sort, early exit.
+  const std::vector<EntryPtr>* pool = pool_for(interface_name);
+  if (pool == nullptr) return std::nullopt;
+  for (const auto& entry : *pool) {
+    if (!entry->registered) continue;
+    if (filter != nullptr && !filter->matches(entry->properties)) continue;
+    return ServiceReference{entry};
+  }
+  return std::nullopt;
 }
 
 ListenerToken ServiceRegistry::add_listener(ServiceListener listener,
@@ -119,10 +143,28 @@ std::size_t ServiceRegistry::size() const {
                     [](const auto& e) { return e->registered; }));
 }
 
+void ServiceRegistry::index_entry(const EntryPtr& entry) {
+  insert_sorted(sorted_all_, entry);
+  for (const std::string& interface_name : entry->interfaces) {
+    insert_sorted(by_interface_[interface_name], entry);
+  }
+}
+
+void ServiceRegistry::unindex_entry(const EntryPtr& entry) {
+  erase_entry(sorted_all_, entry);
+  for (const std::string& interface_name : entry->interfaces) {
+    const auto found = by_interface_.find(interface_name);
+    if (found == by_interface_.end()) continue;
+    erase_entry(found->second, entry);
+    if (found->second.empty()) by_interface_.erase(found);
+  }
+}
+
 void ServiceRegistry::do_unregister(
     const std::shared_ptr<detail::ServiceEntry>& entry) {
   fire(ServiceEventType::kUnregistering, entry);
   entry->registered = false;
+  unindex_entry(entry);
   std::erase(entries_, entry);
   log::Line(log::Level::kDebug, "osgi.registry")
       << "unregistered service #" << entry->id;
@@ -137,6 +179,14 @@ void ServiceRegistry::do_set_properties(
   properties.set("service.bundleid",
                  static_cast<std::int64_t>(entry->owner));
   entry->properties = std::move(properties);
+  const std::int64_t new_ranking =
+      entry->properties.get_int("service.ranking").value_or(0);
+  if (new_ranking != entry->ranking) {
+    // Ranking moved: re-slot the entry in every sorted pool it belongs to.
+    unindex_entry(entry);
+    entry->ranking = new_ranking;
+    index_entry(entry);
+  }
   fire(ServiceEventType::kModified, entry);
 }
 

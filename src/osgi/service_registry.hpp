@@ -18,6 +18,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "osgi/ldap_filter.hpp"
@@ -34,6 +35,9 @@ struct ServiceEntry {
   std::vector<std::string> interfaces;
   std::shared_ptr<void> service;
   Properties properties;
+  /// Cached "service.ranking" — read on every ordered lookup, so it must not
+  /// cost a property-map probe. Maintained on register/set_properties.
+  std::int64_t ranking = 0;
   bool registered = true;
 };
 }  // namespace detail
@@ -177,7 +181,31 @@ class ServiceRegistry {
     std::optional<Filter> filter;
   };
 
-  std::vector<std::shared_ptr<detail::ServiceEntry>> entries_;
+  /// Transparent hash so interface lookups take string_view without
+  /// allocating a temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using EntryPtr = std::shared_ptr<detail::ServiceEntry>;
+
+  /// Inserts/removes `entry` in every index vector it belongs to. Index
+  /// vectors are kept sorted by (ranking desc, id asc) at write time, so
+  /// get_references never scans or re-sorts the whole registry.
+  void index_entry(const EntryPtr& entry);
+  void unindex_entry(const EntryPtr& entry);
+  [[nodiscard]] const std::vector<EntryPtr>* pool_for(
+      std::string_view interface_name) const;
+
+  std::vector<EntryPtr> entries_;  ///< registration order (event/stop order)
+  /// interface name -> live entries, sorted best-first.
+  std::unordered_map<std::string, std::vector<EntryPtr>, StringHash,
+                     std::equal_to<>>
+      by_interface_;
+  /// Every live entry, sorted best-first (the interface == "" query).
+  std::vector<EntryPtr> sorted_all_;
   std::vector<ListenerRecord> listeners_;
   ServiceId next_service_id_ = 1;
   ListenerToken next_listener_token_ = 1;

@@ -45,7 +45,9 @@ std::optional<std::byte> Shm::read_byte(std::size_t index) const {
 
 Message message_from_string(std::string_view text) {
   Message out(text.size());
-  std::memcpy(out.data(), text.data(), text.size());
+  // An empty string_view may carry a null data(); memcpy(dst, nullptr, 0)
+  // is UB.
+  if (!text.empty()) std::memcpy(out.data(), text.data(), text.size());
   return out;
 }
 

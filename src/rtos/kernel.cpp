@@ -29,6 +29,71 @@
 
 namespace drt::rtos {
 
+// ------------------------------------------------------------ ReadyQueue --
+
+void ReadyQueue::push_back(Task& task) {
+  const auto prio = static_cast<std::size_t>(task.params.priority);
+  task.ready_bucket = task.params.priority;
+  task.ready_next = nullptr;
+  task.ready_prev = tails_[prio];
+  if (tails_[prio] != nullptr) {
+    tails_[prio]->ready_next = &task;
+  } else {
+    heads_[prio] = &task;
+    bitmap_[prio / 64] |= std::uint64_t{1} << (prio % 64);
+  }
+  tails_[prio] = &task;
+  ++count_;
+}
+
+void ReadyQueue::push_front(Task& task) {
+  const auto prio = static_cast<std::size_t>(task.params.priority);
+  task.ready_bucket = task.params.priority;
+  task.ready_prev = nullptr;
+  task.ready_next = heads_[prio];
+  if (heads_[prio] != nullptr) {
+    heads_[prio]->ready_prev = &task;
+  } else {
+    tails_[prio] = &task;
+    bitmap_[prio / 64] |= std::uint64_t{1} << (prio % 64);
+  }
+  heads_[prio] = &task;
+  ++count_;
+}
+
+void ReadyQueue::remove(Task& task) {
+  if (task.ready_bucket < 0) return;  // not enqueued: harmless no-op
+  const auto prio = static_cast<std::size_t>(task.ready_bucket);
+  if (task.ready_prev != nullptr) {
+    task.ready_prev->ready_next = task.ready_next;
+  } else {
+    heads_[prio] = task.ready_next;
+  }
+  if (task.ready_next != nullptr) {
+    task.ready_next->ready_prev = task.ready_prev;
+  } else {
+    tails_[prio] = task.ready_prev;
+  }
+  if (heads_[prio] == nullptr) {
+    bitmap_[prio / 64] &= ~(std::uint64_t{1} << (prio % 64));
+  }
+  task.ready_next = nullptr;
+  task.ready_prev = nullptr;
+  task.ready_bucket = -1;
+  --count_;
+}
+
+Task* ReadyQueue::front() const {
+  for (std::size_t word = 0; word < bitmap_.size(); ++word) {
+    if (bitmap_[word] != 0) {
+      const std::size_t prio =
+          word * 64 + static_cast<std::size_t>(std::countr_zero(bitmap_[word]));
+      return heads_[prio];
+    }
+  }
+  return nullptr;
+}
+
 RtKernel::RtKernel(SimEngine& engine, KernelConfig config)
     : engine_(&engine), config_(config), rng_(config.seed),
       latency_model_(config.latency),
@@ -60,6 +125,13 @@ Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
     return make_error("rtos.bad_task",
                       "cpu " + std::to_string(params.cpu) + " out of range (" +
                           std::to_string(cpus_.size()) + " cpus)");
+  }
+  if (params.priority < 0 || params.priority > kMaxPriority) {
+    return make_error("rtos.bad_task",
+                      "task '" + params.name + "' priority " +
+                          std::to_string(params.priority) +
+                          " out of range [0, " +
+                          std::to_string(kMaxPriority) + "]");
   }
   if (params.type == TaskType::kPeriodic && params.period <= 0) {
     return make_error("rtos.bad_task",
@@ -97,6 +169,8 @@ Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
       << "created task #" << task->id << " '" << task->params.name << "' "
       << to_string(task->params.type) << " prio=" << task->params.priority;
   const TaskId id = task->id;
+  tasks_by_id_.emplace(id, task.get());
+  tasks_by_name_.insert_or_assign(task->params.name, id);
   tasks_.push_back(std::move(task));
   return id;
 }
@@ -349,6 +423,7 @@ Result<void> RtKernel::delete_task(TaskId id) {
   }
   task->body = nullptr;
   task->state = TaskState::kFinished;
+  release_task_name(*task);
   trace_.add(now(), TraceKind::kDeleted, task->id, task->params.cpu);
   log::Line(log::Level::kDebug, "rtos", now())
       << "deleted task #" << task->id << " '" << task->params.name << "'";
@@ -357,10 +432,8 @@ Result<void> RtKernel::delete_task(TaskId id) {
 }
 
 Task* RtKernel::find_task(TaskId id) {
-  for (auto& task : tasks_) {
-    if (task->id == id) return task.get();
-  }
-  return nullptr;
+  const auto found = tasks_by_id_.find(id);
+  return found == tasks_by_id_.end() ? nullptr : found->second;
 }
 
 const Task* RtKernel::find_task(TaskId id) const {
@@ -368,12 +441,15 @@ const Task* RtKernel::find_task(TaskId id) const {
 }
 
 Task* RtKernel::find_task(std::string_view name) {
-  for (auto& task : tasks_) {
-    if (task->params.name == name && task->state != TaskState::kFinished) {
-      return task.get();
-    }
+  const auto found = tasks_by_name_.find(name);
+  return found == tasks_by_name_.end() ? nullptr : find_task(found->second);
+}
+
+void RtKernel::release_task_name(const Task& task) {
+  const auto found = tasks_by_name_.find(task.params.name);
+  if (found != tasks_by_name_.end() && found->second == task.id) {
+    tasks_by_name_.erase(found);
   }
-  return nullptr;
 }
 
 std::vector<const Task*> RtKernel::tasks() const {
@@ -563,23 +639,11 @@ void RtKernel::make_ready(Task& task, bool fresh_quantum) {
   if (fresh_quantum || task.quantum_left <= 0) {
     task.quantum_left = quantum_for(task);
   }
-  cpu.ready.push_back(&task);
-}
-
-Task* RtKernel::best_ready(Cpu& cpu) {
-  Task* best = nullptr;
-  for (Task* task : cpu.ready) {
-    if (best == nullptr || task->params.priority < best->params.priority ||
-        (task->params.priority == best->params.priority &&
-         task->ready_seq < best->ready_seq)) {
-      best = task;
-    }
-  }
-  return best;
+  cpu.ready.push_back(task);
 }
 
 void RtKernel::remove_from_ready(Cpu& cpu, Task& task) {
-  std::erase(cpu.ready, &task);
+  cpu.ready.remove(task);
 }
 
 void RtKernel::charge(Cpu& cpu, Task& task) {
@@ -618,20 +682,14 @@ void RtKernel::preempt(Cpu& cpu) {
   // remaining quantum: preemption must not cost it its round-robin turn.
   task->state = TaskState::kReady;
   task->ready_seq = --cpu.front_seq;
-  cpu.ready.push_back(task);
+  cpu.ready.push_front(*task);
   ++task->stats.preemptions;
   trace_.add(now(), TraceKind::kPreempted, task->id, task->params.cpu);
 }
 
 void RtKernel::schedule_completion(Cpu& cpu, Task& task) {
   // Round-robin: slice the demand when another equal-priority task waits.
-  bool contended = false;
-  for (const Task* other : cpu.ready) {
-    if (other->params.priority == task.params.priority) {
-      contended = true;
-      break;
-    }
-  }
+  const bool contended = cpu.ready.has_priority(task.params.priority);
   SimDuration slice = task.remaining_demand;
   if (contended) {
     if (task.quantum_left <= 0) task.quantum_left = quantum_for(task);
@@ -818,8 +876,8 @@ void RtKernel::settle() {
   for (;;) {
     bool progress = false;
     for (Cpu& cpu : cpus_) {
-      if (cpu.ready.empty()) continue;
-      Task* best = best_ready(cpu);
+      Task* best = cpu.ready.front();
+      if (best == nullptr) continue;
       if (cpu.running == nullptr) {
         dispatch(cpu, *best);
         progress = true;
@@ -876,6 +934,7 @@ void RtKernel::on_timer_fire(TaskId task_id, SimTime ideal, EventId) {
 
 void RtKernel::finish_task(Task& task) {
   task.state = TaskState::kFinished;
+  release_task_name(task);
   cancel_task_events(task);
   if (task.handle) {
     task.handle.destroy();

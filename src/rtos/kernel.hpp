@@ -9,10 +9,13 @@
 // SHM and mailboxes.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "rtos/ipc.hpp"
@@ -25,6 +28,49 @@
 #include "util/rng.hpp"
 
 namespace drt::rtos {
+
+/// Highest admissible task priority (inclusive). Priorities index the
+/// per-CPU ready bitmap (RTAI convention: 0 = most important), so
+/// create_task rejects values outside [0, kMaxPriority].
+inline constexpr int kMaxPriority = 255;
+
+/// RTAI-style O(1) ready queue: one intrusive FIFO per priority level plus a
+/// find-first-set bitmap over the non-empty levels. front() scans four
+/// 64-bit words; insertion and removal are pointer splices. The queue links
+/// tasks through Task::ready_next/ready_prev, so membership costs no
+/// allocation and removal from the middle (suspend/delete) is O(1).
+///
+/// Ordering contract (matches the historical flat-vector scan): tasks are
+/// picked by (priority asc, arrival order), where preempted tasks re-enter
+/// at the FRONT of their priority level (they must not lose their
+/// round-robin turn) and everything else joins at the back.
+class ReadyQueue {
+ public:
+  /// FIFO arrival (fresh release, quantum rotation, resume).
+  void push_back(Task& task);
+  /// Re-entry ahead of FIFO arrivals (preemption).
+  void push_front(Task& task);
+  /// O(1) unlink; no-op when the task is not enqueued.
+  void remove(Task& task);
+  /// Best task to run next: lowest priority value, earliest within the
+  /// level. nullptr when empty.
+  [[nodiscard]] Task* front() const;
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  /// True when some task at exactly `priority` is ready (the round-robin
+  /// contention test).
+  [[nodiscard]] bool has_priority(int priority) const {
+    return heads_[static_cast<std::size_t>(priority)] != nullptr;
+  }
+
+ private:
+  static constexpr std::size_t kLevels = kMaxPriority + 1;
+  std::array<std::uint64_t, kLevels / 64> bitmap_{};
+  std::array<Task*, kLevels> heads_{};
+  std::array<Task*, kLevels> tails_{};
+  std::size_t count_ = 0;
+};
 
 struct KernelConfig {
   std::size_t cpus = 2;  ///< paper testbed: Core Duo T5500
@@ -126,16 +172,23 @@ class RtKernel {
   friend class TaskContext;
   struct Cpu {
     Task* running = nullptr;
-    std::vector<Task*> ready;
+    ReadyQueue ready;
     std::int64_t back_seq = 0;   ///< increments: normal FIFO arrivals
     std::int64_t front_seq = 0;  ///< decrements: preempted tasks re-enter first
     SimDuration busy_time = 0;
     SimTime rt_active_until = 0;  ///< last instant an RT task held this CPU
   };
 
+  /// Transparent hash so name lookups take string_view without allocating.
+  struct StringHash {
+    using is_transparent = void;
+    [[nodiscard]] std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
   // Scheduler machinery (see kernel.cpp for the protocol description).
   void make_ready(Task& task, bool fresh_quantum);
-  Task* best_ready(Cpu& cpu);
   void remove_from_ready(Cpu& cpu, Task& task);
   void dispatch(Cpu& cpu, Task& task);
   void preempt(Cpu& cpu);
@@ -150,6 +203,9 @@ class RtKernel {
   [[nodiscard]] SimDuration quantum_for(const Task& task) const;
   void charge(Cpu& cpu, Task& task);
   void cancel_task_events(Task& task);
+  /// Drops `task`'s entry from the name index (unless the name was already
+  /// reused by a younger task).
+  void release_task_name(const Task& task);
 
   SimEngine* engine_;
   KernelConfig config_;
@@ -159,6 +215,14 @@ class RtKernel {
   Trace trace_;
   std::vector<Cpu> cpus_;
   std::vector<std::unique_ptr<Task>> tasks_;
+  /// O(1) id lookup — every event callback resolves its task through this.
+  /// Entries persist for finished tasks (stale-event callbacks must still
+  /// find them and observe kFinished).
+  std::unordered_map<TaskId, Task*> tasks_by_id_;
+  /// O(1) name lookup for live (non-finished) tasks; a finished task's name
+  /// becomes reusable, matching the historical linear-scan semantics.
+  std::unordered_map<std::string, TaskId, StringHash, std::equal_to<>>
+      tasks_by_name_;
   std::map<std::string, std::unique_ptr<Shm>, std::less<>> shms_;
   std::map<std::string, std::unique_ptr<Mailbox>, std::less<>> mailboxes_;
   std::map<std::string, std::unique_ptr<Semaphore>, std::less<>> semaphores_;

@@ -1,15 +1,36 @@
 #include "rtos/sim_engine.hpp"
 
-#include <cassert>
+#include <algorithm>
+#include <limits>
 
 namespace drt::rtos {
 
+namespace {
+constexpr std::uint64_t kSlotMask = 0xffff'ffffull;
+constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+}  // namespace
+
 EventId SimEngine::schedule_at(SimTime when, Callback callback) {
-  assert(when >= now_ && "cannot schedule into the past");
-  const EventId id = next_id_++;
-  queue_.push(Event{when < now_ ? now_ : when, id, std::move(callback)});
-  live_ids_.insert(id);
-  return id;
+  // Past times are clamped: the event fires at now(), after events already
+  // due at now() (its sequence number is newer). See the header contract.
+  if (when < now_) when = now_;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Record& rec = slab_[slot];
+  rec.when = when;
+  rec.seq = next_seq_++;
+  rec.callback = std::move(callback);
+  rec.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  return (static_cast<EventId>(rec.generation) << 32) |
+         static_cast<EventId>(slot + 1);
 }
 
 EventId SimEngine::schedule_after(SimDuration delay, Callback callback) {
@@ -17,41 +38,97 @@ EventId SimEngine::schedule_after(SimDuration delay, Callback callback) {
 }
 
 void SimEngine::cancel(EventId id) {
-  if (id == kInvalidEvent) return;
-  // Only live events become cancelled; stale ids (already fired) are no-ops
+  const std::uint64_t low = id & kSlotMask;
+  if (low == 0 || low > slab_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  Record& rec = slab_[slot];
+  // Stale ids (already fired or cancelled) carry an old generation: no-op,
   // so callers need not track whether their event raced with execution.
-  if (live_ids_.erase(id) > 0) cancelled_.insert(id);
+  if (rec.generation != static_cast<std::uint32_t>(id >> 32)) return;
+  heap_erase(rec.heap_pos);
+  release_slot(slot);
 }
 
-void SimEngine::skim_cancelled() {
-  while (!queue_.empty() && cancelled_.erase(queue_.top().id) > 0) {
-    queue_.pop();
+void SimEngine::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void SimEngine::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], slot)) break;
+    heap_[pos] = heap_[best];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void SimEngine::heap_fix(std::size_t pos) {
+  if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
   }
 }
 
-bool SimEngine::pop_next(Event& out) {
-  skim_cancelled();
-  if (queue_.empty()) return false;
-  // priority_queue::top() returns const&; the callback must be moved out, so
-  // copy the POD bits first, then pop.
-  const Event& top = queue_.top();
-  out.when = top.when;
-  out.id = top.id;
-  out.callback = std::move(const_cast<Event&>(top).callback);
-  queue_.pop();
-  live_ids_.erase(out.id);
+void SimEngine::heap_erase(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    heap_fix(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void SimEngine::release_slot(std::uint32_t slot) {
+  Record& rec = slab_[slot];
+  rec.callback.reset();
+  rec.heap_pos = kNoPos;
+  ++rec.generation;  // invalidates every id issued for this slot so far
+  free_slots_.push_back(slot);
+}
+
+bool SimEngine::pop_due(SimTime deadline, Callback& out) {
+  if (heap_.empty()) return false;
+  const std::uint32_t slot = heap_[0];
+  Record& rec = slab_[slot];
+  if (rec.when > deadline) return false;
+  now_ = rec.when;
+  out = std::move(rec.callback);
+  heap_erase(0);
+  // Free the slot before invoking: the callback may schedule new events
+  // (reusing the slot under a fresh generation) or cancel its own stale id.
+  release_slot(slot);
   return true;
 }
 
 std::size_t SimEngine::run_until(SimTime deadline) {
   std::size_t fired = 0;
-  for (;;) {
-    skim_cancelled();
-    if (queue_.empty() || queue_.top().when > deadline) break;
-    Event event;
-    if (!pop_next(event)) break;
-    now_ = event.when;
-    event.callback();
+  Callback callback;
+  while (pop_due(deadline, callback)) {
+    callback();
     ++fired;
   }
   if (now_ < deadline) now_ = deadline;
@@ -60,17 +137,12 @@ std::size_t SimEngine::run_until(SimTime deadline) {
 
 std::size_t SimEngine::run_to_completion(std::size_t max_events) {
   std::size_t fired = 0;
-  Event event;
-  while (fired < max_events && pop_next(event)) {
-    now_ = event.when;
-    event.callback();
+  Callback callback;
+  while (fired < max_events && pop_due(kNoDeadline, callback)) {
+    callback();
     ++fired;
   }
   return fired;
 }
-
-bool SimEngine::idle() const { return live_ids_.empty(); }
-
-std::size_t SimEngine::pending_events() const { return live_ids_.size(); }
 
 }  // namespace drt::rtos

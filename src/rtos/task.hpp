@@ -198,6 +198,11 @@ struct Task {
                                       ///< (negative = re-entry at the front)
   SimDuration quantum_left = 0;       ///< round-robin budget left this turn
 
+  // --- intrusive ready-queue links (owned by the kernel's ReadyQueue) ---
+  Task* ready_next = nullptr;
+  Task* ready_prev = nullptr;
+  int ready_bucket = -1;              ///< priority bucket while READY, else -1
+
   // --- coroutine handshake ---
   PendingOp pending_op = PendingOp::kNone;
   SimDuration pending_amount = 0;

@@ -1,0 +1,189 @@
+// Scheduler-order invariants that the O(1) ready queues (priority bitmap +
+// intrusive per-priority FIFOs) and the indexed event heap must preserve.
+// These orderings are part of the deterministic contract: every bench table
+// replays bit-identically only because (a) events fire in (time,
+// insertion-order), (b) equal-priority tasks rotate round-robin in FIFO
+// order, and (c) a preempted task re-enters ahead of FIFO arrivals
+// (front_seq semantics).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtos/kernel.hpp"
+#include "rtos/sim_engine.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using Marks = std::vector<std::pair<std::string, SimTime>>;
+
+KernelConfig quiet_config() {
+  KernelConfig config;
+  config.cpus = 1;
+  config.context_switch_ns = 0;  // exact virtual timestamps in assertions
+  return config;
+}
+
+TaskParams aperiodic(std::string name, int priority,
+                     SimDuration rr_quantum = 0) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kAperiodic;
+  params.priority = priority;
+  params.cpu = 0;
+  params.rr_quantum = rr_quantum;
+  return params;
+}
+
+/// Creates + starts a task that burns `demand` ns once, then records
+/// (name, completion time).
+TaskId spawn_burner(RtKernel& kernel, Marks& marks, TaskParams params,
+                    SimDuration demand, SimTime start_at = -1) {
+  auto created = kernel.create_task(
+      params, [&marks, demand](TaskContext& ctx) -> TaskCoro {
+        co_await ctx.consume(demand);
+        marks.emplace_back(ctx.task().params.name, ctx.now());
+      });
+  EXPECT_TRUE(created.ok());
+  const TaskId id = created.value_or(0);
+  EXPECT_TRUE(kernel.start_task(id, start_at).ok());
+  return id;
+}
+
+// ---------------------------------------------------------------- kernel --
+
+TEST(SchedOrder, SamePriorityRoundRobinRotatesInFifoOrder) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // Three equal-priority tasks, 2 ms demand each, 1 ms quantum: pure
+  // rotation A,B,C,A,B,C with 1 ms slices, so completions land at 4/5/6 ms
+  // in arrival order. Any ready-queue ordering bug scrambles this.
+  const SimDuration quantum = milliseconds(1);
+  spawn_burner(kernel, marks, aperiodic("A", 5, quantum), milliseconds(2));
+  spawn_burner(kernel, marks, aperiodic("B", 5, quantum), milliseconds(2));
+  spawn_burner(kernel, marks, aperiodic("C", 5, quantum), milliseconds(2));
+  engine.run_until(milliseconds(20));
+  const Marks expected = {{"A", milliseconds(4)},
+                          {"B", milliseconds(5)},
+                          {"C", milliseconds(6)}};
+  EXPECT_EQ(marks, expected);
+  // B and C really rotated (one SliceRotated each), in arrival order.
+  EXPECT_EQ(kernel.find_task("B"), nullptr);  // finished frees the name
+}
+
+TEST(SchedOrder, PreemptedTaskReentersAheadOfFifoArrivals) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // L1 runs first with L2 queued behind it; H preempts L1 at t=1ms. On H's
+  // completion L1 must resume BEFORE L2 (front-of-class re-entry): being
+  // preempted must not cost L1 its round-robin turn.
+  const TaskId l1 =
+      spawn_burner(kernel, marks, aperiodic("L1", 5), milliseconds(4));
+  spawn_burner(kernel, marks, aperiodic("L2", 5), milliseconds(1));
+  spawn_burner(kernel, marks, aperiodic("H", 1), milliseconds(1),
+               milliseconds(1));
+  engine.run_until(milliseconds(20));
+  const Marks expected = {{"H", milliseconds(2)},
+                          {"L1", milliseconds(5)},
+                          {"L2", milliseconds(6)}};
+  EXPECT_EQ(marks, expected);
+  EXPECT_EQ(kernel.find_task(l1)->stats.preemptions, 1u);
+}
+
+TEST(SchedOrder, PriorityOutOfRangeIsRejected) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto body = [](TaskContext&) -> TaskCoro { co_return; };
+  EXPECT_FALSE(kernel.create_task(aperiodic("neg", -1), body).ok());
+  EXPECT_FALSE(
+      kernel.create_task(aperiodic("big", kMaxPriority + 1), body).ok());
+  EXPECT_TRUE(kernel.create_task(aperiodic("max", kMaxPriority), body).ok());
+}
+
+// ---------------------------------------------------------------- engine --
+
+TEST(SchedOrder, SameTimeEventsFireInInsertionOrderAroundCancellation) {
+  SimEngine engine;
+  std::vector<int> order;
+  (void)engine.schedule_at(50, [&] { order.push_back(1); });
+  const EventId second = engine.schedule_at(50, [&] { order.push_back(2); });
+  (void)engine.schedule_at(50, [&] { order.push_back(3); });
+  engine.cancel(second);
+  (void)engine.schedule_at(50, [&] { order.push_back(4); });
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 4}));
+}
+
+TEST(SchedOrder, CancelRacingWithSameTimeFireIsHonoured) {
+  SimEngine engine;
+  bool victim_fired = false;
+  EventId victim = kInvalidEvent;
+  // First event of the t=10 batch cancels the second: the cancellation must
+  // win even though the victim is already due.
+  (void)engine.schedule_at(10, [&] { engine.cancel(victim); });
+  victim = engine.schedule_at(10, [&] { victim_fired = true; });
+  engine.run_to_completion();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(SchedOrder, StaleCancelAfterSlotReuseIsNoOp) {
+  SimEngine engine;
+  int fired = 0;
+  const EventId stale = engine.schedule_at(10, [&] { ++fired; });
+  engine.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  // The new event may reuse the fired event's internal slot; the stale id
+  // must not be able to kill it (generation check).
+  (void)engine.schedule_at(20, [&] { ++fired; });
+  engine.cancel(stale);
+  engine.cancel(stale);  // double stale cancel: still harmless
+  engine.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SchedOrder, CancelledSlotReuseKeepsOrderingDeterministic) {
+  SimEngine engine;
+  std::vector<int> order;
+  const EventId a = engine.schedule_at(30, [&] { order.push_back(1); });
+  engine.cancel(a);
+  // Reuses a's slot but must sort by its own (time, insertion) key.
+  (void)engine.schedule_at(20, [&] { order.push_back(2); });
+  (void)engine.schedule_at(25, [&] { order.push_back(3); });
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{2, 3}));
+}
+
+TEST(SchedOrder, SchedulePastClampsToNow) {
+  SimEngine engine;
+  engine.run_until(100);
+  ASSERT_EQ(engine.now(), 100);
+  // Defined behaviour (documented in sim_engine.hpp): past times clamp to
+  // now() — no assert, no time travel.
+  SimTime seen = -1;
+  (void)engine.schedule_at(40, [&] { seen = engine.now(); });
+  engine.run_to_completion();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(SchedOrder, PastEventOrdersAfterEventsAlreadyDue) {
+  SimEngine engine;
+  std::vector<int> order;
+  engine.schedule_at(100, [&] {
+    order.push_back(1);
+    // now() == 100; both fire at 100 — the clamped one was inserted later,
+    // so it fires later.
+    engine.schedule_at(100, [&] { order.push_back(2); });
+    engine.schedule_at(10, [&] { order.push_back(3); });
+  });
+  engine.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace drt::rtos
