@@ -163,6 +163,7 @@ class Drcr {
   // ------------------------------------------------------------ plumbing --
   [[nodiscard]] ComponentFactoryRegistry& factories() { return factories_; }
   [[nodiscard]] rtos::RtKernel& kernel() { return *kernel_; }
+  [[nodiscard]] const rtos::RtKernel& kernel() const { return *kernel_; }
   [[nodiscard]] osgi::Framework& framework() { return *framework_; }
 
   /// Replaces the internal resolving service (default:

@@ -51,7 +51,7 @@ rtos::SubTask<> JobContext::next_cycle() {
     was_suspended = true;
     auto message = co_await task_->receive(*owner_->command_mailbox_);
     if (message.has_value()) {
-      owner_->handle_command(rtos::message_to_string(*message));
+      owner_->handle_command(rtos::message_view(*message));
     }
   }
   if (!active()) co_return;
@@ -79,7 +79,7 @@ rtos::SubTask<std::optional<rtos::Message>> JobContext::next_event() {
     while (owner_->soft_suspended_ && active()) {
       auto command = co_await task_->receive(*owner_->command_mailbox_);
       if (command.has_value()) {
-        owner_->handle_command(rtos::message_to_string(*command));
+        owner_->handle_command(rtos::message_view(*command));
       }
     }
     if (!active()) co_return std::nullopt;
@@ -441,11 +441,11 @@ std::vector<std::string> HybridComponent::drain_responses() {
 void HybridComponent::drain_commands() {
   if (command_mailbox_ == nullptr) return;
   while (auto message = kernel_->mailbox_try_receive(*command_mailbox_)) {
-    handle_command(rtos::message_to_string(*message));
+    handle_command(rtos::message_view(*message));
   }
 }
 
-void HybridComponent::handle_command(const std::string& command) {
+void HybridComponent::handle_command(std::string_view command) {
   const auto trimmed = std::string(str::trim(command));
   if (trimmed == "SUSPEND") {
     soft_suspended_ = true;

@@ -151,7 +151,7 @@ class HybridComponent {
   friend class JobContext;
 
   void drain_commands();
-  void handle_command(const std::string& command);
+  void handle_command(std::string_view command);
   void respond(const std::string& response);
   void rollback_ipc();
 

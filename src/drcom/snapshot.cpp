@@ -8,7 +8,42 @@
 
 namespace drt::drcom {
 
-std::string snapshot_to_xml(const Drcr& drcr) {
+namespace {
+
+/// Channel-pressure section: one element per kernel mailbox (name-ordered,
+/// so output is deterministic) plus the message-pool occupancy.
+[[nodiscard]] std::unique_ptr<xml::Element> channels_element(
+    const rtos::RtKernel& kernel) {
+  auto channels = std::make_unique<xml::Element>();
+  channels->name = "drt:channels";
+  const auto pool = rtos::MessagePool::instance().stats();
+  channels->set_attribute("pool_live_slabs", std::to_string(pool.live_slabs));
+  channels->set_attribute("pool_free_slabs", std::to_string(pool.free_slabs));
+  channels->set_attribute("pool_free_bytes", std::to_string(pool.free_bytes));
+  channels->set_attribute("pool_heap_allocations",
+                          std::to_string(pool.heap_allocations));
+  channels->set_attribute("pool_reuses", std::to_string(pool.reuses));
+  for (const rtos::Mailbox* mailbox : kernel.mailboxes()) {
+    auto element = std::make_unique<xml::Element>();
+    element->name = "drt:mailbox";
+    element->set_attribute("name", mailbox->name());
+    element->set_attribute("capacity", std::to_string(mailbox->capacity()));
+    element->set_attribute("depth", std::to_string(mailbox->size()));
+    element->set_attribute("sent", std::to_string(mailbox->sent_count()));
+    element->set_attribute("dropped",
+                           std::to_string(mailbox->dropped_count()));
+    element->set_attribute("handoff",
+                           std::to_string(mailbox->handoff_count()));
+    element->set_attribute("waiting",
+                           std::to_string(mailbox->waiting_count()));
+    channels->children.emplace_back(std::move(element));
+  }
+  return channels;
+}
+
+}  // namespace
+
+std::string snapshot_to_xml(const Drcr& drcr, SnapshotOptions options) {
   xml::Element root;
   root.name = "drt:snapshot";
 
@@ -38,6 +73,10 @@ std::string snapshot_to_xml(const Drcr& drcr) {
     if (doc.ok()) {
       root.children.emplace_back(std::move(doc.value().root));
     }
+  }
+
+  if (options.include_channels) {
+    root.children.emplace_back(channels_element(drcr.kernel()));
   }
 
   return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n" + xml::write(root);
@@ -74,6 +113,8 @@ Result<void> restore_from_xml(Drcr& drcr, std::string_view xml_text) {
           !registered.ok()) {
         problems += registered.error().message + "; ";
       }
+    } else if (child->local_name() == "channels") {
+      // Runtime observability (channel pressure), not contract: skip.
     } else {
       problems += "unknown snapshot element <" + child->name + ">; ";
     }

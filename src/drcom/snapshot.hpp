@@ -26,9 +26,20 @@
 
 namespace drt::drcom {
 
+/// Options for snapshot_to_xml.
+struct SnapshotOptions {
+  /// Also emit a <drt:channels> element with channel-pressure observability:
+  /// per-mailbox sent/dropped/handoff counters and queue depth, plus message
+  /// pool occupancy. This is runtime data, not contract — restore_from_xml
+  /// ignores it — but it makes a snapshot taken from a live system tell you
+  /// *why* (e.g. a management channel close to overflow) alongside *what*.
+  bool include_channels = false;
+};
+
 /// Serialises the runtime's current deployment (all registered components,
 /// their enabled state, and system groupings) to XML.
-[[nodiscard]] std::string snapshot_to_xml(const Drcr& drcr);
+[[nodiscard]] std::string snapshot_to_xml(const Drcr& drcr,
+                                          SnapshotOptions options = {});
 
 /// Re-deploys a snapshot into `drcr`: systems via deploy_system (atomic per
 /// system), standalone components via register_component. Names that already

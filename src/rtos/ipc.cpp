@@ -1,21 +1,37 @@
 #include "rtos/ipc.hpp"
 
-#include <cstring>
+#include <algorithm>
+#include <bit>
+#include <new>
+
+#include "rtos/task.hpp"
 
 namespace drt::rtos {
 
+// ------------------------------------------------------------------- Shm --
+
 bool Shm::write(std::size_t offset, std::span<const std::byte> bytes,
                 SimTime when) {
-  if (offset + bytes.size() > data_.size()) return false;
-  std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  // Two-step check: `offset + bytes.size()` can wrap around for offsets near
+  // SIZE_MAX, which would make the naive comparison pass.
+  if (offset > data_.size() || bytes.size() > data_.size() - offset) {
+    return false;
+  }
+  if (!bytes.empty()) {
+    std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  }
   ++version_;
   last_write_time_ = when;
   return true;
 }
 
 bool Shm::read(std::size_t offset, std::span<std::byte> out) const {
-  if (offset + out.size() > data_.size()) return false;
-  std::memcpy(out.data(), data_.data() + offset, out.size());
+  if (offset > data_.size() || out.size() > data_.size() - offset) {
+    return false;
+  }
+  if (!out.empty()) {
+    std::memcpy(out.data(), data_.data() + offset, out.size());
+  }
   return true;
 }
 
@@ -43,17 +59,142 @@ std::optional<std::byte> Shm::read_byte(std::size_t index) const {
   return value;
 }
 
+bool Shm::write_i32_span(std::size_t index, std::span<const std::int32_t> values,
+                         SimTime when) {
+  if (index > data_.size() / 4) return false;
+  return write(index * 4, std::as_bytes(values), when);
+}
+
+bool Shm::read_i32_span(std::size_t index, std::span<std::int32_t> out) const {
+  if (index > data_.size() / 4) return false;
+  return read(index * 4, std::as_writable_bytes(out));
+}
+
+// ----------------------------------------------------------- MessagePool --
+
+namespace {
+
+[[nodiscard]] std::size_t class_bytes(std::size_t size_class) {
+  return MessagePool::kMinSlabBytes << size_class;
+}
+
+[[nodiscard]] MessagePool::Slab* new_slab(std::size_t payload_bytes) {
+  void* raw = ::operator new(sizeof(MessagePool::Slab) + payload_bytes);
+  auto* slab = new (raw) MessagePool::Slab();
+  slab->capacity = payload_bytes;
+  return slab;
+}
+
+void delete_slab(MessagePool::Slab* slab) {
+  slab->~Slab();
+  ::operator delete(slab);
+}
+
+}  // namespace
+
+
+MessagePool::Slab* MessagePool::acquire_slow(std::size_t bytes,
+                                             int size_class) {
+  Slab* slab;
+  if (size_class < 0) {
+    // Oversize: straight heap round-trip, never cached.
+    slab = new_slab(bytes);
+    slab->size_class = -1;
+    ++oversize_;
+  } else {
+    slab = new_slab(class_bytes(static_cast<std::size_t>(size_class)));
+    slab->size_class = size_class;
+  }
+  slab->refs = 1;
+  ++heap_allocations_;
+  return slab;
+}
+
+void MessagePool::release_oversize(Slab* slab) { delete_slab(slab); }
+
+MessagePool::Stats MessagePool::stats() const {
+  Stats stats;
+  stats.heap_allocations = heap_allocations_;
+  stats.reuses = reuses_;
+  stats.oversize = oversize_;
+  stats.live_slabs = static_cast<std::size_t>(
+      heap_allocations_ + reuses_ - releases_);
+  for (const Slab* head : free_lists_) {
+    for (const Slab* slab = head; slab != nullptr; slab = slab->next_free) {
+      ++stats.free_slabs;
+      stats.free_bytes += slab->capacity;
+    }
+  }
+  return stats;
+}
+
+void MessagePool::trim() {
+  for (Slab*& head : free_lists_) {
+    while (head != nullptr) {
+      Slab* next = head->next_free;
+      delete_slab(head);
+      head = next;
+    }
+  }
+}
+
+// --------------------------------------------------------------- Message --
+
 Message message_from_string(std::string_view text) {
-  Message out(text.size());
-  // An empty string_view may carry a null data(); memcpy(dst, nullptr, 0)
-  // is UB.
-  if (!text.empty()) std::memcpy(out.data(), text.data(), text.size());
-  return out;
+  return Message(text.data(), text.size());
 }
 
 std::string message_to_string(const Message& message) {
-  return std::string(reinterpret_cast<const char*>(message.data()),
-                     message.size());
+  return std::string(message_view(message));
+}
+
+// ------------------------------------------------------------- WaitQueue --
+
+void WaitQueue::push_back(Task& task) {
+  task.wait_next = nullptr;
+  task.wait_prev = tail_;
+  if (tail_ != nullptr) {
+    tail_->wait_next = &task;
+  } else {
+    head_ = &task;
+  }
+  tail_ = &task;
+  task.wait_queue = this;
+  ++count_;
+}
+
+void WaitQueue::remove(Task& task) {
+  if (task.wait_queue != this) return;  // not linked here: harmless no-op
+  if (task.wait_prev != nullptr) {
+    task.wait_prev->wait_next = task.wait_next;
+  } else {
+    head_ = task.wait_next;
+  }
+  if (task.wait_next != nullptr) {
+    task.wait_next->wait_prev = task.wait_prev;
+  } else {
+    tail_ = task.wait_prev;
+  }
+  task.wait_next = nullptr;
+  task.wait_prev = nullptr;
+  task.wait_queue = nullptr;
+  --count_;
+}
+
+Task* WaitQueue::pop_front() {
+  Task* task = head_;
+  if (task != nullptr) remove(*task);
+  return task;
+}
+
+// --------------------------------------------------------------- Mailbox --
+
+Mailbox::Mailbox(std::string name, std::size_t capacity)
+    : name_(std::move(name)), capacity_(capacity) {
+  if (capacity_ > 0) {
+    ring_.resize(std::bit_ceil(capacity_));
+    mask_ = ring_.size() - 1;
+  }
 }
 
 bool Mailbox::push(Message message) {
@@ -61,15 +202,17 @@ bool Mailbox::push(Message message) {
     ++dropped_;
     return false;
   }
-  queue_.push_back(std::move(message));
+  ring_[(head_ + count_) & mask_] = std::move(message);
+  ++count_;
   ++sent_;
   return true;
 }
 
 std::optional<Message> Mailbox::pop() {
-  if (queue_.empty()) return std::nullopt;
-  Message out = std::move(queue_.front());
-  queue_.pop_front();
+  if (count_ == 0) return std::nullopt;
+  Message out = std::move(ring_[head_ & mask_]);
+  ++head_;
+  --count_;
   return out;
 }
 

@@ -250,7 +250,7 @@ Result<void> RtKernel::suspend_task(TaskId id) {
       break;
     case TaskState::kWaitingMailbox:
       if (task->pending_mailbox != nullptr) {
-        std::erase(task->pending_mailbox->waiting_, task);
+        task->pending_mailbox->waiting_.remove(*task);
       }
       engine_->cancel(task->timeout_event);
       task->timeout_event = 0;
@@ -258,7 +258,7 @@ Result<void> RtKernel::suspend_task(TaskId id) {
       break;
     case TaskState::kWaitingSemaphore:
       if (task->pending_semaphore != nullptr) {
-        std::erase(task->pending_semaphore->waiting_, task);
+        task->pending_semaphore->waiting_.remove(*task);
       }
       engine_->cancel(task->timeout_event);
       task->timeout_event = 0;
@@ -323,7 +323,7 @@ Result<void> RtKernel::resume_task(TaskId id) {
           make_ready(*task, true);
         } else {
           task->state = TaskState::kWaitingSemaphore;
-          semaphore->waiting_.push_back(task);
+          semaphore->waiting_.push_back(*task);
           // Note: a pending timeout is re-armed at its full duration; the
           // suspension window does not count against it.
           if (task->pending_timeout >= 0) {
@@ -337,7 +337,7 @@ Result<void> RtKernel::resume_task(TaskId id) {
                   }
                   t->timeout_event = 0;
                   if (t->pending_semaphore != nullptr) {
-                    std::erase(t->pending_semaphore->waiting_, t);
+                    t->pending_semaphore->waiting_.remove(*t);
                   }
                   t->semaphore_acquired = false;
                   make_ready(*t, true);
@@ -356,7 +356,7 @@ Result<void> RtKernel::resume_task(TaskId id) {
           make_ready(*task, true);
         } else {
           task->state = TaskState::kWaitingMailbox;
-          mailbox->waiting_.push_back(task);
+          mailbox->waiting_.push_back(*task);
           if (task->pending_timeout >= 0) {
             const TaskId task_id = task->id;
             task->timeout_event = engine_->schedule_after(
@@ -366,7 +366,7 @@ Result<void> RtKernel::resume_task(TaskId id) {
                     return;
                   }
                   if (t->pending_mailbox != nullptr) {
-                    std::erase(t->pending_mailbox->waiting_, t);
+                    t->pending_mailbox->waiting_.remove(*t);
                   }
                   t->mailbox_result.reset();
                   make_ready(*t, true);
@@ -411,10 +411,10 @@ Result<void> RtKernel::delete_task(TaskId id) {
     remove_from_ready(cpu, *task);
   } else if (task->state == TaskState::kWaitingMailbox &&
              task->pending_mailbox != nullptr) {
-    std::erase(task->pending_mailbox->waiting_, task);
+    task->pending_mailbox->waiting_.remove(*task);
   } else if (task->state == TaskState::kWaitingSemaphore &&
              task->pending_semaphore != nullptr) {
-    std::erase(task->pending_semaphore->waiting_, task);
+    task->pending_semaphore->waiting_.remove(*task);
   }
   cancel_task_events(*task);
   if (task->handle) {
@@ -498,10 +498,8 @@ Result<Mailbox*> RtKernel::mailbox_create(std::string name,
     return make_error("rtos.duplicate_mailbox",
                       "mailbox '" + name + "' exists");
   }
-  if (capacity == 0) {
-    return make_error("rtos.bad_mailbox",
-                      "mailbox '" + name + "' has zero capacity");
-  }
+  // Capacity 0 is legal: a rendezvous-only mailbox whose sends succeed only
+  // by direct handoff to an already-waiting receiver.
   auto mailbox = std::make_unique<Mailbox>(name, capacity);
   Mailbox* raw = mailbox.get();
   mailboxes_.emplace(std::move(name), std::move(mailbox));
@@ -513,6 +511,13 @@ Mailbox* RtKernel::mailbox_find(std::string_view name) {
   return found == mailboxes_.end() ? nullptr : found->second.get();
 }
 
+std::vector<const Mailbox*> RtKernel::mailboxes() const {
+  std::vector<const Mailbox*> out;
+  out.reserve(mailboxes_.size());
+  for (const auto& [name, mailbox] : mailboxes_) out.push_back(mailbox.get());
+  return out;
+}
+
 Result<void> RtKernel::mailbox_delete(std::string_view name) {
   const auto found = mailboxes_.find(name);
   if (found == mailboxes_.end()) {
@@ -520,9 +525,7 @@ Result<void> RtKernel::mailbox_delete(std::string_view name) {
   }
   // Waiting receivers resume with "no message" so they can re-evaluate.
   Mailbox& mailbox = *found->second;
-  auto waiting = mailbox.waiting_;
-  mailbox.waiting_.clear();
-  for (Task* task : waiting) {
+  while (Task* task = mailbox.waiting_.pop_front()) {
     engine_->cancel(task->timeout_event);
     task->timeout_event = 0;
     task->mailbox_result.reset();
@@ -536,15 +539,16 @@ Result<void> RtKernel::mailbox_delete(std::string_view name) {
 
 bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
   trace_.add(now(), TraceKind::kMailboxSend, 0, 0, mailbox.name());
-  // Direct handoff: a waiting receiver bypasses the queue.
-  while (!mailbox.waiting_.empty()) {
-    Task* receiver = mailbox.waiting_.front();
-    mailbox.waiting_.pop_front();
+  // Direct handoff: the buffer moves straight into a waiting receiver's
+  // result slot — the queue (and any copy or allocation) is bypassed
+  // entirely. This is the common rendezvous case of a parked consumer.
+  while (Task* receiver = mailbox.waiting_.pop_front()) {
     if (receiver->state != TaskState::kWaitingMailbox) continue;  // stale
     engine_->cancel(receiver->timeout_event);
     receiver->timeout_event = 0;
     receiver->mailbox_result = std::move(message);
     ++mailbox.sent_;
+    ++mailbox.handoff_;
     make_ready(*receiver, true);
     settle();
     return true;
@@ -587,9 +591,7 @@ Result<void> RtKernel::semaphore_delete(std::string_view name) {
     return make_error("rtos.no_such_semaphore", std::string(name));
   }
   Semaphore& semaphore = *found->second;
-  auto waiting = semaphore.waiting_;
-  semaphore.waiting_.clear();
-  for (Task* task : waiting) {
+  while (Task* task = semaphore.waiting_.pop_front()) {
     if (task->state != TaskState::kWaitingSemaphore) continue;
     engine_->cancel(task->timeout_event);
     task->timeout_event = 0;
@@ -603,9 +605,7 @@ Result<void> RtKernel::semaphore_delete(std::string_view name) {
 }
 
 void RtKernel::semaphore_signal(Semaphore& semaphore) {
-  while (!semaphore.waiting_.empty()) {
-    Task* waiter = semaphore.waiting_.front();
-    semaphore.waiting_.pop_front();
+  while (Task* waiter = semaphore.waiting_.pop_front()) {
     if (waiter->state != TaskState::kWaitingSemaphore) continue;  // stale
     engine_->cancel(waiter->timeout_event);
     waiter->timeout_event = 0;
@@ -807,7 +807,7 @@ void RtKernel::serve(Task& task) {
       case PendingOp::kWaitMailbox: {
         cpu.running = nullptr;
         task.state = TaskState::kWaitingMailbox;
-        task.pending_mailbox->waiting_.push_back(&task);
+        task.pending_mailbox->waiting_.push_back(task);
         if (task.pending_timeout >= 0) {
           const TaskId task_id = task.id;
           task.timeout_event =
@@ -818,22 +818,24 @@ void RtKernel::serve(Task& task) {
                 }
                 t->timeout_event = 0;
                 if (t->pending_mailbox != nullptr) {
-                  std::erase(t->pending_mailbox->waiting_, t);
+                  t->pending_mailbox->waiting_.remove(*t);
                 }
                 t->mailbox_result.reset();
                 make_ready(*t, true);
                 settle();
               });
         }
-        trace_.add(now(), TraceKind::kBlocked, task.id, task.params.cpu,
-                   "mailbox:" + task.pending_mailbox->name());
+        if (trace_.enabled()) {
+          trace_.add(now(), TraceKind::kBlocked, task.id, task.params.cpu,
+                     "mailbox:" + task.pending_mailbox->name());
+        }
         exited = true;
         break;
       }
       case PendingOp::kWaitSemaphore: {
         cpu.running = nullptr;
         task.state = TaskState::kWaitingSemaphore;
-        task.pending_semaphore->waiting_.push_back(&task);
+        task.pending_semaphore->waiting_.push_back(task);
         if (task.pending_timeout >= 0) {
           const TaskId task_id = task.id;
           task.timeout_event =
@@ -844,15 +846,17 @@ void RtKernel::serve(Task& task) {
                 }
                 t->timeout_event = 0;
                 if (t->pending_semaphore != nullptr) {
-                  std::erase(t->pending_semaphore->waiting_, t);
+                  t->pending_semaphore->waiting_.remove(*t);
                 }
                 t->semaphore_acquired = false;
                 make_ready(*t, true);
                 settle();
               });
         }
-        trace_.add(now(), TraceKind::kBlocked, task.id, task.params.cpu,
-                   "sem:" + task.pending_semaphore->name());
+        if (trace_.enabled()) {
+          trace_.add(now(), TraceKind::kBlocked, task.id, task.params.cpu,
+                     "sem:" + task.pending_semaphore->name());
+        }
         exited = true;
         break;
       }

@@ -135,13 +135,20 @@ class RtKernel {
   [[nodiscard]] Shm* shm_find(std::string_view name);
   Result<void> shm_delete(std::string_view name);
 
+  /// Capacity 0 creates a rendezvous-only mailbox: sends succeed only by
+  /// direct handoff to a receiver already parked in receive().
   Result<Mailbox*> mailbox_create(std::string name, std::size_t capacity);
   [[nodiscard]] Mailbox* mailbox_find(std::string_view name);
   Result<void> mailbox_delete(std::string_view name);
+  /// All live mailboxes, in name order (observability: DRCR snapshots use
+  /// this to expose per-channel pressure counters).
+  [[nodiscard]] std::vector<const Mailbox*> mailboxes() const;
 
   /// Asynchronous send (never blocks; false when the mailbox is full and no
   /// receiver waits). Callable from RT tasks and from the non-RT side alike —
-  /// this is the §3.2 command channel primitive.
+  /// this is the §3.2 command channel primitive. When a receiver is parked
+  /// on the mailbox the buffer is moved straight into its result slot
+  /// (direct handoff): no queue traffic, no copy, no allocation.
   bool mailbox_send(Mailbox& mailbox, Message message);
 
   /// Non-blocking receive for the non-RT side (management part polling

@@ -30,16 +30,13 @@
 #include <string>
 #include <vector>
 
+#include "rtos/ipc.hpp"
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
 namespace drt::rtos {
 
-class RtKernel;
 class TaskContext;
-class Mailbox;
-class Semaphore;
-struct Task;
 
 enum class TaskType {
   kPeriodic,
@@ -203,6 +200,11 @@ struct Task {
   Task* ready_prev = nullptr;
   int ready_bucket = -1;              ///< priority bucket while READY, else -1
 
+  // --- intrusive wait-queue links (owned by a Mailbox/Semaphore WaitQueue) ---
+  Task* wait_next = nullptr;
+  Task* wait_prev = nullptr;
+  WaitQueue* wait_queue = nullptr;    ///< queue currently linking this task
+
   // --- coroutine handshake ---
   PendingOp pending_op = PendingOp::kNone;
   SimDuration pending_amount = 0;
@@ -211,7 +213,9 @@ struct Task {
   Semaphore* pending_semaphore = nullptr;
   SimDuration pending_timeout = -1;   ///< <0: infinite
   std::uint64_t timeout_event = 0;
-  std::optional<std::vector<std::byte>> mailbox_result;
+  /// Handoff/queue-pop destination: mailbox_send moves the buffer straight
+  /// into this slot when the task is the parked receiver (zero-copy path).
+  std::optional<Message> mailbox_result;
   bool semaphore_acquired = false;    ///< result of the last semaphore wait
   bool stop_requested = false;
 

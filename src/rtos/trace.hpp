@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.hpp"
@@ -66,9 +67,13 @@ class Trace {
   void disable() { enabled_ = false; }
   [[nodiscard]] bool enabled() const { return enabled_; }
 
+  /// The detail string is materialised only when recording is enabled, so a
+  /// disabled trace costs no allocation on the IPC/scheduling hot paths.
   void add(SimTime when, TraceKind kind, TaskId task, CpuId cpu,
-           std::string detail = {}) {
-    if (enabled_) events_.push_back({when, kind, task, cpu, std::move(detail)});
+           std::string_view detail = {}) {
+    if (enabled_) {
+      events_.push_back({when, kind, task, cpu, std::string(detail)});
+    }
   }
 
   [[nodiscard]] const std::vector<TraceEvent>& events() const {

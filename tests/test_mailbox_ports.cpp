@@ -154,5 +154,131 @@ TEST_F(MailboxPortFixture, SinkDeactivationLeavesProducerRunning) {
   EXPECT_GT(kernel.find_task("src")->stats.activations, 8u);
 }
 
+// ---------------------------------------------------------------------------
+// Kernel-level edge semantics of the ring-buffer/handoff mailbox: the cases
+// the component-level tests above never hit.
+// ---------------------------------------------------------------------------
+
+/// Parks an aperiodic receiver on `mailbox`; `*out` records the payload (or
+/// "<none>") once it resumes.
+TaskId park_receiver(rtos::RtKernel& kernel, rtos::Mailbox& mailbox,
+                     std::string name, std::string* out) {
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = std::move(name),
+                       .type = rtos::TaskType::kAperiodic},
+      [&mailbox, out](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        auto message = co_await ctx.receive(mailbox);
+        *out = message ? rtos::message_to_string(*message) : "<none>";
+      });
+  EXPECT_TRUE(kernel.start_task(id.value()).ok());
+  return id.value();
+}
+
+TEST(MailboxEdge, SendToFullMailboxHandsOffToWaitingReceiver) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  // Capacity 0: the queue is permanently full, so a send can only succeed
+  // when a receiver is already parked — the purest full-with-waiter case.
+  auto mailbox = kernel.mailbox_create("rdv", 0);
+  ASSERT_TRUE(mailbox.ok());
+  EXPECT_TRUE(mailbox.value()->full());
+
+  std::string received;
+  park_receiver(kernel, *mailbox.value(), "rx", &received);
+  engine.run_until(milliseconds(1));
+
+  EXPECT_TRUE(
+      kernel.mailbox_send(*mailbox.value(), rtos::message_from_string("hot")));
+  engine.run_until(milliseconds(2));
+  EXPECT_EQ(received, "hot");
+  EXPECT_EQ(mailbox.value()->sent_count(), 1u);
+  EXPECT_EQ(mailbox.value()->handoff_count(), 1u);
+  EXPECT_EQ(mailbox.value()->dropped_count(), 0u);  // full queue never charged
+  EXPECT_EQ(mailbox.value()->size(), 0u);
+}
+
+TEST(MailboxEdge, ZeroCapacityMailboxIsRendezvousOnly) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("rdv", 0);
+  ASSERT_TRUE(mailbox.ok());
+  EXPECT_EQ(mailbox.value()->capacity(), 0u);
+
+  // No receiver parked: the send has nowhere to go and is dropped.
+  EXPECT_FALSE(
+      kernel.mailbox_send(*mailbox.value(), rtos::message_from_string("x")));
+  EXPECT_EQ(mailbox.value()->dropped_count(), 1u);
+  EXPECT_EQ(mailbox.value()->sent_count(), 0u);
+  EXPECT_FALSE(kernel.mailbox_try_receive(*mailbox.value()).has_value());
+  EXPECT_TRUE(mailbox.value()->empty());
+}
+
+TEST(MailboxEdge, BlockedReceiversAreHandedMessagesFifo) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  ASSERT_TRUE(mailbox.ok());
+
+  std::string first;
+  std::string second;
+  std::string third;
+  park_receiver(kernel, *mailbox.value(), "rx0", &first);
+  engine.run_until(engine.now() + 1'000);  // deterministic park order
+  park_receiver(kernel, *mailbox.value(), "rx1", &second);
+  engine.run_until(engine.now() + 1'000);
+  park_receiver(kernel, *mailbox.value(), "rx2", &third);
+  engine.run_until(engine.now() + 1'000);
+  EXPECT_EQ(mailbox.value()->waiting_count(), 3u);
+
+  for (const char* payload : {"m0", "m1", "m2"}) {
+    EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(),
+                                    rtos::message_from_string(payload)));
+  }
+  engine.run_until(engine.now() + milliseconds(1));
+  // Oldest waiter first; every delivery bypassed the queue.
+  EXPECT_EQ(first, "m0");
+  EXPECT_EQ(second, "m1");
+  EXPECT_EQ(third, "m2");
+  EXPECT_EQ(mailbox.value()->handoff_count(), 3u);
+  EXPECT_EQ(mailbox.value()->size(), 0u);
+}
+
+TEST(MailboxEdge, TimeoutFiringAtSendInstantWinsTheRace) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("mbx", 4);
+  ASSERT_TRUE(mailbox.ok());
+
+  bool got_message = true;
+  SimTime resumed_at = -1;
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "rx", .type = rtos::TaskType::kAperiodic},
+      [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        auto message =
+            co_await ctx.receive_timed(*mailbox.value(), milliseconds(3));
+        got_message = message.has_value();
+        resumed_at = ctx.now();
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+
+  // A send lands at exactly the timeout instant. The timeout event was
+  // scheduled when the receiver blocked, i.e. before the send's event, so at
+  // equal timestamps it fires first: the receiver resumes empty-handed and
+  // the message is queued, not handed off. Pinned as the deterministic
+  // resolution of this race.
+  engine.schedule_at(milliseconds(3), [&] {
+    EXPECT_TRUE(kernel.mailbox_send(*mailbox.value(),
+                                    rtos::message_from_string("late")));
+  });
+  engine.run_until(milliseconds(10));
+
+  EXPECT_FALSE(got_message);
+  EXPECT_EQ(resumed_at, milliseconds(3));
+  EXPECT_EQ(mailbox.value()->size(), 1u);
+  EXPECT_EQ(mailbox.value()->sent_count(), 1u);
+  EXPECT_EQ(mailbox.value()->handoff_count(), 0u);
+}
+
 }  // namespace
 }  // namespace drt::drcom

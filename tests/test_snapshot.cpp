@@ -6,6 +6,7 @@
 #include "drcom/adaptation.hpp"
 #include "drcom/snapshot.hpp"
 #include "test_helpers.hpp"
+#include "xml/parser.hpp"
 
 namespace drt::drcom {
 namespace {
@@ -135,6 +136,48 @@ TEST(Snapshot, EmptyRuntimeSnapshotsAndRestores) {
 }
 
 // ----------------------------------------------------- kRestart watchdog --
+
+TEST(Snapshot, ChannelPressureSectionIsOptInAndRestorable) {
+  World world;
+  auto mailbox = world.kernel.mailbox_create("events", 4);
+  ASSERT_TRUE(mailbox.ok());
+  ASSERT_TRUE(world.kernel.mailbox_send(
+      *mailbox.value(), rtos::message_from_string("pending")));
+  ASSERT_TRUE(world.drcr.register_component(component("solo")).ok());
+
+  // Default snapshot: contract only, no runtime data.
+  EXPECT_EQ(snapshot_to_xml(world.drcr).find("drt:channels"),
+            std::string::npos);
+
+  const std::string snapshot =
+      snapshot_to_xml(world.drcr, {.include_channels = true});
+  auto doc = xml::parse(snapshot);
+  ASSERT_TRUE(doc.ok());
+  const xml::Element* channels =
+      doc.value().root->first_child("drt:channels");
+  ASSERT_NE(channels, nullptr);
+  EXPECT_TRUE(channels->has_attribute("pool_live_slabs"));
+  EXPECT_TRUE(channels->has_attribute("pool_free_bytes"));
+
+  // The component's command/response mailboxes plus "events", name-ordered.
+  const auto mailboxes = channels->children_named("drt:mailbox");
+  ASSERT_GE(mailboxes.size(), 1u);
+  const xml::Element* events = nullptr;
+  for (const auto* element : mailboxes) {
+    if (element->attribute_or("name", "") == "events") events = element;
+  }
+  ASSERT_NE(events, nullptr);
+  EXPECT_EQ(events->attribute_or("capacity", ""), "4");
+  EXPECT_EQ(events->attribute_or("depth", ""), "1");
+  EXPECT_EQ(events->attribute_or("sent", ""), "1");
+  EXPECT_EQ(events->attribute_or("dropped", ""), "0");
+  EXPECT_EQ(events->attribute_or("handoff", ""), "0");
+
+  // The channels element is observability, not contract: restore skips it.
+  World other;
+  EXPECT_TRUE(restore_from_xml(other.drcr, snapshot).ok());
+  EXPECT_EQ(other.drcr.active_count(), 1u);
+}
 
 TEST(RestartAction, CrashedComponentComesBackFresh) {
   World world;
