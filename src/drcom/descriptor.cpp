@@ -1,7 +1,9 @@
 #include "drcom/descriptor.hpp"
 
+#include <cmath>
 #include <sstream>
 
+#include "rtos/kernel.hpp"
 #include "util/strings.hpp"
 #include "xml/parser.hpp"
 #include "xml/writer.hpp"
@@ -308,7 +310,9 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
                         "periodic component '" + descriptor.name +
                             "' needs a periodictask element");
     }
-    if (descriptor.periodic->frequency_hz <= 0.0) {
+    // NaN fails every ordered comparison, so `<= 0.0` alone lets it through.
+    if (!std::isfinite(descriptor.periodic->frequency_hz) ||
+        descriptor.periodic->frequency_hz <= 0.0) {
       return make_error("drcom.bad_descriptor",
                         "component '" + descriptor.name +
                             "' has non-positive frequency");
@@ -347,10 +351,25 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
                             (trigger.empty() ? "" : (" ('" + trigger + "')")));
     }
   }
-  if (descriptor.cpu_usage < 0.0 || descriptor.cpu_usage > 1.0) {
+  // NaN would poison every utilization sum downstream while passing both
+  // ordered comparisons below, so reject non-finite values explicitly.
+  if (!std::isfinite(descriptor.cpu_usage) || descriptor.cpu_usage < 0.0 ||
+      descriptor.cpu_usage > 1.0) {
     return make_error("drcom.bad_descriptor",
                       "component '" + descriptor.name +
                           "' cpuusage must lie in [0,1]");
+  }
+  const int declared_priority = descriptor.periodic.has_value()
+                                    ? descriptor.periodic->priority
+                                    : (descriptor.sporadic.has_value()
+                                           ? descriptor.sporadic->priority
+                                           : 0);
+  if (declared_priority > rtos::kMaxPriority) {
+    return make_error("drcom.bad_descriptor",
+                      "component '" + descriptor.name + "' priority " +
+                          std::to_string(declared_priority) +
+                          " exceeds the RT maximum of " +
+                          std::to_string(rtos::kMaxPriority));
   }
   for (const auto& port : descriptor.ports) {
     if (port.name.size() > kMaxRtName) {
@@ -361,6 +380,13 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
     if (port.size == 0) {
       return make_error("drcom.bad_descriptor",
                         "port '" + port.name + "' has zero size");
+    }
+    // Divide rather than multiply: size * element_size could wrap.
+    if (port.size > kMaxPortBytes / rtos::element_size(port.data_type)) {
+      return make_error("drcom.bad_descriptor",
+                        "port '" + port.name + "' size " +
+                            std::to_string(port.size) + " exceeds the " +
+                            std::to_string(kMaxPortBytes) + "-byte limit");
     }
     // A component must not declare the same port name twice.
     std::size_t occurrences = 0;

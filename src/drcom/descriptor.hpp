@@ -36,6 +36,12 @@ namespace drt::drcom {
 /// Maximum component/port name length (underlying RTOS limitation, §2.3).
 inline constexpr std::size_t kMaxRtName = 6;
 
+/// Maximum byte size of a single port's backing object (SHM segment or
+/// mailbox message slot). Ports are materialised eagerly at activation, so an
+/// untrusted descriptor declaring a multi-gigabyte port must be rejected at
+/// validation time, not discovered as a bad_alloc mid-transaction.
+inline constexpr std::size_t kMaxPortBytes = std::size_t{1} << 20;
+
 enum class PortDirection { kIn, kOut };
 
 [[nodiscard]] constexpr const char* to_string(PortDirection direction) {

@@ -97,10 +97,35 @@ Result<void> Drcr::unregister_component(const std::string& name) {
     deactivate(found->second, "component unregistered");
   }
   components_.erase(found);
+  forget_system_member(name);
   emit(DrcrEventType::kUnregistered, name);
   cascade_departures();
   if (config_.auto_resolve) resolve();
   return Result<void>::success();
+}
+
+void Drcr::forget_system_member(const std::string& name) {
+  for (auto it = systems_.begin(); it != systems_.end();) {
+    SystemDescriptor& system = it->second;
+    const auto member =
+        std::find_if(system.components.begin(), system.components.end(),
+                     [&](const ComponentDescriptor& c) {
+                       return c.name == name;
+                     });
+    if (member == system.components.end()) {
+      ++it;
+      continue;
+    }
+    system.components.erase(member);
+    std::erase_if(system.connections, [&](const ConnectionSpec& link) {
+      return link.from_component == name || link.to_component == name;
+    });
+    if (system.components.empty()) {
+      it = systems_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 Result<void> Drcr::enable_component(const std::string& name) {
@@ -471,7 +496,20 @@ Result<std::unique_ptr<RtComponent>> Drcr::instantiate(
           framework_->registry().get_service<ComponentFactoryService>(
               *reference);
       if (service != nullptr && service->create) {
-        auto instance = service->create();
+        // Same contract as ComponentFactoryRegistry::create: user factory
+        // code must not unwind through the resolver.
+        std::unique_ptr<RtComponent> instance;
+        try {
+          instance = service->create();
+        } catch (const std::exception& e) {
+          return make_error("drcom.factory_failed",
+                            "factory service for '" + descriptor.bincode +
+                                "' threw: " + e.what());
+        } catch (...) {
+          return make_error("drcom.factory_failed",
+                            "factory service for '" + descriptor.bincode +
+                                "' threw a non-standard exception");
+        }
         if (instance != nullptr) {
           return instance;
         }

@@ -198,6 +198,10 @@ class Drcr {
   bool resolve_round();
   /// Deactivates actives whose in-ports lost their provider, repeatedly.
   void cascade_departures();
+  /// Prunes `name` (and its declared connections) from every stored system
+  /// composition; drops a system record that becomes empty. Keeps snapshots
+  /// faithful when a system member is unregistered directly.
+  void forget_system_member(const std::string& name);
   /// Applies ResolvingService::revoke results.
   void apply_revocations();
 

@@ -83,7 +83,20 @@ class ComponentFactoryRegistry {
                         "no implementation registered for bincode '" +
                             std::string(bincode) + "'");
     }
-    auto instance = found->second();
+    // User code runs here; a throwing factory must surface as an activation
+    // failure (admission rolls back), not unwind through the resolver.
+    std::unique_ptr<RtComponent> instance;
+    try {
+      instance = found->second();
+    } catch (const std::exception& e) {
+      return make_error("drcom.factory_failed",
+                        "factory for '" + std::string(bincode) +
+                            "' threw: " + e.what());
+    } catch (...) {
+      return make_error("drcom.factory_failed",
+                        "factory for '" + std::string(bincode) +
+                            "' threw a non-standard exception");
+    }
     if (instance == nullptr) {
       return make_error("drcom.factory_failed",
                         "factory for '" + std::string(bincode) +

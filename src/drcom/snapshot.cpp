@@ -30,6 +30,8 @@ namespace {
     element->set_attribute("capacity", std::to_string(mailbox->capacity()));
     element->set_attribute("depth", std::to_string(mailbox->size()));
     element->set_attribute("sent", std::to_string(mailbox->sent_count()));
+    element->set_attribute("received",
+                           std::to_string(mailbox->received_count()));
     element->set_attribute("dropped",
                            std::to_string(mailbox->dropped_count()));
     element->set_attribute("handoff",

@@ -1,0 +1,94 @@
+#include "rtos/fault.hpp"
+
+#include <algorithm>
+
+namespace drt::rtos {
+
+void FaultPlan::arm(FaultSpec spec) {
+  if (spec.nth == 0) spec.nth = 1;
+  armed_.push_back({std::move(spec), 0, false});
+}
+
+void FaultPlan::clear() {
+  armed_.clear();
+  injected_.clear();
+  killed_.clear();
+}
+
+FaultPlan::Armed* FaultPlan::advance(std::initializer_list<FaultKind> kinds,
+                                     std::string_view target) {
+  Armed* firing = nullptr;
+  for (Armed& armed : armed_) {
+    if (armed.fired) continue;
+    if (std::find(kinds.begin(), kinds.end(), armed.spec.kind) == kinds.end()) {
+      continue;
+    }
+    if (armed.spec.target != target) continue;
+    ++armed.seen;
+    if (armed.seen >= armed.spec.nth && firing == nullptr) {
+      armed.fired = true;
+      firing = &armed;
+    }
+  }
+  return firing;
+}
+
+void FaultPlan::record(const Armed& armed, std::string_view target,
+                       TaskId task, SimTime now, SimDuration amount) {
+  FaultEvent event;
+  event.when = now;
+  event.kind = armed.spec.kind;
+  event.target = std::string(target);
+  event.task = task;
+  event.amount = amount;
+  injected_.push_back(std::move(event));
+}
+
+SendFaultAction FaultPlan::on_mailbox_send(std::string_view mailbox,
+                                           SimTime now) {
+  Armed* firing = advance({FaultKind::kDropMessage,
+                           FaultKind::kDuplicateMessage,
+                           FaultKind::kMiscountMessage},
+                          mailbox);
+  if (firing == nullptr) return SendFaultAction::kDeliver;
+  switch (firing->spec.kind) {
+    case FaultKind::kDropMessage:
+      record(*firing, mailbox, 0, now, 0);
+      return SendFaultAction::kDrop;
+    case FaultKind::kDuplicateMessage:
+      record(*firing, mailbox, 0, now, 0);
+      return SendFaultAction::kDuplicate;
+    case FaultKind::kMiscountMessage:
+      // Intentionally NOT recorded: the planted bug must look like a genuine
+      // accounting defect to the oracle, or the self-test proves nothing.
+      return SendFaultAction::kMiscount;
+    default:
+      return SendFaultAction::kDeliver;
+  }
+}
+
+SimDuration FaultPlan::demand_inflation(std::string_view task, TaskId id,
+                                        SimTime now) {
+  Armed* firing = advance({FaultKind::kBudgetOverrun}, task);
+  if (firing == nullptr) return 0;
+  record(*firing, task, id, now, firing->spec.amount);
+  return firing->spec.amount;
+}
+
+SimDuration FaultPlan::wake_delay(std::string_view task, TaskId id,
+                                  SimTime now) {
+  Armed* firing = advance({FaultKind::kDelayWakeup}, task);
+  if (firing == nullptr) return 0;
+  record(*firing, task, id, now, firing->spec.amount);
+  return firing->spec.amount;
+}
+
+bool FaultPlan::should_kill(std::string_view task, TaskId id, SimTime now) {
+  Armed* firing = advance({FaultKind::kKillTask}, task);
+  if (firing == nullptr) return false;
+  record(*firing, task, id, now, 0);
+  killed_.insert(id);
+  return true;
+}
+
+}  // namespace drt::rtos

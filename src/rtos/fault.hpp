@@ -1,0 +1,114 @@
+// Kernel-level fault injection for the scenario fuzzer (src/testing).
+//
+// A FaultPlan is a list of armed, single-shot faults the kernel consults at
+// well-defined points: mailbox sends (drop / duplicate the nth message),
+// consume() demands (budget overrun), periodic wakes (delayed wakeup) and
+// scheduling boundaries (kill a task mid-job). Each fault fires exactly once,
+// at the nth matching operation after arming, and leaves a FaultEvent record
+// behind so an invariant oracle can distinguish "the fault we injected" from
+// "a bug the fault uncovered". The plan is plain deterministic bookkeeping —
+// no randomness, no time sources — so a replayed scenario injects the exact
+// same faults at the exact same virtual instants.
+//
+// Production code never links a plan in: RtKernel::set_fault_plan is opt-in
+// and a null plan costs one pointer test per consultation point.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace drt::rtos {
+
+enum class FaultKind {
+  kDropMessage,       ///< discard the nth send on a mailbox (sender sees ok)
+  kDuplicateMessage,  ///< deliver the nth send on a mailbox twice
+  kBudgetOverrun,     ///< inflate the nth consume() demand of a task
+  kDelayWakeup,       ///< add latency to the nth periodic wake of a task
+  kKillTask,          ///< destroy a task at its nth scheduling boundary
+  /// Deliberately planted accounting bug (delivers the nth message but rolls
+  /// back the sent counter). Exists ONLY so the fuzzer's self-test can prove
+  /// the invariant oracle catches a real violation; nothing else arms it.
+  kMiscountMessage,
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDropMessage: return "drop_message";
+    case FaultKind::kDuplicateMessage: return "duplicate_message";
+    case FaultKind::kBudgetOverrun: return "budget_overrun";
+    case FaultKind::kDelayWakeup: return "delay_wakeup";
+    case FaultKind::kKillTask: return "kill_task";
+    case FaultKind::kMiscountMessage: return "miscount_message";
+  }
+  return "?";
+}
+
+/// One armed fault. `target` names a mailbox (message faults) or a task
+/// (task faults); `nth` is the 1-based index of the matching operation that
+/// trips it; `amount` is the injected nanoseconds for overrun/delay kinds.
+struct FaultSpec {
+  FaultKind kind = FaultKind::kDropMessage;
+  std::string target;
+  std::uint64_t nth = 1;
+  SimDuration amount = 0;
+};
+
+/// Record of a fault that actually fired.
+struct FaultEvent {
+  SimTime when = 0;
+  FaultKind kind = FaultKind::kDropMessage;
+  std::string target;
+  TaskId task = 0;
+  SimDuration amount = 0;
+};
+
+/// What the kernel should do with one particular mailbox send.
+enum class SendFaultAction { kDeliver, kDrop, kDuplicate, kMiscount };
+
+class FaultPlan {
+ public:
+  /// Arms a single-shot fault. Operation counting starts at the arm point.
+  void arm(FaultSpec spec);
+  void clear();
+
+  /// Faults that fired so far, in firing order.
+  [[nodiscard]] const std::vector<FaultEvent>& injected() const {
+    return injected_;
+  }
+  /// True when a kill-task fault already destroyed this task (oracle: such a
+  /// task is dead by design, not by bug).
+  [[nodiscard]] bool task_was_killed(TaskId id) const {
+    return killed_.contains(id);
+  }
+  [[nodiscard]] std::size_t armed_count() const { return armed_.size(); }
+
+  // ----- kernel consultation points (one call per matching operation) -----
+  SendFaultAction on_mailbox_send(std::string_view mailbox, SimTime now);
+  SimDuration demand_inflation(std::string_view task, TaskId id, SimTime now);
+  SimDuration wake_delay(std::string_view task, TaskId id, SimTime now);
+  bool should_kill(std::string_view task, TaskId id, SimTime now);
+
+ private:
+  struct Armed {
+    FaultSpec spec;
+    std::uint64_t seen = 0;
+    bool fired = false;
+  };
+  /// Advances the counters of every live spec matching (kinds, target);
+  /// returns the spec that fires now, or nullptr.
+  Armed* advance(std::initializer_list<FaultKind> kinds,
+                 std::string_view target);
+  void record(const Armed& armed, std::string_view target, TaskId task,
+              SimTime now, SimDuration amount);
+
+  std::vector<Armed> armed_;
+  std::vector<FaultEvent> injected_;
+  std::unordered_set<TaskId> killed_;
+};
+
+}  // namespace drt::rtos

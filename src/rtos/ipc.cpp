@@ -213,6 +213,7 @@ std::optional<Message> Mailbox::pop() {
   Message out = std::move(ring_[head_ & mask_]);
   ++head_;
   --count_;
+  ++received_;
   return out;
 }
 

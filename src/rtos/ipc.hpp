@@ -346,6 +346,17 @@ class Mailbox {
   [[nodiscard]] std::uint64_t dropped_count() const { return dropped_; }
   /// Sends that bypassed the queue into a waiting receiver (subset of sent).
   [[nodiscard]] std::uint64_t handoff_count() const { return handoff_; }
+  /// Messages taken out by receivers (handoffs + queue pops). Conservation
+  /// law checked by the fuzzer's oracle: sent == received + size().
+  [[nodiscard]] std::uint64_t received_count() const { return received_; }
+  /// Sends discarded by an armed FaultPlan (the sender saw success).
+  [[nodiscard]] std::uint64_t fault_dropped_count() const {
+    return fault_dropped_;
+  }
+  /// Extra deliveries manufactured by duplicate-message faults.
+  [[nodiscard]] std::uint64_t fault_duplicated_count() const {
+    return fault_duplicated_;
+  }
   [[nodiscard]] std::size_t waiting_count() const { return waiting_.size(); }
 
  private:
@@ -365,6 +376,9 @@ class Mailbox {
   std::uint64_t sent_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t handoff_ = 0;
+  std::uint64_t received_ = 0;
+  std::uint64_t fault_dropped_ = 0;
+  std::uint64_t fault_duplicated_ = 0;
 };
 
 /// Counting semaphore (rt_sem equivalent) — the paper's §6 notes "limited

@@ -445,6 +445,22 @@ Task* RtKernel::find_task(std::string_view name) {
   return found == tasks_by_name_.end() ? nullptr : find_task(found->second);
 }
 
+const Task* RtKernel::find_task(std::string_view name) const {
+  return const_cast<RtKernel*>(this)->find_task(name);
+}
+
+const Task* RtKernel::running_task(CpuId cpu) const {
+  return cpu < cpus_.size() ? cpus_[cpu].running : nullptr;
+}
+
+const Task* RtKernel::next_ready(CpuId cpu) const {
+  return cpu < cpus_.size() ? cpus_[cpu].ready.front() : nullptr;
+}
+
+std::size_t RtKernel::ready_count(CpuId cpu) const {
+  return cpu < cpus_.size() ? cpus_[cpu].ready.size() : 0;
+}
+
 void RtKernel::release_task_name(const Task& task) {
   const auto found = tasks_by_name_.find(task.params.name);
   if (found != tasks_by_name_.end() && found->second == task.id) {
@@ -472,6 +488,12 @@ Result<Shm*> RtKernel::shm_create(std::string name, std::size_t size_bytes) {
   if (size_bytes == 0) {
     return make_error("rtos.bad_shm", "shm '" + name + "' has zero size");
   }
+  if (size_bytes > kMaxShmBytes) {
+    return make_error("rtos.bad_shm",
+                      "shm '" + name + "' size " + std::to_string(size_bytes) +
+                          " exceeds the " + std::to_string(kMaxShmBytes) +
+                          "-byte limit");
+  }
   auto shm = std::make_unique<Shm>(name, size_bytes);
   Shm* raw = shm.get();
   shms_.emplace(std::move(name), std::move(shm));
@@ -498,6 +520,12 @@ Result<Mailbox*> RtKernel::mailbox_create(std::string name,
     return make_error("rtos.duplicate_mailbox",
                       "mailbox '" + name + "' exists");
   }
+  if (capacity > kMaxMailboxCapacity) {
+    return make_error("rtos.bad_mailbox",
+                      "mailbox '" + name + "' capacity " +
+                          std::to_string(capacity) + " exceeds the " +
+                          std::to_string(kMaxMailboxCapacity) + "-slot limit");
+  }
   // Capacity 0 is legal: a rendezvous-only mailbox whose sends succeed only
   // by direct handoff to an already-waiting receiver.
   auto mailbox = std::make_unique<Mailbox>(name, capacity);
@@ -509,6 +537,14 @@ Result<Mailbox*> RtKernel::mailbox_create(std::string name,
 Mailbox* RtKernel::mailbox_find(std::string_view name) {
   const auto found = mailboxes_.find(name);
   return found == mailboxes_.end() ? nullptr : found->second.get();
+}
+
+const Mailbox* RtKernel::mailbox_find(std::string_view name) const {
+  return const_cast<RtKernel*>(this)->mailbox_find(name);
+}
+
+const Shm* RtKernel::shm_find(std::string_view name) const {
+  return const_cast<RtKernel*>(this)->shm_find(name);
 }
 
 std::vector<const Mailbox*> RtKernel::mailboxes() const {
@@ -537,8 +573,7 @@ Result<void> RtKernel::mailbox_delete(std::string_view name) {
   return Result<void>::success();
 }
 
-bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
-  trace_.add(now(), TraceKind::kMailboxSend, 0, 0, mailbox.name());
+bool RtKernel::deliver_message(Mailbox& mailbox, Message message) {
   // Direct handoff: the buffer moves straight into a waiting receiver's
   // result slot — the queue (and any copy or allocation) is bypassed
   // entirely. This is the common rendezvous case of a parked consumer.
@@ -549,11 +584,38 @@ bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
     receiver->mailbox_result = std::move(message);
     ++mailbox.sent_;
     ++mailbox.handoff_;
+    ++mailbox.received_;
     make_ready(*receiver, true);
     settle();
     return true;
   }
-  const bool accepted = mailbox.push(std::move(message));
+  return mailbox.push(std::move(message));
+}
+
+bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
+  SendFaultAction action = SendFaultAction::kDeliver;
+  if (fault_plan_ != nullptr) {
+    action = fault_plan_->on_mailbox_send(mailbox.name(), now());
+  }
+  if (action == SendFaultAction::kDrop) {
+    // The channel "lost" the message: it reaches neither queue nor receiver,
+    // but the sender still sees success (asynchronous send semantics).
+    ++mailbox.fault_dropped_;
+    return true;
+  }
+  if (action == SendFaultAction::kDuplicate) {
+    ++mailbox.fault_duplicated_;
+    trace_.add(now(), TraceKind::kMailboxSend, 0, 0, mailbox.name());
+    deliver_message(mailbox, Message(message));
+  }
+  trace_.add(now(), TraceKind::kMailboxSend, 0, 0, mailbox.name());
+  const bool accepted = deliver_message(mailbox, std::move(message));
+  if (action == SendFaultAction::kMiscount && accepted) {
+    // Deliberately planted accounting bug (FaultKind::kMiscountMessage): the
+    // message was delivered but the counter says otherwise. Armed only by
+    // the fuzzer's self-test to prove the invariant oracle catches it.
+    --mailbox.sent_;
+  }
   return accepted;
 }
 
@@ -673,7 +735,9 @@ void RtKernel::dispatch(Cpu& cpu, Task& task) {
 
 void RtKernel::preempt(Cpu& cpu) {
   Task* task = cpu.running;
-  assert(task != nullptr);
+  // Defensive guard (was a bare assert): settle() only preempts busy CPUs,
+  // but a future caller getting this wrong must not be undefined behaviour.
+  if (task == nullptr) return;
   engine_->cancel(task->completion_event);
   task->completion_event = 0;
   charge(cpu, *task);
@@ -714,6 +778,17 @@ void RtKernel::on_cpu_event(CpuId cpu_id, TaskId task_id, EventId /*event*/) {
   }
   task->completion_event = 0;
   charge(cpu, *task);
+  if (fault_plan_ != nullptr &&
+      fault_plan_->should_kill(task->params.name, task->id, now())) {
+    // Injected crash: the task dies mid-job, exactly as if its code faulted
+    // on real hardware. The CPU is freed and the scheduler moves on.
+    task->error = std::make_exception_ptr(
+        std::runtime_error("fault injection: task killed mid-job"));
+    cpu.running = nullptr;
+    finish_task(*task);
+    settle();
+    return;
+  }
   if (task->remaining_demand <= 0) {
     task->remaining_demand = 0;
     serve(*task);
@@ -751,6 +826,11 @@ void RtKernel::serve(Task& task) {
     switch (task.pending_op) {
       case PendingOp::kDemand:
         task.remaining_demand = task.pending_amount;
+        if (fault_plan_ != nullptr) {
+          // Budget-overrun fault: the job "takes longer than declared".
+          task.remaining_demand +=
+              fault_plan_->demand_inflation(task.params.name, task.id, now());
+        }
         schedule_completion(cpu, task);
         exited = true;
         break;
@@ -922,7 +1002,11 @@ void RtKernel::on_timer_fire(TaskId task_id, SimTime ideal, EventId) {
   // Stage 2 of the wake path: interrupt -> runnable, cost depends on the
   // CPU's state at this very instant.
   const bool idle = cpu_idle_for_wake(task->params.cpu);
-  const SimDuration wake_cost = latency_model_.sample_wake_cost(idle, rng_);
+  SimDuration wake_cost = latency_model_.sample_wake_cost(idle, rng_);
+  if (fault_plan_ != nullptr) {
+    // Delayed-wakeup fault: the release interrupt is serviced late.
+    wake_cost += fault_plan_->wake_delay(task->params.name, task->id, now());
+  }
   task->release_event =
       engine_->schedule_after(wake_cost, [this, task_id, ideal] {
         Task* t = find_task(task_id);

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "rtos/fault.hpp"
 #include "rtos/ipc.hpp"
 #include "rtos/latency_model.hpp"
 #include "rtos/load.hpp"
@@ -33,6 +34,15 @@ namespace drt::rtos {
 /// per-CPU ready bitmap (RTAI convention: 0 = most important), so
 /// create_task rejects values outside [0, kMaxPriority].
 inline constexpr int kMaxPriority = 255;
+
+/// Upper bound on mailbox capacity (message slots). The ring buffer is
+/// pre-sized at creation, so an absurd capacity reaching the kernel from an
+/// untrusted descriptor would be a giant up-front allocation; reject it with
+/// a structured error instead.
+inline constexpr std::size_t kMaxMailboxCapacity = std::size_t{1} << 16;
+
+/// Upper bound on a shared-memory segment (bytes), for the same reason.
+inline constexpr std::size_t kMaxShmBytes = std::size_t{64} << 20;
 
 /// RTAI-style O(1) ready queue: one intrusive FIFO per priority level plus a
 /// find-first-set bitmap over the non-empty levels. front() scans four
@@ -125,20 +135,33 @@ class RtKernel {
   [[nodiscard]] Task* find_task(TaskId id);
   [[nodiscard]] const Task* find_task(TaskId id) const;
   [[nodiscard]] Task* find_task(std::string_view name);
+  [[nodiscard]] const Task* find_task(std::string_view name) const;
   [[nodiscard]] std::vector<const Task*> tasks() const;
 
   /// Sum of cpu-demand served on `cpu` so far (for utilization accounting).
   [[nodiscard]] SimDuration cpu_busy_time(CpuId cpu) const;
 
+  // ------------------------------------------------- const introspection ----
+  // Read-only scheduler state for external checkers (the invariant oracle of
+  // src/testing): what runs on a CPU right now and what would run next.
+  /// Task currently holding `cpu`; nullptr when idle or out of range.
+  [[nodiscard]] const Task* running_task(CpuId cpu) const;
+  /// Best ready (not running) task on `cpu`; nullptr when none.
+  [[nodiscard]] const Task* next_ready(CpuId cpu) const;
+  /// Number of ready (not running) tasks on `cpu`.
+  [[nodiscard]] std::size_t ready_count(CpuId cpu) const;
+
   // --------------------------------------------------------------- IPC ----
   Result<Shm*> shm_create(std::string name, std::size_t size_bytes);
   [[nodiscard]] Shm* shm_find(std::string_view name);
+  [[nodiscard]] const Shm* shm_find(std::string_view name) const;
   Result<void> shm_delete(std::string_view name);
 
   /// Capacity 0 creates a rendezvous-only mailbox: sends succeed only by
   /// direct handoff to a receiver already parked in receive().
   Result<Mailbox*> mailbox_create(std::string name, std::size_t capacity);
   [[nodiscard]] Mailbox* mailbox_find(std::string_view name);
+  [[nodiscard]] const Mailbox* mailbox_find(std::string_view name) const;
   Result<void> mailbox_delete(std::string_view name);
   /// All live mailboxes, in name order (observability: DRCR snapshots use
   /// this to expose per-channel pressure counters).
@@ -171,6 +194,13 @@ class RtKernel {
   [[nodiscard]] LinuxLoad& linux_load() { return load_; }
   [[nodiscard]] LatencyModel& latency_model() { return latency_model_; }
   [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  /// Opt-in fault injection (testing): while set, the kernel consults the
+  /// plan on every mailbox send, consume() demand, periodic wake and
+  /// scheduling boundary. The plan must outlive the kernel or be unset.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+  [[nodiscard]] FaultPlan* fault_plan() const { return fault_plan_; }
 
   /// Swaps the Linux-domain load profile (light <-> stress) at runtime.
   void set_load_config(LoadConfig config) { load_.set_config(config); }
@@ -235,6 +265,11 @@ class RtKernel {
   std::map<std::string, std::unique_ptr<Semaphore>, std::less<>> semaphores_;
   TaskId next_task_id_ = 1;
   int serving_depth_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
+
+  /// Queue/handoff delivery shared by the normal and fault-duplicated send
+  /// paths in mailbox_send.
+  bool deliver_message(Mailbox& mailbox, Message message);
 };
 
 // --------------------------------------------------------------------------

@@ -1,0 +1,420 @@
+#include "testing/fuzzer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "drcom/snapshot.hpp"
+#include "drcom/system_descriptor.hpp"
+#include "util/strings.hpp"
+
+namespace drt::testing {
+namespace {
+
+using drcom::ComponentDescriptor;
+using drcom::PortInterface;
+
+/// The workhorse fuzz component: expresses its declared cpuusage as real
+/// demand and touches every declared port each job, so randomized scenarios
+/// generate genuine scheduling pressure and IPC traffic.
+class FuzzComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override { return body(job); }
+
+ private:
+  static SimDuration job_cost(const ComponentDescriptor& d) {
+    SimDuration base = 0;
+    if (d.periodic.has_value()) base = d.periodic->period();
+    if (d.sporadic.has_value()) base = d.sporadic->min_interarrival;
+    const auto cost =
+        static_cast<SimDuration>(static_cast<double>(base) * d.cpu_usage);
+    return std::max<SimDuration>(1'000, cost);
+  }
+
+  static void touch_ports(drcom::JobContext& job, std::int32_t counter) {
+    const ComponentDescriptor& d = job.descriptor();
+    for (const auto* port : d.outports()) {
+      if (port->interface == PortInterface::kShm) {
+        (void)job.write_i32(port->name, 0, counter);
+      } else {
+        (void)job.send(port->name, rtos::message_from_string("f"));
+      }
+    }
+    for (const auto* port : d.inports()) {
+      if (port->interface == PortInterface::kShm) {
+        (void)job.read_i32(port->name, 0);
+      }
+    }
+  }
+
+  static rtos::TaskCoro body(drcom::JobContext& job) {
+    const ComponentDescriptor& d = job.descriptor();
+    const SimDuration cost = job_cost(d);
+    std::int32_t counter = 0;
+    if (d.type == rtos::TaskType::kPeriodic) {
+      while (job.active()) {
+        co_await job.consume(cost);
+        touch_ports(job, counter++);
+        co_await job.next_cycle();
+      }
+    } else if (d.type == rtos::TaskType::kSporadic) {
+      while (job.active()) {
+        auto message = co_await job.next_event();
+        if (!message.has_value()) break;
+        co_await job.consume(cost);
+        touch_ports(job, counter++);
+      }
+    } else {
+      while (job.active()) {
+        co_await job.consume(cost);
+        touch_ports(job, counter++);
+        co_await job.sleep_for(milliseconds(2));
+        co_await job.next_cycle();
+      }
+    }
+  }
+};
+
+/// init() throws: exercises the activation-failure path where the RT task's
+/// body factory fails after admission succeeded.
+class InitThrowComponent : public FuzzComponent {
+ public:
+  void init(drcom::JobContext&) override {
+    throw std::runtime_error("fuzz: injected init failure");
+  }
+};
+
+rtos::KernelConfig kernel_config(std::uint64_t seed,
+                                 const ScenarioConfig& config) {
+  rtos::KernelConfig kernel_config;
+  kernel_config.cpus = config.cpus;
+  kernel_config.seed = seed;
+  return kernel_config;
+}
+
+std::string outcome(const Result<void>& result) {
+  return result.ok() ? "ok" : "err(" + result.error().code + ")";
+}
+
+}  // namespace
+
+FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
+    : engine(),
+      framework(),
+      kernel(engine, kernel_config(seed, config)),
+      faults(),
+      drcr(framework, kernel,
+           {.cpu_budget = config.cpu_budget,
+            .auto_resolve = true,
+            .register_service = true}),
+      config_(config),
+      seed_(seed) {
+  kernel.trace().enable();
+  kernel.set_fault_plan(&faults);
+  drcr.factories().register_factory(
+      "fuzz.ok", [] { return std::make_unique<FuzzComponent>(); });
+  drcr.factories().register_factory(
+      "fuzz.throw", []() -> std::unique_ptr<drcom::RtComponent> {
+        throw std::runtime_error("fuzz: injected factory failure");
+      });
+  drcr.factories().register_factory(
+      "fuzz.null", []() -> std::unique_ptr<drcom::RtComponent> {
+        return nullptr;
+      });
+  drcr.factories().register_factory(
+      "fuzz.init", [] { return std::make_unique<InitThrowComponent>(); });
+}
+
+FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
+  ApplyResult result;
+  std::ostringstream log;
+  log << "@" << engine.now() << " " << describe(action) << " -> ";
+  switch (action.kind) {
+    case ActionKind::kRegisterComponent: {
+      auto descriptor = drcom::parse_descriptor(action.payload);
+      if (!descriptor.ok()) {
+        log << "err(" << descriptor.error().code << ")";
+        break;
+      }
+      log << outcome(drcr.register_component(std::move(descriptor.value())));
+      break;
+    }
+    case ActionKind::kUnregisterComponent:
+      log << outcome(drcr.unregister_component(action.name));
+      break;
+    case ActionKind::kEnableComponent:
+      log << outcome(drcr.enable_component(action.name));
+      break;
+    case ActionKind::kDisableComponent:
+      log << outcome(drcr.disable_component(action.name));
+      break;
+    case ActionKind::kDeploySystem: {
+      auto system = drcom::parse_system_descriptor(action.payload);
+      if (!system.ok()) {
+        log << "err(" << system.error().code << ")";
+        break;
+      }
+      log << outcome(drcr.deploy_system(system.value()));
+      break;
+    }
+    case ActionKind::kUndeploySystem:
+      log << outcome(drcr.undeploy_system(action.name));
+      break;
+    case ActionKind::kInstallBundle: {
+      osgi::BundleDefinition definition;
+      definition.manifest.set_symbolic_name(action.name);
+      for (std::size_t i = 0; i < action.extra.size(); ++i) {
+        const std::string path = "DRT-INF/c" + std::to_string(i) + ".xml";
+        definition.manifest.add_component_resource(path);
+        definition.resources[path] = action.extra[i];
+      }
+      auto installed = framework.install(std::move(definition));
+      if (!installed.ok()) {
+        log << "err(" << installed.error().code << ")";
+        break;
+      }
+      log << outcome(framework.start(installed.value()));
+      break;
+    }
+    case ActionKind::kStopBundle:
+    case ActionKind::kUninstallBundle: {
+      osgi::Bundle* bundle = framework.find_bundle(action.name);
+      if (bundle == nullptr) {
+        log << "noop (no such bundle)";
+        break;
+      }
+      log << outcome(action.kind == ActionKind::kStopBundle
+                         ? framework.stop(bundle->id())
+                         : framework.uninstall(bundle->id()));
+      break;
+    }
+    case ActionKind::kSendCommand: {
+      drcom::HybridComponent* instance = drcr.instance_of(action.name);
+      if (instance == nullptr) {
+        log << "noop (not active)";
+        break;
+      }
+      const auto sent = instance->send_command(action.payload);
+      log << outcome(sent);
+      log << " responses=" << instance->drain_responses().size();
+      break;
+    }
+    case ActionKind::kMailboxSend: {
+      rtos::Mailbox* mailbox = kernel.mailbox_find(action.name);
+      if (mailbox == nullptr) {
+        log << "noop (no such mailbox)";
+        break;
+      }
+      log << (kernel.mailbox_send(*mailbox,
+                                  rtos::message_from_string(action.payload))
+                  ? "delivered"
+                  : "full");
+      break;
+    }
+    case ActionKind::kArmFault:
+      faults.arm(action.fault);
+      log << "armed";
+      break;
+    case ActionKind::kAdvanceTime:
+      engine.run_until(engine.now() + action.duration);
+      log << "now=" << engine.now();
+      break;
+    case ActionKind::kResolve:
+      drcr.resolve();
+      log << "active=" << drcr.active_count();
+      break;
+    case ActionKind::kSnapshotRoundTrip: {
+      const std::string before = drcom::snapshot_to_xml(drcr);
+      ScenarioConfig fresh_config = config_;
+      fresh_config.plant_bug = false;
+      FuzzWorld fresh(seed_, fresh_config);
+      auto restored = drcom::restore_from_xml(fresh.drcr, before);
+      if (!restored.ok()) {
+        result.violation =
+            Violation{"snapshot-fixpoint",
+                      "restore(snapshot(S)) failed: " +
+                          restored.error().message};
+        log << "RESTORE FAILED";
+        break;
+      }
+      const std::string after = drcom::snapshot_to_xml(fresh.drcr);
+      if (before != after) {
+        result.violation = Violation{
+            "snapshot-fixpoint",
+            "snapshot(restore(snapshot(S))) differs from snapshot(S): " +
+                std::to_string(before.size()) + " vs " +
+                std::to_string(after.size()) + " bytes"};
+        log << "MISMATCH";
+        break;
+      }
+      log << "fixpoint (" << before.size() << " bytes)";
+      break;
+    }
+  }
+  result.log = log.str();
+  return result;
+}
+
+std::string render_trace(const rtos::Trace& trace) {
+  std::ostringstream out;
+  for (const rtos::TraceEvent& event : trace.events()) {
+    out << event.when << ' ' << rtos::to_string(event.kind) << " task="
+        << event.task << " cpu=" << event.cpu;
+    if (!event.detail.empty()) out << ' ' << event.detail;
+    out << '\n';
+  }
+  return out.str();
+}
+
+ScenarioResult run_scenario_subset(std::uint64_t seed,
+                                   const ScenarioConfig& config,
+                                   const std::vector<std::size_t>& keep) {
+  const std::vector<Action> actions = generate_actions(seed, config);
+  FuzzWorld world(seed, config);
+  InvariantOracle oracle(world.drcr, world.faults, config.cpu_budget);
+  ScenarioResult result;
+  result.seed = seed;
+  for (const std::size_t index : keep) {
+    if (index >= actions.size()) continue;
+    FuzzWorld::ApplyResult applied = world.apply(actions[index]);
+    result.action_log.push_back("[" + std::to_string(index) + "] " +
+                                applied.log);
+    std::optional<Violation> violation = std::move(applied.violation);
+    if (!violation.has_value()) violation = oracle.check();
+    if (violation.has_value()) {
+      result.violated = true;
+      result.failing_index = index;
+      result.violation = std::move(*violation);
+      break;
+    }
+  }
+  result.trace_text = render_trace(world.kernel.trace());
+  return result;
+}
+
+ScenarioResult run_scenario(std::uint64_t seed, const ScenarioConfig& config) {
+  std::vector<std::size_t> all(generate_actions(seed, config).size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return run_scenario_subset(seed, config, all);
+}
+
+std::vector<std::size_t> shrink(std::uint64_t seed,
+                                const ScenarioConfig& config,
+                                std::size_t failing_index) {
+  std::vector<std::size_t> keep(failing_index + 1);
+  for (std::size_t i = 0; i <= failing_index; ++i) keep[i] = i;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Back-to-front so indices stay valid while erasing.
+    for (std::size_t i = keep.size(); i-- > 0;) {
+      if (keep.size() == 1) break;
+      std::vector<std::size_t> candidate = keep;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (run_scenario_subset(seed, config, candidate).violated) {
+        keep = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return keep;
+}
+
+std::string write_repro(const Repro& repro, const ScenarioResult& result) {
+  std::ostringstream out;
+  out << "# drt_fuzz repro — replay with: drt_fuzz --replay <this file>\n";
+  if (result.violated) {
+    out << "# violation: " << result.violation.invariant << ": "
+        << result.violation.detail << '\n';
+  }
+  out << "seed " << repro.seed << '\n';
+  out << "actions " << repro.config.action_count << '\n';
+  out << "cpus " << repro.config.cpus << '\n';
+  out << "budget " << std::setprecision(17) << repro.config.cpu_budget << '\n';
+  out << "max_advance " << repro.config.max_advance << '\n';
+  out << "faults " << (repro.config.enable_faults ? 1 : 0) << '\n';
+  out << "plant " << (repro.config.plant_bug ? 1 : 0) << '\n';
+  out << "snapshots " << (repro.config.snapshot_checks ? 1 : 0) << '\n';
+  out << "keep";
+  for (const std::size_t index : repro.keep) out << ' ' << index;
+  out << '\n';
+  for (const std::string& line : result.action_log) {
+    out << "# " << line << '\n';
+  }
+  return out.str();
+}
+
+Result<Repro> parse_repro(std::string_view text) {
+  Repro repro;
+  bool seen_seed = false;
+  bool seen_keep = false;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::istringstream fields{std::string(trimmed)};
+    std::string key;
+    fields >> key;
+    auto bad = [&](const std::string& what) {
+      return make_error("fuzz.bad_repro",
+                        "repro line '" + std::string(trimmed) + "': " + what);
+    };
+    if (key == "seed") {
+      if (!(fields >> repro.seed)) return bad("expected integer seed");
+      seen_seed = true;
+    } else if (key == "actions") {
+      if (!(fields >> repro.config.action_count)) {
+        return bad("expected action count");
+      }
+    } else if (key == "cpus") {
+      if (!(fields >> repro.config.cpus) || repro.config.cpus == 0) {
+        return bad("expected positive cpu count");
+      }
+    } else if (key == "budget") {
+      if (!(fields >> repro.config.cpu_budget)) return bad("expected budget");
+    } else if (key == "max_advance") {
+      if (!(fields >> repro.config.max_advance)) {
+        return bad("expected max_advance ns");
+      }
+    } else if (key == "faults") {
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.enable_faults = value != 0;
+    } else if (key == "plant") {
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.plant_bug = value != 0;
+    } else if (key == "snapshots") {
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.snapshot_checks = value != 0;
+    } else if (key == "keep") {
+      std::size_t index = 0;
+      repro.keep.clear();
+      while (fields >> index) repro.keep.push_back(index);
+      if (!std::is_sorted(repro.keep.begin(), repro.keep.end())) {
+        return bad("keep indices must be ascending");
+      }
+      seen_keep = true;
+    } else {
+      return bad("unknown key '" + key + "'");
+    }
+  }
+  if (!seen_seed) {
+    return make_error("fuzz.bad_repro", "repro is missing the seed line");
+  }
+  if (!seen_keep) {
+    // No keep line: replay the full sequence.
+    repro.keep.resize(repro.config.action_count);
+    for (std::size_t i = 0; i < repro.keep.size(); ++i) repro.keep[i] = i;
+  }
+  return repro;
+}
+
+ScenarioResult replay(const Repro& repro) {
+  return run_scenario_subset(repro.seed, repro.config, repro.keep);
+}
+
+}  // namespace drt::testing

@@ -1,0 +1,100 @@
+// Scenario fuzzer runtime: a whole-stack world under test, the action
+// applier, the greedy shrinker, and replayable repro files.
+//
+// A run is: generate the action list for (seed, config), apply the kept
+// subset one action at a time against a fresh FuzzWorld, and consult the
+// InvariantOracle after every action. Because actions regenerate
+// deterministically from the seed, a repro file is just seed + config + the
+// indices that were kept — shrinking is subset search, and replaying a
+// shrunk repro re-applies exactly the surviving actions. The same seed
+// always produces a bit-identical action log and kernel trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "drcom/drcr.hpp"
+#include "osgi/framework.hpp"
+#include "rtos/fault.hpp"
+#include "rtos/kernel.hpp"
+#include "rtos/sim_engine.hpp"
+#include "testing/oracle.hpp"
+#include "testing/scenario.hpp"
+#include "util/result.hpp"
+
+namespace drt::testing {
+
+/// Everything one scenario runs against, wired together: virtual-time
+/// engine, OSGi framework, simulated kernel (trace enabled, fault plan
+/// attached), and the DRCR with the fuzz component factory family
+/// ("fuzz.ok", "fuzz.throw", "fuzz.null", "fuzz.init") pre-registered.
+class FuzzWorld {
+ public:
+  FuzzWorld(std::uint64_t seed, const ScenarioConfig& config);
+
+  struct ApplyResult {
+    std::string log;                    ///< one deterministic outcome line
+    std::optional<Violation> violation; ///< snapshot fixpoint failures
+  };
+
+  /// Applies one action. Tolerant: a stale target is a logged no-op.
+  ApplyResult apply(const Action& action);
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  rtos::FaultPlan faults;
+  drcom::Drcr drcr;
+
+ private:
+  ScenarioConfig config_;
+  std::uint64_t seed_;
+};
+
+struct ScenarioResult {
+  std::uint64_t seed = 0;
+  bool violated = false;
+  std::size_t failing_index = 0;  ///< index into the generated action list
+  Violation violation;
+  std::vector<std::string> action_log;
+  std::string trace_text;  ///< serialized kernel trace (determinism witness)
+};
+
+/// Runs the full action list for `seed`.
+[[nodiscard]] ScenarioResult run_scenario(std::uint64_t seed,
+                                          const ScenarioConfig& config);
+
+/// Runs only the actions whose indices appear in `keep` (ascending).
+[[nodiscard]] ScenarioResult run_scenario_subset(
+    std::uint64_t seed, const ScenarioConfig& config,
+    const std::vector<std::size_t>& keep);
+
+/// Greedy delta-debugging over the failing prefix [0, failing_index]:
+/// repeatedly drops actions whose removal preserves the violation, until a
+/// fixpoint. Returns the minimal kept index set (still violating).
+[[nodiscard]] std::vector<std::size_t> shrink(std::uint64_t seed,
+                                              const ScenarioConfig& config,
+                                              std::size_t failing_index);
+
+/// Replayable repro: seed + config + kept indices (+ human-readable
+/// commentary: the violation and the surviving action log).
+struct Repro {
+  std::uint64_t seed = 0;
+  ScenarioConfig config;
+  std::vector<std::size_t> keep;
+};
+
+[[nodiscard]] std::string write_repro(const Repro& repro,
+                                      const ScenarioResult& result);
+[[nodiscard]] Result<Repro> parse_repro(std::string_view text);
+
+/// Replays a parsed repro; returns the (expected-to-be-violating) result.
+[[nodiscard]] ScenarioResult replay(const Repro& repro);
+
+/// Serializes a kernel trace to text, one event per line.
+[[nodiscard]] std::string render_trace(const rtos::Trace& trace);
+
+}  // namespace drt::testing

@@ -1,0 +1,154 @@
+#include "testing/oracle.hpp"
+
+#include <sstream>
+
+namespace drt::testing {
+namespace {
+
+/// Sums of two-decimal cpuusage values accumulate binary error; anything
+/// past this epsilon is a real budget breach, not rounding.
+constexpr double kUtilizationEpsilon = 1e-9;
+
+}  // namespace
+
+InvariantOracle::InvariantOracle(const drcom::Drcr& drcr,
+                                 const rtos::FaultPlan& faults,
+                                 double cpu_budget)
+    : drcr_(&drcr), faults_(&faults), budget_(cpu_budget) {}
+
+std::optional<Violation> InvariantOracle::check() {
+  if (auto v = check_utilization()) return v;
+  if (auto v = check_task_liveness()) return v;
+  if (auto v = check_port_liveness()) return v;
+  if (auto v = check_scheduler()) return v;
+  if (auto v = check_mailboxes()) return v;
+  if (auto v = check_trace()) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_utilization() const {
+  const drcom::SystemView view = drcr_->system_view();
+  for (CpuId cpu = 0; cpu < static_cast<CpuId>(view.cpu_count); ++cpu) {
+    const double utilization = view.declared_utilization(cpu);
+    if (utilization > budget_ + kUtilizationEpsilon) {
+      std::ostringstream out;
+      out << "cpu " << cpu << " carries declared utilization " << utilization
+          << " > budget " << budget_;
+      return Violation{"admitted-utilization", out.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_task_liveness() const {
+  const rtos::RtKernel& kernel = drcr_->kernel();
+  for (const std::string& name : drcr_->component_names()) {
+    if (drcr_->state_of(name) != drcom::ComponentState::kActive) continue;
+    const drcom::HybridComponent* instance = drcr_->instance_of(name);
+    if (instance == nullptr) {
+      return Violation{"task-liveness",
+                       "ACTIVE component '" + name + "' has no instance"};
+    }
+    const TaskId task_id = instance->task_id();
+    const rtos::Task* task = kernel.find_task(task_id);
+    if (task == nullptr) {
+      return Violation{"task-liveness", "ACTIVE component '" + name +
+                                            "' references missing task #" +
+                                            std::to_string(task_id)};
+    }
+    if (task->state == rtos::TaskState::kFinished &&
+        !faults_->task_was_killed(task_id)) {
+      return Violation{"task-liveness",
+                       "ACTIVE component '" + name + "' task #" +
+                           std::to_string(task_id) +
+                           " is FINISHED (and was not fault-killed)"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_port_liveness() const {
+  const rtos::RtKernel& kernel = drcr_->kernel();
+  for (const std::string& name : drcr_->component_names()) {
+    if (drcr_->state_of(name) != drcom::ComponentState::kActive) continue;
+    const drcom::ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    if (descriptor == nullptr) continue;
+    for (const drcom::PortSpec& port : descriptor->ports) {
+      if (port.direction == drcom::PortDirection::kIn && port.optional) {
+        continue;  // may legitimately be absent
+      }
+      const bool present =
+          port.interface == drcom::PortInterface::kShm
+              ? kernel.shm_find(port.name) != nullptr
+              : kernel.mailbox_find(port.name) != nullptr;
+      if (!present) {
+        return Violation{
+            "port-liveness",
+            std::string(drcom::to_string(port.direction)) + " '" + port.name +
+                "' of ACTIVE component '" + name +
+                "' references a dead kernel object"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_scheduler() const {
+  const rtos::RtKernel& kernel = drcr_->kernel();
+  for (CpuId cpu = 0; cpu < static_cast<CpuId>(kernel.config().cpus); ++cpu) {
+    const rtos::Task* running = kernel.running_task(cpu);
+    const rtos::Task* ready = kernel.next_ready(cpu);
+    if (ready == nullptr) continue;
+    if (running == nullptr) {
+      return Violation{"scheduler-sanity",
+                       "cpu " + std::to_string(cpu) +
+                           " idles while task '" + ready->params.name +
+                           "' is ready"};
+    }
+    if (ready->params.priority < running->params.priority) {
+      std::ostringstream out;
+      out << "cpu " << cpu << ": ready task '" << ready->params.name
+          << "' (prio " << ready->params.priority << ") outranks running '"
+          << running->params.name << "' (prio " << running->params.priority
+          << ")";
+      return Violation{"scheduler-sanity", out.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_mailboxes() const {
+  for (const rtos::Mailbox* mailbox : drcr_->kernel().mailboxes()) {
+    const std::uint64_t sent = mailbox->sent_count();
+    const std::uint64_t received = mailbox->received_count();
+    const std::uint64_t queued = mailbox->size();
+    if (sent != received + queued || mailbox->handoff_count() > received) {
+      std::ostringstream out;
+      out << "mailbox '" << mailbox->name() << "': sent=" << sent
+          << " received=" << received << " queued=" << queued
+          << " handoff=" << mailbox->handoff_count()
+          << " (conservation law sent == received + queued broken)";
+      return Violation{"mailbox-conservation", out.str()};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_trace() {
+  const auto& events = drcr_->kernel().trace().events();
+  for (; trace_checked_ < events.size(); ++trace_checked_) {
+    const rtos::TraceEvent& event = events[trace_checked_];
+    if (event.when < last_trace_time_) {
+      std::ostringstream out;
+      out << "trace event #" << trace_checked_ << " ("
+          << rtos::to_string(event.kind) << " task " << event.task
+          << ") at t=" << event.when << " precedes prior event at t="
+          << last_trace_time_;
+      return Violation{"trace-order", out.str()};
+    }
+    last_trace_time_ = event.when;
+  }
+  return std::nullopt;
+}
+
+}  // namespace drt::testing

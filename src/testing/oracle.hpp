@@ -1,0 +1,66 @@
+// Global invariant oracle for the scenario fuzzer.
+//
+// After every applied action the oracle sweeps the whole stack through
+// const-introspection accessors only (Drcr::system_view / state_of /
+// instance_of, RtKernel::running_task / next_ready / mailbox_find / trace)
+// and reports the first violated invariant:
+//
+//   1. admitted utilization — per-CPU declared cpuusage of ACTIVE components
+//      never exceeds the internal resolver's schedulability budget;
+//   2. task liveness — every ACTIVE component has a live kernel task (a task
+//      killed by an armed FaultPlan kill is exempt: that death is injected,
+//      not a bug);
+//   3. port liveness — every out-port and every mandatory in-port of an
+//      ACTIVE component resolves to a live kernel SHM/mailbox object;
+//   4. scheduler sanity — no CPU idles while a task is ready, and no ready
+//      task outranks the running one (fixed-priority invariant at the
+//      settled API boundary);
+//   5. mailbox conservation — sent == received + queued on every mailbox
+//      (fault drops/duplicates keep their own counters, so an imbalance is a
+//      genuine accounting bug);
+//   6. trace monotonicity — kernel trace timestamps never run backwards.
+//
+// The snapshot fixpoint invariant (restore(snapshot(S)) is snapshot-
+// identical) needs a second world to restore into and therefore lives in
+// fuzzer.cpp, not here.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "drcom/drcr.hpp"
+#include "rtos/fault.hpp"
+
+namespace drt::testing {
+
+struct Violation {
+  std::string invariant;  ///< short id, e.g. "mailbox-conservation"
+  std::string detail;     ///< what exactly was observed
+};
+
+class InvariantOracle {
+ public:
+  InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
+                  double cpu_budget);
+
+  /// Sweeps invariants 1-6; returns the first violation found, if any.
+  [[nodiscard]] std::optional<Violation> check();
+
+ private:
+  [[nodiscard]] std::optional<Violation> check_utilization() const;
+  [[nodiscard]] std::optional<Violation> check_task_liveness() const;
+  [[nodiscard]] std::optional<Violation> check_port_liveness() const;
+  [[nodiscard]] std::optional<Violation> check_scheduler() const;
+  [[nodiscard]] std::optional<Violation> check_mailboxes() const;
+  [[nodiscard]] std::optional<Violation> check_trace();
+
+  const drcom::Drcr* drcr_;
+  const rtos::FaultPlan* faults_;
+  double budget_;
+  /// Incremental trace scan cursor (the trace only grows).
+  std::size_t trace_checked_ = 0;
+  SimTime last_trace_time_ = 0;
+};
+
+}  // namespace drt::testing

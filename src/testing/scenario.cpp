@@ -1,0 +1,437 @@
+#include "testing/scenario.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "drcom/system_descriptor.hpp"
+
+namespace drt::testing {
+namespace {
+
+using drcom::ComponentDescriptor;
+using drcom::PortDirection;
+using drcom::PortInterface;
+using drcom::PortSpec;
+
+/// Shared port pool: every port name has ONE fixed contract (interface, type,
+/// element count) derived from its index, so any in-port "pN" is compatible
+/// with any out-port "pN" — random descriptors actually wire up instead of
+/// failing the all-attributes-match rule by chance.
+constexpr std::size_t kPoolPorts = 6;
+
+PortSpec pool_port(std::size_t index) {
+  PortSpec port;
+  port.name = "p" + std::to_string(index);
+  port.interface =
+      index % 2 == 0 ? PortInterface::kShm : PortInterface::kMailbox;
+  port.data_type =
+      index % 3 == 0 ? rtos::DataType::kInteger : rtos::DataType::kByte;
+  port.size = std::size_t{4} << (index % 3);
+  return port;
+}
+
+constexpr double kFrequencies[] = {20, 25, 40, 50, 100, 125, 200, 250, 500};
+
+/// Generation-time model of the deployment. Only guides target selection;
+/// the applier tolerates stale targets.
+struct Model {
+  struct Comp {
+    bool sporadic = false;
+  };
+  std::map<std::string, Comp> components;              ///< all registered
+  std::map<std::string, std::vector<std::string>> systems;
+  std::map<std::string, std::vector<std::string>> bundles;
+  std::set<std::string> claimed_outports;              ///< pool names taken
+
+  [[nodiscard]] bool has_components() const { return !components.empty(); }
+
+  std::string pick_component(Rng& rng) const {
+    const auto index =
+        static_cast<std::size_t>(rng.uniform(0, std::ssize(components) - 1));
+    auto it = components.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(index));
+    return it->first;
+  }
+
+  void add_component(const std::string& name, const ComponentDescriptor& d) {
+    components[name] = {d.type == rtos::TaskType::kSporadic};
+    for (const auto* port : d.outports()) claimed_outports.insert(port->name);
+  }
+  void remove_component(const std::string& name) {
+    auto it = components.find(name);
+    if (it == components.end()) return;
+    components.erase(it);
+    // Out-port claims are not refunded: the generator stays conservative and
+    // simply prefers still-unclaimed names (staleness is harmless).
+  }
+};
+
+std::string fresh_name(Rng& rng, const Model& model, const char* prefix,
+                       int limit) {
+  // Prefer an unused slot; fall back to a (deliberate) duplicate attempt.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const auto n = rng.uniform(0, limit - 1);
+    std::string name = prefix + std::to_string(n);
+    if (!model.components.contains(name) && !model.systems.contains(name) &&
+        !model.bundles.contains(name)) {
+      return name;
+    }
+  }
+  return prefix + std::to_string(rng.uniform(0, limit - 1));
+}
+
+std::string pick_bincode(Rng& rng) {
+  const auto roll = rng.uniform(0, 99);
+  if (roll < 85) return "fuzz.ok";
+  if (roll < 90) return "fuzz.throw";
+  if (roll < 95) return "fuzz.null";
+  return "fuzz.init";
+}
+
+}  // namespace
+
+const char* to_string(ActionKind kind) {
+  switch (kind) {
+    case ActionKind::kRegisterComponent: return "register";
+    case ActionKind::kUnregisterComponent: return "unregister";
+    case ActionKind::kEnableComponent: return "enable";
+    case ActionKind::kDisableComponent: return "disable";
+    case ActionKind::kDeploySystem: return "deploy-system";
+    case ActionKind::kUndeploySystem: return "undeploy-system";
+    case ActionKind::kInstallBundle: return "install-bundle";
+    case ActionKind::kStopBundle: return "stop-bundle";
+    case ActionKind::kUninstallBundle: return "uninstall-bundle";
+    case ActionKind::kSendCommand: return "command";
+    case ActionKind::kMailboxSend: return "mbx-send";
+    case ActionKind::kArmFault: return "arm-fault";
+    case ActionKind::kAdvanceTime: return "advance";
+    case ActionKind::kResolve: return "resolve";
+    case ActionKind::kSnapshotRoundTrip: return "snapshot-check";
+  }
+  return "?";
+}
+
+std::string describe(const Action& action) {
+  std::ostringstream out;
+  out << to_string(action.kind);
+  if (!action.name.empty()) out << ' ' << action.name;
+  switch (action.kind) {
+    case ActionKind::kSendCommand:
+    case ActionKind::kMailboxSend:
+      out << " '" << action.payload << "'";
+      break;
+    case ActionKind::kAdvanceTime:
+      out << ' ' << action.duration << "ns";
+      break;
+    case ActionKind::kArmFault:
+      out << ' ' << rtos::to_string(action.fault.kind) << " target="
+          << action.fault.target << " nth=" << action.fault.nth;
+      if (action.fault.amount > 0) out << " amount=" << action.fault.amount;
+      break;
+    case ActionKind::kInstallBundle:
+      out << " (" << action.extra.size() << " descriptors)";
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+drcom::ComponentDescriptor random_descriptor(Rng& rng, const std::string& name,
+                                             std::size_t cpus) {
+  ComponentDescriptor d;
+  d.name = name;
+  d.description = "fuzz component";
+  d.bincode = pick_bincode(rng);
+  d.enabled = rng.chance(0.85);
+  d.cpu_usage = static_cast<double>(rng.uniform(1, 20)) / 100.0;
+  const auto cpu = static_cast<CpuId>(
+      rng.uniform(0, static_cast<std::int64_t>(cpus) - 1));
+  const int priority = static_cast<int>(rng.uniform(1, 30));
+
+  if (rng.chance(0.75)) {
+    d.type = rtos::TaskType::kPeriodic;
+    drcom::PeriodicSpec spec;
+    spec.frequency_hz = kFrequencies[rng.uniform(0, std::ssize(kFrequencies) - 1)];
+    spec.run_on_cpu = cpu;
+    spec.priority = priority;
+    d.periodic = spec;
+  } else {
+    d.type = rtos::TaskType::kSporadic;
+    drcom::SporadicSpec spec;
+    spec.min_interarrival = milliseconds(rng.uniform(1, 10));
+    spec.run_on_cpu = cpu;
+    spec.priority = priority;
+    // A sporadic component owns its trigger inbox: a mailbox in-port named
+    // after itself, so no cross-component ownership ambiguity arises.
+    PortSpec trigger;
+    trigger.direction = PortDirection::kIn;
+    trigger.name = name + "t";
+    trigger.interface = PortInterface::kMailbox;
+    trigger.data_type = rtos::DataType::kByte;
+    trigger.size = 8;
+    spec.trigger_port = trigger.name;
+    d.sporadic = spec;
+    d.ports.push_back(trigger);
+  }
+
+  const auto port_count = rng.uniform(0, 2);
+  for (std::int64_t i = 0; i < port_count; ++i) {
+    PortSpec port = pool_port(
+        static_cast<std::size_t>(rng.uniform(0, kPoolPorts - 1)));
+    if (d.find_port(port.name) != nullptr) continue;
+    port.direction =
+        rng.chance(0.5) ? PortDirection::kOut : PortDirection::kIn;
+    if (port.direction == PortDirection::kIn) port.optional = rng.chance(0.5);
+    d.ports.push_back(port);
+  }
+  if (rng.chance(0.3)) d.properties.set("gain", std::int64_t{1});
+  return d;
+}
+
+std::vector<Action> generate_actions(std::uint64_t seed,
+                                     const ScenarioConfig& config) {
+  Rng rng(seed);
+  Model model;
+  std::vector<Action> actions;
+  actions.reserve(config.action_count + 8);
+
+  auto advance = [&](SimDuration amount) {
+    Action a;
+    a.kind = ActionKind::kAdvanceTime;
+    a.duration = amount;
+    actions.push_back(std::move(a));
+  };
+
+  if (config.plant_bug) {
+    // Deterministic prefix tripping the planted kMiscountMessage bug: one
+    // component, one command send whose sent-counter rollback breaks the
+    // mailbox conservation law the instant the command is queued.
+    Rng planted(seed ^ 0x9E3779B97F4A7C15ULL);
+    ComponentDescriptor d = random_descriptor(planted, "c0", config.cpus);
+    d.bincode = "fuzz.ok";
+    d.enabled = true;
+    d.ports.clear();
+    if (d.type == rtos::TaskType::kSporadic) {
+      d.type = rtos::TaskType::kPeriodic;
+      d.sporadic.reset();
+      drcom::PeriodicSpec spec;
+      spec.frequency_hz = 100;
+      spec.priority = 5;
+      d.periodic = spec;
+    }
+    Action reg;
+    reg.kind = ActionKind::kRegisterComponent;
+    reg.name = d.name;
+    reg.payload = drcom::write_descriptor(d);
+    actions.push_back(std::move(reg));
+    model.add_component(d.name, d);
+    advance(milliseconds(5));
+    Action arm;
+    arm.kind = ActionKind::kArmFault;
+    arm.fault = {rtos::FaultKind::kMiscountMessage, d.name + ".cmd", 1, 0};
+    actions.push_back(std::move(arm));
+    Action cmd;
+    cmd.kind = ActionKind::kSendCommand;
+    cmd.name = d.name;
+    cmd.payload = "STATUS";
+    actions.push_back(std::move(cmd));
+    advance(milliseconds(1));
+  }
+
+  while (actions.size() < config.action_count) {
+    // Weighted action selection (x10 integer weights).
+    const auto roll = rng.uniform(0, 179);
+    if (roll < 30) {  // register
+      const std::string name = fresh_name(rng, model, "c", 10);
+      ComponentDescriptor d = random_descriptor(rng, name, config.cpus);
+      Action a;
+      a.kind = ActionKind::kRegisterComponent;
+      a.name = name;
+      a.payload = drcom::write_descriptor(d);
+      actions.push_back(std::move(a));
+      model.add_component(name, d);
+    } else if (roll < 42) {  // unregister
+      if (!model.has_components()) continue;
+      Action a;
+      a.kind = ActionKind::kUnregisterComponent;
+      a.name = model.pick_component(rng);
+      model.remove_component(a.name);
+      actions.push_back(std::move(a));
+    } else if (roll < 52) {  // enable / disable
+      if (!model.has_components()) continue;
+      Action a;
+      a.kind = rng.chance(0.5) ? ActionKind::kEnableComponent
+                               : ActionKind::kDisableComponent;
+      a.name = model.pick_component(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 60) {  // deploy system
+      const std::string name = fresh_name(rng, model, "s", 4);
+      drcom::SystemDescriptor system;
+      system.name = name;
+      const auto member_count = rng.uniform(2, 3);
+      for (std::int64_t m = 0; m < member_count; ++m) {
+        const std::string member = fresh_name(rng, model, "c", 10);
+        if (system.find_component(member) != nullptr) continue;
+        ComponentDescriptor d = random_descriptor(rng, member, config.cpus);
+        // Keep members port-free: system validation demands every internal
+        // wire be declared, and the fuzzer exercises wiring via standalone
+        // components already.
+        d.ports.clear();
+        if (d.type == rtos::TaskType::kSporadic) {
+          PortSpec trigger;
+          trigger.direction = PortDirection::kIn;
+          trigger.name = member + "t";
+          trigger.interface = PortInterface::kMailbox;
+          trigger.data_type = rtos::DataType::kByte;
+          trigger.size = 8;
+          d.ports.push_back(trigger);
+        }
+        system.components.push_back(std::move(d));
+      }
+      Action a;
+      a.kind = ActionKind::kDeploySystem;
+      a.name = name;
+      a.payload = drcom::write_system_descriptor(system);
+      std::vector<std::string> members;
+      for (const auto& member : system.components) {
+        model.add_component(member.name, member);
+        members.push_back(member.name);
+      }
+      model.systems[name] = std::move(members);
+      actions.push_back(std::move(a));
+    } else if (roll < 66) {  // undeploy system
+      if (model.systems.empty()) continue;
+      auto it = model.systems.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(
+                           0, std::ssize(model.systems) - 1)));
+      Action a;
+      a.kind = ActionKind::kUndeploySystem;
+      a.name = it->first;
+      for (const auto& member : it->second) model.remove_component(member);
+      model.systems.erase(it);
+      actions.push_back(std::move(a));
+    } else if (roll < 74) {  // install + start bundle
+      const std::string name = fresh_name(rng, model, "b", 4);
+      if (model.bundles.contains(name)) continue;
+      Action a;
+      a.kind = ActionKind::kInstallBundle;
+      a.name = name;
+      std::vector<std::string> members;
+      const auto member_count = rng.uniform(1, 2);
+      for (std::int64_t m = 0; m < member_count; ++m) {
+        const std::string member = fresh_name(rng, model, "c", 10);
+        if (std::find(members.begin(), members.end(), member) !=
+            members.end()) {
+          continue;
+        }
+        ComponentDescriptor d = random_descriptor(rng, member, config.cpus);
+        a.extra.push_back(drcom::write_descriptor(d));
+        model.add_component(member, d);
+        members.push_back(member);
+      }
+      model.bundles[name] = std::move(members);
+      actions.push_back(std::move(a));
+    } else if (roll < 80) {  // stop / uninstall bundle
+      if (model.bundles.empty()) continue;
+      auto it = model.bundles.begin();
+      std::advance(it, static_cast<std::ptrdiff_t>(rng.uniform(
+                           0, std::ssize(model.bundles) - 1)));
+      Action a;
+      a.kind = rng.chance(0.5) ? ActionKind::kStopBundle
+                               : ActionKind::kUninstallBundle;
+      a.name = it->first;
+      for (const auto& member : it->second) model.remove_component(member);
+      if (a.kind == ActionKind::kUninstallBundle) model.bundles.erase(it);
+      actions.push_back(std::move(a));
+    } else if (roll < 100) {  // management command
+      if (!model.has_components()) continue;
+      Action a;
+      a.kind = ActionKind::kSendCommand;
+      a.name = model.pick_component(rng);
+      switch (rng.uniform(0, 4)) {
+        case 0: a.payload = "STATUS"; break;
+        case 1: a.payload = "SUSPEND"; break;
+        case 2: a.payload = "RESUME"; break;
+        case 3:
+          a.payload = "SET gain " + std::to_string(rng.uniform(0, 99));
+          break;
+        default: a.payload = "NOP"; break;  // unknown-command error path
+      }
+      actions.push_back(std::move(a));
+    } else if (roll < 120) {  // raw mailbox traffic
+      Action a;
+      a.kind = ActionKind::kMailboxSend;
+      const auto pick = rng.uniform(0, 2);
+      if (pick == 0 && model.has_components()) {
+        const std::string comp = model.pick_component(rng);
+        a.name = model.components[comp].sporadic ? comp + "t" : comp + ".cmd";
+      } else if (pick == 1) {
+        a.name = pool_port(static_cast<std::size_t>(
+                               rng.uniform(1, kPoolPorts - 1) | 1))
+                     .name;  // odd indices are the mailbox pool ports
+      } else if (model.has_components()) {
+        a.name = model.pick_component(rng) + ".cmd";
+      } else {
+        continue;
+      }
+      a.payload = "m" + std::to_string(rng.uniform(0, 999));
+      actions.push_back(std::move(a));
+    } else if (roll < 135 && config.enable_faults) {  // arm fault
+      Action a;
+      a.kind = ActionKind::kArmFault;
+      rtos::FaultSpec spec;
+      spec.nth = static_cast<std::uint64_t>(rng.uniform(1, 3));
+      switch (rng.uniform(0, 4)) {
+        case 0:
+        case 1: {
+          spec.kind = rng.chance(0.5) ? rtos::FaultKind::kDropMessage
+                                      : rtos::FaultKind::kDuplicateMessage;
+          if (!model.has_components()) continue;
+          const std::string comp = model.pick_component(rng);
+          spec.target =
+              model.components[comp].sporadic ? comp + "t" : comp + ".cmd";
+          break;
+        }
+        case 2:
+          spec.kind = rtos::FaultKind::kBudgetOverrun;
+          if (!model.has_components()) continue;
+          spec.target = model.pick_component(rng);
+          spec.amount = microseconds(rng.uniform(50, 500));
+          break;
+        case 3:
+          spec.kind = rtos::FaultKind::kDelayWakeup;
+          if (!model.has_components()) continue;
+          spec.target = model.pick_component(rng);
+          spec.amount = microseconds(rng.uniform(10, 200));
+          break;
+        default:
+          spec.kind = rtos::FaultKind::kKillTask;
+          if (!model.has_components()) continue;
+          spec.target = model.pick_component(rng);
+          break;
+      }
+      a.fault = std::move(spec);
+      actions.push_back(std::move(a));
+    } else if (roll < 165) {  // advance virtual time
+      const auto max_ms =
+          std::max<std::int64_t>(1, config.max_advance / 1'000'000);
+      advance(milliseconds(rng.uniform(1, max_ms)));
+    } else if (roll < 172) {  // explicit resolve
+      Action a;
+      a.kind = ActionKind::kResolve;
+      actions.push_back(std::move(a));
+    } else {  // snapshot fixpoint check
+      if (!config.snapshot_checks) continue;
+      Action a;
+      a.kind = ActionKind::kSnapshotRoundTrip;
+      actions.push_back(std::move(a));
+    }
+  }
+  return actions;
+}
+
+}  // namespace drt::testing

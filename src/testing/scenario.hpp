@@ -1,0 +1,83 @@
+// Deterministic whole-stack scenario generation for the fuzzer (drt_fuzz).
+//
+// A scenario is a flat vector of Actions generated up-front from one
+// SplitMix64 seed: install/start/stop/uninstall bundles, register and replace
+// components with randomized descriptors, deploy systems, exchange mailbox
+// traffic, arm kernel-level faults, and advance virtual time. The generator
+// keeps its own lightweight model of what exists (component names, systems,
+// bundles, port providers) so most actions target live objects — but the
+// applier is tolerant, so an action whose target has since vanished is simply
+// a logged no-op. Nothing here reads a clock or global RNG: the same seed
+// always yields byte-identical actions, which is what makes repro files a
+// (seed, kept-indices) pair instead of a serialized action dump.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "drcom/descriptor.hpp"
+#include "rtos/fault.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace drt::testing {
+
+enum class ActionKind {
+  kRegisterComponent,   ///< drcr.register_component(parse(payload))
+  kUnregisterComponent,
+  kEnableComponent,
+  kDisableComponent,
+  kDeploySystem,        ///< drcr.deploy_system(parse_system(payload))
+  kUndeploySystem,
+  kInstallBundle,       ///< framework install + start; descriptors in `extra`
+  kStopBundle,
+  kUninstallBundle,
+  kSendCommand,         ///< management command via instance_of(name)
+  kMailboxSend,         ///< raw kernel mailbox_send to mailbox `name`
+  kArmFault,            ///< faults.arm(fault)
+  kAdvanceTime,         ///< engine.run_until(now + duration)
+  kResolve,             ///< explicit drcr.resolve()
+  kSnapshotRoundTrip,   ///< restore(snapshot(S)) fixpoint check
+};
+
+[[nodiscard]] const char* to_string(ActionKind kind);
+
+struct Action {
+  ActionKind kind = ActionKind::kAdvanceTime;
+  std::string name;                 ///< component / system / bundle / mailbox
+  std::string payload;              ///< descriptor XML, command, message text
+  std::vector<std::string> extra;   ///< bundle member descriptor XMLs
+  SimDuration duration = 0;         ///< kAdvanceTime amount
+  rtos::FaultSpec fault;            ///< kArmFault spec
+};
+
+/// One-line human-readable rendering (used in repro files and logs).
+[[nodiscard]] std::string describe(const Action& action);
+
+struct ScenarioConfig {
+  std::size_t action_count = 40;
+  std::size_t cpus = 2;
+  double cpu_budget = 0.9;
+  /// Upper bound of one kAdvanceTime step (uniform in [1ms, max]).
+  SimDuration max_advance = 20'000'000;  // 20 ms
+  bool enable_faults = true;
+  /// Prefix the scenario with a sequence that trips the deliberately planted
+  /// kMiscountMessage accounting bug (fuzzer self-test: the oracle must
+  /// catch it and the shrinker must reduce to the planted prefix).
+  bool plant_bug = false;
+  bool snapshot_checks = true;
+};
+
+/// Generates the full action sequence for `seed`. Pure function of its
+/// arguments; called once per run and once per replay.
+[[nodiscard]] std::vector<Action> generate_actions(std::uint64_t seed,
+                                                   const ScenarioConfig& config);
+
+/// A randomized-but-valid component descriptor (shared with the snapshot
+/// property test). Periodic or sporadic, 0-2 pool ports, bincode from the
+/// fuzz factory family. `name` must respect the 6-character RT limit.
+[[nodiscard]] drcom::ComponentDescriptor random_descriptor(
+    Rng& rng, const std::string& name, std::size_t cpus);
+
+}  // namespace drt::testing

@@ -29,8 +29,10 @@ class Rng {
     return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
   }
 
-  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  /// Uniform integer in [lo, hi] (inclusive). A degenerate or inverted range
+  /// returns lo (a modulo-by-zero here would be UB).
   std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
     const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
     return lo + static_cast<std::int64_t>(next_u64() % span);
   }

@@ -249,7 +249,22 @@ class Parser {
     }
   }
 
+  /// Recursive descent burns native stack per nesting level, so untrusted
+  /// input gets a hard depth ceiling instead of a stack overflow.
+  static constexpr int kMaxDepth = 200;
+
   std::unique_ptr<Element> parse_element() {
+    if (depth_ >= kMaxDepth) {
+      fail("element nesting exceeds the depth limit of " +
+           std::to_string(kMaxDepth));
+    }
+    ++depth_;
+    auto elem = parse_element_inner();
+    --depth_;
+    return elem;
+  }
+
+  std::unique_ptr<Element> parse_element_inner() {
     expect("<");
     auto elem = std::make_unique<Element>();
     elem->name = parse_name();
@@ -321,6 +336,7 @@ class Parser {
 
   std::string_view input_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,6 +1,8 @@
 // DRCom descriptor parsing/validation, pinned to the paper's Figure-2 sample.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "drcom/descriptor.hpp"
 
 namespace drt::drcom {
@@ -186,8 +188,65 @@ INSTANTIATE_TEST_SUITE_P(
                       "<drt:component name=\"a\" type=\"aperiodic\">"
                       "<implementation bincode=\"x\"/>"
                       "<property name=\"p\" type=\"Integer\" value=\"x\"/>"
+                      "</drt:component>"},
+        BadDescriptor{"nan_cpuusage",
+                      "<drt:component name=\"a\" type=\"aperiodic\" "
+                      "cpuusage=\"nan\">"
+                      "<implementation bincode=\"x\"/></drt:component>"},
+        BadDescriptor{"nan_frequency",
+                      "<drt:component name=\"a\" type=\"periodic\">"
+                      "<implementation bincode=\"x\"/>"
+                      "<periodictask frequence=\"nan\"/></drt:component>"},
+        BadDescriptor{"inf_frequency",
+                      "<drt:component name=\"a\" type=\"periodic\">"
+                      "<implementation bincode=\"x\"/>"
+                      "<periodictask frequence=\"inf\"/></drt:component>"},
+        BadDescriptor{"priority_out_of_range",
+                      "<drt:component name=\"a\" type=\"periodic\">"
+                      "<implementation bincode=\"x\"/>"
+                      "<periodictask frequence=\"100\" priority=\"9000\"/>"
+                      "</drt:component>"},
+        BadDescriptor{"port_size_overflows_cap",
+                      "<drt:component name=\"a\" type=\"aperiodic\">"
+                      "<implementation bincode=\"x\"/>"
+                      "<outport name=\"p\" interface=\"RTAI.SHM\" "
+                      "type=\"Integer\" size=\"999999999\"/>"
                       "</drt:component>"}),
     [](const auto& info) { return info.param.name; });
+
+// The NaN/priority/size guards must hold for programmatic descriptors too —
+// validate() is the choke point, not just the XML front-end.
+TEST(Descriptor, ValidateRejectsNonFiniteAndOversized) {
+  ComponentDescriptor d;
+  d.name = "a";
+  d.bincode = "x";
+  d.type = rtos::TaskType::kPeriodic;
+  d.periodic = PeriodicSpec{100.0, 0, 5};
+
+  ComponentDescriptor nan_usage = d;
+  nan_usage.cpu_usage = std::nan("");
+  EXPECT_EQ(validate(nan_usage).error().code, "drcom.bad_descriptor");
+
+  ComponentDescriptor nan_freq = d;
+  nan_freq.periodic->frequency_hz = std::nan("");
+  EXPECT_EQ(validate(nan_freq).error().code, "drcom.bad_descriptor");
+
+  ComponentDescriptor hot = d;
+  hot.periodic->priority = 1000;
+  auto bad_priority = validate(hot);
+  ASSERT_FALSE(bad_priority.ok());
+  EXPECT_NE(bad_priority.error().message.find("priority"),
+            std::string::npos);
+
+  ComponentDescriptor wide = d;
+  wide.ports.push_back({PortDirection::kOut, "p", PortInterface::kShm,
+                        rtos::DataType::kInteger, kMaxPortBytes});
+  auto bad_size = validate(wide);
+  ASSERT_FALSE(bad_size.ok());
+  EXPECT_NE(bad_size.error().message.find("byte limit"), std::string::npos);
+
+  EXPECT_TRUE(validate(d).ok());
+}
 
 TEST(Descriptor, WrongRootRejected) {
   auto parsed = parse_descriptor("<service name=\"a\"/>");

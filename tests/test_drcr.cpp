@@ -119,6 +119,33 @@ TEST_F(DrcrFixture, MissingFactoryLeavesUnsatisfied) {
   EXPECT_EQ(drcr.state_of("orphan").value(), ComponentState::kActive);
 }
 
+TEST_F(DrcrFixture, ThrowingFactorySurfacesAsStructuredFailure) {
+  // User code runs inside the factory; a throw must become a rejection
+  // reason, not unwind through the resolver.
+  drcr.factories().register_factory("test.Bomb", []() -> std::unique_ptr<
+                                                  RtComponent> {
+    throw std::runtime_error("ctor exploded");
+  });
+  ComponentDescriptor d = component("bomb");
+  d.bincode = "test.Bomb";
+  ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
+  EXPECT_EQ(drcr.state_of("bomb").value(), ComponentState::kUnsatisfied);
+  EXPECT_NE(drcr.last_reason("bomb").find("ctor exploded"),
+            std::string::npos);
+
+  auto instance = drcr.factories().create("test.Bomb");
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.error().code, "drcom.factory_failed");
+}
+
+TEST_F(DrcrFixture, NullReturningFactorySurfacesAsStructuredFailure) {
+  drcr.factories().register_factory(
+      "test.Null", []() -> std::unique_ptr<RtComponent> { return nullptr; });
+  auto instance = drcr.factories().create("test.Null");
+  ASSERT_FALSE(instance.ok());
+  EXPECT_EQ(instance.error().code, "drcom.factory_failed");
+}
+
 TEST_F(DrcrFixture, DependentWaitsForProviderThenActivates) {
   // Register the dependent FIRST: stays unsatisfied.
   ASSERT_TRUE(

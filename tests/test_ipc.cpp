@@ -110,6 +110,26 @@ TEST(ShmKernel, RejectsZeroSize) {
   EXPECT_FALSE(kernel.shm_create("bad", 0).ok());
 }
 
+// Untrusted descriptors reach these calls, so absurd sizes must come back
+// as structured errors instead of attempting a giant allocation.
+TEST(ShmKernel, RejectsSizeAboveCap) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto shm = kernel.shm_create("huge", kMaxShmBytes + 1);
+  ASSERT_FALSE(shm.ok());
+  EXPECT_EQ(shm.error().code, "rtos.bad_shm");
+  EXPECT_TRUE(kernel.shm_create("edge", kMaxShmBytes).ok());
+}
+
+TEST(Mailbox, RejectsCapacityAboveCap) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  auto mailbox = kernel.mailbox_create("huge", kMaxMailboxCapacity + 1);
+  ASSERT_FALSE(mailbox.ok());
+  EXPECT_EQ(mailbox.error().code, "rtos.bad_mailbox");
+  EXPECT_TRUE(kernel.mailbox_create("edge", kMaxMailboxCapacity).ok());
+}
+
 // --------------------------------------------------- Message/MessagePool --
 
 TEST(Message, SmallPayloadStaysInline) {

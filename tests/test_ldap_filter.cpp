@@ -1,8 +1,13 @@
 // RFC 1960 / OSGi LDAP filter tests: grammar, operators, type-aware
-// comparison, wildcards, escaping and error cases.
+// comparison, wildcards, escaping and error cases — plus seeded property
+// tests (parse/to_string round-trip over generated filters, and a mutation
+// corpus that must never crash the parser).
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "osgi/ldap_filter.hpp"
+#include "util/rng.hpp"
 
 namespace drt::osgi {
 namespace {
@@ -167,6 +172,101 @@ TEST(LdapFilter, ToStringIsNormalizedSource) {
   auto filter = Filter::parse("  (a=b)  ");
   ASSERT_TRUE(filter.ok());
   EXPECT_EQ(filter.value().to_string(), "(a=b)");
+}
+
+// ------------------------------------------------------- property tests --
+
+/// Renders a random filter expression. Leaves draw from a small attribute /
+/// value pool so generated filters sometimes match the properties below.
+std::string random_filter(Rng& rng, int depth) {
+  static const char* kAttrs[] = {"component.name", "priority", "cpuusage",
+                                 "enabled", "objectClass"};
+  static const char* kValues[] = {"camera", "display", "2", "0.1",
+                                  "true", "drcom.*", "cam*", "*era", "*"};
+  if (depth >= 3 || rng.uniform(0, 2) == 0) {
+    const char* attr = kAttrs[rng.uniform(0, 4)];
+    const char* value = kValues[rng.uniform(0, 8)];
+    static const char* kOps[] = {"=", ">=", "<=", "~="};
+    std::string op = kOps[rng.uniform(0, 3)];
+    // Wildcards are only legal with '='.
+    if (std::string(value).find('*') != std::string::npos) op = "=";
+    return std::string("(") + attr + op + value + ")";
+  }
+  const std::int64_t pick = rng.uniform(0, 2);
+  if (pick == 0) {
+    std::string out = "(!";
+    out += random_filter(rng, depth + 1);
+    return out + ")";
+  }
+  std::string out = pick == 1 ? "(&" : "(|";
+  const std::int64_t arity = rng.uniform(1, 3);
+  for (std::int64_t i = 0; i < arity; ++i) {
+    out += random_filter(rng, depth + 1);
+  }
+  return out + ")";
+}
+
+// parse -> to_string -> parse must be a fixpoint: the reparse of the
+// normalized text renders identically AND matches the same property sets.
+TEST(LdapFilterProperties, ParseToStringParseRoundTrip) {
+  const auto props = camera_props();
+  Properties empty;
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed);
+    const std::string source = random_filter(rng, 0);
+    auto first = Filter::parse(source);
+    ASSERT_TRUE(first.ok()) << source << ": " << first.error().message;
+    const std::string normalized = first.value().to_string();
+    auto second = Filter::parse(normalized);
+    ASSERT_TRUE(second.ok())
+        << "normalized form rejected: " << normalized;
+    EXPECT_EQ(second.value().to_string(), normalized) << source;
+    EXPECT_EQ(first.value().matches(props), second.value().matches(props))
+        << source;
+    EXPECT_EQ(first.value().matches(empty), second.value().matches(empty))
+        << source;
+  }
+}
+
+// Mutation corpus: random edits of a valid filter must either parse (and
+// then normalize to a fixpoint) or fail with the structured error code —
+// never crash, never return an unusable success.
+TEST(LdapFilterProperties, MutatedFiltersNeverCrash) {
+  for (std::uint64_t seed = 1; seed <= 300; ++seed) {
+    Rng rng(seed * 7919);
+    std::string text = random_filter(rng, 0);
+    const std::int64_t edits = rng.uniform(1, 3);
+    for (std::int64_t i = 0; i < edits; ++i) {
+      static const char kBytes[] = "()&|!=<>~*\\ ab5\0";
+      switch (rng.uniform(0, 2)) {
+        case 0:  // truncate
+          text = text.substr(0, rng.uniform(0, text.size()));
+          break;
+        case 1:  // delete one byte
+          if (!text.empty()) {
+            text.erase(static_cast<std::size_t>(
+                rng.uniform(0, static_cast<std::int64_t>(text.size()) - 1)));
+          }
+          break;
+        default:  // insert one byte (incl. an embedded NUL)
+          text.insert(static_cast<std::size_t>(
+                          rng.uniform(0, text.size())),
+                      1, kBytes[rng.uniform(0, 15)]);
+          break;
+      }
+    }
+    auto filter = Filter::parse(text);
+    if (!filter.ok()) {
+      EXPECT_EQ(filter.error().code, "osgi.bad_filter") << text;
+      continue;
+    }
+    const std::string normalized = filter.value().to_string();
+    auto reparsed = Filter::parse(normalized);
+    ASSERT_TRUE(reparsed.ok()) << "accepted '" << text
+                               << "' but rejected its own normalization '"
+                               << normalized << "'";
+    EXPECT_EQ(reparsed.value().to_string(), normalized);
+  }
 }
 
 }  // namespace

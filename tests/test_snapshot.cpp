@@ -3,9 +3,14 @@
 // watchdog action of the adaptation manager.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "drcom/adaptation.hpp"
 #include "drcom/snapshot.hpp"
 #include "test_helpers.hpp"
+#include "testing/scenario.hpp"
+#include "util/rng.hpp"
 #include "xml/parser.hpp"
 
 namespace drt::drcom {
@@ -133,6 +138,87 @@ TEST(Snapshot, EmptyRuntimeSnapshotsAndRestores) {
   World fresh;
   EXPECT_TRUE(restore_from_xml(fresh.drcr, snapshot).ok());
   EXPECT_TRUE(fresh.drcr.component_names().empty());
+}
+
+// Regression (found by drt_fuzz, seed 19): unregistering a system member
+// directly must prune it from the stored composition, or the snapshot emits
+// the stale member — and if another system has since reused the name,
+// restore clashes with itself.
+TEST(Snapshot, UnregisteredSystemMemberLeavesTheComposition) {
+  World world;
+  ASSERT_TRUE(world.drcr
+                  .deploy_system(parse_system_descriptor(kSystemXml).value())
+                  .ok());
+  ASSERT_TRUE(world.drcr.unregister_component("src").ok());
+
+  // The stored composition followed the registry; its connection went too.
+  const auto members = world.drcr.system_members("pipe");
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], "dst");
+  ASSERT_NE(world.drcr.system_of("pipe"), nullptr);
+  EXPECT_TRUE(world.drcr.system_of("pipe")->connections.empty());
+
+  // Another deployment reuses the freed name; the snapshot must restore.
+  ASSERT_TRUE(world.drcr
+                  .deploy_system(SystemDescriptor{
+                      "solo2", "", {component("src")}, {}, {}})
+                  .ok());
+  const std::string snapshot = snapshot_to_xml(world.drcr);
+  World fresh;
+  auto restored = restore_from_xml(fresh.drcr, snapshot);
+  ASSERT_TRUE(restored.ok()) << restored.error().to_string();
+  EXPECT_EQ(snapshot_to_xml(fresh.drcr), snapshot);
+}
+
+TEST(Snapshot, SystemEmptiedByUnregistrationIsDropped) {
+  World world;
+  ASSERT_TRUE(world.drcr
+                  .deploy_system(parse_system_descriptor(kSystemXml).value())
+                  .ok());
+  ASSERT_TRUE(world.drcr.unregister_component("src").ok());
+  ASSERT_TRUE(world.drcr.unregister_component("dst").ok());
+  EXPECT_TRUE(world.drcr.deployed_systems().empty());
+  const std::string snapshot = snapshot_to_xml(world.drcr);
+  World fresh;
+  EXPECT_TRUE(restore_from_xml(fresh.drcr, snapshot).ok());
+  EXPECT_TRUE(fresh.drcr.component_names().empty());
+}
+
+// Seeded property test: randomized admitted states must round-trip —
+// restore(snapshot(S)) succeeds into a fresh runtime and re-snapshots
+// byte-identically, with and without the opt-in drt:channels section.
+TEST(Snapshot, RandomizedStatesRoundTrip) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    World world;
+    const std::int64_t count = rng.uniform(1, 6);
+    for (std::int64_t i = 0; i < count; ++i) {
+      auto d = drt::testing::random_descriptor(
+          rng, "r" + std::to_string(i), /*cpus=*/1);
+      d.bincode = "snap.Echo";  // instantiable in this World
+      ASSERT_TRUE(world.drcr.register_component(std::move(d)).ok())
+          << "seed " << seed;
+      if (rng.uniform(0, 3) == 0) {
+        ASSERT_TRUE(
+            world.drcr.disable_component("r" + std::to_string(i)).ok());
+      }
+    }
+    world.engine.run_until(world.kernel.now() + milliseconds(5));
+
+    const bool with_channels = (seed % 2) == 0;
+    const std::string snapshot =
+        snapshot_to_xml(world.drcr, {.include_channels = with_channels});
+    if (with_channels) {
+      EXPECT_NE(snapshot.find("drt:channels"), std::string::npos);
+    }
+    World fresh;
+    auto restored = restore_from_xml(fresh.drcr, snapshot);
+    ASSERT_TRUE(restored.ok())
+        << "seed " << seed << ": " << restored.error().to_string();
+    // Contract fixpoint: compare without the live channel telemetry.
+    EXPECT_EQ(snapshot_to_xml(fresh.drcr), snapshot_to_xml(world.drcr))
+        << "seed " << seed;
+  }
 }
 
 // ----------------------------------------------------- kRestart watchdog --

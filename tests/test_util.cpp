@@ -189,6 +189,14 @@ TEST(Rng, UniformRespectsBounds) {
   }
 }
 
+TEST(Rng, DegenerateOrInvertedRangeReturnsLow) {
+  // hi < lo used to be modulo-by-zero UB; it must clamp to lo instead.
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+  EXPECT_EQ(rng.uniform(5, 4), 5);
+  EXPECT_EQ(rng.uniform(-3, -7), -3);
+}
+
 TEST(Rng, NormalHasExpectedMoments) {
   Rng rng(11);
   double sum = 0.0;

@@ -130,6 +130,46 @@ TEST(XmlParser, ErrorsCarryLineAndColumn) {
   EXPECT_NE(doc.error().message.find("line"), std::string::npos);
 }
 
+// Truncation property: cutting a well-formed document at ANY byte must
+// produce a structured parse error (never a crash, never silent acceptance),
+// and the error must carry a position.
+TEST(XmlParser, EveryTruncationIsAStructuredError) {
+  const std::string source =
+      "<?xml version=\"1.0\"?>\n"
+      "<drt:component name=\"cam\" type=\"periodic\">\n"
+      "  <implementation bincode=\"ua.pats.RTComponent\"/>\n"
+      "  <!-- note --><outport name=\"img\" interface=\"RTAI.SHM\""
+      " type=\"Byte\" size=\"4\"/>\n"
+      "  <m>a &lt;b&gt; <![CDATA[raw]]></m>\n"
+      "</drt:component>\n";
+  ASSERT_TRUE(parse(source).ok());
+  for (std::size_t cut = 0; cut + 1 < source.size(); ++cut) {
+    auto doc = parse(source.substr(0, cut));
+    ASSERT_FALSE(doc.ok()) << "prefix of length " << cut << " parsed";
+    EXPECT_EQ(doc.error().code, "xml.parse_error") << "cut=" << cut;
+    EXPECT_NE(doc.error().message.find("line"), std::string::npos)
+        << "cut=" << cut << ": no position in '" << doc.error().message
+        << "'";
+  }
+}
+
+// Recursive descent has a hard nesting ceiling so adversarial input cannot
+// overflow the native stack.
+TEST(XmlParser, NestingDepthIsBounded) {
+  auto nested = [](int depth) {
+    std::string text;
+    for (int i = 0; i < depth; ++i) text += "<a>";
+    text += "<leaf/>";
+    for (int i = 0; i < depth; ++i) text += "</a>";
+    return text;
+  };
+  EXPECT_TRUE(parse(nested(150)).ok());
+  auto too_deep = parse(nested(5'000));
+  ASSERT_FALSE(too_deep.ok());
+  EXPECT_EQ(too_deep.error().code, "xml.parse_error");
+  EXPECT_NE(too_deep.error().message.find("depth"), std::string::npos);
+}
+
 TEST(XmlParser, ExpectedRootHelper) {
   EXPECT_TRUE(parse_expecting_root("<drt:component/>", "component").ok());
   EXPECT_TRUE(parse_expecting_root("<component/>", "component").ok());
