@@ -77,8 +77,11 @@ StatSummary event_cancel(std::size_t pending, std::size_t ops) {
 }
 
 /// ns per fired kernel event with `tasks` equal-priority RR tasks ready on
-/// one CPU, each task an endless chain of small consume() demands.
-StatSummary dispatch_storm(std::size_t tasks, SimDuration horizon) {
+/// one CPU, each task an endless chain of small consume() demands. The
+/// default rows keep metrics disabled (the production configuration);
+/// `count_metrics` rows measure what opt-in counting adds to the same storm.
+StatSummary dispatch_storm(std::size_t tasks, SimDuration horizon,
+                           bool count_metrics = false) {
   SampleSeries samples;
   for (int rep = 0; rep < kSamples; ++rep) {
     rtos::SimEngine engine;
@@ -86,6 +89,7 @@ StatSummary dispatch_storm(std::size_t tasks, SimDuration horizon) {
     config.cpus = 1;
     config.seed = 42 + static_cast<std::uint64_t>(rep);
     rtos::RtKernel kernel(engine, config);
+    if (count_metrics) kernel.metrics().enable();
     for (std::size_t i = 0; i < tasks; ++i) {
       rtos::TaskParams params;
       params.name = "t" + std::to_string(i);
@@ -184,6 +188,8 @@ int main(int argc, char** argv) {
   print_table_row("dispatch @10", dispatch_storm(10, milliseconds(40)));
   print_table_row("dispatch @100", dispatch_storm(100, milliseconds(40)));
   print_table_row("dispatch @1000", dispatch_storm(1000, milliseconds(40)));
+  print_table_row("dispatch @100 +metrics",
+                  dispatch_storm(100, milliseconds(40), true));
 
   print_table_header("Service registry (ns/call)",
                      "10 interfaces, ranked entries");

@@ -14,7 +14,7 @@ namespace {
 Result<PortInterface> parse_interface(std::string_view text) {
   if (str::iequals(text, "RTAI.SHM")) return PortInterface::kShm;
   if (str::iequals(text, "RTAI.Mailbox")) return PortInterface::kMailbox;
-  return make_error("drcom.bad_descriptor",
+  return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                     "unknown port interface '" + std::string(text) +
                         "' (expected RTAI.SHM or RTAI.Mailbox)");
 }
@@ -22,7 +22,7 @@ Result<PortInterface> parse_interface(std::string_view text) {
 Result<rtos::DataType> parse_data_type(std::string_view text) {
   if (str::iequals(text, "Byte")) return rtos::DataType::kByte;
   if (str::iequals(text, "Integer")) return rtos::DataType::kInteger;
-  return make_error("drcom.bad_descriptor",
+  return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                     "unknown port data type '" + std::string(text) +
                         "' (expected Byte or Integer)");
 }
@@ -33,7 +33,7 @@ Result<PortSpec> parse_port(const xml::Element& element,
   port.direction = direction;
   port.name = element.attribute_or("name", "");
   if (port.name.empty()) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       std::string(to_string(direction)) + " without a name");
   }
   auto interface = parse_interface(element.attribute_or("interface", "RTAI.SHM"));
@@ -44,19 +44,19 @@ Result<PortSpec> parse_port(const xml::Element& element,
   port.data_type = data_type.value();
   const auto size = str::parse_int(element.attribute_or("size", ""));
   if (!size || *size <= 0) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "port '" + port.name + "' needs a positive size");
   }
   port.size = static_cast<std::size_t>(*size);
   if (const auto optional_attr = element.attribute("optional")) {
     const auto parsed = str::parse_bool(*optional_attr);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "port '" + port.name +
                             "' optional must be true/false");
     }
     if (*parsed && direction == PortDirection::kOut) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "out-port '" + port.name +
                             "' cannot be optional (providers always provide)");
     }
@@ -70,14 +70,15 @@ Result<void> add_property(ComponentDescriptor& descriptor,
                           const xml::Element& element) {
   const auto name = element.attribute_or("name", "");
   if (name.empty()) {
-    return make_error("drcom.bad_descriptor", "property without a name");
+    return make_error(ErrorCode::kInvalidDescriptor,
+                      "drcom.bad_descriptor", "property without a name");
   }
   const auto type = element.attribute_or("type", "String");
   const auto value = element.attribute_or("value", "");
   if (str::iequals(type, "Integer") || str::iequals(type, "Long")) {
     const auto parsed = str::parse_int(value);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "property '" + std::string(name) +
                             "' has non-integer value '" + std::string(value) +
                             "'");
@@ -86,7 +87,7 @@ Result<void> add_property(ComponentDescriptor& descriptor,
   } else if (str::iequals(type, "Double") || str::iequals(type, "Float")) {
     const auto parsed = str::parse_double(value);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "property '" + std::string(name) +
                             "' has non-numeric value '" + std::string(value) +
                             "'");
@@ -95,7 +96,7 @@ Result<void> add_property(ComponentDescriptor& descriptor,
   } else if (str::iequals(type, "Boolean")) {
     const auto parsed = str::parse_bool(value);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "property '" + std::string(name) +
                             "' has non-boolean value '" + std::string(value) +
                             "'");
@@ -104,7 +105,7 @@ Result<void> add_property(ComponentDescriptor& descriptor,
   } else if (str::iequals(type, "String")) {
     descriptor.properties.set(name, std::string(value));
   } else {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "property '" + std::string(name) +
                           "' has unknown type '" + std::string(type) + "'");
   }
@@ -168,14 +169,14 @@ Result<ComponentDescriptor> parse_descriptor_element(
   } else if (str::iequals(type_text, "sporadic")) {
     descriptor.type = rtos::TaskType::kSporadic;
   } else {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "unknown component type '" + std::string(type_text) +
                           "'");
   }
   if (const auto enabled = root.attribute("enabled")) {
     const auto parsed = str::parse_bool(*enabled);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "enabled must be true/false, got '" +
                             std::string(*enabled) + "'");
     }
@@ -184,7 +185,7 @@ Result<ComponentDescriptor> parse_descriptor_element(
   if (const auto usage = root.attribute("cpuusage")) {
     const auto parsed = str::parse_double(*usage);
     if (!parsed) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "cpuusage must be numeric, got '" +
                             std::string(*usage) + "'");
     }
@@ -201,12 +202,12 @@ Result<ComponentDescriptor> parse_descriptor_element(
       auto freq_text = child->attribute("frequence");
       if (!freq_text) freq_text = child->attribute("frequency");
       if (!freq_text) {
-        return make_error("drcom.bad_descriptor",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                           "periodictask without frequence");
       }
       const auto freq = str::parse_double(*freq_text);
       if (!freq || *freq <= 0.0) {
-        return make_error("drcom.bad_descriptor",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                           "periodictask frequence must be positive");
       }
       spec.frequency_hz = *freq;
@@ -217,7 +218,8 @@ Result<ComponentDescriptor> parse_descriptor_element(
       if (cpu_text) {
         const auto cpu = str::parse_int(*cpu_text);
         if (!cpu || *cpu < 0) {
-          return make_error("drcom.bad_descriptor",
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
                             "runoncpu must be a non-negative integer");
         }
         spec.run_on_cpu = static_cast<CpuId>(*cpu);
@@ -225,7 +227,8 @@ Result<ComponentDescriptor> parse_descriptor_element(
       if (const auto prio_text = child->attribute("priority")) {
         const auto prio = str::parse_int(*prio_text);
         if (!prio || *prio < 0) {
-          return make_error("drcom.bad_descriptor",
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
                             "priority must be a non-negative integer");
         }
         spec.priority = static_cast<int>(*prio);
@@ -233,7 +236,8 @@ Result<ComponentDescriptor> parse_descriptor_element(
       if (const auto deadline_text = child->attribute("deadline")) {
         const auto deadline = str::parse_int(*deadline_text);
         if (!deadline || *deadline <= 0) {
-          return make_error("drcom.bad_descriptor",
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
                             "deadline must be a positive nanosecond count");
         }
         spec.deadline = *deadline;
@@ -243,19 +247,20 @@ Result<ComponentDescriptor> parse_descriptor_element(
       SporadicSpec spec;
       const auto mit_text = child->attribute("minarrival");
       if (!mit_text) {
-        return make_error("drcom.bad_descriptor",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                           "sporadictask without minarrival");
       }
       const auto mit = str::parse_int(*mit_text);
       if (!mit || *mit <= 0) {
-        return make_error("drcom.bad_descriptor",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                           "minarrival must be a positive nanosecond count");
       }
       spec.min_interarrival = *mit;
       if (const auto cpu_text = child->attribute("runoncpu")) {
         const auto cpu = str::parse_int(*cpu_text);
         if (!cpu || *cpu < 0) {
-          return make_error("drcom.bad_descriptor",
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
                             "runoncpu must be a non-negative integer");
         }
         spec.run_on_cpu = static_cast<CpuId>(*cpu);
@@ -263,7 +268,8 @@ Result<ComponentDescriptor> parse_descriptor_element(
       if (const auto prio_text = child->attribute("priority")) {
         const auto prio = str::parse_int(*prio_text);
         if (!prio || *prio < 0) {
-          return make_error("drcom.bad_descriptor",
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
                             "priority must be a non-negative integer");
         }
         spec.priority = static_cast<int>(*prio);
@@ -279,7 +285,7 @@ Result<ComponentDescriptor> parse_descriptor_element(
       auto added = add_property(descriptor, *child);
       if (!added.ok()) return added.error();
     } else {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "unknown descriptor element <" + child->name + ">");
     }
   }
@@ -291,46 +297,47 @@ Result<ComponentDescriptor> parse_descriptor_element(
 
 Result<void> validate(const ComponentDescriptor& descriptor) {
   if (descriptor.name.empty()) {
-    return make_error("drcom.bad_descriptor", "component without a name");
+    return make_error(ErrorCode::kInvalidDescriptor,
+                      "drcom.bad_descriptor", "component without a name");
   }
   if (descriptor.name.size() > kMaxRtName) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "component name '" + descriptor.name + "' exceeds " +
                           std::to_string(kMaxRtName) +
                           " characters (RT task name limit)");
   }
   if (descriptor.bincode.empty()) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "component '" + descriptor.name +
                           "' has no implementation bincode");
   }
   if (descriptor.type == rtos::TaskType::kPeriodic) {
     if (!descriptor.periodic.has_value()) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "periodic component '" + descriptor.name +
                             "' needs a periodictask element");
     }
     // NaN fails every ordered comparison, so `<= 0.0` alone lets it through.
     if (!std::isfinite(descriptor.periodic->frequency_hz) ||
         descriptor.periodic->frequency_hz <= 0.0) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "component '" + descriptor.name +
                             "' has non-positive frequency");
     }
     if (descriptor.periodic->deadline > descriptor.periodic->period()) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "component '" + descriptor.name +
                             "' deadline exceeds its period");
     }
   }
   if (descriptor.type == rtos::TaskType::kSporadic) {
     if (!descriptor.sporadic.has_value()) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "sporadic component '" + descriptor.name +
                             "' needs a sporadictask element");
     }
     if (descriptor.sporadic->min_interarrival <= 0) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "component '" + descriptor.name +
                             "' has non-positive minarrival");
     }
@@ -345,7 +352,7 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
       }
     }
     if (!trigger_ok) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "sporadic component '" + descriptor.name +
                             "' needs a Mailbox in-port as its trigger" +
                             (trigger.empty() ? "" : (" ('" + trigger + "')")));
@@ -355,7 +362,7 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
   // ordered comparisons below, so reject non-finite values explicitly.
   if (!std::isfinite(descriptor.cpu_usage) || descriptor.cpu_usage < 0.0 ||
       descriptor.cpu_usage > 1.0) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "component '" + descriptor.name +
                           "' cpuusage must lie in [0,1]");
   }
@@ -365,7 +372,7 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
                                            ? descriptor.sporadic->priority
                                            : 0);
   if (declared_priority > rtos::kMaxPriority) {
-    return make_error("drcom.bad_descriptor",
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                       "component '" + descriptor.name + "' priority " +
                           std::to_string(declared_priority) +
                           " exceeds the RT maximum of " +
@@ -373,17 +380,17 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
   }
   for (const auto& port : descriptor.ports) {
     if (port.name.size() > kMaxRtName) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "port name '" + port.name + "' exceeds " +
                             std::to_string(kMaxRtName) + " characters");
     }
     if (port.size == 0) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "port '" + port.name + "' has zero size");
     }
     // Divide rather than multiply: size * element_size could wrap.
     if (port.size > kMaxPortBytes / rtos::element_size(port.data_type)) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "port '" + port.name + "' size " +
                             std::to_string(port.size) + " exceeds the " +
                             std::to_string(kMaxPortBytes) + "-byte limit");
@@ -394,7 +401,7 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
       if (other.name == port.name) ++occurrences;
     }
     if (occurrences > 1) {
-      return make_error("drcom.bad_descriptor",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
                         "duplicate port name '" + port.name + "' in '" +
                             descriptor.name + "'");
     }

@@ -12,7 +12,41 @@ Drcr::Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
            DrcrConfig config)
     : framework_(&framework), kernel_(&kernel), config_(config),
       internal_resolver_(
-          std::make_unique<UtilizationBudgetResolver>(config.cpu_budget)) {
+          std::make_unique<UtilizationBudgetResolver>(config.cpu_budget)),
+      events_(config.event_ring_capacity) {
+  // All DRCR series live on the kernel's registry, so one snapshot covers
+  // the whole stack. Handles are registered before the initial bundle scan —
+  // lifecycle events from pre-existing bundles count too.
+  auto& metrics = kernel_->metrics();
+  m_.resolution_rounds = metrics.counter(
+      "drcom.resolution_rounds", "group resolution passes executed");
+  m_.registrations =
+      metrics.counter("drcom.registrations", "component contracts registered");
+  m_.unregistrations = metrics.counter("drcom.unregistrations",
+                                       "component contracts removed");
+  m_.activations =
+      metrics.counter("drcom.activations", "hybrid instances activated");
+  m_.deactivations =
+      metrics.counter("drcom.deactivations", "hybrid instances torn down");
+  m_.rejections = metrics.counter(
+      "drcom.rejections", "admission/functional rejections (distinct reasons)");
+  gauge_names_ = {"drcom.active_components", "drcom.events_dropped"};
+  metrics.gauge_callback("drcom.active_components",
+                         "components currently ACTIVE",
+                         [this] { return static_cast<double>(active_count()); });
+  metrics.gauge_callback("drcom.events_dropped",
+                         "lifecycle events overwritten in the bounded ring",
+                         [this] { return static_cast<double>(events_.dropped()); });
+  for (CpuId cpu = 0; cpu < kernel_->config().cpus; ++cpu) {
+    std::string name = "drcom.admitted_utilization.cpu" + std::to_string(cpu);
+    metrics.gauge_callback(
+        name, "declared utilization admitted on this CPU",
+        [this, cpu] { return system_view().declared_utilization(cpu); });
+    gauge_names_.push_back(std::move(name));
+  }
+  // OSGi joins the same registry: service lookups and event dispatches.
+  framework_->registry().set_metrics(&metrics);
+
   bundle_listener_token_ = framework_->add_bundle_listener(
       [this](const osgi::BundleEvent& event) { on_bundle_event(event); });
 
@@ -63,6 +97,19 @@ Drcr::~Drcr() {
   for (ComponentRecord* record : active) {
     deactivate(*record, "DRCR shutdown");
   }
+  // The kernel registry outlives this DRCR: detach everything that captured
+  // `this` or points back into OSGi state.
+  for (const auto& name : gauge_names_) {
+    kernel_->metrics().remove_gauge_callback(name);
+  }
+  framework_->registry().set_metrics(nullptr);
+  const auto bus_reference =
+      framework_->registry().get_reference(osgi::kEventAdminInterface);
+  if (bus_reference.has_value()) {
+    auto bus =
+        framework_->registry().get_service<osgi::EventAdmin>(*bus_reference);
+    if (bus != nullptr) bus->set_metrics(nullptr);
+  }
 }
 
 // ------------------------------------------------------------ registration
@@ -72,7 +119,7 @@ Result<void> Drcr::register_component(ComponentDescriptor descriptor,
   auto valid = validate(descriptor);
   if (!valid.ok()) return valid;
   if (components_.contains(descriptor.name)) {
-    return make_error("drcom.duplicate_component",
+    return make_error(ErrorCode::kAlreadyExists, "drcom.duplicate_component",
                       "component '" + descriptor.name +
                           "' is already registered (names are global, §2.3)");
   }
@@ -91,7 +138,7 @@ Result<void> Drcr::register_component(ComponentDescriptor descriptor,
 Result<void> Drcr::unregister_component(const std::string& name) {
   const auto found = components_.find(name);
   if (found == components_.end()) {
-    return make_error("drcom.no_such_component", name);
+    return make_error(ErrorCode::kNotFound, "drcom.no_such_component", name);
   }
   if (found->second.state == ComponentState::kActive) {
     deactivate(found->second, "component unregistered");
@@ -131,7 +178,7 @@ void Drcr::forget_system_member(const std::string& name) {
 Result<void> Drcr::enable_component(const std::string& name) {
   const auto found = components_.find(name);
   if (found == components_.end()) {
-    return make_error("drcom.no_such_component", name);
+    return make_error(ErrorCode::kNotFound, "drcom.no_such_component", name);
   }
   if (found->second.state != ComponentState::kDisabled) {
     return Result<void>::success();  // idempotent
@@ -145,7 +192,7 @@ Result<void> Drcr::enable_component(const std::string& name) {
 Result<void> Drcr::disable_component(const std::string& name) {
   const auto found = components_.find(name);
   if (found == components_.end()) {
-    return make_error("drcom.no_such_component", name);
+    return make_error(ErrorCode::kNotFound, "drcom.no_such_component", name);
   }
   ComponentRecord& record = found->second;
   if (record.state == ComponentState::kDisabled) {
@@ -166,14 +213,14 @@ Result<void> Drcr::deploy_system(const SystemDescriptor& system,
   auto valid = validate_system(system);
   if (!valid.ok()) return valid;
   if (systems_.contains(system.name)) {
-    return make_error("drcom.duplicate_system",
+    return make_error(ErrorCode::kAlreadyExists, "drcom.duplicate_system",
                       "system '" + system.name + "' is already deployed");
   }
   // Pre-flight: no member name may clash with an existing component, so the
   // deployment can be all-or-nothing without partial registration.
   for (const auto& component : system.components) {
     if (components_.contains(component.name)) {
-      return make_error("drcom.duplicate_component",
+      return make_error(ErrorCode::kAlreadyExists, "drcom.duplicate_component",
                         "system member '" + component.name +
                             "' clashes with an existing component");
     }
@@ -206,7 +253,7 @@ Result<void> Drcr::deploy_system(const SystemDescriptor& system,
 Result<void> Drcr::undeploy_system(const std::string& system_name) {
   const auto found = systems_.find(system_name);
   if (found == systems_.end()) {
-    return make_error("drcom.no_such_system", system_name);
+    return make_error(ErrorCode::kNotFound, "drcom.no_such_system", system_name);
   }
   std::vector<std::string> members;
   for (const auto& component : found->second.components) {
@@ -264,14 +311,17 @@ void Drcr::resolve() {
   resolving_ = false;
 }
 
-void Drcr::note_rejection(ComponentRecord& record, const std::string& reason) {
+void Drcr::note_rejection(ComponentRecord& record, ErrorCode code,
+                          const std::string& reason) {
   if (record.last_reason != reason) {
     record.last_reason = reason;
-    emit(DrcrEventType::kRejected, record.descriptor.name, reason);
+    record.last_code = code;
+    emit(DrcrEventType::kRejected, record.descriptor.name, reason, code);
   }
 }
 
 bool Drcr::resolve_round() {
+  m_.resolution_rounds->add();
   std::set<std::string> excluded;  // members that failed activation mechanics
   for (;;) {
     // 1. Candidates: everything unsatisfied, minus mechanical failures.
@@ -293,7 +343,7 @@ bool Drcr::resolve_round() {
         for (auto it = candidates.begin(); it != candidates.end();) {
           std::string reason;
           if (!functional_satisfied((*it)->descriptor, &reason, &candidates)) {
-            note_rejection(**it, reason);
+            note_rejection(**it, ErrorCode::kNotFound, reason);
             it = candidates.erase(it);
             shrunk = true;
           } else {
@@ -314,7 +364,8 @@ bool Drcr::resolve_round() {
             admitted.ok()) {
           view.active.push_back(&record->descriptor);
         } else {
-          note_rejection(*record, admitted.error().message);
+          note_rejection(*record, admitted.error().ec,
+                         admitted.error().message);
           rejected.push_back(record);
         }
       }
@@ -333,7 +384,8 @@ bool Drcr::resolve_round() {
     for (ComponentRecord* record : candidates) {
       auto implementation = instantiate(record->descriptor);
       if (!implementation.ok()) {
-        note_rejection(*record, implementation.error().message);
+        note_rejection(*record, implementation.error().ec,
+                       implementation.error().message);
         excluded.insert(record->descriptor.name);
         failed = true;
         break;
@@ -344,7 +396,8 @@ bool Drcr::resolve_round() {
     if (!failed) {
       for (ComponentRecord* record : candidates) {
         if (auto prepared = record->instance->prepare(); !prepared.ok()) {
-          note_rejection(*record, prepared.error().message);
+          note_rejection(*record, prepared.error().ec,
+                         prepared.error().message);
           excluded.insert(record->descriptor.name);
           failed = true;
           break;
@@ -354,7 +407,8 @@ bool Drcr::resolve_round() {
     if (!failed) {
       for (ComponentRecord* record : candidates) {
         if (auto committed = record->instance->commit(); !committed.ok()) {
-          note_rejection(*record, committed.error().message);
+          note_rejection(*record, committed.error().ec,
+                         committed.error().message);
           excluded.insert(record->descriptor.name);
           failed = true;
           break;
@@ -463,7 +517,7 @@ Result<void> Drcr::admission_check(const ComponentDescriptor& candidate,
   // all must return a positive result (§4.3).
   if (auto internal = internal_resolver_->admit(candidate, view);
       !internal.ok()) {
-    return make_error("drcom.admission_rejected",
+    return make_error(ErrorCode::kAdmissionRejected, "drcom.admission_rejected",
                       internal_resolver_->name() + ": " +
                           internal.error().message);
   }
@@ -472,7 +526,7 @@ Result<void> Drcr::admission_check(const ComponentDescriptor& candidate,
         framework_->registry().get_service<ResolvingService>(reference);
     if (service == nullptr) continue;
     if (auto custom = service->admit(candidate, view); !custom.ok()) {
-      return make_error("drcom.admission_rejected",
+      return make_error(ErrorCode::kAdmissionRejected, "drcom.admission_rejected",
                         service->name() + ": " + custom.error().message);
     }
   }
@@ -502,24 +556,24 @@ Result<std::unique_ptr<RtComponent>> Drcr::instantiate(
         try {
           instance = service->create();
         } catch (const std::exception& e) {
-          return make_error("drcom.factory_failed",
+          return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                             "factory service for '" + descriptor.bincode +
                                 "' threw: " + e.what());
         } catch (...) {
-          return make_error("drcom.factory_failed",
+          return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                             "factory service for '" + descriptor.bincode +
                                 "' threw a non-standard exception");
         }
         if (instance != nullptr) {
           return instance;
         }
-        return make_error("drcom.factory_failed",
+        return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                           "factory service for '" + descriptor.bincode +
                               "' returned null");
       }
     }
   }
-  return make_error("drcom.no_factory",
+  return make_error(ErrorCode::kNotFound, "drcom.no_factory",
                     "no implementation registered for bincode '" +
                         descriptor.bincode + "'");
 }
@@ -527,6 +581,7 @@ Result<std::unique_ptr<RtComponent>> Drcr::instantiate(
 void Drcr::finalize_activation(ComponentRecord& record) {
   record.state = ComponentState::kActive;
   record.last_reason.clear();
+  record.last_code = ErrorCode::kNone;
   record.activation_order = next_activation_order_++;
 
   // Publish the management interface with the component's properties so the
@@ -570,6 +625,12 @@ std::string Drcr::last_reason(const std::string& name) const {
   const auto found = components_.find(name);
   return found == components_.end() ? std::string{}
                                     : found->second.last_reason;
+}
+
+ErrorCode Drcr::last_reason_code(const std::string& name) const {
+  const auto found = components_.find(name);
+  return found == components_.end() ? ErrorCode::kNone
+                                    : found->second.last_code;
 }
 
 std::vector<std::string> Drcr::component_names() const {
@@ -672,9 +733,29 @@ void Drcr::remove_components_of(BundleId owner) {
 }
 
 void Drcr::emit(DrcrEventType type, const std::string& component,
-                std::string reason) {
-  DrcrEvent event{kernel_->now(), type, component, std::move(reason)};
-  events_.push_back(event);
+                std::string reason, ErrorCode code) {
+  DrcrEvent event{kernel_->now(), type, component, std::move(reason), code};
+  events_.push(event);
+  switch (type) {
+    case DrcrEventType::kRegistered:
+      m_.registrations->add();
+      break;
+    case DrcrEventType::kUnregistered:
+      m_.unregistrations->add();
+      break;
+    case DrcrEventType::kActivated:
+      m_.activations->add();
+      break;
+    case DrcrEventType::kDeactivated:
+      m_.deactivations->add();
+      break;
+    case DrcrEventType::kRejected:
+      m_.rejections->add();
+      break;
+    case DrcrEventType::kEnabled:
+    case DrcrEventType::kDisabled:
+      break;  // lifecycle toggles are visible through the event ring only
+  }
   log::Line(log::Level::kInfo, "drcr", event.when)
       << to_string(type) << " " << component
       << (event.reason.empty() ? "" : (": " + event.reason));
@@ -691,6 +772,7 @@ void Drcr::emit(DrcrEventType type, const std::string& component,
   if (reference.has_value()) {
     auto bus = framework_->registry().get_service<osgi::EventAdmin>(*reference);
     if (bus != nullptr) {
+      bus->set_metrics(&kernel_->metrics());
       osgi::Properties properties;
       properties.set("component", component);
       properties.set("reason", event.reason);
@@ -699,6 +781,15 @@ void Drcr::emit(DrcrEventType type, const std::string& component,
                 std::move(properties));
     }
   }
+}
+
+obs::ObsSnapshot Drcr::observe() const {
+  obs::ObsSnapshot snap;
+  snap.metrics = kernel_->metrics().snapshot();
+  snap.trace = &kernel_->trace();
+  snap.now = kernel_->now();
+  snap.source = "drcr";
+  return snap;
 }
 
 }  // namespace drt::drcom

@@ -32,6 +32,8 @@
 #include "drcom/hybrid.hpp"
 #include "drcom/resolver.hpp"
 #include "drcom/system_descriptor.hpp"
+#include "obs/export.hpp"
+#include "obs/ring.hpp"
 #include "osgi/framework.hpp"
 #include "osgi/service_tracker.hpp"
 #include "rtos/kernel.hpp"
@@ -84,6 +86,9 @@ struct DrcrEvent {
   DrcrEventType type = DrcrEventType::kRegistered;
   std::string component;
   std::string reason;
+  /// Typed category for kRejected/kDeactivated events, so listeners branch
+  /// on it instead of string-matching `reason`.
+  ErrorCode code = ErrorCode::kNone;
 };
 
 using DrcrListener = std::function<void(const DrcrEvent&)>;
@@ -96,6 +101,9 @@ struct DrcrConfig {
   bool auto_resolve = true;
   /// Publish the DRCR handle in the service registry.
   bool register_service = true;
+  /// Retained window of lifecycle events (rounded up to a power of two).
+  /// Older events are overwritten; add_listener() is the lossless path.
+  std::size_t event_ring_capacity = 1024;
 };
 
 class Drcr {
@@ -145,6 +153,9 @@ class Drcr {
   [[nodiscard]] const SystemDescriptor* system_of(
       const std::string& system_name) const;
   [[nodiscard]] std::string last_reason(const std::string& name) const;
+  /// Typed counterpart of last_reason(): why the component is not active
+  /// (kNone when it is, or when the name is unknown).
+  [[nodiscard]] ErrorCode last_reason_code(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> component_names() const;
   [[nodiscard]] std::size_t active_count() const;
   /// The live hybrid instance (nullptr unless ACTIVE). Non-const: callers
@@ -152,13 +163,35 @@ class Drcr {
   [[nodiscard]] HybridComponent* instance_of(const std::string& name) const;
   [[nodiscard]] SystemView system_view() const;
 
-  [[nodiscard]] const std::vector<DrcrEvent>& events() const {
+  // Lifecycle event access is a view over a bounded ring: the DRCR no longer
+  // keeps an unbounded history. recent_events() returns the retained window
+  // (oldest first); event_ring() exposes total_pushed()/dropped() so callers
+  // can detect loss; add_listener() remains the lossless delivery path.
+  [[nodiscard]] std::vector<DrcrEvent> recent_events() const {
+    return events_.snapshot();
+  }
+  [[nodiscard]] const obs::EventRing<DrcrEvent>& event_ring() const {
     return events_;
   }
-  void clear_events() { events_.clear(); }
+  /// Drops the retained window; event_ring().total_pushed() keeps counting.
+  void clear_recent_events() { events_.clear(); }
+
+  [[deprecated("the unbounded event log was replaced by a bounded ring; use "
+               "recent_events() (note: returns by value) or add_listener()")]]
+  [[nodiscard]] std::vector<DrcrEvent> events() const {
+    return events_.snapshot();
+  }
+  [[deprecated("use clear_recent_events()")]] void clear_events() {
+    events_.clear();
+  }
   void add_listener(DrcrListener listener) {
     listeners_.push_back(std::move(listener));
   }
+
+  /// One-call observability snapshot: the shared kernel metrics registry
+  /// (kernel + IPC + DRCR + OSGi series) plus the kernel trace, ready to
+  /// feed any obs::Exporter.
+  [[nodiscard]] obs::ObsSnapshot observe() const;
 
   // ------------------------------------------------------------ plumbing --
   [[nodiscard]] ComponentFactoryRegistry& factories() { return factories_; }
@@ -179,6 +212,7 @@ class Drcr {
     BundleId owner = 0;
     ComponentState state = ComponentState::kUnsatisfied;
     std::string last_reason;
+    ErrorCode last_code = ErrorCode::kNone;
     std::unique_ptr<HybridComponent> instance;
     std::shared_ptr<HybridManagement> management;
     osgi::ServiceRegistration management_registration;
@@ -216,12 +250,13 @@ class Drcr {
   /// whose hybrid instance just committed.
   void finalize_activation(ComponentRecord& record);
   void deactivate(ComponentRecord& record, const std::string& reason);
-  void note_rejection(ComponentRecord& record, const std::string& reason);
+  void note_rejection(ComponentRecord& record, ErrorCode code,
+                      const std::string& reason);
   [[nodiscard]] Result<std::unique_ptr<RtComponent>> instantiate(
       const ComponentDescriptor& descriptor) const;
 
   void emit(DrcrEventType type, const std::string& component,
-            std::string reason = {});
+            std::string reason = {}, ErrorCode code = ErrorCode::kNone);
 
   osgi::Framework* framework_;
   rtos::RtKernel* kernel_;
@@ -230,8 +265,20 @@ class Drcr {
   std::unique_ptr<ResolvingService> internal_resolver_;
   std::map<std::string, ComponentRecord> components_;
   std::map<std::string, SystemDescriptor> systems_;  ///< deployed compositions
-  std::vector<DrcrEvent> events_;
+  obs::EventRing<DrcrEvent> events_;
   std::vector<DrcrListener> listeners_;
+  /// Pre-registered handles into the kernel's metrics registry.
+  struct DrcrMetrics {
+    obs::Counter* resolution_rounds = nullptr;
+    obs::Counter* registrations = nullptr;
+    obs::Counter* unregistrations = nullptr;
+    obs::Counter* activations = nullptr;
+    obs::Counter* deactivations = nullptr;
+    obs::Counter* rejections = nullptr;
+  } m_;
+  /// Callback-gauge names registered on the kernel registry; removed in the
+  /// destructor (the registry outlives this DRCR).
+  std::vector<std::string> gauge_names_;
   std::unique_ptr<osgi::ServiceTracker> resolver_tracker_;
   osgi::ListenerToken bundle_listener_token_ = 0;
   osgi::ServiceRegistration self_registration_;

@@ -79,7 +79,7 @@ class ComponentFactoryRegistry {
       std::string_view bincode) const {
     const auto found = factories_.find(std::string(bincode));
     if (found == factories_.end()) {
-      return make_error("drcom.no_factory",
+      return make_error(ErrorCode::kNotFound, "drcom.no_factory",
                         "no implementation registered for bincode '" +
                             std::string(bincode) + "'");
     }
@@ -89,16 +89,16 @@ class ComponentFactoryRegistry {
     try {
       instance = found->second();
     } catch (const std::exception& e) {
-      return make_error("drcom.factory_failed",
+      return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                         "factory for '" + std::string(bincode) +
                             "' threw: " + e.what());
     } catch (...) {
-      return make_error("drcom.factory_failed",
+      return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                         "factory for '" + std::string(bincode) +
                             "' threw a non-standard exception");
     }
     if (instance == nullptr) {
-      return make_error("drcom.factory_failed",
+      return make_error(ErrorCode::kFactoryFailed, "drcom.factory_failed",
                         "factory for '" + std::string(bincode) +
                             "' returned null");
     }

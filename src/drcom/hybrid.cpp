@@ -228,7 +228,7 @@ Result<void> HybridComponent::activate() {
 Result<void> HybridComponent::prepare() {
   if (prepared_ || active_) return Result<void>::success();
   if (implementation_ == nullptr) {
-    return make_error("drcom.no_implementation",
+    return make_error(ErrorCode::kNotFound, "drcom.no_implementation",
                       "component '" + descriptor_.name +
                           "' has no implementation instance");
   }
@@ -239,7 +239,7 @@ Result<void> HybridComponent::prepare() {
       auto shm = kernel_->shm_create(port->name, port->byte_size());
       if (!shm.ok()) {
         rollback_ipc();
-        return make_error("drcom.port_conflict",
+        return make_error(ErrorCode::kAlreadyExists, "drcom.port_conflict",
                           "outport '" + port->name + "' of '" +
                               descriptor_.name +
                               "': " + shm.error().message);
@@ -249,7 +249,7 @@ Result<void> HybridComponent::prepare() {
       auto mailbox = kernel_->mailbox_create(port->name, port->size);
       if (!mailbox.ok()) {
         rollback_ipc();
-        return make_error("drcom.port_conflict",
+        return make_error(ErrorCode::kAlreadyExists, "drcom.port_conflict",
                           "outport '" + port->name + "' of '" +
                               descriptor_.name +
                               "': " + mailbox.error().message);
@@ -295,7 +295,7 @@ Result<void> HybridComponent::prepare() {
 Result<void> HybridComponent::commit() {
   if (active_) return Result<void>::success();
   if (!prepared_) {
-    return make_error("drcom.not_prepared",
+    return make_error(ErrorCode::kInvalidState, "drcom.not_prepared",
                       "commit() before prepare() on '" + descriptor_.name +
                           "'");
   }
@@ -311,7 +311,7 @@ Result<void> HybridComponent::commit() {
     if (!present) {
       prepared_ = false;
       rollback_ipc();
-      return make_error("drcom.unresolved_inport",
+      return make_error(ErrorCode::kNotFound, "drcom.unresolved_inport",
                         "inport '" + port->name + "' of '" + descriptor_.name +
                             "' has no provider");
     }
@@ -387,12 +387,12 @@ void HybridComponent::deactivate() {
 
 Result<void> HybridComponent::send_command(const std::string& command) {
   if (!active_ || command_mailbox_ == nullptr) {
-    return make_error("drcom.not_active",
+    return make_error(ErrorCode::kInvalidState, "drcom.not_active",
                       "component '" + descriptor_.name + "' is not active");
   }
   if (!kernel_->mailbox_send(*command_mailbox_,
                              rtos::message_from_string(command))) {
-    return make_error("drcom.channel_full",
+    return make_error(ErrorCode::kLimitExceeded, "drcom.channel_full",
                       "command channel of '" + descriptor_.name +
                           "' is full (command dropped)");
   }

@@ -12,7 +12,8 @@ Result<void> UtilizationBudgetResolver::admit(
     std::ostringstream reason;
     reason << "cpu " << cpu << " budget exceeded: " << current << " + "
            << candidate.cpu_usage << " > " << budget_;
-    return make_error("drcom.admission_rejected", reason.str());
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
   }
   return Result<void>::success();
 }
@@ -67,7 +68,8 @@ Result<void> RateMonotonicResolver::admit(const ComponentDescriptor& candidate,
     std::ostringstream reason;
     reason << "RM bound violated on cpu " << cpu << ": U=" << total << " > "
            << bound << " (n=" << n << ")";
-    return make_error("drcom.admission_rejected", reason.str());
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
   }
   return Result<void>::success();
 }
@@ -156,7 +158,8 @@ Result<void> ResponseTimeResolver::admit(const ComponentDescriptor& candidate,
       }
       reason << " > D=" << task.deadline << ") if '" << candidate.name
              << "' were admitted";
-      return make_error("drcom.admission_rejected", reason.str());
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "drcom.admission_rejected", reason.str());
     }
   }
   return Result<void>::success();

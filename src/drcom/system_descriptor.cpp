@@ -56,7 +56,7 @@ Result<SystemDescriptor> parse_system_descriptor(std::string_view xml_text) {
                           &connection.from_port) ||
           !split_endpoint(to, &connection.to_component,
                           &connection.to_port)) {
-        return make_error("drcom.bad_system",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                           "connection endpoints must be "
                           "\"component.port\" (got from='" +
                               std::string(from) + "' to='" + std::string(to) +
@@ -68,14 +68,14 @@ Result<SystemDescriptor> parse_system_descriptor(std::string_view xml_text) {
       const auto cpu = str::parse_int(child->attribute_or("cpu", ""));
       const auto limit = str::parse_double(child->attribute_or("limit", ""));
       if (!cpu || *cpu < 0 || !limit || *limit <= 0.0 || *limit > 1.0) {
-        return make_error("drcom.bad_system",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                           "cpubudget needs cpu>=0 and limit in (0,1]");
       }
       budget.cpu = static_cast<CpuId>(*cpu);
       budget.limit = *limit;
       system.budgets.push_back(budget);
     } else {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "unknown system element <" + child->name + ">");
     }
   }
@@ -87,7 +87,8 @@ Result<SystemDescriptor> parse_system_descriptor(std::string_view xml_text) {
 
 Result<void> validate_system(const SystemDescriptor& system) {
   if (system.name.empty()) {
-    return make_error("drcom.bad_system", "system without a name");
+    return make_error(ErrorCode::kInvalidDescriptor,
+                      "drcom.bad_system", "system without a name");
   }
   // Members individually valid, names unique.
   for (const auto& component : system.components) {
@@ -98,7 +99,7 @@ Result<void> validate_system(const SystemDescriptor& system) {
       if (other.name == component.name) ++occurrences;
     }
     if (occurrences > 1) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "duplicate member name '" + component.name + "'");
     }
   }
@@ -109,9 +110,10 @@ Result<void> validate_system(const SystemDescriptor& system) {
       const auto [it, inserted] =
           providers.emplace(outport->name, component.name);
       if (!inserted) {
-        return make_error("drcom.bad_system",
-                          "out-port '" + outport->name + "' provided by both '" +
-                              it->second + "' and '" + component.name + "'");
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                          "out-port '" + outport->name +
+                              "' provided by both '" + it->second +
+                              "' and '" + component.name + "'");
       }
     }
   }
@@ -122,38 +124,38 @@ Result<void> validate_system(const SystemDescriptor& system) {
     const ComponentDescriptor* to =
         system.find_component(connection.to_component);
     if (from == nullptr || to == nullptr) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "connection references unknown component: " +
                             connection.to_string());
     }
     if (from == to) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "connection must link two different components: " +
                             connection.to_string());
     }
     const PortSpec* out = from->find_port(connection.from_port);
     const PortSpec* in = to->find_port(connection.to_port);
     if (out == nullptr || out->direction != PortDirection::kOut) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "'" + connection.from_component + "." +
                             connection.from_port + "' is not an out-port");
     }
     if (in == nullptr || in->direction != PortDirection::kIn) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "'" + connection.to_component + "." +
                             connection.to_port + "' is not an in-port");
     }
     if (connection.from_port != connection.to_port) {
       // DRCom wires by shared name (§2.3); a cross-name connection can never
       // materialize at run time.
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "DRCom connects ports by name; '" +
                             connection.from_port + "' != '" +
                             connection.to_port + "' in " +
                             connection.to_string());
     }
     if (!out->compatible_with(*in)) {
-      return make_error("drcom.bad_system",
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                         "incompatible ports in " + connection.to_string());
     }
   }
@@ -176,7 +178,7 @@ Result<void> validate_system(const SystemDescriptor& system) {
         }
       }
       if (!declared) {
-        return make_error("drcom.bad_system",
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
                           "undeclared internal wiring: '" + provider->second +
                               "." + inport->name + "' feeds '" +
                               consumer.name + "." + inport->name +
@@ -194,7 +196,8 @@ Result<void> validate_system(const SystemDescriptor& system) {
       std::ostringstream reason;
       reason << "declared utilization " << total << " on cpu " << budget.cpu
              << " exceeds the system budget " << budget.limit;
-      return make_error("drcom.bad_system", reason.str());
+      return make_error(ErrorCode::kInvalidDescriptor,
+                        "drcom.bad_system", reason.str());
     }
   }
   return Result<void>::success();

@@ -1,0 +1,302 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace drt::obs {
+namespace {
+
+// Same convention as the bench_common JSON reporter: quote/backslash are
+// escaped, control characters are flattened to spaces.
+std::string escaped(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Deterministic double rendering: integral values print as integers,
+/// everything else as %.6g. (All exporter numbers flow through here so
+/// golden files are byte-stable.)
+std::string format_double(double v) {
+  char buf[64];
+  if (std::abs(v) < 9e15 && v == std::floor(v)) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  }
+  return buf;
+}
+
+std::string format_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+/// Simulated nanoseconds → trace-viewer microseconds, ns precision kept.
+std::string format_ts_us(SimTime ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+/// "rtos.deadline_misses" → "drt_rtos_deadline_misses".
+std::string prometheus_name(const std::string& dotted) {
+  std::string out = "drt_";
+  out.reserve(dotted.size() + 4);
+  for (const char c : dotted) {
+    const bool legal = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(legal ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<void> Exporter::write_file(const ObsSnapshot& snap,
+                                  const std::string& path) const {
+  const std::string body = render(snap);
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    return make_error(ErrorCode::kIo, "obs.io",
+                      "cannot open '" + path + "' for writing");
+  }
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), out);
+  const bool closed = std::fclose(out) == 0;
+  if (written != body.size() || !closed) {
+    return make_error(ErrorCode::kIo, "obs.io",
+                      "short write to '" + path + "'");
+  }
+  return Result<void>::success();
+}
+
+std::string PrometheusExporter::render(const ObsSnapshot& snap) const {
+  std::string out;
+  out += "# drt metrics snapshot (source=\"" + escaped(snap.source) +
+         "\", now_ns=" + format_double(static_cast<double>(snap.now)) + ")\n";
+
+  for (const auto& c : snap.metrics.counters) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    if (!c.help.empty()) out += "# HELP " + name + " " + c.help + "\n";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + format_u64(c.value) + "\n";
+  }
+  for (const auto& g : snap.metrics.gauges) {
+    const std::string name = prometheus_name(g.name);
+    if (!g.help.empty()) out += "# HELP " + name + " " + g.help + "\n";
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + format_double(g.value) + "\n";
+  }
+  for (const auto& h : snap.metrics.histograms) {
+    const std::string name = prometheus_name(h.name);
+    if (!h.help.empty()) out += "# HELP " + name + " " + h.help + "\n";
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      out += name + "_bucket{le=\"" + format_double(h.bounds[i]) + "\"} " +
+             format_u64(cumulative) + "\n";
+    }
+    cumulative += h.buckets.empty() ? 0 : h.buckets.back();
+    out += name + "_bucket{le=\"+Inf\"} " + format_u64(cumulative) + "\n";
+    out += name + "_sum " + format_double(h.sum) + "\n";
+    out += name + "_count " + format_u64(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string JsonExporter::render(const ObsSnapshot& snap) const {
+  std::string out;
+  out += "{\n";
+  out += "  \"source\": \"" + escaped(snap.source) + "\",\n";
+  out += "  \"now_ns\": " + format_double(static_cast<double>(snap.now)) +
+         ",\n";
+
+  out += "  \"counters\": [";
+  for (std::size_t i = 0; i < snap.metrics.counters.size(); ++i) {
+    const auto& c = snap.metrics.counters[i];
+    out += (i == 0 ? "" : ",");
+    out += "\n    {\"name\": \"" + escaped(c.name) + "\", \"value\": " +
+           format_u64(c.value) + "}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"gauges\": [";
+  for (std::size_t i = 0; i < snap.metrics.gauges.size(); ++i) {
+    const auto& g = snap.metrics.gauges[i];
+    out += (i == 0 ? "" : ",");
+    out += "\n    {\"name\": \"" + escaped(g.name) + "\", \"value\": " +
+           format_double(g.value) + "}";
+  }
+  out += "\n  ],\n";
+
+  out += "  \"histograms\": [";
+  for (std::size_t i = 0; i < snap.metrics.histograms.size(); ++i) {
+    const auto& h = snap.metrics.histograms[i];
+    out += (i == 0 ? "" : ",");
+    out += "\n    {\"name\": \"" + escaped(h.name) + "\", \"sum\": " +
+           format_double(h.sum) + ", \"count\": " + format_u64(h.count) +
+           ", \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      const std::string le =
+          b < h.bounds.size() ? format_double(h.bounds[b]) : "+Inf";
+      out += (b == 0 ? "" : ", ");
+      out += "{\"le\": \"" + le + "\", \"count\": " + format_u64(h.buckets[b]) +
+             "}";
+    }
+    out += "]}";
+  }
+  out += "\n  ],\n";
+
+  const std::size_t trace_events =
+      snap.trace != nullptr ? snap.trace->events().size() : 0;
+  out += "  \"trace_events\": " + format_u64(trace_events) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ChromeTraceExporter::render(const ObsSnapshot& snap) const {
+  // Reconstruct execution slices per CPU lane from the flight recorder.
+  struct OpenSlice {
+    TaskId task = 0;
+    SimTime start = 0;
+  };
+  std::map<TaskId, std::string> names;
+  std::map<CpuId, OpenSlice> open;  // per-CPU currently-running slice
+  std::set<CpuId> cpus;
+  bool ipc_seen = false;
+  CpuId max_cpu = 0;
+
+  std::vector<std::string> body;  // event objects, encounter order
+
+  const std::vector<TraceEvent> no_events;
+  const std::vector<TraceEvent>& events =
+      snap.trace != nullptr ? snap.trace->events() : no_events;
+
+  auto task_name = [&names](TaskId id) {
+    const auto it = names.find(id);
+    if (it != names.end()) return escaped(it->second);
+    return std::string("task#") + format_u64(id);
+  };
+  auto emit_slice = [&](CpuId cpu, const OpenSlice& slice, SimTime end) {
+    body.push_back("{\"ph\":\"X\",\"pid\":0,\"tid\":" + format_u64(cpu) +
+                   ",\"ts\":" + format_ts_us(slice.start) + ",\"dur\":" +
+                   format_ts_us(end - slice.start) + ",\"name\":\"" +
+                   task_name(slice.task) + "\",\"args\":{\"task\":" +
+                   format_u64(slice.task) + "}}");
+  };
+  auto emit_instant = [&](const TraceEvent& e, std::uint64_t tid,
+                          const std::string& args) {
+    body.push_back("{\"ph\":\"i\",\"pid\":0,\"tid\":" + format_u64(tid) +
+                   ",\"ts\":" + format_ts_us(e.when) + ",\"s\":\"t\"," +
+                   "\"name\":\"" + to_string(e.kind) + "\",\"args\":{" + args +
+                   "}}");
+  };
+  auto close_open_slice = [&](CpuId cpu, TaskId task, SimTime end) {
+    const auto it = open.find(cpu);
+    if (it != open.end() && it->second.task == task) {
+      emit_slice(cpu, it->second, end);
+      open.erase(it);
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    const bool is_ipc = e.kind == TraceKind::kMailboxSend ||
+                        e.kind == TraceKind::kMailboxRecv;
+    if (!is_ipc) {
+      cpus.insert(e.cpu);
+      if (e.cpu > max_cpu) max_cpu = e.cpu;
+    }
+    switch (e.kind) {
+      case TraceKind::kTaskCreated:
+        names[e.task] = e.detail;
+        break;
+      case TraceKind::kDispatched: {
+        // A stale slice on this lane means the previous occupant yielded
+        // without a dedicated yield event (e.g. blocked on its period right
+        // after kCompleted); close it where the successor takes over.
+        const auto it = open.find(e.cpu);
+        if (it != open.end()) {
+          emit_slice(e.cpu, it->second, e.when);
+          open.erase(it);
+        }
+        open[e.cpu] = OpenSlice{e.task, e.when};
+        break;
+      }
+      case TraceKind::kPreempted:
+      case TraceKind::kSliceRotated:
+      case TraceKind::kBlocked:
+      case TraceKind::kSuspendedK:
+      case TraceKind::kDeleted:
+      case TraceKind::kFinished:
+        close_open_slice(e.cpu, e.task, e.when);
+        break;
+      case TraceKind::kCompleted:
+        close_open_slice(e.cpu, e.task, e.when);
+        emit_instant(e, e.cpu, "\"task\":" + format_u64(e.task));
+        break;
+      case TraceKind::kReleased:
+      case TraceKind::kDeadlineMiss:
+        emit_instant(e, e.cpu, "\"task\":" + format_u64(e.task));
+        break;
+      case TraceKind::kMailboxSend:
+      case TraceKind::kMailboxRecv:
+        ipc_seen = true;
+        break;  // handled below once the ipc lane id is known
+      default:
+        break;  // kTaskStarted / kResumed carry no timeline geometry
+    }
+  }
+  // Anything still running when the snapshot was taken ends "now".
+  for (const auto& [cpu, slice] : open) emit_slice(cpu, slice, snap.now);
+
+  const std::uint64_t ipc_tid = static_cast<std::uint64_t>(max_cpu) + 1;
+  if (ipc_seen) {
+    for (const TraceEvent& e : events) {
+      if (e.kind == TraceKind::kMailboxSend ||
+          e.kind == TraceKind::kMailboxRecv) {
+        emit_instant(e, ipc_tid, "\"mailbox\":\"" + escaped(e.detail) + "\"");
+      }
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& obj) {
+    out += first ? "\n" : ",\n";
+    out += obj;
+    first = false;
+  };
+  append("{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"" +
+         escaped(snap.source.empty() ? "drt-sim" : snap.source) + "\"}}");
+  for (const CpuId cpu : cpus) {
+    append("{\"ph\":\"M\",\"pid\":0,\"tid\":" + format_u64(cpu) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"cpu" +
+           format_u64(cpu) + "\"}}");
+  }
+  if (ipc_seen) {
+    append("{\"ph\":\"M\",\"pid\":0,\"tid\":" + format_u64(ipc_tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"ipc\"}}");
+  }
+  for (const std::string& obj : body) append(obj);
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace drt::obs

@@ -1,0 +1,84 @@
+// The redesigned introspection surface: one snapshot struct, one exporter
+// interface, three concrete formats.
+//
+//   ObsSnapshot snap = drcr.observe();              // or assembled by hand
+//   PrometheusExporter{}.render(snap);              // text exposition format
+//   JsonExporter{}.render(snap);                    // bench_common-style JSON
+//   ChromeTraceExporter{}.render(snap);             // chrome://tracing file
+//
+// All three renderings are deterministic: metrics iterate in name order and
+// numbers are printed with fixed formats, so golden-file tests can require
+// byte-identical output across runs.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace drt::obs {
+
+/// Everything an exporter may consume. `trace` is optional (nullptr when the
+/// producer never enabled tracing); the Chrome exporter yields an empty
+/// timeline without it, the other two ignore it.
+struct ObsSnapshot {
+  MetricsSnapshot metrics;
+  const Trace* trace = nullptr;
+  SimTime now = 0;          ///< virtual time the snapshot was taken
+  std::string source;       ///< producer label, e.g. "drcr" or a bench name
+};
+
+class Exporter {
+ public:
+  virtual ~Exporter() = default;
+
+  /// Short format id: "prometheus", "json", "chrome-trace".
+  [[nodiscard]] virtual const char* format() const = 0;
+  /// Conventional file suffix for write_file callers: ".prom", ".json", ...
+  [[nodiscard]] virtual const char* file_suffix() const = 0;
+
+  [[nodiscard]] virtual std::string render(const ObsSnapshot& snap) const = 0;
+
+  /// Renders and writes atomically-enough for tooling (single fwrite).
+  [[nodiscard]] Result<void> write_file(const ObsSnapshot& snap,
+                                        const std::string& path) const;
+};
+
+/// Prometheus text exposition format. Dotted metric names are rewritten to
+/// `drt_<name with dots as underscores>`; counters get a `_total` suffix,
+/// histograms emit `_bucket{le="..."}` / `_sum` / `_count` series.
+class PrometheusExporter final : public Exporter {
+ public:
+  [[nodiscard]] const char* format() const override { return "prometheus"; }
+  [[nodiscard]] const char* file_suffix() const override { return ".prom"; }
+  [[nodiscard]] std::string render(const ObsSnapshot& snap) const override;
+};
+
+/// JSON document following the bench_common report conventions (2-space
+/// indent, escaped strings, %.6f-style fixed numeric fields).
+class JsonExporter final : public Exporter {
+ public:
+  [[nodiscard]] const char* format() const override { return "json"; }
+  [[nodiscard]] const char* file_suffix() const override { return ".json"; }
+  [[nodiscard]] std::string render(const ObsSnapshot& snap) const override;
+};
+
+/// Chrome trace-event JSON (the `chrome://tracing` / Perfetto legacy format).
+/// Execution slices are reconstructed from the kernel Trace: a kDispatched
+/// event opens a slice on its CPU lane, the next yield-type event
+/// (preemption, block, rotation, suspension, deletion, finish, completion)
+/// closes it. Releases, deadline misses and mailbox operations become
+/// instant events; mailbox traffic gets its own "ipc" lane. Timestamps are
+/// microseconds with nanosecond precision (ts = ns / 1000, three decimals).
+class ChromeTraceExporter final : public Exporter {
+ public:
+  [[nodiscard]] const char* format() const override { return "chrome-trace"; }
+  [[nodiscard]] const char* file_suffix() const override {
+    return ".trace.json";
+  }
+  [[nodiscard]] std::string render(const ObsSnapshot& snap) const override;
+};
+
+}  // namespace drt::obs

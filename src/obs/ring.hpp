@@ -1,0 +1,71 @@
+// Bounded overwrite-oldest event ring.
+//
+// Replaces the unbounded `std::vector<DrcrEvent>` history the DRCR used to
+// keep: a long-running deployment emits lifecycle events forever, so the
+// introspection API exposes only a bounded window of the most recent ones
+// (plus a total-pushed counter so consumers can detect loss). Listeners
+// remain the lossless path; the ring is the "what happened recently?" view.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace drt::obs {
+
+template <typename T>
+class EventRing {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 1) so indexing is a
+  /// mask rather than a modulo.
+  explicit EventRing(std::size_t capacity = 1024)
+      : slots_(std::bit_ceil(capacity < 1 ? std::size_t{1} : capacity)) {}
+
+  void push(T value) {
+    if (total_ - first_ == slots_.size()) {
+      ++first_;  // overwrite the oldest retained event
+      ++overwritten_;
+    }
+    slots_[static_cast<std::size_t>(total_) & (slots_.size() - 1)] =
+        std::move(value);
+    ++total_;
+  }
+
+  /// Number of events currently retained (≤ capacity()).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(total_ - first_);
+  }
+  [[nodiscard]] bool empty() const { return total_ == first_; }
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Total events ever pushed; keeps counting across clear().
+  [[nodiscard]] std::uint64_t total_pushed() const { return total_; }
+  /// Events lost to overwrite (clear() discards explicitly, not here).
+  [[nodiscard]] std::uint64_t dropped() const { return overwritten_; }
+
+  /// i-th retained event, 0 = oldest still held.
+  [[nodiscard]] const T& at(std::size_t i) const {
+    return slots_[static_cast<std::size_t>(first_ + i) & (slots_.size() - 1)];
+  }
+
+  /// Oldest-to-newest copy of the retained window.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i) out.push_back(at(i));
+    return out;
+  }
+
+  /// Empties the retained window; total_pushed() and dropped() are
+  /// unaffected (cleared events were discarded on purpose, not lost).
+  void clear() { first_ = total_; }
+
+ private:
+  std::vector<T> slots_;
+  std::uint64_t total_ = 0;        ///< next push position
+  std::uint64_t first_ = 0;        ///< oldest retained position
+  std::uint64_t overwritten_ = 0;  ///< pushes that evicted a retained event
+};
+
+}  // namespace drt::obs

@@ -1,0 +1,102 @@
+// Execution trace: a flight recorder for the simulated kernel.
+//
+// Tests assert scheduling invariants against it (priority order, preemption
+// correctness, FIFO-within-priority) and the dynamicity bench prints the
+// §4.3 event timeline from it. Disabled by default — recording is opt-in so
+// long latency runs don't accumulate millions of entries.
+//
+// Lives in the observability layer (rather than src/rtos/) so the exporters
+// in obs/export.hpp can consume it without depending on the kernel;
+// rtos/trace.hpp re-exports the names for existing includes.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace drt::obs {
+
+enum class TraceKind {
+  kTaskCreated,
+  kTaskStarted,
+  kReleased,      ///< periodic release delivered (task became ready)
+  kDispatched,    ///< task got the CPU
+  kPreempted,     ///< task lost the CPU to a higher-priority task
+  kSliceRotated,  ///< round-robin quantum expired
+  kBlocked,       ///< task blocked (period / sleep / mailbox)
+  kCompleted,     ///< job finished (reached wait_next_period)
+  kSuspendedK,    ///< suspended via management interface
+  kResumed,
+  kDeleted,
+  kFinished,      ///< body returned
+  kDeadlineMiss,
+  kMailboxSend,
+  kMailboxRecv,
+};
+
+[[nodiscard]] constexpr const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kTaskCreated: return "CREATED";
+    case TraceKind::kTaskStarted: return "STARTED";
+    case TraceKind::kReleased: return "RELEASED";
+    case TraceKind::kDispatched: return "DISPATCHED";
+    case TraceKind::kPreempted: return "PREEMPTED";
+    case TraceKind::kSliceRotated: return "SLICE";
+    case TraceKind::kBlocked: return "BLOCKED";
+    case TraceKind::kCompleted: return "COMPLETED";
+    case TraceKind::kSuspendedK: return "SUSPENDED";
+    case TraceKind::kResumed: return "RESUMED";
+    case TraceKind::kDeleted: return "DELETED";
+    case TraceKind::kFinished: return "FINISHED";
+    case TraceKind::kDeadlineMiss: return "DEADLINE_MISS";
+    case TraceKind::kMailboxSend: return "MBX_SEND";
+    case TraceKind::kMailboxRecv: return "MBX_RECV";
+  }
+  return "?";
+}
+
+struct TraceEvent {
+  SimTime when = 0;
+  TraceKind kind = TraceKind::kTaskCreated;
+  TaskId task = 0;
+  CpuId cpu = 0;
+  std::string detail;
+};
+
+class Trace {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// The detail string is materialised only when recording is enabled, so a
+  /// disabled trace costs no allocation on the IPC/scheduling hot paths.
+  void add(SimTime when, TraceKind kind, TaskId task, CpuId cpu,
+           std::string_view detail = {}) {
+    if (enabled_) {
+      events_.push_back({when, kind, task, cpu, std::string(detail)});
+    }
+  }
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+  /// Events of one kind, in order.
+  [[nodiscard]] std::vector<TraceEvent> filter(TraceKind kind) const {
+    std::vector<TraceEvent> out;
+    for (const auto& event : events_) {
+      if (event.kind == kind) out.push_back(event);
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace drt::obs

@@ -31,6 +31,7 @@ void EventAdmin::post(const Event& event) {
     try {
       subscription.handler(event);
       ++delivered_;
+      if (dispatched_counter_ != nullptr) dispatched_counter_->add();
     } catch (const std::exception& e) {
       // Spec: a broken handler must not break the bus.
       log::Line(log::Level::kWarn, "osgi.event")
@@ -42,6 +43,16 @@ void EventAdmin::post(const Event& event) {
 
 void EventAdmin::post(std::string topic, Properties properties) {
   post(Event{std::move(topic), std::move(properties)});
+}
+
+void EventAdmin::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == metrics_) return;
+  metrics_ = metrics;
+  dispatched_counter_ =
+      metrics_ == nullptr
+          ? nullptr
+          : metrics_->counter("osgi.events_dispatched",
+                              "Event Admin handler deliveries.");
 }
 
 bool EventAdmin::topic_matches(std::string_view pattern,

@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "osgi/ldap_filter.hpp"
 #include "osgi/properties.hpp"
 
@@ -64,6 +65,12 @@ class EventAdmin {
   [[nodiscard]] static bool topic_matches(std::string_view pattern,
                                           std::string_view topic);
 
+  /// Attaches (or detaches, with nullptr) a metrics registry; idempotent.
+  /// While attached every handler delivery counts into
+  /// "osgi.events_dispatched". The registry must outlive this object or be
+  /// detached first.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct Subscription {
     HandlerToken token;
@@ -74,6 +81,8 @@ class EventAdmin {
   std::vector<Subscription> subscriptions_;
   HandlerToken next_token_ = 1;
   std::uint64_t delivered_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* dispatched_counter_ = nullptr;
 };
 
 }  // namespace drt::osgi

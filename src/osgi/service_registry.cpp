@@ -90,6 +90,7 @@ std::vector<ServiceReference> ServiceRegistry::get_references(
     std::string_view interface_name, const Filter* filter) const {
   // The index pools are already sorted best-first; filtering preserves the
   // order, so no per-call sort remains.
+  if (lookup_counter_ != nullptr) lookup_counter_->add();
   const std::vector<EntryPtr>* pool = pool_for(interface_name);
   if (pool == nullptr) return {};
   std::vector<ServiceReference> out;
@@ -106,6 +107,7 @@ std::optional<ServiceReference> ServiceRegistry::get_reference(
     std::string_view interface_name, const Filter* filter) const {
   // First match in a best-first pool IS the best reference: no vector, no
   // sort, early exit.
+  if (lookup_counter_ != nullptr) lookup_counter_->add();
   const std::vector<EntryPtr>* pool = pool_for(interface_name);
   if (pool == nullptr) return std::nullopt;
   for (const auto& entry : *pool) {
@@ -114,6 +116,20 @@ std::optional<ServiceReference> ServiceRegistry::get_reference(
     return ServiceReference{entry};
   }
   return std::nullopt;
+}
+
+void ServiceRegistry::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == metrics_) return;
+  if (metrics_ != nullptr) metrics_->remove_gauge_callback("osgi.services");
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    lookup_counter_ = nullptr;
+    return;
+  }
+  lookup_counter_ = metrics_->counter(
+      "osgi.service_lookups", "Service registry reference lookups.");
+  metrics_->gauge_callback("osgi.services", "Live registered services.",
+                           [this] { return static_cast<double>(size()); });
 }
 
 ListenerToken ServiceRegistry::add_listener(ServiceListener listener,

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "osgi/ldap_filter.hpp"
 #include "osgi/properties.hpp"
 #include "util/result.hpp"
@@ -167,6 +168,12 @@ class ServiceRegistry {
 
   [[nodiscard]] std::size_t size() const;
 
+  /// Attaches (or detaches, with nullptr) a metrics registry. While attached,
+  /// reference lookups count into "osgi.service_lookups" and the live service
+  /// count is exported as the "osgi.services" gauge. The registry must
+  /// outlive this object or be detached first.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
  private:
   friend class ServiceRegistration;
   void do_unregister(const std::shared_ptr<detail::ServiceEntry>& entry);
@@ -209,6 +216,8 @@ class ServiceRegistry {
   std::vector<ListenerRecord> listeners_;
   ServiceId next_service_id_ = 1;
   ListenerToken next_listener_token_ = 1;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* lookup_counter_ = nullptr;
 };
 
 }  // namespace drt::osgi

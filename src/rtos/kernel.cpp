@@ -100,6 +100,57 @@ RtKernel::RtKernel(SimEngine& engine, KernelConfig config)
       load_(engine, config.cpus, config.load, Rng(config.seed ^ 0x10adull)),
       cpus_(config.cpus) {
   load_.start();
+
+  m_.dispatches = metrics_.counter("rtos.dispatches",
+                                   "tasks switched onto a CPU");
+  m_.preemptions = metrics_.counter(
+      "rtos.preemptions", "running tasks displaced by a higher priority");
+  m_.slice_rotations = metrics_.counter("rtos.slice_rotations",
+                                        "round-robin quantum expiries");
+  m_.releases = metrics_.counter("rtos.releases",
+                                 "periodic releases delivered");
+  m_.completions = metrics_.counter("rtos.completions",
+                                    "jobs that reached wait_next_period");
+  m_.deadline_misses = metrics_.counter("rtos.deadline_misses",
+                                        "jobs completed after their deadline");
+  // Release latency (actual - ideal) is routinely NEGATIVE: RTAI's periodic
+  // timer mode fires early (the paper's Table 1 shows negative averages),
+  // so the bucket layout is symmetric around zero.
+  m_.release_latency = metrics_.histogram(
+      "rtos.release_latency_ns", "release-to-run latency, simulated ns",
+      {-100000, -50000, -20000, -10000, -5000, -2000, -1000, 0, 1000, 2000,
+       5000, 10000, 20000, 50000, 100000, 200000, 500000});
+  m_.mbx_sent = metrics_.counter("ipc.mailbox_sent",
+                                 "messages accepted across all mailboxes");
+  m_.mbx_dropped = metrics_.counter("ipc.mailbox_dropped",
+                                    "messages rejected by a full mailbox");
+  m_.mbx_handoff = metrics_.counter(
+      "ipc.mailbox_handoff", "sends satisfied by direct receiver handoff");
+  m_.mbx_received = metrics_.counter("ipc.mailbox_received",
+                                     "messages consumed by receivers");
+  m_.mbx_fault_dropped = metrics_.counter(
+      "ipc.mailbox_fault_dropped", "messages lost to injected drop faults");
+  m_.mbx_fault_duplicated = metrics_.counter(
+      "ipc.mailbox_fault_duplicated",
+      "extra deliveries from injected duplicate faults");
+  // Pool occupancy is computed (not counted): the lambdas run only when a
+  // snapshot is taken, never on the send/receive path. The pool is process
+  // global, so these gauges describe the process, not just this kernel.
+  metrics_.gauge_callback("ipc.pool.live_slabs",
+                          "pooled slabs currently owned by messages", [] {
+                            return static_cast<double>(
+                                MessagePool::instance().stats().live_slabs);
+                          });
+  metrics_.gauge_callback("ipc.pool.free_slabs",
+                          "pooled slabs cached for reuse", [] {
+                            return static_cast<double>(
+                                MessagePool::instance().stats().free_slabs);
+                          });
+  metrics_.gauge_callback("ipc.pool.free_bytes",
+                          "payload bytes held in the pool cache", [] {
+                            return static_cast<double>(
+                                MessagePool::instance().stats().free_bytes);
+                          });
 }
 
 RtKernel::~RtKernel() {
@@ -115,31 +166,33 @@ RtKernel::~RtKernel() {
 
 Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
   if (params.name.empty()) {
-    return make_error("rtos.bad_task", "task name must not be empty");
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
+                      "task name must not be empty");
   }
   if (find_task(params.name) != nullptr) {
-    return make_error("rtos.duplicate_task",
+    return make_error(ErrorCode::kAlreadyExists, "rtos.duplicate_task",
                       "task name '" + params.name + "' already exists");
   }
   if (params.cpu >= cpus_.size()) {
-    return make_error("rtos.bad_task",
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
                       "cpu " + std::to_string(params.cpu) + " out of range (" +
                           std::to_string(cpus_.size()) + " cpus)");
   }
   if (params.priority < 0 || params.priority > kMaxPriority) {
-    return make_error("rtos.bad_task",
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
                       "task '" + params.name + "' priority " +
                           std::to_string(params.priority) +
                           " out of range [0, " +
                           std::to_string(kMaxPriority) + "]");
   }
   if (params.type == TaskType::kPeriodic && params.period <= 0) {
-    return make_error("rtos.bad_task",
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
                       "periodic task '" + params.name +
                           "' needs a positive period");
   }
   if (!body) {
-    return make_error("rtos.bad_task", "task body must not be null");
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
+                      "task body must not be null");
   }
   auto task = std::make_unique<Task>();
   task->id = next_task_id_++;
@@ -154,13 +207,14 @@ Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
   try {
     coro = task->body(*task->context);
   } catch (const std::exception& e) {
-    return make_error("rtos.body_factory_failed",
+    return make_error(ErrorCode::kFactoryFailed, "rtos.body_factory_failed",
                       "task '" + task->params.name +
                           "' body factory threw: " + e.what());
   }
   task->handle = coro.release();
   if (!task->handle) {
-    return make_error("rtos.bad_task", "task body produced no coroutine");
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
+                      "task body produced no coroutine");
   }
   task->resume_handle = task->handle;
   trace_.add(now(), TraceKind::kTaskCreated, task->id, task->params.cpu,
@@ -178,10 +232,11 @@ Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
 Result<void> RtKernel::start_task(TaskId id, SimTime start_at) {
   Task* task = find_task(id);
   if (task == nullptr) {
-    return make_error("rtos.no_such_task", "task " + std::to_string(id));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id));
   }
   if (task->state != TaskState::kCreated) {
-    return make_error("rtos.invalid_state",
+    return make_error(ErrorCode::kInvalidState, "rtos.invalid_state",
                       "task '" + task->params.name + "' already started");
   }
   trace_.add(now(), TraceKind::kTaskStarted, task->id, task->params.cpu);
@@ -215,12 +270,13 @@ Result<void> RtKernel::start_task(TaskId id, SimTime start_at) {
 Result<void> RtKernel::suspend_task(TaskId id) {
   Task* task = find_task(id);
   if (task == nullptr) {
-    return make_error("rtos.no_such_task", "task " + std::to_string(id));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id));
   }
   if (task->state == TaskState::kSuspended) return Result<void>::success();
   if (task->state == TaskState::kCreated ||
       task->state == TaskState::kFinished) {
-    return make_error("rtos.invalid_state",
+    return make_error(ErrorCode::kInvalidState, "rtos.invalid_state",
                       "cannot suspend task in state " +
                           std::string(to_string(task->state)));
   }
@@ -276,10 +332,11 @@ Result<void> RtKernel::suspend_task(TaskId id) {
 Result<void> RtKernel::resume_task(TaskId id) {
   Task* task = find_task(id);
   if (task == nullptr) {
-    return make_error("rtos.no_such_task", "task " + std::to_string(id));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id));
   }
   if (task->state != TaskState::kSuspended) {
-    return make_error("rtos.invalid_state",
+    return make_error(ErrorCode::kInvalidState, "rtos.invalid_state",
                       "task '" + task->params.name + "' is not suspended");
   }
   trace_.add(now(), TraceKind::kResumed, task->id, task->params.cpu);
@@ -352,6 +409,7 @@ Result<void> RtKernel::resume_task(TaskId id) {
       Mailbox* mailbox = task->pending_mailbox;
       if (mailbox != nullptr) {
         if (auto message = mailbox->pop()) {
+          m_.mbx_received->add();
           task->mailbox_result = std::move(message);
           make_ready(*task, true);
         } else {
@@ -388,7 +446,8 @@ Result<void> RtKernel::resume_task(TaskId id) {
 Result<void> RtKernel::request_stop(TaskId id) {
   Task* task = find_task(id);
   if (task == nullptr) {
-    return make_error("rtos.no_such_task", "task " + std::to_string(id));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id));
   }
   task->stop_requested = true;
   return Result<void>::success();
@@ -397,10 +456,11 @@ Result<void> RtKernel::request_stop(TaskId id) {
 Result<void> RtKernel::delete_task(TaskId id) {
   Task* task = find_task(id);
   if (task == nullptr) {
-    return make_error("rtos.no_such_task", "task " + std::to_string(id));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id));
   }
   if (serving_depth_ > 0 && cpus_[task->params.cpu].running == task) {
-    return make_error("rtos.invalid_state",
+    return make_error(ErrorCode::kInvalidState, "rtos.invalid_state",
                       "a task cannot delete itself from its own body");
   }
   Cpu& cpu = cpus_[task->params.cpu];
@@ -483,13 +543,15 @@ SimDuration RtKernel::cpu_busy_time(CpuId cpu) const {
 
 Result<Shm*> RtKernel::shm_create(std::string name, std::size_t size_bytes) {
   if (shms_.contains(name)) {
-    return make_error("rtos.duplicate_shm", "shm '" + name + "' exists");
+    return make_error(ErrorCode::kAlreadyExists, "rtos.duplicate_shm",
+                      "shm '" + name + "' exists");
   }
   if (size_bytes == 0) {
-    return make_error("rtos.bad_shm", "shm '" + name + "' has zero size");
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_shm",
+                      "shm '" + name + "' has zero size");
   }
   if (size_bytes > kMaxShmBytes) {
-    return make_error("rtos.bad_shm",
+    return make_error(ErrorCode::kLimitExceeded, "rtos.bad_shm",
                       "shm '" + name + "' size " + std::to_string(size_bytes) +
                           " exceeds the " + std::to_string(kMaxShmBytes) +
                           "-byte limit");
@@ -508,7 +570,8 @@ Shm* RtKernel::shm_find(std::string_view name) {
 Result<void> RtKernel::shm_delete(std::string_view name) {
   const auto found = shms_.find(name);
   if (found == shms_.end()) {
-    return make_error("rtos.no_such_shm", std::string(name));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_shm",
+                      std::string(name));
   }
   shms_.erase(found);
   return Result<void>::success();
@@ -517,11 +580,11 @@ Result<void> RtKernel::shm_delete(std::string_view name) {
 Result<Mailbox*> RtKernel::mailbox_create(std::string name,
                                           std::size_t capacity) {
   if (mailboxes_.contains(name)) {
-    return make_error("rtos.duplicate_mailbox",
+    return make_error(ErrorCode::kAlreadyExists, "rtos.duplicate_mailbox",
                       "mailbox '" + name + "' exists");
   }
   if (capacity > kMaxMailboxCapacity) {
-    return make_error("rtos.bad_mailbox",
+    return make_error(ErrorCode::kLimitExceeded, "rtos.bad_mailbox",
                       "mailbox '" + name + "' capacity " +
                           std::to_string(capacity) + " exceeds the " +
                           std::to_string(kMaxMailboxCapacity) + "-slot limit");
@@ -557,7 +620,8 @@ std::vector<const Mailbox*> RtKernel::mailboxes() const {
 Result<void> RtKernel::mailbox_delete(std::string_view name) {
   const auto found = mailboxes_.find(name);
   if (found == mailboxes_.end()) {
-    return make_error("rtos.no_such_mailbox", std::string(name));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_mailbox",
+                      std::string(name));
   }
   // Waiting receivers resume with "no message" so they can re-evaluate.
   Mailbox& mailbox = *found->second;
@@ -568,6 +632,14 @@ Result<void> RtKernel::mailbox_delete(std::string_view name) {
     task->pending_mailbox = nullptr;
     make_ready(*task, true);
   }
+  // Keep the deleted mailbox's counters so registry aggregates stay
+  // reconcilable against live mailboxes + this remainder.
+  retired_mbx_.sent += mailbox.sent_count();
+  retired_mbx_.dropped += mailbox.dropped_count();
+  retired_mbx_.handoff += mailbox.handoff_count();
+  retired_mbx_.received += mailbox.received_count();
+  retired_mbx_.fault_dropped += mailbox.fault_dropped_count();
+  retired_mbx_.fault_duplicated += mailbox.fault_duplicated_count();
   mailboxes_.erase(found);
   settle();
   return Result<void>::success();
@@ -585,11 +657,18 @@ bool RtKernel::deliver_message(Mailbox& mailbox, Message message) {
     ++mailbox.sent_;
     ++mailbox.handoff_;
     ++mailbox.received_;
+    m_.mbx_sent->add();
+    m_.mbx_handoff->add();
+    m_.mbx_received->add();
     make_ready(*receiver, true);
     settle();
     return true;
   }
-  return mailbox.push(std::move(message));
+  // Mirror the per-mailbox accounting done inside push() on the aggregate
+  // counters, so `sum over mailboxes == registry` holds at every instant.
+  const bool accepted = mailbox.push(std::move(message));
+  (accepted ? m_.mbx_sent : m_.mbx_dropped)->add();
+  return accepted;
 }
 
 bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
@@ -599,12 +678,19 @@ bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
   }
   if (action == SendFaultAction::kDrop) {
     // The channel "lost" the message: it reaches neither queue nor receiver,
-    // but the sender still sees success (asynchronous send semantics).
+    // but the sender still sees success (asynchronous send semantics). The
+    // drop is accounted exactly once — as a fault drop, never as a send — on
+    // the per-mailbox counter and the registry alike.
     ++mailbox.fault_dropped_;
+    m_.mbx_fault_dropped->add();
     return true;
   }
   if (action == SendFaultAction::kDuplicate) {
+    // The extra delivery goes through deliver_message like any real send, so
+    // it bumps sent/handoff/received (or dropped) once there; only the
+    // duplication itself is recorded here.
     ++mailbox.fault_duplicated_;
+    m_.mbx_fault_duplicated->add();
     trace_.add(now(), TraceKind::kMailboxSend, 0, 0, mailbox.name());
     deliver_message(mailbox, Message(message));
   }
@@ -613,7 +699,9 @@ bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
   if (action == SendFaultAction::kMiscount && accepted) {
     // Deliberately planted accounting bug (FaultKind::kMiscountMessage): the
     // message was delivered but the counter says otherwise. Armed only by
-    // the fuzzer's self-test to prove the invariant oracle catches it.
+    // the fuzzer's self-test to prove the invariant oracle catches it. The
+    // registry aggregate is intentionally NOT decremented — the oracle's
+    // registry-vs-mailbox cross-check is a second way to catch this bug.
     --mailbox.sent_;
   }
   return accepted;
@@ -622,6 +710,7 @@ bool RtKernel::mailbox_send(Mailbox& mailbox, Message message) {
 std::optional<Message> RtKernel::mailbox_try_receive(Mailbox& mailbox) {
   auto message = mailbox.pop();
   if (message.has_value()) {
+    m_.mbx_received->add();
     trace_.add(now(), TraceKind::kMailboxRecv, 0, 0, mailbox.name());
   }
   return message;
@@ -629,11 +718,11 @@ std::optional<Message> RtKernel::mailbox_try_receive(Mailbox& mailbox) {
 
 Result<Semaphore*> RtKernel::semaphore_create(std::string name, int initial) {
   if (semaphores_.contains(name)) {
-    return make_error("rtos.duplicate_semaphore",
+    return make_error(ErrorCode::kAlreadyExists, "rtos.duplicate_semaphore",
                       "semaphore '" + name + "' exists");
   }
   if (initial < 0) {
-    return make_error("rtos.bad_semaphore",
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_semaphore",
                       "semaphore '" + name + "' needs a non-negative count");
   }
   auto semaphore = std::make_unique<Semaphore>(name, initial);
@@ -650,7 +739,8 @@ Semaphore* RtKernel::semaphore_find(std::string_view name) {
 Result<void> RtKernel::semaphore_delete(std::string_view name) {
   const auto found = semaphores_.find(name);
   if (found == semaphores_.end()) {
-    return make_error("rtos.no_such_semaphore", std::string(name));
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_semaphore",
+                      std::string(name));
   }
   Semaphore& semaphore = *found->second;
   while (Task* task = semaphore.waiting_.pop_front()) {
@@ -726,6 +816,7 @@ void RtKernel::dispatch(Cpu& cpu, Task& task) {
   task.state = TaskState::kRunning;
   task.last_dispatch = now();
   ++task.stats.dispatches;
+  m_.dispatches->add();
   // Context-switch cost is charged as demand: the coroutine resumes only
   // after the switch path has been "executed".
   task.remaining_demand += config_.context_switch_ns;
@@ -748,6 +839,7 @@ void RtKernel::preempt(Cpu& cpu) {
   task->ready_seq = --cpu.front_seq;
   cpu.ready.push_front(*task);
   ++task->stats.preemptions;
+  m_.preemptions->add();
   trace_.add(now(), TraceKind::kPreempted, task->id, task->params.cpu);
 }
 
@@ -795,6 +887,7 @@ void RtKernel::on_cpu_event(CpuId cpu_id, TaskId task_id, EventId /*event*/) {
     return;
   }
   // Quantum expiry: rotate to the back of the equal-priority class.
+  m_.slice_rotations->add();
   trace_.add(now(), TraceKind::kSliceRotated, task->id, cpu_id);
   cpu.running = nullptr;
   make_ready(*task, /*fresh_quantum=*/true);
@@ -809,7 +902,9 @@ void RtKernel::serve(Task& task) {
     // A release latency sample is taken at the moment the task's code
     // actually runs — matching how the RTAI latency test instruments itself.
     if (task.pending_ideal >= 0) {
-      task.latency.add(static_cast<double>(now() - task.pending_ideal));
+      const auto latency_ns = static_cast<double>(now() - task.pending_ideal);
+      task.latency.add(latency_ns);
+      m_.release_latency->observe(latency_ns);
       task.pending_ideal = -1;
     }
     task.pending_op = PendingOp::kNone;
@@ -836,6 +931,7 @@ void RtKernel::serve(Task& task) {
         break;
       case PendingOp::kWaitPeriod: {
         ++task.stats.completions;
+        m_.completions->add();
         trace_.add(now(), TraceKind::kCompleted, task.id, task.params.cpu);
         SimTime next_ideal = task.ideal_release + task.params.period;
         const SimDuration deadline = task.params.deadline > 0
@@ -843,6 +939,7 @@ void RtKernel::serve(Task& task) {
                                          : task.params.period;
         if (now() > task.ideal_release + deadline) {
           ++task.stats.deadline_misses;
+          m_.deadline_misses->add();
           trace_.add(now(), TraceKind::kDeadlineMiss, task.id,
                      task.params.cpu);
         }
@@ -1014,6 +1111,7 @@ void RtKernel::on_timer_fire(TaskId task_id, SimTime ideal, EventId) {
         t->release_event = 0;
         t->pending_ideal = ideal;
         ++t->stats.activations;
+        m_.releases->add();
         trace_.add(now(), TraceKind::kReleased, t->id, t->params.cpu);
         make_ready(*t, true);
         settle();

@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "rtos/fault.hpp"
 #include "rtos/ipc.hpp"
 #include "rtos/latency_model.hpp"
@@ -167,6 +168,22 @@ class RtKernel {
   /// this to expose per-channel pressure counters).
   [[nodiscard]] std::vector<const Mailbox*> mailboxes() const;
 
+  /// Counters carried over from deleted mailboxes. Registry mailbox
+  /// aggregates equal the sum over live mailboxes plus this remainder, which
+  /// is what the fuzzer's metrics-consistency invariant reconciles.
+  struct RetiredMailboxCounters {
+    std::uint64_t sent = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t handoff = 0;
+    std::uint64_t received = 0;
+    std::uint64_t fault_dropped = 0;
+    std::uint64_t fault_duplicated = 0;
+  };
+  [[nodiscard]] const RetiredMailboxCounters& retired_mailbox_counters()
+      const {
+    return retired_mbx_;
+  }
+
   /// Asynchronous send (never blocks; false when the mailbox is full and no
   /// receiver waits). Callable from RT tasks and from the non-RT side alike —
   /// this is the §3.2 command channel primitive. When a receiver is parked
@@ -195,6 +212,16 @@ class RtKernel {
   [[nodiscard]] LatencyModel& latency_model() { return latency_model_; }
   [[nodiscard]] Trace& trace() { return trace_; }
   [[nodiscard]] const Trace& trace() const { return trace_; }
+
+  /// Unified metrics registry (obs layer). The kernel pre-registers its own
+  /// series (scheduling, IPC, pool occupancy) at construction; the DRCR and
+  /// OSGi layers add theirs to the same registry, so one snapshot covers the
+  /// whole stack. Disabled by default — like the trace, counting is opt-in
+  /// so instrumented hot paths cost nothing in latency runs.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
 
   /// Opt-in fault injection (testing): while set, the kernel consults the
   /// plan on every mailbox send, consume() demand, periodic wake and
@@ -250,6 +277,27 @@ class RtKernel {
   LatencyModel latency_model_;
   LinuxLoad load_;
   Trace trace_;
+  obs::MetricsRegistry metrics_;
+  /// Pre-registered handles into metrics_; never null after construction.
+  /// Mailbox aggregates are incremented at exactly the per-mailbox counter
+  /// sites (deliver_message / push / pop / fault branches), so the registry
+  /// totals always equal the sum over Mailbox counters — including under
+  /// fault injection (the kMiscount planted bug stays per-mailbox only).
+  struct KernelMetrics {
+    obs::Counter* dispatches = nullptr;
+    obs::Counter* preemptions = nullptr;
+    obs::Counter* slice_rotations = nullptr;
+    obs::Counter* releases = nullptr;
+    obs::Counter* completions = nullptr;
+    obs::Counter* deadline_misses = nullptr;
+    obs::Histogram* release_latency = nullptr;
+    obs::Counter* mbx_sent = nullptr;
+    obs::Counter* mbx_dropped = nullptr;
+    obs::Counter* mbx_handoff = nullptr;
+    obs::Counter* mbx_received = nullptr;
+    obs::Counter* mbx_fault_dropped = nullptr;
+    obs::Counter* mbx_fault_duplicated = nullptr;
+  } m_;
   std::vector<Cpu> cpus_;
   std::vector<std::unique_ptr<Task>> tasks_;
   /// O(1) id lookup — every event callback resolves its task through this.
@@ -262,6 +310,7 @@ class RtKernel {
       tasks_by_name_;
   std::map<std::string, std::unique_ptr<Shm>, std::less<>> shms_;
   std::map<std::string, std::unique_ptr<Mailbox>, std::less<>> mailboxes_;
+  RetiredMailboxCounters retired_mbx_;
   std::map<std::string, std::unique_ptr<Semaphore>, std::less<>> semaphores_;
   TaskId next_task_id_ = 1;
   int serving_depth_ = 0;

@@ -111,6 +111,9 @@ FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
       config_(config),
       seed_(seed) {
   kernel.trace().enable();
+  // Metrics on: the oracle cross-checks registry aggregates against the
+  // per-mailbox counters (invariant 7), which only works when counting.
+  kernel.metrics().enable();
   kernel.set_fault_plan(&faults);
   drcr.factories().register_factory(
       "fuzz.ok", [] { return std::make_unique<FuzzComponent>(); });

@@ -1,6 +1,9 @@
 #include "testing/oracle.hpp"
 
+#include <cstdint>
 #include <sstream>
+#include <string_view>
+#include <utility>
 
 namespace drt::testing {
 namespace {
@@ -23,6 +26,7 @@ std::optional<Violation> InvariantOracle::check() {
   if (auto v = check_scheduler()) return v;
   if (auto v = check_mailboxes()) return v;
   if (auto v = check_trace()) return v;
+  if (auto v = check_metrics()) return v;
   return std::nullopt;
 }
 
@@ -147,6 +151,52 @@ std::optional<Violation> InvariantOracle::check_trace() {
       return Violation{"trace-order", out.str()};
     }
     last_trace_time_ = event.when;
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_metrics() const {
+  const rtos::RtKernel& kernel = drcr_->kernel();
+  if (!kernel.metrics().enabled()) return std::nullopt;
+
+  // Sum each per-mailbox counter over live mailboxes, then add what deleted
+  // mailboxes carried when they went away.
+  rtos::RtKernel::RetiredMailboxCounters sums =
+      kernel.retired_mailbox_counters();
+  for (const rtos::Mailbox* mailbox : kernel.mailboxes()) {
+    sums.sent += mailbox->sent_count();
+    sums.dropped += mailbox->dropped_count();
+    sums.handoff += mailbox->handoff_count();
+    sums.received += mailbox->received_count();
+    sums.fault_dropped += mailbox->fault_dropped_count();
+    sums.fault_duplicated += mailbox->fault_duplicated_count();
+  }
+
+  const obs::MetricsSnapshot snapshot = kernel.metrics().snapshot();
+  const auto aggregate = [&snapshot](std::string_view name) -> std::uint64_t {
+    for (const auto& counter : snapshot.counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return 0;
+  };
+
+  const std::pair<const char*, std::uint64_t> expectations[] = {
+      {"ipc.mailbox_sent", sums.sent},
+      {"ipc.mailbox_dropped", sums.dropped},
+      {"ipc.mailbox_handoff", sums.handoff},
+      {"ipc.mailbox_received", sums.received},
+      {"ipc.mailbox_fault_dropped", sums.fault_dropped},
+      {"ipc.mailbox_fault_duplicated", sums.fault_duplicated},
+  };
+  for (const auto& [name, expected] : expectations) {
+    const std::uint64_t actual = aggregate(name);
+    if (actual != expected) {
+      std::ostringstream out;
+      out << "registry counter " << name << "=" << actual
+          << " but per-mailbox counters sum to " << expected
+          << " (both are incremented at the same sites, so they drifted)";
+      return Violation{"metrics-consistency", out.str()};
+    }
   }
   return std::nullopt;
 }

@@ -18,7 +18,13 @@
 //   5. mailbox conservation — sent == received + queued on every mailbox
 //      (fault drops/duplicates keep their own counters, so an imbalance is a
 //      genuine accounting bug);
-//   6. trace monotonicity — kernel trace timestamps never run backwards.
+//   6. trace monotonicity — kernel trace timestamps never run backwards;
+//   7. metrics consistency — when the kernel's metrics registry is enabled,
+//      each "ipc.mailbox_*" aggregate counter equals the sum of the
+//      corresponding per-mailbox counter over live mailboxes plus the
+//      kernel's retired-mailbox remainder. Both sides are incremented at the
+//      same code sites, so a mismatch means an instrumentation drift (this is
+//      a second, independent detector for the planted kMiscount bug).
 //
 // The snapshot fixpoint invariant (restore(snapshot(S)) is snapshot-
 // identical) needs a second world to restore into and therefore lives in
@@ -44,7 +50,7 @@ class InvariantOracle {
   InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
                   double cpu_budget);
 
-  /// Sweeps invariants 1-6; returns the first violation found, if any.
+  /// Sweeps invariants 1-7; returns the first violation found, if any.
   [[nodiscard]] std::optional<Violation> check();
 
  private:
@@ -54,6 +60,7 @@ class InvariantOracle {
   [[nodiscard]] std::optional<Violation> check_scheduler() const;
   [[nodiscard]] std::optional<Violation> check_mailboxes() const;
   [[nodiscard]] std::optional<Violation> check_trace();
+  [[nodiscard]] std::optional<Violation> check_metrics() const;
 
   const drcom::Drcr* drcr_;
   const rtos::FaultPlan* faults_;

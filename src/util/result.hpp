@@ -15,10 +15,47 @@
 
 namespace drt {
 
-/// Error payload: a stable machine-readable code plus human-readable context.
+/// Machine-checkable failure category. Coarser than the string `code` (one
+/// enumerator covers e.g. every "no such X" flavour) but stable and cheap to
+/// branch on, so callers — the fuzzer oracle, the adaptation manager, tests —
+/// can dispatch on `error().ec` instead of string-matching reasons.
+enum class ErrorCode {
+  kNone = 0,           ///< unclassified (legacy two-argument make_error)
+  kInvalidArgument,    ///< malformed parameter (bad task params, sizes, ...)
+  kInvalidState,       ///< operation not legal in the current lifecycle state
+  kNotFound,           ///< named entity does not exist
+  kAlreadyExists,      ///< duplicate registration / name conflict
+  kLimitExceeded,      ///< resource cap hit (mailbox capacity, shm size, ...)
+  kAdmissionRejected,  ///< resolving services refused the task set
+  kFactoryFailed,      ///< component/body factory threw or returned null
+  kInvalidDescriptor,  ///< descriptor failed validation
+  kParseError,         ///< XML / repro-file syntax error
+  kIo,                 ///< host filesystem failure (exporters, snapshots)
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode ec) {
+  switch (ec) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kInvalidState: return "invalid_state";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kAlreadyExists: return "already_exists";
+    case ErrorCode::kLimitExceeded: return "limit_exceeded";
+    case ErrorCode::kAdmissionRejected: return "admission_rejected";
+    case ErrorCode::kFactoryFailed: return "factory_failed";
+    case ErrorCode::kInvalidDescriptor: return "invalid_descriptor";
+    case ErrorCode::kParseError: return "parse_error";
+    case ErrorCode::kIo: return "io";
+  }
+  return "?";
+}
+
+/// Error payload: a typed category, a stable machine-readable code and
+/// human-readable context.
 struct Error {
   std::string code;     ///< e.g. "drcom.admission_rejected"
   std::string message;  ///< free-form diagnostic for logs
+  ErrorCode ec = ErrorCode::kNone;  ///< typed category for branching callers
 
   [[nodiscard]] std::string to_string() const { return code + ": " + message; }
 };
@@ -83,7 +120,11 @@ class [[nodiscard]] Result<void> {
 };
 
 inline Error make_error(std::string code, std::string message) {
-  return Error{std::move(code), std::move(message)};
+  return Error{std::move(code), std::move(message), ErrorCode::kNone};
+}
+
+inline Error make_error(ErrorCode ec, std::string code, std::string message) {
+  return Error{std::move(code), std::move(message), ec};
 }
 
 }  // namespace drt

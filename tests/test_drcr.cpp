@@ -72,7 +72,7 @@ struct DrcrFixture : public ::testing::Test {
 
   std::vector<DrcrEventType> event_types() const {
     std::vector<DrcrEventType> out;
-    for (const auto& event : drcr.events()) out.push_back(event.type);
+    for (const auto& event : drcr.recent_events()) out.push_back(event.type);
     return out;
   }
 

@@ -153,10 +153,10 @@ TEST_F(GroupFixture, PortSquatterFailsOnlyTheSquattedComponent) {
 
 TEST_F(GroupFixture, CycleMembersShareOneActivationBatchInEvents) {
   ASSERT_TRUE(drcr.register_component(component("a", 0.1, {"ab"}, {"ba"})).ok());
-  drcr.clear_events();
+  drcr.clear_recent_events();
   ASSERT_TRUE(drcr.register_component(component("b", 0.1, {"ba"}, {"ab"})).ok());
   std::size_t activated = 0;
-  for (const auto& event : drcr.events()) {
+  for (const auto& event : drcr.recent_events()) {
     if (event.type == DrcrEventType::kActivated) ++activated;
   }
   EXPECT_EQ(activated, 2u);

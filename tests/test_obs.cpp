@@ -1,0 +1,598 @@
+// Observability layer: EventRing semantics, MetricsRegistry handles and
+// snapshots, kernel/IPC instrumentation consistency (including under fault
+// injection), the metrics-disabled zero-mutation guard, Drcr::observe(), and
+// byte-identical golden files for the three exporters.
+//
+// Golden files live in tests/golden/ (compiled in via DRT_GOLDEN_DIR).
+// Regenerate after an intentional format change with:
+//   DRT_UPDATE_GOLDEN=1 ./build/tests/test_obs
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "drcom/drcr.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+#include "rtos/fault.hpp"
+#include "rtos/kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace drt {
+namespace {
+
+using rtos::testing::quiet_config;
+
+// ------------------------------------------------------------- EventRing --
+
+TEST(EventRing, RoundsCapacityUpToPowerOfTwo) {
+  obs::EventRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+  EXPECT_EQ(obs::EventRing<int>(0).capacity(), 1u);
+  EXPECT_EQ(obs::EventRing<int>(16).capacity(), 16u);
+}
+
+TEST(EventRing, OverwritesOldestAndCountsLoss) {
+  obs::EventRing<int> ring(4);
+  for (int i = 1; i <= 6; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 4u);
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);  // 1 and 2 were evicted
+  EXPECT_EQ(ring.at(0), 3);
+  EXPECT_EQ(ring.at(3), 6);
+  EXPECT_EQ(ring.snapshot(), (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(EventRing, ClearDropsWindowButKeepsTotals) {
+  obs::EventRing<int> ring(4);
+  for (int i = 0; i < 6; ++i) ring.push(i);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.total_pushed(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);  // overwrite loss only, clear is on purpose
+  ring.push(42);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.at(0), 42);
+  EXPECT_EQ(ring.total_pushed(), 7u);
+}
+
+// ------------------------------------------------------- MetricsRegistry --
+
+TEST(MetricsRegistry, DisabledHandlesAreNoOps) {
+  obs::MetricsRegistry registry;  // disabled by default
+  obs::Counter* counter = registry.counter("c", "help");
+  obs::Gauge* gauge = registry.gauge("g");
+  obs::Histogram* histogram = registry.histogram("h", "", {1.0, 2.0});
+  counter->add(5);
+  gauge->set(3.5);
+  histogram->observe(1.5);
+  EXPECT_EQ(counter->value(), 0u);
+  EXPECT_EQ(gauge->value(), 0.0);
+  EXPECT_EQ(histogram->count(), 0u);
+}
+
+TEST(MetricsRegistry, EnabledHandlesCount) {
+  obs::MetricsRegistry registry;
+  registry.enable();
+  obs::Counter* counter = registry.counter("c");
+  counter->add();
+  counter->add(3);
+  EXPECT_EQ(counter->value(), 4u);
+  // Get-or-create returns the same handle.
+  EXPECT_EQ(registry.counter("c"), counter);
+}
+
+TEST(MetricsRegistry, HistogramBucketsIncludeNegativeBoundsAndInf) {
+  obs::MetricsRegistry registry;
+  registry.enable();
+  obs::Histogram* h = registry.histogram("lat", "", {-10.0, 0.0, 10.0});
+  h->observe(-20.0);  // <= -10    -> bucket 0
+  h->observe(-10.0);  // boundary  -> bucket 0 (le semantics)
+  h->observe(0.0);    // boundary  -> bucket 1
+  h->observe(5.0);    // <= 10     -> bucket 2
+  h->observe(99.0);   // above all -> +Inf bucket
+  EXPECT_EQ(h->bucket_counts(), (std::vector<std::uint64_t>{2, 1, 1, 1}));
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->sum(), 74.0);
+}
+
+TEST(MetricsRegistry, CallbackGaugesEvaluateAtSnapshotOnly) {
+  obs::MetricsRegistry registry;
+  registry.enable();
+  int calls = 0;
+  registry.gauge_callback("cb", "", [&calls] {
+    ++calls;
+    return 7.0;
+  });
+  EXPECT_EQ(calls, 0);
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].name, "cb");
+  EXPECT_EQ(snap.gauges[0].value, 7.0);
+  registry.remove_gauge_callback("cb");
+  EXPECT_TRUE(registry.snapshot().gauges.empty());
+}
+
+TEST(MetricsRegistry, SnapshotIsNameOrderedAcrossStoredAndCallbackGauges) {
+  obs::MetricsRegistry registry;
+  registry.enable();
+  registry.gauge("b.stored");
+  registry.gauge_callback("a.computed", "", [] { return 1.0; });
+  registry.gauge_callback("c.computed", "", [] { return 2.0; });
+  const obs::MetricsSnapshot snap = registry.snapshot();
+  ASSERT_EQ(snap.gauges.size(), 3u);
+  EXPECT_EQ(snap.gauges[0].name, "a.computed");
+  EXPECT_EQ(snap.gauges[1].name, "b.stored");
+  EXPECT_EQ(snap.gauges[2].name, "c.computed");
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsHandles) {
+  obs::MetricsRegistry registry;
+  registry.enable();
+  obs::Counter* counter = registry.counter("c");
+  counter->add(9);
+  registry.reset();
+  EXPECT_EQ(counter->value(), 0u);
+  counter->add();
+  EXPECT_EQ(counter->value(), 1u);
+}
+
+// --------------------------------------------- kernel instrumentation ----
+
+rtos::TaskParams periodic(std::string name, SimDuration period,
+                          int priority = 10, CpuId cpu = 0) {
+  rtos::TaskParams params;
+  params.name = std::move(name);
+  params.type = rtos::TaskType::kPeriodic;
+  params.period = period;
+  params.priority = priority;
+  params.cpu = cpu;
+  return params;
+}
+
+TEST(KernelMetrics, CountersMirrorTaskStats) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  kernel.metrics().enable();
+  auto id = kernel.create_task(
+      periodic("tick", milliseconds(1)),
+      [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        while (!ctx.stop_requested()) {
+          co_await ctx.consume(microseconds(100));
+          co_await ctx.wait_next_period();
+        }
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(20));
+
+  const rtos::Task* task = kernel.find_task(id.value());
+  const auto value = [&kernel](const char* name) {
+    return kernel.metrics().counter(name)->value();
+  };
+  EXPECT_EQ(value("rtos.releases"), task->stats.activations);
+  EXPECT_EQ(value("rtos.dispatches"), task->stats.dispatches);
+  EXPECT_EQ(value("rtos.completions"), task->stats.completions);
+  EXPECT_EQ(value("rtos.deadline_misses"), task->stats.deadline_misses);
+  // Every completed job contributed one release-latency observation.
+  const auto snap = kernel.metrics().snapshot();
+  for (const auto& histogram : snap.histograms) {
+    if (histogram.name == "rtos.release_latency_ns") {
+      EXPECT_EQ(histogram.count, task->stats.activations);
+    }
+  }
+}
+
+TEST(KernelMetrics, MailboxAggregatesEqualPerMailboxCounters) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  kernel.metrics().enable();
+  auto mailbox = kernel.mailbox_create("mbx", 8);
+  ASSERT_TRUE(mailbox.ok());
+  int received = 0;
+  auto id = kernel.create_task(
+      rtos::TaskParams{.name = "rx", .type = rtos::TaskType::kAperiodic},
+      [&](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        for (int i = 0; i < 3; ++i) {
+          auto message = co_await ctx.receive(*mailbox.value());
+          if (message.has_value()) ++received;
+        }
+      });
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(1));
+  for (int i = 0; i < 5; ++i) {
+    kernel.mailbox_send(*mailbox.value(), rtos::message_from_string("m"));
+    engine.run_until(milliseconds(2 + i));
+  }
+  EXPECT_EQ(received, 3);
+  const rtos::Mailbox* mbx = mailbox.value();
+  const auto value = [&kernel](const char* name) {
+    return kernel.metrics().counter(name)->value();
+  };
+  EXPECT_EQ(value("ipc.mailbox_sent"), mbx->sent_count());
+  EXPECT_EQ(value("ipc.mailbox_dropped"), mbx->dropped_count());
+  EXPECT_EQ(value("ipc.mailbox_handoff"), mbx->handoff_count());
+  EXPECT_EQ(value("ipc.mailbox_received"), mbx->received_count());
+
+  // Deleting the mailbox moves its counters into the retired remainder, so
+  // the aggregate invariant survives object churn.
+  ASSERT_TRUE(kernel.mailbox_delete("mbx").ok());
+  const auto& retired = kernel.retired_mailbox_counters();
+  EXPECT_EQ(value("ipc.mailbox_sent"), retired.sent);
+  EXPECT_EQ(value("ipc.mailbox_received"), retired.received);
+}
+
+TEST(KernelMetrics, FaultInjectionCountsDropsAndDuplicatesExactlyOnce) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  kernel.metrics().enable();
+  rtos::FaultPlan faults;
+  kernel.set_fault_plan(&faults);
+  faults.arm({rtos::FaultKind::kDropMessage, "mbx", 2, 0});
+  faults.arm({rtos::FaultKind::kDuplicateMessage, "mbx", 4, 0});
+  auto mailbox = kernel.mailbox_create("mbx", 8);
+  ASSERT_TRUE(mailbox.ok());
+  for (int i = 0; i < 5; ++i) {
+    // The dropped send still reports success: the sender cannot tell.
+    EXPECT_TRUE(
+        kernel.mailbox_send(*mailbox.value(), rtos::message_from_string("m")));
+  }
+  const rtos::Mailbox* mbx = mailbox.value();
+  // 5 sends: #2 dropped by fault (counted once, not queued), #4 delivered
+  // twice. Queue holds 1,3,4,4',5; per-mailbox sent counts deliveries.
+  EXPECT_EQ(mbx->size(), 5u);
+  EXPECT_EQ(mbx->sent_count(), 5u);
+  EXPECT_EQ(mbx->fault_dropped_count(), 1u);
+  EXPECT_EQ(mbx->fault_duplicated_count(), 1u);
+  // Registry aggregates agree exactly — the regression this test pins: both
+  // sides are incremented at the same sites, never twice, never zero times.
+  const auto value = [&kernel](const char* name) {
+    return kernel.metrics().counter(name)->value();
+  };
+  EXPECT_EQ(value("ipc.mailbox_sent"), mbx->sent_count());
+  EXPECT_EQ(value("ipc.mailbox_dropped"), mbx->dropped_count());
+  EXPECT_EQ(value("ipc.mailbox_fault_dropped"), mbx->fault_dropped_count());
+  EXPECT_EQ(value("ipc.mailbox_fault_duplicated"),
+            mbx->fault_duplicated_count());
+}
+
+TEST(KernelMetrics, PlantedMiscountBugStaysPerMailboxOnly) {
+  // kMiscountMessage rolls back the per-mailbox sent counter — a planted
+  // accounting bug the fuzzer's oracle must catch. The registry aggregate is
+  // deliberately NOT rolled back, so the two sides disagreeing is the
+  // second, independent detector (oracle invariant 7).
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  kernel.metrics().enable();
+  rtos::FaultPlan faults;
+  kernel.set_fault_plan(&faults);
+  faults.arm({rtos::FaultKind::kMiscountMessage, "mbx", 1, 0});
+  auto mailbox = kernel.mailbox_create("mbx", 8);
+  ASSERT_TRUE(mailbox.ok());
+  EXPECT_TRUE(
+      kernel.mailbox_send(*mailbox.value(), rtos::message_from_string("m")));
+  EXPECT_EQ(mailbox.value()->sent_count(), 0u);  // the planted lie
+  EXPECT_EQ(kernel.metrics().counter("ipc.mailbox_sent")->value(), 1u);
+}
+
+TEST(KernelMetrics, DisabledRegistryMutatesNothing) {
+  // The overhead guard's structural half: with metrics disabled (the
+  // default), a full scenario leaves every counter, gauge and histogram at
+  // zero, and the virtual-time outcome is identical to an enabled run.
+  const auto run = [](bool enabled, std::uint64_t* dispatches) {
+    rtos::SimEngine engine;
+    rtos::RtKernel kernel(engine, quiet_config());
+    if (enabled) kernel.metrics().enable();
+    auto id = kernel.create_task(
+        periodic("tick", milliseconds(1)),
+        [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+          while (!ctx.stop_requested()) {
+            co_await ctx.consume(microseconds(50));
+            co_await ctx.wait_next_period();
+          }
+        });
+    EXPECT_TRUE(kernel.start_task(id.value()).ok());
+    engine.run_until(milliseconds(10));
+    *dispatches = kernel.find_task(id.value())->stats.dispatches;
+    return kernel.metrics().snapshot();
+  };
+  std::uint64_t disabled_dispatches = 0;
+  std::uint64_t enabled_dispatches = 0;
+  const auto disabled = run(false, &disabled_dispatches);
+  const auto enabled = run(true, &enabled_dispatches);
+  // Identical virtual-time behaviour: counting must not perturb the sim.
+  EXPECT_EQ(disabled_dispatches, enabled_dispatches);
+  for (const auto& counter : disabled.counters) {
+    EXPECT_EQ(counter.value, 0u) << counter.name;
+  }
+  for (const auto& histogram : disabled.histograms) {
+    EXPECT_EQ(histogram.count, 0u) << histogram.name;
+  }
+  // The enabled run did count.
+  bool saw_dispatches = false;
+  for (const auto& counter : enabled.counters) {
+    if (counter.name == "rtos.dispatches") {
+      saw_dispatches = counter.value > 0;
+    }
+  }
+  EXPECT_TRUE(saw_dispatches);
+}
+
+// ------------------------------------------------------- Drcr::observe() --
+
+class Worker : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+drcom::ComponentDescriptor component(std::string name, double usage = 0.1) {
+  drcom::ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "test.Worker";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = usage;
+  d.periodic = drcom::PeriodicSpec{1000.0, 0, 5};
+  return d;
+}
+
+struct ObsDrcrFixture : public ::testing::Test {
+  ObsDrcrFixture()
+      : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    kernel.metrics().enable();
+    drcr.factories().register_factory(
+        "test.Worker", [] { return std::make_unique<Worker>(); });
+    drcr.factories().register_factory(
+        "test.Throw", []() -> std::unique_ptr<drcom::RtComponent> {
+          throw std::runtime_error("boom");
+        });
+  }
+
+  std::uint64_t counter(const char* name) {
+    return kernel.metrics().counter(name)->value();
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+};
+
+TEST_F(ObsDrcrFixture, ObserveBundlesMetricsTraceAndTime) {
+  ASSERT_TRUE(drcr.register_component(component("solo")).ok());
+  engine.run_until(milliseconds(5));
+  const obs::ObsSnapshot snap = drcr.observe();
+  EXPECT_EQ(snap.source, "drcr");
+  EXPECT_EQ(snap.now, kernel.now());
+  EXPECT_EQ(snap.trace, &kernel.trace());
+  bool saw_activations = false;
+  for (const auto& counter : snap.metrics.counters) {
+    if (counter.name == "drcom.activations") {
+      saw_activations = counter.value == 1;
+    }
+  }
+  EXPECT_TRUE(saw_activations);
+  bool saw_utilization = false;
+  for (const auto& gauge : snap.metrics.gauges) {
+    if (gauge.name == "drcom.admitted_utilization.cpu0") {
+      saw_utilization = gauge.value > 0.0;
+    }
+  }
+  EXPECT_TRUE(saw_utilization);
+}
+
+TEST_F(ObsDrcrFixture, LifecycleCountersAndServiceLookupsCount) {
+  ASSERT_TRUE(drcr.register_component(component("a")).ok());
+  ASSERT_TRUE(drcr.register_component(component("b")).ok());
+  ASSERT_TRUE(drcr.unregister_component("a").ok());
+  EXPECT_EQ(counter("drcom.registrations"), 2u);
+  EXPECT_EQ(counter("drcom.activations"), 2u);
+  EXPECT_EQ(counter("drcom.deactivations"), 1u);
+  EXPECT_EQ(counter("drcom.unregistrations"), 1u);
+  // The DRCR publishes/looks up management services through the registry,
+  // which counts while wired to the kernel's metrics.
+  EXPECT_GT(counter("osgi.service_lookups"), 0u);
+}
+
+TEST_F(ObsDrcrFixture, ErrorCodesReplaceStringMatching) {
+  ASSERT_TRUE(drcr.register_component(component("dup")).ok());
+  const auto duplicate = drcr.register_component(component("dup"));
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.error().ec, ErrorCode::kAlreadyExists);
+
+  const auto missing = drcr.unregister_component("ghost");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().ec, ErrorCode::kNotFound);
+
+  // Admission rejection: the budget holds 'big', not 'big' + 'more'.
+  ASSERT_TRUE(drcr.register_component(component("big", 0.6)).ok());
+  ASSERT_TRUE(drcr.register_component(component("more", 0.5)).ok());
+  EXPECT_EQ(drcr.state_of("more").value(),
+            drcom::ComponentState::kUnsatisfied);
+  EXPECT_EQ(drcr.last_reason_code("more"), ErrorCode::kAdmissionRejected);
+
+  // Factory failure.
+  auto bomb = component("bomb");
+  bomb.bincode = "test.Throw";
+  ASSERT_TRUE(drcr.register_component(std::move(bomb)).ok());
+  EXPECT_EQ(drcr.last_reason_code("bomb"), ErrorCode::kFactoryFailed);
+
+  // Invalid descriptors carry the parse-level code.
+  const auto parsed = drcom::parse_descriptor("<drt:component name=\"\"/>");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().ec, ErrorCode::kInvalidDescriptor);
+}
+
+TEST_F(ObsDrcrFixture, EventRingRetainsBoundedWindowWithCodes) {
+  ASSERT_TRUE(drcr.register_component(component("dup")).ok());
+  ASSERT_TRUE(drcr.register_component(component("big", 0.95)).ok());
+  const auto events = drcr.recent_events();
+  ASSERT_GE(events.size(), 3u);  // registered, activated, registered, rejected
+  bool saw_rejection_code = false;
+  for (const auto& event : events) {
+    if (event.type == drcom::DrcrEventType::kRejected) {
+      saw_rejection_code = event.code == ErrorCode::kAdmissionRejected;
+    }
+  }
+  EXPECT_TRUE(saw_rejection_code);
+  const std::uint64_t pushed = drcr.event_ring().total_pushed();
+  drcr.clear_recent_events();
+  EXPECT_TRUE(drcr.recent_events().empty());
+  EXPECT_EQ(drcr.event_ring().total_pushed(), pushed);
+}
+
+// ------------------------------------------------------------- exporters --
+
+/// Deterministic table1-style scenario: two periodic tasks (camera on cpu 0
+/// feeding a mailbox, control on cpu 1) plus an aperiodic logger draining
+/// the mailbox on cpu 1. Every latency source is zeroed, so reruns are
+/// byte-identical.
+obs::ObsSnapshot golden_scenario(rtos::SimEngine& engine,
+                                 rtos::RtKernel& kernel) {
+  kernel.trace().enable();
+  kernel.metrics().enable();
+  auto mailbox = kernel.mailbox_create("sensor.data", 4);
+  EXPECT_TRUE(mailbox.ok());
+
+  auto camera = kernel.create_task(
+      periodic("camera", milliseconds(1), 10, 0),
+      [&kernel, &mailbox](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        while (!ctx.stop_requested()) {
+          co_await ctx.consume(microseconds(100));
+          kernel.mailbox_send(*mailbox.value(),
+                              rtos::message_from_string("frame"));
+          co_await ctx.wait_next_period();
+        }
+      });
+  auto control = kernel.create_task(
+      periodic("control", milliseconds(2), 5, 1),
+      [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        while (!ctx.stop_requested()) {
+          co_await ctx.consume(microseconds(200));
+          co_await ctx.wait_next_period();
+        }
+      });
+  auto logger = kernel.create_task(
+      rtos::TaskParams{
+          .name = "logger", .type = rtos::TaskType::kAperiodic, .cpu = 1},
+      [&mailbox](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+        for (int i = 0; i < 4; ++i) {
+          co_await ctx.receive(*mailbox.value());
+        }
+      });
+  EXPECT_TRUE(kernel.start_task(camera.value()).ok());
+  EXPECT_TRUE(kernel.start_task(control.value()).ok());
+  EXPECT_TRUE(kernel.start_task(logger.value()).ok());
+  engine.run_until(milliseconds(5));
+
+  // The pool gauges read a process-global singleton; trim it so the
+  // snapshot does not depend on what earlier tests allocated.
+  rtos::MessagePool::instance().trim();
+
+  obs::ObsSnapshot snap;
+  snap.metrics = kernel.metrics().snapshot();
+  snap.trace = &kernel.trace();
+  snap.now = kernel.now();
+  snap.source = "golden";
+  return snap;
+}
+
+void check_golden(const std::string& filename, const std::string& rendered) {
+  const std::string path = std::string(DRT_GOLDEN_DIR) + "/" + filename;
+  if (std::getenv("DRT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << rendered;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " — regenerate with DRT_UPDATE_GOLDEN=1";
+  std::stringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(rendered, expected.str())
+      << filename << " drifted; if intentional, regenerate with "
+         "DRT_UPDATE_GOLDEN=1";
+}
+
+TEST(Exporters, GoldenFilesAreByteIdentical) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  const obs::ObsSnapshot snap = golden_scenario(engine, kernel);
+  check_golden("obs_snapshot.prom", obs::PrometheusExporter{}.render(snap));
+  check_golden("obs_snapshot.json", obs::JsonExporter{}.render(snap));
+  check_golden("obs_snapshot.trace.json",
+               obs::ChromeTraceExporter{}.render(snap));
+}
+
+TEST(Exporters, RenderingIsDeterministicAcrossRuns) {
+  const auto render_all = [] {
+    rtos::SimEngine engine;
+    rtos::RtKernel kernel(engine, quiet_config());
+    const obs::ObsSnapshot snap = golden_scenario(engine, kernel);
+    return obs::PrometheusExporter{}.render(snap) +
+           obs::JsonExporter{}.render(snap) +
+           obs::ChromeTraceExporter{}.render(snap);
+  };
+  EXPECT_EQ(render_all(), render_all());
+}
+
+TEST(Exporters, ChromeTraceIsWellFormedJson) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  const obs::ObsSnapshot snap = golden_scenario(engine, kernel);
+  const std::string rendered = obs::ChromeTraceExporter{}.render(snap);
+  // Structural smoke checks (a JSON parser is deliberately not a test
+  // dependency): top-level object, the two required keys, balanced braces.
+  EXPECT_EQ(rendered.front(), '{');
+  EXPECT_NE(rendered.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(rendered.find("\"ph\":\"X\""), std::string::npos);  // slices
+  EXPECT_NE(rendered.find("\"ph\":\"M\""), std::string::npos);  // metadata
+  long depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < rendered.size(); ++i) {
+    const char c = rendered[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Exporters, WriteFileRoundTrips) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, quiet_config());
+  kernel.metrics().enable();
+  kernel.metrics().counter("x", "")->add(3);
+  obs::ObsSnapshot snap;
+  snap.metrics = kernel.metrics().snapshot();
+  snap.source = "roundtrip";
+  const obs::PrometheusExporter exporter;
+  const std::string path =
+      ::testing::TempDir() + "obs_roundtrip" + exporter.file_suffix();
+  ASSERT_TRUE(exporter.write_file(snap, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream written;
+  written << in.rdbuf();
+  EXPECT_EQ(written.str(), exporter.render(snap));
+  const auto bad = exporter.write_file(snap, "/nonexistent-dir/x.prom");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().ec, ErrorCode::kIo);
+}
+
+}  // namespace
+}  // namespace drt
