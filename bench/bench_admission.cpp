@@ -12,6 +12,14 @@
 // Expected shape: always-accept admits everything and melts down;
 // utilization-budget and RM-bound admit less and keep misses at zero, with
 // RM being the more conservative of the two.
+//
+// A second section measures how single-candidate admit latency scales with
+// the active-set size (16/64/256 components) for every policy, cold (a
+// cache-less view, the pre-incremental from-scratch path) versus warm (a
+// ContractCache-backed view inside a batch session — the DRCR's hot path).
+// The REPRODUCED gate includes the incremental-resolution claim: warm RTA
+// admission at 256 active components must be at least 10x faster than cold.
+#include <chrono>
 #include <cstdio>
 #include <memory>
 
@@ -100,6 +108,143 @@ void print_result(const char* policy, const PolicyResult& result) {
               static_cast<unsigned long long>(result.misses));
 }
 
+// ----------------------------------------------------- scaling section ----
+
+/// A DRCR with `n` tiny active components on one CPU: usage 0.2% each,
+/// 1 kHz, distinct priorities — a large but trivially feasible set, so every
+/// policy's admit() exercises its analysis rather than an early reject.
+struct ActiveSet {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+
+  explicit ActiveSet(std::size_t n)
+      : kernel(engine, single_cpu_config()), drcr(framework, kernel) {
+    drcr.set_internal_resolver(
+        std::make_unique<drcom::AlwaysAcceptResolver>());
+    drcr.factories().register_factory("bench.Tiny", [] {
+      return std::make_unique<BusyComponent>(0);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      drcom::ComponentDescriptor d;
+      d.name = "a" + std::to_string(i);
+      d.bincode = "bench.Tiny";
+      d.type = rtos::TaskType::kPeriodic;
+      d.cpu_usage = 0.002;
+      d.periodic = drcom::PeriodicSpec{1000.0, 0, static_cast<int>(i)};
+      (void)drcr.register_component(std::move(d));
+    }
+  }
+
+  static rtos::KernelConfig single_cpu_config() {
+    auto config = paper_kernel_config(false, 7);
+    config.cpus = 1;
+    return config;
+  }
+};
+
+/// Average per-admit latency in ns: `batch_size` admits per sample,
+/// `samples` samples.
+template <typename Admit>
+StatSummary time_admits(std::size_t batch_size, std::size_t samples,
+                        Admit&& admit) {
+  SampleSeries series;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch_size; ++i) admit();
+    const auto end = std::chrono::steady_clock::now();
+    series.add(static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       end - begin)
+                       .count()) /
+               static_cast<double>(batch_size));
+  }
+  return series.summary();
+}
+
+struct ScalingRow {
+  StatSummary cold;
+  StatSummary warm;
+};
+
+ScalingRow measure_policy_scaling(drcom::ResolvingService& resolver,
+                                  const ActiveSet& set) {
+  drcom::ComponentDescriptor candidate;
+  candidate.name = "cand";
+  candidate.bincode = "bench.Tiny";
+  candidate.type = rtos::TaskType::kPeriodic;
+  candidate.cpu_usage = 0.002;
+  candidate.periodic = drcom::PeriodicSpec{1000.0, 0, 1000};
+
+  constexpr std::size_t kBatch = 64;
+  constexpr std::size_t kSamples = 30;
+
+  // Cold: a cache-less view, so every admit re-scans/re-analyses from
+  // scratch — what the DRCR did per candidate before incremental admission.
+  drcom::SystemView cold_view;
+  cold_view.active = set.drcr.contract_cache().active();
+  cold_view.cpu_count = 1;
+  ScalingRow row;
+  row.cold = time_admits(kBatch, kSamples, [&] {
+    (void)resolver.admit(candidate, cold_view);
+  });
+
+  // Warm: the DRCR-built cached view inside a batch session. One warm-up
+  // admit pays any session build; the measured steady state is the per-
+  // candidate hot path of a deploy burst.
+  const drcom::SystemView warm_view = set.drcr.system_view();
+  resolver.begin_batch(warm_view);
+  (void)resolver.admit(candidate, warm_view);
+  row.warm = time_admits(kBatch, kSamples, [&] {
+    (void)resolver.admit(candidate, warm_view);
+  });
+  resolver.end_batch(false);
+  return row;
+}
+
+bool run_scaling_section() {
+  print_table_header(
+      "Admission scaling — single-candidate admit latency (ns)",
+      "(cold = cache-less from-scratch view; warm = cached view in a batch "
+      "session)");
+  double rta_cold_256 = 0.0;
+  double rta_warm_256 = 0.0;
+  for (const std::size_t n : {16, 64, 256}) {
+    const ActiveSet set(n);
+    struct Policy {
+      const char* label;
+      std::unique_ptr<drcom::ResolvingService> resolver;
+    };
+    Policy policies[] = {
+        {"budget", std::make_unique<drcom::UtilizationBudgetResolver>(0.9)},
+        {"rm", std::make_unique<drcom::RateMonotonicResolver>()},
+        {"rta", std::make_unique<drcom::ResponseTimeResolver>(1'100)},
+        {"accept", std::make_unique<drcom::AlwaysAcceptResolver>()},
+    };
+    for (Policy& policy : policies) {
+      const ScalingRow row = measure_policy_scaling(*policy.resolver, set);
+      print_table_row(policy.label + std::string(" n=") + std::to_string(n) +
+                          " cold",
+                      row.cold);
+      print_table_row(policy.label + std::string(" n=") + std::to_string(n) +
+                          " warm",
+                      row.warm);
+      if (n == 256 && std::string(policy.label) == "rta") {
+        rta_cold_256 = row.cold.average;
+        rta_warm_256 = row.warm.average;
+      }
+    }
+  }
+  const double speedup =
+      rta_warm_256 > 0.0 ? rta_cold_256 / rta_warm_256 : 0.0;
+  std::printf(
+      "\nRTA @ 256 active: cold %.0f ns/admit, warm %.0f ns/admit "
+      "(%.1fx speedup; gate >= 10x)\n",
+      rta_cold_256, rta_warm_256, speedup);
+  return speedup >= 10.0;
+}
+
 }  // namespace
 }  // namespace drt::bench
 
@@ -141,9 +286,13 @@ int main(int argc, char** argv) {
       ok = ok && open.admitted >= budget.admitted && open.misses > 0;
     }
   }
+  const bool scaling_ok = run_scaling_section();
+  ok = ok && scaling_ok;
   std::printf(
-      "Claim: guarded policies keep every admitted contract (0 misses); the\n"
-      "open policy admits everything and breaks contracts under overload.\n"
+      "\nClaim: guarded policies keep every admitted contract (0 misses); the\n"
+      "open policy admits everything and breaks contracts under overload;\n"
+      "incremental resolution makes warm RTA admission >= 10x faster than\n"
+      "from-scratch at 256 active components.\n"
       "RESULT: %s\n",
       ok ? "REPRODUCED" : "MISMATCH");
   return ok ? 0 : 1;

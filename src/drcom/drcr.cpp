@@ -13,7 +13,8 @@ Drcr::Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
     : framework_(&framework), kernel_(&kernel), config_(config),
       internal_resolver_(
           std::make_unique<UtilizationBudgetResolver>(config.cpu_budget)),
-      events_(config.event_ring_capacity) {
+      events_(config.event_ring_capacity),
+      contract_cache_(kernel.config().cpus) {
   // All DRCR series live on the kernel's registry, so one snapshot covers
   // the whole stack. Handles are registered before the initial bundle scan —
   // lifecycle events from pre-existing bundles count too.
@@ -39,9 +40,11 @@ Drcr::Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
                          [this] { return static_cast<double>(events_.dropped()); });
   for (CpuId cpu = 0; cpu < kernel_->config().cpus; ++cpu) {
     std::string name = "drcom.admitted_utilization.cpu" + std::to_string(cpu);
+    // Reads the cached per-CPU sum directly: snapshotting the gauges no
+    // longer builds (and heap-allocates) a full SystemView per CPU.
     metrics.gauge_callback(
         name, "declared utilization admitted on this CPU",
-        [this, cpu] { return system_view().declared_utilization(cpu); });
+        [this, cpu] { return contract_cache_.declared_utilization(cpu); });
     gauge_names_.push_back(std::move(name));
   }
   // OSGi joins the same registry: service lookups and event dispatches.
@@ -322,6 +325,24 @@ void Drcr::note_rejection(ComponentRecord& record, ErrorCode code,
 
 bool Drcr::resolve_round() {
   m_.resolution_rounds->add();
+  // Batch-session brackets around each greedy admission pass: stateful
+  // resolvers (memoized RTA) analyse the pass incrementally instead of from
+  // scratch per candidate. With incremental_admission off nothing is
+  // bracketed and resolvers see cache-less views — the seed behaviour.
+  const bool batch = config_.incremental_admission;
+  auto batch_begin = [&](const SystemView& view) {
+    if (!batch) return;
+    each_resolver([&](ResolvingService& r) { r.begin_batch(view); });
+  };
+  auto batch_admitted = [&](const ComponentDescriptor& descriptor) {
+    if (!batch) return;
+    each_resolver(
+        [&](ResolvingService& r) { r.on_candidate_admitted(descriptor); });
+  };
+  auto batch_end = [&](bool committed) {
+    if (!batch) return;
+    each_resolver([&](ResolvingService& r) { r.end_batch(committed); });
+  };
   std::set<std::string> excluded;  // members that failed activation mechanics
   for (;;) {
     // 1. Candidates: everything unsatisfied, minus mechanical failures.
@@ -358,11 +379,13 @@ bool Drcr::resolve_round() {
     //    view; a rejection can strand dependents, so re-close afterwards.
     for (;;) {
       SystemView view = system_view();
+      batch_begin(view);
       std::vector<ComponentRecord*> rejected;
       for (ComponentRecord* record : candidates) {
         if (auto admitted = admission_check(record->descriptor, view);
             admitted.ok()) {
-          view.active.push_back(&record->descriptor);
+          view.admit_locally(record->descriptor);
+          batch_admitted(record->descriptor);
         } else {
           note_rejection(*record, admitted.error().ec,
                          admitted.error().message);
@@ -370,12 +393,16 @@ bool Drcr::resolve_round() {
         }
       }
       if (rejected.empty()) break;
+      batch_end(false);
       for (ComponentRecord* record : rejected) {
         std::erase(candidates, record);
       }
       shrink_to_functional_closure();
     }
-    if (candidates.empty()) return false;
+    if (candidates.empty()) {
+      batch_end(false);
+      return false;
+    }
 
     // 4. Batch activation: instantiate, prepare all (publishing every
     //    out-port), then commit all. Any mechanical failure rolls the whole
@@ -416,6 +443,7 @@ bool Drcr::resolve_round() {
       }
     }
     if (failed) {
+      batch_end(false);
       for (ComponentRecord* record : candidates) {
         if (record->instance != nullptr) {
           record->instance->deactivate();
@@ -428,6 +456,7 @@ bool Drcr::resolve_round() {
     for (ComponentRecord* record : candidates) {
       finalize_activation(*record);
     }
+    batch_end(true);
     return true;
   }
 }
@@ -451,14 +480,11 @@ void Drcr::cascade_departures() {
 
 void Drcr::apply_revocations() {
   auto view = system_view();
-  std::vector<std::string> revoked = internal_resolver_->revoke(view);
-  for (const auto& reference : resolver_tracker_->tracked()) {
-    auto service =
-        framework_->registry().get_service<ResolvingService>(reference);
-    if (service == nullptr) continue;
-    auto extra = service->revoke(view);
+  std::vector<std::string> revoked;
+  each_resolver([&](ResolvingService& resolver) {
+    auto extra = resolver.revoke(view);
     revoked.insert(revoked.end(), extra.begin(), extra.end());
-  }
+  });
   for (const auto& name : revoked) {
     const auto found = components_.find(name);
     if (found == components_.end() ||
@@ -521,9 +547,10 @@ Result<void> Drcr::admission_check(const ComponentDescriptor& candidate,
                       internal_resolver_->name() + ": " +
                           internal.error().message);
   }
-  for (const auto& reference : resolver_tracker_->tracked()) {
-    auto service =
-        framework_->registry().get_service<ResolvingService>(reference);
+  // External resolvers come from the tracker's sorted entry cache — no
+  // per-candidate registry round-trip.
+  for (const auto& entry : resolver_tracker_->entries()) {
+    auto service = std::static_pointer_cast<ResolvingService>(entry.service);
     if (service == nullptr) continue;
     if (auto custom = service->admit(candidate, view); !custom.ok()) {
       return make_error(ErrorCode::kAdmissionRejected, "drcom.admission_rejected",
@@ -583,6 +610,7 @@ void Drcr::finalize_activation(ComponentRecord& record) {
   record.last_reason.clear();
   record.last_code = ErrorCode::kNone;
   record.activation_order = next_activation_order_++;
+  contract_cache_.on_activate(record.descriptor);
 
   // Publish the management interface with the component's properties so the
   // instance is discoverable and tunable through the registry (§2.4).
@@ -600,6 +628,9 @@ void Drcr::finalize_activation(ComponentRecord& record) {
 }
 
 void Drcr::deactivate(ComponentRecord& record, const std::string& reason) {
+  if (record.state == ComponentState::kActive) {
+    contract_cache_.on_deactivate(record.descriptor);
+  }
   if (record.management_registration.is_valid()) {
     record.management_registration.unregister();
   }
@@ -657,15 +688,13 @@ SystemView Drcr::system_view() const {
   view.kernel = kernel_;
   view.cpu_count = kernel_->config().cpus;
   // Active descriptors in activation order (revocation policies shed the
-  // most recent first).
-  std::vector<const ComponentRecord*> active;
-  for (const auto& [_, record] : components_) {
-    if (record.state == ComponentState::kActive) active.push_back(&record);
+  // most recent first) — the cache maintains exactly that list, so building
+  // a view no longer scans and sorts the component map.
+  view.active = contract_cache_.active();
+  if (config_.incremental_admission) {
+    view.cache = &contract_cache_;
+    view.id = next_view_id_++;
   }
-  std::sort(active.begin(), active.end(), [](const auto* a, const auto* b) {
-    return a->activation_order < b->activation_order;
-  });
-  for (const auto* record : active) view.active.push_back(&record->descriptor);
   return view;
 }
 

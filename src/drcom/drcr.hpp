@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "drcom/contract_cache.hpp"
 #include "drcom/descriptor.hpp"
 #include "drcom/factory.hpp"
 #include "drcom/hybrid.hpp"
@@ -104,6 +105,12 @@ struct DrcrConfig {
   /// Retained window of lifecycle events (rounded up to a power of two).
   /// Older events are overwritten; add_listener() is the lossless path.
   std::size_t event_ring_capacity = 1024;
+  /// Hand resolvers ContractCache-backed views (O(1) aggregates) and bracket
+  /// admission passes with the batch-session hooks, enabling memoized RTA.
+  /// Off = cache-less views and per-candidate from-scratch analysis — the
+  /// seed behaviour, kept as an in-binary reference; decisions are identical
+  /// either way.
+  bool incremental_admission = true;
 };
 
 class Drcr {
@@ -162,6 +169,12 @@ class Drcr {
   /// legitimately send management commands through it.
   [[nodiscard]] HybridComponent* instance_of(const std::string& name) const;
   [[nodiscard]] SystemView system_view() const;
+  /// Incrementally maintained aggregates over the active set (the data
+  /// behind system_view()'s O(1) accessors and the admitted-utilization
+  /// gauges). Exposed for invariant checking and benchmarks.
+  [[nodiscard]] const ContractCache& contract_cache() const {
+    return contract_cache_;
+  }
 
   // Lifecycle event access is a view over a bounded ring: the DRCR no longer
   // keeps an unbounded history. recent_events() returns the retained window
@@ -258,6 +271,18 @@ class Drcr {
   void emit(DrcrEventType type, const std::string& component,
             std::string reason = {}, ErrorCode code = ErrorCode::kNone);
 
+  /// Visits the internal resolver, then every tracked external resolver in
+  /// best-first order — service objects come from the tracker's entry cache,
+  /// not a per-call registry lookup.
+  template <typename Fn>
+  void each_resolver(Fn&& fn) const {
+    fn(*internal_resolver_);
+    for (const auto& entry : resolver_tracker_->entries()) {
+      auto service = std::static_pointer_cast<ResolvingService>(entry.service);
+      if (service != nullptr) fn(*service);
+    }
+  }
+
   osgi::Framework* framework_;
   rtos::RtKernel* kernel_;
   DrcrConfig config_;
@@ -266,6 +291,10 @@ class Drcr {
   std::map<std::string, ComponentRecord> components_;
   std::map<std::string, SystemDescriptor> systems_;  ///< deployed compositions
   obs::EventRing<DrcrEvent> events_;
+  ContractCache contract_cache_;
+  /// Stamps each DRCR-built SystemView so batch-capable resolvers can match
+  /// admit() calls to the pass they belong to.
+  mutable std::uint64_t next_view_id_ = 1;
   std::vector<DrcrListener> listeners_;
   /// Pre-registered handles into the kernel's metrics registry.
   struct DrcrMetrics {

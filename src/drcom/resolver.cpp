@@ -1,8 +1,107 @@
 #include "drcom/resolver.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace drt::drcom {
+namespace {
+
+/// True for components with a recurring real-time contract — periodic, or
+/// sporadic (analysed as periodic with T = MIT).
+bool has_recurring_contract(const ComponentDescriptor& descriptor) {
+  return descriptor.type == rtos::TaskType::kPeriodic ||
+         descriptor.type == rtos::TaskType::kSporadic;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- SystemView
+
+double SystemView::declared_utilization(CpuId cpu) const {
+  if (cache == nullptr) {
+    double total = 0.0;
+    for (const auto* descriptor : active) {
+      if (descriptor->target_cpu() == cpu) total += descriptor->cpu_usage;
+    }
+    return total;
+  }
+  if (cpu < overlay_.size() && overlay_[cpu].touched) {
+    return overlay_[cpu].declared_sum;
+  }
+  return cache->declared_utilization(cpu);
+}
+
+std::size_t SystemView::active_count_on(CpuId cpu) const {
+  if (cache == nullptr) {
+    std::size_t count = 0;
+    for (const auto* descriptor : active) {
+      if (descriptor->target_cpu() == cpu) ++count;
+    }
+    return count;
+  }
+  if (cpu < overlay_.size() && overlay_[cpu].touched) {
+    return overlay_[cpu].active_count;
+  }
+  return cache->active_count_on(cpu);
+}
+
+double SystemView::recurring_utilization_on(CpuId cpu) const {
+  if (cache == nullptr) {
+    double total = 0.0;
+    for (const auto* descriptor : active) {
+      if (has_recurring_contract(*descriptor) &&
+          descriptor->target_cpu() == cpu) {
+        total += descriptor->cpu_usage;
+      }
+    }
+    return total;
+  }
+  if (cpu < overlay_.size() && overlay_[cpu].touched) {
+    return overlay_[cpu].recurring_sum;
+  }
+  return cache->recurring_utilization(cpu);
+}
+
+std::size_t SystemView::recurring_count_on(CpuId cpu) const {
+  if (cache == nullptr) {
+    std::size_t count = 0;
+    for (const auto* descriptor : active) {
+      if (has_recurring_contract(*descriptor) &&
+          descriptor->target_cpu() == cpu) {
+        ++count;
+      }
+    }
+    return count;
+  }
+  if (cpu < overlay_.size() && overlay_[cpu].touched) {
+    return overlay_[cpu].recurring_count;
+  }
+  return cache->recurring_count_on(cpu);
+}
+
+void SystemView::admit_locally(const ComponentDescriptor& candidate) {
+  active.push_back(&candidate);
+  if (cache == nullptr) return;
+  const CpuId cpu = candidate.target_cpu();
+  if (cpu >= overlay_.size()) overlay_.resize(cpu + 1);
+  CpuOverlay& slot = overlay_[cpu];
+  if (!slot.touched) {
+    slot.touched = true;
+    slot.declared_sum = cache->declared_utilization(cpu);
+    slot.recurring_sum = cache->recurring_utilization(cpu);
+    slot.active_count = cache->active_count_on(cpu);
+    slot.recurring_count = cache->recurring_count_on(cpu);
+  }
+  slot.declared_sum += candidate.cpu_usage;
+  ++slot.active_count;
+  if (has_recurring_contract(candidate)) {
+    slot.recurring_sum += candidate.cpu_usage;
+    ++slot.recurring_count;
+  }
+  slot.added.push_back(&candidate);
+}
+
+// ------------------------------------------- UtilizationBudgetResolver
 
 Result<void> UtilizationBudgetResolver::admit(
     const ComponentDescriptor& candidate, const SystemView& view) {
@@ -21,33 +120,21 @@ Result<void> UtilizationBudgetResolver::admit(
 std::vector<std::string> UtilizationBudgetResolver::revoke(
     const SystemView& view) {
   // If the budget shrank below the active set's demand, shed the most
-  // recently activated components first (the view lists them in activation
-  // order) until every CPU fits again.
+  // recently activated components first until every CPU fits again.
   std::vector<std::string> revoked;
   for (CpuId cpu = 0; cpu < view.cpu_count; ++cpu) {
     double total = view.declared_utilization(cpu);
     if (total <= budget_ + 1e-12) continue;
-    for (auto it = view.active.rbegin();
-         it != view.active.rend() && total > budget_ + 1e-12; ++it) {
-      const ComponentDescriptor* descriptor = *it;
-      if (descriptor->target_cpu() != cpu) continue;
-      revoked.push_back(descriptor->name);
-      total -= descriptor->cpu_usage;
-    }
+    view.for_each_active_on_reverse(cpu, [&](const ComponentDescriptor& d) {
+      if (total <= budget_ + 1e-12) return;
+      revoked.push_back(d.name);
+      total -= d.cpu_usage;
+    });
   }
   return revoked;
 }
 
-namespace {
-
-/// True for components with a recurring real-time contract — periodic, or
-/// sporadic (analysed as periodic with T = MIT).
-bool has_recurring_contract(const ComponentDescriptor& descriptor) {
-  return descriptor.type == rtos::TaskType::kPeriodic ||
-         descriptor.type == rtos::TaskType::kSporadic;
-}
-
-}  // namespace
+// ----------------------------------------------- RateMonotonicResolver
 
 Result<void> RateMonotonicResolver::admit(const ComponentDescriptor& candidate,
                                           const SystemView& view) {
@@ -55,13 +142,22 @@ Result<void> RateMonotonicResolver::admit(const ComponentDescriptor& candidate,
     return Result<void>::success();
   }
   const CpuId cpu = candidate.target_cpu();
-  double total = candidate.cpu_usage;
-  std::size_t n = 1;
-  for (const auto* descriptor : view.active) {
-    if (!has_recurring_contract(*descriptor)) continue;
-    if (descriptor->target_cpu() != cpu) continue;
-    total += descriptor->cpu_usage;
-    ++n;
+  double total;
+  std::size_t n;
+  if (view.cache != nullptr) {
+    // candidate + running-fold differs from the candidate-seeded scan only
+    // in association — at most one ulp, far below the decision epsilon.
+    total = candidate.cpu_usage + view.recurring_utilization_on(cpu);
+    n = view.recurring_count_on(cpu) + 1;
+  } else {
+    total = candidate.cpu_usage;
+    n = 1;
+    for (const auto* descriptor : view.active) {
+      if (!has_recurring_contract(*descriptor)) continue;
+      if (descriptor->target_cpu() != cpu) continue;
+      total += descriptor->cpu_usage;
+      ++n;
+    }
   }
   const double bound = bound_for(n);
   if (total > bound + 1e-12) {
@@ -73,6 +169,8 @@ Result<void> RateMonotonicResolver::admit(const ComponentDescriptor& candidate,
   }
   return Result<void>::success();
 }
+
+// ---------------------------------------------- ResponseTimeResolver
 
 SimTime ResponseTimeResolver::response_time(
     SimDuration cost, SimTime deadline,
@@ -86,10 +184,74 @@ SimTime ResponseTimeResolver::response_time(
       next += jobs * other_cost;
     }
     if (next == response) return response;  // fixpoint
-    if (next > deadline) return kSimTimeNever;  // already infeasible
+    if (next > deadline) return next;  // infeasible: first exceeding value
     response = next;
   }
-  return kSimTimeNever;  // did not converge (treat as infeasible)
+  return kSimTimeNever;  // iteration cap hit without converging
+}
+
+SimTime ResponseTimeResolver::solve(const std::vector<TaskEntry>& entries,
+                                    std::size_t skip_index,
+                                    const TaskEntry* extra,
+                                    const TaskEntry& task, SimTime start) {
+  SimTime response = start;
+  for (int iteration = 0; iteration < 1'000; ++iteration) {
+    SimTime next = task.cost;
+    // `entries` is sorted by (priority, activation), so the interferer set —
+    // strictly higher priority preempts; equal priority round-robins and is
+    // counted as interference too — is a prefix of the vector.
+    for (std::size_t j = 0;
+         j < entries.size() && entries[j].priority <= task.priority; ++j) {
+      if (j == skip_index) continue;
+      const TaskEntry& other = entries[j];
+      next += ((response + other.period - 1) / other.period) * other.cost;
+    }
+    if (extra != nullptr && extra->priority <= task.priority) {
+      next += ((response + extra->period - 1) / extra->period) * extra->cost;
+    }
+    if (next == response) return response;
+    if (next > task.deadline) return next;
+    response = next;
+  }
+  return kSimTimeNever;
+}
+
+ResponseTimeResolver::TaskEntry ResponseTimeResolver::make_entry(
+    const ComponentDescriptor& descriptor, std::uint64_t seq) const {
+  TaskEntry entry;
+  entry.descriptor = &descriptor;
+  if (descriptor.periodic.has_value()) {
+    entry.period = descriptor.periodic->period();
+    entry.priority = descriptor.periodic->priority;
+    entry.deadline = descriptor.periodic->effective_deadline();
+  } else {
+    // Sporadic: worst case is periodic arrival at the MIT.
+    entry.period = descriptor.sporadic->min_interarrival;
+    entry.priority = descriptor.sporadic->priority;
+    entry.deadline = descriptor.sporadic->min_interarrival;
+  }
+  entry.cost = static_cast<SimDuration>(
+                   descriptor.cpu_usage * static_cast<double>(entry.period)) +
+               per_job_overhead_;
+  entry.seq = seq;
+  return entry;
+}
+
+Result<void> ResponseTimeResolver::reject(
+    const TaskEntry& task, SimTime response, CpuId cpu,
+    const ComponentDescriptor& candidate) const {
+  std::ostringstream reason;
+  reason << "RTA: task '" << task.descriptor->name
+         << "' would miss its deadline on cpu " << cpu << " (R";
+  if (response == kSimTimeNever) {
+    reason << " diverges";
+  } else {
+    reason << "=" << response;
+  }
+  reason << " > D=" << task.deadline << ") if '" << candidate.name
+         << "' were admitted";
+  return make_error(ErrorCode::kAdmissionRejected, "drcom.admission_rejected",
+                    reason.str());
 }
 
 Result<void> ResponseTimeResolver::admit(const ComponentDescriptor& candidate,
@@ -97,6 +259,15 @@ Result<void> ResponseTimeResolver::admit(const ComponentDescriptor& candidate,
   if (!has_recurring_contract(candidate)) {
     return Result<void>::success();
   }
+  if (in_batch_ && view.cache != nullptr && view.cache == session_cache_ &&
+      view.id == session_view_id_) {
+    return admit_incremental(candidate, view);
+  }
+  return admit_from_scratch(candidate, view);
+}
+
+Result<void> ResponseTimeResolver::admit_from_scratch(
+    const ComponentDescriptor& candidate, const SystemView& view) const {
   const CpuId cpu = candidate.target_cpu();
 
   struct Entry {
@@ -163,6 +334,194 @@ Result<void> ResponseTimeResolver::admit(const ComponentDescriptor& candidate,
     }
   }
   return Result<void>::success();
+}
+
+Result<void> ResponseTimeResolver::admit_incremental(
+    const ComponentDescriptor& candidate, const SystemView& view) {
+  pending_.valid = false;
+  const CpuId cpu = candidate.target_cpu();
+  CpuSet& set = session_cpu(cpu, *view.cache);
+  const TaskEntry cand = make_entry(candidate, set.next_seq);
+
+  // Tasks at or below the candidate's priority (numerically >=) gain it as
+  // an interferer and must be re-analysed; tasks above never see it.
+  const auto first_dirty = std::lower_bound(
+      set.entries.begin(), set.entries.end(), cand.priority,
+      [](const TaskEntry& entry, int priority) {
+        return entry.priority < priority;
+      });
+
+  // The from-scratch scan rejects at the FIRST failing task in activation
+  // order; track the minimum-seq failure across untouched, dirty and
+  // candidate (the candidate's seq is the largest, so it is cited last).
+  const TaskEntry* failing = nullptr;
+  SimTime failing_response = 0;
+  bool failing_was_warm = false;
+  auto consider = [&](const TaskEntry& entry, SimTime response, bool warm) {
+    if (response <= entry.deadline) return;
+    if (failing == nullptr || entry.seq < failing->seq) {
+      failing = &entry;
+      failing_response = response;
+      failing_was_warm = warm;
+    }
+  };
+
+  // Untouched tasks keep their stored response; they can only be failing
+  // when the base set itself was infeasible (folds never store misses).
+  if (set.has_failure) {
+    for (auto it = set.entries.begin(); it != first_dirty; ++it) {
+      consider(*it, it->response, false);
+    }
+  }
+
+  pending_.updates.clear();
+  for (auto it = first_dirty; it != set.entries.end(); ++it) {
+    // Warm start from the previous fixpoint: the recurrence is monotone in
+    // the interferer set, and the stored value is an iterate below the new
+    // least fixpoint, so iterating from it converges to the same fixpoint
+    // the from-scratch run finds.
+    SimTime start = it->response;
+    if (start == kSimTimeNever) start = it->cost;  // cap marker, no iterate
+    const auto index = static_cast<std::size_t>(it - set.entries.begin());
+    const SimTime response = solve(set.entries, index, &cand, *it, start);
+    pending_.updates.emplace_back(index, response);
+    consider(*it, response, true);
+  }
+  const SimTime cand_response =
+      solve(set.entries, set.entries.size(), nullptr, cand, cand.cost);
+  consider(cand, cand_response, false);  // already iterated from cost
+
+  if (failing != nullptr) {
+    SimTime report = failing_response;
+    if (failing_was_warm) {
+      // The warm iteration may cross the deadline at a different iterate;
+      // recompute from cost so the reported value matches the from-scratch
+      // message exactly.
+      const auto index =
+          static_cast<std::size_t>(failing - set.entries.data());
+      report = solve(set.entries, index, &cand, *failing, failing->cost);
+    }
+    return reject(*failing, report, cpu, candidate);
+  }
+
+  pending_.valid = true;
+  pending_.name = candidate.name;
+  pending_.cpu = cpu;
+  pending_.entry = cand;
+  pending_.entry.response = cand_response;
+  return Result<void>::success();
+}
+
+ResponseTimeResolver::CpuSet& ResponseTimeResolver::session_cpu(
+    CpuId cpu, const ContractCache& cache) {
+  if (cpu >= session_.size()) session_.resize(cpu + 1);
+  CpuSet& set = session_[cpu];
+  if (set.built) return set;
+  const std::uint64_t generation = cache.generation(cpu);
+  if (cpu < memo_.size() && memo_[cpu].built &&
+      memo_[cpu].generation == generation) {
+    set = memo_[cpu];
+    return set;
+  }
+  // Rebuild from the cache: entries in (priority, activation) order, each
+  // response iterated from cost — the canonical base the memo carries
+  // forward until the next structural change on this CPU.
+  set.built = true;
+  set.generation = generation;
+  set.has_failure = false;
+  set.next_seq = 0;
+  set.entries.clear();
+  const RecurringMap& recurring = cache.recurring_by_priority(cpu);
+  set.entries.reserve(recurring.size());
+  for (const auto& [key, record] : recurring) {
+    TaskEntry entry;
+    entry.descriptor = record.descriptor;
+    entry.period = record.period;
+    entry.cost = record.base_cost + per_job_overhead_;
+    entry.priority = record.priority;
+    entry.deadline = record.deadline;
+    entry.seq = key.second;
+    set.next_seq = std::max(set.next_seq, key.second + 1);
+    set.entries.push_back(entry);
+  }
+  for (std::size_t i = 0; i < set.entries.size(); ++i) {
+    TaskEntry& entry = set.entries[i];
+    entry.response = solve(set.entries, i, nullptr, entry, entry.cost);
+    if (entry.response > entry.deadline) set.has_failure = true;
+  }
+  return set;
+}
+
+void ResponseTimeResolver::begin_batch(const SystemView& view) {
+  session_.clear();
+  pending_.valid = false;
+  in_batch_ = view.cache != nullptr;
+  session_view_id_ = view.id;
+  session_cache_ = view.cache;
+  if (!in_batch_) return;
+  if (memo_cache_id_ != view.cache->cache_id()) {
+    memo_cache_id_ = view.cache->cache_id();
+    memo_.clear();
+  }
+}
+
+void ResponseTimeResolver::on_candidate_admitted(
+    const ComponentDescriptor& candidate) {
+  if (!in_batch_ || !pending_.valid || pending_.name != candidate.name) {
+    return;  // not ours (aperiodic candidates never leave a pending entry)
+  }
+  pending_.valid = false;
+  CpuSet& set = session_[pending_.cpu];
+  for (const auto& [index, response] : pending_.updates) {
+    set.entries[index].response = response;
+  }
+  // Insert after the last equal-priority entry: the candidate's seq is the
+  // largest on this CPU, so (priority, seq) order is preserved.
+  const auto position = std::upper_bound(
+      set.entries.begin(), set.entries.end(), pending_.entry.priority,
+      [](int priority, const TaskEntry& entry) {
+        return priority < entry.priority;
+      });
+  set.entries.insert(position, pending_.entry);
+  ++set.next_seq;
+}
+
+void ResponseTimeResolver::end_batch(bool committed) {
+  pending_.valid = false;
+  if (!in_batch_) return;
+  in_batch_ = false;
+  if (!committed || session_cache_ == nullptr) {
+    session_.clear();
+    return;
+  }
+  if (memo_.size() < session_.size()) memo_.resize(session_.size());
+  for (std::size_t cpu = 0; cpu < session_.size(); ++cpu) {
+    CpuSet& set = session_[cpu];
+    if (!set.built) continue;
+    // Safety net: a reentrant lifecycle change during activation (a listener
+    // deactivating some component mid-commit) would leave this session
+    // stale. Memoize only when it mirrors the cache exactly.
+    const RecurringMap& recurring =
+        session_cache_->recurring_by_priority(static_cast<CpuId>(cpu));
+    bool matches = recurring.size() == set.entries.size();
+    if (matches) {
+      std::size_t i = 0;
+      for (const auto& [key, record] : recurring) {
+        if (set.entries[i].descriptor != record.descriptor) {
+          matches = false;
+          break;
+        }
+        ++i;
+      }
+    }
+    if (!matches) {
+      memo_[cpu].built = false;
+      continue;
+    }
+    set.generation = session_cache_->generation(static_cast<CpuId>(cpu));
+    memo_[cpu] = std::move(set);
+  }
+  session_.clear();
 }
 
 }  // namespace drt::drcom

@@ -11,10 +11,12 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "drcom/contract_cache.hpp"
 #include "drcom/descriptor.hpp"
 #include "util/result.hpp"
 #include "util/types.hpp"
@@ -32,27 +34,67 @@ inline constexpr const char* kResolvingServiceInterface =
 /// Global view of the real-time context handed to resolvers: the descriptors
 /// of every currently active component plus the kernel, never individual
 /// component internals.
+///
+/// DRCR-built views additionally carry a ContractCache, which backs the
+/// aggregate accessors in O(1). Hand-built views (tests, external tooling)
+/// leave `cache` null and the accessors fall back to scanning `active` —
+/// same values, seed complexity. During a greedy admission pass the DRCR
+/// extends the view with each admitted candidate via admit_locally(), which
+/// keeps the cached aggregates in step with the `active` vector.
 struct SystemView {
   std::vector<const ComponentDescriptor*> active;
   const rtos::RtKernel* kernel = nullptr;
   std::size_t cpu_count = 0;
+  /// Aggregates behind the O(1) accessors; nullptr = scan `active` instead.
+  const ContractCache* cache = nullptr;
+  /// Distinguishes one admission pass from the next, so batch-capable
+  /// resolvers can tell which view their session state belongs to (0 = not
+  /// a DRCR admission view).
+  std::uint64_t id = 0;
 
   /// Sum of the *declared* cpuusage of active components pinned to `cpu`.
-  [[nodiscard]] double declared_utilization(CpuId cpu) const {
-    double total = 0.0;
-    for (const auto* descriptor : active) {
-      if (descriptor->target_cpu() == cpu) total += descriptor->cpu_usage;
+  [[nodiscard]] double declared_utilization(CpuId cpu) const;
+  [[nodiscard]] std::size_t active_count_on(CpuId cpu) const;
+  /// Recurring (periodic/sporadic) restriction of the two above.
+  [[nodiscard]] double recurring_utilization_on(CpuId cpu) const;
+  [[nodiscard]] std::size_t recurring_count_on(CpuId cpu) const;
+
+  /// Extends the view as if `candidate` had just been activated: appends to
+  /// `active` and folds its usage into the cached per-CPU aggregates (exact
+  /// left-fold extension, so cached and scanned values stay bit-identical).
+  void admit_locally(const ComponentDescriptor& candidate);
+
+  /// Visits active components pinned to `cpu` in reverse activation order
+  /// (newest first) — the shedding order of revocation policies.
+  template <typename Fn>
+  void for_each_active_on_reverse(CpuId cpu, Fn&& fn) const {
+    if (cache == nullptr) {
+      for (auto it = active.rbegin(); it != active.rend(); ++it) {
+        if ((*it)->target_cpu() == cpu) fn(**it);
+      }
+      return;
     }
-    return total;
+    if (cpu < overlay_.size()) {
+      const auto& added = overlay_[cpu].added;
+      for (auto it = added.rbegin(); it != added.rend(); ++it) fn(**it);
+    }
+    const auto& base = cache->active_on(cpu);
+    for (auto it = base.rbegin(); it != base.rend(); ++it) fn(**it);
   }
 
-  [[nodiscard]] std::size_t active_count_on(CpuId cpu) const {
-    std::size_t count = 0;
-    for (const auto* descriptor : active) {
-      if (descriptor->target_cpu() == cpu) ++count;
-    }
-    return count;
-  }
+ private:
+  /// Per-CPU aggregates including locally admitted candidates. `touched`
+  /// slots hold full totals (cache base folded with every append, in order);
+  /// untouched CPUs read straight from the cache.
+  struct CpuOverlay {
+    bool touched = false;
+    double declared_sum = 0.0;
+    double recurring_sum = 0.0;
+    std::size_t active_count = 0;
+    std::size_t recurring_count = 0;
+    std::vector<const ComponentDescriptor*> added;
+  };
+  std::vector<CpuOverlay> overlay_;
 };
 
 class ResolvingService {
@@ -75,11 +117,31 @@ class ResolvingService {
     (void)view;
     return {};
   }
+
+  // ---- batch admission (optional) ----------------------------------------
+  // resolve_round() brackets each greedy admission pass with begin_batch /
+  // end_batch and reports every candidate that passed ALL resolvers through
+  // on_candidate_admitted — the batch admit-all path: a stateful resolver
+  // (memoized RTA) analyses the whole deploy in one incremental session
+  // instead of from scratch per candidate. The defaults do nothing, so
+  // stateless resolvers are unaffected.
+
+  /// A greedy admission pass over `view` is starting; admit() calls carrying
+  /// the same `view.id` belong to it.
+  virtual void begin_batch(const SystemView& view) { (void)view; }
+  /// `candidate` passed every resolver and was appended to the pass's view.
+  virtual void on_candidate_admitted(const ComponentDescriptor& candidate) {
+    (void)candidate;
+  }
+  /// The pass ended; `committed` is true when its admissions were actually
+  /// activated (fold session results into long-lived memo state), false when
+  /// the batch was abandoned (discard them).
+  virtual void end_batch(bool committed) { (void)committed; }
 };
 
 /// Built-in internal resolver: per-CPU declared-utilization budget. A
 /// candidate is admitted when the sum of declared cpuusage on its target CPU
-/// stays within the budget.
+/// stays within the budget. O(1) against a cached view.
 class UtilizationBudgetResolver : public ResolvingService {
  public:
   explicit UtilizationBudgetResolver(double budget_per_cpu = 0.9)
@@ -102,7 +164,7 @@ class UtilizationBudgetResolver : public ResolvingService {
 /// Rate-monotonic bound resolver: admits a periodic candidate when the
 /// resulting per-CPU task set satisfies the Liu & Layland utilization bound
 /// U <= n(2^(1/n) - 1). Aperiodic components pass through (they hold no
-/// periodic contract).
+/// periodic contract). O(1) against a cached view.
 class RateMonotonicResolver : public ResolvingService {
  public:
   RateMonotonicResolver() : name_("rate-monotonic-bound") {}
@@ -133,6 +195,19 @@ class RateMonotonicResolver : public ResolvingService {
 /// framework's command poll. This is a *necessary-and-sufficient* test for
 /// this task model, so it admits feasible sets the RM utilization bound
 /// rejects — demonstrating why the paper makes resolving services pluggable.
+///
+/// Inside a DRCR admission batch the analysis is incremental: per-task
+/// response times are memoized per (cache, generation); admitting a
+/// candidate only re-analyses tasks at or below its priority on its CPU
+/// (higher-priority tasks never see new interference), each warm-started
+/// from its previous fixpoint. The recurrence is monotone in the interferer
+/// set and the warm start is a known iterate below the new least fixpoint,
+/// so the iteration converges to the same fixpoint the from-scratch run
+/// finds — decisions are identical. On rejection the failing task's response
+/// is recomputed from C_i so the reported value matches the from-scratch
+/// message. (Sole caveat: a set needing >1000 iterations from C_i but fewer
+/// from the warm start would be capped only by the former; real task sets
+/// converge in a handful of iterations.)
 class ResponseTimeResolver : public ResolvingService {
  public:
   explicit ResponseTimeResolver(SimDuration per_job_overhead = 1'100)
@@ -142,16 +217,81 @@ class ResponseTimeResolver : public ResolvingService {
   [[nodiscard]] Result<void> admit(const ComponentDescriptor& candidate,
                                    const SystemView& view) override;
 
-  /// Worst-case response time of a task with cost `cost` and priority
-  /// `priority` against higher-priority interferers (cost, period) pairs.
-  /// Returns kSimTimeNever when the iteration diverges past `deadline`.
+  void begin_batch(const SystemView& view) override;
+  void on_candidate_admitted(const ComponentDescriptor& candidate) override;
+  void end_batch(bool committed) override;
+
+  /// Worst-case response time of a task with cost `cost` against
+  /// higher-priority interferers (cost, period) pairs. When the iteration
+  /// exceeds `deadline` at a finite value, returns that first exceeding
+  /// value (the caller compares against the deadline); returns kSimTimeNever
+  /// only when the 1000-iteration cap is hit without converging.
   [[nodiscard]] static SimTime response_time(
       SimDuration cost, SimTime deadline,
       const std::vector<std::pair<SimDuration, SimDuration>>& interferers);
 
  private:
+  struct TaskEntry {
+    const ComponentDescriptor* descriptor = nullptr;
+    SimDuration period = 0;
+    SimDuration cost = 0;
+    int priority = 0;
+    SimTime deadline = 0;
+    /// Last known response: the fixpoint while feasible; on a failing base
+    /// set the first deadline-exceeding value (or kSimTimeNever at the cap).
+    SimTime response = 0;
+    /// Activation order among same-CPU tasks (failure reports cite the
+    /// first failing task in this order, like the from-scratch scan).
+    std::uint64_t seq = 0;
+  };
+  /// One CPU's recurring tasks sorted by (priority, seq), with memoized
+  /// response times.
+  struct CpuSet {
+    bool built = false;
+    std::uint64_t generation = 0;
+    bool has_failure = false;  ///< some base entry already misses
+    std::uint64_t next_seq = 0;
+    std::vector<TaskEntry> entries;
+  };
+
+  [[nodiscard]] Result<void> admit_from_scratch(
+      const ComponentDescriptor& candidate, const SystemView& view) const;
+  [[nodiscard]] Result<void> admit_incremental(
+      const ComponentDescriptor& candidate, const SystemView& view);
+  [[nodiscard]] CpuSet& session_cpu(CpuId cpu, const ContractCache& cache);
+  [[nodiscard]] TaskEntry make_entry(const ComponentDescriptor& descriptor,
+                                     std::uint64_t seq) const;
+  [[nodiscard]] static SimTime solve(const std::vector<TaskEntry>& entries,
+                                     std::size_t skip_index,
+                                     const TaskEntry* extra,
+                                     const TaskEntry& task, SimTime start);
+  [[nodiscard]] Result<void> reject(const TaskEntry& task, SimTime response,
+                                    CpuId cpu,
+                                    const ComponentDescriptor& candidate) const;
+
   SimDuration per_job_overhead_;
   std::string name_;
+
+  /// Memoized per-CPU analysis, valid while (cache_id, generation) match.
+  std::uint64_t memo_cache_id_ = 0;
+  std::vector<CpuSet> memo_;
+
+  /// Live batch session (one greedy admission pass).
+  bool in_batch_ = false;
+  std::uint64_t session_view_id_ = 0;
+  const ContractCache* session_cache_ = nullptr;
+  std::vector<CpuSet> session_;
+
+  /// Result of the last accepting admit(), folded into the session only if
+  /// the DRCR confirms the candidate passed every other resolver too.
+  struct Pending {
+    bool valid = false;
+    std::string name;
+    CpuId cpu = 0;
+    TaskEntry entry;
+    std::vector<std::pair<std::size_t, SimTime>> updates;
+  };
+  Pending pending_;
 };
 
 /// Accept-everything resolver: the baseline for the admission ablation

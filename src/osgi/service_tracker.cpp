@@ -3,6 +3,14 @@
 #include <algorithm>
 
 namespace drt::osgi {
+namespace {
+
+bool best_first(const ServiceReference& a, const ServiceReference& b) {
+  if (a.ranking() != b.ranking()) return a.ranking() > b.ranking();
+  return a.service_id() < b.service_id();
+}
+
+}  // namespace
 
 ServiceTracker::ServiceTracker(BundleContext& context,
                                std::string interface_name,
@@ -18,10 +26,12 @@ void ServiceTracker::open() {
   open_ = true;
   token_ = context_->add_service_listener(
       [this](const ServiceEvent& event) { handle_event(event); });
-  // Deliver pre-existing services.
+  // Deliver pre-existing services. The entry cache is updated before each
+  // callback so consumers reading entries() from on_added see themselves.
   for (const auto& reference : context_->get_service_references(
            interface_name_, filter_ ? &*filter_ : nullptr)) {
     tracked_.push_back(reference);
+    add_entry(reference);
     if (callbacks_.on_added) callbacks_.on_added(reference);
   }
 }
@@ -36,6 +46,7 @@ void ServiceTracker::close() {
   // Removal callbacks let consumers release references deterministically.
   auto snapshot = tracked_;
   tracked_.clear();
+  entries_.clear();
   if (callbacks_.on_removed) {
     for (const auto& reference : snapshot) callbacks_.on_removed(reference);
   }
@@ -43,11 +54,7 @@ void ServiceTracker::close() {
 
 std::vector<ServiceReference> ServiceTracker::tracked() const {
   auto sorted = tracked_;
-  std::sort(sorted.begin(), sorted.end(),
-            [](const ServiceReference& a, const ServiceReference& b) {
-              if (a.ranking() != b.ranking()) return a.ranking() > b.ranking();
-              return a.service_id() < b.service_id();
-            });
+  std::sort(sorted.begin(), sorted.end(), best_first);
   return sorted;
 }
 
@@ -71,6 +78,24 @@ bool ServiceTracker::matches(const ServiceReference& reference) const {
   return true;
 }
 
+void ServiceTracker::add_entry(const ServiceReference& reference) {
+  entries_.push_back({reference, context_->get_service<void>(reference)});
+  sort_entries();
+}
+
+void ServiceTracker::remove_entry(const ServiceReference& reference) {
+  std::erase_if(entries_, [&](const Entry& entry) {
+    return entry.reference == reference;
+  });
+}
+
+void ServiceTracker::sort_entries() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              return best_first(a.reference, b.reference);
+            });
+}
+
 void ServiceTracker::handle_event(const ServiceEvent& event) {
   const bool currently_tracked =
       std::find(tracked_.begin(), tracked_.end(), event.reference) !=
@@ -79,6 +104,7 @@ void ServiceTracker::handle_event(const ServiceEvent& event) {
     case ServiceEventType::kRegistered:
       if (!currently_tracked && matches(event.reference)) {
         tracked_.push_back(event.reference);
+        add_entry(event.reference);
         if (callbacks_.on_added) callbacks_.on_added(event.reference);
       }
       break;
@@ -86,18 +112,22 @@ void ServiceTracker::handle_event(const ServiceEvent& event) {
       if (matches(event.reference)) {
         if (!currently_tracked) {
           tracked_.push_back(event.reference);
+          add_entry(event.reference);
           if (callbacks_.on_added) callbacks_.on_added(event.reference);
-        } else if (callbacks_.on_modified) {
-          callbacks_.on_modified(event.reference);
+        } else {
+          sort_entries();  // a property change may have altered the ranking
+          if (callbacks_.on_modified) callbacks_.on_modified(event.reference);
         }
       } else if (currently_tracked) {
         std::erase(tracked_, event.reference);
+        remove_entry(event.reference);
         if (callbacks_.on_removed) callbacks_.on_removed(event.reference);
       }
       break;
     case ServiceEventType::kUnregistering:
       if (currently_tracked) {
         std::erase(tracked_, event.reference);
+        remove_entry(event.reference);
         if (callbacks_.on_removed) callbacks_.on_removed(event.reference);
       }
       break;

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -40,6 +41,18 @@ class ServiceTracker {
   /// Snapshot of currently tracked references (best-first).
   [[nodiscard]] std::vector<ServiceReference> tracked() const;
 
+  /// A tracked service with its service object resolved once, at tracking
+  /// time. Service objects are fixed at registration in this framework, so
+  /// holding the shared_ptr spares consumers a registry round-trip per use.
+  struct Entry {
+    ServiceReference reference;
+    std::shared_ptr<void> service;
+  };
+  /// Currently tracked entries, kept sorted best-first (ranking desc,
+  /// service.id asc) across add/modify/remove events — unlike tracked(),
+  /// reading this is allocation- and sort-free.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+
   /// Best tracked reference (highest ranking), if any.
   [[nodiscard]] std::optional<ServiceReference> best() const;
 
@@ -56,12 +69,16 @@ class ServiceTracker {
  private:
   bool matches(const ServiceReference& reference) const;
   void handle_event(const ServiceEvent& event);
+  void add_entry(const ServiceReference& reference);
+  void remove_entry(const ServiceReference& reference);
+  void sort_entries();
 
   BundleContext* context_;
   std::string interface_name_;
   std::optional<Filter> filter_;
   Callbacks callbacks_;
   std::vector<ServiceReference> tracked_;
+  std::vector<Entry> entries_;  ///< mirrors tracked_, sorted best-first
   std::optional<ListenerToken> token_;
   bool open_ = false;
 };

@@ -1,6 +1,9 @@
 #include "testing/oracle.hpp"
 
+#include <cmath>
 #include <cstdint>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string_view>
 #include <utility>
@@ -27,6 +30,7 @@ std::optional<Violation> InvariantOracle::check() {
   if (auto v = check_mailboxes()) return v;
   if (auto v = check_trace()) return v;
   if (auto v = check_metrics()) return v;
+  if (auto v = check_contract_cache()) return v;
   return std::nullopt;
 }
 
@@ -197,6 +201,86 @@ std::optional<Violation> InvariantOracle::check_metrics() const {
           << " (both are incremented at the same sites, so they drifted)";
       return Violation{"metrics-consistency", out.str()};
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_contract_cache() const {
+  const drcom::ContractCache& cache = drcr_->contract_cache();
+
+  // Recompute the expected per-CPU aggregates from the component records —
+  // the same source of truth the pre-cache DRCR scanned on every query.
+  struct Expected {
+    std::size_t active = 0;
+    std::size_t recurring = 0;
+    double declared = 0.0;
+    double recurring_utilization = 0.0;
+  };
+  std::map<CpuId, Expected> expected;
+  std::set<const drcom::ComponentDescriptor*> active_descriptors;
+  for (const std::string& name : drcr_->component_names()) {
+    if (drcr_->state_of(name) != drcom::ComponentState::kActive) continue;
+    const drcom::ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    if (descriptor == nullptr) {
+      return Violation{"contract-cache",
+                       "ACTIVE component '" + name + "' has no descriptor"};
+    }
+    active_descriptors.insert(descriptor);
+    Expected& slot = expected[descriptor->target_cpu()];
+    ++slot.active;
+    slot.declared += descriptor->cpu_usage;
+    if (descriptor->type == rtos::TaskType::kPeriodic ||
+        descriptor->type == rtos::TaskType::kSporadic) {
+      ++slot.recurring;
+      slot.recurring_utilization += descriptor->cpu_usage;
+    }
+  }
+
+  if (cache.active().size() != active_descriptors.size()) {
+    std::ostringstream out;
+    out << "cache tracks " << cache.active().size()
+        << " active descriptors but " << active_descriptors.size()
+        << " components are ACTIVE";
+    return Violation{"contract-cache", out.str()};
+  }
+  for (const drcom::ComponentDescriptor* descriptor : cache.active()) {
+    if (active_descriptors.count(descriptor) == 0) {
+      return Violation{"contract-cache",
+                       "cache lists descriptor '" + descriptor->name +
+                           "' that no ACTIVE record owns"};
+    }
+  }
+
+  // Sweep the union of CPUs the kernel has and CPUs the records pin.
+  CpuId max_cpu = static_cast<CpuId>(drcr_->kernel().config().cpus);
+  if (!expected.empty()) {
+    max_cpu = std::max(max_cpu, expected.rbegin()->first + 1);
+  }
+  for (CpuId cpu = 0; cpu < max_cpu; ++cpu) {
+    const auto it = expected.find(cpu);
+    const Expected want = it == expected.end() ? Expected{} : it->second;
+    std::ostringstream out;
+    if (cache.active_count_on(cpu) != want.active) {
+      out << "cpu " << cpu << ": cache active count "
+          << cache.active_count_on(cpu) << " != recomputed " << want.active;
+    } else if (cache.recurring_count_on(cpu) != want.recurring) {
+      out << "cpu " << cpu << ": cache recurring count "
+          << cache.recurring_count_on(cpu) << " != recomputed "
+          << want.recurring;
+    } else if (std::abs(cache.declared_utilization(cpu) - want.declared) >
+               kUtilizationEpsilon) {
+      out << "cpu " << cpu << ": cache declared utilization "
+          << cache.declared_utilization(cpu) << " != recomputed "
+          << want.declared;
+    } else if (std::abs(cache.recurring_utilization(cpu) -
+                        want.recurring_utilization) > kUtilizationEpsilon) {
+      out << "cpu " << cpu << ": cache recurring utilization "
+          << cache.recurring_utilization(cpu) << " != recomputed "
+          << want.recurring_utilization;
+    } else {
+      continue;
+    }
+    return Violation{"contract-cache", out.str()};
   }
   return std::nullopt;
 }

@@ -24,7 +24,13 @@
 //      corresponding per-mailbox counter over live mailboxes plus the
 //      kernel's retired-mailbox remainder. Both sides are incremented at the
 //      same code sites, so a mismatch means an instrumentation drift (this is
-//      a second, independent detector for the planted kMiscount bug).
+//      a second, independent detector for the planted kMiscount bug);
+//   8. contract-cache consistency — the DRCR's incrementally maintained
+//      ContractCache (per-CPU utilization sums, active/recurring counts,
+//      activation-ordered membership) equals a view recomputed from scratch
+//      out of the component records. The cache feeds every admission
+//      decision, so drift here silently changes which components the DRCR
+//      accepts.
 //
 // The snapshot fixpoint invariant (restore(snapshot(S)) is snapshot-
 // identical) needs a second world to restore into and therefore lives in
@@ -50,7 +56,7 @@ class InvariantOracle {
   InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
                   double cpu_budget);
 
-  /// Sweeps invariants 1-7; returns the first violation found, if any.
+  /// Sweeps invariants 1-8; returns the first violation found, if any.
   [[nodiscard]] std::optional<Violation> check();
 
  private:
@@ -61,6 +67,7 @@ class InvariantOracle {
   [[nodiscard]] std::optional<Violation> check_mailboxes() const;
   [[nodiscard]] std::optional<Violation> check_trace();
   [[nodiscard]] std::optional<Violation> check_metrics() const;
+  [[nodiscard]] std::optional<Violation> check_contract_cache() const;
 
   const drcom::Drcr* drcr_;
   const rtos::FaultPlan* faults_;

@@ -1,0 +1,345 @@
+// Incremental admission must be an invisible optimisation: a DRCR running
+// with ContractCache-backed views and memoized RTA (incremental_admission =
+// true, the default) must take EXACTLY the decisions of the cache-less
+// per-candidate from-scratch DRCR (incremental_admission = false, the seed
+// behaviour kept in-binary as the reference).
+//
+// The differential property test drives two such DRCRs through the same
+// randomized lifecycle scripts — register/unregister, enable/disable,
+// budget shrink, internal-resolver swaps — and after every operation
+// compares component states, rejection reasons and per-CPU utilization
+// bit-for-bit. ContractCache itself and the SystemView overlay get direct
+// unit coverage below.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "drcom/drcr.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::drcom {
+namespace {
+
+using rtos::testing::quiet_config;
+
+class IdleComponent : public RtComponent {
+ public:
+  rtos::TaskCoro run(JobContext& job) override {
+    while (job.active()) co_await job.next_cycle();
+  }
+};
+
+// ------------------------------------------------- ContractCache unit ----
+
+ComponentDescriptor periodic_component(std::string name, double usage,
+                                       CpuId cpu, double hz, int priority) {
+  ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "incr.X";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = usage;
+  d.periodic = PeriodicSpec{hz, cpu, priority};
+  return d;
+}
+
+ComponentDescriptor aperiodic_component(std::string name, double usage,
+                                        CpuId cpu) {
+  ComponentDescriptor d = periodic_component(std::move(name), usage, cpu,
+                                             100.0, 5);
+  d.type = rtos::TaskType::kAperiodic;
+  d.periodic.reset();  // aperiodic components always land on CPU 0
+  return d;
+}
+
+TEST(ContractCache, ActivateExtendsAndDeactivateRefolds) {
+  ContractCache cache(2);
+  const auto a = periodic_component("a", 0.3, 0, 100.0, 1);
+  const auto b = aperiodic_component("b", 0.2, 0);
+  const auto c = periodic_component("c", 0.4, 0, 200.0, 2);
+  cache.on_activate(a);
+  cache.on_activate(b);
+  cache.on_activate(c);
+  EXPECT_EQ(cache.active_count_on(0), 3u);
+  EXPECT_EQ(cache.recurring_count_on(0), 2u);
+  // Bit-identical to the left-fold over activation order.
+  EXPECT_EQ(cache.declared_utilization(0), (0.3 + 0.2) + 0.4);
+  EXPECT_EQ(cache.recurring_utilization(0), 0.3 + 0.4);
+  EXPECT_EQ(cache.active().size(), 3u);
+  EXPECT_EQ(cache.active()[0], &a);
+  EXPECT_EQ(cache.active()[2], &c);
+
+  const auto gen_before = cache.generation(0);
+  cache.on_deactivate(b);
+  EXPECT_GT(cache.generation(0), gen_before);
+  EXPECT_EQ(cache.active_count_on(0), 2u);
+  // Removal re-folds the survivors (a then c) rather than subtracting.
+  EXPECT_EQ(cache.declared_utilization(0), 0.3 + 0.4);
+  EXPECT_EQ(cache.active_on(0).size(), 2u);
+  EXPECT_EQ(cache.active_on(0)[0], &a);
+  EXPECT_EQ(cache.active_on(0)[1], &c);
+}
+
+TEST(ContractCache, RecurringMapIteratesPriorityThenActivationOrder) {
+  ContractCache cache(1);
+  const auto lo = periodic_component("lo", 0.1, 0, 100.0, 9);
+  const auto hi = periodic_component("hi", 0.1, 0, 100.0, 1);
+  const auto mid1 = periodic_component("mid1", 0.1, 0, 100.0, 5);
+  const auto mid2 = periodic_component("mid2", 0.1, 0, 100.0, 5);
+  cache.on_activate(lo);
+  cache.on_activate(mid2);
+  cache.on_activate(hi);
+  cache.on_activate(mid1);
+  std::vector<const ComponentDescriptor*> order;
+  for (const auto& [key, entry] : cache.recurring_by_priority(0)) {
+    order.push_back(entry.descriptor);
+  }
+  // Highest priority (lowest number) first; ties by activation order.
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], &hi);
+  EXPECT_EQ(order[1], &mid2);
+  EXPECT_EQ(order[2], &mid1);
+  EXPECT_EQ(order[3], &lo);
+}
+
+TEST(ContractCache, TracksCpusBeyondInitialCount) {
+  ContractCache cache(1);
+  const auto far = periodic_component("far", 0.5, 5, 100.0, 3);
+  cache.on_activate(far);
+  EXPECT_EQ(cache.active_count_on(5), 1u);
+  EXPECT_EQ(cache.declared_utilization(5), 0.5);
+  EXPECT_EQ(cache.declared_utilization(3), 0.0);
+}
+
+// ------------------------------------------------ SystemView overlay ----
+
+TEST(SystemViewOverlay, CachedAccessorsMatchScanningFallback) {
+  ContractCache cache(2);
+  const auto a = periodic_component("a", 0.3, 0, 100.0, 1);
+  const auto b = periodic_component("b", 0.25, 1, 100.0, 2);
+  cache.on_activate(a);
+  cache.on_activate(b);
+
+  SystemView cached;
+  cached.active = cache.active();
+  cached.cpu_count = 2;
+  cached.cache = &cache;
+  cached.id = 1;
+
+  SystemView scanned;  // hand-built, seed fallback path
+  scanned.active = cache.active();
+  scanned.cpu_count = 2;
+
+  const auto c = periodic_component("c", 0.2, 0, 250.0, 3);
+  cached.admit_locally(c);
+  scanned.active.push_back(&c);
+
+  for (CpuId cpu = 0; cpu < 2; ++cpu) {
+    EXPECT_EQ(cached.declared_utilization(cpu),
+              scanned.declared_utilization(cpu));
+    EXPECT_EQ(cached.recurring_utilization_on(cpu),
+              scanned.recurring_utilization_on(cpu));
+    EXPECT_EQ(cached.active_count_on(cpu), scanned.active_count_on(cpu));
+    EXPECT_EQ(cached.recurring_count_on(cpu), scanned.recurring_count_on(cpu));
+  }
+  EXPECT_EQ(cached.active.size(), 3u);  // admit_locally also extends `active`
+
+  // Reverse iteration visits the locally admitted candidate first.
+  std::vector<const ComponentDescriptor*> reverse;
+  cached.for_each_active_on_reverse(
+      0, [&](const ComponentDescriptor& d) { reverse.push_back(&d); });
+  ASSERT_EQ(reverse.size(), 2u);
+  EXPECT_EQ(reverse[0], &c);
+  EXPECT_EQ(reverse[1], &a);
+}
+
+// ------------------------------------------- differential property test --
+
+/// Both worlds share one scripted op sequence; `World` owns a full stack.
+struct World {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  Drcr drcr;
+
+  explicit World(bool incremental)
+      : kernel(engine, quiet_config(2)),
+        drcr(framework, kernel, make_config(incremental)) {
+    drcr.factories().register_factory(
+        "incr.X", [] { return std::make_unique<IdleComponent>(); });
+  }
+
+  static DrcrConfig make_config(bool incremental) {
+    DrcrConfig config;
+    config.cpu_budget = 0.9;
+    config.incremental_admission = incremental;
+    return config;
+  }
+};
+
+ComponentDescriptor random_descriptor(std::mt19937_64& rng,
+                                      const std::string& name) {
+  // Bounded parameter pools: two-decimal usages, period ratios within 10x,
+  // so the RTA converges in a handful of iterations in both worlds.
+  static const double kUsages[] = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35};
+  static const double kRates[] = {100.0, 200.0, 250.0, 500.0, 1000.0};
+  ComponentDescriptor d;
+  d.name = name;
+  d.bincode = "incr.X";
+  d.cpu_usage = kUsages[rng() % std::size(kUsages)];
+  d.enabled = rng() % 5 != 0;  // 20% start disabled
+  const CpuId cpu = static_cast<CpuId>(rng() % 2);
+  const int priority = static_cast<int>(rng() % 20) + 1;
+  const auto kind = rng() % 10;
+  if (kind < 7) {
+    d.type = rtos::TaskType::kPeriodic;
+    d.periodic =
+        PeriodicSpec{kRates[rng() % std::size(kRates)], cpu, priority};
+    if (rng() % 5 == 0) {
+      // Sometimes provide a mailbox other components can consume.
+      PortSpec out;
+      out.direction = PortDirection::kOut;
+      out.name = "m" + std::to_string(rng() % 3);
+      out.interface = PortInterface::kMailbox;
+      out.size = 4;
+      d.ports.push_back(out);
+    }
+  } else if (kind < 9) {
+    d.type = rtos::TaskType::kSporadic;
+    PortSpec trigger;
+    trigger.direction = PortDirection::kIn;
+    trigger.name = "m" + std::to_string(rng() % 3);
+    trigger.interface = PortInterface::kMailbox;
+    trigger.size = 4;
+    d.ports.push_back(trigger);
+    d.sporadic = SporadicSpec{microseconds(1'000 + 500 * (rng() % 4)), cpu,
+                              priority, trigger.name};
+  } else {
+    d.type = rtos::TaskType::kAperiodic;
+  }
+  return d;
+}
+
+void expect_identical(World& incremental, World& reference,
+                      const std::vector<std::string>& pool, int step) {
+  ASSERT_EQ(incremental.drcr.component_names(), reference.drcr.component_names())
+      << "step " << step;
+  EXPECT_EQ(incremental.drcr.active_count(), reference.drcr.active_count())
+      << "step " << step;
+  for (const std::string& name : pool) {
+    EXPECT_EQ(incremental.drcr.state_of(name), reference.drcr.state_of(name))
+        << "step " << step << " component " << name;
+    EXPECT_EQ(incremental.drcr.last_reason(name),
+              reference.drcr.last_reason(name))
+        << "step " << step << " component " << name;
+    EXPECT_EQ(incremental.drcr.last_reason_code(name),
+              reference.drcr.last_reason_code(name))
+        << "step " << step << " component " << name;
+  }
+  // Utilization must agree BIT-FOR-BIT: both sides are activation-ordered
+  // left-folds, one cached, one scanned.
+  const SystemView a = incremental.drcr.system_view();
+  const SystemView b = reference.drcr.system_view();
+  for (CpuId cpu = 0; cpu < 2; ++cpu) {
+    EXPECT_EQ(a.declared_utilization(cpu), b.declared_utilization(cpu))
+        << "step " << step << " cpu " << cpu;
+    EXPECT_EQ(a.recurring_utilization_on(cpu), b.recurring_utilization_on(cpu))
+        << "step " << step << " cpu " << cpu;
+    EXPECT_EQ(a.active_count_on(cpu), b.active_count_on(cpu))
+        << "step " << step << " cpu " << cpu;
+  }
+  // And the incremental world's cache must equal a recompute from records.
+  const ContractCache& cache = incremental.drcr.contract_cache();
+  std::size_t active = 0;
+  for (const std::string& name : incremental.drcr.component_names()) {
+    if (incremental.drcr.state_of(name) == ComponentState::kActive) ++active;
+  }
+  EXPECT_EQ(cache.active().size(), active) << "step " << step;
+}
+
+void swap_resolver(World& world, std::uint64_t which) {
+  switch (which % 3) {
+    case 0:
+      world.drcr.set_internal_resolver(
+          std::make_unique<UtilizationBudgetResolver>(0.9));
+      break;
+    case 1:
+      world.drcr.set_internal_resolver(
+          std::make_unique<RateMonotonicResolver>());
+      break;
+    default:
+      world.drcr.set_internal_resolver(
+          std::make_unique<ResponseTimeResolver>());
+      break;
+  }
+}
+
+TEST(IncrementalDifferential, RandomLifecycleScriptsTakeIdenticalDecisions) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed * 0x9e3779b97f4a7c15ULL);
+    World incremental(true);
+    World reference(false);
+    const std::vector<std::string> pool = {"c0", "c1", "c2", "c3", "c4",
+                                           "c5", "c6", "c7", "c8", "c9"};
+    for (int step = 0; step < 120; ++step) {
+      const std::string& name = pool[rng() % pool.size()];
+      const bool known = incremental.drcr.state_of(name).has_value();
+      const auto op = rng() % 12;
+      if (op < 5) {
+        if (!known) {
+          // Both worlds must receive the SAME descriptor; draw it once.
+          const ComponentDescriptor d = random_descriptor(rng, name);
+          const auto r1 = incremental.drcr.register_component(d);
+          const auto r2 = reference.drcr.register_component(d);
+          ASSERT_EQ(r1.ok(), r2.ok()) << "step " << step;
+        }
+      } else if (op < 7) {
+        if (known) {
+          (void)incremental.drcr.unregister_component(name);
+          (void)reference.drcr.unregister_component(name);
+        }
+      } else if (op < 9) {
+        if (known) {
+          (void)incremental.drcr.enable_component(name);
+          (void)reference.drcr.enable_component(name);
+        }
+      } else if (op < 10) {
+        if (known) {
+          (void)incremental.drcr.disable_component(name);
+          (void)reference.drcr.disable_component(name);
+        }
+      } else if (op < 11) {
+        // Budget shrink (and later grow) on both internal resolvers, when
+        // the current internal resolver is the utilization-budget one.
+        static const double kBudgets[] = {0.3, 0.5, 0.7, 0.9};
+        const double budget = kBudgets[rng() % std::size(kBudgets)];
+        auto* b1 = dynamic_cast<UtilizationBudgetResolver*>(
+            &incremental.drcr.internal_resolver());
+        auto* b2 = dynamic_cast<UtilizationBudgetResolver*>(
+            &reference.drcr.internal_resolver());
+        ASSERT_EQ(b1 != nullptr, b2 != nullptr);
+        if (b1 != nullptr && b2 != nullptr) {
+          b1->set_budget(budget);
+          b2->set_budget(budget);
+          incremental.drcr.resolve();
+          reference.drcr.resolve();
+        }
+      } else {
+        const std::uint64_t which = rng();
+        swap_resolver(incremental, which);
+        swap_resolver(reference, which);
+      }
+      expect_identical(incremental, reference, pool, step);
+      if (::testing::Test::HasFatalFailure() ||
+          ::testing::Test::HasNonfatalFailure()) {
+        FAIL() << "divergence at seed " << seed << " step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drt::drcom

@@ -26,9 +26,18 @@ TEST(ResponseTime, ClassicTextbookSet) {
       ResponseTimeResolver::response_time(5, 20, {{3, 7}, {3, 12}}), 20);
 }
 
-TEST(ResponseTime, InfeasibleDiverges) {
-  // 60% + 60% on one CPU: the low task never completes.
-  EXPECT_EQ(ResponseTimeResolver::response_time(6, 10, {{6, 10}}),
+TEST(ResponseTime, InfeasibleReturnsFirstExceedingValue) {
+  // 60% + 60% on one CPU: the low task misses. The iteration crosses the
+  // deadline at R = 6 + ceil(6/10)*6 = 12, and that first exceeding value is
+  // returned so rejection messages can report a concrete response time.
+  EXPECT_EQ(ResponseTimeResolver::response_time(6, 10, {{6, 10}}), 12);
+}
+
+TEST(ResponseTime, DivergentRecurrenceHitsIterationCap) {
+  // U > 1 with a huge deadline: the iterate grows by 1 per step and never
+  // crosses D within the 1000-iteration cap, so the analysis reports
+  // kSimTimeNever ("diverges") rather than a concrete value.
+  EXPECT_EQ(ResponseTimeResolver::response_time(1, 1'000'000, {{1, 1}}),
             kSimTimeNever);
 }
 
@@ -80,6 +89,34 @@ TEST(RtaResolver, RejectsWhenExistingTaskWouldBreak) {
   auto result = rta.admit(candidate, view_of({&existing}));
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error().message.find("'old'"), std::string::npos);
+}
+
+TEST(RtaResolver, RejectionReportsFirstExceedingResponse) {
+  // Same set as above: 'old' iterates 600000 -> 600000 + 2*225000 = 1050000,
+  // which crosses D = 1000000. The message must cite that concrete value.
+  ResponseTimeResolver rta(0);
+  const auto existing = periodic_component("old", 0.6, 1000.0, 5);
+  const auto candidate = periodic_component("new", 0.45, 2000.0, 1);
+  auto result = rta.admit(candidate, view_of({&existing}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message,
+            "RTA: task 'old' would miss its deadline on cpu 0 "
+            "(R=1050000 > D=1000000) if 'new' were admitted");
+}
+
+TEST(RtaResolver, RejectionReportsDivergesOnlyAtIterationCap) {
+  // A saturating interferer (U = 1.0, C = T = 1000ns) plus a candidate with a
+  // deadline far beyond what 1000 iterations can reach: the recurrence never
+  // crosses D before the cap, so the message says "diverges".
+  ResponseTimeResolver rta(0);
+  const auto hog = periodic_component("hog", 1.0, 1'000'000.0, 1);
+  const auto candidate =
+      periodic_component("div", 0.001, 1000.0, 7, microseconds(100'000));
+  auto result = rta.admit(candidate, view_of({&hog}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message,
+            "RTA: task 'div' would miss its deadline on cpu 0 "
+            "(R diverges > D=100000000) if 'div' were admitted");
 }
 
 TEST(RtaResolver, ConstrainedDeadlineTightensTheTest) {
