@@ -1,0 +1,243 @@
+// Parallel engine throughput: events/sec of the sequential reference backend
+// vs the conservative-parallel backend at 1/2/4/8 shards, on a saturated
+// workload — one RtKernel per shard (stress-mode Linux load arrival curves,
+// high-frequency periodic tasks) with steady cross-shard remote_send traffic,
+// so the lookahead windows, hand-off rings and pooled message path are all on
+// the measured path. Virtual-time outputs are byte-identical across backends
+// (tests/test_engine_parallel.cpp pins that); this bench measures the
+// host-time cost of getting them.
+//
+// Flags:
+//   --json <path>   machine-readable report (bench_common.hpp format)
+//   --check         gate: parallel@4 must reach >= 2x sequential@4 events/sec.
+//                   The gate only arms when hardware_concurrency() >= 4; on
+//                   smaller hosts it reports "skipped" and exits 0 (a 1-CPU
+//                   container cannot show a parallel speedup, only overhead).
+//   --horizon-ms N  virtual time simulated per trial (default 300).
+//   --trials N      trials per row (default 3).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "rtos/engine_backend.hpp"
+#include "rtos/sim_engine.hpp"
+
+namespace drt::bench {
+namespace {
+
+using rtos::EngineConfig;
+using rtos::EngineKind;
+using rtos::Mailbox;
+using rtos::RtKernel;
+using rtos::ShardId;
+using rtos::SimEngine;
+
+/// One CPU-group: a kernel bound to one engine shard, with a receive mailbox
+/// and a handle to drive per-shard scheduling.
+struct ShardNode {
+  std::unique_ptr<SimEngine> handle;  ///< null for shard 0 (the owner)
+  std::unique_ptr<RtKernel> kernel;
+  Mailbox* inbox = nullptr;
+};
+
+rtos::KernelConfig shard_kernel_config(std::uint64_t seed) {
+  rtos::KernelConfig config;
+  config.cpus = 1;
+  config.seed = seed;
+  config.load = rtos::stress_load();  // §4.4 arrival curves: CPU ~100% busy
+  return config;
+}
+
+/// Builds the whole world and runs `horizon` ns of virtual time; returns
+/// events fired per wall-clock second. Each shard runs a 10 kHz spin task, a
+/// 2 kHz producer that remote_sends to the next shard's inbox, and a 2 kHz
+/// drain task emptying its own inbox — identical work per shard on every
+/// backend and shard count.
+double events_per_second(EngineKind kind, std::size_t shards,
+                         SimDuration horizon) {
+  SimEngine engine(EngineConfig{.kind = kind, .shards = shards});
+  std::vector<ShardNode> nodes(shards);
+  for (ShardId s = 0; s < shards; ++s) {
+    SimEngine* shard_engine = &engine;
+    if (s != 0) {
+      nodes[s].handle = engine.shard_handle(s);
+      shard_engine = nodes[s].handle.get();
+    }
+    nodes[s].kernel = std::make_unique<RtKernel>(
+        *shard_engine, shard_kernel_config(42 + s));
+    nodes[s].inbox = nodes[s].kernel->mailbox_create("inbox", 64)
+                         .value_or(nullptr);
+  }
+
+  for (ShardId s = 0; s < shards; ++s) {
+    RtKernel& kernel = *nodes[s].kernel;
+    const ShardId peer = static_cast<ShardId>((s + 1) % shards);
+    Mailbox* peer_inbox = nodes[peer].inbox;
+    Mailbox* own_inbox = nodes[s].inbox;
+
+    rtos::TaskParams spin;
+    spin.name = "spin";
+    spin.type = rtos::TaskType::kPeriodic;
+    spin.period = microseconds(100);  // 10 kHz: the event firehose
+    spin.priority = 2;
+    spin.cpu = 0;
+    const TaskId spin_id =
+        kernel
+            .create_task(spin,
+                         [](rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                           while (!ctx.stop_requested()) {
+                             co_await ctx.consume(microseconds(20));
+                             co_await ctx.wait_next_period();
+                           }
+                         })
+            .value_or(0);
+
+    rtos::TaskParams producer;
+    producer.name = "prod";
+    producer.type = rtos::TaskType::kPeriodic;
+    producer.period = microseconds(500);  // 2 kHz cross-shard traffic
+    producer.priority = 3;
+    producer.cpu = 0;
+    const TaskId producer_id =
+        kernel
+            .create_task(producer,
+                         [&kernel, peer, peer_inbox](
+                             rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                           std::uint64_t sequence = 0;
+                           while (!ctx.stop_requested()) {
+                             co_await ctx.consume(microseconds(5));
+                             ++sequence;
+                             kernel.remote_send(
+                                 peer, *peer_inbox,
+                                 rtos::Message(&sequence, sizeof(sequence)));
+                             co_await ctx.wait_next_period();
+                           }
+                         })
+            .value_or(0);
+
+    rtos::TaskParams drain;
+    drain.name = "drain";
+    drain.type = rtos::TaskType::kPeriodic;
+    drain.period = microseconds(500);
+    drain.priority = 4;
+    drain.cpu = 0;
+    const TaskId drain_id =
+        kernel
+            .create_task(drain,
+                         [&kernel, own_inbox](
+                             rtos::TaskContext& ctx) -> rtos::TaskCoro {
+                           while (!ctx.stop_requested()) {
+                             co_await ctx.consume(microseconds(2));
+                             while (kernel.mailbox_try_receive(*own_inbox)) {
+                             }
+                             co_await ctx.wait_next_period();
+                           }
+                         })
+            .value_or(0);
+
+    (void)kernel.start_task(spin_id);
+    (void)kernel.start_task(producer_id);
+    (void)kernel.start_task(drain_id);
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  const std::size_t fired = engine.run_until(horizon);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return seconds > 0.0 ? static_cast<double>(fired) / seconds : 0.0;
+}
+
+struct Options {
+  SimDuration horizon = milliseconds(300);
+  std::size_t trials = 3;
+  bool check = false;
+};
+
+}  // namespace
+}  // namespace drt::bench
+
+int main(int argc, char** argv) {
+  using namespace drt;
+  using namespace drt::bench;
+
+  parse_bench_args(argc, argv);
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) {
+      options.check = true;
+    } else if (std::strcmp(argv[i], "--horizon-ms") == 0 && i + 1 < argc) {
+      options.horizon = milliseconds(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--trials") == 0 && i + 1 < argc) {
+      options.trials = static_cast<std::size_t>(std::atol(argv[++i]));
+    }
+  }
+
+  const unsigned hardware = std::thread::hardware_concurrency();
+  std::printf("parallel engine throughput (horizon %lld ms, %zu trials, "
+              "hardware_concurrency %u)\n",
+              static_cast<long long>(options.horizon / 1'000'000),
+              options.trials, hardware);
+
+  const std::size_t shard_counts[] = {1, 2, 4, 8};
+  double sequential_at_4 = 0.0;
+  double parallel_at_4 = 0.0;
+
+  print_table_header("events per second",
+                     "per-shard kernels under stress load, 10 kHz spin + "
+                     "2 kHz cross-shard remote_send");
+  for (const auto kind : {EngineKind::kSequential, EngineKind::kParallel}) {
+    for (const std::size_t shards : shard_counts) {
+      std::vector<double> samples;
+      for (std::size_t trial = 0; trial < options.trials; ++trial) {
+        samples.push_back(events_per_second(kind, shards, options.horizon));
+      }
+      const StatSummary summary = summarize(samples);
+      const std::string label =
+          std::string(rtos::to_string(kind)) + "@" + std::to_string(shards);
+      print_table_row(label, summary);
+      if (shards == 4) {
+        (kind == EngineKind::kSequential ? sequential_at_4 : parallel_at_4) =
+            summary.average;
+      }
+    }
+  }
+
+  print_table_header("speedup vs sequential",
+                     "parallel average / sequential average, same shard count");
+  {
+    std::vector<double> speedup_4 = {
+        sequential_at_4 > 0.0 ? parallel_at_4 / sequential_at_4 : 0.0};
+    print_table_row("parallel@4 / sequential@4", summarize(speedup_4));
+  }
+  // Recorded so BENCH_parallel.json documents the host the numbers came from
+  // (a 1-CPU container can only show parallel overhead, never speedup).
+  {
+    std::vector<double> hw = {static_cast<double>(hardware)};
+    print_table_row("hardware_concurrency", summarize(hw));
+  }
+
+  if (options.check) {
+    if (hardware < 4) {
+      std::printf("\ncheck: SKIPPED (hardware_concurrency %u < 4; the >=2x "
+                  "gate needs real parallelism)\n",
+                  hardware);
+      return 0;
+    }
+    const double speedup =
+        sequential_at_4 > 0.0 ? parallel_at_4 / sequential_at_4 : 0.0;
+    if (speedup < 2.0) {
+      std::printf("\ncheck: FAILED (parallel@4 is %.2fx sequential@4, "
+                  "gate is 2.0x)\n",
+                  speedup);
+      return 1;
+    }
+    std::printf("\ncheck: OK (parallel@4 is %.2fx sequential@4)\n", speedup);
+  }
+  return 0;
+}

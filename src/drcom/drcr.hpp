@@ -111,6 +111,17 @@ struct DrcrConfig {
   /// seed behaviour, kept as an in-binary reference; decisions are identical
   /// either way.
   bool incremental_admission = true;
+  /// Simulation engine backend (rtos::EngineKind::kSequential |
+  /// kParallel). When this differs from the kernel's current backend the
+  /// constructor migrates the engine via SimEngine::select_backend() —
+  /// pending kernel events move wholesale, and the lookahead is derived from
+  /// LatencyModel::min_cross_group_latency(). Virtual-time outputs are
+  /// byte-identical either way; parallel moves execution onto engine worker
+  /// threads (docs/PARALLEL_ENGINE.md).
+  rtos::EngineKind engine = rtos::EngineKind::kSequential;
+  /// Shard count when `engine` is kParallel (>= 1; the DRCR stack itself
+  /// lives on shard 0, peers exchange cross-shard traffic via remote_send).
+  std::size_t engine_shards = 2;
 };
 
 class Drcr {
@@ -189,14 +200,6 @@ class Drcr {
   /// Drops the retained window; event_ring().total_pushed() keeps counting.
   void clear_recent_events() { events_.clear(); }
 
-  [[deprecated("the unbounded event log was replaced by a bounded ring; use "
-               "recent_events() (note: returns by value) or add_listener()")]]
-  [[nodiscard]] std::vector<DrcrEvent> events() const {
-    return events_.snapshot();
-  }
-  [[deprecated("use clear_recent_events()")]] void clear_events() {
-    events_.clear();
-  }
   void add_listener(DrcrListener listener) {
     listeners_.push_back(std::move(listener));
   }

@@ -1,0 +1,545 @@
+#include "rtos/engine_backend.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace drt::rtos {
+
+namespace {
+
+/// Min-heap comparator for ShardCore::messages (std::*_heap are max-heaps,
+/// so "later" sorts toward the back).
+struct MsgLater {
+  bool operator()(const PendingMessage& a, const PendingMessage& b) const {
+    if (a.when != b.when) return a.when > b.when;
+    return a.key > b.key;
+  }
+};
+
+/// Shard whose worker thread is currently executing on this thread; used
+/// only for debug assertions (cross-context scheduling is a caller bug).
+constexpr ShardId kNoShard = 0xffff'ffffu;
+thread_local ShardId t_worker_shard = kNoShard;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+EventId EventQueue::push(ShardId shard, SimTime when, std::uint64_t key,
+                         EventFn fn) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Record& rec = slab_[slot];
+  rec.when = when;
+  rec.key = key;
+  rec.callback = std::move(fn);
+  rec.heap_pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(slot);
+  sift_up(heap_.size() - 1);
+  return encode_id(shard, rec.generation, slot);
+}
+
+void EventQueue::cancel(EventId id) {
+  const std::uint64_t low = id & kSlotMask;
+  if (low == 0 || low > slab_.size()) return;
+  const auto slot = static_cast<std::uint32_t>(low - 1);
+  Record& rec = slab_[slot];
+  // Stale ids (already fired or cancelled) carry an old generation: no-op,
+  // so callers need not track whether their event raced with execution.
+  if ((rec.generation & kGenerationMask) !=
+      static_cast<std::uint32_t>((id >> kSlotBits) & kGenerationMask)) {
+    return;
+  }
+  heap_erase(rec.heap_pos);
+  release_slot(slot);
+}
+
+EventFn EventQueue::pop() {
+  const std::uint32_t slot = heap_[0];
+  EventFn fn = std::move(slab_[slot].callback);
+  heap_erase(0);
+  // Free the slot before the caller invokes: the callback may schedule new
+  // events (reusing the slot under a fresh generation) or cancel its own
+  // stale id.
+  release_slot(slot);
+  return fn;
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(slot, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::uint32_t slot = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = pos * 4 + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t child = first + 1; child < last; ++child) {
+      if (earlier(heap_[child], heap_[best])) best = child;
+    }
+    if (!earlier(heap_[best], slot)) break;
+    heap_[pos] = heap_[best];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = slot;
+  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void EventQueue::heap_fix(std::size_t pos) {
+  if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
+    sift_up(pos);
+  } else {
+    sift_down(pos);
+  }
+}
+
+void EventQueue::heap_erase(std::size_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
+    heap_.pop_back();
+    heap_fix(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void EventQueue::release_slot(std::uint32_t slot) {
+  Record& rec = slab_[slot];
+  rec.callback.reset();
+  rec.heap_pos = kNoPos;
+  ++rec.generation;  // invalidates every id issued for this slot so far
+  free_slots_.push_back(slot);
+}
+
+// ---------------------------------------------------------------------------
+// ShardCore
+// ---------------------------------------------------------------------------
+
+bool ShardCore::peek(SimTime& when, std::uint64_t& key) const {
+  SimTime ew = 0;
+  std::uint64_t ek = 0;
+  const bool has_event = queue.peek(ew, ek);
+  if (!messages.empty()) {
+    const PendingMessage& m = messages.front();
+    if (!has_event || m.when < ew || (m.when == ew && m.key < ek)) {
+      when = m.when;
+      key = m.key;
+      return true;
+    }
+  }
+  if (!has_event) return false;
+  when = ew;
+  key = ek;
+  return true;
+}
+
+void ShardCore::msg_push(PendingMessage item) {
+  messages.push_back(std::move(item));
+  std::push_heap(messages.begin(), messages.end(), MsgLater{});
+}
+
+void ShardCore::fire_min() {
+  SimTime ew = 0;
+  std::uint64_t ek = 0;
+  const bool has_event = queue.peek(ew, ek);
+  bool use_message = false;
+  if (!messages.empty()) {
+    const PendingMessage& m = messages.front();
+    use_message = !has_event || m.when < ew || (m.when == ew && m.key < ek);
+  }
+  if (use_message) {
+    std::pop_heap(messages.begin(), messages.end(), MsgLater{});
+    PendingMessage m = std::move(messages.back());
+    messages.pop_back();
+    now = m.when;
+    assert(sink.deliver != nullptr &&
+           "cross-shard message arrived on a shard with no MessageSink");
+    sink.deliver(sink.ctx, m.target, std::move(m.message));
+  } else {
+    now = ew;
+    EventFn fn = queue.pop();
+    fn();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EngineBackend
+// ---------------------------------------------------------------------------
+
+EngineBackend::EngineBackend(const EngineConfig& config) {
+  std::size_t shards = config.shards;
+  if (shards < 1) shards = 1;
+  if (shards > kMaxShards) shards = kMaxShards;
+  cores_.resize(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    cores_[s].shard = static_cast<ShardId>(s);
+  }
+  lookahead_ = config.lookahead > 0 ? config.lookahead : kDefaultLookahead;
+}
+
+std::size_t EngineBackend::pending_events_total() const {
+  std::size_t total = 0;
+  for (const ShardCore& core : cores_) total += core.pending();
+  return total;
+}
+
+EventId EngineBackend::schedule_direct(ShardId ctx, ShardId target,
+                                       SimTime when, EventFn fn) {
+  ShardCore& src = cores_[ctx];
+  if (ctx == target) {
+    // Past times are clamped: the event fires at now(), after events already
+    // due at now() (its key is newer). See the SimEngine header contract.
+    if (when < src.now) when = src.now;
+    return src.queue.push(ctx, when, src.make_key(), std::move(fn));
+  }
+  cores_[target].queue.push(target, clamp_cross(ctx, when), src.make_key(),
+                            std::move(fn));
+  return kInvalidEvent;  // cross-shard posts are not cancellable
+}
+
+void EngineBackend::finish_clocks(SimTime to) {
+  for (ShardCore& core : cores_) {
+    if (core.now < to) core.now = to;
+  }
+}
+
+SimTime EngineBackend::max_now() const {
+  SimTime best = 0;
+  for (const ShardCore& core : cores_) best = std::max(best, core.now);
+  return best;
+}
+
+void EngineBackend::adopt_cores(std::vector<ShardCore> cores) {
+  assert(cores.size() <= cores_.size() &&
+         "backend migration must not drop shards");
+  for (std::size_t s = 0; s < cores.size() && s < cores_.size(); ++s) {
+    cores_[s] = std::move(cores[s]);
+    cores_[s].shard = static_cast<ShardId>(s);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SequentialBackend
+// ---------------------------------------------------------------------------
+
+bool SequentialBackend::fire_next(SimTime deadline) {
+  ShardCore* best = nullptr;
+  SimTime best_when = 0;
+  std::uint64_t best_key = 0;
+  for (ShardCore& core : cores_) {
+    SimTime when = 0;
+    std::uint64_t key = 0;
+    if (!core.peek(when, key)) continue;
+    if (best == nullptr || when < best_when ||
+        (when == best_when && key < best_key)) {
+      best = &core;
+      best_when = when;
+      best_key = key;
+    }
+  }
+  if (best == nullptr || best_when > deadline) return false;
+  best->fire_min();
+  return true;
+}
+
+void SequentialBackend::post_message(ShardId ctx, ShardId target, SimTime when,
+                                     void* sink_target, Message message) {
+  ShardCore& src = cores_[ctx];
+  PendingMessage pm;
+  pm.when = ctx == target ? std::max(when, src.now) : clamp_cross(ctx, when);
+  pm.key = src.make_key();
+  pm.target = sink_target;
+  pm.message = std::move(message);
+  cores_[target].msg_push(std::move(pm));
+}
+
+void SequentialBackend::cancel(ShardId /*ctx*/, EventId id) {
+  const ShardId shard = EventQueue::shard_of(id);
+  if (shard >= cores_.size()) return;
+  cores_[shard].queue.cancel(id);
+}
+
+std::size_t SequentialBackend::run_until(SimTime deadline) {
+  std::size_t fired = 0;
+  while (fire_next(deadline)) ++fired;
+  finish_clocks(deadline);
+  return fired;
+}
+
+std::size_t SequentialBackend::run_to_completion(std::size_t max_events) {
+  std::size_t fired = 0;
+  while (fired < max_events && fire_next(kSimTimeNever)) ++fired;
+  // All shard clocks end at the global last fired time — the same rule the
+  // parallel backend applies, so final now() values match byte-for-byte.
+  finish_clocks(max_now());
+  return fired;
+}
+
+// ---------------------------------------------------------------------------
+// ParallelBackend
+// ---------------------------------------------------------------------------
+
+ParallelBackend::Ring::Ring(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  capacity = std::bit_ceil(capacity);
+  slots.resize(capacity);
+  mask = capacity - 1;
+}
+
+void ParallelBackend::Ring::push(CrossItem item) {
+  const std::size_t t = tail.load(std::memory_order_relaxed);
+  if (t - head.load(std::memory_order_acquire) >= slots.size()) {
+    // Ring full: spill to the guarded side list. Order across ring/overflow
+    // is irrelevant — destination heap insertion by (when, key) decides
+    // execution order.
+    const std::lock_guard<std::mutex> lock(overflow_mutex);
+    overflow.push_back(std::move(item));
+    return;
+  }
+  slots[t & mask] = std::move(item);
+  tail.store(t + 1, std::memory_order_release);
+}
+
+bool ParallelBackend::Ring::pop(CrossItem& out) {
+  const std::size_t h = head.load(std::memory_order_relaxed);
+  if (h != tail.load(std::memory_order_acquire)) {
+    out = std::move(slots[h & mask]);
+    head.store(h + 1, std::memory_order_release);
+    return true;
+  }
+  const std::lock_guard<std::mutex> lock(overflow_mutex);
+  if (overflow_taken >= overflow.size()) {
+    overflow.clear();
+    overflow_taken = 0;
+    return false;
+  }
+  out = std::move(overflow[overflow_taken++]);
+  return true;
+}
+
+bool ParallelBackend::Ring::looks_empty() const {
+  return head.load(std::memory_order_relaxed) ==
+         tail.load(std::memory_order_relaxed);
+}
+
+ParallelBackend::ParallelBackend(const EngineConfig& config)
+    : EngineBackend(config),
+      start_(static_cast<std::ptrdiff_t>(shards() + 1)),
+      mid_(static_cast<std::ptrdiff_t>(shards() + 1)),
+      done_(static_cast<std::ptrdiff_t>(shards() + 1)),
+      fired_(shards(), 0),
+      errors_(shards()) {
+  const std::size_t n = shards();
+  rings_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    rings_.push_back(std::make_unique<Ring>(config.ring_capacity));
+  }
+  workers_.reserve(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    workers_.emplace_back(
+        [this, s] { worker_main(static_cast<ShardId>(s)); });
+  }
+}
+
+ParallelBackend::~ParallelBackend() {
+  stop_ = true;
+  start_.arrive_and_wait();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ParallelBackend::worker_main(ShardId shard) {
+  t_worker_shard = shard;
+  for (;;) {
+    start_.arrive_and_wait();  // window parameters published by orchestrator
+    if (stop_) return;
+    try {
+      run_window(shard);
+    } catch (...) {
+      errors_[shard] = std::current_exception();
+    }
+    mid_.arrive_and_wait();  // every producer finished pushing this window
+    try {
+      drain_rings(shard);
+    } catch (...) {
+      if (!errors_[shard]) errors_[shard] = std::current_exception();
+    }
+    done_.arrive_and_wait();  // minima & counts visible to the orchestrator
+  }
+}
+
+void ParallelBackend::run_window(ShardId shard) {
+  ShardCore& core = cores_[shard];
+  core.cross_sent = false;
+  const bool extended = extended_ && extended_shard_ == shard;
+  std::size_t fired = 0;
+  SimTime when = 0;
+  std::uint64_t key = 0;
+  while (fired < window_budget_ && core.peek(when, key) &&
+         when <= window_cap_) {
+    core.fire_min();
+    ++fired;
+    // An extended (single-active-shard) window must close the moment the
+    // shard talks to a peer: the peer's reply lands at >= send_now +
+    // lookahead, which may be behind this shard's clock if it kept running.
+    if (extended && core.cross_sent) break;
+  }
+  fired_[shard] = fired;
+}
+
+void ParallelBackend::drain_rings(ShardId shard) {
+  ShardCore& core = cores_[shard];
+  const std::size_t n = cores_.size();
+  CrossItem item;
+  for (std::size_t src = 0; src < n; ++src) {
+    if (src == shard) continue;
+    Ring& r = ring(shard, static_cast<ShardId>(src));
+    while (r.pop(item)) {
+      if (item.is_message) {
+        core.msg_push(
+            {item.when, item.key, item.target, std::move(item.message)});
+      } else {
+        core.queue.push(shard, item.when, item.key, std::move(item.fn));
+      }
+    }
+  }
+}
+
+EventId ParallelBackend::schedule(ShardId ctx, ShardId target, SimTime when,
+                                  EventFn fn) {
+  if (!running_) return schedule_direct(ctx, target, when, std::move(fn));
+  assert(t_worker_shard == ctx &&
+         "schedule() during a run must come from the ctx shard's worker");
+  ShardCore& src = cores_[ctx];
+  if (ctx == target) {
+    if (when < src.now) when = src.now;
+    return src.queue.push(ctx, when, src.make_key(), std::move(fn));
+  }
+  CrossItem item;
+  item.when = clamp_cross(ctx, when);
+  item.key = src.make_key();
+  item.fn = std::move(fn);
+  ring(target, ctx).push(std::move(item));
+  src.cross_sent = true;
+  return kInvalidEvent;
+}
+
+void ParallelBackend::post_message(ShardId ctx, ShardId target, SimTime when,
+                                   void* sink_target, Message message) {
+  ShardCore& src = cores_[ctx];
+  if (!running_) {
+    PendingMessage pm;
+    pm.when = ctx == target ? std::max(when, src.now) : clamp_cross(ctx, when);
+    pm.key = src.make_key();
+    pm.target = sink_target;
+    pm.message = std::move(message);
+    cores_[target].msg_push(std::move(pm));
+    return;
+  }
+  assert(t_worker_shard == ctx &&
+         "post_message() during a run must come from the ctx shard's worker");
+  if (ctx == target) {
+    PendingMessage pm;
+    pm.when = std::max(when, src.now);
+    pm.key = src.make_key();
+    pm.target = sink_target;
+    pm.message = std::move(message);
+    src.msg_push(std::move(pm));
+    return;
+  }
+  CrossItem item;
+  item.when = clamp_cross(ctx, when);
+  item.key = src.make_key();
+  item.is_message = true;
+  item.target = sink_target;
+  item.message = std::move(message);
+  ring(target, ctx).push(std::move(item));
+  src.cross_sent = true;
+}
+
+void ParallelBackend::cancel(ShardId ctx, EventId id) {
+  const ShardId shard = EventQueue::shard_of(id);
+  if (shard >= cores_.size()) return;
+  // Cross-shard posts never return a cancellable id, so a valid id always
+  // names an event stored on its issuing shard; during a run only that
+  // shard's own worker may touch the heap.
+  assert((!running_ || t_worker_shard == ctx) &&
+         "cancel() during a run must come from the ctx shard's worker");
+  assert((!running_ || shard == ctx) &&
+         "cancel() during a run is only legal for own-shard events");
+  (void)ctx;
+  cores_[shard].queue.cancel(id);
+}
+
+std::size_t ParallelBackend::run_windows(SimTime deadline,
+                                         std::size_t max_events) {
+  assert(t_worker_shard == kNoShard &&
+         "run() must not be re-entered from an event callback");
+  std::size_t total = 0;
+  const std::size_t n = cores_.size();
+  for (;;) {
+    SimTime t_min = kSimTimeNever;
+    std::size_t active = 0;
+    ShardId lone = 0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const SimTime t = cores_[s].next_time();
+      if (t < t_min) t_min = t;
+      if (t <= deadline && t != kSimTimeNever) {
+        ++active;
+        lone = static_cast<ShardId>(s);
+      }
+    }
+    if (active == 0 || t_min > deadline ||
+        (max_events != kNoBudget && total >= max_events)) {
+      break;
+    }
+    extended_ = active == 1;
+    extended_shard_ = lone;
+    // Cross-shard sends from this window land at >= t_min + lookahead, so
+    // everything strictly below that horizon is causally safe. An extended
+    // window has no peers to be safe from — it runs to the deadline (and
+    // run_window() closes it early on the first cross-shard send).
+    window_cap_ =
+        extended_ ? deadline : std::min(deadline, sat_add(t_min, lookahead_ - 1));
+    window_budget_ = max_events == kNoBudget ? kNoBudget : max_events - total;
+    running_ = true;
+    start_.arrive_and_wait();
+    mid_.arrive_and_wait();
+    done_.arrive_and_wait();
+    running_ = false;
+    for (std::size_t s = 0; s < n; ++s) total += fired_[s];
+    for (std::size_t s = 0; s < n; ++s) {
+      if (errors_[s]) {
+        const std::exception_ptr error = errors_[s];
+        for (std::size_t i = 0; i < n; ++i) errors_[i] = nullptr;
+        std::rethrow_exception(error);
+      }
+    }
+  }
+  finish_clocks(deadline == kSimTimeNever ? max_now() : deadline);
+  return total;
+}
+
+}  // namespace drt::rtos

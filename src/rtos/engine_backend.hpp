@@ -1,0 +1,519 @@
+// Engine backends: the discrete-event core behind SimEngine.
+//
+// The virtual-time engine is split into three layers:
+//
+//   * `EventQueue` — the indexed 4-ary min-heap of PR 1 (slab records, true
+//     O(log n) cancel, generation-checked ids), now keyed by a composite
+//     64-bit `key` instead of a raw insertion counter (see "Ordering").
+//   * `EngineBackend` — the execution strategy. Two in-binary
+//     implementations: `SequentialBackend` (the reference: one thread,
+//     global (time, key) order across every shard) and `ParallelBackend`
+//     (conservative parallel discrete-event simulation: one worker thread
+//     per shard, barrier-synchronized lookahead windows, bounded SPSC
+//     hand-off rings per shard pair).
+//   * `SimEngine` (sim_engine.hpp) — the stable facade every subsystem
+//     already programs against, now bindable to one shard of a backend.
+//
+// Ordering — the (time, seq, shard) total order
+// ---------------------------------------------
+// Every event carries a composite key `(seq << kShardIdBits) | shard` where
+// `seq` is a per-shard monotone counter of the shard that *scheduled* the
+// event and `shard` is that scheduling shard's id. Events fire in
+// (when, key) order, i.e. ties on `when` break by (seq, shard). This order
+// is total (keys are globally unique — the shard id is embedded) and, unlike
+// the old global insertion counter, it is *independent of wall-clock
+// interleaving*: each shard's counter advances only with that shard's own
+// deterministic execution, so the sequential and parallel backends assign
+// identical keys and fire identical per-shard event sequences. With a single
+// shard the composite reduces to the historical insertion order, which keeps
+// every seed output byte-identical.
+//
+// Conservative synchronization (parallel backend)
+// -----------------------------------------------
+// Cross-shard communication has a minimum latency: `lookahead` (derived from
+// LatencyModel::min_cross_group_latency()). A window starts at the global
+// minimum next-event time T; every worker may safely execute its local
+// events with `when < T + lookahead` because anything a peer sends this
+// window is clamped to arrive at `>= peer_now + lookahead >= T + lookahead`.
+// Workers meet at a barrier, drain their incoming rings, report new local
+// minima, and the orchestrator opens the next window. When only one shard
+// has pending work its window extends to the run deadline (there is nobody
+// to violate causality with) until the moment it performs a cross-shard
+// send, at which point the window closes and normal lookahead synchrony
+// resumes. Outputs are byte-identical to the sequential backend by
+// construction; the differential tests in tests/test_engine_parallel.cpp and
+// the fuzzer's --engine=parallel mode pin that contract.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "rtos/ipc.hpp"
+#include "util/result.hpp"
+#include "util/types.hpp"
+
+namespace drt::rtos {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Shard (CPU-group / node) index within an engine backend.
+using ShardId = std::uint32_t;
+
+/// Bits of the composite event key reserved for the scheduling shard's id.
+inline constexpr unsigned kShardIdBits = 6;
+inline constexpr std::size_t kMaxShards = std::size_t{1} << kShardIdBits;
+
+/// Move-only callable with inline storage for small captures; larger
+/// callables transparently fall back to a single heap allocation. The
+/// kernel's event callbacks all fit inline.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function.
+  EventFn(F&& fn) {
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      vtable_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
+      vtable_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { vtable_->invoke(storage_); }
+  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
+
+  void reset() noexcept {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to) noexcept;  ///< move, destroy src
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable = {
+      [](void* s) { (*static_cast<Fn*>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
+        static_cast<Fn*>(from)->~Fn();
+      },
+      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable = {
+      [](void* s) { (**static_cast<Fn**>(s))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn*(*static_cast<Fn**>(from));
+      },
+      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(other.storage_, storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  const VTable* vtable_ = nullptr;
+};
+
+enum class EngineKind { kSequential, kParallel };
+
+[[nodiscard]] constexpr const char* to_string(EngineKind kind) {
+  return kind == EngineKind::kSequential ? "sequential" : "parallel";
+}
+
+/// Default conservative lookahead when the caller derives none (mirrors
+/// LatencyModelConfig::cross_group_min_latency_ns).
+inline constexpr SimDuration kDefaultLookahead = 250'000;
+
+struct EngineConfig {
+  EngineKind kind = EngineKind::kSequential;
+  /// Event shards (CPU groups / nodes). The parallel backend runs one worker
+  /// thread per shard; the sequential backend interleaves them in global
+  /// (when, key) order on the calling thread.
+  std::size_t shards = 1;
+  /// Conservative synchronization horizon (ns of virtual time). Cross-shard
+  /// sends are clamped to arrive at least this far in the sender's future.
+  /// <= 0 selects kDefaultLookahead.
+  SimDuration lookahead = 0;
+  /// Capacity (entries) of each SPSC cross-shard hand-off ring; rounded up
+  /// to a power of two. Overflow spills to a mutex-guarded side list, so the
+  /// bound is a fast-path size, not a correctness limit.
+  std::size_t ring_capacity = 256;
+};
+
+/// Per-shard delivery hook for cross-shard *message* sends (the pooled
+/// zero-copy path). The kernel owning a shard registers itself here; the
+/// engine then hands ring-delivered Messages to `deliver(ctx, target, msg)`
+/// on the shard's own execution context — for the kernel that means
+/// `mailbox_send(*static_cast<Mailbox*>(target), ...)`.
+struct MessageSink {
+  void (*deliver)(void* ctx, void* target, Message message) = nullptr;
+  void* ctx = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// EventQueue: one shard's indexed 4-ary heap (slab records + generation ids)
+// ---------------------------------------------------------------------------
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+  EventQueue(EventQueue&&) = default;
+  EventQueue& operator=(EventQueue&&) = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Inserts an event with an externally composed ordering key. Returns an
+  /// id encoding (shard, generation, slot) — see encode_id().
+  EventId push(ShardId shard, SimTime when, std::uint64_t key, EventFn fn);
+
+  /// O(log n) true removal; stale or foreign ids are a harmless no-op.
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// (when, key) of the earliest event; false when empty.
+  [[nodiscard]] bool peek(SimTime& when, std::uint64_t& key) const {
+    if (heap_.empty()) return false;
+    const Record& rec = slab_[heap_[0]];
+    when = rec.when;
+    key = rec.key;
+    return true;
+  }
+
+  /// Removes and returns the earliest event's callback. The slot is released
+  /// before the callback is returned, so invoking it may freely schedule new
+  /// events (reusing the slot under a fresh generation).
+  EventFn pop();
+
+  // EventId layout: [shard:6][generation:29][slot+1:29]. kInvalidEvent (0)
+  // never collides because slot+1 is non-zero.
+  static constexpr unsigned kSlotBits = 29;
+  static constexpr unsigned kGenerationBits = 29;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+  static constexpr std::uint64_t kGenerationMask =
+      (1ull << kGenerationBits) - 1;
+
+  [[nodiscard]] static EventId encode_id(ShardId shard,
+                                         std::uint32_t generation,
+                                         std::uint32_t slot) {
+    return (static_cast<EventId>(shard) << (kSlotBits + kGenerationBits)) |
+           (static_cast<EventId>(generation & kGenerationMask) << kSlotBits) |
+           (static_cast<EventId>(slot) + 1);
+  }
+  [[nodiscard]] static ShardId shard_of(EventId id) {
+    return static_cast<ShardId>(id >> (kSlotBits + kGenerationBits));
+  }
+
+ private:
+  struct Record {
+    SimTime when = 0;
+    std::uint64_t key = 0;  ///< composite (seq << kShardIdBits) | src shard
+    EventFn callback;
+    std::uint32_t heap_pos = kNoPos;
+    std::uint32_t generation = 0;
+  };
+  static constexpr std::uint32_t kNoPos = 0xffff'ffffu;
+
+  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const {
+    const Record& ra = slab_[a];
+    const Record& rb = slab_[b];
+    if (ra.when != rb.when) return ra.when < rb.when;
+    return ra.key < rb.key;
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_fix(std::size_t pos);
+  void heap_erase(std::size_t pos);
+  void release_slot(std::uint32_t slot);
+
+  std::vector<Record> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> heap_;  ///< record slots, 4-ary min-heap
+};
+
+// ---------------------------------------------------------------------------
+// ShardCore: everything one shard owns (heap, pending messages, clock, seq)
+// ---------------------------------------------------------------------------
+
+/// A cross-shard message awaiting delivery on its destination shard, ordered
+/// by the same (when, key) total order as heap events.
+struct PendingMessage {
+  SimTime when = 0;
+  std::uint64_t key = 0;
+  void* target = nullptr;  ///< opaque handle passed through to the sink
+  Message message;
+};
+
+struct ShardCore {
+  EventQueue queue;
+  /// Binary min-heap by (when, key); kept separate from the EventQueue so
+  /// message hand-off needs no EventFn capture (and thus no allocation).
+  std::vector<PendingMessage> messages;
+  MessageSink sink;
+  SimTime now = 0;
+  std::uint64_t next_seq = 1;
+  ShardId shard = 0;
+  /// Set by the backend when an event executed on this shard performed a
+  /// cross-shard send (closes an extended window, see ParallelBackend).
+  bool cross_sent = false;
+
+  [[nodiscard]] std::uint64_t make_key() {
+    return (next_seq++ << kShardIdBits) | shard;
+  }
+
+  /// (when, key) of the earliest pending work (event or message).
+  [[nodiscard]] bool peek(SimTime& when, std::uint64_t& key) const;
+  [[nodiscard]] SimTime next_time() const {
+    SimTime when;
+    std::uint64_t key;
+    return peek(when, key) ? when : kSimTimeNever;
+  }
+  [[nodiscard]] std::size_t pending() const {
+    return queue.size() + messages.size();
+  }
+
+  void msg_push(PendingMessage item);
+  /// Executes the earliest pending work item and advances `now` to it.
+  void fire_min();
+};
+
+// ---------------------------------------------------------------------------
+// EngineBackend
+// ---------------------------------------------------------------------------
+
+class EngineBackend {
+ public:
+  explicit EngineBackend(const EngineConfig& config);
+  virtual ~EngineBackend() = default;
+  EngineBackend(const EngineBackend&) = delete;
+  EngineBackend& operator=(const EngineBackend&) = delete;
+
+  [[nodiscard]] virtual EngineKind kind() const = 0;
+  [[nodiscard]] std::size_t shards() const { return cores_.size(); }
+  [[nodiscard]] SimDuration lookahead() const { return lookahead_; }
+  [[nodiscard]] SimTime now(ShardId shard) const { return cores_[shard].now; }
+  [[nodiscard]] std::size_t pending_events(ShardId shard) const {
+    return cores_[shard].pending();
+  }
+  [[nodiscard]] std::size_t pending_events_total() const;
+  [[nodiscard]] bool idle() const { return pending_events_total() == 0; }
+
+  void set_message_sink(ShardId shard, MessageSink sink) {
+    cores_[shard].sink = sink;
+  }
+
+  /// Schedules onto `target` from the execution context of `ctx` (the shard
+  /// whose seq counter stamps the key). Cross-shard (`ctx != target`)
+  /// schedules are clamped to `when >= now(ctx) + lookahead` and are not
+  /// cancellable (they return kInvalidEvent in every backend).
+  virtual EventId schedule(ShardId ctx, ShardId target, SimTime when,
+                           EventFn fn) = 0;
+
+  /// Cross-shard message hand-off (the pooled zero-copy path): delivers
+  /// `message` to `target` shard's MessageSink at
+  /// `max(when, now(ctx) + lookahead)` in (when, key) order.
+  virtual void post_message(ShardId ctx, ShardId target, SimTime when,
+                            void* sink_target, Message message) = 0;
+
+  virtual void cancel(ShardId ctx, EventId id) = 0;
+
+  /// Runs every shard until no work <= `deadline` remains; every shard's
+  /// clock ends at `deadline` (or its last event time if later).
+  virtual std::size_t run_until(SimTime deadline) = 0;
+
+  /// Drains every shard. `max_events` is a runaway guard: the sequential
+  /// backend honours it exactly; the parallel backend checks it at window
+  /// boundaries and may overshoot by one window.
+  virtual std::size_t run_to_completion(std::size_t max_events) = 0;
+
+  /// Moves per-shard state out / in (backend migration; see
+  /// SimEngine::select_backend). Only legal between runs.
+  [[nodiscard]] std::vector<ShardCore> release_cores() {
+    return std::move(cores_);
+  }
+  void adopt_cores(std::vector<ShardCore> cores);
+
+ protected:
+  /// Shared scheduling paths used by both backends so key assignment and
+  /// lookahead clamping stay bit-identical.
+  EventId schedule_direct(ShardId ctx, ShardId target, SimTime when,
+                          EventFn fn);
+  [[nodiscard]] SimTime clamp_cross(ShardId ctx, SimTime when) const {
+    const SimTime floor = sat_add(cores_[ctx].now, lookahead_);
+    return when < floor ? floor : when;
+  }
+  [[nodiscard]] static SimTime sat_add(SimTime a, SimDuration b) {
+    return a > kSimTimeNever - b ? kSimTimeNever : a + b;
+  }
+  /// Advances every shard clock that is behind to `to` (deterministic across
+  /// backends: called only when no work <= `to` remains anywhere).
+  void finish_clocks(SimTime to);
+  [[nodiscard]] SimTime max_now() const;
+
+  std::vector<ShardCore> cores_;
+  SimDuration lookahead_ = kDefaultLookahead;
+};
+
+// ---------------------------------------------------------------------------
+// SequentialBackend: the reference implementation (one thread, global order)
+// ---------------------------------------------------------------------------
+
+class SequentialBackend final : public EngineBackend {
+ public:
+  explicit SequentialBackend(const EngineConfig& config)
+      : EngineBackend(config) {}
+
+  [[nodiscard]] EngineKind kind() const override {
+    return EngineKind::kSequential;
+  }
+
+  EventId schedule(ShardId ctx, ShardId target, SimTime when,
+                   EventFn fn) override {
+    return schedule_direct(ctx, target, when, std::move(fn));
+  }
+  void post_message(ShardId ctx, ShardId target, SimTime when,
+                    void* sink_target, Message message) override;
+  void cancel(ShardId ctx, EventId id) override;
+  std::size_t run_until(SimTime deadline) override;
+  std::size_t run_to_completion(std::size_t max_events) override;
+
+ private:
+  /// Fires the globally earliest pending work item across all shards; false
+  /// when nothing is due at or before `deadline`.
+  bool fire_next(SimTime deadline);
+};
+
+// ---------------------------------------------------------------------------
+// ParallelBackend: conservative PDES (one worker per shard)
+// ---------------------------------------------------------------------------
+
+class ParallelBackend final : public EngineBackend {
+ public:
+  explicit ParallelBackend(const EngineConfig& config);
+  ~ParallelBackend() override;
+
+  [[nodiscard]] EngineKind kind() const override {
+    return EngineKind::kParallel;
+  }
+
+  EventId schedule(ShardId ctx, ShardId target, SimTime when,
+                   EventFn fn) override;
+  void post_message(ShardId ctx, ShardId target, SimTime when,
+                    void* sink_target, Message message) override;
+  void cancel(ShardId ctx, EventId id) override;
+  std::size_t run_until(SimTime deadline) override {
+    return run_windows(deadline, kNoBudget);
+  }
+  std::size_t run_to_completion(std::size_t max_events) override {
+    return run_windows(kSimTimeNever, max_events);
+  }
+
+ private:
+  static constexpr std::size_t kNoBudget = ~std::size_t{0};
+
+  /// One cross-shard hand-off item: either a scheduled event (fn) or a
+  /// message for the destination's MessageSink.
+  struct CrossItem {
+    SimTime when = 0;
+    std::uint64_t key = 0;
+    bool is_message = false;
+    void* target = nullptr;
+    Message message;
+    EventFn fn;
+  };
+
+  /// Bounded single-producer single-consumer ring with a mutex-guarded
+  /// overflow list (rare path): the producer is the source shard's worker,
+  /// the consumer the destination's worker draining at a window boundary.
+  struct Ring {
+    explicit Ring(std::size_t capacity);
+    void push(CrossItem item);      // producer only
+    bool pop(CrossItem& out);       // consumer only
+    [[nodiscard]] bool looks_empty() const;
+
+    std::vector<CrossItem> slots;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::size_t> head{0};
+    alignas(64) std::atomic<std::size_t> tail{0};
+    std::mutex overflow_mutex;
+    std::vector<CrossItem> overflow;
+    std::size_t overflow_taken = 0;
+  };
+
+  [[nodiscard]] Ring& ring(ShardId dst, ShardId src) {
+    return *rings_[dst * cores_.size() + src];
+  }
+
+  void worker_main(ShardId shard);
+  void run_window(ShardId shard);
+  void drain_rings(ShardId shard);
+  std::size_t run_windows(SimTime deadline, std::size_t max_events);
+
+  std::vector<std::unique_ptr<Ring>> rings_;  ///< [dst * shards + src]
+  std::vector<std::thread> workers_;
+  std::barrier<> start_;  ///< window parameters published -> workers run
+  std::barrier<> mid_;    ///< window executed -> safe to drain rings
+  std::barrier<> done_;   ///< rings drained, minima reported -> orchestrate
+  // Window parameters; written by the orchestrator before the start barrier
+  // and read by workers after it (the barrier is the synchronization edge).
+  SimTime window_cap_ = 0;
+  std::size_t window_budget_ = 0;
+  bool extended_ = false;
+  ShardId extended_shard_ = 0;
+  bool stop_ = false;
+  bool running_ = false;
+  std::vector<std::size_t> fired_;          ///< per-shard, one window
+  std::vector<std::exception_ptr> errors_;  ///< per-shard, first thrown
+};
+
+}  // namespace drt::rtos

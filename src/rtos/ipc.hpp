@@ -24,6 +24,7 @@
 // pre-sized ring slot.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstddef>
 #include <cstdint>
@@ -97,11 +98,22 @@ class Shm {
 // Message buffers
 // ---------------------------------------------------------------------------
 
-/// Process-wide slab allocator for out-of-line message payloads. Slabs are
-/// bucketed into power-of-two size classes and recycled through per-class
-/// free lists, so steady-state message traffic never reaches operator new.
-/// Oversize payloads (> kMaxPooledBytes) fall through to the heap and are
-/// freed on release. Single-threaded by design, like the whole simulation.
+/// Slab allocator for out-of-line message payloads. Slabs are bucketed into
+/// power-of-two size classes and recycled through per-class free lists, so
+/// steady-state message traffic never reaches operator new. Oversize
+/// payloads (> kMaxPooledBytes) fall through to the heap and are freed on
+/// release.
+///
+/// Threading (parallel engine backend): `instance()` returns a *per-thread*
+/// pool, so the acquire/release fast paths stay lock-free and fence-free —
+/// each worker shard recycles through its own free lists. The only shared
+/// state is a Slab's refcount (a Message copy may be released on a different
+/// thread than it was acquired on; the slab then simply re-homes into the
+/// releasing thread's cache) and the per-pool statistics counters, which are
+/// relaxed atomics summed across a registry of live pools by stats(). That
+/// keeps `ipc.pool.*` gauges process-global — and, because the per-virtual-
+/// time operation totals are identical in every backend, byte-identical
+/// between sequential and parallel runs.
 class MessagePool {
  public:
   /// Smallest slab payload. Anything that fits inline never gets here.
@@ -110,7 +122,7 @@ class MessagePool {
   static constexpr std::size_t kMaxPooledBytes = 64 * 1024;
 
   struct Slab {
-    std::uint32_t refs = 0;
+    std::atomic<std::uint32_t> refs{0};  ///< shared across threads via Message
     std::int32_t size_class = 0;  ///< index into free_lists_; <0 = unpooled
     std::size_t capacity = 0;     ///< payload bytes
     Slab* next_free = nullptr;
@@ -128,25 +140,27 @@ class MessagePool {
     std::size_t free_bytes = 0;          ///< payload bytes held in the cache
   };
 
+  /// The calling thread's pool (engine worker threads each get their own).
   static MessagePool& instance() {
-    static MessagePool pool;
+    static thread_local MessagePool pool;
     return pool;
   }
 
-  /// Occupancy snapshot. The free-list totals are computed by walking the
-  /// (bounded) cached-slab lists so the acquire/release hot path only
-  /// maintains two counters.
+  /// Process-global occupancy snapshot: sums the statistics counters of
+  /// every live pool (plus totals retired with destroyed pools) under the
+  /// registry lock. Never touches free lists, so it is safe to call from any
+  /// thread while others move messages.
   [[nodiscard]] Stats stats() const;
 
-  /// Releases every cached slab back to the heap (tests; memory pressure).
-  /// Live slabs are unaffected.
+  /// Releases every slab cached by THIS thread's pool back to the heap
+  /// (tests; memory pressure). Live slabs are unaffected.
   void trim();
 
-  ~MessagePool() { trim(); }
+  ~MessagePool();
 
  private:
   friend class Message;
-  MessagePool() = default;
+  MessagePool();
 
   /// Size class of a payload (0 for <= 64 B, 1 for <= 128 B, ...); -1 when
   /// the payload is above kMaxPooledBytes (unpooled).
@@ -158,7 +172,9 @@ class MessagePool {
   }
 
   /// Hot path, inline: serve from the size-class free list. Misses (empty
-  /// list, oversize) go out of line to the heap.
+  /// list, oversize) go out of line to the heap. Free lists are strictly
+  /// thread-local; only the stats counters are shared (relaxed: they are
+  /// monotone tallies summed at snapshot time, never synchronization).
   [[nodiscard]] Slab* acquire(std::size_t bytes) {
     const int size_class = class_of(bytes);
     if (size_class >= 0) {
@@ -166,22 +182,33 @@ class MessagePool {
       if (Slab* slab = head) {
         head = slab->next_free;
         slab->next_free = nullptr;
-        slab->refs = 1;
-        ++reuses_;
+        slab->refs.store(1, std::memory_order_relaxed);
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+        free_slab_count_.fetch_sub(1, std::memory_order_relaxed);
+        free_byte_count_.fetch_sub(
+            static_cast<std::int64_t>(slab->capacity),
+            std::memory_order_relaxed);
         return slab;
       }
     }
     return acquire_slow(bytes, size_class);
   }
-  static void add_ref(Slab* slab) { ++slab->refs; }
-  /// Hot path, inline: the last owner pushes the slab onto its free list.
+  static void add_ref(Slab* slab) {
+    slab->refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Hot path, inline: the last owner pushes the slab onto the RELEASING
+  /// thread's free list (acq_rel so the final owner observes every write the
+  /// other owners made through the shared payload).
   void release(Slab* slab) {
-    if (--slab->refs > 0) return;
-    ++releases_;
+    if (slab->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+    releases_.fetch_add(1, std::memory_order_relaxed);
     if (slab->size_class >= 0) {
       Slab*& head = free_lists_[static_cast<std::size_t>(slab->size_class)];
       slab->next_free = head;
       head = slab;
+      free_slab_count_.fetch_add(1, std::memory_order_relaxed);
+      free_byte_count_.fetch_add(static_cast<std::int64_t>(slab->capacity),
+                                 std::memory_order_relaxed);
     } else {
       release_oversize(slab);
     }
@@ -192,10 +219,15 @@ class MessagePool {
 
   static constexpr std::size_t kClasses = 11;  // 64 .. 64Ki
   Slab* free_lists_[kClasses] = {};
-  std::uint64_t heap_allocations_ = 0;
-  std::uint64_t reuses_ = 0;
-  std::uint64_t oversize_ = 0;
-  std::uint64_t releases_ = 0;
+  // Per-pool tallies. Signed where cross-thread releases can drive a single
+  // pool's delta negative (acquired here, released into another pool); only
+  // the registry-wide sums are meaningful, and those never go negative.
+  std::atomic<std::uint64_t> heap_allocations_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> oversize_{0};
+  std::atomic<std::uint64_t> releases_{0};
+  std::atomic<std::int64_t> free_slab_count_{0};
+  std::atomic<std::int64_t> free_byte_count_{0};
 };
 
 /// A mailbox payload: small-buffer-optimised, pool-backed byte buffer.

@@ -133,6 +133,11 @@ RtKernel::RtKernel(SimEngine& engine, KernelConfig config)
   m_.mbx_fault_duplicated = metrics_.counter(
       "ipc.mailbox_fault_duplicated",
       "extra deliveries from injected duplicate faults");
+  m_.remote_sent = metrics_.counter(
+      "rtos.remote_sent", "messages posted to a peer CPU-group shard");
+  // Cross-shard messages addressed to this kernel's shard are delivered
+  // through the sink on this shard's own execution context.
+  engine_->set_message_sink({&RtKernel::sink_deliver, this});
   // Pool occupancy is computed (not counted): the lambdas run only when a
   // snapshot is taken, never on the send/receive path. The pool is process
   // global, so these gauges describe the process, not just this kernel.
@@ -714,6 +719,26 @@ std::optional<Message> RtKernel::mailbox_try_receive(Mailbox& mailbox) {
     trace_.add(now(), TraceKind::kMailboxRecv, 0, 0, mailbox.name());
   }
   return message;
+}
+
+void RtKernel::sink_deliver(void* ctx, void* target, Message message) {
+  auto* kernel = static_cast<RtKernel*>(ctx);
+  kernel->mailbox_send(*static_cast<Mailbox*>(target), std::move(message));
+}
+
+bool RtKernel::remote_send(ShardId target_shard, Mailbox& target_mailbox,
+                           Message message) {
+  if (target_shard >= engine_->shards()) return false;
+  // The sampled latency is >= the engine's lookahead floor by construction
+  // (LatencyModel::sample_cross_group_latency), so the conservative window
+  // never needs to clamp a kernel-originated send. Send accounting is
+  // sender-side; delivery accounting happens in the receiving kernel's
+  // mailbox_send like any local traffic.
+  const SimDuration latency = latency_model_.sample_cross_group_latency(rng_);
+  engine_->post_message(target_shard, now() + latency, &target_mailbox,
+                        std::move(message));
+  m_.remote_sent->add();
+  return true;
 }
 
 Result<Semaphore*> RtKernel::semaphore_create(std::string name, int initial) {

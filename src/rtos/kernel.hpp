@@ -195,6 +195,17 @@ class RtKernel {
   /// status responses).
   std::optional<Message> mailbox_try_receive(Mailbox& mailbox);
 
+  /// Cross-CPU-group send: hands `message` to the kernel owning
+  /// `target_shard` through the engine's pooled zero-copy path. Delivery
+  /// happens on the target shard at now() + a sampled cross-group latency
+  /// (never below LatencyModel::min_cross_group_latency(), the engine's
+  /// conservative lookahead) and then behaves exactly like a local
+  /// mailbox_send on the receiving kernel — handoff, fault plan, counters.
+  /// `target_mailbox` must be owned by the kernel registered on that shard
+  /// and must outlive delivery. False when `target_shard` does not exist.
+  bool remote_send(ShardId target_shard, Mailbox& target_mailbox,
+                   Message message);
+
   Result<Semaphore*> semaphore_create(std::string name, int initial);
   [[nodiscard]] Semaphore* semaphore_find(std::string_view name);
   /// Deletes the semaphore; blocked waiters resume with acquired == false.
@@ -297,6 +308,7 @@ class RtKernel {
     obs::Counter* mbx_received = nullptr;
     obs::Counter* mbx_fault_dropped = nullptr;
     obs::Counter* mbx_fault_duplicated = nullptr;
+    obs::Counter* remote_sent = nullptr;
   } m_;
   std::vector<Cpu> cpus_;
   std::vector<std::unique_ptr<Task>> tasks_;
@@ -319,6 +331,11 @@ class RtKernel {
   /// Queue/handoff delivery shared by the normal and fault-duplicated send
   /// paths in mailbox_send.
   bool deliver_message(Mailbox& mailbox, Message message);
+
+  /// Engine MessageSink entry point: a remote_send arriving on this kernel's
+  /// shard lands here (on this shard's execution context) and flows through
+  /// the ordinary mailbox_send path.
+  static void sink_deliver(void* ctx, void* target, Message message);
 };
 
 // --------------------------------------------------------------------------

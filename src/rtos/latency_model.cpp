@@ -35,4 +35,17 @@ SimDuration LatencyModel::sample_release_error(bool cpu_idle, Rng& rng) const {
   return sample_timer_error(rng) + sample_wake_cost(cpu_idle, rng);
 }
 
+SimDuration LatencyModel::min_cross_group_latency() const {
+  const auto floor_ns =
+      static_cast<SimDuration>(config_.cross_group_min_latency_ns);
+  return floor_ns < 1 ? 1 : floor_ns;
+}
+
+SimDuration LatencyModel::sample_cross_group_latency(Rng& rng) const {
+  const double jitter = config_.cross_group_jitter_ns > 0.0
+                            ? rng.uniform(0.0, config_.cross_group_jitter_ns)
+                            : 0.0;
+  return min_cross_group_latency() + static_cast<SimDuration>(jitter);
+}
+
 }  // namespace drt::rtos

@@ -48,6 +48,13 @@ struct LatencyModelConfig {
   /// Probability that an "idle" CPU was in a shallow sleep state and wakes
   /// almost for free (produces the deep negative tail of Table 1's MIN).
   double shallow_idle_probability = 0.04;
+  /// Minimum one-way latency between CPU groups / nodes (ns). This floor is
+  /// what makes conservative parallel simulation possible: the engine derives
+  /// its lookahead horizon from it (engine_backend.hpp), so it must be a hard
+  /// lower bound on every cross-group message, never an average.
+  double cross_group_min_latency_ns = 250'000.0;
+  /// Additional uniform jitter on top of the cross-group minimum (ns).
+  double cross_group_jitter_ns = 50'000.0;
 };
 
 class LatencyModel {
@@ -66,6 +73,15 @@ class LatencyModel {
 
   /// Convenience: full signed release error (timer + wake) in one draw.
   [[nodiscard]] SimDuration sample_release_error(bool cpu_idle, Rng& rng) const;
+
+  /// Hard lower bound on cross-group (inter-shard) message latency — the
+  /// engine's conservative lookahead. Never below 1 ns (a zero lookahead
+  /// would collapse every parallel window to a single event).
+  [[nodiscard]] SimDuration min_cross_group_latency() const;
+
+  /// One-way cross-group latency draw: the guaranteed minimum plus uniform
+  /// jitter. Always >= min_cross_group_latency().
+  [[nodiscard]] SimDuration sample_cross_group_latency(Rng& rng) const;
 
   [[nodiscard]] const LatencyModelConfig& config() const { return config_; }
   void set_config(const LatencyModelConfig& config) { config_ = config; }

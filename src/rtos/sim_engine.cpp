@@ -1,148 +1,60 @@
 #include "rtos/sim_engine.hpp"
 
-#include <algorithm>
-#include <limits>
+#include <utility>
 
 namespace drt::rtos {
 
 namespace {
-constexpr std::uint64_t kSlotMask = 0xffff'ffffull;
-constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::max();
+
+std::unique_ptr<EngineBackend> make_backend(const EngineConfig& config) {
+  if (config.kind == EngineKind::kParallel) {
+    return std::make_unique<ParallelBackend>(config);
+  }
+  return std::make_unique<SequentialBackend>(config);
+}
+
 }  // namespace
 
-EventId SimEngine::schedule_at(SimTime when, Callback callback) {
-  // Past times are clamped: the event fires at now(), after events already
-  // due at now() (its sequence number is newer). See the header contract.
-  if (when < now_) when = now_;
-  std::uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-  } else {
-    slot = static_cast<std::uint32_t>(slab_.size());
-    slab_.emplace_back();
+SimEngine::SimEngine(const EngineConfig& config)
+    : owned_(make_backend(config)), backend_(owned_.get()) {
+  refresh_fast_path();
+}
+
+SimEngine::~SimEngine() = default;
+
+Result<void> SimEngine::select_backend(const EngineConfig& config) {
+  if (owned_ == nullptr) {
+    return make_error(ErrorCode::kInvalidState, "rtos.engine.not_owner",
+                      "select_backend is only legal on the owning engine, "
+                      "not a shard handle");
   }
-  Record& rec = slab_[slot];
-  rec.when = when;
-  rec.seq = next_seq_++;
-  rec.callback = std::move(callback);
-  rec.heap_pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(slot);
-  sift_up(heap_.size() - 1);
-  return (static_cast<EventId>(rec.generation) << 32) |
-         static_cast<EventId>(slot + 1);
-}
-
-EventId SimEngine::schedule_after(SimDuration delay, Callback callback) {
-  return schedule_at(now_ + (delay < 0 ? 0 : delay), std::move(callback));
-}
-
-void SimEngine::cancel(EventId id) {
-  const std::uint64_t low = id & kSlotMask;
-  if (low == 0 || low > slab_.size()) return;
-  const auto slot = static_cast<std::uint32_t>(low - 1);
-  Record& rec = slab_[slot];
-  // Stale ids (already fired or cancelled) carry an old generation: no-op,
-  // so callers need not track whether their event raced with execution.
-  if (rec.generation != static_cast<std::uint32_t>(id >> 32)) return;
-  heap_erase(rec.heap_pos);
-  release_slot(slot);
-}
-
-void SimEngine::sift_up(std::size_t pos) {
-  const std::uint32_t slot = heap_[pos];
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) / 4;
-    if (!earlier(slot, heap_[parent])) break;
-    heap_[pos] = heap_[parent];
-    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
-    pos = parent;
+  if (config.shards < 1 || config.shards > kMaxShards) {
+    return make_error(ErrorCode::kInvalidArgument, "rtos.engine.bad_shards",
+                      "shard count must be in [1, " +
+                          std::to_string(kMaxShards) + "], got " +
+                          std::to_string(config.shards));
   }
-  heap_[pos] = slot;
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
-}
-
-void SimEngine::sift_down(std::size_t pos) {
-  const std::uint32_t slot = heap_[pos];
-  const std::size_t n = heap_.size();
-  for (;;) {
-    const std::size_t first = pos * 4 + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t last = std::min(first + 4, n);
-    for (std::size_t child = first + 1; child < last; ++child) {
-      if (earlier(heap_[child], heap_[best])) best = child;
-    }
-    if (!earlier(heap_[best], slot)) break;
-    heap_[pos] = heap_[best];
-    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
-    pos = best;
+  if (config.shards < backend_->shards()) {
+    return make_error(ErrorCode::kInvalidArgument, "rtos.engine.shrink",
+                      "backend migration must not drop shards (" +
+                          std::to_string(backend_->shards()) + " -> " +
+                          std::to_string(config.shards) + ")");
   }
-  heap_[pos] = slot;
-  slab_[slot].heap_pos = static_cast<std::uint32_t>(pos);
+  // Construct first so a throwing backend constructor (thread spawn) leaves
+  // the current backend fully intact, then migrate the shard state wholesale:
+  // heaps, message queues, clocks, sequence counters and sinks move; ids stay
+  // valid because both backends share the id encoding.
+  std::unique_ptr<EngineBackend> fresh = make_backend(config);
+  fresh->adopt_cores(backend_->release_cores());
+  owned_ = std::move(fresh);
+  backend_ = owned_.get();
+  refresh_fast_path();
+  return Result<void>::success();
 }
 
-void SimEngine::heap_fix(std::size_t pos) {
-  if (pos > 0 && earlier(heap_[pos], heap_[(pos - 1) / 4])) {
-    sift_up(pos);
-  } else {
-    sift_down(pos);
-  }
-}
-
-void SimEngine::heap_erase(std::size_t pos) {
-  const std::size_t last = heap_.size() - 1;
-  if (pos != last) {
-    heap_[pos] = heap_[last];
-    slab_[heap_[pos]].heap_pos = static_cast<std::uint32_t>(pos);
-    heap_.pop_back();
-    heap_fix(pos);
-  } else {
-    heap_.pop_back();
-  }
-}
-
-void SimEngine::release_slot(std::uint32_t slot) {
-  Record& rec = slab_[slot];
-  rec.callback.reset();
-  rec.heap_pos = kNoPos;
-  ++rec.generation;  // invalidates every id issued for this slot so far
-  free_slots_.push_back(slot);
-}
-
-bool SimEngine::pop_due(SimTime deadline, Callback& out) {
-  if (heap_.empty()) return false;
-  const std::uint32_t slot = heap_[0];
-  Record& rec = slab_[slot];
-  if (rec.when > deadline) return false;
-  now_ = rec.when;
-  out = std::move(rec.callback);
-  heap_erase(0);
-  // Free the slot before invoking: the callback may schedule new events
-  // (reusing the slot under a fresh generation) or cancel its own stale id.
-  release_slot(slot);
-  return true;
-}
-
-std::size_t SimEngine::run_until(SimTime deadline) {
-  std::size_t fired = 0;
-  Callback callback;
-  while (pop_due(deadline, callback)) {
-    callback();
-    ++fired;
-  }
-  if (now_ < deadline) now_ = deadline;
-  return fired;
-}
-
-std::size_t SimEngine::run_to_completion(std::size_t max_events) {
-  std::size_t fired = 0;
-  Callback callback;
-  while (fired < max_events && pop_due(kNoDeadline, callback)) {
-    callback();
-    ++fired;
-  }
-  return fired;
+std::unique_ptr<SimEngine> SimEngine::shard_handle(ShardId target) {
+  if (target >= backend_->shards()) return nullptr;
+  return std::unique_ptr<SimEngine>(new SimEngine(backend_, target));
 }
 
 }  // namespace drt::rtos

@@ -1,196 +1,179 @@
-// Virtual-time discrete-event engine.
+// Virtual-time discrete-event engine (facade).
 //
 // The entire real-time substrate (src/rtos/) runs on this engine instead of
 // wall-clock threads: every test and bench is bit-reproducible and the
 // latency experiments of the paper's §4 can be replayed deterministically.
-// Events fire in (time, insertion-order) order.
+// Events fire in (time, key) order, where key encodes (seq, shard) — with the
+// default single-shard sequential backend that reduces to the historical
+// (time, insertion-order) contract.
 //
-// Implementation notes (the hot dispatch path):
-//  * Events live in a slab of records indexed by a 4-ary min-heap keyed by
-//    (when, seq). Each record tracks its own heap slot, so cancel() is a
-//    true O(log n) removal — no lazy-deletion hash sets, no tombstone
-//    skimming on the pop path.
-//  * An EventId encodes (generation << 32 | slot + 1). Firing or cancelling
-//    bumps the slot's generation, so a stale id (already fired, already
-//    cancelled, or never issued) fails the generation check and cancel()
-//    stays a harmless no-op — the common case when races resolve.
-//  * Callbacks are stored in EventFn, a small-buffer callable sized for the
-//    kernel's capture shapes ({this, TaskId, SimTime} and the like), which
-//    eliminates the per-event std::function heap allocation.
+// Since PR 6 the execution strategy lives behind `EngineBackend`
+// (engine_backend.hpp): a sequential reference backend (default) and a
+// conservative parallel backend whose virtual-time outputs are byte-identical
+// to sequential. `SimEngine` is the stable facade the kernel, DRCR runtime,
+// fuzzer and benches program against; it is *bound to one shard* of the
+// backend — `schedule_at` et al. act on that shard, `schedule_on` /
+// `post_message` reach across shards, and `run_*` drive every shard of the
+// whole backend. The default-constructed engine (one shard, sequential) is
+// observably identical to the pre-backend engine; the sequential fast path is
+// devirtualized through a concrete pointer, so the refactor costs one
+// predictable branch per call.
+//
+// Backend selection: `select_backend()` migrates all pending events, posted
+// messages, shard clocks and sequence counters into a freshly constructed
+// backend (the kernel schedules load events at construction time, before any
+// DrcrConfig is seen, so migration — not up-front choice — is the contract).
+// Outstanding EventIds remain valid across migration because both backends
+// use the identical id encoding. Shard handles (`shard_handle()`) are bound
+// to the *current* backend; create them after the final `select_backend()`.
 #pragma once
 
 #include <cstddef>
-#include <cstdint>
-#include <new>
-#include <type_traits>
-#include <utility>
-#include <vector>
+#include <memory>
 
+#include "rtos/engine_backend.hpp"
+#include "util/result.hpp"
 #include "util/types.hpp"
 
 namespace drt::rtos {
-
-using EventId = std::uint64_t;
-inline constexpr EventId kInvalidEvent = 0;
-
-/// Move-only callable with inline storage for small captures; larger
-/// callables transparently fall back to a single heap allocation. The
-/// kernel's event callbacks all fit inline.
-class EventFn {
- public:
-  static constexpr std::size_t kInlineBytes = 48;
-
-  EventFn() = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  // NOLINTNEXTLINE(google-explicit-constructor): drop-in for std::function.
-  EventFn(F&& fn) {
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineBytes &&
-                  alignof(Fn) <= alignof(std::max_align_t) &&
-                  std::is_nothrow_move_constructible_v<Fn>) {
-      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
-      vtable_ = &kInlineVTable<Fn>;
-    } else {
-      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(fn)));
-      vtable_ = &kHeapVTable<Fn>;
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept { move_from(other); }
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      reset();
-      move_from(other);
-    }
-    return *this;
-  }
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-  ~EventFn() { reset(); }
-
-  void operator()() { vtable_->invoke(storage_); }
-  [[nodiscard]] explicit operator bool() const { return vtable_ != nullptr; }
-
-  void reset() noexcept {
-    if (vtable_ != nullptr) {
-      vtable_->destroy(storage_);
-      vtable_ = nullptr;
-    }
-  }
-
- private:
-  struct VTable {
-    void (*invoke)(void* storage);
-    void (*relocate)(void* from, void* to) noexcept;  ///< move, destroy src
-    void (*destroy)(void* storage) noexcept;
-  };
-
-  template <typename Fn>
-  static constexpr VTable kInlineVTable = {
-      [](void* s) { (*static_cast<Fn*>(s))(); },
-      [](void* from, void* to) noexcept {
-        ::new (to) Fn(std::move(*static_cast<Fn*>(from)));
-        static_cast<Fn*>(from)->~Fn();
-      },
-      [](void* s) noexcept { static_cast<Fn*>(s)->~Fn(); },
-  };
-
-  template <typename Fn>
-  static constexpr VTable kHeapVTable = {
-      [](void* s) { (**static_cast<Fn**>(s))(); },
-      [](void* from, void* to) noexcept {
-        ::new (to) Fn*(*static_cast<Fn**>(from));
-      },
-      [](void* s) noexcept { delete *static_cast<Fn**>(s); },
-  };
-
-  void move_from(EventFn& other) noexcept {
-    vtable_ = other.vtable_;
-    if (vtable_ != nullptr) {
-      vtable_->relocate(other.storage_, storage_);
-      other.vtable_ = nullptr;
-    }
-  }
-
-  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
-  const VTable* vtable_ = nullptr;
-};
 
 class SimEngine {
  public:
   using Callback = EventFn;
 
-  SimEngine() = default;
+  /// Default engine: sequential backend, one shard (the seed configuration).
+  SimEngine() : SimEngine(EngineConfig{}) {}
+  explicit SimEngine(const EngineConfig& config);
   SimEngine(const SimEngine&) = delete;
   SimEngine& operator=(const SimEngine&) = delete;
+  ~SimEngine();
 
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// This handle's shard clock.
+  [[nodiscard]] SimTime now() const { return backend_->now(shard_); }
 
-  /// Schedules `callback` at absolute time `when`. Returns an id usable with
-  /// cancel(). Scheduling into the past is defined behaviour: the event is
-  /// clamped to fire at now(), ordered after events already due at now() —
-  /// callers whose computed release time just slipped by need no special
-  /// casing.
-  EventId schedule_at(SimTime when, Callback callback);
+  /// Schedules `callback` at absolute time `when` on this handle's shard.
+  /// Returns an id usable with cancel(). Scheduling into the past is defined
+  /// behaviour: the event is clamped to fire at now(), ordered after events
+  /// already due at now() — callers whose computed release time just slipped
+  /// by need no special casing.
+  EventId schedule_at(SimTime when, Callback callback) {
+    if (seq_ != nullptr) {
+      return seq_->schedule(shard_, shard_, when, std::move(callback));
+    }
+    return backend_->schedule(shard_, shard_, when, std::move(callback));
+  }
 
   /// Schedules `callback` after `delay` ns (negative delays clamp to 0).
-  EventId schedule_after(SimDuration delay, Callback callback);
+  EventId schedule_after(SimDuration delay, Callback callback) {
+    return schedule_at(now() + (delay < 0 ? 0 : delay), std::move(callback));
+  }
+
+  /// Schedules onto another shard. The event is clamped to fire no earlier
+  /// than now() + lookahead() (conservative synchronization horizon) and is
+  /// not cancellable: returns kInvalidEvent in every backend, so code written
+  /// against one backend cannot accidentally depend on the other.
+  EventId schedule_on(ShardId target, SimTime when, Callback callback) {
+    if (seq_ != nullptr) {
+      return seq_->schedule(shard_, target, when, std::move(callback));
+    }
+    return backend_->schedule(shard_, target, when, std::move(callback));
+  }
+
+  /// Hands a pooled Message to `target` shard's MessageSink at
+  /// max(when, now() + lookahead()) — the zero-copy cross-shard path (no
+  /// EventFn capture, no allocation). Same-shard posts deliver at
+  /// max(when, now()).
+  void post_message(ShardId target, SimTime when, void* sink_target,
+                    Message message) {
+    if (seq_ != nullptr) {
+      seq_->post_message(shard_, target, when, sink_target,
+                         std::move(message));
+      return;
+    }
+    backend_->post_message(shard_, target, when, sink_target,
+                           std::move(message));
+  }
+
+  /// Registers the cross-shard message delivery hook for this handle's
+  /// shard (survives select_backend migration).
+  void set_message_sink(MessageSink sink) {
+    backend_->set_message_sink(shard_, sink);
+  }
 
   /// Cancels a pending event in O(log n). Cancelling an already-fired or
   /// invalid id is a harmless no-op (the common case when races resolve).
-  void cancel(EventId id);
-
-  /// Runs events until the queue is empty or `deadline` is passed. The clock
-  /// ends at min(deadline, last event time). Returns the number of events
-  /// fired.
-  std::size_t run_until(SimTime deadline);
-
-  /// Runs every pending event (including ones scheduled while running).
-  std::size_t run_to_completion(std::size_t max_events = 10'000'000);
-
-  /// True when no live events remain.
-  [[nodiscard]] bool idle() const { return heap_.empty(); }
-
-  [[nodiscard]] std::size_t pending_events() const { return heap_.size(); }
-
- private:
-  struct Record {
-    SimTime when = 0;
-    std::uint64_t seq = 0;  ///< global insertion order: the tie-break
-    Callback callback;
-    std::uint32_t heap_pos = kNoPos;
-    std::uint32_t generation = 0;
-  };
-  static constexpr std::uint32_t kNoPos = 0xffff'ffffu;
-
-  [[nodiscard]] bool earlier(std::uint32_t a, std::uint32_t b) const {
-    const Record& ra = slab_[a];
-    const Record& rb = slab_[b];
-    if (ra.when != rb.when) return ra.when < rb.when;
-    return ra.seq < rb.seq;
+  void cancel(EventId id) {
+    if (seq_ != nullptr) {
+      seq_->cancel(shard_, id);
+      return;
+    }
+    backend_->cancel(shard_, id);
   }
 
-  void sift_up(std::size_t pos);
-  void sift_down(std::size_t pos);
-  /// Re-establishes the heap property at `pos` after an arbitrary swap-in.
-  void heap_fix(std::size_t pos);
-  /// Removes the element at heap position `pos` (swap-with-last + fix).
-  void heap_erase(std::size_t pos);
-  /// Returns the slot to the free list and invalidates outstanding ids.
-  void release_slot(std::uint32_t slot);
-  /// Pops the earliest due event (<= deadline), advances the clock and
-  /// returns its callback; false when none is due.
-  bool pop_due(SimTime deadline, Callback& out);
+  /// Runs events on every shard until no work <= `deadline` remains. Every
+  /// shard clock ends at min(deadline, last event time)... i.e. exactly
+  /// `deadline` when it is ahead of the last event. Returns events fired.
+  std::size_t run_until(SimTime deadline) {
+    if (seq_ != nullptr) return seq_->run_until(deadline);
+    return backend_->run_until(deadline);
+  }
 
-  std::vector<Record> slab_;
-  std::vector<std::uint32_t> free_slots_;
-  std::vector<std::uint32_t> heap_;  ///< record slots, 4-ary min-heap
-  SimTime now_ = 0;
-  std::uint64_t next_seq_ = 1;
+  /// Runs every pending event (including ones scheduled while running).
+  /// `max_events` is a runaway guard: exact on the sequential backend; the
+  /// parallel backend checks it at window boundaries and may overshoot by up
+  /// to one synchronization window.
+  std::size_t run_to_completion(std::size_t max_events = 10'000'000) {
+    if (seq_ != nullptr) return seq_->run_to_completion(max_events);
+    return backend_->run_to_completion(max_events);
+  }
+
+  /// True when no live events remain on any shard.
+  [[nodiscard]] bool idle() const { return backend_->idle(); }
+
+  /// Live events + undelivered cross-shard messages across all shards.
+  [[nodiscard]] std::size_t pending_events() const {
+    return backend_->pending_events_total();
+  }
+
+  // -- Backend management ---------------------------------------------------
+
+  [[nodiscard]] EngineKind kind() const { return backend_->kind(); }
+  [[nodiscard]] std::size_t shards() const { return backend_->shards(); }
+  [[nodiscard]] SimDuration lookahead() const { return backend_->lookahead(); }
+  /// The shard this handle is bound to (0 for the owning engine).
+  [[nodiscard]] ShardId shard() const { return shard_; }
+
+  /// Replaces the execution backend, migrating every shard's pending events,
+  /// posted messages, clock, sequence counter and message sink. Outstanding
+  /// EventIds stay valid (identical id encoding in both backends). Only legal
+  /// on the owning engine, between runs; the new config must not drop shards.
+  /// Existing shard handles are invalidated — create them after the final
+  /// selection.
+  Result<void> select_backend(const EngineConfig& config);
+
+  /// A non-owning SimEngine bound to `target` shard of the same backend —
+  /// what a per-shard kernel programs against. Valid while the owning engine
+  /// lives and until its next select_backend().
+  [[nodiscard]] std::unique_ptr<SimEngine> shard_handle(ShardId target);
+
+ private:
+  SimEngine(EngineBackend* backend, ShardId shard)
+      : backend_(backend), shard_(shard) {
+    refresh_fast_path();
+  }
+  void refresh_fast_path() {
+    seq_ = backend_->kind() == EngineKind::kSequential
+               ? static_cast<SequentialBackend*>(backend_)
+               : nullptr;
+  }
+
+  std::unique_ptr<EngineBackend> owned_;  ///< null for shard handles
+  EngineBackend* backend_ = nullptr;
+  /// Devirtualized fast path: non-null iff the backend is sequential. Calls
+  /// through this concrete `final` pointer inline past the vtable, keeping
+  /// the default path as cheap as the pre-backend engine.
+  SequentialBackend* seq_ = nullptr;
+  ShardId shard_ = 0;
 };
 
 }  // namespace drt::rtos

@@ -47,8 +47,9 @@ struct Options {
 void usage() {
   std::cerr
       << "usage: drt_fuzz [--seeds N] [--seed S] [--actions N] [--cpus N]\n"
-      << "                [--replay FILE] [--out DIR] [--verify-determinism]\n"
-      << "                [--planted-bug] [--budget-seconds S] [--quiet]\n";
+      << "                [--engine sequential|parallel] [--replay FILE]\n"
+      << "                [--out DIR] [--verify-determinism] [--planted-bug]\n"
+      << "                [--budget-seconds S] [--quiet]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -77,6 +78,16 @@ bool parse_args(int argc, char** argv, Options& options) {
     } else if (arg == "--cpus") {
       if (!next_value(value) || value == 0) return false;
       options.config.cpus = value;
+    } else if (arg == "--engine") {
+      if (i + 1 >= argc) return false;
+      const std::string kind = argv[++i];
+      if (kind == "sequential") {
+        options.config.engine = drt::rtos::EngineKind::kSequential;
+      } else if (kind == "parallel") {
+        options.config.engine = drt::rtos::EngineKind::kParallel;
+      } else {
+        return false;
+      }
     } else if (arg == "--replay") {
       if (i + 1 >= argc) return false;
       options.replay_path = argv[++i];

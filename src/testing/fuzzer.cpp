@@ -107,7 +107,8 @@ FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
       drcr(framework, kernel,
            {.cpu_budget = config.cpu_budget,
             .auto_resolve = true,
-            .register_service = true}),
+            .register_service = true,
+            .engine = config.engine}),
       config_(config),
       seed_(seed) {
   kernel.trace().enable();
@@ -339,6 +340,7 @@ std::string write_repro(const Repro& repro, const ScenarioResult& result) {
   out << "faults " << (repro.config.enable_faults ? 1 : 0) << '\n';
   out << "plant " << (repro.config.plant_bug ? 1 : 0) << '\n';
   out << "snapshots " << (repro.config.snapshot_checks ? 1 : 0) << '\n';
+  out << "engine " << rtos::to_string(repro.config.engine) << '\n';
   out << "keep";
   for (const std::size_t index : repro.keep) out << ' ' << index;
   out << '\n';
@@ -393,6 +395,17 @@ Result<Repro> parse_repro(std::string_view text) {
       int value = 0;
       if (!(fields >> value)) return bad("expected 0/1");
       repro.config.snapshot_checks = value != 0;
+    } else if (key == "engine") {
+      // Absent in pre-parallel repro files; those default to sequential.
+      std::string value;
+      if (!(fields >> value)) return bad("expected sequential|parallel");
+      if (value == "sequential") {
+        repro.config.engine = rtos::EngineKind::kSequential;
+      } else if (value == "parallel") {
+        repro.config.engine = rtos::EngineKind::kParallel;
+      } else {
+        return bad("expected sequential|parallel");
+      }
     } else if (key == "keep") {
       std::size_t index = 0;
       repro.keep.clear();
