@@ -118,4 +118,30 @@ const RecurringMap& ContractCache::recurring_by_priority(CpuId cpu) const {
   return cpu < per_cpu_.size() ? per_cpu_[cpu].recurring : kEmpty;
 }
 
+ContractSummary ContractCache::summary() const {
+  ContractSummary summary;
+  summary.cache_id = cache_id_;
+  summary.generations.reserve(per_cpu_.size());
+  summary.declared.reserve(per_cpu_.size());
+  summary.recurring.reserve(per_cpu_.size());
+  for (const PerCpu& slot : per_cpu_) {
+    summary.generations.push_back(slot.generation);
+    summary.declared.push_back(slot.declared_sum);
+    summary.recurring.push_back(slot.recurring_sum);
+  }
+  summary.active_components = active_.size();
+  return summary;
+}
+
+bool ContractCache::fresh(const ContractSummary& summary) const {
+  if (summary.cache_id != cache_id_) return false;
+  // A CPU appearing since the summary was taken always carries a bumped
+  // generation, so a size mismatch is stale by construction.
+  if (summary.generations.size() != per_cpu_.size()) return false;
+  for (std::size_t cpu = 0; cpu < per_cpu_.size(); ++cpu) {
+    if (summary.generations[cpu] != per_cpu_[cpu].generation) return false;
+  }
+  return true;
+}
+
 }  // namespace drt::drcom

@@ -41,6 +41,20 @@ struct RecurringEntry {
 using RecurringKey = std::pair<int, std::uint64_t>;
 using RecurringMap = std::map<RecurringKey, RecurringEntry>;
 
+/// Compact, O(cpus)-sized export of one node's admission state — what a
+/// federation coordinator caches per node. Carries the bit-identical cached
+/// utilization sums plus the generation vector that makes staleness
+/// checkable in O(cpus) (ContractCache::fresh) without ever rescanning
+/// descriptors. cache_id pins the summary to one cache instance across
+/// node restarts / address reuse.
+struct ContractSummary {
+  std::uint64_t cache_id = 0;
+  std::vector<std::uint64_t> generations;  ///< per-CPU change counters
+  std::vector<double> declared;            ///< declared utilization per CPU
+  std::vector<double> recurring;           ///< recurring subset per CPU
+  std::size_t active_components = 0;       ///< total active descriptors
+};
+
 class ContractCache {
  public:
   explicit ContractCache(std::size_t cpu_count);
@@ -75,6 +89,16 @@ class ContractCache {
       CpuId cpu) const;
   /// Recurring tasks on `cpu`, keyed (priority, activation seq).
   [[nodiscard]] const RecurringMap& recurring_by_priority(CpuId cpu) const;
+
+  /// Number of per-CPU slots tracked (grows when a descriptor pins a CPU
+  /// beyond the kernel's count; never shrinks).
+  [[nodiscard]] std::size_t cpu_count() const { return per_cpu_.size(); }
+
+  /// O(cpus) snapshot of the cached sums + generations (no descriptor scan).
+  [[nodiscard]] ContractSummary summary() const;
+  /// True while `summary` still reflects this cache: same instance and no
+  /// per-CPU generation has moved (including CPUs that appeared since).
+  [[nodiscard]] bool fresh(const ContractSummary& summary) const;
 
  private:
   struct PerCpu {

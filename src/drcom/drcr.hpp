@@ -186,6 +186,11 @@ class Drcr {
   [[nodiscard]] const ContractCache& contract_cache() const {
     return contract_cache_;
   }
+  /// O(cpus) admission summary for federation coordinators: cached
+  /// utilization sums + generation counters, never a descriptor rescan.
+  [[nodiscard]] ContractSummary contract_summary() const {
+    return contract_cache_.summary();
+  }
 
   // Lifecycle event access is a view over a bounded ring: the DRCR no longer
   // keeps an unbounded history. recent_events() returns the retained window

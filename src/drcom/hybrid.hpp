@@ -131,6 +131,14 @@ class HybridComponent {
   [[nodiscard]] TaskId task_id() const { return task_id_; }
   [[nodiscard]] bool soft_suspended() const { return soft_suspended_; }
 
+  /// Mailboxes this instance created and owns (out-ports, sporadic trigger
+  /// inbox, command/response channels), in creation order. Federation
+  /// migration drains exactly these before deactivation and replays the
+  /// queued messages on the target node.
+  [[nodiscard]] const std::vector<std::string>& owned_mailboxes() const {
+    return owned_mailboxes_;
+  }
+
   /// Non-RT side: queues a textual command on the asynchronous channel
   /// ("SUSPEND", "RESUME", "SET <key> <value>", "STATUS", "STOP").
   [[nodiscard]] Result<void> send_command(const std::string& command);

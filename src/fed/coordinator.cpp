@@ -1,0 +1,500 @@
+#include "fed/coordinator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "drcom/descriptor.hpp"
+#include "drcom/system_descriptor.hpp"
+
+namespace drt::fed {
+namespace {
+
+/// Mirrors ContractCache's recurring test so the rescan baseline folds the
+/// exact same subset.
+bool has_recurring_contract(const drcom::ComponentDescriptor& descriptor) {
+  return descriptor.type == rtos::TaskType::kPeriodic ||
+         descriptor.type == rtos::TaskType::kSporadic;
+}
+
+}  // namespace
+
+FederationCoordinator::FederationCoordinator(Federation& federation)
+    : fed_(&federation),
+      budget_(federation.config().cpu_budget),
+      summaries_(federation.size()),
+      valid_(federation.size(), false),
+      index_(federation.config().kernel.cpus),
+      indexed_headroom_(federation.size()),
+      indexed_(federation.size(), false) {
+  metrics_.enable();
+  m_placements_ =
+      metrics_.counter("fed.placements", "components/systems settled");
+  m_retries_ =
+      metrics_.counter("fed.retries", "local rejections retried on a sibling");
+  m_rejects_ = metrics_.counter("fed.rejects",
+                                "placements unsatisfied on every sibling");
+  m_migrations_ = metrics_.counter("fed.migrations", "live migrations");
+  m_migration_failures_ = metrics_.counter(
+      "fed.migration_failures", "migrations rolled back to the source");
+  metrics_.gauge_callback("fed.nodes_alive", "alive federation nodes",
+                          [this] {
+                            return static_cast<double>(fed_->alive_count());
+                          });
+  metrics_.gauge_callback("fed.channels", "live inter-node channels", [this] {
+    return static_cast<double>(fed_->channel_count());
+  });
+  metrics_.gauge_callback("fed.in_flight",
+                          "messages in flight on inter-node channels", [this] {
+                            return static_cast<double>(fed_->in_flight_total());
+                          });
+  publish_all();
+}
+
+// ---------------------------------------------------------------- summaries
+
+void FederationCoordinator::publish(NodeIndex node) {
+  if (node >= summaries_.size()) return;
+  const drcom::ContractCache& cache =
+      fed_->node(node).drcr->contract_cache();
+  if (valid_[node] && cache.fresh(summaries_[node].contracts)) {
+    // Sums unchanged, but membership may have flipped since the last
+    // publish — refresh the index entries either way.
+    update_index(node);
+    return;
+  }
+  adopt_summary(node, cache.summary());
+}
+
+void FederationCoordinator::publish_all() {
+  for (NodeIndex node = 0; node < summaries_.size(); ++node) publish(node);
+}
+
+void FederationCoordinator::publish_rescan(NodeIndex node) {
+  if (node >= summaries_.size()) return;
+  const drcom::ContractCache& cache =
+      fed_->node(node).drcr->contract_cache();
+  drcom::ContractSummary contracts;
+  contracts.cache_id = cache.cache_id();
+  const std::size_t cpus = cache.cpu_count();
+  contracts.generations.resize(cpus);
+  contracts.declared.assign(cpus, 0.0);
+  contracts.recurring.assign(cpus, 0.0);
+  for (CpuId cpu = 0; cpu < cpus; ++cpu) {
+    contracts.generations[cpu] = cache.generation(cpu);
+  }
+  // The O(components) scan the cached sums replace. Global activation order
+  // preserves per-CPU activation order, so this left-fold is bit-identical
+  // to the cache's.
+  for (const drcom::ComponentDescriptor* descriptor : cache.active()) {
+    const CpuId cpu = descriptor->target_cpu();
+    contracts.declared[cpu] += descriptor->cpu_usage;
+    if (has_recurring_contract(*descriptor)) {
+      contracts.recurring[cpu] += descriptor->cpu_usage;
+    }
+  }
+  contracts.active_components = cache.active().size();
+  adopt_summary(node, std::move(contracts));
+}
+
+void FederationCoordinator::publish_all_rescan() {
+  for (NodeIndex node = 0; node < summaries_.size(); ++node) {
+    publish_rescan(node);
+  }
+}
+
+void FederationCoordinator::invalidate() {
+  for (NodeIndex node = 0; node < summaries_.size(); ++node) {
+    drop_from_index(node);
+    valid_[node] = false;
+  }
+}
+
+bool FederationCoordinator::summary_fresh(NodeIndex node) const {
+  return node < summaries_.size() && valid_[node] &&
+         fed_->node(node).drcr->contract_cache().fresh(
+             summaries_[node].contracts);
+}
+
+void FederationCoordinator::adopt_summary(NodeIndex node,
+                                          drcom::ContractSummary contracts) {
+  NodeSummary& summary = summaries_[node];
+  summary.contracts = std::move(contracts);
+  summary.headroom.resize(summary.contracts.declared.size());
+  for (std::size_t cpu = 0; cpu < summary.headroom.size(); ++cpu) {
+    summary.headroom[cpu] = budget_ - summary.contracts.declared[cpu];
+  }
+  valid_[node] = true;
+  update_index(node);
+}
+
+void FederationCoordinator::update_index(NodeIndex node) {
+  drop_from_index(node);
+  if (!valid_[node] || !fed_->alive(node)) return;
+  const std::vector<double>& headroom = summaries_[node].headroom;
+  if (index_.size() < headroom.size()) index_.resize(headroom.size());
+  std::vector<double>& keys = indexed_headroom_[node];
+  keys.assign(index_.size(), budget_);
+  for (std::size_t cpu = 0; cpu < headroom.size(); ++cpu) {
+    keys[cpu] = headroom[cpu];
+  }
+  for (CpuId cpu = 0; cpu < index_.size(); ++cpu) {
+    index_[cpu].insert({keys[cpu], node});
+  }
+  indexed_[node] = true;
+}
+
+void FederationCoordinator::drop_from_index(NodeIndex node) {
+  if (!indexed_[node]) return;
+  const std::vector<double>& keys = indexed_headroom_[node];
+  for (CpuId cpu = 0; cpu < keys.size(); ++cpu) {
+    index_[cpu].erase({keys[cpu], node});
+  }
+  indexed_[node] = false;
+}
+
+double FederationCoordinator::headroom_on(NodeIndex node, CpuId cpu) const {
+  if (!valid_[node]) return budget_;
+  const std::vector<double>& headroom = summaries_[node].headroom;
+  return cpu < headroom.size() ? headroom[cpu] : budget_;
+}
+
+// ---------------------------------------------------------------- placement
+
+std::optional<NodeIndex> FederationCoordinator::select_node(CpuId cpu) const {
+  if (cpu < index_.size()) {
+    if (index_[cpu].empty()) return std::nullopt;
+    return index_[cpu].begin()->second;
+  }
+  // A CPU no summary has seen yet: every indexed node has full budget
+  // headroom there, so best-fit degenerates to the lowest node index.
+  for (NodeIndex node = 0; node < indexed_.size(); ++node) {
+    if (indexed_[node]) return node;
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeIndex> FederationCoordinator::placement_order(
+    CpuId cpu) const {
+  std::vector<NodeIndex> order;
+  if (cpu < index_.size()) {
+    order.reserve(index_[cpu].size());
+    for (const auto& [headroom, node] : index_[cpu]) order.push_back(node);
+    return order;
+  }
+  for (NodeIndex node = 0; node < indexed_.size(); ++node) {
+    if (indexed_[node]) order.push_back(node);
+  }
+  return order;
+}
+
+std::vector<NodeIndex> FederationCoordinator::system_order(
+    const drcom::SystemDescriptor& system) const {
+  std::set<CpuId> cpus;
+  for (const drcom::ComponentDescriptor& member : system.components) {
+    cpus.insert(member.target_cpu());
+  }
+  std::vector<std::pair<double, NodeIndex>> ranked;
+  for (NodeIndex node = 0; node < indexed_.size(); ++node) {
+    if (!indexed_[node]) continue;
+    double worst = std::numeric_limits<double>::infinity();
+    for (const CpuId cpu : cpus) {
+      worst = std::min(worst, headroom_on(node, cpu));
+    }
+    ranked.emplace_back(worst, node);
+  }
+  std::sort(ranked.begin(), ranked.end(), BestFit{});
+  std::vector<NodeIndex> order;
+  order.reserve(ranked.size());
+  for (const auto& [headroom, node] : ranked) order.push_back(node);
+  return order;
+}
+
+bool FederationCoordinator::settled(const drcom::Drcr& drcr,
+                                    const std::string& name) const {
+  const auto state = drcr.state_of(name);
+  return state.has_value() &&
+         (*state == drcom::ComponentState::kActive ||
+          *state == drcom::ComponentState::kDisabled);
+}
+
+std::optional<NodeIndex> FederationCoordinator::node_of(
+    const std::string& name) const {
+  const auto found = placements_.find(name);
+  if (found != placements_.end() &&
+      fed_->node(found->second).drcr->descriptor_of(name) != nullptr) {
+    return found->second;
+  }
+  for (NodeIndex node = 0; node < fed_->size(); ++node) {
+    if (fed_->node(node).drcr->descriptor_of(name) != nullptr) return node;
+  }
+  return std::nullopt;
+}
+
+std::optional<NodeIndex> FederationCoordinator::system_node_of(
+    const std::string& system_name) const {
+  const auto found = system_placements_.find(system_name);
+  if (found != system_placements_.end() &&
+      fed_->node(found->second).drcr->system_of(system_name) != nullptr) {
+    return found->second;
+  }
+  for (NodeIndex node = 0; node < fed_->size(); ++node) {
+    if (fed_->node(node).drcr->system_of(system_name) != nullptr) return node;
+  }
+  return std::nullopt;
+}
+
+Result<NodeIndex> FederationCoordinator::place(
+    const drcom::ComponentDescriptor& descriptor) {
+  if (const auto owner = node_of(descriptor.name)) {
+    // Forward to the owning node so the duplicate-name error is
+    // byte-identical to a bare DRCR's.
+    auto result = fed_->node(*owner).drcr->register_component(descriptor);
+    if (!result.ok()) return result.error();
+    publish(*owner);
+    placements_[descriptor.name] = *owner;
+    return *owner;
+  }
+  const std::vector<NodeIndex> candidates =
+      placement_order(descriptor.target_cpu());
+  if (candidates.empty()) {
+    return make_error(ErrorCode::kInvalidState, "fed.no_candidates",
+                      "no alive published node for component '" +
+                          descriptor.name + "'");
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeIndex node = candidates[i];
+    drcom::Drcr& drcr = *fed_->node(node).drcr;
+    auto result = drcr.register_component(descriptor);
+    if (!result.ok()) return result.error();
+    publish(node);
+    const bool ok = settled(drcr, descriptor.name);
+    if (ok || i + 1 == candidates.size()) {
+      // Either admitted, or every sibling rejected too: leave it
+      // registered-but-unsatisfied on the last node, exactly as a bare
+      // DRCR would (re-resolution may still admit it later).
+      placements_[descriptor.name] = node;
+      if (ok) {
+        ++stats_.placements;
+        m_placements_->add();
+      } else {
+        ++stats_.rejects;
+        m_rejects_->add();
+      }
+      return node;
+    }
+    (void)drcr.unregister_component(descriptor.name);
+    publish(node);
+    ++stats_.retries;
+    m_retries_->add();
+  }
+  return candidates.back();  // unreachable: the loop always returns
+}
+
+Result<NodeIndex> FederationCoordinator::place_system(
+    const drcom::SystemDescriptor& system) {
+  std::optional<NodeIndex> owner = system_node_of(system.name);
+  if (!owner) {
+    for (const drcom::ComponentDescriptor& member : system.components) {
+      owner = node_of(member.name);
+      if (owner) break;
+    }
+  }
+  std::vector<NodeIndex> candidates;
+  if (owner) {
+    // Name already taken somewhere: deploy there so the duplicate / member
+    // clash error is byte-identical to a bare DRCR's.
+    candidates.push_back(*owner);
+  } else {
+    candidates = system_order(system);
+  }
+  if (candidates.empty()) {
+    return make_error(ErrorCode::kInvalidState, "fed.no_candidates",
+                      "no alive published node for system '" + system.name +
+                          "'");
+  }
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const NodeIndex node = candidates[i];
+    drcom::Drcr& drcr = *fed_->node(node).drcr;
+    auto result = drcr.deploy_system(system);
+    if (!result.ok()) return result.error();
+    publish(node);
+    bool all_settled = true;
+    for (const drcom::ComponentDescriptor& member : system.components) {
+      all_settled = all_settled && settled(drcr, member.name);
+    }
+    if (all_settled || i + 1 == candidates.size()) {
+      system_placements_[system.name] = node;
+      for (const drcom::ComponentDescriptor& member : system.components) {
+        placements_[member.name] = node;
+      }
+      if (all_settled) {
+        ++stats_.placements;
+        m_placements_->add();
+      } else {
+        ++stats_.rejects;
+        m_rejects_->add();
+      }
+      return node;
+    }
+    (void)drcr.undeploy_system(system.name);
+    publish(node);
+    ++stats_.retries;
+    m_retries_->add();
+  }
+  return candidates.back();  // unreachable: the loop always returns
+}
+
+Result<void> FederationCoordinator::remove(const std::string& name) {
+  const auto owner = node_of(name);
+  if (!owner) {
+    return make_error(ErrorCode::kNotFound, "fed.unknown_component",
+                      "no node hosts component '" + name + "'");
+  }
+  auto result = fed_->node(*owner).drcr->unregister_component(name);
+  if (result.ok()) {
+    placements_.erase(name);
+    publish(*owner);
+  }
+  return result;
+}
+
+Result<void> FederationCoordinator::undeploy(const std::string& system_name) {
+  const auto owner = system_node_of(system_name);
+  if (!owner) {
+    return make_error(ErrorCode::kNotFound, "fed.unknown_system",
+                      "no node hosts system '" + system_name + "'");
+  }
+  drcom::Drcr& drcr = *fed_->node(*owner).drcr;
+  const std::vector<std::string> members = drcr.system_members(system_name);
+  auto result = drcr.undeploy_system(system_name);
+  if (result.ok()) {
+    for (const std::string& member : members) placements_.erase(member);
+    system_placements_.erase(system_name);
+    publish(*owner);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------- migration
+
+Result<void> FederationCoordinator::migrate(const std::string& name,
+                                            NodeIndex target) {
+  if (target >= fed_->size() || !fed_->alive(target)) {
+    return make_error(ErrorCode::kInvalidArgument, "fed.bad_target",
+                      "migration target " + std::to_string(target) +
+                          " is unknown or down");
+  }
+  const auto source = node_of(name);
+  if (!source) {
+    return make_error(ErrorCode::kNotFound, "fed.unknown_component",
+                      "no node hosts component '" + name + "'");
+  }
+  const NodeIndex src = *source;
+  if (src == target) return Result<void>::success();
+  if (!fed_->alive(src)) {
+    return make_error(ErrorCode::kInvalidState, "fed.source_down",
+                      "source node " + std::to_string(src) + " is down");
+  }
+  if (fed_->partitioned(src, target)) {
+    return make_error(ErrorCode::kInvalidState, "fed.partitioned",
+                      "nodes " + std::to_string(src) + " and " +
+                          std::to_string(target) +
+                          " are partitioned; replay cannot flow");
+  }
+  drcom::Drcr& src_drcr = *fed_->node(src).drcr;
+  for (const std::string& system : src_drcr.deployed_systems()) {
+    const std::vector<std::string> members = src_drcr.system_members(system);
+    if (std::find(members.begin(), members.end(), name) != members.end()) {
+      return make_error(ErrorCode::kInvalidState, "fed.system_member",
+                        "'" + name + "' belongs to system '" + system +
+                            "'; migrate the system as a whole");
+    }
+  }
+
+  // SNAPSHOT: serialize through the drt: XML machinery and re-parse, so the
+  // target admits exactly what a snapshot restore would.
+  const drcom::ComponentDescriptor* registered = src_drcr.descriptor_of(name);
+  if (registered == nullptr) {
+    return make_error(ErrorCode::kNotFound, "fed.unknown_component",
+                      "no node hosts component '" + name + "'");
+  }
+  const bool was_disabled =
+      src_drcr.state_of(name) == drcom::ComponentState::kDisabled;
+  auto parsed = drcom::parse_descriptor(drcom::write_descriptor(*registered));
+  if (!parsed.ok()) return parsed.error();
+  const drcom::ComponentDescriptor snapshot = std::move(parsed).take();
+
+  // DRAIN: pop queued messages from the instance's owned mailboxes while the
+  // source still owns them (FIFO order per mailbox).
+  rtos::RtKernel& src_kernel = *fed_->node(src).kernel;
+  std::vector<std::pair<std::string, rtos::Message>> drained;
+  if (drcom::HybridComponent* instance = src_drcr.instance_of(name)) {
+    for (const std::string& mailbox_name : instance->owned_mailboxes()) {
+      rtos::Mailbox* mailbox = src_kernel.mailbox_find(mailbox_name);
+      if (mailbox == nullptr) continue;
+      while (auto message = src_kernel.mailbox_try_receive(*mailbox)) {
+        drained.emplace_back(mailbox_name, std::move(*message));
+      }
+    }
+  }
+
+  const auto replay_locally = [&] {
+    for (auto& [mailbox_name, message] : drained) {
+      if (rtos::Mailbox* mailbox = src_kernel.mailbox_find(mailbox_name)) {
+        (void)src_kernel.mailbox_send(*mailbox, std::move(message));
+      }
+    }
+  };
+  const auto fail = [&](Error error) -> Result<void> {
+    ++stats_.migration_failures;
+    m_migration_failures_->add();
+    publish(src);
+    publish(target);
+    return error;
+  };
+
+  // DETACH before RE-ADMIT: at no instant is the contract admitted twice.
+  auto detached = src_drcr.unregister_component(name);
+  if (!detached.ok()) return fail(detached.error());
+
+  drcom::Drcr& tgt_drcr = *fed_->node(target).drcr;
+  auto admitted = tgt_drcr.register_component(snapshot);
+  if (admitted.ok() && was_disabled) {
+    (void)tgt_drcr.disable_component(name);
+  }
+  if (admitted.ok() && !settled(tgt_drcr, name)) {
+    // Target rejected the contract: migration is all-or-nothing.
+    (void)tgt_drcr.unregister_component(name);
+    admitted = make_error(ErrorCode::kAdmissionRejected,
+                          "fed.migration_rejected",
+                          "node " + std::to_string(target) + " rejected '" +
+                              name + "': " + tgt_drcr.last_reason(name));
+  }
+  if (!admitted.ok()) {
+    // ROLLBACK: restore the source admission and replay locally. The
+    // re-registration re-admits the exact contract that was running, so it
+    // cannot fail on the node it just vacated.
+    const Error error = admitted.error();
+    auto restored = src_drcr.register_component(snapshot);
+    if (restored.ok()) {
+      if (was_disabled) (void)src_drcr.disable_component(name);
+      replay_locally();
+    }
+    return fail(error);
+  }
+
+  // REPLAY through the channel layer: per-mailbox FIFO into the same-named
+  // mailboxes the re-activated instance created on the target.
+  for (auto& [mailbox_name, message] : drained) {
+    (void)fed_->channel(src, target, mailbox_name).send(std::move(message));
+  }
+  placements_[name] = target;
+  publish(src);
+  publish(target);
+  ++stats_.migrations;
+  m_migrations_->add();
+  return Result<void>::success();
+}
+
+}  // namespace drt::fed

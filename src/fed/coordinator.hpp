@@ -1,0 +1,178 @@
+// FederationCoordinator — global admission, placement and live migration.
+//
+// Summary protocol
+// ----------------
+// Each node's admission state is summarized by its ContractCache export
+// (`drcom::ContractSummary`: cached per-CPU utilization sums + generation
+// counters, O(cpus) to take) plus derived per-CPU headroom
+// (budget - declared). Summaries are published push-style: the coordinator
+// refreshes a node after every mutation it drives there, and the refresh is
+// a generation check (O(cpus)) — when nothing changed, nothing is copied;
+// when something did, the new sums are read straight off the cache. A
+// descriptor rescan NEVER happens on this path (publish_rescan exists only
+// as the measured baseline in bench_federation).
+//
+// Placement
+// ---------
+// A per-CPU best-fit index (std::set ordered by headroom desc, node asc)
+// makes the warm decision O(1): `select_node` peeks the best entry. Updating
+// a node after publish is O(log nodes). Placement tries nodes best-fit
+// first; a *local rejection* (component registered but UNSATISFIED under
+// auto-resolve) unregisters and retries on the next-best sibling. If every
+// sibling rejects, the component stays registered-but-unsatisfied on the
+// last node tried — exactly the observable behaviour of a bare DRCR, which
+// is what makes a 1-node federation byte-identical to one (the differential
+// test pins this). Whole systems are routed to a single node and admitted
+// through the DRCR's batch admission (begin_batch/end_batch bracketing in
+// resolve_round); a partially-unsatisfied deployment is undeployed and
+// retried on the best-fit sibling the same way.
+//
+// Migration state machine (standalone components only)
+// ----------------------------------------------------
+//   SNAPSHOT  : serialize the descriptor through the drt: XML machinery
+//   DRAIN     : pop every message queued in the instance's owned mailboxes
+//               (FIFO), while the source instance still owns them
+//   DETACH    : unregister on the source  -> no instant with 2 admissions
+//   RE-ADMIT  : register the re-parsed descriptor on the target
+//   REPLAY    : send the drained messages through the channel layer into
+//               the same-named mailboxes on the target (per-channel FIFO)
+//   ROLLBACK  : if re-admission fails, re-register on the source and replay
+//               locally; the component never ends up half-moved
+//
+// Determinism: the coordinator runs between engine runs and computes
+// everything from node state that is itself a deterministic function of the
+// (time, seq, shard) total order; replay traffic is scheduled through
+// remote_post with the per-channel FIFO clamp. Same script -> same
+// placements, same migrations, same traffic, on either engine backend.
+//
+// fed.* metrics live on the coordinator's own MetricsRegistry (enabled at
+// construction), NOT on any node kernel's registry — so a node's
+// observability exports stay byte-identical to a bare DRCR's.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fed/federation.hpp"
+#include "obs/metrics.hpp"
+
+namespace drt::fed {
+
+/// One node's published admission summary + derived placement rank.
+struct NodeSummary {
+  drcom::ContractSummary contracts;
+  std::vector<double> headroom;  ///< per CPU: budget - declared utilization
+};
+
+struct PlacementStats {
+  std::uint64_t placements = 0;  ///< components/systems settled somewhere
+  std::uint64_t retries = 0;     ///< local rejections retried on a sibling
+  std::uint64_t rejects = 0;     ///< left unsatisfied after every sibling
+  std::uint64_t migrations = 0;
+  std::uint64_t migration_failures = 0;  ///< rolled back to the source
+};
+
+class FederationCoordinator {
+ public:
+  explicit FederationCoordinator(Federation& federation);
+
+  // -- Summary protocol ----------------------------------------------------
+
+  /// Generation-checked refresh of one node's summary + index entries.
+  void publish(NodeIndex node);
+  void publish_all();
+  /// Baseline for the bench gate: rebuilds the summary by scanning every
+  /// active descriptor (O(components per node)) instead of reading the
+  /// cached sums. Produces bit-identical values.
+  void publish_rescan(NodeIndex node);
+  void publish_all_rescan();
+  /// Drops every summary (bench cold path); the index empties until the
+  /// next publish.
+  void invalidate();
+  [[nodiscard]] bool summary_fresh(NodeIndex node) const;
+  [[nodiscard]] const NodeSummary& summary(NodeIndex node) const {
+    return summaries_[node];
+  }
+
+  // -- Placement -----------------------------------------------------------
+
+  /// O(1) warm decision: the alive node with the most headroom on `cpu`.
+  [[nodiscard]] std::optional<NodeIndex> select_node(CpuId cpu) const;
+  /// Alive nodes in best-fit order for `cpu` (the retry schedule).
+  [[nodiscard]] std::vector<NodeIndex> placement_order(CpuId cpu) const;
+
+  /// Places a standalone component (see file comment for the policy).
+  /// Returns the node it ended on; errors only on hard failures (invalid
+  /// descriptor, duplicate name, no alive node).
+  Result<NodeIndex> place(const drcom::ComponentDescriptor& descriptor);
+  /// Routes a whole system to one node (batch admission there); retries the
+  /// deployment on siblings when members come up unsatisfied.
+  Result<NodeIndex> place_system(const drcom::SystemDescriptor& system);
+  /// Unregisters wherever the component lives.
+  Result<void> remove(const std::string& name);
+  Result<void> undeploy(const std::string& system_name);
+
+  /// The node a coordinator-placed component lives on (also resolves
+  /// components that appeared outside the coordinator by scanning).
+  [[nodiscard]] std::optional<NodeIndex> node_of(const std::string& name) const;
+
+  // -- Migration -----------------------------------------------------------
+
+  Result<void> migrate(const std::string& name, NodeIndex target);
+
+  // -- Observability -------------------------------------------------------
+
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const PlacementStats& stats() const { return stats_; }
+  [[nodiscard]] Federation& federation() { return *fed_; }
+
+ private:
+  /// Ordered (headroom desc, node asc): begin() is the best fit.
+  struct BestFit {
+    bool operator()(const std::pair<double, NodeIndex>& a,
+                    const std::pair<double, NodeIndex>& b) const {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    }
+  };
+  using CpuIndex = std::set<std::pair<double, NodeIndex>, BestFit>;
+
+  [[nodiscard]] double headroom_on(NodeIndex node, CpuId cpu) const;
+  [[nodiscard]] std::optional<NodeIndex> system_node_of(
+      const std::string& system_name) const;
+  /// Alive published nodes ranked by worst-case headroom over the CPUs the
+  /// system's members target (desc, node asc).
+  [[nodiscard]] std::vector<NodeIndex> system_order(
+      const drcom::SystemDescriptor& system) const;
+  void adopt_summary(NodeIndex node, drcom::ContractSummary contracts);
+  void update_index(NodeIndex node);
+  void drop_from_index(NodeIndex node);
+  [[nodiscard]] bool settled(const drcom::Drcr& drcr,
+                             const std::string& name) const;
+
+  Federation* fed_;
+  double budget_;
+  std::vector<NodeSummary> summaries_;
+  std::vector<bool> valid_;
+  /// index_[cpu] ranks alive, published nodes by headroom on that CPU.
+  std::vector<CpuIndex> index_;
+  /// The (headroom, node) keys currently in index_[cpu], for O(log n) erase.
+  std::vector<std::vector<double>> indexed_headroom_;  ///< [node][cpu]
+  std::vector<bool> indexed_;
+  std::map<std::string, NodeIndex> placements_;
+  std::map<std::string, NodeIndex> system_placements_;
+  PlacementStats stats_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter* m_placements_;
+  obs::Counter* m_retries_;
+  obs::Counter* m_rejects_;
+  obs::Counter* m_migrations_;
+  obs::Counter* m_migration_failures_;
+};
+
+}  // namespace drt::fed

@@ -206,6 +206,12 @@ std::size_t EngineBackend::pending_events_total() const {
   return total;
 }
 
+std::size_t EngineBackend::pending_messages_total() const {
+  std::size_t total = 0;
+  for (const ShardCore& core : cores_) total += core.messages.size();
+  return total;
+}
+
 EventId EngineBackend::schedule_direct(ShardId ctx, ShardId target,
                                        SimTime when, EventFn fn) {
   ShardCore& src = cores_[ctx];

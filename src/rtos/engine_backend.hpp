@@ -72,7 +72,9 @@ inline constexpr EventId kInvalidEvent = 0;
 using ShardId = std::uint32_t;
 
 /// Bits of the composite event key reserved for the scheduling shard's id.
-inline constexpr unsigned kShardIdBits = 6;
+/// 8 bits = up to 256 shards, sized for federation benches at 256 nodes
+/// (one engine shard per node).
+inline constexpr unsigned kShardIdBits = 8;
 inline constexpr std::size_t kMaxShards = std::size_t{1} << kShardIdBits;
 
 /// Move-only callable with inline storage for small captures; larger
@@ -234,10 +236,12 @@ class EventQueue {
   /// events (reusing the slot under a fresh generation).
   EventFn pop();
 
-  // EventId layout: [shard:6][generation:29][slot+1:29]. kInvalidEvent (0)
-  // never collides because slot+1 is non-zero.
+  // EventId layout: [shard:8][generation:27][slot+1:29]. kInvalidEvent (0)
+  // never collides because slot+1 is non-zero. Generations wrap at 2^27;
+  // cancel() masks both sides, so a stale id can only alias after 2^27
+  // reuses of one slot between schedule and cancel — beyond any real run.
   static constexpr unsigned kSlotBits = 29;
-  static constexpr unsigned kGenerationBits = 29;
+  static constexpr unsigned kGenerationBits = 64 - kSlotBits - kShardIdBits;
   static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
   static constexpr std::uint64_t kGenerationMask =
       (1ull << kGenerationBits) - 1;
@@ -346,6 +350,11 @@ class EngineBackend {
     return cores_[shard].pending();
   }
   [[nodiscard]] std::size_t pending_events_total() const;
+  /// Cross-shard messages posted but not yet delivered to a MessageSink,
+  /// summed over every shard's pending-message heap. Exact between runs
+  /// (hand-off rings are drained at window boundaries); used by the
+  /// federation layer's message-conservation invariant.
+  [[nodiscard]] std::size_t pending_messages_total() const;
   [[nodiscard]] bool idle() const { return pending_events_total() == 0; }
 
   void set_message_sink(ShardId shard, MessageSink sink) {

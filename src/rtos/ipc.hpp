@@ -362,9 +362,31 @@ class WaitQueue {
 /// ring buffer sized at creation; a capacity of 0 makes the mailbox
 /// rendezvous-only (sends succeed only by direct handoff to a parked
 /// receiver).
+class RtKernel;
+
+/// Destination descriptor for cross-shard message delivery (the engine's
+/// MessageSink path). The engine carries an opaque `void*` per posted
+/// message; that pointer is a RemoteTarget, and the receiving kernel
+/// dispatches through it on its own shard context. Every Mailbox embeds one
+/// (remote_send targets mailboxes directly); the federation channel layer
+/// supplies its own so deliveries can be re-routed by name and counted
+/// per channel. The RemoteTarget must outlive any in-flight message that
+/// references it.
+struct RemoteTarget {
+  void (*deliver)(RtKernel& kernel, void* owner, Message message) = nullptr;
+  void* owner = nullptr;
+};
+
 class Mailbox {
  public:
   Mailbox(std::string name, std::size_t capacity);
+  // In-flight remote_sends hold a pointer to remote_: pin the address.
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+
+  /// This mailbox's cross-shard delivery descriptor (dispatches into the
+  /// owning kernel's mailbox_send on arrival).
+  [[nodiscard]] RemoteTarget& remote_target() { return remote_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
@@ -398,6 +420,11 @@ class Mailbox {
   bool push(Message message);
   std::optional<Message> pop();
 
+  /// RemoteTarget thunk: forwards into kernel.mailbox_send(*owner, ...).
+  /// Defined in kernel.cpp (needs the complete RtKernel).
+  static void remote_deliver(RtKernel& kernel, void* owner, Message message);
+
+  RemoteTarget remote_{&Mailbox::remote_deliver, this};
   std::string name_;
   std::size_t capacity_;
   std::vector<Message> ring_;  ///< power-of-two slots (empty for capacity 0)

@@ -723,22 +723,34 @@ std::optional<Message> RtKernel::mailbox_try_receive(Mailbox& mailbox) {
 
 void RtKernel::sink_deliver(void* ctx, void* target, Message message) {
   auto* kernel = static_cast<RtKernel*>(ctx);
-  kernel->mailbox_send(*static_cast<Mailbox*>(target), std::move(message));
+  auto* remote = static_cast<RemoteTarget*>(target);
+  remote->deliver(*kernel, remote->owner, std::move(message));
+}
+
+void Mailbox::remote_deliver(RtKernel& kernel, void* owner, Message message) {
+  kernel.mailbox_send(*static_cast<Mailbox*>(owner), std::move(message));
 }
 
 bool RtKernel::remote_send(ShardId target_shard, Mailbox& target_mailbox,
                            Message message) {
-  if (target_shard >= engine_->shards()) return false;
+  return remote_post(target_shard, target_mailbox.remote_target(),
+                     std::move(message)) != kSimTimeNever;
+}
+
+SimTime RtKernel::remote_post(ShardId target_shard, RemoteTarget& target,
+                              Message message, SimTime not_before) {
+  if (target_shard >= engine_->shards()) return kSimTimeNever;
   // The sampled latency is >= the engine's lookahead floor by construction
   // (LatencyModel::sample_cross_group_latency), so the conservative window
   // never needs to clamp a kernel-originated send. Send accounting is
-  // sender-side; delivery accounting happens in the receiving kernel's
-  // mailbox_send like any local traffic.
+  // sender-side; delivery accounting happens on the receiving shard through
+  // the RemoteTarget (a kernel mailbox_send, or a channel endpoint).
   const SimDuration latency = latency_model_.sample_cross_group_latency(rng_);
-  engine_->post_message(target_shard, now() + latency, &target_mailbox,
-                        std::move(message));
+  SimTime when = now() + latency;
+  if (when < not_before) when = not_before;
+  engine_->post_message(target_shard, when, &target, std::move(message));
   m_.remote_sent->add();
-  return true;
+  return when;
 }
 
 Result<Semaphore*> RtKernel::semaphore_create(std::string name, int initial) {

@@ -206,6 +206,16 @@ class RtKernel {
   bool remote_send(ShardId target_shard, Mailbox& target_mailbox,
                    Message message);
 
+  /// Generalized cross-shard send: schedules `message` for delivery through
+  /// `target` (any RemoteTarget — a mailbox's, or a federation channel
+  /// endpoint's) at max(now() + sampled cross-group latency, not_before).
+  /// Returns the scheduled delivery time so a caller can chain `not_before`
+  /// across sends for FIFO channel order despite latency jitter, or
+  /// kSimTimeNever when `target_shard` does not exist (nothing was sent).
+  /// `target` must outlive delivery.
+  SimTime remote_post(ShardId target_shard, RemoteTarget& target,
+                      Message message, SimTime not_before = 0);
+
   Result<Semaphore*> semaphore_create(std::string name, int initial);
   [[nodiscard]] Semaphore* semaphore_find(std::string_view name);
   /// Deletes the semaphore; blocked waiters resume with acquired == false.

@@ -135,6 +135,12 @@ class SimEngine {
     return backend_->pending_events_total();
   }
 
+  /// Undelivered cross-shard messages only (exact between runs). The
+  /// federation oracle balances channel send counters against this.
+  [[nodiscard]] std::size_t pending_messages() const {
+    return backend_->pending_messages_total();
+  }
+
   // -- Backend management ---------------------------------------------------
 
   [[nodiscard]] EngineKind kind() const { return backend_->kind(); }

@@ -47,9 +47,9 @@ struct Options {
 void usage() {
   std::cerr
       << "usage: drt_fuzz [--seeds N] [--seed S] [--actions N] [--cpus N]\n"
-      << "                [--engine sequential|parallel] [--replay FILE]\n"
-      << "                [--out DIR] [--verify-determinism] [--planted-bug]\n"
-      << "                [--budget-seconds S] [--quiet]\n";
+      << "                [--engine sequential|parallel] [--nodes N]\n"
+      << "                [--replay FILE] [--out DIR] [--verify-determinism]\n"
+      << "                [--planted-bug] [--budget-seconds S] [--quiet]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -78,6 +78,13 @@ bool parse_args(int argc, char** argv, Options& options) {
     } else if (arg == "--cpus") {
       if (!next_value(value) || value == 0) return false;
       options.config.cpus = value;
+    } else if (arg == "--nodes") {
+      // > 1 fuzzes a federation: every node is one engine shard, so the
+      // backend's shard cap bounds the count.
+      if (!next_value(value) || value == 0 || value > drt::rtos::kMaxShards) {
+        return false;
+      }
+      options.config.nodes = value;
     } else if (arg == "--engine") {
       if (i + 1 >= argc) return false;
       const std::string kind = argv[++i];

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
 #include "drcom/snapshot.hpp"
 #include "drcom/system_descriptor.hpp"
+#include "fed/coordinator.hpp"
+#include "fed/federation.hpp"
 #include "util/strings.hpp"
 
 namespace drt::testing {
@@ -97,6 +100,296 @@ std::string outcome(const Result<void>& result) {
   return result.ok() ? "ok" : "err(" + result.error().code + ")";
 }
 
+std::string outcome_node(const Result<fed::NodeIndex>& result) {
+  return result.ok() ? "ok(n" + std::to_string(result.value()) + ")"
+                     : "err(" + result.error().code + ")";
+}
+
+void register_fuzz_factories(drcom::Drcr& drcr) {
+  drcr.factories().register_factory(
+      "fuzz.ok", [] { return std::make_unique<FuzzComponent>(); });
+  drcr.factories().register_factory(
+      "fuzz.throw", []() -> std::unique_ptr<drcom::RtComponent> {
+        throw std::runtime_error("fuzz: injected factory failure");
+      });
+  drcr.factories().register_factory(
+      "fuzz.null",
+      []() -> std::unique_ptr<drcom::RtComponent> { return nullptr; });
+  drcr.factories().register_factory(
+      "fuzz.init", [] { return std::make_unique<InitThrowComponent>(); });
+}
+
+fed::FederationConfig federation_config(std::uint64_t seed,
+                                        const ScenarioConfig& config) {
+  fed::FederationConfig fed_config;
+  fed_config.nodes = config.nodes;
+  fed_config.engine = config.engine;
+  fed_config.kernel = kernel_config(seed, config);
+  fed_config.cpu_budget = config.cpu_budget;
+  // Every node gets a "fed.inbox" sink so kChannelSend always has a live
+  // destination namespace to resolve against.
+  fed_config.inbox_capacity = 64;
+  return fed_config;
+}
+
+/// Federation counterpart of FuzzWorld: N DRCR nodes on one engine, the
+/// coordinator doing global placement, one shared fault plan, the fuzz
+/// factory family on every node. Single-node actions route through the
+/// coordinator; federation actions drive membership, partitions, channels
+/// and live migration.
+class FedFuzzWorld {
+ public:
+  FedFuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
+      : federation(federation_config(seed, config)), coordinator(federation) {
+    for (fed::NodeIndex i = 0; i < federation.size(); ++i) {
+      fed::Node& node = federation.node(i);
+      node.kernel->trace().enable();
+      node.kernel->metrics().enable();
+      node.kernel->set_fault_plan(&faults);
+      register_fuzz_factories(*node.drcr);
+    }
+  }
+
+  FuzzWorld::ApplyResult apply(const Action& action);
+
+  fed::Federation federation;
+  fed::FederationCoordinator coordinator;
+  rtos::FaultPlan faults;
+};
+
+FuzzWorld::ApplyResult FedFuzzWorld::apply(const Action& action) {
+  FuzzWorld::ApplyResult result;
+  std::ostringstream log;
+  log << "@" << federation.now() << " " << describe(action) << " -> ";
+  switch (action.kind) {
+    case ActionKind::kRegisterComponent: {
+      auto descriptor = drcom::parse_descriptor(action.payload);
+      if (!descriptor.ok()) {
+        log << "err(" << descriptor.error().code << ")";
+        break;
+      }
+      log << outcome_node(coordinator.place(descriptor.value()));
+      break;
+    }
+    case ActionKind::kUnregisterComponent:
+      log << outcome(coordinator.remove(action.name));
+      break;
+    case ActionKind::kEnableComponent:
+    case ActionKind::kDisableComponent: {
+      const auto owner = coordinator.node_of(action.name);
+      if (!owner.has_value()) {
+        log << "noop (unknown component)";
+        break;
+      }
+      drcom::Drcr& drcr = *federation.node(*owner).drcr;
+      log << outcome(action.kind == ActionKind::kEnableComponent
+                         ? drcr.enable_component(action.name)
+                         : drcr.disable_component(action.name));
+      break;
+    }
+    case ActionKind::kDeploySystem: {
+      auto system = drcom::parse_system_descriptor(action.payload);
+      if (!system.ok()) {
+        log << "err(" << system.error().code << ")";
+        break;
+      }
+      log << outcome_node(coordinator.place_system(system.value()));
+      break;
+    }
+    case ActionKind::kUndeploySystem:
+      log << outcome(coordinator.undeploy(action.name));
+      break;
+    case ActionKind::kInstallBundle: {
+      // Bundles register their components directly on the node they install
+      // on, bypassing the coordinator — so a member name that already lives
+      // on another node would become a dual admission. Route to the unique
+      // owning node, or skip when members span several.
+      std::set<fed::NodeIndex> owners;
+      for (const std::string& xml : action.extra) {
+        auto descriptor = drcom::parse_descriptor(xml);
+        if (!descriptor.ok()) continue;
+        if (const auto owner = coordinator.node_of(descriptor.value().name)) {
+          owners.insert(*owner);
+        }
+      }
+      if (owners.size() > 1) {
+        log << "noop (members span " << owners.size() << " nodes)";
+        break;
+      }
+      const fed::NodeIndex target =
+          !owners.empty() ? *owners.begin()
+          : action.node < federation.size() ? action.node
+                                            : 0;
+      osgi::Framework& framework = federation.node(target).framework;
+      osgi::BundleDefinition definition;
+      definition.manifest.set_symbolic_name(action.name);
+      for (std::size_t i = 0; i < action.extra.size(); ++i) {
+        const std::string path = "DRT-INF/c" + std::to_string(i) + ".xml";
+        definition.manifest.add_component_resource(path);
+        definition.resources[path] = action.extra[i];
+      }
+      auto installed = framework.install(std::move(definition));
+      if (!installed.ok()) {
+        log << "err(" << installed.error().code << ")";
+        break;
+      }
+      log << "n" << target << " " << outcome(framework.start(installed.value()));
+      break;
+    }
+    case ActionKind::kStopBundle:
+    case ActionKind::kUninstallBundle: {
+      osgi::Framework* framework = nullptr;
+      osgi::Bundle* bundle = nullptr;
+      for (fed::NodeIndex i = 0; i < federation.size() && bundle == nullptr;
+           ++i) {
+        framework = &federation.node(i).framework;
+        bundle = framework->find_bundle(action.name);
+      }
+      if (bundle == nullptr) {
+        log << "noop (no such bundle)";
+        break;
+      }
+      log << outcome(action.kind == ActionKind::kStopBundle
+                         ? framework->stop(bundle->id())
+                         : framework->uninstall(bundle->id()));
+      break;
+    }
+    case ActionKind::kSendCommand: {
+      const auto owner = coordinator.node_of(action.name);
+      drcom::HybridComponent* instance =
+          owner.has_value()
+              ? federation.node(*owner).drcr->instance_of(action.name)
+              : nullptr;
+      if (instance == nullptr) {
+        log << "noop (not active)";
+        break;
+      }
+      log << outcome(instance->send_command(action.payload));
+      log << " responses=" << instance->drain_responses().size();
+      break;
+    }
+    case ActionKind::kMailboxSend: {
+      rtos::RtKernel* kernel = nullptr;
+      rtos::Mailbox* mailbox = nullptr;
+      for (fed::NodeIndex i = 0; i < federation.size() && mailbox == nullptr;
+           ++i) {
+        kernel = federation.node(i).kernel.get();
+        mailbox = kernel->mailbox_find(action.name);
+      }
+      if (mailbox == nullptr) {
+        log << "noop (no such mailbox)";
+        break;
+      }
+      log << (kernel->mailbox_send(*mailbox,
+                                   rtos::message_from_string(action.payload))
+                  ? "delivered"
+                  : "full");
+      break;
+    }
+    case ActionKind::kArmFault:
+      faults.arm(action.fault);
+      log << "armed";
+      break;
+    case ActionKind::kAdvanceTime:
+      federation.advance(action.duration);
+      log << "now=" << federation.now();
+      break;
+    case ActionKind::kResolve: {
+      std::size_t active = 0;
+      for (fed::NodeIndex i = 0; i < federation.size(); ++i) {
+        federation.node(i).drcr->resolve();
+        active += federation.node(i).drcr->active_count();
+      }
+      log << "active=" << active;
+      break;
+    }
+    case ActionKind::kSnapshotRoundTrip:
+      // Not generated in federation mode; tolerate hand-written repros.
+      log << "noop (federation mode)";
+      break;
+    case ActionKind::kNodeLeave:
+      federation.leave(action.node);
+      log << "down alive=" << federation.alive_count();
+      break;
+    case ActionKind::kNodeJoin:
+      federation.join(action.node);
+      log << "up alive=" << federation.alive_count();
+      break;
+    case ActionKind::kPartition:
+      federation.partition(action.node, action.peer);
+      log << (action.node == action.peer ? "noop (self)" : "cut");
+      break;
+    case ActionKind::kHeal:
+      federation.heal(action.node, action.peer);
+      log << "healed";
+      break;
+    case ActionKind::kMigrate:
+      log << outcome(coordinator.migrate(action.name, action.node));
+      break;
+    case ActionKind::kChannelSend: {
+      if (action.node >= federation.size() ||
+          action.peer >= federation.size()) {
+        log << "noop (bad node)";
+        break;
+      }
+      const bool sent =
+          federation.channel(action.node, action.peer, action.name)
+              .send(rtos::message_from_string(action.payload));
+      log << (sent ? "sent" : "severed");
+      break;
+    }
+  }
+  // Push-style summary protocol: the coordinator's view refreshes after
+  // every mutation (generation-checked, O(cpus) per untouched node).
+  coordinator.publish_all();
+  result.log = log.str();
+  return result;
+}
+
+ScenarioResult run_federation_subset(std::uint64_t seed,
+                                     const ScenarioConfig& config,
+                                     const std::vector<std::size_t>& keep) {
+  const std::vector<Action> actions = generate_actions(seed, config);
+  FedFuzzWorld world(seed, config);
+  std::vector<InvariantOracle> oracles;
+  oracles.reserve(world.federation.size());
+  for (fed::NodeIndex i = 0; i < world.federation.size(); ++i) {
+    oracles.emplace_back(*world.federation.node(i).drcr, world.faults,
+                         config.cpu_budget);
+  }
+  ScenarioResult result;
+  result.seed = seed;
+  for (const std::size_t index : keep) {
+    if (index >= actions.size()) continue;
+    FuzzWorld::ApplyResult applied = world.apply(actions[index]);
+    result.action_log.push_back("[" + std::to_string(index) + "] " +
+                                applied.log);
+    std::optional<Violation> violation = std::move(applied.violation);
+    for (std::size_t n = 0; !violation.has_value() && n < oracles.size();
+         ++n) {
+      violation = oracles[n].check();
+      if (violation.has_value()) {
+        violation->detail = "node " + std::to_string(n) + ": " +
+                            violation->detail;
+      }
+    }
+    if (!violation.has_value()) violation = check_federation(world.federation);
+    if (violation.has_value()) {
+      result.violated = true;
+      result.failing_index = index;
+      result.violation = std::move(*violation);
+      break;
+    }
+  }
+  std::ostringstream trace;
+  for (fed::NodeIndex i = 0; i < world.federation.size(); ++i) {
+    trace << "--- node " << i << " ---\n"
+          << render_trace(world.federation.node(i).kernel->trace());
+  }
+  result.trace_text = trace.str();
+  return result;
+}
+
 }  // namespace
 
 FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
@@ -116,18 +409,7 @@ FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
   // per-mailbox counters (invariant 7), which only works when counting.
   kernel.metrics().enable();
   kernel.set_fault_plan(&faults);
-  drcr.factories().register_factory(
-      "fuzz.ok", [] { return std::make_unique<FuzzComponent>(); });
-  drcr.factories().register_factory(
-      "fuzz.throw", []() -> std::unique_ptr<drcom::RtComponent> {
-        throw std::runtime_error("fuzz: injected factory failure");
-      });
-  drcr.factories().register_factory(
-      "fuzz.null", []() -> std::unique_ptr<drcom::RtComponent> {
-        return nullptr;
-      });
-  drcr.factories().register_factory(
-      "fuzz.init", [] { return std::make_unique<InitThrowComponent>(); });
+  register_fuzz_factories(drcr);
 }
 
 FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
@@ -255,6 +537,16 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
       log << "fixpoint (" << before.size() << " bytes)";
       break;
     }
+    case ActionKind::kNodeLeave:
+    case ActionKind::kNodeJoin:
+    case ActionKind::kPartition:
+    case ActionKind::kHeal:
+    case ActionKind::kMigrate:
+    case ActionKind::kChannelSend:
+      // Federation actions are only generated when config.nodes > 1, which
+      // routes the scenario through FedFuzzWorld instead.
+      log << "noop (single-node world)";
+      break;
   }
   result.log = log.str();
   return result;
@@ -274,6 +566,7 @@ std::string render_trace(const rtos::Trace& trace) {
 ScenarioResult run_scenario_subset(std::uint64_t seed,
                                    const ScenarioConfig& config,
                                    const std::vector<std::size_t>& keep) {
+  if (config.nodes > 1) return run_federation_subset(seed, config, keep);
   const std::vector<Action> actions = generate_actions(seed, config);
   FuzzWorld world(seed, config);
   InvariantOracle oracle(world.drcr, world.faults, config.cpu_budget);
@@ -341,6 +634,7 @@ std::string write_repro(const Repro& repro, const ScenarioResult& result) {
   out << "plant " << (repro.config.plant_bug ? 1 : 0) << '\n';
   out << "snapshots " << (repro.config.snapshot_checks ? 1 : 0) << '\n';
   out << "engine " << rtos::to_string(repro.config.engine) << '\n';
+  out << "nodes " << repro.config.nodes << '\n';
   out << "keep";
   for (const std::size_t index : repro.keep) out << ' ' << index;
   out << '\n';
@@ -405,6 +699,11 @@ Result<Repro> parse_repro(std::string_view text) {
         repro.config.engine = rtos::EngineKind::kParallel;
       } else {
         return bad("expected sequential|parallel");
+      }
+    } else if (key == "nodes") {
+      // Absent in pre-federation repro files; those default to one node.
+      if (!(fields >> repro.config.nodes) || repro.config.nodes == 0) {
+        return bad("expected positive node count");
       }
     } else if (key == "keep") {
       std::size_t index = 0;

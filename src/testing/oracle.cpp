@@ -285,4 +285,59 @@ std::optional<Violation> InvariantOracle::check_contract_cache() const {
   return std::nullopt;
 }
 
+std::optional<Violation> check_federation(const fed::Federation& federation) {
+  // (a) per-channel exact accounting.
+  std::optional<Violation> violation;
+  federation.for_each_channel([&](fed::NodeIndex source, fed::NodeIndex target,
+                                  const std::string& mailbox,
+                                  const rtos::NodeChannel& channel) {
+    if (violation.has_value()) return;
+    const rtos::ChannelStats stats = channel.stats();
+    std::ostringstream out;
+    if (stats.arrived > stats.sent) {
+      out << "channel n" << source << "->n" << target << " '" << mailbox
+          << "': arrived=" << stats.arrived << " exceeds sent=" << stats.sent;
+    } else if (stats.arrived !=
+               stats.accepted + stats.rejected + stats.unroutable) {
+      out << "channel n" << source << "->n" << target << " '" << mailbox
+          << "': arrived=" << stats.arrived << " != accepted="
+          << stats.accepted << " + rejected=" << stats.rejected
+          << " + unroutable=" << stats.unroutable;
+    } else {
+      return;
+    }
+    violation = Violation{"fed-channel-conservation", out.str()};
+  });
+  if (violation.has_value()) return violation;
+
+  // (b) global conservation: every message sent but not yet arrived is
+  // sitting in an engine cross-shard ring. Retired channels drained before
+  // destruction, so live channels account for all in-flight traffic.
+  const std::uint64_t in_flight = federation.in_flight_total();
+  const std::size_t pending = federation.engine().pending_messages();
+  if (in_flight != pending) {
+    std::ostringstream out;
+    out << "channels report " << in_flight
+        << " message(s) in flight but the engine holds " << pending
+        << " pending cross-shard message(s)";
+    return Violation{"fed-message-conservation", out.str()};
+  }
+
+  // (c) no dual admission: a component name lives on at most one node.
+  std::map<std::string, fed::NodeIndex> owners;
+  for (fed::NodeIndex node = 0; node < federation.size(); ++node) {
+    for (const std::string& name :
+         federation.node(node).drcr->component_names()) {
+      const auto [it, inserted] = owners.emplace(name, node);
+      if (!inserted) {
+        std::ostringstream out;
+        out << "component '" << name << "' is registered on node "
+            << it->second << " AND node " << node;
+        return Violation{"fed-dual-admission", out.str()};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace drt::testing

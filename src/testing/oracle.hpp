@@ -42,6 +42,7 @@
 #include <string>
 
 #include "drcom/drcr.hpp"
+#include "fed/federation.hpp"
 #include "rtos/fault.hpp"
 
 namespace drt::testing {
@@ -76,5 +77,20 @@ class InvariantOracle {
   std::size_t trace_checked_ = 0;
   SimTime last_trace_time_ = 0;
 };
+
+/// Invariant 9 — federation-wide conservation and placement sanity, checked
+/// alongside the per-node oracles in federation fuzz runs:
+///
+///   a. per-channel accounting — arrived == accepted + rejected + unroutable
+///      and arrived never exceeds sent (exact two-sided counters, never the
+///      racy registry-summed pool stats);
+///   b. cross-node message conservation — Σ sent - Σ arrived over live
+///      channels equals the engine's pending cross-shard messages (channels
+///      are the only cross-shard senders in a federation fuzz world, and
+///      retired channels must drain before destruction);
+///   c. no dual admission — no component name is registered on two alive-or-
+///      dead nodes at once (migration detaches before it re-admits).
+[[nodiscard]] std::optional<Violation> check_federation(
+    const fed::Federation& federation);
 
 }  // namespace drt::testing

@@ -110,6 +110,12 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kAdvanceTime: return "advance";
     case ActionKind::kResolve: return "resolve";
     case ActionKind::kSnapshotRoundTrip: return "snapshot-check";
+    case ActionKind::kNodeLeave: return "node-leave";
+    case ActionKind::kNodeJoin: return "node-join";
+    case ActionKind::kPartition: return "partition";
+    case ActionKind::kHeal: return "heal";
+    case ActionKind::kMigrate: return "migrate";
+    case ActionKind::kChannelSend: return "channel-send";
   }
   return "?";
 }
@@ -133,6 +139,21 @@ std::string describe(const Action& action) {
       break;
     case ActionKind::kInstallBundle:
       out << " (" << action.extra.size() << " descriptors)";
+      break;
+    case ActionKind::kNodeLeave:
+    case ActionKind::kNodeJoin:
+      out << " n" << action.node;
+      break;
+    case ActionKind::kPartition:
+    case ActionKind::kHeal:
+      out << " n" << action.node << "<->n" << action.peer;
+      break;
+    case ActionKind::kMigrate:
+      out << " -> n" << action.node;
+      break;
+    case ActionKind::kChannelSend:
+      out << " n" << action.node << "->n" << action.peer << " '"
+          << action.payload << "'";
       break;
     default:
       break;
@@ -242,9 +263,19 @@ std::vector<Action> generate_actions(std::uint64_t seed,
     advance(milliseconds(1));
   }
 
+  // Federation mode widens the roll range: rolls 0-179 generate exactly the
+  // same actions from the same draws as single-node mode, and the new bands
+  // (180-239) are unreachable when nodes == 1 — existing seeds stay
+  // byte-identical.
+  const bool fed_mode = config.nodes > 1;
+  auto pick_node = [&](Rng& r) {
+    return static_cast<std::size_t>(
+        r.uniform(0, static_cast<std::int64_t>(config.nodes) - 1));
+  };
+
   while (actions.size() < config.action_count) {
     // Weighted action selection (x10 integer weights).
-    const auto roll = rng.uniform(0, 179);
+    const auto roll = rng.uniform(0, fed_mode ? 239 : 179);
     if (roll < 30) {  // register
       const std::string name = fresh_name(rng, model, "c", 10);
       ComponentDescriptor d = random_descriptor(rng, name, config.cpus);
@@ -333,6 +364,7 @@ std::vector<Action> generate_actions(std::uint64_t seed,
         model.add_component(member, d);
         members.push_back(member);
       }
+      if (fed_mode) a.node = pick_node(rng);
       model.bundles[name] = std::move(members);
       actions.push_back(std::move(a));
     } else if (roll < 80) {  // stop / uninstall bundle
@@ -424,10 +456,49 @@ std::vector<Action> generate_actions(std::uint64_t seed,
       Action a;
       a.kind = ActionKind::kResolve;
       actions.push_back(std::move(a));
-    } else {  // snapshot fixpoint check
-      if (!config.snapshot_checks) continue;
+    } else if (roll < 180) {  // snapshot fixpoint check
+      // Needs a second single-node world to restore into; federation worlds
+      // exercise migration round-trips instead.
+      if (!config.snapshot_checks || fed_mode) continue;
       Action a;
       a.kind = ActionKind::kSnapshotRoundTrip;
+      actions.push_back(std::move(a));
+    } else if (roll < 200) {  // cross-node channel traffic
+      Action a;
+      a.kind = ActionKind::kChannelSend;
+      a.name = "fed.inbox";
+      a.node = pick_node(rng);
+      a.peer = pick_node(rng);
+      a.payload = "f" + std::to_string(rng.uniform(0, 999));
+      actions.push_back(std::move(a));
+    } else if (roll < 212) {  // live migration
+      if (!model.has_components()) continue;
+      Action a;
+      a.kind = ActionKind::kMigrate;
+      a.name = model.pick_component(rng);
+      a.node = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 222) {  // partition a link
+      Action a;
+      a.kind = ActionKind::kPartition;
+      a.node = pick_node(rng);
+      a.peer = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 228) {  // heal a link
+      Action a;
+      a.kind = ActionKind::kHeal;
+      a.node = pick_node(rng);
+      a.peer = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 234) {  // node leaves
+      Action a;
+      a.kind = ActionKind::kNodeLeave;
+      a.node = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else {  // node (re)joins
+      Action a;
+      a.kind = ActionKind::kNodeJoin;
+      a.node = pick_node(rng);
       actions.push_back(std::move(a));
     }
   }

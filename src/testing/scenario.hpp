@@ -40,6 +40,14 @@ enum class ActionKind {
   kAdvanceTime,         ///< engine.run_until(now + duration)
   kResolve,             ///< explicit drcr.resolve()
   kSnapshotRoundTrip,   ///< restore(snapshot(S)) fixpoint check
+  // Federation actions (generated only when config.nodes > 1; appended at
+  // the enum tail so single-node repro files keep their meaning).
+  kNodeLeave,           ///< federation.leave(node)
+  kNodeJoin,            ///< federation.join(node)
+  kPartition,           ///< federation.partition(node, peer)
+  kHeal,                ///< federation.heal(node, peer)
+  kMigrate,             ///< coordinator.migrate(name, node)
+  kChannelSend,         ///< channel(node -> peer, mailbox `name`).send
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind);
@@ -51,6 +59,8 @@ struct Action {
   std::vector<std::string> extra;   ///< bundle member descriptor XMLs
   SimDuration duration = 0;         ///< kAdvanceTime amount
   rtos::FaultSpec fault;            ///< kArmFault spec
+  std::size_t node = 0;             ///< federation target / source node
+  std::size_t peer = 0;             ///< federation peer node (partition/send)
 };
 
 /// One-line human-readable rendering (used in repro files and logs).
@@ -72,6 +82,13 @@ struct ScenarioConfig {
   /// final state) are byte-identical across backends — drt_fuzz's
   /// --verify-determinism and tests/test_engine_parallel.cpp enforce it.
   rtos::EngineKind engine = rtos::EngineKind::kSequential;
+  /// > 1 runs the scenario against a fed::Federation of this many nodes
+  /// (one engine shard each): registrations flow through the coordinator's
+  /// global placement, and membership / partition / migration / channel
+  /// actions join the mix. 1 (the default) keeps single-node generation
+  /// byte-identical to every pre-federation seed. Snapshot round-trips are
+  /// not generated in federation mode.
+  std::size_t nodes = 1;
 };
 
 /// Generates the full action sequence for `seed`. Pure function of its
