@@ -1,0 +1,191 @@
+// Mode-change protocol cost (docs/MODES.md).
+//
+// The ModeChangeController admission-checks a transition by PROJECTING the
+// per-CPU utilization delta of the planned budget changes/drops/restores onto
+// the ContractCache sums — one pass over the mode-declaring components plus
+// O(cpus) comparisons. The alternative the paper's §2.2 contract would
+// otherwise force is a full re-admission: re-running the response-time
+// analysis for every deployed contract against a cache-less view, the way a
+// restart (or a pre-incremental DRCR) would.
+//
+// This bench measures, at 16/64/256 deployed mode-declaring components:
+//   admission@N    the pure transition admission check (a rejected target:
+//                  full planning + projection, no state mutated — repeatable)
+//   transition@N   one committed round-trip (degraded and back) / 2, i.e.
+//                  admission + shrink-first apply + the closing resolve()
+//   readmit@N      the from-scratch baseline: every deployed contract
+//                  re-admitted against a cache-less view
+//
+// Flags:
+//   --json <path>  machine-readable report (bench_common.hpp format)
+//   --check        gate: admission@256 must be >= 10x cheaper than
+//                  readmit@256 (transition admission beats full re-admission)
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "drcom/mode_change.hpp"
+
+namespace drt::bench {
+namespace {
+
+class NullComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) co_await job.next_cycle();
+  }
+};
+
+/// A DRCR with `n` active components, every one declaring a "degraded" mode
+/// at half budget and an (infeasible) "overload" mode at 0.9 — so a degraded
+/// transition re-budgets all of them and an overload attempt exercises the
+/// full planning + projection path before rejecting.
+struct ModeSet {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+  std::size_t n;
+
+  explicit ModeSet(std::size_t count)
+      : kernel(engine, paper_kernel_config(false, 7)), drcr(framework, kernel),
+        n(count) {
+    // The guarded admission config (bench_admission): every contract is
+    // validated by exact response-time analysis, so the full re-admission
+    // baseline pays one RTA per deployed component.
+    drcr.set_internal_resolver(
+        std::make_unique<drcom::ResponseTimeResolver>(1'100));
+    drcr.factories().register_factory(
+        "bench.Null", [] { return std::make_unique<NullComponent>(); });
+    // Total base load 0.3 per CPU: comfortably admitted, and the degraded
+    // halving leaves a projection that always commits.
+    const double usage = 0.6 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      drcom::ComponentDescriptor d;
+      d.name = "m" + std::to_string(i);
+      d.bincode = "bench.Null";
+      d.type = rtos::TaskType::kPeriodic;
+      d.cpu_usage = usage;
+      d.periodic =
+          drcom::PeriodicSpec{1000.0, static_cast<CpuId>(i % 2),
+                              static_cast<int>(i % 200)};
+      d.modes.push_back({"degraded", usage / 2.0});
+      d.modes.push_back({"overload", 0.9});
+      (void)drcr.register_component(std::move(d));
+    }
+  }
+};
+
+/// Average ns per call: `batch` calls per sample, `samples` samples.
+template <typename Fn>
+StatSummary time_calls(std::size_t batch, std::size_t samples, Fn&& fn) {
+  SampleSeries series;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const auto end = std::chrono::steady_clock::now();
+    series.add(static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       end - begin)
+                       .count()) /
+               static_cast<double>(batch));
+  }
+  return series.summary();
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main(int argc, char** argv) {
+  using namespace drt;
+  using namespace drt::bench;
+
+  parse_bench_args(argc, argv);
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  constexpr std::size_t kBatch = 16;
+  constexpr std::size_t kSamples = 30;
+
+  std::printf(
+      "mode-change protocol cost (2 CPUs, every component mode-declaring)\n");
+  print_table_header(
+      "mode transition ns",
+      "admission = rejected target (pure pre-check); transition = committed "
+      "round-trip / 2; readmit = full from-scratch re-admission");
+
+  double admission_256 = 0.0;
+  double readmit_256 = 0.0;
+  bool transitions_ok = true;
+  for (const std::size_t n : {16, 64, 256}) {
+    ModeSet set(n);
+    drcom::ModeChangeController& modes = set.drcr.mode_controller();
+
+    // Pure admission: the overload target is rejected after the full plan +
+    // projection, leaving the system untouched — each call is identical.
+    const StatSummary admission = time_calls(kBatch, kSamples, [&] {
+      transitions_ok = transitions_ok && !modes.transition_to("overload").ok();
+    });
+
+    // Committed round-trip: shrink into "degraded", grow back to base.
+    const StatSummary transition = time_calls(kBatch, kSamples, [&] {
+      transitions_ok = transitions_ok && modes.transition_to("degraded").ok();
+      transitions_ok = transitions_ok && modes.transition_to("").ok();
+    });
+
+    // Baseline: re-validate every deployed contract from scratch (cache-less
+    // view, one admit per component) — restart-style full re-admission.
+    const StatSummary readmit = time_calls(4, kSamples, [&] {
+      drcom::SystemView cold_view;
+      cold_view.active = set.drcr.contract_cache().active();
+      cold_view.cpu_count = 2;
+      for (const auto* descriptor : cold_view.active) {
+        (void)set.drcr.internal_resolver().admit(*descriptor, cold_view);
+      }
+    });
+
+    print_table_row("admission@" + std::to_string(n), admission);
+    StatSummary per_transition = transition;
+    per_transition.average /= 2.0;
+    per_transition.avedev /= 2.0;
+    per_transition.min /= 2.0;
+    per_transition.max /= 2.0;
+    print_table_row("transition@" + std::to_string(n), per_transition);
+    print_table_row("readmit@" + std::to_string(n), readmit);
+    if (n == 256) {
+      admission_256 = admission.average;
+      readmit_256 = readmit.average;
+    }
+  }
+
+  const double speedup =
+      admission_256 > 0.0 ? readmit_256 / admission_256 : 0.0;
+  print_table_header("gate inputs", "ratio the --check gate evaluates");
+  {
+    std::vector<double> ratio = {speedup};
+    print_table_row("readmit@256 / admission@256", summarize(ratio));
+  }
+
+  if (!transitions_ok) {
+    std::printf("\ncheck: FAILED (a transition did not behave: overload must "
+                "reject, degraded round-trips must commit)\n");
+    return 1;
+  }
+  if (check) {
+    if (speedup < 10.0) {
+      std::printf("\ncheck: FAILED (transition admission is only %.2fx "
+                  "cheaper than full re-admission, gate is 10x)\n",
+                  speedup);
+      return 1;
+    }
+    std::printf("\ncheck: OK (transition admission %.2fx cheaper than full "
+                "re-admission at 256 components)\n",
+                speedup);
+  }
+  return 0;
+}

@@ -46,6 +46,7 @@ void AdaptationManager::stop() {
 }
 
 void AdaptationManager::evaluate_now() {
+  const std::size_t violations_before = violations_.size();
   for (const auto& reference : tracker_->tracked()) {
     auto management =
         drcr_->framework().registry().get_service<RtComponentManagement>(
@@ -110,6 +111,18 @@ void AdaptationManager::evaluate_now() {
       act_on(violation);
     }
   }
+  // kModeChange recovery hysteresis: after `recovery_polls` consecutive
+  // clean passes in the degraded mode, transition back.
+  if (violations_.size() > violations_before) {
+    clean_polls_ = 0;
+  } else if (config_.action == QosActionKind::kModeChange &&
+             config_.recovery_polls > 0 &&
+             drcr_->mode_controller().current_mode() ==
+                 config_.degraded_mode &&
+             ++clean_polls_ >= config_.recovery_polls) {
+    clean_polls_ = 0;
+    (void)drcr_->mode_controller().transition_to(config_.recovery_mode);
+  }
 }
 
 void AdaptationManager::act_on(const QosViolation& violation) {
@@ -142,6 +155,11 @@ void AdaptationManager::act_on(const QosViolation& violation) {
       (void)drcr_->disable_component(violation.component);
       (void)drcr_->enable_component(violation.component);
       baselines_.erase(violation.component);
+      break;
+    case QosActionKind::kModeChange:
+      // System-wide overload reaction; a no-op when already degraded, and a
+      // rejected target leaves the current mode in place.
+      (void)drcr_->mode_controller().transition_to(config_.degraded_mode);
       break;
   }
   if (handler_) handler_(violation);

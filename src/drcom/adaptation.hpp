@@ -46,10 +46,11 @@ struct QosRule {
 };
 
 enum class QosActionKind {
-  kNotify,   ///< only invoke the violation callback
-  kSuspend,  ///< soft-suspend the component via its management service
-  kDisable,  ///< disable the component through the DRCR
-  kRestart,  ///< disable + re-enable: a fresh instance (watchdog semantics)
+  kNotify,      ///< only invoke the violation callback
+  kSuspend,     ///< soft-suspend the component via its management service
+  kDisable,     ///< disable the component through the DRCR
+  kRestart,     ///< disable + re-enable: a fresh instance (watchdog semantics)
+  kModeChange,  ///< transition the system to config.degraded_mode
 };
 
 struct QosViolation {
@@ -64,6 +65,14 @@ using QosViolationHandler = std::function<void(const QosViolation&)>;
 struct AdaptationConfig {
   SimDuration poll_period = milliseconds(100);
   QosActionKind action = QosActionKind::kNotify;
+  /// kModeChange only: the QoS mode entered when a rule trips (the overload
+  /// reaction — shrink budgets, shed optional components; docs/MODES.md).
+  std::string degraded_mode = "degraded";
+  /// kModeChange only: the mode restored after `recovery_polls` consecutive
+  /// violation-free evaluation passes ("" = the base mode). 0 disables
+  /// automatic recovery.
+  std::string recovery_mode;
+  std::size_t recovery_polls = 0;
 };
 
 /// Periodic, registry-driven QoS monitor. Construct, add rules, start().
@@ -114,6 +123,8 @@ class AdaptationManager {
   std::map<std::string, Baseline> baselines_;
   std::vector<QosViolation> violations_;
   rtos::EventId poll_event_ = 0;
+  /// Consecutive violation-free passes (kModeChange recovery hysteresis).
+  std::size_t clean_polls_ = 0;
   bool running_ = false;
 };
 

@@ -242,6 +242,19 @@ Result<ComponentDescriptor> parse_descriptor_element(
         }
         spec.deadline = *deadline;
       }
+      if (const auto sched_text = child->attribute("sched")) {
+        if (str::iequals(*sched_text, "edf")) {
+          spec.sched = rtos::SchedClass::kDeadline;
+        } else if (str::iequals(*sched_text, "fp") ||
+                   str::iequals(*sched_text, "rm")) {
+          spec.sched = rtos::SchedClass::kFixedPriority;
+        } else {
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
+                            "unknown sched class '" + std::string(*sched_text) +
+                                "' (expected edf, fp or rm)");
+        }
+      }
       descriptor.periodic = spec;
     } else if (local == "sporadictask") {
       SporadicSpec spec;
@@ -276,6 +289,43 @@ Result<ComponentDescriptor> parse_descriptor_element(
       }
       spec.trigger_port = std::string(child->attribute_or("trigger", ""));
       descriptor.sporadic = spec;
+    } else if (local == "modes") {
+      for (const auto* mode_el : child->child_elements()) {
+        if (mode_el->local_name() != "mode") {
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
+                            "unknown element <" + mode_el->name +
+                                "> inside <modes> (expected <mode>)");
+        }
+        ModeSpec mode;
+        mode.name = mode_el->attribute_or("name", "");
+        if (mode.name.empty()) {
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor", "mode without a name");
+        }
+        if (const auto usage = mode_el->attribute("cpuusage")) {
+          const auto parsed = str::parse_double(*usage);
+          if (!parsed) {
+            return make_error(ErrorCode::kInvalidDescriptor,
+                              "drcom.bad_descriptor",
+                              "mode '" + mode.name +
+                                  "' cpuusage must be numeric, got '" +
+                                  std::string(*usage) + "'");
+          }
+          mode.cpu_usage = *parsed;
+        }
+        if (const auto present = mode_el->attribute("present")) {
+          const auto parsed = str::parse_bool(*present);
+          if (!parsed) {
+            return make_error(ErrorCode::kInvalidDescriptor,
+                              "drcom.bad_descriptor",
+                              "mode '" + mode.name +
+                                  "' present must be true/false");
+          }
+          mode.present = *parsed;
+        }
+        descriptor.modes.push_back(std::move(mode));
+      }
     } else if (local == "inport" || local == "outport") {
       auto port = parse_port(*child, local == "inport" ? PortDirection::kIn
                                                        : PortDirection::kOut);
@@ -366,6 +416,27 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
                       "component '" + descriptor.name +
                           "' cpuusage must lie in [0,1]");
   }
+  for (const auto& mode : descriptor.modes) {
+    // <0 is the "inherit base" sentinel set when cpuusage was omitted; an
+    // explicit value obeys the same [0,1] contract as the base declaration.
+    // NaN fails the >=0 test and would silently read as "inherit".
+    if (std::isnan(mode.cpu_usage) ||
+        (mode.cpu_usage >= 0.0 &&
+         (!std::isfinite(mode.cpu_usage) || mode.cpu_usage > 1.0))) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name + "' mode '" +
+                            mode.name + "' cpuusage must lie in [0,1]");
+    }
+    std::size_t occurrences = 0;
+    for (const auto& other : descriptor.modes) {
+      if (other.name == mode.name) ++occurrences;
+    }
+    if (occurrences > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "duplicate mode name '" + mode.name + "' in '" +
+                            descriptor.name + "'");
+    }
+  }
   const int declared_priority = descriptor.periodic.has_value()
                                     ? descriptor.periodic->priority
                                     : (descriptor.sporadic.has_value()
@@ -438,6 +509,11 @@ std::string write_descriptor(const ComponentDescriptor& descriptor) {
       periodic.set_attribute("deadline",
                              std::to_string(descriptor.periodic->deadline));
     }
+    // Emitted only for the non-default class so mode-less descriptors
+    // round-trip byte-identically to the pre-EDF dialect.
+    if (descriptor.periodic->sched == rtos::SchedClass::kDeadline) {
+      periodic.set_attribute("sched", "edf");
+    }
   }
   if (descriptor.sporadic.has_value()) {
     auto& sporadic = root.append_child("sporadictask");
@@ -458,6 +534,19 @@ std::string write_descriptor(const ComponentDescriptor& descriptor) {
     element.set_attribute("type", to_string(port.data_type));
     element.set_attribute("size", std::to_string(port.size));
     if (port.optional) element.set_attribute("optional", "true");
+  }
+  if (!descriptor.modes.empty()) {
+    auto& modes = root.append_child("modes");
+    for (const auto& mode : descriptor.modes) {
+      auto& element = modes.append_child("mode");
+      element.set_attribute("name", mode.name);
+      if (mode.cpu_usage >= 0.0) {
+        std::ostringstream usage;
+        usage << mode.cpu_usage;
+        element.set_attribute("cpuusage", usage.str());
+      }
+      if (!mode.present) element.set_attribute("present", "false");
+    }
   }
   for (const auto& [key, entry] : descriptor.properties) {
     auto& element = root.append_child("property");

@@ -89,6 +89,10 @@ struct PeriodicSpec {
   /// deadline model the paper uses). A constrained deadline (< period)
   /// tightens the miss accounting.
   SimDuration deadline = 0;
+  /// `sched="edf"` selects the kernel's deadline class: within the declared
+  /// priority level the task is ordered by absolute deadline instead of
+  /// round-robin. Default is the paper's fixed-priority RM class.
+  rtos::SchedClass sched = rtos::SchedClass::kFixedPriority;
 
   [[nodiscard]] SimDuration period() const {
     return period_from_hz(frequency_hz);
@@ -109,6 +113,26 @@ struct SporadicSpec {
   std::string trigger_port;
 };
 
+/// One QoS mode of a component (mode-change protocol, ROADMAP item 4):
+///
+///   <modes>
+///     <mode name="low" cpuusage="0.05"/>
+///     <mode name="crisis" present="false"/>
+///   </modes>
+///
+/// `cpuusage` is the ABSOLUTE claimed fraction in that mode (not a scale
+/// factor); when omitted the base declared cpuusage applies. `present=false`
+/// marks the component optional in that mode: the ModeChangeController
+/// deactivates it on entry and restores it when a mode re-admits it. A mode
+/// name a component does not declare leaves it at its base contract.
+struct ModeSpec {
+  std::string name;
+  /// Claimed CPU fraction while in this mode; <0 = inherit the base value.
+  double cpu_usage = -1.0;
+  /// false => the component is dropped (deactivated) in this mode.
+  bool present = true;
+};
+
 struct ComponentDescriptor {
   std::string name;         ///< globally unique; the RT task reference
   std::string description;
@@ -119,6 +143,9 @@ struct ComponentDescriptor {
   std::optional<PeriodicSpec> periodic;
   std::optional<SporadicSpec> sporadic;
   std::vector<PortSpec> ports;
+  /// Per-mode QoS contracts; empty for the (common) mode-less component,
+  /// which every mode transition leaves untouched.
+  std::vector<ModeSpec> modes;
   osgi::Properties properties;
 
   [[nodiscard]] std::vector<const PortSpec*> inports() const;
@@ -130,6 +157,28 @@ struct ComponentDescriptor {
     if (periodic.has_value()) return periodic->run_on_cpu;
     if (sporadic.has_value()) return sporadic->run_on_cpu;
     return 0;
+  }
+
+  [[nodiscard]] bool has_modes() const { return !modes.empty(); }
+  /// The declared spec for `mode`, or nullptr when the component does not
+  /// distinguish it (base contract applies).
+  [[nodiscard]] const ModeSpec* find_mode(std::string_view mode) const {
+    for (const auto& spec : modes) {
+      if (spec.name == mode) return &spec;
+    }
+    return nullptr;
+  }
+  /// Claimed CPU fraction in `mode` (base value when the mode is unknown or
+  /// declares no budget of its own).
+  [[nodiscard]] double usage_in_mode(std::string_view mode) const {
+    const ModeSpec* spec = find_mode(mode);
+    return spec != nullptr && spec->cpu_usage >= 0.0 ? spec->cpu_usage
+                                                     : cpu_usage;
+  }
+  /// False when the component is optional in `mode` and dropped there.
+  [[nodiscard]] bool available_in_mode(std::string_view mode) const {
+    const ModeSpec* spec = find_mode(mode);
+    return spec == nullptr || spec->present;
   }
 
   /// For sporadic components: the Mailbox in-port that releases the task

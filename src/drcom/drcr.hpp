@@ -31,6 +31,7 @@
 #include "drcom/descriptor.hpp"
 #include "drcom/factory.hpp"
 #include "drcom/hybrid.hpp"
+#include "drcom/mode_change.hpp"
 #include "drcom/resolver.hpp"
 #include "drcom/system_descriptor.hpp"
 #include "obs/export.hpp"
@@ -192,6 +193,20 @@ class Drcr {
     return contract_cache_.summary();
   }
 
+  /// The mode-change controller (docs/MODES.md), created on first use — a
+  /// stack that never transitions modes never registers its metrics, so
+  /// existing observability exports are untouched.
+  [[nodiscard]] ModeChangeController& mode_controller() {
+    if (mode_controller_ == nullptr) {
+      mode_controller_.reset(new ModeChangeController(*this));
+    }
+    return *mode_controller_;
+  }
+  /// Introspection without forcing creation (oracle, snapshots).
+  [[nodiscard]] const ModeChangeController* mode_controller_if_any() const {
+    return mode_controller_.get();
+  }
+
   // Lifecycle event access is a view over a bounded ring: the DRCR no longer
   // keeps an unbounded history. recent_events() returns the retained window
   // (oldest first); event_ring() exposes total_pushed()/dropped() so callers
@@ -228,6 +243,11 @@ class Drcr {
   }
 
  private:
+  /// The mode-change protocol rebudgets active contracts in place (cache
+  /// re-fold + descriptor mutation) and drops/restores optional components;
+  /// it is part of the runtime, split into its own translation unit.
+  friend class ModeChangeController;
+
   struct ComponentRecord {
     ComponentDescriptor descriptor;
     BundleId owner = 0;
@@ -320,6 +340,7 @@ class Drcr {
   osgi::ListenerToken bundle_listener_token_ = 0;
   osgi::ServiceRegistration self_registration_;
   std::uint64_t next_activation_order_ = 1;
+  std::unique_ptr<ModeChangeController> mode_controller_;  ///< lazy
   bool resolving_ = false;      ///< re-entrancy guard for resolve()
   bool shutting_down_ = false;  ///< destructor in progress: no more resolution
 };

@@ -326,6 +326,7 @@ Result<void> HybridComponent::commit() {
     params.cpu = descriptor_.periodic->run_on_cpu;
     params.period = descriptor_.periodic->period();
     params.deadline = descriptor_.periodic->deadline;
+    params.sched = descriptor_.periodic->sched;
   } else if (descriptor_.sporadic.has_value()) {
     params.priority = descriptor_.sporadic->priority;
     params.cpu = descriptor_.sporadic->run_on_cpu;

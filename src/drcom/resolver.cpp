@@ -524,4 +524,108 @@ void ResponseTimeResolver::end_batch(bool committed) {
   session_.clear();
 }
 
+// --------------------------------------------------- DeadlineResolver
+
+DeadlineResolver::Terms DeadlineResolver::terms_of(
+    const ComponentDescriptor& descriptor) const {
+  Terms terms;
+  terms.util = descriptor.cpu_usage;
+  const SimDuration period = descriptor.periodic->period();
+  const SimDuration deadline = descriptor.periodic->effective_deadline();
+  const SimDuration cost =
+      static_cast<SimDuration>(descriptor.cpu_usage *
+                               static_cast<double>(period)) +
+      per_job_overhead_;
+  const SimDuration window = std::min(deadline, period);
+  terms.density = static_cast<double>(cost) / static_cast<double>(window);
+  return terms;
+}
+
+DeadlineResolver::CpuSums& DeadlineResolver::session_cpu(
+    CpuId cpu, const ContractCache& cache) {
+  if (cpu >= session_.size()) session_.resize(cpu + 1);
+  CpuSums& sums = session_[cpu];
+  if (sums.built) return sums;
+  sums.built = true;
+  sums.util = 0.0;
+  sums.density = 0.0;
+  // The cache's per-CPU slice is the activation-ordered restriction of the
+  // global active list, so this fold matches the cold scan bit for bit.
+  for (const auto* descriptor : cache.active_on(cpu)) {
+    if (!is_deadline_class(*descriptor)) continue;
+    const Terms terms = terms_of(*descriptor);
+    sums.util += terms.util;
+    sums.density += terms.density;
+  }
+  return sums;
+}
+
+Result<void> DeadlineResolver::admit(const ComponentDescriptor& candidate,
+                                     const SystemView& view) {
+  if (!is_deadline_class(candidate)) {
+    return Result<void>::success();
+  }
+  const CpuId cpu = candidate.target_cpu();
+  double util = 0.0;
+  double density = 0.0;
+  if (in_batch_ && view.cache != nullptr && view.cache == session_cache_ &&
+      view.id == session_view_id_) {
+    const CpuSums& sums = session_cpu(cpu, *view.cache);
+    util = sums.util;
+    density = sums.density;
+  } else {
+    for (const auto* descriptor : view.active) {
+      if (descriptor->target_cpu() != cpu || !is_deadline_class(*descriptor)) {
+        continue;
+      }
+      const Terms terms = terms_of(*descriptor);
+      util += terms.util;
+      density += terms.density;
+    }
+  }
+  const Terms cand = terms_of(candidate);
+  if (util + cand.util > budget_ + 1e-12) {
+    std::ostringstream reason;
+    reason << "EDF utilization exceeded on cpu " << cpu << ": " << util
+           << " + " << cand.util << " > " << budget_ << " (candidate D="
+           << candidate.periodic->effective_deadline() << ")";
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
+  }
+  if (density + cand.density > budget_ + 1e-12) {
+    std::ostringstream reason;
+    reason << "EDF density exceeded on cpu " << cpu << ": " << density
+           << " + " << cand.density << " > " << budget_ << " (candidate D="
+           << candidate.periodic->effective_deadline() << ")";
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
+  }
+  return Result<void>::success();
+}
+
+void DeadlineResolver::begin_batch(const SystemView& view) {
+  session_.clear();
+  in_batch_ = view.cache != nullptr;
+  session_view_id_ = view.id;
+  session_cache_ = view.cache;
+}
+
+void DeadlineResolver::on_candidate_admitted(
+    const ComponentDescriptor& candidate) {
+  if (!in_batch_ || session_cache_ == nullptr ||
+      !is_deadline_class(candidate)) {
+    return;
+  }
+  CpuSums& sums = session_cpu(candidate.target_cpu(), *session_cache_);
+  const Terms terms = terms_of(candidate);
+  sums.util += terms.util;
+  sums.density += terms.density;
+}
+
+void DeadlineResolver::end_batch(bool /*committed*/) {
+  in_batch_ = false;
+  session_cache_ = nullptr;
+  session_.clear();
+}
+
 }  // namespace drt::drcom

@@ -294,6 +294,70 @@ class ResponseTimeResolver : public ResolvingService {
   Pending pending_;
 };
 
+/// EDF admission for the kernel's deadline class (sched="edf" periodic
+/// components): per-CPU utilization test  sum U_i <= budget  plus the
+/// density test  sum C_i / min(D_i, T_i) <= budget  over the deadline-class
+/// set, with C_i = U_i * T_i plus a per-job overhead (context switch +
+/// command poll), mirroring ResponseTimeResolver's cost model. Utilization
+/// alone is exact for implicit deadlines; the density test is the standard
+/// sufficient condition once constrained deadlines (D < T) enter. Components
+/// outside the deadline class pass through — the fixed-priority resolvers
+/// own their admission.
+///
+/// Inside a DRCR admission batch the per-CPU sums are built once from the
+/// ContractCache's activation-ordered per-CPU slice and then extended per
+/// admitted candidate, so warm admission is O(1); the fold order equals the
+/// cold scan of the view's active list, keeping warm and cold decisions
+/// bit-identical.
+class DeadlineResolver : public ResolvingService {
+ public:
+  explicit DeadlineResolver(double budget_per_cpu = 1.0,
+                            SimDuration per_job_overhead = 1'100)
+      : budget_(budget_per_cpu), per_job_overhead_(per_job_overhead),
+        name_("deadline-edf") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Result<void> admit(const ComponentDescriptor& candidate,
+                                   const SystemView& view) override;
+
+  void begin_batch(const SystemView& view) override;
+  void on_candidate_admitted(const ComponentDescriptor& candidate) override;
+  void end_batch(bool committed) override;
+
+  [[nodiscard]] double budget() const { return budget_; }
+
+  /// True when `descriptor` holds a deadline-class (EDF) contract.
+  [[nodiscard]] static bool is_deadline_class(
+      const ComponentDescriptor& descriptor) {
+    return descriptor.periodic.has_value() &&
+           descriptor.periodic->sched == rtos::SchedClass::kDeadline;
+  }
+
+ private:
+  struct Terms {
+    double util = 0.0;
+    double density = 0.0;
+  };
+  struct CpuSums {
+    bool built = false;
+    double util = 0.0;
+    double density = 0.0;
+  };
+  [[nodiscard]] Terms terms_of(const ComponentDescriptor& descriptor) const;
+  [[nodiscard]] CpuSums& session_cpu(CpuId cpu, const ContractCache& cache);
+
+  double budget_;
+  SimDuration per_job_overhead_;
+  std::string name_;
+
+  /// Live batch session (one greedy admission pass); no cross-batch memo —
+  /// the once-per-batch per-CPU build is already O(active on cpu).
+  bool in_batch_ = false;
+  std::uint64_t session_view_id_ = 0;
+  const ContractCache* session_cache_ = nullptr;
+  std::vector<CpuSums> session_;
+};
+
 /// Accept-everything resolver: the baseline for the admission ablation
 /// (bench_admission) and the paper's simulation setting where "both results
 /// is true" (§4.3).

@@ -31,35 +31,64 @@ namespace drt::rtos {
 
 // ------------------------------------------------------------ ReadyQueue --
 
-void ReadyQueue::push_back(Task& task) {
+namespace {
+
+// Sort key within one priority level. EDF tasks carry their absolute
+// deadline; fixed-priority tasks carry the +inf sentinel, so the whole EDF
+// band sorts ahead of the FP band and the FP band itself is ordered purely
+// by ready_seq (back arrivals positive-increasing, preempted re-entries
+// negative-decreasing) — exactly the historical FIFO/front contract.
+struct ReadyKey {
+  SimTime deadline;
+  std::int64_t seq;
+
+  [[nodiscard]] friend bool operator<(ReadyKey a, ReadyKey b) {
+    return a.deadline != b.deadline ? a.deadline < b.deadline : a.seq < b.seq;
+  }
+};
+
+[[nodiscard]] ReadyKey ready_key(const Task& task) {
+  return {task.params.sched == SchedClass::kDeadline ? task.abs_deadline
+                                                     : kSimTimeNever,
+          task.ready_seq};
+}
+
+}  // namespace
+
+void ReadyQueue::insert_sorted(Task& task) {
   const auto prio = static_cast<std::size_t>(task.params.priority);
   task.ready_bucket = task.params.priority;
-  task.ready_next = nullptr;
-  task.ready_prev = tails_[prio];
-  if (tails_[prio] != nullptr) {
-    tails_[prio]->ready_next = &task;
+  const ReadyKey key = ready_key(task);
+  if (tails_[prio] == nullptr || !(key < ready_key(*tails_[prio]))) {
+    // O(1) fast path: every FIFO arrival lands here (its seq is the level's
+    // maximum), as does an EDF release whose deadline is latest so far.
+    task.ready_next = nullptr;
+    task.ready_prev = tails_[prio];
+    if (tails_[prio] != nullptr) {
+      tails_[prio]->ready_next = &task;
+    } else {
+      heads_[prio] = &task;
+      bitmap_[prio / 64] |= std::uint64_t{1} << (prio % 64);
+    }
+    tails_[prio] = &task;
   } else {
-    heads_[prio] = &task;
-    bitmap_[prio / 64] |= std::uint64_t{1} << (prio % 64);
+    Task* node = heads_[prio];
+    while (!(key < ready_key(*node))) node = node->ready_next;
+    task.ready_next = node;
+    task.ready_prev = node->ready_prev;
+    if (node->ready_prev != nullptr) {
+      node->ready_prev->ready_next = &task;
+    } else {
+      heads_[prio] = &task;
+    }
+    node->ready_prev = &task;
   }
-  tails_[prio] = &task;
   ++count_;
 }
 
-void ReadyQueue::push_front(Task& task) {
-  const auto prio = static_cast<std::size_t>(task.params.priority);
-  task.ready_bucket = task.params.priority;
-  task.ready_prev = nullptr;
-  task.ready_next = heads_[prio];
-  if (heads_[prio] != nullptr) {
-    heads_[prio]->ready_prev = &task;
-  } else {
-    tails_[prio] = &task;
-    bitmap_[prio / 64] |= std::uint64_t{1} << (prio % 64);
-  }
-  heads_[prio] = &task;
-  ++count_;
-}
+void ReadyQueue::push_back(Task& task) { insert_sorted(task); }
+
+void ReadyQueue::push_front(Task& task) { insert_sorted(task); }
 
 void ReadyQueue::remove(Task& task) {
   if (task.ready_bucket < 0) return;  // not enqueued: harmless no-op
@@ -194,6 +223,13 @@ Result<TaskId> RtKernel::create_task(TaskParams params, TaskBody body) {
     return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
                       "periodic task '" + params.name +
                           "' needs a positive period");
+  }
+  if (params.sched == SchedClass::kDeadline &&
+      params.type != TaskType::kPeriodic) {
+    return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
+                      "deadline-class task '" + params.name +
+                          "' must be periodic (the absolute deadline is "
+                          "derived from the release point)");
   }
   if (!body) {
     return make_error(ErrorCode::kInvalidArgument, "rtos.bad_task",
@@ -882,7 +918,10 @@ void RtKernel::preempt(Cpu& cpu) {
 
 void RtKernel::schedule_completion(Cpu& cpu, Task& task) {
   // Round-robin: slice the demand when another equal-priority task waits.
-  const bool contended = cpu.ready.has_priority(task.params.priority);
+  // EDF tasks are exempt — the deadline order, not the quantum, decides who
+  // runs next, so a deadline job executes to completion or preemption.
+  const bool contended = task.params.sched != SchedClass::kDeadline &&
+                         cpu.ready.has_priority(task.params.priority);
   SimDuration slice = task.remaining_demand;
   if (contended) {
     if (task.quantum_left <= 0) task.quantum_left = quantum_for(task);
@@ -993,6 +1032,7 @@ void RtKernel::serve(Task& task) {
           ++task.stats.activations;
           task.ideal_release = next_ideal;
           task.pending_ideal = next_ideal;
+          task.abs_deadline = next_ideal + deadline;
           continue;
         }
         cpu.running = nullptr;
@@ -1103,6 +1143,17 @@ void RtKernel::settle() {
         preempt(cpu);
         dispatch(cpu, *best);
         progress = true;
+      } else if (best->params.priority == cpu.running->params.priority &&
+                 best->params.sched == SchedClass::kDeadline &&
+                 cpu.running->params.sched == SchedClass::kDeadline &&
+                 best->abs_deadline < cpu.running->abs_deadline) {
+        // EDF band: within one priority level an earlier absolute deadline
+        // preempts a later one. A deadline task never preempts an
+        // equal-priority fixed-priority task (and vice versa) — across
+        // classes the running task keeps the CPU, as in the RM-only kernel.
+        preempt(cpu);
+        dispatch(cpu, *best);
+        progress = true;
       }
     }
     if (!progress) return;
@@ -1147,6 +1198,8 @@ void RtKernel::on_timer_fire(TaskId task_id, SimTime ideal, EventId) {
         if (t == nullptr || t->state != TaskState::kWaitingPeriod) return;
         t->release_event = 0;
         t->pending_ideal = ideal;
+        t->abs_deadline = ideal + (t->params.deadline > 0 ? t->params.deadline
+                                                          : t->params.period);
         ++t->stats.activations;
         m_.releases->add();
         trace_.add(now(), TraceKind::kReleased, t->id, t->params.cpu);

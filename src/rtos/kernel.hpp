@@ -55,6 +55,14 @@ inline constexpr std::size_t kMaxShmBytes = std::size_t{64} << 20;
 /// picked by (priority asc, arrival order), where preempted tasks re-enter
 /// at the FRONT of their priority level (they must not lose their
 /// round-robin turn) and everything else joins at the back.
+///
+/// EDF band: within one priority level, SchedClass::kDeadline tasks are kept
+/// sorted by (absolute deadline, ready_seq) AHEAD of every fixed-priority
+/// task at that level (an FP task's sort key is the +inf sentinel, so the
+/// FP sub-band keeps the exact FIFO/front-re-entry order above). Both
+/// push_back and push_front reduce to the same key-sorted insertion; for FP
+/// tasks the key degenerates to ready_seq and the placement is bit-identical
+/// to the historical behaviour.
 class ReadyQueue {
  public:
   /// FIFO arrival (fresh release, quantum rotation, resume).
@@ -76,6 +84,10 @@ class ReadyQueue {
   }
 
  private:
+  /// Key-ordered splice shared by push_back/push_front (the caller has
+  /// already assigned ready_seq, which encodes back/front placement).
+  void insert_sorted(Task& task);
+
   static constexpr std::size_t kLevels = kMaxPriority + 1;
   std::array<std::uint64_t, kLevels / 64> bitmap_{};
   std::array<Task*, kLevels> heads_{};

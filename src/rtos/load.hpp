@@ -34,6 +34,18 @@ struct LoadConfig {
   return {0.9998, milliseconds(20)};
 }
 
+/// Overload arrival curves for the mode-change scenarios. An overload storm
+/// is a sustained near-saturation plateau (long busy bursts — the CPU never
+/// cools down); a flash crowd is the same aggregate pressure arriving as a
+/// rapid train of short bursts (the arrival-curve "spike" shape), so the CPU
+/// oscillates around the C-state entry residency instead of staying hot.
+[[nodiscard]] inline LoadConfig overload_storm() {
+  return {0.97, milliseconds(50)};
+}
+[[nodiscard]] inline LoadConfig flash_crowd() {
+  return {0.85, microseconds(150)};
+}
+
 class LinuxLoad {
  public:
   LinuxLoad(SimEngine& engine, std::size_t cpus, LoadConfig config,

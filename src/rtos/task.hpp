@@ -57,6 +57,25 @@ enum class TaskType {
   return "?";
 }
 
+/// Which scheduling class orders the task inside its priority level.
+/// kFixedPriority is the RM/round-robin class the paper evaluates; kDeadline
+/// is an EDF band: within one priority level, deadline tasks are ordered by
+/// absolute deadline and always ahead of fixed-priority tasks at that level.
+/// Across levels the 256-level bitmap still rules (smaller number wins), so
+/// an EDF band is placed *relative to* the RM classes by its priority value.
+enum class SchedClass {
+  kFixedPriority,
+  kDeadline,
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedClass sched) {
+  switch (sched) {
+    case SchedClass::kFixedPriority: return "fp";
+    case SchedClass::kDeadline: return "edf";
+  }
+  return "?";
+}
+
 enum class TaskState {
   kCreated,           ///< exists, never started
   kReady,             ///< runnable, waiting for the CPU
@@ -146,6 +165,9 @@ struct TaskParams {
   SimDuration period = 0;           ///< required for periodic tasks
   SimDuration deadline = 0;         ///< relative; 0 = implicit (== period)
   SimDuration rr_quantum = 0;       ///< 0 = kernel default round-robin slice
+  /// kDeadline requires a periodic task (the absolute deadline is derived
+  /// from the release point); create_task rejects other combinations.
+  SchedClass sched = SchedClass::kFixedPriority;
 };
 
 /// Read-only statistics snapshot exposed through the management interface.
@@ -222,6 +244,10 @@ struct Task {
   // --- periodic bookkeeping ---
   SimTime ideal_release = 0;     ///< ideal time of the most recent release
   SimTime pending_ideal = -1;    ///< set at release, consumed at first resume
+  /// Absolute deadline of the current job (EDF ordering key). Refreshed at
+  /// every release to ideal + effective relative deadline; meaningful only
+  /// for SchedClass::kDeadline tasks.
+  SimTime abs_deadline = 0;
   std::uint64_t release_event = 0;
   bool resume_needs_release = false;  ///< re-arm releases after resume
 

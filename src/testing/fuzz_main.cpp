@@ -9,6 +9,11 @@
 //                                         action log and kernel trace
 //   drt_fuzz --planted-bug                self-test: the planted accounting
 //                                         bug must be caught AND shrunk
+//   drt_fuzz --modes                      add the mode-change bands (overload
+//                                         storms, forced QoS transitions)
+//   drt_fuzz --planted-mode-bug           self-test: an admission-unchecked
+//                                         mode transition must trip
+//                                         invariant 10 AND shrink
 //   drt_fuzz --budget-seconds 1800        keep sweeping fresh seeds until the
 //                                         wall-clock budget runs out
 //
@@ -40,6 +45,7 @@ struct Options {
   std::string out_dir = ".";
   bool verify_determinism = false;
   bool planted_bug = false;
+  bool planted_mode_bug = false;
   long budget_seconds = 0;
   bool quiet = false;
 };
@@ -48,8 +54,10 @@ void usage() {
   std::cerr
       << "usage: drt_fuzz [--seeds N] [--seed S] [--actions N] [--cpus N]\n"
       << "                [--engine sequential|parallel] [--nodes N]\n"
-      << "                [--replay FILE] [--out DIR] [--verify-determinism]\n"
-      << "                [--planted-bug] [--budget-seconds S] [--quiet]\n";
+      << "                [--modes] [--replay FILE] [--out DIR]\n"
+      << "                [--verify-determinism] [--planted-bug]\n"
+      << "                [--planted-mode-bug] [--budget-seconds S]\n"
+      << "                [--quiet]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -103,8 +111,12 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.out_dir = argv[++i];
     } else if (arg == "--verify-determinism") {
       options.verify_determinism = true;
+    } else if (arg == "--modes") {
+      options.config.modes = true;
     } else if (arg == "--planted-bug") {
       options.planted_bug = true;
+    } else if (arg == "--planted-mode-bug") {
+      options.planted_mode_bug = true;
     } else if (arg == "--budget-seconds") {
       if (!next_value(value)) return false;
       options.budget_seconds = static_cast<long>(value);
@@ -199,6 +211,36 @@ int run_planted_bug(const Options& options) {
   return 0;
 }
 
+int run_planted_mode_bug(const Options& options) {
+  ScenarioConfig config = options.config;
+  config.modes = true;
+  config.plant_mode_bug = true;
+  const std::uint64_t seed = options.first_seed;
+  const ScenarioResult result = drt::testing::run_scenario(seed, config);
+  if (!result.violated) {
+    std::cerr << "self-test FAILED: the admission-unchecked mode transition "
+                 "was not caught by the oracle\n";
+    return 1;
+  }
+  if (result.violation.invariant != "mode-change-safety") {
+    std::cerr << "self-test FAILED: unsafe transition surfaced as '"
+              << result.violation.invariant << "', expected "
+              << "'mode-change-safety'\n";
+    return 1;
+  }
+  const auto keep = drt::testing::shrink(seed, config, result.failing_index);
+  const ScenarioResult shrunk =
+      drt::testing::run_scenario_subset(seed, config, keep);
+  if (!shrunk.violated) {
+    std::cerr << "self-test FAILED: shrunk sequence no longer violates\n";
+    return 1;
+  }
+  std::cout << "planted unsafe transition caught ("
+            << result.violation.invariant << ") and shrunk to " << keep.size()
+            << " actions\n";
+  return 0;
+}
+
 int run_sweep(const Options& options) {
   const auto started = std::chrono::steady_clock::now();
   auto out_of_budget = [&] {
@@ -261,5 +303,6 @@ int main(int argc, char** argv) {
 
   if (!options.replay_path.empty()) return run_replay(options);
   if (options.planted_bug) return run_planted_bug(options);
+  if (options.planted_mode_bug) return run_planted_mode_bug(options);
   return run_sweep(options);
 }

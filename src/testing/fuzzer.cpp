@@ -147,6 +147,9 @@ class FedFuzzWorld {
       node.kernel->metrics().enable();
       node.kernel->set_fault_plan(&faults);
       register_fuzz_factories(*node.drcr);
+      if (config.plant_mode_bug) {
+        node.drcr->mode_controller().set_skip_admission_check(true);
+      }
     }
   }
 
@@ -338,6 +341,41 @@ FuzzWorld::ApplyResult FedFuzzWorld::apply(const Action& action) {
       log << (sent ? "sent" : "severed");
       break;
     }
+    case ActionKind::kOverloadStorm:
+    case ActionKind::kFlashCrowd: {
+      if (action.node >= federation.size()) {
+        log << "noop (bad node)";
+        break;
+      }
+      const bool storm = action.kind == ActionKind::kOverloadStorm;
+      federation.node(action.node).kernel->set_load_config(
+          storm ? rtos::overload_storm() : rtos::flash_crowd());
+      log << "n" << action.node << (storm ? " load=storm" : " load=crowd");
+      break;
+    }
+    case ActionKind::kForceModeChange: {
+      if (action.node >= federation.size()) {
+        log << "noop (bad node)";
+        break;
+      }
+      drcom::Drcr& drcr = *federation.node(action.node).drcr;
+      log << outcome(drcr.mode_controller().transition_to(action.payload));
+      log << " mode='" << drcr.mode_controller().current_mode() << "'";
+      break;
+    }
+    case ActionKind::kModeChangeMigrate: {
+      // The race the protocol must survive: re-home a component, then flip
+      // the destination node's mode while the migrated task is settling.
+      if (action.node >= federation.size()) {
+        log << "noop (bad node)";
+        break;
+      }
+      log << outcome(coordinator.migrate(action.name, action.node));
+      drcom::Drcr& drcr = *federation.node(action.node).drcr;
+      log << " then "
+          << outcome(drcr.mode_controller().transition_to(action.payload));
+      break;
+    }
   }
   // Push-style summary protocol: the coordinator's view refreshes after
   // every mutation (generation-checked, O(cpus) per untouched node).
@@ -410,6 +448,12 @@ FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
   kernel.metrics().enable();
   kernel.set_fault_plan(&faults);
   register_fuzz_factories(drcr);
+  if (config.plant_mode_bug) {
+    // The self-test's "buggy controller": transitions commit without the
+    // admission pre-check, so the planted overcommit actually lands and the
+    // oracle (invariant 10) must be the one to catch it.
+    drcr.mode_controller().set_skip_admission_check(true);
+  }
 }
 
 FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
@@ -514,6 +558,7 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
       const std::string before = drcom::snapshot_to_xml(drcr);
       ScenarioConfig fresh_config = config_;
       fresh_config.plant_bug = false;
+      fresh_config.plant_mode_bug = false;
       FuzzWorld fresh(seed_, fresh_config);
       auto restored = drcom::restore_from_xml(fresh.drcr, before);
       if (!restored.ok()) {
@@ -537,12 +582,25 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
       log << "fixpoint (" << before.size() << " bytes)";
       break;
     }
+    case ActionKind::kOverloadStorm:
+      kernel.set_load_config(rtos::overload_storm());
+      log << "load=storm";
+      break;
+    case ActionKind::kFlashCrowd:
+      kernel.set_load_config(rtos::flash_crowd());
+      log << "load=crowd";
+      break;
+    case ActionKind::kForceModeChange:
+      log << outcome(drcr.mode_controller().transition_to(action.payload));
+      log << " mode='" << drcr.mode_controller().current_mode() << "'";
+      break;
     case ActionKind::kNodeLeave:
     case ActionKind::kNodeJoin:
     case ActionKind::kPartition:
     case ActionKind::kHeal:
     case ActionKind::kMigrate:
     case ActionKind::kChannelSend:
+    case ActionKind::kModeChangeMigrate:
       // Federation actions are only generated when config.nodes > 1, which
       // routes the scenario through FedFuzzWorld instead.
       log << "noop (single-node world)";
@@ -635,6 +693,8 @@ std::string write_repro(const Repro& repro, const ScenarioResult& result) {
   out << "snapshots " << (repro.config.snapshot_checks ? 1 : 0) << '\n';
   out << "engine " << rtos::to_string(repro.config.engine) << '\n';
   out << "nodes " << repro.config.nodes << '\n';
+  out << "modes " << (repro.config.modes ? 1 : 0) << '\n';
+  out << "plantmode " << (repro.config.plant_mode_bug ? 1 : 0) << '\n';
   out << "keep";
   for (const std::size_t index : repro.keep) out << ' ' << index;
   out << '\n';
@@ -705,6 +765,15 @@ Result<Repro> parse_repro(std::string_view text) {
       if (!(fields >> repro.config.nodes) || repro.config.nodes == 0) {
         return bad("expected positive node count");
       }
+    } else if (key == "modes") {
+      // Absent in pre-modes repro files; those default to no mode bands.
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.modes = value != 0;
+    } else if (key == "plantmode") {
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.plant_mode_bug = value != 0;
     } else if (key == "keep") {
       std::size_t index = 0;
       repro.keep.clear();

@@ -23,6 +23,10 @@ InvariantOracle::InvariantOracle(const drcom::Drcr& drcr,
     : drcr_(&drcr), faults_(&faults), budget_(cpu_budget) {}
 
 std::optional<Violation> InvariantOracle::check() {
+  // Invariant 10 runs first: an overload introduced by an unsafe mode
+  // transition must be reported as a protocol violation, not re-discovered
+  // as a generic budget breach by invariant 1.
+  if (auto v = check_mode_change()) return v;
   if (auto v = check_utilization()) return v;
   if (auto v = check_task_liveness()) return v;
   if (auto v = check_port_liveness()) return v;
@@ -31,6 +35,92 @@ std::optional<Violation> InvariantOracle::check() {
   if (auto v = check_trace()) return v;
   if (auto v = check_metrics()) return v;
   if (auto v = check_contract_cache()) return v;
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_mode_change() {
+  const drcom::ModeChangeController* controller =
+      drcr_->mode_controller_if_any();
+  if (controller == nullptr) return std::nullopt;
+  const auto is_edf = [](const drcom::ComponentDescriptor& d) {
+    return d.periodic.has_value() &&
+           d.periodic->sched == rtos::SchedClass::kDeadline;
+  };
+  bool any_committed = false;
+  SimTime window_end = 0;
+  std::string window_mode;
+  for (const drcom::ModeTransition& t : controller->history()) {
+    if (!t.committed) continue;
+    any_committed = true;
+    if (t.window_end >= window_end) {
+      window_end = t.window_end;
+      window_mode = t.to;
+    }
+  }
+
+  if (any_committed) {
+    // (a) The committed mode must still fit the admission budget. The cache
+    // carries the mode-scaled budgets (the controller mutates the same
+    // descriptors invariant 8 recomputes from, so both sides agree).
+    const drcom::SystemView view = drcr_->system_view();
+    for (CpuId cpu = 0; cpu < static_cast<CpuId>(view.cpu_count); ++cpu) {
+      const double utilization = view.declared_utilization(cpu);
+      if (utilization > budget_ + kUtilizationEpsilon) {
+        std::ostringstream out;
+        out << "cpu " << cpu << " carries declared utilization "
+            << utilization << " > budget " << budget_
+            << " after the transition to mode '" << controller->current_mode()
+            << "' — the transition was not admission-safe";
+        return Violation{"mode-change-safety", out.str()};
+      }
+    }
+    // (b) The deadline class shares one EDF feasibility bound per CPU.
+    std::map<CpuId, double> edf;
+    for (const drcom::ComponentDescriptor* d :
+         drcr_->contract_cache().active()) {
+      if (is_edf(*d)) edf[d->target_cpu()] += d->cpu_usage;
+    }
+    for (const auto& [cpu, utilization] : edf) {
+      if (utilization > 1.0 + kUtilizationEpsilon) {
+        std::ostringstream out;
+        out << "cpu " << cpu << " carries deadline-class utilization "
+            << utilization << " > 1 after the transition to mode '"
+            << controller->current_mode() << "'";
+        return Violation{"mode-change-safety", out.str()};
+      }
+    }
+  }
+
+  // (c) No EDF mode component misses inside a committed settling window.
+  // Fault injection (demand inflation, wake delay, kill) legitimately
+  // causes misses, so the check is gated on a fault-free plan.
+  const rtos::RtKernel& kernel = drcr_->kernel();
+  const SimTime now = kernel.now();
+  for (const std::string& name : drcr_->component_names()) {
+    if (drcr_->state_of(name) != drcom::ComponentState::kActive) continue;
+    const drcom::ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    const drcom::HybridComponent* instance = drcr_->instance_of(name);
+    if (descriptor == nullptr || instance == nullptr) continue;
+    if (!descriptor->has_modes() || !is_edf(*descriptor)) continue;
+    const rtos::Task* task = kernel.find_task(instance->task_id());
+    if (task == nullptr) continue;  // invariant 2's department
+    const std::uint64_t misses = task->stats.deadline_misses;
+    auto [it, fresh] =
+        mode_misses_.try_emplace(name, std::make_pair(task->id, misses));
+    // A new task id (restore, migration) starts a new miss series.
+    const bool comparable = !fresh && it->second.first == task->id;
+    const std::uint64_t previous = it->second.second;
+    it->second = {task->id, misses};
+    if (comparable && misses > previous && now <= window_end &&
+        faults_->armed_count() == 0) {
+      std::ostringstream out;
+      out << "EDF component '" << name << "' missed "
+          << (misses - previous) << " deadline(s) at t=" << now
+          << " inside the settling window (ends " << window_end
+          << ") of the transition to mode '" << window_mode << "'";
+      return Violation{"mode-change-safety", out.str()};
+    }
+  }
   return std::nullopt;
 }
 

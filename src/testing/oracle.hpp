@@ -30,16 +30,31 @@
 //      activation-ordered membership) equals a view recomputed from scratch
 //      out of the component records. The cache feeds every admission
 //      decision, so drift here silently changes which components the DRCR
-//      accepts.
+//      accepts;
+//  10. mode-change safety — once the ModeChangeController has committed a
+//      transition, the system must remain schedulable at every instant:
+//      (a) per-CPU declared utilization (under the mode-scaled budgets the
+//      cache now carries — this extends invariant 8's recomputation, which
+//      reads the same mutated descriptors) never exceeds the admission
+//      budget, (b) the deadline-class (EDF) utilization per CPU never
+//      exceeds 1, and (c) no ACTIVE deadline-class mode component misses a
+//      deadline inside a committed transition's settling window
+//      [when, window_end] (checked only while no fault is armed — injected
+//      demand inflation or wake delay legitimately causes misses). This
+//      check runs BEFORE invariant 1, so an unsafe transition is blamed on
+//      the protocol, not on generic admission.
 //
-// The snapshot fixpoint invariant (restore(snapshot(S)) is snapshot-
-// identical) needs a second world to restore into and therefore lives in
-// fuzzer.cpp, not here.
+// (Invariant 9 is the federation-wide check_federation below.) The snapshot
+// fixpoint invariant (restore(snapshot(S)) is snapshot-identical) needs a
+// second world to restore into and therefore lives in fuzzer.cpp, not here.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "drcom/drcr.hpp"
 #include "fed/federation.hpp"
@@ -57,10 +72,12 @@ class InvariantOracle {
   InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
                   double cpu_budget);
 
-  /// Sweeps invariants 1-8; returns the first violation found, if any.
+  /// Sweeps invariants 1-8 and 10; returns the first violation found, if
+  /// any.
   [[nodiscard]] std::optional<Violation> check();
 
  private:
+  [[nodiscard]] std::optional<Violation> check_mode_change();
   [[nodiscard]] std::optional<Violation> check_utilization() const;
   [[nodiscard]] std::optional<Violation> check_task_liveness() const;
   [[nodiscard]] std::optional<Violation> check_port_liveness() const;
@@ -76,6 +93,9 @@ class InvariantOracle {
   /// Incremental trace scan cursor (the trace only grows).
   std::size_t trace_checked_ = 0;
   SimTime last_trace_time_ = 0;
+  /// Per-component (task id, deadline-miss count) baseline for the mode-
+  /// change window check; a changed task id (restore, migration) resets it.
+  std::map<std::string, std::pair<TaskId, std::uint64_t>> mode_misses_;
 };
 
 /// Invariant 9 — federation-wide conservation and placement sanity, checked

@@ -116,6 +116,10 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kHeal: return "heal";
     case ActionKind::kMigrate: return "migrate";
     case ActionKind::kChannelSend: return "channel-send";
+    case ActionKind::kOverloadStorm: return "overload-storm";
+    case ActionKind::kFlashCrowd: return "flash-crowd";
+    case ActionKind::kForceModeChange: return "force-mode-change";
+    case ActionKind::kModeChangeMigrate: return "mode-change-migrate";
   }
   return "?";
 }
@@ -154,6 +158,16 @@ std::string describe(const Action& action) {
     case ActionKind::kChannelSend:
       out << " n" << action.node << "->n" << action.peer << " '"
           << action.payload << "'";
+      break;
+    case ActionKind::kOverloadStorm:
+    case ActionKind::kFlashCrowd:
+      out << " n" << action.node;
+      break;
+    case ActionKind::kForceModeChange:
+      out << " n" << action.node << " mode='" << action.payload << "'";
+      break;
+    case ActionKind::kModeChangeMigrate:
+      out << " -> n" << action.node << " mode='" << action.payload << "'";
       break;
     default:
       break;
@@ -213,6 +227,53 @@ drcom::ComponentDescriptor random_descriptor(Rng& rng, const std::string& name,
   return d;
 }
 
+namespace {
+
+/// Target modes the force-mode-change band cycles through; "" is the base
+/// mode. Matches the palette mode_descriptor() declares.
+constexpr const char* kModeNames[] = {"", "degraded", "high", "crisis"};
+
+/// A mode-declaring component for the modes bands: EDF deadline class (one
+/// shared priority level, so absolute deadlines order the set), a shrunken
+/// "degraded" budget, an inflated "high" budget, and sometimes optionality
+/// in "crisis" (present="false" — the controller drops and later restores
+/// it).
+ComponentDescriptor mode_descriptor(Rng& rng, const std::string& name,
+                                    std::size_t cpus) {
+  ComponentDescriptor d;
+  d.name = name;
+  d.description = "fuzz mode component";
+  d.bincode = "fuzz.ok";
+  d.enabled = true;
+  d.cpu_usage = static_cast<double>(rng.uniform(2, 12)) / 100.0;
+  d.type = rtos::TaskType::kPeriodic;
+  drcom::PeriodicSpec spec;
+  spec.frequency_hz =
+      kFrequencies[rng.uniform(0, std::ssize(kFrequencies) - 1)];
+  spec.run_on_cpu = static_cast<CpuId>(
+      rng.uniform(0, static_cast<std::int64_t>(cpus) - 1));
+  spec.priority = 15;
+  spec.sched = rtos::SchedClass::kDeadline;
+  d.periodic = spec;
+  drcom::ModeSpec degraded;
+  degraded.name = "degraded";
+  degraded.cpu_usage = static_cast<double>(rng.uniform(1, 6)) / 100.0;
+  d.modes.push_back(degraded);
+  drcom::ModeSpec high;
+  high.name = "high";
+  high.cpu_usage = static_cast<double>(rng.uniform(8, 20)) / 100.0;
+  d.modes.push_back(high);
+  if (rng.chance(0.5)) {
+    drcom::ModeSpec crisis;
+    crisis.name = "crisis";
+    crisis.present = false;
+    d.modes.push_back(crisis);
+  }
+  return d;
+}
+
+}  // namespace
+
 std::vector<Action> generate_actions(std::uint64_t seed,
                                      const ScenarioConfig& config) {
   Rng rng(seed);
@@ -263,6 +324,45 @@ std::vector<Action> generate_actions(std::uint64_t seed,
     advance(milliseconds(1));
   }
 
+  if (config.plant_mode_bug) {
+    // Deterministic prefix for the unsafe-transition self-test: four EDF
+    // components on CPU 0 whose "high" mode claims 0.9 each (base 0.2, so
+    // all four pass admission). The world runs with the controller's
+    // admission pre-check disabled, so the forced transition to "high"
+    // commits a 3.6 utilization — invariant 10 must flag it right there.
+    for (int i = 0; i < 4; ++i) {
+      ComponentDescriptor d;
+      d.name = "m" + std::to_string(i);
+      d.description = "planted unsafe mode";
+      d.bincode = "fuzz.ok";
+      d.enabled = true;
+      d.cpu_usage = 0.2;
+      d.type = rtos::TaskType::kPeriodic;
+      drcom::PeriodicSpec spec;
+      spec.frequency_hz = 100;
+      spec.run_on_cpu = 0;
+      spec.priority = 15;
+      spec.sched = rtos::SchedClass::kDeadline;
+      d.periodic = spec;
+      drcom::ModeSpec high;
+      high.name = "high";
+      high.cpu_usage = 0.9;
+      d.modes.push_back(high);
+      Action reg;
+      reg.kind = ActionKind::kRegisterComponent;
+      reg.name = d.name;
+      reg.payload = drcom::write_descriptor(d);
+      actions.push_back(std::move(reg));
+      model.add_component(d.name, d);
+    }
+    advance(milliseconds(5));
+    Action force;
+    force.kind = ActionKind::kForceModeChange;
+    force.payload = "high";
+    actions.push_back(std::move(force));
+    advance(milliseconds(1));
+  }
+
   // Federation mode widens the roll range: rolls 0-179 generate exactly the
   // same actions from the same draws as single-node mode, and the new bands
   // (180-239) are unreachable when nodes == 1 — existing seeds stay
@@ -273,12 +373,20 @@ std::vector<Action> generate_actions(std::uint64_t seed,
         r.uniform(0, static_cast<std::int64_t>(config.nodes) - 1));
   };
 
+  // config.modes widens the range once more, again tail-only: single-node
+  // gains 180-209 (storm / crowd / force-mode-change), federation gains
+  // 240-279 (the same three, node-targeted, plus the migration race).
+  const std::int64_t roll_max =
+      fed_mode ? (config.modes ? 279 : 239) : (config.modes ? 209 : 179);
+
   while (actions.size() < config.action_count) {
     // Weighted action selection (x10 integer weights).
-    const auto roll = rng.uniform(0, fed_mode ? 239 : 179);
+    const auto roll = rng.uniform(0, roll_max);
     if (roll < 30) {  // register
       const std::string name = fresh_name(rng, model, "c", 10);
-      ComponentDescriptor d = random_descriptor(rng, name, config.cpus);
+      ComponentDescriptor d = config.modes && rng.chance(0.4)
+                                  ? mode_descriptor(rng, name, config.cpus)
+                                  : random_descriptor(rng, name, config.cpus);
       Action a;
       a.kind = ActionKind::kRegisterComponent;
       a.name = name;
@@ -463,6 +571,19 @@ std::vector<Action> generate_actions(std::uint64_t seed,
       Action a;
       a.kind = ActionKind::kSnapshotRoundTrip;
       actions.push_back(std::move(a));
+    } else if (!fed_mode && roll < 190) {  // overload storm (modes band)
+      Action a;
+      a.kind = ActionKind::kOverloadStorm;
+      actions.push_back(std::move(a));
+    } else if (!fed_mode && roll < 200) {  // flash crowd (modes band)
+      Action a;
+      a.kind = ActionKind::kFlashCrowd;
+      actions.push_back(std::move(a));
+    } else if (!fed_mode) {  // 200-209: forced mode transition (modes band)
+      Action a;
+      a.kind = ActionKind::kForceModeChange;
+      a.payload = kModeNames[rng.uniform(0, std::ssize(kModeNames) - 1)];
+      actions.push_back(std::move(a));
     } else if (roll < 200) {  // cross-node channel traffic
       Action a;
       a.kind = ActionKind::kChannelSend;
@@ -495,10 +616,34 @@ std::vector<Action> generate_actions(std::uint64_t seed,
       a.kind = ActionKind::kNodeLeave;
       a.node = pick_node(rng);
       actions.push_back(std::move(a));
-    } else {  // node (re)joins
+    } else if (roll < 240) {  // node (re)joins
       Action a;
       a.kind = ActionKind::kNodeJoin;
       a.node = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 250) {  // overload storm on one node (modes band)
+      Action a;
+      a.kind = ActionKind::kOverloadStorm;
+      a.node = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 260) {  // flash crowd on one node (modes band)
+      Action a;
+      a.kind = ActionKind::kFlashCrowd;
+      a.node = pick_node(rng);
+      actions.push_back(std::move(a));
+    } else if (roll < 270) {  // forced mode transition on one node
+      Action a;
+      a.kind = ActionKind::kForceModeChange;
+      a.node = pick_node(rng);
+      a.payload = kModeNames[rng.uniform(0, std::ssize(kModeNames) - 1)];
+      actions.push_back(std::move(a));
+    } else {  // 270-279: mode change racing a live migration
+      if (!model.has_components()) continue;
+      Action a;
+      a.kind = ActionKind::kModeChangeMigrate;
+      a.name = model.pick_component(rng);
+      a.node = pick_node(rng);
+      a.payload = kModeNames[rng.uniform(0, std::ssize(kModeNames) - 1)];
       actions.push_back(std::move(a));
     }
   }

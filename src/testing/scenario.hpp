@@ -48,6 +48,12 @@ enum class ActionKind {
   kHeal,                ///< federation.heal(node, peer)
   kMigrate,             ///< coordinator.migrate(name, node)
   kChannelSend,         ///< channel(node -> peer, mailbox `name`).send
+  // Mode-change actions (generated only when config.modes is set; appended
+  // at the enum tail so earlier repro files keep their meaning).
+  kOverloadStorm,       ///< kernel load -> rtos::overload_storm() plateau
+  kFlashCrowd,          ///< kernel load -> rtos::flash_crowd() burst profile
+  kForceModeChange,     ///< mode_controller().transition_to(payload)
+  kModeChangeMigrate,   ///< federation: migrate(name, node) + transition
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind);
@@ -82,6 +88,17 @@ struct ScenarioConfig {
   /// final state) are byte-identical across backends — drt_fuzz's
   /// --verify-determinism and tests/test_engine_parallel.cpp enforce it.
   rtos::EngineKind engine = rtos::EngineKind::kSequential;
+  /// Adds the mode-change bands to the mix: overload-storm / flash-crowd
+  /// load swings, forced QoS-mode transitions, and (federation mode)
+  /// transitions racing a live migration. Some registered components then
+  /// declare per-mode contracts and run in the kernel's EDF deadline class.
+  /// false keeps every pre-modes seed byte-identical.
+  bool modes = false;
+  /// Prefix the scenario with a deliberately UNSAFE mode transition: the
+  /// world disables the ModeChangeController's admission pre-check and the
+  /// prefix forces a transition that overcommits a CPU 4x (fuzzer self-test:
+  /// oracle invariant 10 must catch it and the shrinker must reduce it).
+  bool plant_mode_bug = false;
   /// > 1 runs the scenario against a fed::Federation of this many nodes
   /// (one engine shard each): registrations flow through the coordinator's
   /// global placement, and membership / partition / migration / channel

@@ -1,0 +1,227 @@
+// EDF deadline class (SchedClass::kDeadline): within one priority level,
+// tasks are ordered by absolute deadline (earliest first) and sort ahead of
+// fixed-priority tasks at that level in the ready queue (though neither band
+// preempts the other at equal priority); across levels the priority bitmap
+// still rules. All tests run on the quiet configuration, so dispatch and
+// completion times are exact.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rtos/kernel.hpp"
+#include "test_helpers.hpp"
+
+namespace drt::rtos {
+namespace {
+
+using testing::quiet_config;
+
+TaskParams edf(std::string name, SimDuration period, int priority = 10,
+               SimDuration deadline = 0) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kPeriodic;
+  params.period = period;
+  params.priority = priority;
+  params.deadline = deadline;
+  params.sched = SchedClass::kDeadline;
+  return params;
+}
+
+TaskParams fp(std::string name, SimDuration period, int priority = 10) {
+  TaskParams params;
+  params.name = std::move(name);
+  params.type = TaskType::kPeriodic;
+  params.period = period;
+  params.priority = priority;
+  return params;
+}
+
+/// Completion marks: each job records (name, finish time) after its demand.
+using Marks = std::vector<std::pair<std::string, SimTime>>;
+
+TaskBody marking_body(Marks& marks, std::string name, SimDuration demand) {
+  return [&marks, name = std::move(name),
+          demand](TaskContext& ctx) -> TaskCoro {
+    while (!ctx.stop_requested()) {
+      co_await ctx.consume(demand);
+      marks.emplace_back(name, ctx.now());
+      co_await ctx.wait_next_period();
+    }
+  };
+}
+
+// ------------------------------------------------------------ validation --
+
+TEST(DeadlineCreate, RejectsNonPeriodicDeadlineClass) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  TaskParams params;
+  params.name = "evt";
+  params.type = TaskType::kAperiodic;
+  params.sched = SchedClass::kDeadline;
+  auto result = kernel.create_task(
+      params, [](TaskContext&) -> TaskCoro { co_return; });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "rtos.bad_task");
+}
+
+// -------------------------------------------------------------- ordering --
+
+TEST(DeadlineSched, EarlierAbsoluteDeadlineRunsFirst) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // Same priority, released together at t=1ms: b's implicit deadline (11ms)
+  // beats a's (21ms), so b runs to completion first.
+  auto a = kernel.create_task(edf("a", milliseconds(20), 5),
+                              marking_body(marks, "a", milliseconds(3)));
+  auto b = kernel.create_task(edf("b", milliseconds(10), 5),
+                              marking_body(marks, "b", milliseconds(3)));
+  ASSERT_TRUE(kernel.start_task(a.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(b.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(8));
+  ASSERT_GE(marks.size(), 2u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("b"), milliseconds(4)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("a"), milliseconds(7)));
+}
+
+TEST(DeadlineSched, ConstrainedDeadlineOverridesPeriodOrdering) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // a has the LONGER period but a tight constrained deadline (3ms), so its
+  // absolute deadline (4ms) precedes b's implicit one (11ms).
+  auto a = kernel.create_task(edf("a", milliseconds(20), 5, milliseconds(3)),
+                              marking_body(marks, "a", milliseconds(1)));
+  auto b = kernel.create_task(edf("b", milliseconds(10), 5),
+                              marking_body(marks, "b", milliseconds(1)));
+  ASSERT_TRUE(kernel.start_task(a.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(b.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(4));
+  ASSERT_GE(marks.size(), 2u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("a"), milliseconds(2)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("b"), milliseconds(3)));
+}
+
+TEST(DeadlineSched, PreemptsRunningTaskOnEarlierDeadline) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // a (deadline 21ms) is mid-job when b releases at t=3ms with deadline 9ms:
+  // b preempts, finishes at 4ms, a resumes and finishes at 8ms.
+  auto a = kernel.create_task(edf("a", milliseconds(20), 5),
+                              marking_body(marks, "a", milliseconds(6)));
+  auto b = kernel.create_task(edf("b", milliseconds(6), 5),
+                              marking_body(marks, "b", milliseconds(1)));
+  ASSERT_TRUE(kernel.start_task(a.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(b.value(), milliseconds(3)).ok());
+  engine.run_until(milliseconds(9) - 1);
+  ASSERT_GE(marks.size(), 2u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("b"), milliseconds(4)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("a"), milliseconds(8)));
+  EXPECT_GE(kernel.find_task(a.value())->stats.preemptions, 1u);
+}
+
+TEST(DeadlineSched, NoRoundRobinSlicingWithinTheBand) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // Equal-priority EDF peers never time-slice: a (deadline 11ms) runs its
+  // whole 4ms job before b (deadline 13ms) starts. Under round-robin the two
+  // would interleave and a would finish well after 5ms.
+  auto a = kernel.create_task(edf("a", milliseconds(10), 5),
+                              marking_body(marks, "a", milliseconds(4)));
+  auto b = kernel.create_task(edf("b", milliseconds(12), 5),
+                              marking_body(marks, "b", milliseconds(4)));
+  ASSERT_TRUE(kernel.start_task(a.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(b.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(10));
+  ASSERT_GE(marks.size(), 2u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("a"), milliseconds(5)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("b"), milliseconds(9)));
+}
+
+// ----------------------------------------------------- RM/EDF coexistence --
+
+TEST(DeadlineSched, EdfBandIsAheadOfFixedPriorityInTheReadyQueue) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // A prio-1 hog keeps the CPU until 3ms, so rm and dl (both prio 5,
+  // released at 1ms) queue up together. A deadline task never PREEMPTS an
+  // equal-priority fixed-priority task, but in the ready queue the EDF band
+  // (finite deadline) sorts ahead of the FP band — when the hog finishes,
+  // dl is dispatched first even though rm enqueued before it.
+  auto hog = kernel.create_task(fp("hog", milliseconds(50), 1),
+                                marking_body(marks, "hog", milliseconds(2)));
+  auto rm = kernel.create_task(fp("rm", milliseconds(20), 5),
+                               marking_body(marks, "rm", milliseconds(2)));
+  auto dl = kernel.create_task(edf("dl", milliseconds(20), 5),
+                               marking_body(marks, "dl", milliseconds(2)));
+  ASSERT_TRUE(kernel.start_task(hog.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(rm.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(dl.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(8));
+  ASSERT_GE(marks.size(), 3u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("hog"), milliseconds(3)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("dl"), milliseconds(5)));
+  EXPECT_EQ(marks[2], std::make_pair(std::string("rm"), milliseconds(7)));
+}
+
+TEST(DeadlineSched, HigherPriorityFixedTaskStillBeatsTheBand) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // Across priority levels the bitmap rules: prio 1 (RM) beats prio 5 (EDF)
+  // regardless of deadlines.
+  auto rm = kernel.create_task(fp("rm", milliseconds(20), 1),
+                               marking_body(marks, "rm", milliseconds(2)));
+  auto dl = kernel.create_task(edf("dl", milliseconds(10), 5),
+                               marking_body(marks, "dl", milliseconds(2)));
+  ASSERT_TRUE(kernel.start_task(rm.value(), milliseconds(1)).ok());
+  ASSERT_TRUE(kernel.start_task(dl.value(), milliseconds(1)).ok());
+  engine.run_until(milliseconds(6));
+  ASSERT_GE(marks.size(), 2u);
+  EXPECT_EQ(marks[0], std::make_pair(std::string("rm"), milliseconds(3)));
+  EXPECT_EQ(marks[1], std::make_pair(std::string("dl"), milliseconds(5)));
+}
+
+// --------------------------------------------------------- miss accounting --
+
+TEST(DeadlineSched, OverrunningJobCountsMissesAndContinues) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // 2ms period, 3ms demand: every job overruns its implicit deadline.
+  auto id = kernel.create_task(edf("slow", milliseconds(2), 5),
+                               marking_body(marks, "slow", milliseconds(3)));
+  ASSERT_TRUE(kernel.start_task(id.value()).ok());
+  engine.run_until(milliseconds(50));
+  const Task* task = kernel.find_task(id.value());
+  EXPECT_GT(task->stats.deadline_misses, 0u);
+  EXPECT_GT(task->stats.overruns, 0u);
+  EXPECT_GE(task->stats.completions, 10u);
+}
+
+TEST(DeadlineSched, FeasibleEdfSetRunsMissFree) {
+  SimEngine engine;
+  RtKernel kernel(engine, quiet_config());
+  Marks marks;
+  // U = 0.5 + 0.25 = 0.75 on one CPU: EDF must schedule it without misses.
+  auto a = kernel.create_task(edf("a", milliseconds(4), 5),
+                              marking_body(marks, "a", milliseconds(2)));
+  auto b = kernel.create_task(edf("b", milliseconds(8), 5),
+                              marking_body(marks, "b", milliseconds(2)));
+  ASSERT_TRUE(kernel.start_task(a.value()).ok());
+  ASSERT_TRUE(kernel.start_task(b.value()).ok());
+  engine.run_until(milliseconds(200));
+  EXPECT_EQ(kernel.find_task(a.value())->stats.deadline_misses, 0u);
+  EXPECT_EQ(kernel.find_task(b.value())->stats.deadline_misses, 0u);
+  EXPECT_GE(kernel.find_task(a.value())->stats.completions, 40u);
+}
+
+}  // namespace
+}  // namespace drt::rtos

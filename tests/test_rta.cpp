@@ -133,6 +133,22 @@ TEST(RtaResolver, ConstrainedDeadlineTightensTheTest) {
   EXPECT_FALSE(rta.admit(bad_candidate, view_of({&interferer})).ok());
 }
 
+TEST(RtaResolver, ConstrainedDeadlineRejectionReportsEffectiveDeadline) {
+  // Pin the exact message for a constrained-deadline rejection: it must cite
+  // the effective deadline D_i (900us), not the 2ms period the task releases
+  // on — the response time is compared against D_i. R iterates 600us ->
+  // 600 + ceil(600/1000)*400 = 1000us, first exceeding value.
+  ResponseTimeResolver rta(0);
+  const auto interferer = periodic_component("hi", 0.4, 1000.0, 1);
+  const auto bad_candidate =
+      periodic_component("lo", 0.3, 500.0, 5, microseconds(900));
+  auto result = rta.admit(bad_candidate, view_of({&interferer}));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().message,
+            "RTA: task 'lo' would miss its deadline on cpu 0 "
+            "(R=1000000 > D=900000) if 'lo' were admitted");
+}
+
 TEST(RtaResolver, AperiodicPassesThrough) {
   ResponseTimeResolver rta;
   ComponentDescriptor aperiodic;
