@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "drcom/monitor.hpp"
 #include "fed/coordinator.hpp"
 #include "fed/federation.hpp"
 
@@ -230,6 +231,39 @@ int main(int argc, char** argv) {
       warm_256 = warm.average;
       rescan_256 = rescan.average;
     }
+  }
+
+  // Observed-rank placement: the same decision machinery ranking nodes by
+  // empirical headroom (declared sums + each node's monitor-observed excess,
+  // docs/MONITORING.md) instead of declared sums alone. The warm decision
+  // stays an O(1) index peek either way; the publish path pays the per-node
+  // monitor query, which is what the on/off rows expose.
+  {
+    auto federation = populated_federation(64);
+    std::vector<std::unique_ptr<drcom::ContractMonitor>> monitors;
+    for (NodeIndex i = 0; i < federation->size(); ++i) {
+      monitors.push_back(
+          std::make_unique<drcom::ContractMonitor>(*federation->node(i).drcr));
+      monitors.back()->start();
+    }
+    federation->advance(milliseconds(50));
+    FederationCoordinator coordinator(*federation);
+    std::vector<double> declared_samples;
+    std::vector<double> observed_samples;
+    std::vector<double> observed_cold_samples;
+    for (std::size_t trial = 0; trial < options.trials; ++trial) {
+      coordinator.set_observed_rank(false);
+      declared_samples.push_back(warm_ns(coordinator, 200'000));
+      coordinator.set_observed_rank(true);
+      observed_samples.push_back(warm_ns(coordinator, 200'000));
+      observed_cold_samples.push_back(cold_ns(coordinator, 50));
+    }
+    print_table_header("observed-rank placement ns @64 nodes",
+                       "warm select_node and cold republish with the "
+                       "empirical-headroom ranking off/on");
+    print_table_row("warm-declared@64", summarize(declared_samples));
+    print_table_row("warm-observed@64", summarize(observed_samples));
+    print_table_row("cold-observed@64", summarize(observed_cold_samples));
   }
 
   print_table_header("channel throughput msg/s",

@@ -1,0 +1,212 @@
+// Contract-monitor sampling cost on the dispatch hot path (docs/MONITORING.md).
+//
+// The kernel samples one exec-time histogram observation per completed job of
+// a monitored task; an unmonitored task pays one null-check. This bench pins
+// both claims:
+//
+//   sim@N          wall ns per completed job, N managed 1 kHz components,
+//                  no monitor attached (the seed's dispatch cost)
+//   sim+monitor@N  the same workload with a ContractMonitor attached and
+//                  checking every 100ms of virtual time
+//   observe        ns per Histogram::observe on an enabled registry — the
+//                  exact work a monitored completion adds to the hot path
+//   observe-off    ns per observe on a disabled registry (early return) —
+//                  what a monitor-less stack pays beyond the null-check
+//
+// The --check gate evaluates the added-work ratios, which are stable across
+// machines (unlike an end-to-end wall-clock diff of two separate sims, which
+// is dominated by scheduler noise at the 5% scale):
+//   observe / sim@64     <= 5%   (enabled sampling overhead per job)
+//   observe-off / sim@64 <= 1%   (disabled monitoring is ~free)
+// The end-to-end sim+monitor/sim ratio is reported for eyeballing.
+//
+// Flags:
+//   --json <path>  machine-readable report (bench_common.hpp format)
+//   --check        apply the ratio gates above
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_common.hpp"
+#include "drcom/monitor.hpp"
+#include "obs/metrics.hpp"
+
+namespace drt::bench {
+namespace {
+
+/// 1 kHz worker with a fixed 1us job: dispatch dominates, compute does not.
+class TinyComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(1));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+/// A DRCR with `n` active 1 kHz components spread over 2 CPUs, optionally
+/// watched by a ContractMonitor. Declared budgets (2us) sit at 2x the real
+/// cost, so monitored runs stay violation-free — the steady-state cost, not
+/// the violation path, is what the hot-path gate is about.
+struct MonitorSet {
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+  std::unique_ptr<drcom::ContractMonitor> monitor;
+  SimTime horizon = 0;
+
+  MonitorSet(std::size_t n, bool monitored)
+      : kernel(engine, paper_kernel_config(false, 7)), drcr(framework, kernel) {
+    kernel.metrics().enable();
+    drcr.factories().register_factory(
+        "bench.Tiny", [] { return std::make_unique<TinyComponent>(); });
+    for (std::size_t i = 0; i < n; ++i) {
+      drcom::ComponentDescriptor d;
+      d.name = "t" + std::to_string(i);
+      d.bincode = "bench.Tiny";
+      d.type = rtos::TaskType::kPeriodic;
+      d.cpu_usage = 0.002;
+      d.periodic = drcom::PeriodicSpec{1000.0, static_cast<CpuId>(i % 2),
+                                       static_cast<int>(i % 200)};
+      (void)drcr.register_component(std::move(d));
+    }
+    if (monitored) {
+      monitor = std::make_unique<drcom::ContractMonitor>(drcr);
+      monitor->start();
+    }
+    // Warm the schedule (and the monitor's first checks) out of the timing.
+    horizon = milliseconds(200);
+    engine.run_until(horizon);
+  }
+
+  /// Advances virtual time by 10ms and returns wall ns per completed job.
+  void advance() {
+    horizon += milliseconds(10);
+    engine.run_until(horizon);
+  }
+};
+
+/// Average ns per call: `batch` calls per sample, `samples` samples.
+template <typename Fn>
+StatSummary time_calls(std::size_t batch, std::size_t samples, Fn&& fn) {
+  SampleSeries series;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const auto end = std::chrono::steady_clock::now();
+    series.add(static_cast<double>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       end - begin)
+                       .count()) /
+               static_cast<double>(batch));
+  }
+  return series.summary();
+}
+
+StatSummary scale(StatSummary s, double divisor) {
+  s.average /= divisor;
+  s.avedev /= divisor;
+  s.min /= divisor;
+  s.max /= divisor;
+  return s;
+}
+
+}  // namespace
+}  // namespace drt::bench
+
+int main(int argc, char** argv) {
+  using namespace drt;
+  using namespace drt::bench;
+
+  parse_bench_args(argc, argv);
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check") == 0) check = true;
+  }
+
+  constexpr std::size_t kComponents = 64;
+  // 64 components x 1 kHz x 10ms per advance() call.
+  constexpr double kJobsPerAdvance = 640.0;
+  constexpr std::size_t kBatch = 8;
+  constexpr std::size_t kSamples = 30;
+
+  std::printf("contract-monitor sampling cost (%zu components, 2 CPUs)\n",
+              kComponents);
+  print_table_header(
+      "per-job dispatch ns",
+      "sim = managed workload without monitor; sim+monitor = same workload "
+      "watched (100ms checks)");
+
+  MonitorSet bare(kComponents, false);
+  const StatSummary sim = scale(
+      time_calls(kBatch, kSamples, [&] { bare.advance(); }), kJobsPerAdvance);
+  print_table_row("sim@" + std::to_string(kComponents), sim);
+
+  MonitorSet watched(kComponents, true);
+  const StatSummary sim_monitor =
+      scale(time_calls(kBatch, kSamples, [&] { watched.advance(); }),
+            kJobsPerAdvance);
+  print_table_row("sim+monitor@" + std::to_string(kComponents), sim_monitor);
+
+  // The exact instruction sequence a monitored completion adds: one
+  // Histogram::observe against the monitor's bucket grid.
+  obs::MetricsRegistry enabled_registry;
+  enabled_registry.enable();
+  auto* hist = enabled_registry.histogram(
+      "bench.observe", "",
+      {200.0, 500.0, 1000.0, 1500.0, 1800.0, 2000.0, 2200.0, 2500.0, 3000.0,
+       4000.0, 6000.0, 10000.0, 20000.0});
+  double v = 0.0;
+  const StatSummary observe = time_calls(65536, kSamples, [&] {
+    hist->observe(900.0 + v);
+    v = v < 64.0 ? v + 1.0 : 0.0;
+  });
+  print_table_row("observe", observe);
+
+  obs::MetricsRegistry disabled_registry;
+  auto* off = disabled_registry.histogram("bench.off", "", {1000.0, 2000.0});
+  const StatSummary observe_off = time_calls(65536, kSamples, [&] {
+    off->observe(900.0 + v);
+    v = v < 64.0 ? v + 1.0 : 0.0;
+  });
+  print_table_row("observe-off", observe_off);
+
+  const double enabled_ratio =
+      sim.average > 0.0 ? observe.average / sim.average : 1.0;
+  const double disabled_ratio =
+      sim.average > 0.0 ? observe_off.average / sim.average : 1.0;
+  const double end_to_end =
+      sim.average > 0.0 ? sim_monitor.average / sim.average : 0.0;
+  print_table_header("gate inputs", "ratios the --check gate evaluates");
+  {
+    std::vector<double> r1 = {enabled_ratio * 100.0};
+    print_table_row("observe / sim (%)", summarize(r1));
+    std::vector<double> r2 = {disabled_ratio * 100.0};
+    print_table_row("observe-off / sim (%)", summarize(r2));
+    std::vector<double> r3 = {end_to_end};
+    print_table_row("sim+monitor / sim (x)", summarize(r3));
+  }
+
+  if (check) {
+    if (enabled_ratio > 0.05) {
+      std::printf("\ncheck: FAILED (enabled sampling adds %.2f%% per job, "
+                  "gate is 5%%)\n",
+                  enabled_ratio * 100.0);
+      return 1;
+    }
+    if (disabled_ratio > 0.01) {
+      std::printf("\ncheck: FAILED (disabled monitoring adds %.2f%% per job, "
+                  "gate is 1%%)\n",
+                  disabled_ratio * 100.0);
+      return 1;
+    }
+    std::printf("\ncheck: OK (sampling %.2f%% of per-job cost enabled, "
+                "%.3f%% disabled; end-to-end %.3fx)\n",
+                enabled_ratio * 100.0, disabled_ratio * 100.0, end_to_end);
+  }
+  return 0;
+}

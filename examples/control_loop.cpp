@@ -158,7 +158,7 @@ int main() {
       std::move(drcom::parse_descriptor(kPlantXml)).take());
   std::printf("plant without controller: plant=%s (%s)\n",
               drcom::to_string(*drcr.state_of("plant")),
-              drcr.last_reason("plant").c_str());
+              drcr.component_health("plant")->reason.c_str());
 
   auto bundle = framework.install(pid_bundle(100, 50, 0, "1.0.0"));
   (void)framework.start(bundle.value());
@@ -195,7 +195,7 @@ int main() {
   std::printf("pid registered=%s plant=%s (%s)\n",
               drcr.state_of("pid").has_value() ? "yes" : "no",
               drcom::to_string(*drcr.state_of("plant")),
-              drcr.last_reason("plant").c_str());
+              drcr.component_health("plant")->reason.c_str());
 
   const bool ok = *drcr.state_of("plant") == drcom::ComponentState::kUnsatisfied;
   return ok ? 0 : 1;

@@ -179,7 +179,7 @@ class Console {
       for (const auto& name : drcr_.component_names()) {
         std::printf("    %-8s %-12s %s\n", name.c_str(),
                     drcom::to_string(*drcr_.state_of(name)),
-                    drcr_.last_reason(name).c_str());
+                    drcr_.component_health(name)->reason.c_str());
       }
       if (drcr_.component_names().empty()) std::printf("    (none)\n");
     } else if (verb == "tasks") {

@@ -1,5 +1,6 @@
 #include "drcom/adaptation.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/logging.hpp"
@@ -108,15 +109,48 @@ void AdaptationManager::evaluate_now() {
       log::Line(log::Level::kWarn, "adaptation", violation.when)
           << "QoS violation in " << violation.component << ": "
           << description;
-      act_on(violation);
+      act_on(violation, AdaptationTrigger::kQosRule,
+             ++qos_trips_[violation.component]);
     }
   }
+
+  // Contract-violation trigger: consume drcom.contract_violation counts the
+  // monitor recorded since the last poll. The cumulative count doubles as
+  // the ladder's trip count, so a persistently overrunning component climbs
+  // the escalation steps one check pass at a time.
+  for (const auto& name : drcr_->component_names()) {
+    const auto health = drcr_->component_health(name);
+    if (!health.has_value()) continue;
+    const std::uint64_t total = health->contract_violations;
+    std::uint64_t& seen = contract_seen_[name];
+    if (total <= seen) continue;
+    const std::uint64_t fresh = total - seen;
+    seen = total;
+    std::ostringstream description;
+    description << "contract violations +" << fresh << " (total " << total
+                << ")";
+    QosViolation violation;
+    violation.when = drcr_->kernel().now();
+    violation.component = name;
+    violation.rule_description = description.str();
+    violation.status.component = name;
+    violations_.push_back(violation);
+    log::Line(log::Level::kWarn, "adaptation", violation.when)
+        << "contract violation in " << name << ": " << description.str();
+    act_on(violation, AdaptationTrigger::kContractViolation, total);
+  }
+
   // kModeChange recovery hysteresis: after `recovery_polls` consecutive
-  // clean passes in the degraded mode, transition back.
+  // clean passes in the degraded mode, transition back. Armed whenever the
+  // ladder (either trigger) can degrade the mode.
+  const std::vector<AdaptationPolicy> policies = effective_policies();
+  const bool ladder_degrades =
+      std::any_of(policies.begin(), policies.end(), [](const auto& policy) {
+        return policy.action == QosActionKind::kModeChange;
+      });
   if (violations_.size() > violations_before) {
     clean_polls_ = 0;
-  } else if (config_.action == QosActionKind::kModeChange &&
-             config_.recovery_polls > 0 &&
+  } else if (ladder_degrades && config_.recovery_polls > 0 &&
              drcr_->mode_controller().current_mode() ==
                  config_.degraded_mode &&
              ++clean_polls_ >= config_.recovery_polls) {
@@ -125,8 +159,39 @@ void AdaptationManager::evaluate_now() {
   }
 }
 
-void AdaptationManager::act_on(const QosViolation& violation) {
-  switch (config_.action) {
+std::vector<AdaptationPolicy> AdaptationManager::effective_policies() const {
+  if (!config_.policies.empty()) return config_.policies;
+  // Legacy mapping: the deprecated single action as a one-step ladder.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  return {AdaptationPolicy{AdaptationTrigger::kQosRule, config_.action, 1}};
+#pragma GCC diagnostic pop
+}
+
+std::uint64_t AdaptationManager::trips_of(const std::string& component,
+                                          AdaptationTrigger trigger) const {
+  if (trigger == AdaptationTrigger::kQosRule) {
+    const auto found = qos_trips_.find(component);
+    return found == qos_trips_.end() ? 0 : found->second;
+  }
+  const auto found = contract_seen_.find(component);
+  return found == contract_seen_.end() ? 0 : found->second;
+}
+
+void AdaptationManager::act_on(const QosViolation& violation,
+                               AdaptationTrigger trigger,
+                               std::uint64_t trips) {
+  // Of the ladder steps with a matching trigger and threshold <= trips, the
+  // LAST declared one acts (rising-threshold order reads as escalation).
+  const std::vector<AdaptationPolicy> policies = effective_policies();
+  const AdaptationPolicy* selected = nullptr;
+  for (const AdaptationPolicy& policy : policies) {
+    if (policy.trigger != trigger || trips < policy.threshold) continue;
+    selected = &policy;
+  }
+  const QosActionKind action =
+      selected != nullptr ? selected->action : QosActionKind::kNotify;
+  switch (action) {
     case QosActionKind::kNotify:
       break;
     case QosActionKind::kSuspend: {
@@ -146,7 +211,14 @@ void AdaptationManager::act_on(const QosViolation& violation) {
       break;
     }
     case QosActionKind::kDisable:
-      (void)drcr_->disable_component(violation.component);
+      // A broken stochastic contract means the declared budget is a lie —
+      // quarantine (disable + flag) instead of a plain disable, so the
+      // component does not silently re-enter through a later enable-all.
+      if (trigger == AdaptationTrigger::kContractViolation) {
+        (void)drcr_->quarantine_component(violation.component);
+      } else {
+        (void)drcr_->disable_component(violation.component);
+      }
       break;
     case QosActionKind::kRestart:
       // Watchdog: tear the instance down and bring a fresh one up. The

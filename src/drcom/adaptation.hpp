@@ -48,9 +48,34 @@ struct QosRule {
 enum class QosActionKind {
   kNotify,      ///< only invoke the violation callback
   kSuspend,     ///< soft-suspend the component via its management service
-  kDisable,     ///< disable the component through the DRCR
+  kDisable,     ///< disable the component through the DRCR (contract-violation
+                ///< trigger: quarantine_component — disable + flag)
   kRestart,     ///< disable + re-enable: a fresh instance (watchdog semantics)
   kModeChange,  ///< transition the system to config.degraded_mode
+};
+
+/// What tripped: a declarative QosRule over polled status snapshots, or a
+/// drcom.contract_violation reported by the ContractMonitor.
+enum class AdaptationTrigger {
+  kQosRule,
+  kContractViolation,
+};
+
+[[nodiscard]] constexpr const char* to_string(AdaptationTrigger trigger) {
+  return trigger == AdaptationTrigger::kQosRule ? "qos-rule"
+                                                : "contract-violation";
+}
+
+/// One step of the escalation ladder. Per component the manager keeps a
+/// cumulative trip count per trigger; when a trigger fires with `trips`
+/// accumulated, the LAST declared step with a matching trigger and
+/// threshold <= trips acts. Ordering steps by rising threshold therefore
+/// reads as an escalation: e.g. {notify@1, mode-change@3, disable@6}.
+struct AdaptationPolicy {
+  AdaptationTrigger trigger = AdaptationTrigger::kQosRule;
+  QosActionKind action = QosActionKind::kNotify;
+  /// Minimum cumulative trips (per component, per trigger) for this step.
+  std::uint64_t threshold = 1;
 };
 
 struct QosViolation {
@@ -64,6 +89,10 @@ using QosViolationHandler = std::function<void(const QosViolation&)>;
 
 struct AdaptationConfig {
   SimDuration poll_period = milliseconds(100);
+  /// Deprecated single-action knob: with an empty `policies` list it maps to
+  /// the one-step ladder {kQosRule, action, threshold 1} — the historical
+  /// behaviour, bit for bit.
+  [[deprecated("use policies (ordered escalation ladder)")]]
   QosActionKind action = QosActionKind::kNotify;
   /// kModeChange only: the QoS mode entered when a rule trips (the overload
   /// reaction — shrink budgets, shed optional components; docs/MODES.md).
@@ -73,6 +102,10 @@ struct AdaptationConfig {
   /// automatic recovery.
   std::string recovery_mode;
   std::size_t recovery_polls = 0;
+  /// Ordered typed escalation ladder (appended after the legacy fields so
+  /// positional aggregate initialisation keeps its meaning). Empty = derive
+  /// a one-step ladder from the deprecated `action`.
+  std::vector<AdaptationPolicy> policies;
 };
 
 /// Periodic, registry-driven QoS monitor. Construct, add rules, start().
@@ -105,6 +138,15 @@ class AdaptationManager {
   /// self-rearming functor; not part of the API.
   void on_poll_tick();
 
+  /// The ladder actually in force: config.policies, or the one-step mapping
+  /// of the deprecated `action` when the list is empty.
+  [[nodiscard]] std::vector<AdaptationPolicy> effective_policies() const;
+
+  /// Cumulative trips recorded for (component, trigger) — the escalation
+  /// ladder's input.
+  [[nodiscard]] std::uint64_t trips_of(const std::string& component,
+                                       AdaptationTrigger trigger) const;
+
  private:
   struct Baseline {
     std::uint64_t misses = 0;
@@ -113,7 +155,8 @@ class AdaptationManager {
     bool failure_reported = false;
   };
 
-  void act_on(const QosViolation& violation);
+  void act_on(const QosViolation& violation, AdaptationTrigger trigger,
+              std::uint64_t trips);
 
   Drcr* drcr_;
   AdaptationConfig config_;
@@ -122,6 +165,12 @@ class AdaptationManager {
   std::unique_ptr<osgi::ServiceTracker> tracker_;
   std::map<std::string, Baseline> baselines_;
   std::vector<QosViolation> violations_;
+  /// Cumulative QoS-rule trips per component (never reset — escalation
+  /// outlives restarts).
+  std::map<std::string, std::uint64_t> qos_trips_;
+  /// Last consumed Drcr contract-violation count per component (baseline for
+  /// detecting new violations between polls).
+  std::map<std::string, std::uint64_t> contract_seen_;
   rtos::EventId poll_event_ = 0;
   /// Consecutive violation-free passes (kModeChange recovery hysteresis).
   std::size_t clean_polls_ = 0;

@@ -191,6 +191,15 @@ Result<ComponentDescriptor> parse_descriptor_element(
     }
     descriptor.cpu_usage = *parsed;
   }
+  if (const auto monitor = root.attribute("monitor")) {
+    const auto parsed = str::parse_bool(*monitor);
+    if (!parsed) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "monitor must be true/false, got '" +
+                            std::string(*monitor) + "'");
+    }
+    descriptor.monitor = *parsed;
+  }
 
   for (const auto* child : root.child_elements()) {
     const auto local = child->local_name();
@@ -494,6 +503,9 @@ std::string write_descriptor(const ComponentDescriptor& descriptor) {
     usage << descriptor.cpu_usage;
     root.set_attribute("cpuusage", usage.str());
   }
+  // Emitted only for the non-default opt-out so pre-monitoring descriptors
+  // round-trip byte-identically.
+  if (!descriptor.monitor) root.set_attribute("monitor", "false");
   root.append_child("implementation")
       .set_attribute("bincode", descriptor.bincode);
   if (descriptor.periodic.has_value()) {

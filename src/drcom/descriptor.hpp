@@ -139,6 +139,10 @@ struct ComponentDescriptor {
   rtos::TaskType type = rtos::TaskType::kPeriodic;
   bool enabled = true;      ///< false => disabled until enable_component()
   double cpu_usage = 0.0;   ///< claimed CPU fraction for admission control
+  /// false opts this component out of contract monitoring (ContractMonitor
+  /// will not attach an execution-time histogram to its task). Serialized
+  /// only when false, so pre-monitoring descriptors round-trip byte-identically.
+  bool monitor = true;
   std::string bincode;      ///< implementation class reference
   std::optional<PeriodicSpec> periodic;
   std::optional<SporadicSpec> sporadic;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "drcom/monitor.hpp"
 #include "osgi/event_admin.hpp"
 #include "util/logging.hpp"
 
@@ -169,6 +170,8 @@ Result<void> Drcr::unregister_component(const std::string& name) {
   if (found->second.state == ComponentState::kActive) {
     deactivate(found->second, "component unregistered");
   }
+  // Keep the counter == sum-over-records identity exact across churn.
+  retired_violations_ += found->second.contract_violations;
   components_.erase(found);
   forget_system_member(name);
   emit(DrcrEventType::kUnregistered, name);
@@ -209,6 +212,7 @@ Result<void> Drcr::enable_component(const std::string& name) {
   if (found->second.state != ComponentState::kDisabled) {
     return Result<void>::success();  // idempotent
   }
+  found->second.quarantined = false;  // enable lifts a quarantine
   found->second.state = ComponentState::kUnsatisfied;
   emit(DrcrEventType::kEnabled, name);
   if (config_.auto_resolve) resolve();
@@ -232,6 +236,18 @@ Result<void> Drcr::disable_component(const std::string& name) {
   cascade_departures();
   if (config_.auto_resolve) resolve();
   return Result<void>::success();
+}
+
+Result<void> Drcr::quarantine_component(const std::string& name) {
+  const auto found = components_.find(name);
+  if (found == components_.end()) {
+    return make_error(ErrorCode::kNotFound, "drcom.no_such_component", name);
+  }
+  // Flag first: disable_component() is idempotent for already-disabled
+  // records, and the invariant quarantined => DISABLED must hold either way.
+  found->second.quarantined = true;
+  if (test_skip_quarantine_disable_) return Result<void>::success();
+  return disable_component(name);
 }
 
 Result<void> Drcr::deploy_system(const SystemDescriptor& system,
@@ -570,6 +586,18 @@ Result<void> Drcr::admission_check(const ComponentDescriptor& candidate,
                       internal_resolver_->name() + ": " +
                           internal.error().message);
   }
+  // Empirical second opinion (opt-in): budget/RTA with measured quantiles in
+  // place of declared C_i. Only armed when empirical_admission is configured
+  // and a ContractMonitor is attached.
+  if (empirical_resolver_ != nullptr) {
+    if (auto empirical = empirical_resolver_->admit(candidate, view);
+        !empirical.ok()) {
+      return make_error(ErrorCode::kAdmissionRejected,
+                        "drcom.admission_rejected",
+                        empirical_resolver_->name() + ": " +
+                            empirical.error().message);
+    }
+  }
   // External resolvers come from the tracker's sorted entry cache — no
   // per-candidate registry round-trip.
   for (const auto& entry : resolver_tracker_->entries()) {
@@ -647,10 +675,17 @@ void Drcr::finalize_activation(ComponentRecord& record) {
       framework_->system_context().register_service(
           std::string(kManagementInterface), record.management, properties);
 
+  // Attach the exec-time histogram before the ACTIVATED event goes out, so
+  // listeners already see the component under observation.
+  if (monitor_ != nullptr) monitor_->on_activated(record.descriptor.name);
+
   emit(DrcrEventType::kActivated, record.descriptor.name);
 }
 
 void Drcr::deactivate(ComponentRecord& record, const std::string& reason) {
+  // Detach the exec-time histogram while the instance (and its task) is
+  // still alive.
+  if (monitor_ != nullptr) monitor_->on_deactivated(record.descriptor.name);
   if (record.state == ComponentState::kActive) {
     contract_cache_.on_deactivate(record.descriptor);
   }
@@ -673,6 +708,39 @@ std::optional<ComponentState> Drcr::state_of(const std::string& name) const {
   const auto found = components_.find(name);
   if (found == components_.end()) return std::nullopt;
   return found->second.state;
+}
+
+std::optional<ComponentHealth> Drcr::component_health(
+    const std::string& name) const {
+  const auto found = components_.find(name);
+  if (found == components_.end()) return std::nullopt;
+  const ComponentRecord& record = found->second;
+  ComponentHealth health;
+  health.name = name;
+  health.state = record.state;
+  health.last_error = record.last_code;
+  health.reason = record.last_reason;
+  health.contract_violations = record.contract_violations;
+  health.quarantined = record.quarantined;
+  if (mode_controller_ != nullptr) {
+    health.current_mode = mode_controller_->current_mode();
+  }
+  health.declared_usage = health.current_mode.empty()
+                              ? record.descriptor.cpu_usage
+                              : record.descriptor.usage_in_mode(
+                                    health.current_mode);
+  if (monitor_ != nullptr) {
+    health.observed_usage = monitor_->observed_usage(name);
+  }
+  return health;
+}
+
+std::uint64_t Drcr::total_contract_violations() const {
+  std::uint64_t total = retired_violations_;
+  for (const auto& [_, record] : components_) {
+    total += record.contract_violations;
+  }
+  return total;
 }
 
 std::string Drcr::last_reason(const std::string& name) const {
@@ -719,6 +787,36 @@ SystemView Drcr::system_view() const {
     view.id = next_view_id_++;
   }
   return view;
+}
+
+// ----------------------------------------------------------------- monitor
+
+void Drcr::attach_monitor(ContractMonitor* monitor) {
+  monitor_ = monitor;
+  if (monitor == nullptr) {
+    empirical_resolver_.reset();
+    return;
+  }
+  // Lazily registered: a monitor-less stack never creates this series, so
+  // its metric exports stay byte-identical to pre-monitoring builds.
+  if (m_.contract_violations == nullptr) {
+    m_.contract_violations = kernel_->metrics().counter(
+        "drcom.contract_violations",
+        "stochastic contract violations reported by the monitor");
+  }
+  if (config_.empirical_admission && empirical_resolver_ == nullptr) {
+    empirical_resolver_ =
+        std::make_unique<EmpiricalResolver>(*monitor, config_.cpu_budget);
+  }
+}
+
+void Drcr::note_contract_violation(const std::string& name,
+                                   const std::string& detail) {
+  const auto found = components_.find(name);
+  if (found == components_.end()) return;
+  ++found->second.contract_violations;
+  emit(DrcrEventType::kContractViolation, name, detail,
+       ErrorCode::kContractViolated);
 }
 
 void Drcr::set_internal_resolver(std::unique_ptr<ResolvingService> resolver) {
@@ -803,6 +901,11 @@ void Drcr::emit(DrcrEventType type, const std::string& component,
       break;
     case DrcrEventType::kRejected:
       m_.rejections->add();
+      break;
+    case DrcrEventType::kContractViolation:
+      // Null only if a violation is emitted with no monitor ever attached —
+      // impossible through note_contract_violation, but stay defensive.
+      if (m_.contract_violations != nullptr) m_.contract_violations->add();
       break;
     case DrcrEventType::kEnabled:
     case DrcrEventType::kDisabled:

@@ -68,6 +68,10 @@ enum class DrcrEventType {
   kRejected,  ///< admission or functional resolution failed this round
   kEnabled,
   kDisabled,
+  /// The ContractMonitor found the observed execution-time quantile above
+  /// the declared budget (appended at the enum tail so persisted event
+  /// streams keep their meaning).
+  kContractViolation,
 };
 
 [[nodiscard]] constexpr const char* to_string(DrcrEventType type) {
@@ -79,6 +83,7 @@ enum class DrcrEventType {
     case DrcrEventType::kRejected: return "REJECTED";
     case DrcrEventType::kEnabled: return "ENABLED";
     case DrcrEventType::kDisabled: return "DISABLED";
+    case DrcrEventType::kContractViolation: return "CONTRACT_VIOLATION";
   }
   return "?";
 }
@@ -94,6 +99,33 @@ struct DrcrEvent {
 };
 
 using DrcrListener = std::function<void(const DrcrEvent&)>;
+
+class ContractMonitor;
+
+/// One-call per-component inspection surface: everything the scattered
+/// state/reason/usage getters exposed, in a single typed snapshot. Returned
+/// by Drcr::component_health(); replaces last_reason()/last_reason_code().
+struct ComponentHealth {
+  std::string name;
+  ComponentState state = ComponentState::kUnsatisfied;
+  /// Typed category of `reason`: why the component is not active (kNone when
+  /// it is), or kContractViolated context from the monitor.
+  ErrorCode last_error = ErrorCode::kNone;
+  std::string reason;
+  /// The descriptor's current cpuusage contract (mode changes re-budget it).
+  double declared_usage = 0.0;
+  /// Measured per-period CPU fraction from the attached ContractMonitor
+  /// (observed quantile / period); -1 when no monitor is attached, the
+  /// component is not being watched, or the confidence window is not met.
+  double observed_usage = -1.0;
+  /// drcom.contract_violation events reported against this component.
+  std::uint64_t contract_violations = 0;
+  /// True while the component is disabled by quarantine_component() — the
+  /// escalation ladder's terminal action; cleared by enable_component().
+  bool quarantined = false;
+  /// The system's current QoS mode ("" = base mode or no controller).
+  std::string current_mode;
+};
 
 struct DrcrConfig {
   /// Budget of the built-in internal resolving service (declared utilization
@@ -123,6 +155,12 @@ struct DrcrConfig {
   /// Shard count when `engine` is kParallel (>= 1; the DRCR stack itself
   /// lives on shard 0, peers exchange cross-shard traffic via remote_send).
   std::size_t engine_shards = 2;
+  /// Opt-in second opinion at admission: when a ContractMonitor is attached,
+  /// an EmpiricalResolver re-runs the budget/RTA tests with measured
+  /// execution-time quantiles in place of the declared C_i (falling back to
+  /// declared where the confidence window is unmet). Off (the default) keeps
+  /// admission decisions byte-identical to the seed.
+  bool empirical_admission = false;
 };
 
 class Drcr {
@@ -142,9 +180,23 @@ class Drcr {
                                   BundleId owner = 0);
   Result<void> unregister_component(const std::string& name);
 
-  /// The paper's enableRTComponent / disable counterpart.
+  /// The paper's enableRTComponent / disable counterpart. enable also lifts
+  /// a quarantine.
   Result<void> enable_component(const std::string& name);
   Result<void> disable_component(const std::string& name);
+  /// Disables the component AND marks it quarantined — the escalation
+  /// ladder's terminal reaction to repeated contract violations. The flag is
+  /// introspectable via component_health() and cleared by enable_component()
+  /// (oracle invariant 11 checks quarantined => DISABLED).
+  Result<void> quarantine_component(const std::string& name);
+  /// Fuzzer self-test hook: when set, quarantine_component() flags the
+  /// record but skips the disable — deliberately breaking the
+  /// quarantined => DISABLED half of oracle invariant 11 so drt_fuzz
+  /// --planted-monitor-bug can prove the oracle catches it. Nothing outside
+  /// the fuzzer sets this.
+  void set_test_skip_quarantine_disable(bool skip) {
+    test_skip_quarantine_disable_ = skip;
+  }
 
   /// Deploys a validated <drt:system> composition atomically: either every
   /// member registers (followed by one resolution pass) or none does.
@@ -171,9 +223,17 @@ class Drcr {
   /// unknown). Used by snapshots.
   [[nodiscard]] const SystemDescriptor* system_of(
       const std::string& system_name) const;
+  /// One typed snapshot of a component's state, error, declared vs observed
+  /// usage, violation count, quarantine flag and the current mode
+  /// (std::nullopt for unknown names). Replaces the scattered
+  /// last_reason()/last_reason_code() getters.
+  [[nodiscard]] std::optional<ComponentHealth> component_health(
+      const std::string& name) const;
+  [[deprecated("use component_health(name)->reason")]]
   [[nodiscard]] std::string last_reason(const std::string& name) const;
   /// Typed counterpart of last_reason(): why the component is not active
   /// (kNone when it is, or when the name is unknown).
+  [[deprecated("use component_health(name)->last_error")]]
   [[nodiscard]] ErrorCode last_reason_code(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> component_names() const;
   [[nodiscard]] std::size_t active_count() const;
@@ -205,6 +265,20 @@ class Drcr {
   /// Introspection without forcing creation (oracle, snapshots).
   [[nodiscard]] const ModeChangeController* mode_controller_if_any() const {
     return mode_controller_.get();
+  }
+
+  /// The attached ContractMonitor (nullptr when none): observed usage,
+  /// sample counts, quantiles.
+  [[nodiscard]] const ContractMonitor* contract_monitor() const {
+    return monitor_;
+  }
+  /// Sum of contract violations over every record, including components
+  /// already unregistered — always equals the drcom.contract_violations
+  /// counter (oracle invariant 11).
+  [[nodiscard]] std::uint64_t total_contract_violations() const;
+  /// Violations carried over from unregistered components.
+  [[nodiscard]] std::uint64_t retired_contract_violations() const {
+    return retired_violations_;
   }
 
   // Lifecycle event access is a view over a bounded ring: the DRCR no longer
@@ -247,6 +321,9 @@ class Drcr {
   /// re-fold + descriptor mutation) and drops/restores optional components;
   /// it is part of the runtime, split into its own translation unit.
   friend class ModeChangeController;
+  /// The monitor registers itself via attach_monitor and reports violations
+  /// through note_contract_violation.
+  friend class ContractMonitor;
 
   struct ComponentRecord {
     ComponentDescriptor descriptor;
@@ -258,7 +335,20 @@ class Drcr {
     std::shared_ptr<HybridManagement> management;
     osgi::ServiceRegistration management_registration;
     std::uint64_t activation_order = 0;
+    /// drcom.contract_violation events reported against this component.
+    std::uint64_t contract_violations = 0;
+    /// Set by quarantine_component(), cleared by enable_component().
+    bool quarantined = false;
   };
+
+  /// Monitor registration (ContractMonitor ctor/dtor). Attaching the first
+  /// monitor lazily registers the drcom.contract_violations counter, so a
+  /// monitor-less stack's metric exports stay byte-identical to the seed.
+  void attach_monitor(ContractMonitor* monitor);
+  /// Records one violation against `name` and emits the typed
+  /// drcom.contract_violation event.
+  void note_contract_violation(const std::string& name,
+                               const std::string& detail);
 
   void on_bundle_event(const osgi::BundleEvent& event);
   void scan_bundle(const osgi::Bundle& bundle);
@@ -299,12 +389,14 @@ class Drcr {
   void emit(DrcrEventType type, const std::string& component,
             std::string reason = {}, ErrorCode code = ErrorCode::kNone);
 
-  /// Visits the internal resolver, then every tracked external resolver in
-  /// best-first order — service objects come from the tracker's entry cache,
-  /// not a per-call registry lookup.
+  /// Visits the internal resolver, the empirical second opinion when armed,
+  /// then every tracked external resolver in best-first order — service
+  /// objects come from the tracker's entry cache, not a per-call registry
+  /// lookup.
   template <typename Fn>
   void each_resolver(Fn&& fn) const {
     fn(*internal_resolver_);
+    if (empirical_resolver_ != nullptr) fn(*empirical_resolver_);
     for (const auto& entry : resolver_tracker_->entries()) {
       auto service = std::static_pointer_cast<ResolvingService>(entry.service);
       if (service != nullptr) fn(*service);
@@ -332,6 +424,8 @@ class Drcr {
     obs::Counter* activations = nullptr;
     obs::Counter* deactivations = nullptr;
     obs::Counter* rejections = nullptr;
+    /// Registered lazily by attach_monitor (null until a monitor attaches).
+    obs::Counter* contract_violations = nullptr;
   } m_;
   /// Callback-gauge names registered on the kernel registry; removed in the
   /// destructor (the registry outlives this DRCR).
@@ -341,6 +435,16 @@ class Drcr {
   osgi::ServiceRegistration self_registration_;
   std::uint64_t next_activation_order_ = 1;
   std::unique_ptr<ModeChangeController> mode_controller_;  ///< lazy
+  /// Attached ContractMonitor (at most one; null = no monitoring).
+  ContractMonitor* monitor_ = nullptr;
+  /// Created when empirical_admission is configured and a monitor attaches;
+  /// consulted after the internal and external resolvers.
+  std::unique_ptr<ResolvingService> empirical_resolver_;
+  /// Contract violations of components since unregistered (keeps the
+  /// counter == sum-over-records identity exact across churn).
+  std::uint64_t retired_violations_ = 0;
+  /// drt_fuzz --planted-monitor-bug only (see set_test_skip_quarantine_disable).
+  bool test_skip_quarantine_disable_ = false;
   bool resolving_ = false;      ///< re-entrancy guard for resolve()
   bool shutting_down_ = false;  ///< destructor in progress: no more resolution
 };

@@ -1,0 +1,205 @@
+#include "drcom/monitor.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "drcom/hybrid.hpp"
+#include "util/logging.hpp"
+
+namespace drt::drcom {
+
+namespace {
+
+/// Self-rearming check tick (a named functor so it can reference itself).
+struct MonitorTick {
+  ContractMonitor* monitor;
+  void operator()() const { monitor->on_poll_tick(); }
+};
+
+/// Bucket grid for one component's exec-time histogram, anchored on the
+/// declared budget C: dense around the contract boundary (where the
+/// quantile check needs resolution), geometric into the overrun tail.
+std::vector<double> bounds_around(double declared_ns) {
+  static constexpr double kGrid[] = {0.10, 0.25, 0.50, 0.75, 0.90, 1.00,
+                                     1.10, 1.25, 1.50, 2.00, 3.00, 5.00,
+                                     10.0};
+  std::vector<double> bounds;
+  bounds.reserve(std::size(kGrid));
+  for (const double factor : kGrid) bounds.push_back(declared_ns * factor);
+  return bounds;
+}
+
+}  // namespace
+
+ContractMonitor::ContractMonitor(Drcr& drcr, MonitorConfig config)
+    : drcr_(&drcr), config_(config) {
+  drcr_->attach_monitor(this);
+  // Components already active before the monitor came up are covered too.
+  for (const std::string& name : drcr_->component_names()) {
+    if (drcr_->state_of(name) == ComponentState::kActive) on_activated(name);
+  }
+}
+
+ContractMonitor::~ContractMonitor() {
+  stop();
+  // Detach every histogram so completions after this monitor dies go back
+  // to the null-check-only path.
+  for (const auto& [name, watch] : watches_) {
+    const HybridComponent* instance = drcr_->instance_of(name);
+    if (instance != nullptr) {
+      (void)drcr_->kernel().set_exec_histogram(instance->task_id(), nullptr);
+    }
+  }
+  if (drcr_->contract_monitor() == this) drcr_->attach_monitor(nullptr);
+}
+
+void ContractMonitor::start() {
+  if (running_) return;
+  if (!drcr_->kernel().metrics().enabled()) {
+    log::Line(log::Level::kWarn, "monitor", drcr_->kernel().now())
+        << "metrics registry is disabled: exec-time histograms record "
+           "nothing and no contract will ever trip";
+  }
+  running_ = true;
+  on_poll_tick();  // check immediately, then poll on the period
+}
+
+void ContractMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  drcr_->kernel().engine().cancel(poll_event_);
+  poll_event_ = 0;
+}
+
+void ContractMonitor::on_poll_tick() {
+  if (!running_) return;
+  check_now();
+  poll_event_ = drcr_->kernel().engine().schedule_after(config_.check_period,
+                                                        MonitorTick{this});
+}
+
+std::size_t ContractMonitor::check_now() {
+  std::size_t violations = 0;
+  for (auto& [name, watch] : watches_) {
+    const ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    if (descriptor == nullptr || watch.hist == nullptr) continue;
+    const std::uint64_t count = watch.hist->count();
+    if (count < config_.min_samples || count <= watch.last_report_count) {
+      continue;  // confidence window, or no new evidence since the report
+    }
+    const double declared = declared_cost_ns(*descriptor);
+    if (declared <= 0.0) continue;
+    const double quantile = watch.hist->quantile(config_.percentile);
+    if (quantile <= config_.tolerance * declared) continue;
+
+    watch.last_report_count = count;
+    ++reported_;
+    ++violations;
+    std::ostringstream detail;
+    detail << "p" << static_cast<int>(config_.percentile * 100.0 + 0.5)
+           << " exec " << static_cast<std::int64_t>(quantile) << "ns > "
+           << config_.tolerance << "x declared "
+           << static_cast<std::int64_t>(declared) << "ns (n=" << count << ")";
+    drcr_->note_contract_violation(name, detail.str());
+  }
+  return violations;
+}
+
+// ------------------------------------------------------------- observation
+
+std::uint64_t ContractMonitor::sample_count(const std::string& name) const {
+  const auto found = watches_.find(name);
+  return found == watches_.end() || found->second.hist == nullptr
+             ? 0
+             : found->second.hist->count();
+}
+
+double ContractMonitor::observed_quantile_ns(const std::string& name) const {
+  const auto found = watches_.find(name);
+  if (found == watches_.end() || found->second.hist == nullptr) return -1.0;
+  if (found->second.hist->count() < config_.min_samples) return -1.0;
+  return found->second.hist->quantile(config_.percentile);
+}
+
+double ContractMonitor::observed_usage(const std::string& name) const {
+  const double quantile = observed_quantile_ns(name);
+  if (quantile < 0.0) return -1.0;
+  const ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+  if (descriptor == nullptr) return -1.0;
+  const double declared = declared_cost_ns(*descriptor);
+  if (declared <= 0.0 || descriptor->cpu_usage <= 0.0) return -1.0;
+  // declared / cpu_usage recovers the period in ns without re-deriving the
+  // periodic/sporadic split.
+  return quantile * descriptor->cpu_usage / declared;
+}
+
+double ContractMonitor::observed_utilization(CpuId cpu) const {
+  double sum = 0.0;
+  for (const auto& [name, watch] : watches_) {
+    const ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    if (descriptor == nullptr || descriptor->target_cpu() != cpu) continue;
+    const double observed = observed_usage(name);
+    sum += std::max(descriptor->cpu_usage, observed);
+  }
+  return sum;
+}
+
+double ContractMonitor::observed_excess(CpuId cpu) const {
+  double excess = 0.0;
+  for (const auto& [name, watch] : watches_) {
+    const ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+    if (descriptor == nullptr || descriptor->target_cpu() != cpu) continue;
+    const double observed = observed_usage(name);
+    if (observed > descriptor->cpu_usage) {
+      excess += observed - descriptor->cpu_usage;
+    }
+  }
+  return excess;
+}
+
+// ---------------------------------------------------------------- lifecycle
+
+double ContractMonitor::declared_cost_ns(
+    const ComponentDescriptor& descriptor) {
+  double period_ns = 0.0;
+  if (descriptor.periodic.has_value() &&
+      descriptor.periodic->frequency_hz > 0.0) {
+    period_ns = 1e9 / descriptor.periodic->frequency_hz;
+  } else if (descriptor.sporadic.has_value()) {
+    period_ns = static_cast<double>(descriptor.sporadic->min_interarrival);
+  }
+  return descriptor.cpu_usage * period_ns;
+}
+
+void ContractMonitor::on_activated(const std::string& name) {
+  const ComponentDescriptor* descriptor = drcr_->descriptor_of(name);
+  if (descriptor == nullptr || !descriptor->monitor) return;
+  const double declared = declared_cost_ns(*descriptor);
+  if (declared <= 0.0) return;  // no recurring contract to check
+  const HybridComponent* instance = drcr_->instance_of(name);
+  if (instance == nullptr) return;
+
+  obs::Histogram* hist = drcr_->kernel().metrics().histogram(
+      "rtos.task_exec_ns." + name,
+      "observed per-job execution time (ns) of '" + name + "'",
+      bounds_around(declared));
+  if (!drcr_->kernel().set_exec_histogram(instance->task_id(), hist).ok()) {
+    return;
+  }
+  // A re-activated component reuses its registry histogram (handles are
+  // stable), so the distribution spans instances; violations, however,
+  // always require evidence recorded after this attachment.
+  watches_[name] = Watch{hist, hist->count()};
+}
+
+void ContractMonitor::on_deactivated(const std::string& name) {
+  const auto found = watches_.find(name);
+  if (found == watches_.end()) return;
+  const HybridComponent* instance = drcr_->instance_of(name);
+  if (instance != nullptr) {
+    (void)drcr_->kernel().set_exec_histogram(instance->task_id(), nullptr);
+  }
+  watches_.erase(found);
+}
+
+}  // namespace drt::drcom

@@ -1,0 +1,124 @@
+// ContractMonitor — stochastic runtime checking of declared contracts
+// (ROADMAP item 5; Nandi et al., "Stochastic Contracts for Runtime Checking
+// of Component-based Real-time Systems").
+//
+// Admission trusts the declared cpuusage of every descriptor. The monitor
+// closes the loop: it attaches a per-task execution-time histogram
+// ("rtos.task_exec_ns.<name>", sampled by the kernel at job completion) to
+// every active monitored component, and periodically checks the observed
+// quantile of that distribution against the declared budget C = cpuusage * T.
+// A component whose observed q-quantile exceeds tolerance * C (with at least
+// min_samples observations) violates its stochastic contract: the monitor
+// reports it through the DRCR, which emits a typed `drcom.contract_violation`
+// event (ErrorCode::kContractViolated) and counts it per component — the
+// signal the AdaptationManager's escalation ladder and the EmpiricalResolver
+// consume.
+//
+// Cost model (PR 4 discipline): a component without a monitor attachment
+// pays one null-check per job completion and nothing else; virtual-time
+// outputs of a monitor-less stack are byte-identical to the seed. The
+// check tick runs off the engine clock like the AdaptationManager's poll and
+// touches only histogram snapshots — it never perturbs scheduling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "drcom/drcr.hpp"
+
+namespace drt::drcom {
+
+struct MonitorConfig {
+  /// Quantile of the observed execution-time distribution checked against
+  /// the declared budget (stochastic contract: P[C_obs <= C] >= percentile).
+  double percentile = 0.95;
+  /// Violation when observed quantile > tolerance * declared C. A small
+  /// slack absorbs context-switch charging and histogram bucket granularity.
+  double tolerance = 1.1;
+  /// Confidence window: no checks before this many completed jobs.
+  std::uint64_t min_samples = 16;
+  /// Virtual-time period of the check tick.
+  SimDuration check_period = milliseconds(100);
+};
+
+/// Periodic observed-vs-declared contract checker. Construct against a DRCR
+/// (attaches to already-active components and follows activations), start().
+class ContractMonitor {
+ public:
+  explicit ContractMonitor(Drcr& drcr, MonitorConfig config = {});
+  ~ContractMonitor();
+  ContractMonitor(const ContractMonitor&) = delete;
+  ContractMonitor& operator=(const ContractMonitor&) = delete;
+
+  /// Begins checking on the kernel's virtual clock (idempotent).
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Runs one check pass immediately (also used by the tick). Returns the
+  /// number of violations reported this pass.
+  std::size_t check_now();
+
+  /// Internal: one timer tick (check + re-arm). Public only for the
+  /// self-rearming functor; not part of the API.
+  void on_poll_tick();
+
+  // ---------------------------------------------------------- observation --
+  /// Completed-job samples recorded for an attached component (0 when not
+  /// attached — unmonitored, inactive, or aperiodic).
+  [[nodiscard]] std::uint64_t sample_count(const std::string& name) const;
+  /// Observed execution-time quantile (ns) at config().percentile, or -1
+  /// when fewer than min_samples observations exist.
+  [[nodiscard]] double observed_quantile_ns(const std::string& name) const;
+  /// Measured per-period CPU fraction (observed quantile / period), or -1
+  /// when insufficient samples. Comparable to the descriptor's cpuusage.
+  [[nodiscard]] double observed_usage(const std::string& name) const;
+  /// Per-CPU observed utilization over the attached components:
+  /// sum of max(declared, observed) usage. What empirical admission and the
+  /// federation's observed-rank hook consume — never below the declared sum,
+  /// so it only ever tightens decisions.
+  [[nodiscard]] double observed_utilization(CpuId cpu) const;
+  /// How far the attached components' observed usage exceeds their declared
+  /// contracts on `cpu`: sum of max(0, observed - declared). Adding this to
+  /// a declared utilization sum gives the empirical total without knowing
+  /// which components are watched — the federation's observed-rank input.
+  [[nodiscard]] double observed_excess(CpuId cpu) const;
+
+  /// Total violations this monitor reported through the DRCR.
+  [[nodiscard]] std::uint64_t violations_reported() const { return reported_; }
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+  [[nodiscard]] Drcr& drcr() { return *drcr_; }
+
+ private:
+  friend class Drcr;  ///< activation/deactivation hooks
+
+  /// Registers the component's exec-time histogram and attaches it to the
+  /// instance's task. No-op for monitor="false" descriptors and components
+  /// without a recurring contract (no period to compare against).
+  void on_activated(const std::string& name);
+  void on_deactivated(const std::string& name);
+
+  /// Declared per-job budget (ns): cpuusage * period (sporadic: * MIT).
+  /// <= 0 when the descriptor holds no recurring contract.
+  [[nodiscard]] static double declared_cost_ns(
+      const ComponentDescriptor& descriptor);
+
+  struct Watch {
+    obs::Histogram* hist = nullptr;
+    /// Sample count when a violation was last reported (or at attach):
+    /// re-reporting requires new evidence, so a tripped contract escalates
+    /// once per check pass while the task keeps completing jobs, instead of
+    /// spinning on stale samples.
+    std::uint64_t last_report_count = 0;
+  };
+
+  Drcr* drcr_;
+  MonitorConfig config_;
+  std::map<std::string, Watch> watches_;  ///< active monitored components
+  std::uint64_t reported_ = 0;
+  rtos::EventId poll_event_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace drt::drcom

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "drcom/monitor.hpp"
+
 namespace drt::drcom {
 namespace {
 
@@ -623,6 +625,139 @@ void DeadlineResolver::on_candidate_admitted(
 }
 
 void DeadlineResolver::end_batch(bool /*committed*/) {
+  in_batch_ = false;
+  session_cache_ = nullptr;
+  session_.clear();
+}
+
+// --------------------------------------------------- EmpiricalResolver
+
+double EmpiricalResolver::effective_usage(
+    const ComponentDescriptor& descriptor) const {
+  const double observed = monitor_->observed_usage(descriptor.name);
+  return std::max(descriptor.cpu_usage, observed);
+}
+
+EmpiricalResolver::CpuSums& EmpiricalResolver::session_cpu(
+    CpuId cpu, const ContractCache& cache) {
+  if (cpu >= session_.size()) session_.resize(cpu + 1);
+  CpuSums& sums = session_[cpu];
+  if (sums.built) return sums;
+  sums.built = true;
+  sums.util = 0.0;
+  // The cache's per-CPU slice is the activation-ordered restriction of the
+  // global active list, so this fold matches the cold scan bit for bit.
+  for (const auto* descriptor : cache.active_on(cpu)) {
+    if (!has_recurring_contract(*descriptor)) continue;
+    sums.util += effective_usage(*descriptor);
+  }
+  return sums;
+}
+
+Result<void> EmpiricalResolver::admit(const ComponentDescriptor& candidate,
+                                      const SystemView& view) {
+  if (!has_recurring_contract(candidate)) {
+    return Result<void>::success();
+  }
+  const CpuId cpu = candidate.target_cpu();
+  double util = 0.0;
+  if (in_batch_ && view.cache != nullptr && view.cache == session_cache_ &&
+      view.id == session_view_id_) {
+    util = session_cpu(cpu, *view.cache).util;
+  } else {
+    for (const auto* descriptor : view.active) {
+      if (!has_recurring_contract(*descriptor) ||
+          descriptor->target_cpu() != cpu) {
+        continue;
+      }
+      util += effective_usage(*descriptor);
+    }
+  }
+  const double cand_usage = effective_usage(candidate);
+  if (util + cand_usage > budget_ + 1e-12) {
+    std::ostringstream reason;
+    reason << "observed utilization exceeded on cpu " << cpu << ": " << util
+           << " + " << cand_usage << " > " << budget_;
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
+  }
+
+  // Candidate-only response-time check with measured interferer costs.
+  // Deadline-class sets are owned by the EDF test above (DeadlineResolver's
+  // model); fixed-priority candidates face fixed-priority interference.
+  if (DeadlineResolver::is_deadline_class(candidate)) {
+    return Result<void>::success();
+  }
+  SimDuration cand_period = 0;
+  int cand_priority = 0;
+  SimTime cand_deadline = 0;
+  if (candidate.periodic.has_value()) {
+    cand_period = candidate.periodic->period();
+    cand_priority = candidate.periodic->priority;
+    cand_deadline = candidate.periodic->effective_deadline();
+  } else {
+    cand_period = candidate.sporadic->min_interarrival;
+    cand_priority = candidate.sporadic->priority;
+    cand_deadline = candidate.sporadic->min_interarrival;
+  }
+  std::vector<std::pair<SimDuration, SimDuration>> interferers;
+  for (const auto* descriptor : view.active) {
+    if (!has_recurring_contract(*descriptor) ||
+        descriptor->target_cpu() != cpu ||
+        DeadlineResolver::is_deadline_class(*descriptor)) {
+      continue;
+    }
+    const int priority = descriptor->periodic.has_value()
+                             ? descriptor->periodic->priority
+                             : descriptor->sporadic->priority;
+    if (priority > cand_priority) continue;  // never preempts the candidate
+    const SimDuration period = descriptor->periodic.has_value()
+                                   ? descriptor->periodic->period()
+                                   : descriptor->sporadic->min_interarrival;
+    const auto cost = static_cast<SimDuration>(effective_usage(*descriptor) *
+                                               static_cast<double>(period)) +
+                      per_job_overhead_;
+    interferers.emplace_back(cost, period);
+  }
+  const SimDuration cand_cost =
+      static_cast<SimDuration>(cand_usage * static_cast<double>(cand_period)) +
+      per_job_overhead_;
+  const SimTime response = ResponseTimeResolver::response_time(
+      cand_cost, cand_deadline, interferers);
+  if (response > cand_deadline) {
+    std::ostringstream reason;
+    reason << "RTA with observed costs: '" << candidate.name
+           << "' would miss its deadline on cpu " << cpu << " (R";
+    if (response == kSimTimeNever) {
+      reason << " diverges";
+    } else {
+      reason << "=" << response;
+    }
+    reason << " > D=" << cand_deadline << ")";
+    return make_error(ErrorCode::kAdmissionRejected,
+                      "drcom.admission_rejected", reason.str());
+  }
+  return Result<void>::success();
+}
+
+void EmpiricalResolver::begin_batch(const SystemView& view) {
+  session_.clear();
+  in_batch_ = view.cache != nullptr;
+  session_view_id_ = view.id;
+  session_cache_ = view.cache;
+}
+
+void EmpiricalResolver::on_candidate_admitted(
+    const ComponentDescriptor& candidate) {
+  if (!in_batch_ || session_cache_ == nullptr ||
+      !has_recurring_contract(candidate)) {
+    return;
+  }
+  session_cpu(candidate.target_cpu(), *session_cache_).util +=
+      effective_usage(candidate);
+}
+
+void EmpiricalResolver::end_batch(bool /*committed*/) {
   in_batch_ = false;
   session_cache_ = nullptr;
   session_.clear();

@@ -358,6 +358,61 @@ class DeadlineResolver : public ResolvingService {
   std::vector<CpuSums> session_;
 };
 
+class ContractMonitor;
+
+/// Empirical second opinion at admission (DrcrConfig::empirical_admission):
+/// re-runs the per-CPU budget test and a candidate response-time check with
+/// MEASURED execution-time quantiles from the attached ContractMonitor in
+/// place of the declared C_i, falling back to declared costs wherever the
+/// confidence window is unmet. Observed usage is clamped below by declared
+/// (max(declared, observed)), so the second opinion only ever *tightens*
+/// admission: a component running under budget never loosens another's
+/// check, and with no samples at all the tests collapse to the declared
+/// ones. Warm inside a DRCR admission batch: the per-CPU empirical sums are
+/// folded once from the ContractCache's activation-ordered slice and then
+/// extended per admitted candidate (the DeadlineResolver session pattern),
+/// keeping warm and cold decisions bit-identical.
+class EmpiricalResolver : public ResolvingService {
+ public:
+  explicit EmpiricalResolver(const ContractMonitor& monitor,
+                             double budget_per_cpu = 0.9,
+                             SimDuration per_job_overhead = 1'100)
+      : monitor_(&monitor), budget_(budget_per_cpu),
+        per_job_overhead_(per_job_overhead), name_("empirical-admission") {}
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] Result<void> admit(const ComponentDescriptor& candidate,
+                                   const SystemView& view) override;
+
+  void begin_batch(const SystemView& view) override;
+  void on_candidate_admitted(const ComponentDescriptor& candidate) override;
+  void end_batch(bool committed) override;
+
+  [[nodiscard]] double budget() const { return budget_; }
+  /// max(declared cpuusage, monitor's observed usage) — the fraction the
+  /// empirical tests charge for `descriptor`.
+  [[nodiscard]] double effective_usage(
+      const ComponentDescriptor& descriptor) const;
+
+ private:
+  struct CpuSums {
+    bool built = false;
+    double util = 0.0;
+  };
+  [[nodiscard]] CpuSums& session_cpu(CpuId cpu, const ContractCache& cache);
+
+  const ContractMonitor* monitor_;
+  double budget_;
+  SimDuration per_job_overhead_;
+  std::string name_;
+
+  /// Live batch session (one greedy admission pass).
+  bool in_batch_ = false;
+  std::uint64_t session_view_id_ = 0;
+  const ContractCache* session_cache_ = nullptr;
+  std::vector<CpuSums> session_;
+};
+
 /// Accept-everything resolver: the baseline for the admission ablation
 /// (bench_admission) and the paper's simulation setting where "both results
 /// is true" (§4.3).

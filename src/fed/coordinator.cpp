@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "drcom/descriptor.hpp"
+#include "drcom/monitor.hpp"
 #include "drcom/system_descriptor.hpp"
 
 namespace drt::fed {
@@ -57,7 +58,10 @@ void FederationCoordinator::publish(NodeIndex node) {
   if (node >= summaries_.size()) return;
   const drcom::ContractCache& cache =
       fed_->node(node).drcr->contract_cache();
-  if (valid_[node] && cache.fresh(summaries_[node].contracts)) {
+  // Under observed ranking the generation fast-path is unsound: observed
+  // quantiles move as jobs complete, without any generation bump.
+  if (!observed_rank_ && valid_[node] &&
+      cache.fresh(summaries_[node].contracts)) {
     // Sums unchanged, but membership may have flipped since the last
     // publish — refresh the index entries either way.
     update_index(node);
@@ -121,11 +125,34 @@ void FederationCoordinator::adopt_summary(NodeIndex node,
   NodeSummary& summary = summaries_[node];
   summary.contracts = std::move(contracts);
   summary.headroom.resize(summary.contracts.declared.size());
+  summary.observed = summary.contracts.declared;
+  if (observed_rank_) {
+    const drcom::ContractMonitor* monitor =
+        fed_->node(node).drcr->contract_monitor();
+    if (monitor != nullptr) {
+      for (std::size_t cpu = 0; cpu < summary.observed.size(); ++cpu) {
+        summary.observed[cpu] +=
+            monitor->observed_excess(static_cast<CpuId>(cpu));
+      }
+    }
+  }
   for (std::size_t cpu = 0; cpu < summary.headroom.size(); ++cpu) {
-    summary.headroom[cpu] = budget_ - summary.contracts.declared[cpu];
+    summary.headroom[cpu] =
+        budget_ - (observed_rank_ ? summary.observed[cpu]
+                                  : summary.contracts.declared[cpu]);
   }
   valid_[node] = true;
   update_index(node);
+}
+
+void FederationCoordinator::set_observed_rank(bool on) {
+  if (observed_rank_ == on) return;
+  observed_rank_ = on;
+  // Recompute every rank under the new policy (the fresh fast-path would
+  // keep stale headroom otherwise).
+  for (NodeIndex node = 0; node < summaries_.size(); ++node) {
+    adopt_summary(node, fed_->node(node).drcr->contract_cache().summary());
+  }
 }
 
 void FederationCoordinator::update_index(NodeIndex node) {
@@ -465,11 +492,14 @@ Result<void> FederationCoordinator::migrate(const std::string& name,
   }
   if (admitted.ok() && !settled(tgt_drcr, name)) {
     // Target rejected the contract: migration is all-or-nothing.
+    const auto health = tgt_drcr.component_health(name);
     (void)tgt_drcr.unregister_component(name);
     admitted = make_error(ErrorCode::kAdmissionRejected,
                           "fed.migration_rejected",
                           "node " + std::to_string(target) + " rejected '" +
-                              name + "': " + tgt_drcr.last_reason(name));
+                              name + "': " +
+                              (health.has_value() ? health->reason
+                                                  : std::string{}));
   }
   if (!admitted.ok()) {
     // ROLLBACK: restore the source admission and replay locally. The

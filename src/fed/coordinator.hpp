@@ -66,7 +66,13 @@ namespace drt::fed {
 /// One node's published admission summary + derived placement rank.
 struct NodeSummary {
   drcom::ContractSummary contracts;
-  std::vector<double> headroom;  ///< per CPU: budget - declared utilization
+  /// Per CPU: budget minus the ranked utilization (declared, or empirical
+  /// when the observed-rank hook is on).
+  std::vector<double> headroom;
+  /// Per CPU: empirical utilization = declared + the node monitor's observed
+  /// excess (== declared when ranking by declared headroom, or when the node
+  /// has no ContractMonitor attached).
+  std::vector<double> observed;
 };
 
 struct PlacementStats {
@@ -98,6 +104,16 @@ class FederationCoordinator {
   [[nodiscard]] const NodeSummary& summary(NodeIndex node) const {
     return summaries_[node];
   }
+
+  /// Observed-utilization rank hook: when on, select_node ranks nodes by
+  /// budget - (declared + observed excess from each node's ContractMonitor)
+  /// instead of declared headroom alone, so a node whose components overrun
+  /// their contracts stops looking attractive. Toggling republishes every
+  /// summary; while on, publish() skips the generation fast-path (observed
+  /// distributions move without generation bumps). Nodes without a monitor
+  /// rank by declared headroom as before.
+  void set_observed_rank(bool on);
+  [[nodiscard]] bool observed_rank() const { return observed_rank_; }
 
   // -- Placement -----------------------------------------------------------
 
@@ -157,6 +173,7 @@ class FederationCoordinator {
 
   Federation* fed_;
   double budget_;
+  bool observed_rank_ = false;
   std::vector<NodeSummary> summaries_;
   std::vector<bool> valid_;
   /// index_[cpu] ranks alive, published nodes by headroom on that CPU.

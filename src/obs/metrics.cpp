@@ -1,8 +1,39 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace drt::obs {
+
+double Histogram::quantile(double q) const {
+  const auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation, 1-based; q=1 selects the last one.
+  const double rank = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (cumulative + in_bucket < rank || in_bucket == 0.0) {
+      cumulative += in_bucket;
+      continue;
+    }
+    // The +Inf bucket has no upper bound: report its lower edge (the last
+    // finite bound), or the sum-derived mean when there are no bounds at all.
+    if (i >= bounds_.size()) {
+      return bounds_.empty() ? sum() / static_cast<double>(total)
+                             : bounds_.back();
+    }
+    const double hi = bounds_[i];
+    const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+    const double fraction = (rank - cumulative) / in_bucket;
+    return lo + (hi - lo) * fraction;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
 
 Counter* MetricsRegistry::counter(const std::string& name,
                                   const std::string& help) {

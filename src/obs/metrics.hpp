@@ -108,6 +108,13 @@ class Histogram {
   [[nodiscard]] std::uint64_t count() const {
     return count_.load(std::memory_order_relaxed);
   }
+  /// Estimates the q-quantile (q in [0,1]) by a cumulative walk over the
+  /// buckets with linear interpolation inside the containing bucket — the
+  /// standard fixed-bucket estimator (Prometheus histogram_quantile). Values
+  /// in the +Inf bucket are attributed to the last finite bound, so the
+  /// estimate is conservative there rather than unbounded. Returns 0 when
+  /// the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const std::string& help() const { return help_; }
 

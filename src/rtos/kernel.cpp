@@ -580,6 +580,19 @@ SimDuration RtKernel::cpu_busy_time(CpuId cpu) const {
   return cpu < cpus_.size() ? cpus_[cpu].busy_time : 0;
 }
 
+Result<void> RtKernel::set_exec_histogram(TaskId id, obs::Histogram* hist) {
+  Task* task = find_task(id);
+  if (task == nullptr) {
+    return make_error(ErrorCode::kNotFound, "rtos.no_such_task",
+                      "task " + std::to_string(id) + " does not exist");
+  }
+  task->exec_hist = hist;
+  // The next sample covers only demand served from this point on, so a
+  // mid-life attachment does not fold past jobs into the first observation.
+  task->job_cpu_start = task->stats.cpu_time;
+  return Result<void>::success();
+}
+
 // ------------------------------------------------------------------- IPC --
 
 Result<Shm*> RtKernel::shm_create(std::string name, std::size_t size_bytes) {
@@ -1008,6 +1021,14 @@ void RtKernel::serve(Task& task) {
       case PendingOp::kWaitPeriod: {
         ++task.stats.completions;
         m_.completions->add();
+        if (task.exec_hist != nullptr) {
+          // One job finished: its served CPU time is the watermark delta.
+          // Covers both exits below — the blocking path and the overrun
+          // `continue`, which starts the next job immediately.
+          task.exec_hist->observe(
+              static_cast<double>(task.stats.cpu_time - task.job_cpu_start));
+          task.job_cpu_start = task.stats.cpu_time;
+        }
         trace_.add(now(), TraceKind::kCompleted, task.id, task.params.cpu);
         SimTime next_ideal = task.ideal_release + task.params.period;
         const SimDuration deadline = task.params.deadline > 0

@@ -151,6 +151,13 @@ class RtKernel {
   [[nodiscard]] const Task* find_task(std::string_view name) const;
   [[nodiscard]] std::vector<const Task*> tasks() const;
 
+  /// Attaches an execution-time histogram to the task: every job completion
+  /// observes the job's served CPU time (ns) into it. Null detaches. The
+  /// histogram must outlive the attachment (the contract monitor owns its
+  /// registration in the kernel's metrics registry). Detached tasks pay one
+  /// null-check per completion and nothing else.
+  Result<void> set_exec_histogram(TaskId id, obs::Histogram* hist);
+
   /// Sum of cpu-demand served on `cpu` so far (for utilization accounting).
   [[nodiscard]] SimDuration cpu_busy_time(CpuId cpu) const;
 

@@ -34,6 +34,10 @@
 #include "util/stats.hpp"
 #include "util/types.hpp"
 
+namespace drt::obs {
+class Histogram;
+}  // namespace drt::obs
+
 namespace drt::rtos {
 
 class TaskContext;
@@ -258,6 +262,15 @@ struct Task {
   TaskStats stats;
   SampleSeries latency;          ///< dispatch latency per release (ns)
   std::exception_ptr error;      ///< exception escaped from the body
+
+  // --- execution-time observation (contract monitoring) ---
+  /// When attached via RtKernel::set_exec_histogram, the per-job served CPU
+  /// time (ns) is observed here at every job completion. Null (the default)
+  /// keeps the completion path free of sampling work.
+  obs::Histogram* exec_hist = nullptr;
+  /// stats.cpu_time watermark at the start of the current job; the sample at
+  /// completion is the delta.
+  SimDuration job_cpu_start = 0;
 
   [[nodiscard]] bool is_blocked() const {
     return state == TaskState::kWaitingPeriod ||

@@ -14,6 +14,13 @@
 //   drt_fuzz --planted-mode-bug           self-test: an admission-unchecked
 //                                         mode transition must trip
 //                                         invariant 10 AND shrink
+//   drt_fuzz --monitor                    attach a ContractMonitor + the
+//                                         adaptation escalation ladder to
+//                                         every world (adds the monitor-check
+//                                         band; invariant 11 in force)
+//   drt_fuzz --planted-monitor-bug        self-test: a quarantine that skips
+//                                         its disable must trip invariant 11
+//                                         AND shrink
 //   drt_fuzz --budget-seconds 1800        keep sweeping fresh seeds until the
 //                                         wall-clock budget runs out
 //
@@ -46,6 +53,7 @@ struct Options {
   bool verify_determinism = false;
   bool planted_bug = false;
   bool planted_mode_bug = false;
+  bool planted_monitor_bug = false;
   long budget_seconds = 0;
   bool quiet = false;
 };
@@ -54,10 +62,10 @@ void usage() {
   std::cerr
       << "usage: drt_fuzz [--seeds N] [--seed S] [--actions N] [--cpus N]\n"
       << "                [--engine sequential|parallel] [--nodes N]\n"
-      << "                [--modes] [--replay FILE] [--out DIR]\n"
+      << "                [--modes] [--monitor] [--replay FILE] [--out DIR]\n"
       << "                [--verify-determinism] [--planted-bug]\n"
-      << "                [--planted-mode-bug] [--budget-seconds S]\n"
-      << "                [--quiet]\n";
+      << "                [--planted-mode-bug] [--planted-monitor-bug]\n"
+      << "                [--budget-seconds S] [--quiet]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& options) {
@@ -113,10 +121,14 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.verify_determinism = true;
     } else if (arg == "--modes") {
       options.config.modes = true;
+    } else if (arg == "--monitor") {
+      options.config.monitor = true;
     } else if (arg == "--planted-bug") {
       options.planted_bug = true;
     } else if (arg == "--planted-mode-bug") {
       options.planted_mode_bug = true;
+    } else if (arg == "--planted-monitor-bug") {
+      options.planted_monitor_bug = true;
     } else if (arg == "--budget-seconds") {
       if (!next_value(value)) return false;
       options.budget_seconds = static_cast<long>(value);
@@ -241,6 +253,36 @@ int run_planted_mode_bug(const Options& options) {
   return 0;
 }
 
+int run_planted_monitor_bug(const Options& options) {
+  ScenarioConfig config = options.config;
+  config.monitor = true;
+  config.plant_monitor_bug = true;
+  const std::uint64_t seed = options.first_seed;
+  const ScenarioResult result = drt::testing::run_scenario(seed, config);
+  if (!result.violated) {
+    std::cerr << "self-test FAILED: the quarantine that skipped its disable "
+                 "was not caught by the oracle\n";
+    return 1;
+  }
+  if (result.violation.invariant != "contract-consistency") {
+    std::cerr << "self-test FAILED: broken quarantine surfaced as '"
+              << result.violation.invariant << "', expected "
+              << "'contract-consistency'\n";
+    return 1;
+  }
+  const auto keep = drt::testing::shrink(seed, config, result.failing_index);
+  const ScenarioResult shrunk =
+      drt::testing::run_scenario_subset(seed, config, keep);
+  if (!shrunk.violated) {
+    std::cerr << "self-test FAILED: shrunk sequence no longer violates\n";
+    return 1;
+  }
+  std::cout << "planted broken quarantine caught ("
+            << result.violation.invariant << ") and shrunk to " << keep.size()
+            << " actions\n";
+  return 0;
+}
+
 int run_sweep(const Options& options) {
   const auto started = std::chrono::steady_clock::now();
   auto out_of_budget = [&] {
@@ -304,5 +346,6 @@ int main(int argc, char** argv) {
   if (!options.replay_path.empty()) return run_replay(options);
   if (options.planted_bug) return run_planted_bug(options);
   if (options.planted_mode_bug) return run_planted_mode_bug(options);
+  if (options.planted_monitor_bug) return run_planted_monitor_bug(options);
   return run_sweep(options);
 }

@@ -119,6 +119,20 @@ void register_fuzz_factories(drcom::Drcr& drcr) {
       "fuzz.init", [] { return std::make_unique<InitThrowComponent>(); });
 }
 
+/// The contract-violation escalation ladder every monitor-mode world runs:
+/// first detection notifies, the second quarantines (disable + flag) — short
+/// enough that fuzz-length scenarios actually reach the terminal action.
+drcom::AdaptationConfig monitor_ladder() {
+  drcom::AdaptationConfig config;
+  config.policies = {
+      {drcom::AdaptationTrigger::kContractViolation,
+       drcom::QosActionKind::kNotify, 1},
+      {drcom::AdaptationTrigger::kContractViolation,
+       drcom::QosActionKind::kDisable, 2},
+  };
+  return config;
+}
+
 fed::FederationConfig federation_config(std::uint64_t seed,
                                         const ScenarioConfig& config) {
   fed::FederationConfig fed_config;
@@ -151,6 +165,19 @@ class FedFuzzWorld {
         node.drcr->mode_controller().set_skip_admission_check(true);
       }
     }
+    if (config.monitor) {
+      for (fed::NodeIndex i = 0; i < federation.size(); ++i) {
+        drcom::Drcr& drcr = *federation.node(i).drcr;
+        monitors.push_back(std::make_unique<drcom::ContractMonitor>(drcr));
+        adaptations.push_back(
+            std::make_unique<drcom::AdaptationManager>(drcr, monitor_ladder()));
+        monitors.back()->start();
+        adaptations.back()->start();
+      }
+      // Placement ranks by empirical headroom so overrunning nodes stop
+      // looking attractive — the observed-rank publish path under fuzz.
+      coordinator.set_observed_rank(true);
+    }
   }
 
   FuzzWorld::ApplyResult apply(const Action& action);
@@ -158,6 +185,8 @@ class FedFuzzWorld {
   fed::Federation federation;
   fed::FederationCoordinator coordinator;
   rtos::FaultPlan faults;
+  std::vector<std::unique_ptr<drcom::ContractMonitor>> monitors;
+  std::vector<std::unique_ptr<drcom::AdaptationManager>> adaptations;
 };
 
 FuzzWorld::ApplyResult FedFuzzWorld::apply(const Action& action) {
@@ -376,6 +405,21 @@ FuzzWorld::ApplyResult FedFuzzWorld::apply(const Action& action) {
           << outcome(drcr.mode_controller().transition_to(action.payload));
       break;
     }
+    case ActionKind::kMonitorCheck: {
+      if (monitors.empty()) {
+        log << "noop (no monitor)";
+        break;
+      }
+      std::size_t reported = 0;
+      std::uint64_t total = 0;
+      for (fed::NodeIndex i = 0; i < federation.size(); ++i) {
+        reported += monitors[i]->check_now();
+        adaptations[i]->evaluate_now();
+        total += federation.node(i).drcr->total_contract_violations();
+      }
+      log << "reported=" << reported << " total=" << total;
+      break;
+    }
   }
   // Push-style summary protocol: the coordinator's view refreshes after
   // every mutation (generation-checked, O(cpus) per untouched node).
@@ -453,6 +497,18 @@ FuzzWorld::FuzzWorld(std::uint64_t seed, const ScenarioConfig& config)
     // admission pre-check, so the planted overcommit actually lands and the
     // oracle (invariant 10) must be the one to catch it.
     drcr.mode_controller().set_skip_admission_check(true);
+  }
+  if (config.monitor) {
+    monitor = std::make_unique<drcom::ContractMonitor>(drcr);
+    adaptation =
+        std::make_unique<drcom::AdaptationManager>(drcr, monitor_ladder());
+    monitor->start();
+    adaptation->start();
+    if (config.plant_monitor_bug) {
+      // The self-test's "buggy quarantine": the flag lands, the disable is
+      // skipped, and the oracle (invariant 11) must be the one to catch it.
+      drcr.set_test_skip_quarantine_disable(true);
+    }
   }
 }
 
@@ -559,6 +615,10 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
       ScenarioConfig fresh_config = config_;
       fresh_config.plant_bug = false;
       fresh_config.plant_mode_bug = false;
+      // The fixpoint is about descriptor round-trips; the fresh world does
+      // not need a monitor watching the restored components.
+      fresh_config.monitor = false;
+      fresh_config.plant_monitor_bug = false;
       FuzzWorld fresh(seed_, fresh_config);
       auto restored = drcom::restore_from_xml(fresh.drcr, before);
       if (!restored.ok()) {
@@ -594,6 +654,17 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
       log << outcome(drcr.mode_controller().transition_to(action.payload));
       log << " mode='" << drcr.mode_controller().current_mode() << "'";
       break;
+    case ActionKind::kMonitorCheck: {
+      if (monitor == nullptr) {
+        log << "noop (no monitor)";
+        break;
+      }
+      const std::size_t reported = monitor->check_now();
+      adaptation->evaluate_now();
+      log << "reported=" << reported
+          << " total=" << drcr.total_contract_violations();
+      break;
+    }
     case ActionKind::kNodeLeave:
     case ActionKind::kNodeJoin:
     case ActionKind::kPartition:
@@ -695,6 +766,8 @@ std::string write_repro(const Repro& repro, const ScenarioResult& result) {
   out << "nodes " << repro.config.nodes << '\n';
   out << "modes " << (repro.config.modes ? 1 : 0) << '\n';
   out << "plantmode " << (repro.config.plant_mode_bug ? 1 : 0) << '\n';
+  out << "monitor " << (repro.config.monitor ? 1 : 0) << '\n';
+  out << "plantmonitor " << (repro.config.plant_monitor_bug ? 1 : 0) << '\n';
   out << "keep";
   for (const std::size_t index : repro.keep) out << ' ' << index;
   out << '\n';
@@ -774,6 +847,15 @@ Result<Repro> parse_repro(std::string_view text) {
       int value = 0;
       if (!(fields >> value)) return bad("expected 0/1");
       repro.config.plant_mode_bug = value != 0;
+    } else if (key == "monitor") {
+      // Absent in pre-monitor repro files; those default to no monitor.
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.monitor = value != 0;
+    } else if (key == "plantmonitor") {
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.plant_monitor_bug = value != 0;
     } else if (key == "keep") {
       std::size_t index = 0;
       repro.keep.clear();

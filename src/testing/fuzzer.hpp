@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "drcom/adaptation.hpp"
 #include "drcom/drcr.hpp"
+#include "drcom/monitor.hpp"
 #include "osgi/framework.hpp"
 #include "rtos/fault.hpp"
 #include "rtos/kernel.hpp"
@@ -48,6 +50,12 @@ class FuzzWorld {
   rtos::RtKernel kernel;
   rtos::FaultPlan faults;
   drcom::Drcr drcr;
+  /// Monitor mode (config.monitor): a started ContractMonitor plus an
+  /// AdaptationManager running the contract-violation escalation ladder
+  /// {notify@1, quarantine@2}. Null otherwise. Declared after drcr so they
+  /// detach before the DRCR dies.
+  std::unique_ptr<drcom::ContractMonitor> monitor;
+  std::unique_ptr<drcom::AdaptationManager> adaptation;
 
  private:
   ScenarioConfig config_;

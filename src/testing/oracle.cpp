@@ -35,6 +35,7 @@ std::optional<Violation> InvariantOracle::check() {
   if (auto v = check_trace()) return v;
   if (auto v = check_metrics()) return v;
   if (auto v = check_contract_cache()) return v;
+  if (auto v = check_contract_consistency()) return v;
   return std::nullopt;
 }
 
@@ -371,6 +372,54 @@ std::optional<Violation> InvariantOracle::check_contract_cache() const {
       continue;
     }
     return Violation{"contract-cache", out.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_contract_consistency() const {
+  // (a) quarantine_component's contract: quarantined => DISABLED, until an
+  // explicit enable lifts both.
+  std::uint64_t recorded = 0;
+  for (const std::string& name : drcr_->component_names()) {
+    const auto health = drcr_->component_health(name);
+    if (!health.has_value()) continue;
+    recorded += health->contract_violations;
+    if (health->quarantined &&
+        health->state != drcom::ComponentState::kDisabled) {
+      return Violation{"contract-consistency",
+                       "component '" + name + "' is quarantined but in state " +
+                           std::string(drcom::to_string(health->state))};
+    }
+  }
+  recorded += drcr_->retired_contract_violations();
+
+  // (b) counter identity. The drcom.contract_violations series registers
+  // lazily at the first monitor attach; when it is absent no monitor ever
+  // attached, so no violation can have been recorded.
+  if (!drcr_->kernel().metrics().enabled()) return std::nullopt;
+  const obs::MetricsSnapshot snapshot = drcr_->kernel().metrics().snapshot();
+  bool found = false;
+  std::uint64_t counter = 0;
+  for (const auto& entry : snapshot.counters) {
+    if (entry.name == "drcom.contract_violations") {
+      found = true;
+      counter = entry.value;
+      break;
+    }
+  }
+  if (found && counter != recorded) {
+    std::ostringstream out;
+    out << "drcom.contract_violations counter=" << counter
+        << " but component records sum to " << recorded
+        << " (both are driven by note_contract_violation, so they drifted)";
+    return Violation{"contract-consistency", out.str()};
+  }
+  if (!found && recorded != 0) {
+    std::ostringstream out;
+    out << recorded << " contract violation(s) recorded but the "
+        << "drcom.contract_violations series was never registered "
+        << "(no monitor ever attached)";
+    return Violation{"contract-consistency", out.str()};
   }
   return std::nullopt;
 }

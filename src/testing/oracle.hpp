@@ -42,7 +42,15 @@
 //      [when, window_end] (checked only while no fault is armed — injected
 //      demand inflation or wake delay legitimately causes misses). This
 //      check runs BEFORE invariant 1, so an unsafe transition is blamed on
-//      the protocol, not on generic admission.
+//      the protocol, not on generic admission;
+//  11. contract consistency — (a) a component flagged quarantined is always
+//      DISABLED (quarantine_component's terminal state; a lifted quarantine
+//      clears the flag), and (b) when the metrics registry is enabled the
+//      drcom.contract_violations counter equals the per-record violation sum
+//      plus the retired remainder (both sides are driven by the same
+//      note_contract_violation call, so a mismatch is instrumentation
+//      drift). A stack whose counter was never registered — no
+//      ContractMonitor ever attached — must hold zero recorded violations.
 //
 // (Invariant 9 is the federation-wide check_federation below.) The snapshot
 // fixpoint invariant (restore(snapshot(S)) is snapshot-identical) needs a
@@ -72,8 +80,8 @@ class InvariantOracle {
   InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
                   double cpu_budget);
 
-  /// Sweeps invariants 1-8 and 10; returns the first violation found, if
-  /// any.
+  /// Sweeps invariants 1-8, 10 and 11; returns the first violation found,
+  /// if any.
   [[nodiscard]] std::optional<Violation> check();
 
  private:
@@ -86,6 +94,7 @@ class InvariantOracle {
   [[nodiscard]] std::optional<Violation> check_trace();
   [[nodiscard]] std::optional<Violation> check_metrics() const;
   [[nodiscard]] std::optional<Violation> check_contract_cache() const;
+  [[nodiscard]] std::optional<Violation> check_contract_consistency() const;
 
   const drcom::Drcr* drcr_;
   const rtos::FaultPlan* faults_;

@@ -120,6 +120,7 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kFlashCrowd: return "flash-crowd";
     case ActionKind::kForceModeChange: return "force-mode-change";
     case ActionKind::kModeChangeMigrate: return "mode-change-migrate";
+    case ActionKind::kMonitorCheck: return "monitor-check";
   }
   return "?";
 }
@@ -363,6 +364,43 @@ std::vector<Action> generate_actions(std::uint64_t seed,
     advance(milliseconds(1));
   }
 
+  if (config.plant_monitor_bug) {
+    // Deterministic prefix for the quarantine-consistency self-test: one
+    // 100 Hz component declaring 5% of CPU 0 whose first 8 jobs are inflated
+    // to 5x the declared budget (one single-shot kBudgetOverrun per job).
+    // The monitor's p95 check trips twice inside the closing advance, the
+    // adaptation ladder escalates to quarantine — and the world runs with
+    // the disable half of quarantine_component deliberately skipped, so
+    // oracle invariant 11 must flag the quarantined-but-not-disabled record.
+    ComponentDescriptor d;
+    d.name = "v0";
+    d.description = "planted contract overrun";
+    d.bincode = "fuzz.ok";
+    d.enabled = true;
+    d.cpu_usage = 0.05;
+    d.type = rtos::TaskType::kPeriodic;
+    drcom::PeriodicSpec spec;
+    spec.frequency_hz = 100;
+    spec.run_on_cpu = 0;
+    spec.priority = 10;
+    d.periodic = spec;
+    Action reg;
+    reg.kind = ActionKind::kRegisterComponent;
+    reg.name = d.name;
+    reg.payload = drcom::write_descriptor(d);
+    actions.push_back(std::move(reg));
+    model.add_component(d.name, d);
+    advance(milliseconds(5));
+    for (std::uint64_t nth = 1; nth <= 8; ++nth) {
+      Action arm;
+      arm.kind = ActionKind::kArmFault;
+      arm.fault = {rtos::FaultKind::kBudgetOverrun, d.name, nth,
+                   milliseconds(2)};
+      actions.push_back(std::move(arm));
+    }
+    advance(milliseconds(320));
+  }
+
   // Federation mode widens the roll range: rolls 0-179 generate exactly the
   // same actions from the same draws as single-node mode, and the new bands
   // (180-239) are unreachable when nodes == 1 — existing seeds stay
@@ -376,13 +414,22 @@ std::vector<Action> generate_actions(std::uint64_t seed,
   // config.modes widens the range once more, again tail-only: single-node
   // gains 180-209 (storm / crowd / force-mode-change), federation gains
   // 240-279 (the same three, node-targeted, plus the migration race).
-  const std::int64_t roll_max =
+  const std::int64_t base_max =
       fed_mode ? (config.modes ? 279 : 239) : (config.modes ? 209 : 179);
+  // config.monitor appends the last tail band: 10 rolls' worth of explicit
+  // monitor checks (ContractMonitor::check_now + one adaptation evaluation
+  // pass at a random instant). Monitor-less configs never draw past
+  // base_max, so every earlier seed stays byte-identical.
+  const std::int64_t roll_max = base_max + (config.monitor ? 10 : 0);
 
   while (actions.size() < config.action_count) {
     // Weighted action selection (x10 integer weights).
     const auto roll = rng.uniform(0, roll_max);
-    if (roll < 30) {  // register
+    if (roll > base_max) {  // explicit monitor check (monitor band)
+      Action a;
+      a.kind = ActionKind::kMonitorCheck;
+      actions.push_back(std::move(a));
+    } else if (roll < 30) {  // register
       const std::string name = fresh_name(rng, model, "c", 10);
       ComponentDescriptor d = config.modes && rng.chance(0.4)
                                   ? mode_descriptor(rng, name, config.cpus)

@@ -54,6 +54,9 @@ enum class ActionKind {
   kFlashCrowd,          ///< kernel load -> rtos::flash_crowd() burst profile
   kForceModeChange,     ///< mode_controller().transition_to(payload)
   kModeChangeMigrate,   ///< federation: migrate(name, node) + transition
+  // Monitor action (generated only when config.monitor is set; appended at
+  // the enum tail so earlier repro files keep their meaning).
+  kMonitorCheck,        ///< ContractMonitor::check_now + adaptation pass
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind);
@@ -99,6 +102,20 @@ struct ScenarioConfig {
   /// prefix forces a transition that overcommits a CPU 4x (fuzzer self-test:
   /// oracle invariant 10 must catch it and the shrinker must reduce it).
   bool plant_mode_bug = false;
+  /// Attaches a ContractMonitor + AdaptationManager (contract-violation
+  /// escalation ladder: notify, then quarantine) to every DRCR in the world
+  /// and adds the monitor-check band to the mix. The existing arm-fault band
+  /// already injects kBudgetOverrun demand inflation, so monitor runs see
+  /// genuine contract violations escalate to quarantine — oracle invariant
+  /// 11 cross-checks the bookkeeping after every action. false keeps every
+  /// pre-monitor seed byte-identical.
+  bool monitor = false;
+  /// Prefix the scenario with a component whose first 8 jobs overrun their
+  /// declared budget 5x while the world's Drcr deliberately skips the
+  /// disable half of quarantine (fuzzer self-test: oracle invariant 11 must
+  /// report contract-consistency and the shrinker must reduce the prefix).
+  /// Implies `monitor` (drt_fuzz sets both).
+  bool plant_monitor_bug = false;
   /// > 1 runs the scenario against a fed::Federation of this many nodes
   /// (one engine shard each): registrations flow through the coordinator's
   /// global placement, and membership / partition / migration / channel

@@ -31,6 +31,7 @@ enum class ErrorCode {
   kInvalidDescriptor,  ///< descriptor failed validation
   kParseError,         ///< XML / repro-file syntax error
   kIo,                 ///< host filesystem failure (exporters, snapshots)
+  kContractViolated,   ///< observed execution time exceeds the declared contract
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode ec) {
@@ -46,6 +47,7 @@ enum class ErrorCode {
     case ErrorCode::kInvalidDescriptor: return "invalid_descriptor";
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kIo: return "io";
+    case ErrorCode::kContractViolated: return "contract_violated";
   }
   return "?";
 }

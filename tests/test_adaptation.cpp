@@ -11,6 +11,14 @@ namespace {
 
 using rtos::testing::quiet_config;
 
+/// One-step QoS ladder: the old single-action config, spelled as policies.
+AdaptationConfig one_step(SimDuration poll, QosActionKind action) {
+  AdaptationConfig config;
+  config.poll_period = poll;
+  config.policies = {{AdaptationTrigger::kQosRule, action, 1}};
+  return config;
+}
+
 /// Periodic worker whose job cost is externally adjustable (fault injection).
 class Variable : public RtComponent {
  public:
@@ -115,7 +123,8 @@ TEST_F(AdaptationFixture, LatencyBoundRule) {
 
 TEST_F(AdaptationFixture, LivenessFloorDetectsStalledComponent) {
   ASSERT_TRUE(drcr.register_component(worker("w")).ok());
-  AdaptationManager manager(drcr, {milliseconds(100), QosActionKind::kNotify});
+  AdaptationManager manager(drcr,
+                            one_step(milliseconds(100), QosActionKind::kNotify));
   QosRule rule;
   rule.min_new_activations = 50;  // expect ~100 per 100ms poll at 1 kHz
   manager.add_rule(rule);
@@ -130,8 +139,8 @@ TEST_F(AdaptationFixture, LivenessFloorDetectsStalledComponent) {
 
 TEST_F(AdaptationFixture, SuspendActionParksTheOffender) {
   ASSERT_TRUE(drcr.register_component(worker("w")).ok());
-  AdaptationManager manager(drcr,
-                            {milliseconds(100), QosActionKind::kSuspend});
+  AdaptationManager manager(
+      drcr, one_step(milliseconds(100), QosActionKind::kSuspend));
   QosRule rule;
   rule.max_new_misses = 5;
   manager.add_rule(rule);
@@ -143,8 +152,8 @@ TEST_F(AdaptationFixture, SuspendActionParksTheOffender) {
 
 TEST_F(AdaptationFixture, DisableActionChangesApplicationStructure) {
   ASSERT_TRUE(drcr.register_component(worker("w")).ok());
-  AdaptationManager manager(drcr,
-                            {milliseconds(100), QosActionKind::kDisable});
+  AdaptationManager manager(
+      drcr, one_step(milliseconds(100), QosActionKind::kDisable));
   QosRule rule;
   rule.max_new_misses = 5;
   manager.add_rule(rule);

@@ -110,7 +110,7 @@ TEST_F(DrcrFixture, MissingFactoryLeavesUnsatisfied) {
   d.bincode = "no.such.Class";
   ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
   EXPECT_EQ(drcr.state_of("orphan").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("orphan").find("no implementation"),
+  EXPECT_NE(drcr.component_health("orphan")->reason.find("no implementation"),
             std::string::npos);
   // Late factory registration + resolve fixes it (late binding).
   drcr.factories().register_factory("no.such.Class",
@@ -130,7 +130,7 @@ TEST_F(DrcrFixture, ThrowingFactorySurfacesAsStructuredFailure) {
   d.bincode = "test.Bomb";
   ASSERT_TRUE(drcr.register_component(std::move(d)).ok());
   EXPECT_EQ(drcr.state_of("bomb").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("bomb").find("ctor exploded"),
+  EXPECT_NE(drcr.component_health("bomb")->reason.find("ctor exploded"),
             std::string::npos);
 
   auto instance = drcr.factories().create("test.Bomb");
@@ -151,7 +151,7 @@ TEST_F(DrcrFixture, DependentWaitsForProviderThenActivates) {
   ASSERT_TRUE(
       drcr.register_component(component("disp", 0.1, {}, {"data"})).ok());
   EXPECT_EQ(drcr.state_of("disp").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("disp").find("inport 'data'"),
+  EXPECT_NE(drcr.component_health("disp")->reason.find("inport 'data'"),
             std::string::npos);
   // Provider arrives: both become active in one resolution (rounds).
   ASSERT_TRUE(
@@ -205,7 +205,7 @@ TEST_F(DrcrFixture, AdmissionRejectionLeavesUnsatisfied) {
   // 0.7 + 0.3 > 0.9 default budget.
   EXPECT_EQ(drcr.state_of("big").value(), ComponentState::kActive);
   EXPECT_EQ(drcr.state_of("more").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("more").find("budget exceeded"),
+  EXPECT_NE(drcr.component_health("more")->reason.find("budget exceeded"),
             std::string::npos);
   // Capacity frees up: the pending component is admitted on the next pass.
   ASSERT_TRUE(drcr.unregister_component("big").ok());
@@ -305,7 +305,7 @@ TEST_F(DrcrFixture, CustomResolverIsConsulted) {
       std::static_pointer_cast<void>(std::make_shared<Veto>()));
   ASSERT_TRUE(drcr.register_component(component("banned")).ok());
   EXPECT_EQ(drcr.state_of("banned").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("banned").find("veto-service"),
+  EXPECT_NE(drcr.component_health("banned")->reason.find("veto-service"),
             std::string::npos);
   // Unplugging the custom resolver lets the component in (adaptation).
   registration.unregister();

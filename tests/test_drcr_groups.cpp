@@ -132,7 +132,7 @@ TEST_F(GroupFixture, MechanicalFailureOfOneMemberRetriesWithoutIt) {
   ASSERT_TRUE(drcr.register_component(component("good", 0.1, {"gx"}, {})).ok());
   EXPECT_EQ(drcr.state_of("good").value(), ComponentState::kActive);
   EXPECT_EQ(drcr.state_of("bad").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("bad").find("no implementation"),
+  EXPECT_NE(drcr.component_health("bad")->reason.find("no implementation"),
             std::string::npos);
 }
 
@@ -143,7 +143,8 @@ TEST_F(GroupFixture, PortSquatterFailsOnlyTheSquattedComponent) {
   ASSERT_TRUE(drcr.register_component(component("p", 0.1, {"px"}, {})).ok());
   ASSERT_TRUE(drcr.register_component(component("q", 0.1, {"qx"}, {})).ok());
   EXPECT_EQ(drcr.state_of("p").value(), ComponentState::kUnsatisfied);
-  EXPECT_NE(drcr.last_reason("p").find("port"), std::string::npos);
+  EXPECT_NE(drcr.component_health("p")->reason.find("port"),
+            std::string::npos);
   EXPECT_EQ(drcr.state_of("q").value(), ComponentState::kActive);
   // And q's IPC survived the rollback of p.
   EXPECT_NE(kernel.shm_find("qx"), nullptr);

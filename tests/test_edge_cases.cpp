@@ -96,7 +96,7 @@ TEST(DrcrEdge, EnableUnknownAndDisableUnknownFail) {
   EXPECT_FALSE(drcr.unregister_component("ghost").ok());
   EXPECT_FALSE(drcr.state_of("ghost").has_value());
   EXPECT_EQ(drcr.instance_of("ghost"), nullptr);
-  EXPECT_TRUE(drcr.last_reason("ghost").empty());
+  EXPECT_FALSE(drcr.component_health("ghost").has_value());
   EXPECT_TRUE(drcr.system_members("ghost").empty());
 }
 

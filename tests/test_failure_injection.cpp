@@ -12,6 +12,14 @@ namespace {
 
 using rtos::testing::quiet_config;
 
+/// One-step QoS ladder: the old single-action config, spelled as policies.
+AdaptationConfig one_step(SimDuration poll, QosActionKind action) {
+  AdaptationConfig config;
+  config.poll_period = poll;
+  config.policies = {{AdaptationTrigger::kQosRule, action, 1}};
+  return config;
+}
+
 /// Body that explodes after N jobs.
 class Bomb : public RtComponent {
  public:
@@ -92,7 +100,8 @@ TEST_F(FailureFixture, FailureIsIsolatedFromOtherComponents) {
 
 TEST_F(FailureFixture, AdaptationDetectsBodyFailureOnce) {
   ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
-  AdaptationManager manager(drcr, {milliseconds(50), QosActionKind::kNotify});
+  AdaptationManager manager(drcr,
+                            one_step(milliseconds(50), QosActionKind::kNotify));
   QosRule rule;
   rule.detect_failure = true;
   manager.add_rule(rule);
@@ -106,8 +115,8 @@ TEST_F(FailureFixture, AdaptationDetectsBodyFailureOnce) {
 
 TEST_F(FailureFixture, AdaptationDisableClearsFailedComponent) {
   ASSERT_TRUE(drcr.register_component(descriptor("bomb", "fail.Bomb")).ok());
-  AdaptationManager manager(drcr,
-                            {milliseconds(50), QosActionKind::kDisable});
+  AdaptationManager manager(
+      drcr, one_step(milliseconds(50), QosActionKind::kDisable));
   QosRule rule;
   rule.detect_failure = true;
   manager.add_rule(rule);
@@ -154,7 +163,7 @@ TEST_F(FailureFixture, NullFactoryProductIsARejection) {
                                     });
   ASSERT_TRUE(drcr.register_component(descriptor("nullc", "fail.Null")).ok());
   EXPECT_EQ(drcr.state_of("nullc").value(), ComponentState::kUnsatisfied);
-  EXPECT_FALSE(drcr.last_reason("nullc").empty());
+  EXPECT_FALSE(drcr.component_health("nullc")->reason.empty());
 }
 
 TEST_F(FailureFixture, FailedProviderStillCountsAsActiveUntilManaged) {

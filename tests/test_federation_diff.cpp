@@ -113,9 +113,12 @@ void expect_identical(BareStack& bare, Federation& federation,
   for (const std::string& name : names) {
     SCOPED_TRACE("component " + name);
     ASSERT_EQ(bare.drcr.state_of(name), fed_drcr.state_of(name));
-    ASSERT_EQ(bare.drcr.last_reason(name), fed_drcr.last_reason(name));
-    ASSERT_EQ(bare.drcr.last_reason_code(name),
-              fed_drcr.last_reason_code(name));
+    const auto bare_health = bare.drcr.component_health(name);
+    const auto fed_health = fed_drcr.component_health(name);
+    ASSERT_EQ(bare_health.has_value(), fed_health.has_value());
+    if (!bare_health.has_value()) continue;
+    ASSERT_EQ(bare_health->reason, fed_health->reason);
+    ASSERT_EQ(bare_health->last_error, fed_health->last_error);
   }
   // Lifecycle event stream, kernel trace, and rendered obs exports.
   ASSERT_EQ(render_events(bare.drcr), render_events(fed_drcr));

@@ -235,7 +235,8 @@ TEST(ModeChange, QosActionDegradesAndRecoveryHysteresisRestores) {
   ASSERT_TRUE(world.drcr.register_component(std::move(f)).ok());
 
   AdaptationConfig config;
-  config.action = QosActionKind::kModeChange;
+  config.policies = {{AdaptationTrigger::kQosRule,
+                      QosActionKind::kModeChange, 1}};
   config.degraded_mode = "degraded";
   config.recovery_polls = 2;  // recovery_mode defaults to "" = base
   AdaptationManager manager(world.drcr, config);
@@ -349,8 +350,14 @@ TEST(DeadlineResolverDifferential, WarmSessionsMatchColdScansBitForBit) {
       for (const std::string& c : pool) {
         EXPECT_EQ(warm.drcr.state_of(c), cold.drcr.state_of(c))
             << "step " << step << " component " << c;
-        EXPECT_EQ(warm.drcr.last_reason(c), cold.drcr.last_reason(c))
+        const auto warm_health = warm.drcr.component_health(c);
+        const auto cold_health = cold.drcr.component_health(c);
+        ASSERT_EQ(warm_health.has_value(), cold_health.has_value())
             << "step " << step << " component " << c;
+        if (warm_health.has_value()) {
+          EXPECT_EQ(warm_health->reason, cold_health->reason)
+              << "step " << step << " component " << c;
+        }
       }
       const SystemView a = warm.drcr.system_view();
       const SystemView b = cold.drcr.system_view();

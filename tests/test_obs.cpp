@@ -416,13 +416,15 @@ TEST_F(ObsDrcrFixture, ErrorCodesReplaceStringMatching) {
   ASSERT_TRUE(drcr.register_component(component("more", 0.5)).ok());
   EXPECT_EQ(drcr.state_of("more").value(),
             drcom::ComponentState::kUnsatisfied);
-  EXPECT_EQ(drcr.last_reason_code("more"), ErrorCode::kAdmissionRejected);
+  EXPECT_EQ(drcr.component_health("more")->last_error,
+            ErrorCode::kAdmissionRejected);
 
   // Factory failure.
   auto bomb = component("bomb");
   bomb.bincode = "test.Throw";
   ASSERT_TRUE(drcr.register_component(std::move(bomb)).ok());
-  EXPECT_EQ(drcr.last_reason_code("bomb"), ErrorCode::kFactoryFailed);
+  EXPECT_EQ(drcr.component_health("bomb")->last_error,
+            ErrorCode::kFactoryFailed);
 
   // Invalid descriptors carry the parse-level code.
   const auto parsed = drcom::parse_descriptor("<drt:component name=\"\"/>");

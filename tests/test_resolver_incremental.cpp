@@ -232,11 +232,14 @@ void expect_identical(World& incremental, World& reference,
   for (const std::string& name : pool) {
     EXPECT_EQ(incremental.drcr.state_of(name), reference.drcr.state_of(name))
         << "step " << step << " component " << name;
-    EXPECT_EQ(incremental.drcr.last_reason(name),
-              reference.drcr.last_reason(name))
+    const auto inc_health = incremental.drcr.component_health(name);
+    const auto ref_health = reference.drcr.component_health(name);
+    ASSERT_EQ(inc_health.has_value(), ref_health.has_value())
         << "step " << step << " component " << name;
-    EXPECT_EQ(incremental.drcr.last_reason_code(name),
-              reference.drcr.last_reason_code(name))
+    if (!inc_health.has_value()) continue;
+    EXPECT_EQ(inc_health->reason, ref_health->reason)
+        << "step " << step << " component " << name;
+    EXPECT_EQ(inc_health->last_error, ref_health->last_error)
         << "step " << step << " component " << name;
   }
   // Utilization must agree BIT-FOR-BIT: both sides are activation-ordered

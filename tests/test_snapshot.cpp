@@ -287,8 +287,11 @@ TEST(RestartAction, CrashedComponentComesBackFresh) {
   d.bincode = "snap.Bomb";
   ASSERT_TRUE(world.drcr.register_component(std::move(d)).ok());
 
-  AdaptationManager manager(world.drcr,
-                            {milliseconds(50), QosActionKind::kRestart});
+  AdaptationConfig restart;
+  restart.poll_period = milliseconds(50);
+  restart.policies = {
+      {AdaptationTrigger::kQosRule, QosActionKind::kRestart, 1}};
+  AdaptationManager manager(world.drcr, restart);
   QosRule rule;
   rule.detect_failure = true;
   manager.add_rule(rule);
