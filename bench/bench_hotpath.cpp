@@ -14,9 +14,12 @@
 // itself runs. Use --json <path> to record the trajectory across PRs.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 
 #include "bench_common.hpp"
+#include "cap/channel.hpp"
+#include "osgi/ldap_filter.hpp"
 #include "osgi/service_registry.hpp"
 #include "rtos/sim_engine.hpp"
 
@@ -150,6 +153,78 @@ StatSummary registry_lookup(std::size_t count, std::size_t ops) {
   return samples.summary();
 }
 
+/// ns per typed capability call (bound connection, drained by the stub's
+/// try_next) at `payload_bytes`. The route was resolved once at bind time;
+/// the loop body is ordinal dispatch + pooled frame + ring push.
+StatSummary typed_call(std::size_t payload_bytes, std::size_t ops) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, 42));
+  cap::CapRouter router(kernel);
+  cap::ProtocolSpec spec;
+  spec.name = "ctl";
+  cap::MethodSpec method;
+  method.name = "data";
+  method.ordinal = 1;
+  method.request_bytes = payload_bytes;
+  spec.methods.push_back(std::move(method));
+  cap::ServerEnd* server = router.publish("prov", spec).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  std::vector<std::byte> payload(payload_bytes);
+  SampleSeries samples;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      if (connection->call(1, payload) != ErrorCode::kNone) std::abort();
+      if (!server->try_next().has_value()) std::abort();
+    }
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+  }
+  return samples.summary();
+}
+
+/// ns per string-keyed equivalent of the same transfer: LDAP-filtered
+/// get_references, a property probe for the provider, mailbox_find by
+/// concatenated name, message_from_string framing, ring push and a
+/// message_to_string read — resolution paid on EVERY call.
+StatSummary stringly_call(std::size_t payload_bytes, std::size_t ops) {
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel(engine, paper_kernel_config(false, 42));
+  rtos::Mailbox* inbox = kernel.mailbox_create("prov.cmd", 16).value();
+  (void)inbox;
+  osgi::ServiceRegistry registry;
+  fill_registry(registry, 256);
+  {
+    osgi::Properties props;
+    props.set("service.ranking", std::int64_t{50});
+    props.set("component.name", "prov");
+    registry.register_service(1, {"svc.i3"}, dummy_service(),
+                              std::move(props));
+  }
+  const osgi::Filter filter =
+      osgi::Filter::parse("(component.name=prov)").take();
+  const std::string text(payload_bytes, 'x');
+  SampleSeries samples;
+  for (int rep = 0; rep < kSamples; ++rep) {
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < ops; ++i) {
+      const auto refs = registry.get_references("svc.i3", &filter);
+      if (refs.empty()) std::abort();
+      const auto provider =
+          refs.front().properties().get_string("component.name");
+      rtos::Mailbox* mailbox = kernel.mailbox_find(*provider + ".cmd");
+      if (!kernel.mailbox_send(*mailbox, rtos::message_from_string(text))) {
+        std::abort();
+      }
+      auto received = kernel.mailbox_try_receive(*mailbox);
+      if (rtos::message_to_string(*received).size() != payload_bytes) {
+        std::abort();
+      }
+    }
+    samples.add(elapsed_ns(start) / static_cast<double>(ops));
+  }
+  return samples.summary();
+}
+
 /// ns per get_reference() (best-match) call on a populated registry.
 StatSummary registry_best(std::size_t count, std::size_t ops) {
   SampleSeries samples;
@@ -197,5 +272,12 @@ int main(int argc, char** argv) {
   print_table_row("get_references @1000", registry_lookup(1000, 20'000));
   print_table_row("get_reference @10", registry_best(10, 200'000));
   print_table_row("get_reference @1000", registry_best(1000, 20'000));
+
+  print_table_header("Capability call (ns/call)",
+                     "typed bound route vs per-call string-keyed dispatch");
+  print_table_row("typed call @64B", typed_call(64, 200'000));
+  print_table_row("typed call @1KiB", typed_call(1024, 100'000));
+  print_table_row("stringly send @64B", stringly_call(64, 100'000));
+  print_table_row("stringly send @1KiB", stringly_call(1024, 100'000));
   return 0;
 }

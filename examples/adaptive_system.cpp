@@ -15,8 +15,18 @@
 // Nothing in the component implementations knows about any of this — the
 // adaptation is entirely outside the real-time code, which is the paper's
 // central design argument.
+//
+// The inspectors submit their results to the safety monitor over a declared
+// "report" capability (docs/CHANNELS.md): safety <expose>s the protocol, each
+// inspector declares <use protocol="report" from="safety"/>, and the DRCR
+// binds the routes at activation. When the mode guard sheds an inspector the
+// DRCR revokes its route; re-admission rebinds it — the report counter makes
+// the revoke/rebind cycle visible at each phase boundary.
+#include <array>
 #include <cstdio>
+#include <cstring>
 
+#include "cap/channel.hpp"
 #include "drcom/drcr.hpp"
 
 using namespace drt;
@@ -29,6 +39,17 @@ class WorkerComponent : public drcom::RtComponent {
   rtos::TaskCoro run(drcom::JobContext& job) override {
     while (job.active()) {
       co_await job.consume(job_cost_);
+      // Submit this cycle's inspection result over the bound route. Shed
+      // components never get here (they are deactivated), so a silent call
+      // drop is not needed: while active the route is either bound or — in
+      // the activation/revocation window — fails fast with
+      // kCapabilityRevoked, which an inspector simply shrugs off.
+      if (cap::Connection* report = job.capability("report")) {
+        const auto stamp = static_cast<std::uint64_t>(job.now());
+        std::array<std::byte, 8> payload{};
+        std::memcpy(payload.data(), &stamp, sizeof(stamp));
+        (void)report->call(1, payload);
+      }
       co_await job.next_cycle();
     }
   }
@@ -36,6 +57,18 @@ class WorkerComponent : public drcom::RtComponent {
  private:
   SimDuration job_cost_;
 };
+
+/// The inspectors' result protocol: one 8-byte one-way submit per job.
+cap::ProtocolSpec report_protocol() {
+  cap::ProtocolSpec spec;
+  spec.name = "report";
+  cap::MethodSpec submit;
+  submit.name = "submit";
+  submit.ordinal = 1;
+  submit.request_bytes = 8;
+  spec.methods.push_back(std::move(submit));
+  return spec;
+}
 
 drcom::ComponentDescriptor worker_descriptor(const std::string& name,
                                              double hz, double usage,
@@ -48,6 +81,14 @@ drcom::ComponentDescriptor worker_descriptor(const std::string& name,
   d.cpu_usage = usage;
   d.periodic = drcom::PeriodicSpec{hz, 0, priority};
   d.properties.set("optional", optional);
+  if (optional) {
+    // Inspectors report their results to the safety monitor; the DRCR
+    // resolves this route once, at activation.
+    d.uses.push_back(drcom::UseSpec{"report", "safety"});
+  } else {
+    d.protocols.push_back(report_protocol());
+    d.exposes.push_back(drcom::ExposeSpec{"report", 128});
+  }
   return d;
 }
 
@@ -98,22 +139,30 @@ int main() {
   // Implementations: the safety monitor's job cost will overrun its period
   // once we inject a "fault" (slow sensor), producing deadline misses.
   SimDuration monitor_cost = microseconds(100);
-  drcr.factories().register_factory("vision.safety", [&monitor_cost] {
+  std::uint64_t reports_received = 0;
+  drcr.factories().register_factory("vision.safety", [&monitor_cost,
+                                                      &reports_received] {
     // The worker reads the *current* cost each job via a reference.
     class FaultableWorker : public drcom::RtComponent {
      public:
-      explicit FaultableWorker(SimDuration& cost) : cost_(&cost) {}
+      FaultableWorker(SimDuration& cost, std::uint64_t& reports)
+          : cost_(&cost), reports_(&reports) {}
       rtos::TaskCoro run(drcom::JobContext& job) override {
         while (job.active()) {
           co_await job.consume(*cost_);
+          // Drain the inspectors' typed reports submitted since last job.
+          if (cap::ServerEnd* inbox = job.cap_server("report")) {
+            while (inbox->try_next()) ++*reports_;
+          }
           co_await job.next_cycle();
         }
       }
 
      private:
       SimDuration* cost_;
+      std::uint64_t* reports_;
     };
-    return std::make_unique<FaultableWorker>(monitor_cost);
+    return std::make_unique<FaultableWorker>(monitor_cost, reports_received);
   });
   for (const char* name : {"insp0", "insp1", "insp2"}) {
     drcr.factories().register_factory(
@@ -169,16 +218,20 @@ int main() {
 
   // Phase 1: healthy.
   engine.run_until(seconds(2));
-  std::printf("t=2.0s phase 1 done: %zu active, degraded=%s\n",
-              drcr.active_count(), guard->degraded() ? "yes" : "no");
+  const std::uint64_t reports_phase1 = reports_received;
+  std::printf("t=2.0s phase 1 done: %zu active, degraded=%s, reports=%llu\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no",
+              static_cast<unsigned long long>(reports_phase1));
 
   // Phase 2: fault injection — the safety monitor's job suddenly takes 1.4x
   // its period (slow sensor), so it starts missing deadlines.
   std::printf("t=2.0s injecting fault: safety job cost 100us -> 1400us\n");
   monitor_cost = microseconds(1'400);
   engine.run_until(seconds(4));
-  std::printf("t=4.0s phase 2 done: %zu active, degraded=%s\n",
-              drcr.active_count(), guard->degraded() ? "yes" : "no");
+  const std::uint64_t reports_phase2 = reports_received - reports_phase1;
+  std::printf("t=4.0s phase 2 done: %zu active, degraded=%s, reports=%llu\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no",
+              static_cast<unsigned long long>(reports_phase2));
   const bool shed_worked = drcr.active_count() == 1 && guard->degraded();
 
   // Phase 3: fault clears; the adaptation manager restores NORMAL mode and
@@ -186,11 +239,16 @@ int main() {
   std::printf("t=4.0s fault clears: safety job cost back to 100us\n");
   monitor_cost = microseconds(100);
   engine.run_until(seconds(6));
-  std::printf("t=6.0s phase 3 done: %zu active, degraded=%s\n",
-              drcr.active_count(), guard->degraded() ? "yes" : "no");
+  const std::uint64_t reports_phase3 =
+      reports_received - reports_phase1 - reports_phase2;
+  std::printf("t=6.0s phase 3 done: %zu active, degraded=%s, reports=%llu\n",
+              drcr.active_count(), guard->degraded() ? "yes" : "no",
+              static_cast<unsigned long long>(reports_phase3));
   const bool recovered = drcr.active_count() == 4 && !guard->degraded();
+  // Typed reports must flow while inspectors run and resume after rebind.
+  const bool reports_flowed = reports_phase1 > 0 && reports_phase3 > 0;
 
   std::printf("\nADAPTIVE SCENARIO: %s\n",
-              shed_worked && recovered ? "OK" : "FAILED");
-  return shed_worked && recovered ? 0 : 1;
+              shed_worked && recovered && reports_flowed ? "OK" : "FAILED");
+  return shed_worked && recovered && reports_flowed ? 0 : 1;
 }

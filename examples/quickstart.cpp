@@ -5,6 +5,12 @@
 // one simulated second, pokes it through the management interface, and shuts
 // down. Start here; the other examples build on the same pattern.
 //
+// This example deliberately stays on the original stringly dialect — SHM
+// ports plus registry-keyed management, no <protocol>/<expose>/<use> — as the
+// compatibility witness: protocol-less descriptors keep working untouched
+// and round-trip byte-identically. See examples/smart_camera.cpp for the
+// typed capability-channel variant (docs/CHANNELS.md).
+//
 //   $ ./quickstart
 #include <cstdio>
 

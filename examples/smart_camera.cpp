@@ -5,14 +5,23 @@
 // Pipeline (all contracts declared in XML, all wiring done by the DRCR):
 //
 //   camera (100 Hz) --images:SHM-->  roi (100 Hz)  --coords:SHM--> logger
-//          ^                                                         (4 Hz)
-//          '-- xysize:SHM -- tuner writes the requested ROI window
+//                                     ^                              (4 Hz)
+//        tuner --ctrl:capability------'  typed set_window(i32) calls
+//
+// The window request channel is a declared capability protocol
+// (docs/CHANNELS.md): roi <expose>s "ctrl", the tuner declares
+// <use protocol="ctrl" from="roi"/>, and the DRCR binds the route once at
+// activation — each tuner cycle is then a single typed call, no registry
+// lookup, no string keys on the hot path.
 //
 // The example also exercises runtime re-configuration: halfway through, an
 // operator changes the camera's exposure property and the ROI window size
 // through the management services, without touching real-time code.
+#include <array>
 #include <cstdio>
+#include <cstring>
 
+#include "cap/channel.hpp"
 #include "drcom/drcr.hpp"
 
 using namespace drt;
@@ -46,15 +55,24 @@ class CameraComponent : public drcom::RtComponent {
   }
 };
 
-// -- roi: scans the frame for the brightest window of the size requested in
-//    its "xysize" in-port and publishes the window's coordinates.
+// -- roi: scans the frame for the brightest window of the size most recently
+//    requested over its exposed "ctrl" capability, and publishes the
+//    window's coordinates.
 class RoiComponent : public drcom::RtComponent {
  public:
   rtos::TaskCoro run(drcom::JobContext& job) override {
+    std::int32_t window = 4;
     while (job.active()) {
       co_await job.consume(microseconds(350));  // the scan costs real CPU
+      // Drain any pending set_window frames: last writer wins this cycle.
+      if (cap::ServerEnd* ctrl = job.cap_server("ctrl")) {
+        while (auto frame = ctrl->try_next()) {
+          std::int32_t requested = 0;
+          std::memcpy(&requested, frame->payload().data(), sizeof(requested));
+          if (requested >= 1 && requested <= 20) window = requested;
+        }
+      }
       const rtos::Shm* frame = job.in_shm("images");
-      const auto window = job.read_i32("xysize", 0).value_or(4);
       std::int32_t best_x = 0;
       std::int32_t best_y = 0;
       std::int64_t best_sum = -1;
@@ -105,7 +123,6 @@ constexpr const char* kCameraXml = R"(<?xml version="1.0"?>
   <implementation bincode="ua.pats.demo.smartcamera.RTComponent"/>
   <periodictask frequence="100" runoncup="0" priority="2"/>
   <outport name="images" interface="RTAI.SHM" type="Byte" size="400"/>
-  <inport name="xysize" interface="RTAI.SHM" type="Integer" size="4"/>
   <property name="exposure" type="Integer" value="10"/>
 </drt:component>)";
 
@@ -116,6 +133,10 @@ constexpr const char* kRoiXml = R"(<?xml version="1.0"?>
   <periodictask frequence="100" runoncpu="0" priority="3"/>
   <inport name="images" interface="RTAI.SHM" type="Byte" size="400"/>
   <outport name="coords" interface="RTAI.SHM" type="Integer" size="4"/>
+  <protocol name="ctrl">
+    <method name="set_window" ordinal="1" request="4"/>
+  </protocol>
+  <expose protocol="ctrl"/>
 </drt:component>)";
 
 constexpr const char* kLoggerXml = R"(<?xml version="1.0"?>
@@ -126,16 +147,22 @@ constexpr const char* kLoggerXml = R"(<?xml version="1.0"?>
   <inport name="coords" interface="RTAI.SHM" type="Integer" size="4"/>
 </drt:component>)";
 
-// The "xysize" request channel is produced by a non-RT tuner bundle; in this
+// The window request source is a non-RT tuner bundle in the paper; in this
 // example we provide it as a tiny RT component so the DRCR wires everything.
+// Its route to roi was bound once at activation; each cycle is one typed
+// set_window call on the already-resolved connection.
 class TunerComponent : public drcom::RtComponent {
  public:
   rtos::TaskCoro run(drcom::JobContext& job) override {
     while (job.active()) {
       co_await job.consume(microseconds(5));
-      job.write_i32("xysize", 0,
-                    static_cast<std::int32_t>(
-                        job.property_int("window").value_or(4)));
+      if (cap::Connection* ctrl = job.capability("ctrl")) {
+        const auto window = static_cast<std::int32_t>(
+            job.property_int("window").value_or(4));
+        std::array<std::byte, 4> request{};
+        std::memcpy(request.data(), &window, sizeof(window));
+        (void)ctrl->call(1, request);
+      }
       co_await job.next_cycle();
     }
   }
@@ -146,7 +173,7 @@ constexpr const char* kTunerXml = R"(<?xml version="1.0"?>
     type="periodic" cpuusage="0.01">
   <implementation bincode="ua.pats.demo.tuner.RTComponent"/>
   <periodictask frequence="10" runoncpu="1" priority="9"/>
-  <outport name="xysize" interface="RTAI.SHM" type="Integer" size="4"/>
+  <use protocol="ctrl" from="roi"/>
   <property name="window" type="Integer" value="4"/>
 </drt:component>)";
 

@@ -1,0 +1,365 @@
+#include "cap/channel.hpp"
+
+namespace drt::cap {
+
+// ----------------------------------------------------------- Connection ----
+
+ErrorCode Connection::call(std::uint32_t ordinal,
+                           std::span<const std::byte> payload) {
+  if (!bound()) {
+    // Revoked (or never-bound) endpoint: typed refusal, no silent drop.
+    ++counters_.sent;
+    ++counters_.revoked;
+    router_->m_calls_->add(1);
+    router_->m_revoked_->add(1);
+    if (m_sent_ != nullptr) {
+      m_sent_->add(1);
+      m_revoked_->add(1);
+    }
+    return ErrorCode::kCapabilityRevoked;
+  }
+  const MethodSpec* method = table_.lookup(ordinal);
+  if (method == nullptr || payload.size() != method->request_bytes) {
+    // Caller bug (unknown ordinal / wrong frame size): refused before any
+    // traffic accounting so sent == accepted + rejected + revoked stays
+    // exact.
+    return ErrorCode::kInvalidArgument;
+  }
+  ++counters_.sent;
+  router_->m_calls_->add(1);
+  m_sent_->add(1);
+
+  rtos::Message message(kHeaderBytes + payload.size());
+  encode_header(message.data(), FrameHeader{ordinal, id_});
+  if (!payload.empty()) {
+    std::memcpy(message.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  const bool accepted = channel_ != nullptr
+                            ? channel_->send(std::move(message))
+                            : kernel_->mailbox_send(*inbox_, std::move(message));
+  if (accepted) {
+    ++counters_.accepted;
+    router_->m_accepted_->add(1);
+    m_accepted_->add(1);
+    return ErrorCode::kNone;
+  }
+  ++counters_.rejected;
+  router_->m_rejected_->add(1);
+  m_rejected_->add(1);
+  return ErrorCode::kLimitExceeded;
+}
+
+// ------------------------------------------------------------ ServerEnd ----
+
+std::optional<ServerEnd::Frame> ServerEnd::try_next() {
+  while (true) {
+    auto message = kernel_->mailbox_try_receive(*inbox_);
+    if (!message.has_value()) return std::nullopt;
+    auto frame = decode(std::move(*message));
+    if (frame.has_value()) return frame;
+  }
+}
+
+std::optional<ServerEnd::Frame> ServerEnd::decode(rtos::Message message) {
+  if (message.size() < kHeaderBytes) {
+    ++bad_frames_;
+    return std::nullopt;
+  }
+  const FrameHeader header = decode_header(message.data());
+  const MethodSpec* method = table_.lookup(header.ordinal);
+  if (method == nullptr ||
+      message.size() != kHeaderBytes + method->request_bytes) {
+    ++bad_frames_;
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.method = method;
+  frame.connection = header.connection;
+  frame.message = std::move(message);
+  return frame;
+}
+
+bool ServerEnd::reply(const Frame& frame, std::span<const std::byte> payload) {
+  if (frame.method == nullptr || frame.method->response_bytes == 0 ||
+      payload.size() != frame.method->response_bytes) {
+    return false;
+  }
+  const auto found = replies_.find(frame.connection);
+  if (found == replies_.end() || found->second == nullptr) return false;
+  rtos::Message message(kHeaderBytes + payload.size());
+  encode_header(message.data(),
+                FrameHeader{frame.method->ordinal, frame.connection});
+  std::memcpy(message.data() + kHeaderBytes, payload.data(), payload.size());
+  return kernel_->mailbox_send(*found->second, std::move(message));
+}
+
+// ------------------------------------------------------------ CapRouter ----
+
+CapRouter::~CapRouter() {
+  // Route endpoints are normally torn down through on_component_down; what
+  // remains here are external clients' connections (and their reply
+  // mailboxes) plus servers of components the DRCR never deactivated.
+  for (auto& [_, connection] : connections_) {
+    if (!connection->reply_name_.empty()) {
+      (void)kernel_->mailbox_delete(connection->reply_name_);
+    }
+  }
+  for (auto& [_, server] : servers_) {
+    (void)kernel_->mailbox_delete(server->inbox_->name());
+  }
+}
+
+void CapRouter::ensure_metrics() {
+  if (metrics_registered_) return;
+  metrics_registered_ = true;
+  auto& metrics = kernel_->metrics();
+  m_calls_ = metrics.counter("cap.calls", "typed capability calls attempted");
+  m_accepted_ =
+      metrics.counter("cap.accepted", "typed calls delivered into a ring");
+  m_rejected_ =
+      metrics.counter("cap.rejected", "typed calls refused (ring full)");
+  m_revoked_ = metrics.counter("cap.revoked_calls",
+                               "typed calls refused on revoked endpoints");
+  m_binds_ = metrics.counter("cap.binds", "capability route binds");
+  m_revocations_ =
+      metrics.counter("cap.revocations", "capability route revocations");
+}
+
+Result<ServerEnd*> CapRouter::publish(const std::string& provider,
+                                      const ProtocolSpec& spec,
+                                      std::size_t queue) {
+  ensure_metrics();
+  const ServerKey key{provider, spec.name};
+  if (servers_.count(key) != 0) {
+    return make_error(ErrorCode::kAlreadyExists, "cap.already_published",
+                      "'" + provider + "' already exposes protocol '" +
+                          spec.name + "'");
+  }
+  const std::string inbox_name = provider + "." + spec.name + ".cap";
+  auto inbox = kernel_->mailbox_create(inbox_name, queue);
+  if (!inbox.ok()) return inbox.error();
+  auto server = std::unique_ptr<ServerEnd>(
+      new ServerEnd(*kernel_, provider, spec, inbox.value()));
+  ServerEnd* handle = server.get();
+  servers_.emplace(key, std::move(server));
+  // Bind every connection already routed at this (provider, protocol) —
+  // declared uses of active clients and re-connecting external clients.
+  for (auto& [conn_key, connection] : connections_) {
+    if (connection->provider_ == provider &&
+        connection->protocol_ == spec.name && !connection->bound()) {
+      bind(*connection, *handle);
+    }
+  }
+  return handle;
+}
+
+Connection* CapRouter::ensure_connection(const std::string& client,
+                                         const std::string& provider,
+                                         const std::string& protocol) {
+  ensure_metrics();
+  const ConnKey key{client, provider, protocol};
+  auto found = connections_.find(key);
+  if (found == connections_.end()) {
+    auto connection = std::unique_ptr<Connection>(
+        new Connection(*this, client, provider, protocol,
+                       next_connection_id_++));
+    found = connections_.emplace(key, std::move(connection)).first;
+  }
+  Connection& connection = *found->second;
+  if (!connection.bound()) {
+    if (ServerEnd* server = find_server(provider, protocol)) {
+      bind(connection, *server);
+    }
+  }
+  return &connection;
+}
+
+Result<Connection*> CapRouter::connect(const std::string& client,
+                                       const std::string& provider,
+                                       const std::string& protocol) {
+  if (find_server(provider, protocol) == nullptr) {
+    return make_error(ErrorCode::kNotFound, "cap.no_such_route",
+                      "no active provider exposes '" + provider + "/" +
+                          protocol + "'");
+  }
+  return ensure_connection(client, provider, protocol);
+}
+
+Result<Connection*> CapRouter::connect_remote(const std::string& client,
+                                              const std::string& provider,
+                                              const std::string& protocol,
+                                              const ProtocolSpec& spec,
+                                              rtos::NodeChannel& channel) {
+  ensure_metrics();
+  if (spec.has_replies()) {
+    return make_error(ErrorCode::kInvalidArgument, "cap.remote_two_way",
+                      "protocol '" + protocol +
+                          "' has two-way methods; cross-node capability "
+                          "routes are one-way only");
+  }
+  const ConnKey key{client, provider, protocol};
+  auto found = connections_.find(key);
+  if (found == connections_.end()) {
+    auto connection = std::unique_ptr<Connection>(
+        new Connection(*this, client, provider, protocol,
+                       next_connection_id_++));
+    found = connections_.emplace(key, std::move(connection)).first;
+  }
+  Connection& connection = *found->second;
+  if (connection.bound()) unbind(connection);
+  connection.kernel_ = kernel_;
+  connection.channel_ = &channel;
+  connection.spec_copy_ = std::make_unique<ProtocolSpec>(spec);
+  connection.spec_ = connection.spec_copy_.get();
+  connection.table_ = MethodTable(*connection.spec_);
+  ++binds_;
+  m_binds_->add(1);
+  if (connection.m_sent_ == nullptr) {
+    auto& metrics = kernel_->metrics();
+    const std::string prefix =
+        "cap.conn." + client + "." + provider + "." + protocol + ".";
+    connection.m_sent_ = metrics.counter(prefix + "sent");
+    connection.m_accepted_ = metrics.counter(prefix + "accepted");
+    connection.m_rejected_ = metrics.counter(prefix + "rejected");
+    connection.m_revoked_ = metrics.counter(prefix + "revoked");
+  }
+  return &connection;
+}
+
+void CapRouter::bind(Connection& connection, ServerEnd& server) {
+  connection.kernel_ = kernel_;
+  connection.inbox_ = server.inbox_;
+  connection.channel_ = nullptr;
+  connection.spec_copy_.reset();
+  connection.spec_ = &server.spec_;
+  connection.table_ = MethodTable(server.spec_);
+  if (server.spec_.has_replies()) {
+    if (connection.reply_ == nullptr) {
+      connection.reply_name_ = connection.client_ + "." +
+                               connection.provider_ + "." +
+                               connection.protocol_ + ".rsp";
+      auto reply = kernel_->mailbox_create(connection.reply_name_,
+                                           CapRouter::kDefaultQueue);
+      if (reply.ok()) {
+        connection.reply_ = reply.value();
+      } else {
+        connection.reply_name_.clear();
+      }
+    }
+    server.replies_[connection.id_] = connection.reply_;
+  }
+  ++binds_;
+  m_binds_->add(1);
+  // Per-connection cap.* series appear at first bind (counter names are
+  // stable across rebinds, so churn reuses the same series).
+  if (connection.m_sent_ == nullptr) {
+    auto& metrics = kernel_->metrics();
+    const std::string prefix = "cap.conn." + connection.client_ + "." +
+                               connection.provider_ + "." +
+                               connection.protocol_ + ".";
+    connection.m_sent_ = metrics.counter(prefix + "sent");
+    connection.m_accepted_ = metrics.counter(prefix + "accepted");
+    connection.m_rejected_ = metrics.counter(prefix + "rejected");
+    connection.m_revoked_ = metrics.counter(prefix + "revoked");
+  }
+}
+
+void CapRouter::unbind(Connection& connection) {
+  if (!connection.bound()) return;
+  if (connection.inbox_ != nullptr) {
+    if (ServerEnd* server =
+            find_server(connection.provider_, connection.protocol_)) {
+      server->replies_.erase(connection.id_);
+    }
+  }
+  connection.inbox_ = nullptr;
+  connection.channel_ = nullptr;
+  connection.spec_ = connection.spec_copy_.get();  // remote copy survives
+  ++revocations_;
+  m_revocations_->add(1);
+}
+
+void CapRouter::on_component_down(const std::string& name) {
+  // Revoke every client bound to one of `name`'s servers, then drop the
+  // servers and their inboxes.
+  for (auto it = servers_.begin(); it != servers_.end();) {
+    if (it->first.first != name) {
+      ++it;
+      continue;
+    }
+    for (auto& [_, connection] : connections_) {
+      if (connection->provider_ == name &&
+          connection->protocol_ == it->first.second && connection->bound() &&
+          !connection->remote()) {
+        unbind(*connection);
+      }
+    }
+    (void)kernel_->mailbox_delete(it->second->inbox_->name());
+    it = servers_.erase(it);
+  }
+  // Destroy the connections `name` owned as a client.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (std::get<0>(it->first) == name) {
+      const ConnKey key = it->first;
+      ++it;
+      destroy_connection(key);
+      it = connections_.upper_bound(key);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CapRouter::revoke_routes_to(const std::string& provider) {
+  for (auto& [_, connection] : connections_) {
+    if (connection->provider_ == provider && connection->bound()) {
+      unbind(*connection);
+    }
+  }
+}
+
+void CapRouter::release_client(const std::string& client) {
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if (std::get<0>(it->first) == client) {
+      const ConnKey key = it->first;
+      destroy_connection(key);
+      it = connections_.upper_bound(key);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CapRouter::destroy_connection(const ConnKey& key) {
+  const auto found = connections_.find(key);
+  if (found == connections_.end()) return;
+  Connection& connection = *found->second;
+  if (connection.bound()) unbind(connection);
+  if (!connection.reply_name_.empty()) {
+    (void)kernel_->mailbox_delete(connection.reply_name_);
+  }
+  retired_ += connection.counters_;
+  connections_.erase(found);
+}
+
+ServerEnd* CapRouter::find_server(const std::string& provider,
+                                  const std::string& protocol) {
+  const auto found = servers_.find(ServerKey{provider, protocol});
+  return found == servers_.end() ? nullptr : found->second.get();
+}
+
+Connection* CapRouter::find_connection(const std::string& client,
+                                       const std::string& provider,
+                                       const std::string& protocol) {
+  const auto found = connections_.find(ConnKey{client, provider, protocol});
+  return found == connections_.end() ? nullptr : found->second.get();
+}
+
+const Connection* CapRouter::find_connection(const std::string& client,
+                                             const std::string& provider,
+                                             const std::string& protocol) const {
+  const auto found = connections_.find(ConnKey{client, provider, protocol});
+  return found == connections_.end() ? nullptr : found->second.get();
+}
+
+}  // namespace drt::cap

@@ -1,0 +1,316 @@
+// Bound capability channels: bind-once, zero-lookup typed calls over the
+// pooled zero-copy mailbox path.
+//
+// The CapRouter resolves the descriptor-declared expose/offer/use routes at
+// ACTIVATION time into bound endpoints, so the per-call hot path carries no
+// name resolution at all:
+//
+//   client proxy            router (bind time only)          provider stub
+//   Connection::call  --->  [ordinal table + inbox ptr] ---> ServerEnd
+//     ordinal dispatch        frozen at bind                  try_next()
+//     ring push / handoff                                     ordinal decode
+//
+// A call is: one bounds-checked table load (ordinal -> MethodSpec), one
+// pooled Message build, one RtKernel::mailbox_send (ring push or direct
+// handoff into a parked receiver). Zero registry lookups, zero string
+// compares, zero LDAP evaluation. The ambient ServiceRegistry path stays
+// untouched for components that declare no protocols.
+//
+// Revocation contract: when the DRCR deactivates (or quarantines, or
+// mode-drops) a provider, every connection bound to its servers is unbound
+// in place. Subsequent calls fail fast with ErrorCode::kCapabilityRevoked —
+// a typed refusal, never a silent drop — and are tallied in the
+// per-connection `revoked` counter. When the provider re-activates, the
+// DRCR re-binds the same Connection objects, so client-held pointers stay
+// valid across provider churn.
+//
+// Accounting (oracle invariant 12): per connection,
+//     sent == accepted + rejected + revoked
+// where `accepted` counts frames that entered the server ring (or the
+// cross-node channel), `rejected` counts ring-full refusals, and `revoked`
+// counts calls attempted while unbound. Counters are plain (single-writer:
+// the client's execution context); destroyed connections fold into the
+// router's retired remainder so registry aggregates stay exact across
+// churn.
+//
+// Cross-node routes (fed::Federation::bind_capability) bind the connection
+// to a rtos::NodeChannel instead of a local mailbox; the frame then rides
+// the engine's cross-shard hand-off and is delivered into the provider's
+// cap inbox by name on the target shard. Remote binds are restricted to
+// one-way protocols (replies would need a return channel).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+
+#include "cap/protocol.hpp"
+#include "obs/metrics.hpp"
+#include "rtos/channel.hpp"
+#include "rtos/ipc.hpp"
+#include "rtos/kernel.hpp"
+#include "util/result.hpp"
+
+namespace drt::cap {
+
+class CapRouter;
+
+/// Exact per-connection call accounting (single-writer, read between engine
+/// runs — same discipline as Mailbox / NodeChannel counters).
+struct ConnectionCounters {
+  std::uint64_t sent = 0;      ///< call attempts (valid frames only)
+  std::uint64_t accepted = 0;  ///< entered the server ring / node channel
+  std::uint64_t rejected = 0;  ///< ring full (or channel severed) — refused
+  std::uint64_t revoked = 0;   ///< attempted while the endpoint was revoked
+
+  ConnectionCounters& operator+=(const ConnectionCounters& other) {
+    sent += other.sent;
+    accepted += other.accepted;
+    rejected += other.rejected;
+    revoked += other.revoked;
+    return *this;
+  }
+};
+
+/// Client endpoint of one capability route. Owned by the CapRouter (stable
+/// address for the component's lifetime); hand-written proxies wrap it.
+class Connection {
+ public:
+  /// Typed call: builds the fixed frame (header + payload) and pushes it on
+  /// the bound server inbox. Returns kNone on acceptance, kLimitExceeded
+  /// when the server ring is full (counted `rejected`), kCapabilityRevoked
+  /// when the endpoint is unbound/revoked (counted `revoked`), and
+  /// kInvalidArgument for an unknown ordinal or a payload that does not
+  /// match the declared request size (a caller bug — not counted as
+  /// traffic, so the conservation identity stays exact).
+  ErrorCode call(std::uint32_t ordinal, std::span<const std::byte> payload);
+
+  [[nodiscard]] bool bound() const {
+    return inbox_ != nullptr || channel_ != nullptr;
+  }
+  [[nodiscard]] bool remote() const { return channel_ != nullptr; }
+  [[nodiscard]] const ConnectionCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::string& client() const { return client_; }
+  [[nodiscard]] const std::string& provider() const { return provider_; }
+  [[nodiscard]] const std::string& protocol() const { return protocol_; }
+  [[nodiscard]] std::uint32_t id() const { return id_; }
+  /// The provider's protocol shape (nullptr while never bound).
+  [[nodiscard]] const ProtocolSpec* spec() const { return spec_; }
+  /// Reply mailbox for two-way protocols (nullptr for one-way / unbound
+  /// connections); the client awaits replies on it via TaskContext::receive.
+  [[nodiscard]] rtos::Mailbox* reply_mailbox() const { return reply_; }
+
+ private:
+  friend class CapRouter;
+  Connection(CapRouter& router, std::string client, std::string provider,
+             std::string protocol, std::uint32_t id)
+      : router_(&router),
+        client_(std::move(client)),
+        provider_(std::move(provider)),
+        protocol_(std::move(protocol)),
+        id_(id) {}
+
+  CapRouter* router_;  ///< aggregate cap.* series live on the router
+  std::string client_;
+  std::string provider_;
+  std::string protocol_;
+  std::uint32_t id_ = 0;
+  // Bound state (null while unbound / after revocation).
+  rtos::RtKernel* kernel_ = nullptr;
+  rtos::Mailbox* inbox_ = nullptr;        ///< local bind: provider cap inbox
+  rtos::NodeChannel* channel_ = nullptr;  ///< remote bind: federation channel
+  const ProtocolSpec* spec_ = nullptr;
+  MethodTable table_;
+  /// Remote binds own a copy of the provider's spec (the provider-side
+  /// ServerEnd lives on another node and may die first).
+  std::unique_ptr<ProtocolSpec> spec_copy_;
+  rtos::Mailbox* reply_ = nullptr;
+  std::string reply_name_;
+  ConnectionCounters counters_;
+  // Per-connection cap.* series, registered at bind time (null until then).
+  obs::Counter* m_sent_ = nullptr;
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_revoked_ = nullptr;
+};
+
+/// Provider endpoint for one exposed protocol: the cap inbox plus the
+/// ordinal-decode stub machinery. Owned by the CapRouter; the component's
+/// run loop drains it (poll with try_next, or block on inbox() via
+/// TaskContext::receive and decode()).
+class ServerEnd {
+ public:
+  /// One decoded request frame. `method` aliases spec(); the payload view
+  /// aliases `message` and is valid while the frame lives.
+  struct Frame {
+    const MethodSpec* method = nullptr;
+    std::uint32_t connection = 0;
+    rtos::Message message;
+    [[nodiscard]] std::span<const std::byte> payload() const {
+      return message.bytes().subspan(kHeaderBytes);
+    }
+  };
+
+  /// Non-blocking: pops and decodes the next frame. Malformed frames (short
+  /// header, unknown ordinal, wrong payload size — e.g. raw bytes injected
+  /// straight into the inbox mailbox) are dropped and counted in
+  /// bad_frames(); decoding continues with the next message.
+  [[nodiscard]] std::optional<Frame> try_next();
+
+  /// Decodes one already-received message (for components that block on
+  /// inbox() themselves). std::nullopt for malformed frames (counted).
+  [[nodiscard]] std::optional<Frame> decode(rtos::Message message);
+
+  /// Two-way methods: sends the reply frame (same header, `payload` must be
+  /// exactly method->response_bytes) to the requesting connection's reply
+  /// mailbox. False when the method is one-way, the payload size is wrong,
+  /// the connection is gone, or the reply ring is full.
+  bool reply(const Frame& frame, std::span<const std::byte> payload);
+
+  [[nodiscard]] rtos::Mailbox& inbox() { return *inbox_; }
+  [[nodiscard]] const ProtocolSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::string& provider() const { return provider_; }
+  [[nodiscard]] std::uint64_t bad_frames() const { return bad_frames_; }
+
+ private:
+  friend class CapRouter;
+  ServerEnd(rtos::RtKernel& kernel, std::string provider, ProtocolSpec spec,
+            rtos::Mailbox* inbox)
+      : kernel_(&kernel),
+        provider_(std::move(provider)),
+        spec_(std::move(spec)),
+        table_(spec_),
+        inbox_(inbox) {}
+
+  rtos::RtKernel* kernel_;
+  std::string provider_;
+  ProtocolSpec spec_;  ///< owned copy (descriptor records may be replaced)
+  MethodTable table_;
+  rtos::Mailbox* inbox_;
+  /// Live connection id -> reply mailbox (two-way protocols only);
+  /// maintained by the router at bind/unbind.
+  std::map<std::uint32_t, rtos::Mailbox*> replies_;
+  std::uint64_t bad_frames_ = 0;
+};
+
+/// Route table + endpoint factory. One per DRCR; every mutation happens at
+/// component lifecycle edges (activate/deactivate), never per call.
+class CapRouter {
+ public:
+  /// Ring capacity of a provider cap inbox unless the expose overrides it.
+  static constexpr std::size_t kDefaultQueue = 64;
+
+  explicit CapRouter(rtos::RtKernel& kernel) : kernel_(&kernel) {}
+  ~CapRouter();
+  CapRouter(const CapRouter&) = delete;
+  CapRouter& operator=(const CapRouter&) = delete;
+
+  /// Provider side, at activation: creates the `<provider>.<protocol>.cap`
+  /// inbox and the ServerEnd, then binds every existing connection that
+  /// names this (provider, protocol) route — declared uses of already-
+  /// active clients as well as external connect() clients re-bind here.
+  Result<ServerEnd*> publish(const std::string& provider,
+                             const ProtocolSpec& spec,
+                             std::size_t queue = kDefaultQueue);
+
+  /// Consumer side, at activation, for a descriptor-declared use: returns
+  /// the (stable) connection for this route, creating it unbound when the
+  /// provider has not published yet. Never fails; an unbound connection
+  /// refuses calls with kCapabilityRevoked until the provider appears.
+  Connection* ensure_connection(const std::string& client,
+                                const std::string& provider,
+                                const std::string& protocol);
+
+  /// External (non-component) clients: like ensure_connection but requires
+  /// the provider to have published the protocol; typed kNotFound error
+  /// otherwise.
+  Result<Connection*> connect(const std::string& client,
+                              const std::string& provider,
+                              const std::string& protocol);
+
+  /// Remote bind (federation): wires the connection to a NodeChannel whose
+  /// target mailbox is the provider's cap inbox on another node. `spec` is
+  /// copied (the provider lives elsewhere). One-way protocols only.
+  Result<Connection*> connect_remote(const std::string& client,
+                                     const std::string& provider,
+                                     const std::string& protocol,
+                                     const ProtocolSpec& spec,
+                                     rtos::NodeChannel& channel);
+
+  /// Deactivation hook: tears down every server `name` published (revoking
+  /// the connections bound to them, typed kCapabilityRevoked from now on)
+  /// and destroys every connection `name` owns as a client (their counters
+  /// fold into retired()).
+  void on_component_down(const std::string& name);
+
+  /// Revokes (unbinds) every connection targeting `provider`, without
+  /// touching published servers. Used for prompt cross-node revocation.
+  void revoke_routes_to(const std::string& provider);
+
+  /// Drops an external client's connections (counters fold into retired()).
+  void release_client(const std::string& client);
+
+  [[nodiscard]] ServerEnd* find_server(const std::string& provider,
+                                       const std::string& protocol);
+  [[nodiscard]] Connection* find_connection(const std::string& client,
+                                            const std::string& provider,
+                                            const std::string& protocol);
+  [[nodiscard]] const Connection* find_connection(
+      const std::string& client, const std::string& provider,
+      const std::string& protocol) const;
+
+  /// Oracle / introspection sweep over live connections.
+  template <typename Fn>
+  void for_each_connection(Fn&& fn) const {
+    for (const auto& [_, connection] : connections_) fn(*connection);
+  }
+  [[nodiscard]] std::size_t connection_count() const {
+    return connections_.size();
+  }
+  [[nodiscard]] std::size_t server_count() const { return servers_.size(); }
+  /// Counters of destroyed connections (keeps aggregate == Σ live + retired
+  /// exact across churn; oracle invariant 12).
+  [[nodiscard]] const ConnectionCounters& retired() const { return retired_; }
+  /// Route binds / revocations performed (mirrors cap.binds/cap.revocations).
+  [[nodiscard]] std::uint64_t bind_count() const { return binds_; }
+  [[nodiscard]] std::uint64_t revocation_count() const { return revocations_; }
+
+ private:
+  friend class Connection;
+
+  using ServerKey = std::pair<std::string, std::string>;  // provider, protocol
+  using ConnKey = std::tuple<std::string, std::string, std::string>;
+
+  /// First route registration registers the cap.* metric series — a stack
+  /// that never declares a protocol keeps its observability exports
+  /// byte-identical to the seed.
+  void ensure_metrics();
+  void bind(Connection& connection, ServerEnd& server);
+  void unbind(Connection& connection);
+  void destroy_connection(const ConnKey& key);
+
+  rtos::RtKernel* kernel_;
+  std::map<ServerKey, std::unique_ptr<ServerEnd>> servers_;
+  std::map<ConnKey, std::unique_ptr<Connection>> connections_;
+  std::uint32_t next_connection_id_ = 1;
+  ConnectionCounters retired_;
+  std::uint64_t binds_ = 0;
+  std::uint64_t revocations_ = 0;
+  bool metrics_registered_ = false;
+  // Aggregate series (lazily registered; see ensure_metrics).
+  obs::Counter* m_calls_ = nullptr;
+  obs::Counter* m_accepted_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_revoked_ = nullptr;
+  obs::Counter* m_binds_ = nullptr;
+  obs::Counter* m_revocations_ = nullptr;
+};
+
+}  // namespace drt::cap

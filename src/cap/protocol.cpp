@@ -1,0 +1,53 @@
+#include "cap/protocol.hpp"
+
+namespace drt::cap {
+
+Result<void> validate_protocol(const ProtocolSpec& protocol) {
+  if (protocol.name.empty()) {
+    return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                      "protocol without a name");
+  }
+  if (protocol.methods.empty()) {
+    return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                      "protocol '" + protocol.name + "' declares no methods");
+  }
+  for (const auto& method : protocol.methods) {
+    if (method.name.empty()) {
+      return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                        "protocol '" + protocol.name +
+                            "' has a method without a name");
+    }
+    if (method.ordinal == 0 || method.ordinal > kMaxOrdinal) {
+      return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                        "method '" + method.name + "' ordinal " +
+                            std::to_string(method.ordinal) +
+                            " outside 1.." + std::to_string(kMaxOrdinal));
+    }
+    if (method.request_bytes > kMaxMethodBytes ||
+        method.response_bytes > kMaxMethodBytes) {
+      return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                        "method '" + method.name + "' payload exceeds the " +
+                            std::to_string(kMaxMethodBytes) + "-byte limit");
+    }
+    std::size_t name_hits = 0;
+    std::size_t ordinal_hits = 0;
+    for (const auto& other : protocol.methods) {
+      if (other.name == method.name) ++name_hits;
+      if (other.ordinal == method.ordinal) ++ordinal_hits;
+    }
+    if (name_hits > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                        "duplicate method name '" + method.name +
+                            "' in protocol '" + protocol.name + "'");
+    }
+    if (ordinal_hits > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "cap.bad_protocol",
+                        "duplicate ordinal " +
+                            std::to_string(method.ordinal) + " in protocol '" +
+                            protocol.name + "'");
+    }
+  }
+  return Result<void>::success();
+}
+
+}  // namespace drt::cap

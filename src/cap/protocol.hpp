@@ -1,0 +1,137 @@
+// IDL-lite protocol declarations for typed capability channels (ROADMAP
+// item 3; the expose/offer/use shape of Fuchsia's component framework).
+//
+// A protocol is declared in the component descriptor as a set of methods
+// with FIXED wire layouts:
+//
+//   <protocol name="ctrl">
+//     <method name="set" ordinal="1" request="8"/>
+//     <method name="stat" ordinal="2" request="4" response="16"/>
+//   </protocol>
+//
+// There is no runtime reflection and no schema negotiation: proxies and
+// stubs are hand-written C++ against these declarations, and every call is
+// a fixed-size frame on the pooled zero-copy Message path:
+//
+//   offset 0  u32 LE  method ordinal
+//   offset 4  u32 LE  connection id (assigned at bind time)
+//   offset 8  ...     request payload, exactly `request` bytes
+//
+// Frames of up to Message::kInlineCapacity (48) bytes total — request
+// payloads of up to 40 bytes — live entirely in the Message small buffer;
+// larger frames recycle MessagePool slabs. Either way a steady call stream
+// performs zero heap allocations (bench_channel --check pins this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.hpp"
+
+namespace drt::cap {
+
+/// Highest method ordinal a protocol may declare. Ordinals index a dense
+/// dispatch table on the call path (no map lookups), so they are kept small.
+inline constexpr std::uint32_t kMaxOrdinal = 64;
+
+/// Frame header size: ordinal + connection id, both little-endian u32.
+inline constexpr std::size_t kHeaderBytes = 8;
+
+/// Largest request/response payload a method may declare (matches the port
+/// size cap: endpoints are materialised eagerly, so an untrusted descriptor
+/// must not be able to force huge frames).
+inline constexpr std::size_t kMaxMethodBytes = std::size_t{1} << 20;
+
+/// One method of a protocol. `response_bytes == 0` declares a one-way
+/// method (no reply frame); anything else is a two-way method whose reply
+/// rides the connection's reply mailbox.
+struct MethodSpec {
+  std::string name;
+  std::uint32_t ordinal = 0;      ///< unique within the protocol, 1..kMaxOrdinal
+  std::size_t request_bytes = 0;  ///< exact request payload size
+  std::size_t response_bytes = 0; ///< exact reply payload size; 0 = one-way
+};
+
+struct ProtocolSpec {
+  std::string name;
+  std::vector<MethodSpec> methods;
+
+  [[nodiscard]] const MethodSpec* find_method(std::uint32_t ordinal) const {
+    for (const auto& method : methods) {
+      if (method.ordinal == ordinal) return &method;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] const MethodSpec* find_method(std::string_view name) const {
+    for (const auto& method : methods) {
+      if (method.name == name) return &method;
+    }
+    return nullptr;
+  }
+  /// True when any method expects a reply (the bind then wires a per-
+  /// connection reply mailbox).
+  [[nodiscard]] bool has_replies() const {
+    for (const auto& method : methods) {
+      if (method.response_bytes > 0) return true;
+    }
+    return false;
+  }
+};
+
+/// Structural validation (descriptor validate() calls this per declared
+/// protocol): non-empty names, at least one method, unique method names,
+/// unique in-range ordinals, payload sizes within kMaxMethodBytes.
+[[nodiscard]] Result<void> validate_protocol(const ProtocolSpec& protocol);
+
+/// Dense ordinal -> MethodSpec dispatch table. Built once at publish/bind
+/// time; the per-call lookup is one bounds check + one indexed load — no
+/// string compares, no map walks.
+class MethodTable {
+ public:
+  MethodTable() = default;
+  explicit MethodTable(const ProtocolSpec& spec) {
+    std::uint32_t max_ordinal = 0;
+    for (const auto& method : spec.methods) {
+      if (method.ordinal > max_ordinal) max_ordinal = method.ordinal;
+    }
+    by_ordinal_.assign(max_ordinal + 1, nullptr);
+    for (const auto& method : spec.methods) {
+      by_ordinal_[method.ordinal] = &method;
+    }
+  }
+
+  /// nullptr for unknown ordinals. The returned pointer aliases the
+  /// ProtocolSpec the table was built from, which must stay alive.
+  [[nodiscard]] const MethodSpec* lookup(std::uint32_t ordinal) const {
+    return ordinal < by_ordinal_.size() ? by_ordinal_[ordinal] : nullptr;
+  }
+
+ private:
+  std::vector<const MethodSpec*> by_ordinal_;
+};
+
+/// Wire header codec (little-endian, memcpy-safe on any host).
+struct FrameHeader {
+  std::uint32_t ordinal = 0;
+  std::uint32_t connection = 0;
+};
+
+inline void encode_header(std::byte* out, const FrameHeader& header) {
+  std::uint32_t ordinal = header.ordinal;
+  std::uint32_t connection = header.connection;
+  std::memcpy(out, &ordinal, sizeof(ordinal));
+  std::memcpy(out + 4, &connection, sizeof(connection));
+}
+
+inline FrameHeader decode_header(const std::byte* in) {
+  FrameHeader header;
+  std::memcpy(&header.ordinal, in, sizeof(header.ordinal));
+  std::memcpy(&header.connection, in + 4, sizeof(header.connection));
+  return header;
+}
+
+}  // namespace drt::cap

@@ -112,6 +112,53 @@ Result<void> add_property(ComponentDescriptor& descriptor,
   return Result<void>::success();
 }
 
+Result<cap::ProtocolSpec> parse_protocol(const xml::Element& element) {
+  cap::ProtocolSpec protocol;
+  protocol.name = element.attribute_or("name", "");
+  if (protocol.name.empty()) {
+    return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                      "protocol without a name");
+  }
+  for (const auto* method_el : element.child_elements()) {
+    if (method_el->local_name() != "method") {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "unknown element <" + method_el->name +
+                            "> inside <protocol> (expected <method>)");
+    }
+    cap::MethodSpec method;
+    method.name = method_el->attribute_or("name", "");
+    if (method.name.empty()) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "protocol '" + protocol.name +
+                            "' method without a name");
+    }
+    const auto ordinal = str::parse_int(method_el->attribute_or("ordinal", ""));
+    if (!ordinal || *ordinal <= 0) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "method '" + method.name +
+                            "' needs a positive ordinal");
+    }
+    method.ordinal = static_cast<std::uint32_t>(*ordinal);
+    const auto request = str::parse_int(method_el->attribute_or("request", "0"));
+    if (!request || *request < 0) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "method '" + method.name +
+                            "' request must be a byte count");
+    }
+    method.request_bytes = static_cast<std::size_t>(*request);
+    const auto response =
+        str::parse_int(method_el->attribute_or("response", "0"));
+    if (!response || *response < 0) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "method '" + method.name +
+                            "' response must be a byte count");
+    }
+    method.response_bytes = static_cast<std::size_t>(*response);
+    protocol.methods.push_back(std::move(method));
+  }
+  return protocol;
+}
+
 }  // namespace
 
 std::vector<const PortSpec*> ComponentDescriptor::inports() const {
@@ -340,6 +387,38 @@ Result<ComponentDescriptor> parse_descriptor_element(
                                                        : PortDirection::kOut);
       if (!port.ok()) return port.error();
       descriptor.ports.push_back(std::move(port).take());
+    } else if (local == "protocol") {
+      auto protocol = parse_protocol(*child);
+      if (!protocol.ok()) return protocol.error();
+      descriptor.protocols.push_back(std::move(protocol).take());
+    } else if (local == "expose") {
+      ExposeSpec expose;
+      expose.protocol = child->attribute_or("protocol", "");
+      if (expose.protocol.empty()) {
+        return make_error(ErrorCode::kInvalidDescriptor,
+                          "drcom.bad_descriptor", "expose without a protocol");
+      }
+      if (const auto queue_text = child->attribute("queue")) {
+        const auto queue = str::parse_int(*queue_text);
+        if (!queue || *queue <= 0) {
+          return make_error(ErrorCode::kInvalidDescriptor,
+                            "drcom.bad_descriptor",
+                            "expose '" + expose.protocol +
+                                "' queue must be positive");
+        }
+        expose.queue = static_cast<std::size_t>(*queue);
+      }
+      descriptor.exposes.push_back(std::move(expose));
+    } else if (local == "use") {
+      UseSpec use;
+      use.protocol = child->attribute_or("protocol", "");
+      use.provider = child->attribute_or("from", "");
+      if (use.protocol.empty() || use.provider.empty()) {
+        return make_error(ErrorCode::kInvalidDescriptor,
+                          "drcom.bad_descriptor",
+                          "use needs both protocol and from attributes");
+      }
+      descriptor.uses.push_back(std::move(use));
     } else if (local == "property") {
       auto added = add_property(descriptor, *child);
       if (!added.ok()) return added.error();
@@ -486,6 +565,58 @@ Result<void> validate(const ComponentDescriptor& descriptor) {
                             descriptor.name + "'");
     }
   }
+  for (const auto& protocol : descriptor.protocols) {
+    if (auto valid = cap::validate_protocol(protocol); !valid.ok()) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name + "': " +
+                            valid.error().message);
+    }
+    std::size_t occurrences = 0;
+    for (const auto& other : descriptor.protocols) {
+      if (other.name == protocol.name) ++occurrences;
+    }
+    if (occurrences > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "duplicate protocol name '" + protocol.name +
+                            "' in '" + descriptor.name + "'");
+    }
+  }
+  for (const auto& expose : descriptor.exposes) {
+    if (descriptor.find_protocol(expose.protocol) == nullptr) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name + "' exposes '" +
+                            expose.protocol +
+                            "' without declaring the protocol");
+    }
+    std::size_t occurrences = 0;
+    for (const auto& other : descriptor.exposes) {
+      if (other.protocol == expose.protocol) ++occurrences;
+    }
+    if (occurrences > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name +
+                            "' exposes protocol '" + expose.protocol +
+                            "' twice");
+    }
+  }
+  for (const auto& use : descriptor.uses) {
+    if (use.provider == descriptor.name) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name +
+                            "' cannot use a protocol from itself");
+    }
+    std::size_t occurrences = 0;
+    for (const auto& other : descriptor.uses) {
+      if (other.protocol == use.protocol && other.provider == use.provider) {
+        ++occurrences;
+      }
+    }
+    if (occurrences > 1) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_descriptor",
+                        "component '" + descriptor.name + "' uses '" +
+                            use.provider + "/" + use.protocol + "' twice");
+    }
+  }
   return Result<void>::success();
 }
 
@@ -559,6 +690,38 @@ std::string write_descriptor(const ComponentDescriptor& descriptor) {
       }
       if (!mode.present) element.set_attribute("present", "false");
     }
+  }
+  // Capability declarations are emitted only when present, so the
+  // (overwhelmingly common) protocol-less descriptor round-trips
+  // byte-identically to the pre-capability dialect.
+  for (const auto& protocol : descriptor.protocols) {
+    auto& element = root.append_child("protocol");
+    element.set_attribute("name", protocol.name);
+    for (const auto& method : protocol.methods) {
+      auto& method_el = element.append_child("method");
+      method_el.set_attribute("name", method.name);
+      method_el.set_attribute("ordinal", std::to_string(method.ordinal));
+      if (method.request_bytes > 0) {
+        method_el.set_attribute("request",
+                                std::to_string(method.request_bytes));
+      }
+      if (method.response_bytes > 0) {
+        method_el.set_attribute("response",
+                                std::to_string(method.response_bytes));
+      }
+    }
+  }
+  for (const auto& expose : descriptor.exposes) {
+    auto& element = root.append_child("expose");
+    element.set_attribute("protocol", expose.protocol);
+    if (expose.queue != ExposeSpec{}.queue) {
+      element.set_attribute("queue", std::to_string(expose.queue));
+    }
+  }
+  for (const auto& use : descriptor.uses) {
+    auto& element = root.append_child("use");
+    element.set_attribute("protocol", use.protocol);
+    element.set_attribute("from", use.provider);
   }
   for (const auto& [key, entry] : descriptor.properties) {
     auto& element = root.append_child("property");

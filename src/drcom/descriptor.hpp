@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "cap/protocol.hpp"
 #include "osgi/properties.hpp"
 #include "rtos/ipc.hpp"
 #include "rtos/task.hpp"
@@ -133,6 +134,32 @@ struct ModeSpec {
   bool present = true;
 };
 
+/// One exposed (served) protocol — the component answers typed calls on a
+/// bound capability inbox:
+///
+///   <expose protocol="ctrl"/>            <!-- optional queue="N" -->
+///
+/// The protocol must be declared by a <protocol> element of the same
+/// descriptor.
+struct ExposeSpec {
+  std::string protocol;
+  /// Ring capacity of the cap inbox (serialized only when non-default).
+  std::size_t queue = 64;
+};
+
+/// One used (consumed) protocol — at activation the DRCR binds a typed
+/// client endpoint against the named provider component:
+///
+///   <use protocol="ctrl" from="camera"/>
+///
+/// A use never gates activation: while the provider is away the endpoint is
+/// simply revoked and calls fail fast with ErrorCode::kCapabilityRevoked;
+/// the DRCR re-binds it the moment the provider activates.
+struct UseSpec {
+  std::string protocol;
+  std::string provider;  ///< component name the route targets
+};
+
 struct ComponentDescriptor {
   std::string name;         ///< globally unique; the RT task reference
   std::string description;
@@ -150,6 +177,13 @@ struct ComponentDescriptor {
   /// Per-mode QoS contracts; empty for the (common) mode-less component,
   /// which every mode transition leaves untouched.
   std::vector<ModeSpec> modes;
+  /// IDL-lite protocol declarations plus the expose/use capability routes
+  /// (docs/CHANNELS.md). All three are empty for the (common) protocol-less
+  /// component, which keeps the ambient registry wiring — and the XML
+  /// round-trip — byte-identical to the seed dialect.
+  std::vector<cap::ProtocolSpec> protocols;
+  std::vector<ExposeSpec> exposes;
+  std::vector<UseSpec> uses;
   osgi::Properties properties;
 
   [[nodiscard]] std::vector<const PortSpec*> inports() const;
@@ -183,6 +217,20 @@ struct ComponentDescriptor {
   [[nodiscard]] bool available_in_mode(std::string_view mode) const {
     const ModeSpec* spec = find_mode(mode);
     return spec == nullptr || spec->present;
+  }
+
+  [[nodiscard]] const cap::ProtocolSpec* find_protocol(
+      std::string_view protocol_name) const {
+    for (const auto& protocol : protocols) {
+      if (protocol.name == protocol_name) return &protocol;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool exposes_protocol(std::string_view protocol_name) const {
+    for (const auto& expose : exposes) {
+      if (expose.protocol == protocol_name) return true;
+    }
+    return false;
   }
 
   /// For sporadic components: the Mailbox in-port that releases the task

@@ -15,7 +15,7 @@ Drcr::Drcr(osgi::Framework& framework, rtos::RtKernel& kernel,
       internal_resolver_(
           std::make_unique<UtilizationBudgetResolver>(config.cpu_budget)),
       events_(config.event_ring_capacity),
-      contract_cache_(kernel.config().cpus) {
+      contract_cache_(kernel.config().cpus), cap_router_(kernel) {
   // Engine backend selection. The kernel necessarily predates this config
   // (it schedules load events at construction), so the switch is a state
   // migration, not an up-front choice. Outputs are byte-identical across
@@ -679,13 +679,49 @@ void Drcr::finalize_activation(ComponentRecord& record) {
   // listeners already see the component under observation.
   if (monitor_ != nullptr) monitor_->on_activated(record.descriptor.name);
 
+  bind_capability_routes(record);
+
   emit(DrcrEventType::kActivated, record.descriptor.name);
+}
+
+void Drcr::bind_capability_routes(ComponentRecord& record) {
+  const ComponentDescriptor& descriptor = record.descriptor;
+  if (descriptor.exposes.empty() && descriptor.uses.empty()) return;
+
+  // Publish every exposed protocol. publish() re-binds the dangling client
+  // endpoints other components kept across this provider's downtime, so a
+  // consumer's Connection* stays valid through provider churn.
+  for (const auto& expose : descriptor.exposes) {
+    const cap::ProtocolSpec* spec = descriptor.find_protocol(expose.protocol);
+    if (spec == nullptr) continue;  // validate() refuses this descriptor
+    auto server = cap_router_.publish(descriptor.name, *spec, expose.queue);
+    if (!server.ok()) {
+      log::Line(log::Level::kWarn, "drcr", kernel_->now())
+          << "capability publish failed for " << descriptor.name << "/"
+          << expose.protocol << ": " << server.error().to_string();
+      continue;
+    }
+    record.instance->bind_cap_server(expose.protocol, server.value());
+  }
+
+  // Bind every declared use. A use never gates activation: while the
+  // provider is away the endpoint exists unbound and refuses calls with
+  // kCapabilityRevoked (conserved in the revoked counter).
+  for (const auto& use : descriptor.uses) {
+    cap::Connection* connection = cap_router_.ensure_connection(
+        descriptor.name, use.provider, use.protocol);
+    record.instance->bind_capability(use.protocol, use.provider, connection);
+  }
 }
 
 void Drcr::deactivate(ComponentRecord& record, const std::string& reason) {
   // Detach the exec-time histogram while the instance (and its task) is
   // still alive.
   if (monitor_ != nullptr) monitor_->on_deactivated(record.descriptor.name);
+  // Revoke the typed capability routes FIRST: servers this component exposed
+  // disappear (their consumers' endpoints flip to revoked, not dangling) and
+  // its own client endpoints retire their counters before the instance goes.
+  cap_router_.on_component_down(record.descriptor.name);
   if (record.state == ComponentState::kActive) {
     contract_cache_.on_deactivate(record.descriptor);
   }
@@ -700,6 +736,25 @@ void Drcr::deactivate(ComponentRecord& record, const std::string& reason) {
   record.state = ComponentState::kUnsatisfied;
   record.last_reason = reason;
   emit(DrcrEventType::kDeactivated, record.descriptor.name, reason);
+}
+
+Result<cap::Connection*> Drcr::connect_capability(const std::string& client,
+                                                  const std::string& provider,
+                                                  const std::string& protocol) {
+  const auto found = components_.find(provider);
+  if (found == components_.end()) {
+    return make_error(ErrorCode::kNotFound, "cap.no_such_provider",
+                      "no component '" + provider + "' registered");
+  }
+  if (!found->second.descriptor.exposes_protocol(protocol)) {
+    return make_error(ErrorCode::kNotFound, "cap.no_such_route",
+                      "'" + provider + "' does not expose protocol '" +
+                          protocol + "'");
+  }
+  // The endpoint is created even while the provider is inactive: it starts
+  // revoked (calls fail typed with kCapabilityRevoked) and binds the moment
+  // the provider activates.
+  return cap_router_.ensure_connection(client, provider, protocol);
 }
 
 // ---------------------------------------------------------- introspection

@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "cap/channel.hpp"
 #include "drcom/contract_cache.hpp"
 #include "drcom/descriptor.hpp"
 #include "drcom/factory.hpp"
@@ -267,6 +268,21 @@ class Drcr {
     return mode_controller_.get();
   }
 
+  /// The typed capability router (docs/CHANNELS.md): bind-once proxy/stub
+  /// routes between components with declared protocols. Routes are bound at
+  /// activation and revoked at deactivation; a protocol-less stack never
+  /// touches it (its lazy cap.* metrics stay unregistered).
+  [[nodiscard]] cap::CapRouter& cap_router() { return cap_router_; }
+  [[nodiscard]] const cap::CapRouter& cap_router() const {
+    return cap_router_;
+  }
+  /// External (non-component) client endpoint against an exposed protocol of
+  /// `provider`. The endpoint outlives provider churn: it is revoked while
+  /// the provider is away and re-bound when it activates again.
+  Result<cap::Connection*> connect_capability(const std::string& client,
+                                              const std::string& provider,
+                                              const std::string& protocol);
+
   /// The attached ContractMonitor (nullptr when none): observed usage,
   /// sample counts, quantiles.
   [[nodiscard]] const ContractMonitor* contract_monitor() const {
@@ -380,6 +396,10 @@ class Drcr {
   /// Registers the management service and emits ACTIVATED for a component
   /// whose hybrid instance just committed.
   void finalize_activation(ComponentRecord& record);
+  /// Publishes the record's <expose> servers, binds its <use> client
+  /// endpoints, and re-binds any dangling routes other components hold
+  /// against this provider. No-op for protocol-less descriptors.
+  void bind_capability_routes(ComponentRecord& record);
   void deactivate(ComponentRecord& record, const std::string& reason);
   void note_rejection(ComponentRecord& record, ErrorCode code,
                       const std::string& reason);
@@ -412,6 +432,8 @@ class Drcr {
   std::map<std::string, SystemDescriptor> systems_;  ///< deployed compositions
   obs::EventRing<DrcrEvent> events_;
   ContractCache contract_cache_;
+  /// Typed capability routes (bind at activation / revoke at deactivation).
+  cap::CapRouter cap_router_;
   /// Stamps each DRCR-built SystemView so batch-capable resolvers can match
   /// admit() calls to the pass they belong to.
   mutable std::uint64_t next_view_id_ = 1;

@@ -197,6 +197,24 @@ rtos::detail::ReceiveAwaiter JobContext::receive(std::string_view in_port) {
   return task_->receive(*mailbox);
 }
 
+cap::Connection* JobContext::capability(std::string_view protocol,
+                                        std::string_view provider) const {
+  for (const auto& bound : owner_->bound_caps_) {
+    if (bound.protocol == protocol &&
+        (provider.empty() || bound.provider == provider)) {
+      return bound.connection;
+    }
+  }
+  return nullptr;
+}
+
+cap::ServerEnd* JobContext::cap_server(std::string_view protocol) const {
+  for (const auto& bound : owner_->bound_servers_) {
+    if (bound.protocol == protocol) return bound.server;
+  }
+  return nullptr;
+}
+
 std::optional<std::string> JobContext::property(std::string_view key) const {
   const auto* value = owner_->live_properties_.get(key);
   if (value == nullptr) return std::nullopt;

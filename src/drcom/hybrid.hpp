@@ -28,6 +28,11 @@
 #include "rtos/subtask.hpp"
 #include "util/result.hpp"
 
+namespace drt::cap {
+class Connection;
+class ServerEnd;
+}  // namespace drt::cap
+
 namespace drt::drcom {
 
 class HybridComponent;
@@ -81,6 +86,17 @@ class JobContext {
                    std::span<const std::byte> bytes);
   bool send(std::string_view out_port, rtos::Message message);
   [[nodiscard]] rtos::detail::ReceiveAwaiter receive(std::string_view in_port);
+
+  // --- typed capability endpoints (docs/CHANNELS.md) ---
+  /// The bound client endpoint for a declared <use>. `provider` narrows the
+  /// match when the component uses the same protocol from several providers;
+  /// empty matches the first declared use of that protocol. nullptr when the
+  /// descriptor declares no such use (a declared-but-revoked endpoint is
+  /// returned non-null and fails calls with kCapabilityRevoked instead).
+  [[nodiscard]] cap::Connection* capability(
+      std::string_view protocol, std::string_view provider = {}) const;
+  /// The server end of a declared <expose> (nullptr when not exposed).
+  [[nodiscard]] cap::ServerEnd* cap_server(std::string_view protocol) const;
 
   // --- live component properties (updated by SET commands) ---
   [[nodiscard]] std::optional<std::string> property(
@@ -139,6 +155,19 @@ class HybridComponent {
     return owned_mailboxes_;
   }
 
+  /// DRCR hooks: attach the typed capability endpoints resolved for this
+  /// instance at activation. Endpoint objects are owned by the DRCR's
+  /// CapRouter and outlive the instance; the instance only indexes them for
+  /// JobContext::capability()/cap_server().
+  void bind_capability(std::string protocol, std::string provider,
+                       cap::Connection* connection) {
+    bound_caps_.push_back({std::move(protocol), std::move(provider),
+                           connection});
+  }
+  void bind_cap_server(std::string protocol, cap::ServerEnd* server) {
+    bound_servers_.push_back({std::move(protocol), server});
+  }
+
   /// Non-RT side: queues a textual command on the asynchronous channel
   /// ("SUSPEND", "RESUME", "SET <key> <value>", "STATUS", "STOP").
   [[nodiscard]] Result<void> send_command(const std::string& command);
@@ -173,6 +202,19 @@ class HybridComponent {
   std::vector<std::string> owned_shms_;
   std::vector<std::string> owned_mailboxes_;
   osgi::Properties live_properties_;
+  /// Typed capability endpoints the DRCR bound (small: one entry per
+  /// declared use/expose, scanned linearly).
+  struct BoundCap {
+    std::string protocol;
+    std::string provider;
+    cap::Connection* connection = nullptr;
+  };
+  struct BoundServer {
+    std::string protocol;
+    cap::ServerEnd* server = nullptr;
+  };
+  std::vector<BoundCap> bound_caps_;
+  std::vector<BoundServer> bound_servers_;
   bool soft_suspended_ = false;
   bool prepared_ = false;
   bool active_ = false;

@@ -63,6 +63,17 @@ Result<SystemDescriptor> parse_system_descriptor(std::string_view xml_text) {
                               "')");
       }
       system.connections.push_back(std::move(connection));
+    } else if (local == "offer") {
+      OfferSpec offer;
+      offer.protocol = child->attribute_or("protocol", "");
+      offer.from_component = child->attribute_or("from", "");
+      offer.to_component = child->attribute_or("to", "");
+      if (offer.protocol.empty() || offer.from_component.empty() ||
+          offer.to_component.empty()) {
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                          "offer needs protocol, from and to attributes");
+      }
+      system.offers.push_back(std::move(offer));
     } else if (local == "cpubudget") {
       CpuBudgetSpec budget;
       const auto cpu = str::parse_int(child->attribute_or("cpu", ""));
@@ -186,6 +197,102 @@ Result<void> validate_system(const SystemDescriptor& system) {
       }
     }
   }
+  // Capability routes: every offer names a real expose/use pair, every
+  // member-to-member use is covered by an offer, and the route graph is
+  // acyclic.
+  for (const auto& offer : system.offers) {
+    const ComponentDescriptor* from =
+        system.find_component(offer.from_component);
+    const ComponentDescriptor* to = system.find_component(offer.to_component);
+    if (from == nullptr || to == nullptr) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                        "offer references unknown component: " +
+                            offer.to_string());
+    }
+    if (from == to) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                        "offer must link two different components: " +
+                            offer.to_string());
+    }
+    if (!from->exposes_protocol(offer.protocol)) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                        "'" + offer.from_component +
+                            "' does not expose protocol '" + offer.protocol +
+                            "' (offer " + offer.to_string() + ")");
+    }
+    bool used = false;
+    for (const auto& use : to->uses) {
+      if (use.protocol == offer.protocol &&
+          use.provider == offer.from_component) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) {
+      return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                        "'" + offer.to_component + "' declares no use of '" +
+                            offer.from_component + "/" + offer.protocol +
+                            "' (offer " + offer.to_string() + ")");
+    }
+  }
+  for (const auto& consumer : system.components) {
+    for (const auto& use : consumer.uses) {
+      if (system.find_component(use.provider) == nullptr) {
+        continue;  // external provider: routed outside this composition
+      }
+      bool offered = false;
+      for (const auto& offer : system.offers) {
+        if (offer.protocol == use.protocol &&
+            offer.from_component == use.provider &&
+            offer.to_component == consumer.name) {
+          offered = true;
+          break;
+        }
+      }
+      if (!offered) {
+        return make_error(ErrorCode::kInvalidDescriptor, "drcom.bad_system",
+                          "undeclared capability route: '" + consumer.name +
+                              "' uses '" + use.provider + "/" + use.protocol +
+                              "' but no <offer> grants it");
+      }
+    }
+  }
+  // Cycle check over the capability dependency edges (provider -> consumer).
+  // Unlike port wiring — where feedback loops are a legitimate control
+  // pattern — a capability route cycle means no member could ever be
+  // activated with all its routes live-bound from the start, so the
+  // composition is refused outright (the fuzzer's --caps band deploys such
+  // systems and expects exactly this typed refusal).
+  {
+    std::map<std::string, std::vector<std::string>> edges;
+    for (const auto& offer : system.offers) {
+      edges[offer.from_component].push_back(offer.to_component);
+    }
+    std::map<std::string, int> mark;  // 0 = unseen, 1 = in stack, 2 = done
+    std::vector<std::string> stack;
+    for (const auto& [start, _] : edges) {
+      if (mark[start] != 0) continue;
+      stack.push_back(start);
+      while (!stack.empty()) {
+        const std::string node = stack.back();
+        if (mark[node] == 0) {
+          mark[node] = 1;
+          for (const auto& next : edges[node]) {
+            if (mark[next] == 1) {
+              return make_error(ErrorCode::kInvalidDescriptor,
+                                "drcom.bad_system",
+                                "capability offer cycle through '" + next +
+                                    "'");
+            }
+            if (mark[next] == 0) stack.push_back(next);
+          }
+        } else {
+          mark[node] = 2;
+          stack.pop_back();
+        }
+      }
+    }
+  }
   // Static utilization check against the declared budgets.
   for (const auto& budget : system.budgets) {
     double total = 0.0;
@@ -224,6 +331,12 @@ std::string write_system_descriptor(const SystemDescriptor& system) {
         "from", connection.from_component + "." + connection.from_port);
     element.set_attribute("to",
                           connection.to_component + "." + connection.to_port);
+  }
+  for (const auto& offer : system.offers) {
+    auto& element = root.append_child("offer");
+    element.set_attribute("protocol", offer.protocol);
+    element.set_attribute("from", offer.from_component);
+    element.set_attribute("to", offer.to_component);
   }
   for (const auto& budget : system.budgets) {
     auto& element = root.append_child("cpubudget");

@@ -50,11 +50,31 @@ struct CpuBudgetSpec {
   double limit = 1.0;
 };
 
+/// Declared capability grant: `from` serves protocol, `to` consumes it.
+///
+///   <offer protocol="ctrl" from="camera" to="tuner"/>
+///
+/// Like <connection>, offers make the architect's INTENT checkable: the
+/// member `to` must declare a matching <use>, the member `from` must expose
+/// the protocol, every member use must be covered by an offer, and the
+/// capability dependency graph must be acyclic (validate_system rejects
+/// offer cycles with a typed error at deployment time).
+struct OfferSpec {
+  std::string protocol;
+  std::string from_component;
+  std::string to_component;
+
+  [[nodiscard]] std::string to_string() const {
+    return from_component + "/" + protocol + " -> " + to_component;
+  }
+};
+
 struct SystemDescriptor {
   std::string name;
   std::string description;
   std::vector<ComponentDescriptor> components;
   std::vector<ConnectionSpec> connections;
+  std::vector<OfferSpec> offers;
   std::vector<CpuBudgetSpec> budgets;
 
   [[nodiscard]] const ComponentDescriptor* find_component(
@@ -75,7 +95,11 @@ struct SystemDescriptor {
 ///     <cpubudget>;
 ///   * every member in-port that is fed by a member out-port has a matching
 ///     <connection> declared — undeclared internal wiring is an architecture
-///     error (external providers are fine and simply not declared).
+///     error (external providers are fine and simply not declared);
+///   * every <offer> names members with a matching expose/use pair, every
+///     member-to-member <use> is covered by an <offer>, and the capability
+///     route graph is acyclic (offer cycles are refused with a typed
+///     kInvalidDescriptor error).
 [[nodiscard]] Result<void> validate_system(const SystemDescriptor& system);
 
 /// Serializes back to the <drt:system> dialect.

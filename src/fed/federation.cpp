@@ -59,6 +59,56 @@ Federation::Federation(const FederationConfig& config)
   }
 }
 
+Federation::~Federation() { tearing_down_ = true; }
+
+Result<cap::Connection*> Federation::bind_capability(
+    NodeIndex client_node, const std::string& client, NodeIndex provider_node,
+    const std::string& provider, const std::string& protocol) {
+  if (client_node >= nodes_.size() || provider_node >= nodes_.size()) {
+    return make_error(ErrorCode::kInvalidArgument, "fed.bad_node",
+                      "node index out of range");
+  }
+  if (client_node == provider_node) {
+    return nodes_[client_node]->drcr->connect_capability(client, provider,
+                                                         protocol);
+  }
+  drcom::Drcr& provider_drcr = *nodes_[provider_node]->drcr;
+  const drcom::ComponentDescriptor* descriptor =
+      provider_drcr.descriptor_of(provider);
+  if (descriptor == nullptr || !descriptor->exposes_protocol(protocol)) {
+    return make_error(ErrorCode::kNotFound, "cap.no_such_route",
+                      "'" + provider + "' on node " +
+                          std::to_string(provider_node) +
+                          " does not expose protocol '" + protocol + "'");
+  }
+  const cap::ProtocolSpec* spec = descriptor->find_protocol(protocol);
+  if (spec == nullptr) {
+    return make_error(ErrorCode::kNotFound, "cap.no_such_route",
+                      "'" + provider + "' exposes undeclared protocol '" +
+                          protocol + "'");
+  }
+  // Remote endpoints live in the CLIENT node's router, which cannot see the
+  // provider-side deactivate. One listener per provider node fans the
+  // revocation out so remote callers get the typed kCapabilityRevoked
+  // promptly instead of silently feeding a dead inbox.
+  if (!cap_listeners_.contains(provider_node)) {
+    cap_listeners_.insert(provider_node);
+    provider_drcr.add_listener([this,
+                                provider_node](const drcom::DrcrEvent& event) {
+      if (tearing_down_) return;
+      if (event.type != drcom::DrcrEventType::kDeactivated) return;
+      for (NodeIndex i = 0; i < nodes_.size(); ++i) {
+        if (i == provider_node) continue;
+        nodes_[i]->drcr->cap_router().revoke_routes_to(event.component);
+      }
+    });
+  }
+  rtos::NodeChannel& link =
+      channel(client_node, provider_node, provider + "." + protocol + ".cap");
+  return nodes_[client_node]->drcr->cap_router().connect_remote(
+      client, provider, protocol, *spec, link);
+}
+
 void Federation::leave(NodeIndex index) {
   if (index >= nodes_.size()) return;
   nodes_[index]->alive = false;

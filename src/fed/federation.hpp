@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "cap/channel.hpp"
 #include "drcom/drcr.hpp"
 #include "osgi/framework.hpp"
 #include "rtos/channel.hpp"
@@ -81,6 +82,7 @@ using RetiredChannelCounters = rtos::ChannelStats;
 class Federation {
  public:
   explicit Federation(const FederationConfig& config);
+  ~Federation();
 
   [[nodiscard]] const FederationConfig& config() const { return config_; }
   [[nodiscard]] std::size_t size() const { return nodes_.size(); }
@@ -143,6 +145,21 @@ class Federation {
   /// Σ sent - Σ arrived over live channels (retired channels are drained).
   [[nodiscard]] std::uint64_t in_flight_total() const;
 
+  // -- Typed capability routes (docs/CHANNELS.md) --------------------------
+
+  /// Binds a typed client endpoint on `client_node` against `provider` on
+  /// `provider_node`. Same-node routes delegate to that node's DRCR (full
+  /// two-way semantics); cross-node routes ride the NodeChannel to the
+  /// provider's cap inbox and are one-way only. The endpoint is revoked
+  /// promptly when the provider deactivates anywhere in the federation (a
+  /// DrcrListener fans the revocation out to every other node's router) and
+  /// rejects sends while the link is severed by membership or partitions.
+  Result<cap::Connection*> bind_capability(NodeIndex client_node,
+                                           const std::string& client,
+                                           NodeIndex provider_node,
+                                           const std::string& provider,
+                                           const std::string& protocol);
+
   template <typename Fn>
   void for_each_channel(Fn&& fn) const {
     for (const auto& [key, channel] : channels_) {
@@ -165,6 +182,12 @@ class Federation {
   std::map<ChannelKey, std::unique_ptr<rtos::NodeChannel>> channels_;
   std::set<std::pair<NodeIndex, NodeIndex>> partitions_;  ///< (min, max)
   RetiredChannelCounters retired_;
+  /// Nodes whose DRCR already carries the capability revocation fan-out
+  /// listener (installed lazily by the first cross-node bind from them).
+  std::set<NodeIndex> cap_listeners_;
+  /// Set in the destructor body so the fan-out listeners, fired by node
+  /// teardown deactivations, never touch sibling nodes mid-destruction.
+  bool tearing_down_ = false;
 };
 
 }  // namespace drt::fed

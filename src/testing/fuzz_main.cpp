@@ -18,6 +18,11 @@
 //                                         adaptation escalation ladder to
 //                                         every world (adds the monitor-check
 //                                         band; invariant 11 in force)
+//   drt_fuzz --caps                       add the typed-capability band
+//                                         (providers/consumers of the fuzz
+//                                         "ctl" protocol, call bursts on
+//                                         revoked endpoints, cyclic-offer
+//                                         deploys; invariant 12 in force)
 //   drt_fuzz --planted-monitor-bug        self-test: a quarantine that skips
 //                                         its disable must trip invariant 11
 //                                         AND shrink
@@ -62,7 +67,8 @@ void usage() {
   std::cerr
       << "usage: drt_fuzz [--seeds N] [--seed S] [--actions N] [--cpus N]\n"
       << "                [--engine sequential|parallel] [--nodes N]\n"
-      << "                [--modes] [--monitor] [--replay FILE] [--out DIR]\n"
+      << "                [--modes] [--monitor] [--caps] [--replay FILE]\n"
+      << "                [--out DIR]\n"
       << "                [--verify-determinism] [--planted-bug]\n"
       << "                [--planted-mode-bug] [--planted-monitor-bug]\n"
       << "                [--budget-seconds S] [--quiet]\n";
@@ -123,6 +129,8 @@ bool parse_args(int argc, char** argv, Options& options) {
       options.config.modes = true;
     } else if (arg == "--monitor") {
       options.config.monitor = true;
+    } else if (arg == "--caps") {
+      options.config.caps = true;
     } else if (arg == "--planted-bug") {
       options.planted_bug = true;
     } else if (arg == "--planted-mode-bug") {

@@ -1,11 +1,14 @@
 #include "testing/fuzzer.hpp"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 #include <iomanip>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "cap/channel.hpp"
 #include "drcom/snapshot.hpp"
 #include "drcom/system_descriptor.hpp"
 #include "fed/coordinator.hpp"
@@ -47,6 +50,19 @@ class FuzzComponent : public drcom::RtComponent {
     for (const auto* port : d.inports()) {
       if (port->interface == PortInterface::kShm) {
         (void)job.read_i32(port->name, 0);
+      }
+    }
+    // Typed capability traffic: a consumer fires one "ping" per job on its
+    // "ctl" route (a revoked endpoint fails fast and counts `revoked` — that
+    // is the mid-traffic revocation path the caps band wants), a provider
+    // drains its stub inbox.
+    if (cap::Connection* route = job.capability("ctl")) {
+      std::array<std::byte, 8> ping{};
+      std::memcpy(ping.data(), &counter, sizeof(counter));
+      (void)route->call(1, ping);
+    }
+    if (cap::ServerEnd* server = job.cap_server("ctl")) {
+      while (server->try_next().has_value()) {
       }
     }
   }
@@ -103,6 +119,35 @@ std::string outcome(const Result<void>& result) {
 std::string outcome_node(const Result<fed::NodeIndex>& result) {
   return result.ok() ? "ok(n" + std::to_string(result.value()) + ")"
                      : "err(" + result.error().code + ")";
+}
+
+/// Fires `count` calls of `ordinal` on a capability connection, sized to the
+/// declared request layout (8 bytes when the ordinal is unknown — on a bound
+/// endpoint that is the uncounted invalid-argument refusal the caps band
+/// deliberately probes). Returns a per-outcome tally for the action log.
+std::string cap_call_burst(cap::Connection& connection, std::uint32_t ordinal,
+                           std::size_t count) {
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t revoked = 0;
+  std::size_t invalid = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const cap::MethodSpec* method =
+        connection.spec() == nullptr ? nullptr
+                                     : connection.spec()->find_method(ordinal);
+    std::vector<std::byte> payload(
+        method != nullptr ? method->request_bytes : std::size_t{8});
+    switch (connection.call(ordinal, payload)) {
+      case ErrorCode::kNone: ++accepted; break;
+      case ErrorCode::kLimitExceeded: ++rejected; break;
+      case ErrorCode::kCapabilityRevoked: ++revoked; break;
+      default: ++invalid; break;
+    }
+  }
+  std::ostringstream out;
+  out << "accepted=" << accepted << " rejected=" << rejected
+      << " revoked=" << revoked << " invalid=" << invalid;
+  return out.str();
 }
 
 void register_fuzz_factories(drcom::Drcr& drcr) {
@@ -420,6 +465,63 @@ FuzzWorld::ApplyResult FedFuzzWorld::apply(const Action& action) {
       log << "reported=" << reported << " total=" << total;
       break;
     }
+    case ActionKind::kCapCall: {
+      const std::string provider = action.extra.empty() ? "" : action.extra[0];
+      cap::Connection* connection = nullptr;
+      for (fed::NodeIndex i = 0;
+           i < federation.size() && connection == nullptr; ++i) {
+        connection = federation.node(i).drcr->cap_router().find_connection(
+            action.name, provider, action.payload);
+      }
+      if (connection == nullptr) {
+        log << "noop (no such connection)";
+        break;
+      }
+      log << cap_call_burst(*connection,
+                            static_cast<std::uint32_t>(action.node),
+                            action.peer);
+      break;
+    }
+    case ActionKind::kCapConnect: {
+      const std::string provider = action.extra.empty() ? "" : action.extra[0];
+      const auto owner = coordinator.node_of(provider);
+      if (!owner.has_value()) {
+        log << "noop (unknown provider)";
+        break;
+      }
+      const fed::NodeIndex client_node =
+          action.peer < federation.size() ? action.peer : 0;
+      auto connected = federation.bind_capability(
+          client_node, action.name, *owner, provider, action.payload);
+      if (!connected.ok()) {
+        log << "err(" << connected.error().code << ")";
+      } else {
+        log << "n" << client_node << (connected.value()->remote() ? " remote"
+                                                                  : " local")
+            << (connected.value()->bound() ? " bound" : " revoked");
+      }
+      break;
+    }
+    case ActionKind::kCapDeployCycle: {
+      auto system = drcom::parse_system_descriptor(action.payload);
+      if (!system.ok()) {
+        log << "refused(" << system.error().code << ")";
+        break;
+      }
+      auto placed = coordinator.place_system(system.value());
+      if (placed.ok()) {
+        (void)coordinator.undeploy(action.name);
+        result.violation = Violation{
+            "capability-offer-cycle",
+            "system '" + action.name +
+                "' with a cyclic offer graph was admitted on node " +
+                std::to_string(placed.value())};
+        log << "ADMITTED (cycle not refused)";
+      } else {
+        log << "refused(" << placed.error().code << ")";
+      }
+      break;
+    }
   }
   // Push-style summary protocol: the coordinator's view refreshes after
   // every mutation (generation-checked, O(cpus) per untouched node).
@@ -665,6 +767,49 @@ FuzzWorld::ApplyResult FuzzWorld::apply(const Action& action) {
           << " total=" << drcr.total_contract_violations();
       break;
     }
+    case ActionKind::kCapCall: {
+      cap::Connection* connection = drcr.cap_router().find_connection(
+          action.name, action.extra.empty() ? "" : action.extra[0],
+          action.payload);
+      if (connection == nullptr) {
+        log << "noop (no such connection)";
+        break;
+      }
+      log << cap_call_burst(*connection,
+                            static_cast<std::uint32_t>(action.node),
+                            action.peer);
+      break;
+    }
+    case ActionKind::kCapConnect: {
+      auto connected = drcr.connect_capability(
+          action.name, action.extra.empty() ? "" : action.extra[0],
+          action.payload);
+      if (!connected.ok()) {
+        log << "err(" << connected.error().code << ")";
+      } else {
+        log << (connected.value()->bound() ? "bound" : "revoked");
+      }
+      break;
+    }
+    case ActionKind::kCapDeployCycle: {
+      auto system = drcom::parse_system_descriptor(action.payload);
+      if (!system.ok()) {
+        log << "refused(" << system.error().code << ")";
+        break;
+      }
+      auto deployed = drcr.deploy_system(system.value());
+      if (deployed.ok()) {
+        (void)drcr.undeploy_system(action.name);
+        result.violation =
+            Violation{"capability-offer-cycle",
+                      "system '" + action.name +
+                          "' with a cyclic offer graph was admitted"};
+        log << "ADMITTED (cycle not refused)";
+      } else {
+        log << "refused(" << deployed.error().code << ")";
+      }
+      break;
+    }
     case ActionKind::kNodeLeave:
     case ActionKind::kNodeJoin:
     case ActionKind::kPartition:
@@ -768,6 +913,7 @@ std::string write_repro(const Repro& repro, const ScenarioResult& result) {
   out << "plantmode " << (repro.config.plant_mode_bug ? 1 : 0) << '\n';
   out << "monitor " << (repro.config.monitor ? 1 : 0) << '\n';
   out << "plantmonitor " << (repro.config.plant_monitor_bug ? 1 : 0) << '\n';
+  out << "caps " << (repro.config.caps ? 1 : 0) << '\n';
   out << "keep";
   for (const std::size_t index : repro.keep) out << ' ' << index;
   out << '\n';
@@ -856,6 +1002,11 @@ Result<Repro> parse_repro(std::string_view text) {
       int value = 0;
       if (!(fields >> value)) return bad("expected 0/1");
       repro.config.plant_monitor_bug = value != 0;
+    } else if (key == "caps") {
+      // Absent in pre-caps repro files; those default to no capability band.
+      int value = 0;
+      if (!(fields >> value)) return bad("expected 0/1");
+      repro.config.caps = value != 0;
     } else if (key == "keep") {
       std::size_t index = 0;
       repro.keep.clear();

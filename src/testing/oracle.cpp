@@ -36,6 +36,7 @@ std::optional<Violation> InvariantOracle::check() {
   if (auto v = check_metrics()) return v;
   if (auto v = check_contract_cache()) return v;
   if (auto v = check_contract_consistency()) return v;
+  if (auto v = check_capabilities()) return v;
   return std::nullopt;
 }
 
@@ -420,6 +421,80 @@ std::optional<Violation> InvariantOracle::check_contract_consistency() const {
         << "drcom.contract_violations series was never registered "
         << "(no monitor ever attached)";
     return Violation{"contract-consistency", out.str()};
+  }
+  return std::nullopt;
+}
+
+std::optional<Violation> InvariantOracle::check_capabilities() const {
+  const cap::CapRouter& router = drcr_->cap_router();
+
+  // (a) per-connection conservation and (b) no local bind to a non-ACTIVE
+  // provider. (c) accumulates the live sums for the aggregate identity.
+  cap::ConnectionCounters sums = router.retired();
+  std::optional<Violation> violation;
+  router.for_each_connection([&](const cap::Connection& connection) {
+    if (violation.has_value()) return;
+    const cap::ConnectionCounters& c = connection.counters();
+    sums += c;
+    if (c.sent != c.accepted + c.rejected + c.revoked) {
+      std::ostringstream out;
+      out << "connection " << connection.client() << " -> "
+          << connection.provider() << "/" << connection.protocol()
+          << ": sent=" << c.sent << " != accepted=" << c.accepted
+          << " + rejected=" << c.rejected << " + revoked=" << c.revoked;
+      violation = Violation{"capability-conservation", out.str()};
+      return;
+    }
+    if (connection.bound() && !connection.remote()) {
+      const auto state = drcr_->state_of(connection.provider());
+      if (state.has_value() && *state != drcom::ComponentState::kActive) {
+        std::ostringstream out;
+        out << "connection " << connection.client() << " -> "
+            << connection.provider() << "/" << connection.protocol()
+            << " is still bound although provider '" << connection.provider()
+            << "' is " << drcom::to_string(*state)
+            << " — a revocation was skipped (frames would feed a dead inbox)";
+        violation = Violation{"capability-revocation", out.str()};
+      }
+    }
+  });
+  if (violation.has_value()) return violation;
+
+  // (c) registry aggregates == Σ live + retired. The cap.* series register
+  // lazily with the first route, so an absent series demands a zero total.
+  if (!drcr_->kernel().metrics().enabled()) return std::nullopt;
+  const obs::MetricsSnapshot snapshot = drcr_->kernel().metrics().snapshot();
+  const auto aggregate =
+      [&snapshot](std::string_view name) -> std::optional<std::uint64_t> {
+    for (const auto& counter : snapshot.counters) {
+      if (counter.name == name) return counter.value;
+    }
+    return std::nullopt;
+  };
+  const std::pair<const char*, std::uint64_t> expectations[] = {
+      {"cap.calls", sums.sent},
+      {"cap.accepted", sums.accepted},
+      {"cap.rejected", sums.rejected},
+      {"cap.revoked_calls", sums.revoked},
+  };
+  for (const auto& [name, expected] : expectations) {
+    const auto actual = aggregate(name);
+    if (!actual.has_value()) {
+      if (expected != 0) {
+        std::ostringstream out;
+        out << "connections carry " << expected << " in " << name
+            << " traffic but the series was never registered";
+        return Violation{"capability-conservation", out.str()};
+      }
+      continue;
+    }
+    if (*actual != expected) {
+      std::ostringstream out;
+      out << "registry counter " << name << "=" << *actual
+          << " but connection counters sum to " << expected
+          << " (both are incremented at the same sites, so they drifted)";
+      return Violation{"capability-conservation", out.str()};
+    }
   }
   return std::nullopt;
 }

@@ -51,6 +51,16 @@
 //      note_contract_violation call, so a mismatch is instrumentation
 //      drift). A stack whose counter was never registered — no
 //      ContractMonitor ever attached — must hold zero recorded violations.
+//  12. capability conservation — on every live capability connection,
+//      sent == accepted + rejected + revoked (Connection::call counts each
+//      attempt in exactly one bucket; invalid-argument refusals are caller
+//      bugs and never enter the ledger). Structurally, a connection whose
+//      provider is a registered component that is not ACTIVE must not be
+//      locally bound — a bound endpoint to a deactivated provider means a
+//      revocation was skipped and frames would feed a dead inbox. When the
+//      metrics registry is enabled, each cap.* aggregate equals the sum over
+//      live connections plus the router's retired remainder (the lazily
+//      registered series must be absent only while no route ever existed).
 //
 // (Invariant 9 is the federation-wide check_federation below.) The snapshot
 // fixpoint invariant (restore(snapshot(S)) is snapshot-identical) needs a
@@ -80,7 +90,7 @@ class InvariantOracle {
   InvariantOracle(const drcom::Drcr& drcr, const rtos::FaultPlan& faults,
                   double cpu_budget);
 
-  /// Sweeps invariants 1-8, 10 and 11; returns the first violation found,
+  /// Sweeps invariants 1-8 and 10-12; returns the first violation found,
   /// if any.
   [[nodiscard]] std::optional<Violation> check();
 
@@ -95,6 +105,7 @@ class InvariantOracle {
   [[nodiscard]] std::optional<Violation> check_metrics() const;
   [[nodiscard]] std::optional<Violation> check_contract_cache() const;
   [[nodiscard]] std::optional<Violation> check_contract_consistency() const;
+  [[nodiscard]] std::optional<Violation> check_capabilities() const;
 
   const drcom::Drcr* drcr_;
   const rtos::FaultPlan* faults_;

@@ -45,6 +45,9 @@ struct Model {
   std::map<std::string, std::vector<std::string>> systems;
   std::map<std::string, std::vector<std::string>> bundles;
   std::set<std::string> claimed_outports;              ///< pool names taken
+  // Capability band bookkeeping (config.caps only).
+  std::vector<std::string> cap_providers;              ///< expose "ctl"
+  std::vector<std::pair<std::string, std::string>> cap_routes;  ///< client, provider
 
   [[nodiscard]] bool has_components() const { return !components.empty(); }
 
@@ -66,6 +69,8 @@ struct Model {
     components.erase(it);
     // Out-port claims are not refunded: the generator stays conservative and
     // simply prefers still-unclaimed names (staleness is harmless).
+    // Capability bookkeeping is likewise conservative: routes of removed
+    // components go stale and the applier treats them as logged no-ops.
   }
 };
 
@@ -121,6 +126,9 @@ const char* to_string(ActionKind kind) {
     case ActionKind::kForceModeChange: return "force-mode-change";
     case ActionKind::kModeChangeMigrate: return "mode-change-migrate";
     case ActionKind::kMonitorCheck: return "monitor-check";
+    case ActionKind::kCapCall: return "cap-call";
+    case ActionKind::kCapConnect: return "cap-connect";
+    case ActionKind::kCapDeployCycle: return "cap-deploy-cycle";
   }
   return "?";
 }
@@ -169,6 +177,14 @@ std::string describe(const Action& action) {
       break;
     case ActionKind::kModeChangeMigrate:
       out << " -> n" << action.node << " mode='" << action.payload << "'";
+      break;
+    case ActionKind::kCapCall:
+      out << " -> " << (action.extra.empty() ? "?" : action.extra[0]) << "/"
+          << action.payload << " ord=" << action.node << " x" << action.peer;
+      break;
+    case ActionKind::kCapConnect:
+      out << " -> " << (action.extra.empty() ? "?" : action.extra[0]) << "/"
+          << action.payload;
       break;
     default:
       break;
@@ -271,6 +287,92 @@ ComponentDescriptor mode_descriptor(Rng& rng, const std::string& name,
     d.modes.push_back(crisis);
   }
   return d;
+}
+
+/// The one protocol the caps band fuzzes: two one-way methods (so remote
+/// cross-node binds stay legal) with small fixed request layouts that fit
+/// the Message inline buffer.
+cap::ProtocolSpec fuzz_protocol() {
+  cap::ProtocolSpec spec;
+  spec.name = "ctl";
+  cap::MethodSpec ping;
+  ping.name = "ping";
+  ping.ordinal = 1;
+  ping.request_bytes = 8;
+  spec.methods.push_back(std::move(ping));
+  cap::MethodSpec set;
+  set.name = "set";
+  set.ordinal = 2;
+  set.request_bytes = 16;
+  spec.methods.push_back(std::move(set));
+  return spec;
+}
+
+/// A provider for the caps band: a regular fuzz component that additionally
+/// declares and exposes the "ctl" protocol.
+ComponentDescriptor cap_provider_descriptor(Rng& rng, const std::string& name,
+                                            std::size_t cpus) {
+  ComponentDescriptor d = random_descriptor(rng, name, cpus);
+  d.protocols.push_back(fuzz_protocol());
+  drcom::ExposeSpec expose;
+  expose.protocol = "ctl";
+  d.exposes.push_back(std::move(expose));
+  return d;
+}
+
+/// A consumer for the caps band: binds a typed "ctl" route to `provider` at
+/// activation (the route may stay revoked when the provider never comes up —
+/// that is exactly the path the call band wants to hit).
+ComponentDescriptor cap_consumer_descriptor(Rng& rng, const std::string& name,
+                                            const std::string& provider,
+                                            std::size_t cpus) {
+  ComponentDescriptor d = random_descriptor(rng, name, cpus);
+  drcom::UseSpec use;
+  use.protocol = "ctl";
+  use.provider = provider;
+  d.uses.push_back(std::move(use));
+  return d;
+}
+
+/// A two-member system whose offers form a mutual cycle (x0 -> x1 -> x0).
+/// validate_system must refuse it with the typed "capability offer cycle"
+/// error; the applier treats successful admission as an oracle violation.
+std::string cyclic_offer_system(const std::string& name) {
+  drcom::SystemDescriptor system;
+  system.name = name;
+  for (int i = 0; i < 2; ++i) {
+    ComponentDescriptor d;
+    d.name = "x" + std::to_string(i);
+    d.description = "cyclic offer member";
+    d.bincode = "fuzz.ok";
+    d.enabled = true;
+    d.cpu_usage = 0.01;
+    d.type = rtos::TaskType::kPeriodic;
+    drcom::PeriodicSpec spec;
+    spec.frequency_hz = 100;
+    spec.priority = 5;
+    d.periodic = spec;
+    d.protocols.push_back(fuzz_protocol());
+    drcom::ExposeSpec expose;
+    expose.protocol = "ctl";
+    d.exposes.push_back(std::move(expose));
+    drcom::UseSpec use;
+    use.protocol = "ctl";
+    use.provider = "x" + std::to_string(1 - i);
+    d.uses.push_back(std::move(use));
+    system.components.push_back(std::move(d));
+  }
+  drcom::OfferSpec forward;
+  forward.protocol = "ctl";
+  forward.from_component = "x0";
+  forward.to_component = "x1";
+  system.offers.push_back(std::move(forward));
+  drcom::OfferSpec backward;
+  backward.protocol = "ctl";
+  backward.from_component = "x1";
+  backward.to_component = "x0";
+  system.offers.push_back(std::move(backward));
+  return drcom::write_system_descriptor(system);
 }
 
 }  // namespace
@@ -416,16 +518,86 @@ std::vector<Action> generate_actions(std::uint64_t seed,
   // 240-279 (the same three, node-targeted, plus the migration race).
   const std::int64_t base_max =
       fed_mode ? (config.modes ? 279 : 239) : (config.modes ? 209 : 179);
-  // config.monitor appends the last tail band: 10 rolls' worth of explicit
+  // config.monitor appends a further tail band: 10 rolls' worth of explicit
   // monitor checks (ContractMonitor::check_now + one adaptation evaluation
   // pass at a random instant). Monitor-less configs never draw past
   // base_max, so every earlier seed stays byte-identical.
-  const std::int64_t roll_max = base_max + (config.monitor ? 10 : 0);
+  const std::int64_t monitor_max = base_max + (config.monitor ? 10 : 0);
+  // config.caps appends the last tail band: 20 rolls' worth of typed
+  // capability activity (provider/consumer registration, call bursts,
+  // external binds, provider revocation, cyclic-offer deploys). Caps-less
+  // configs never draw past monitor_max, so pre-caps seeds stay
+  // byte-identical.
+  const std::int64_t roll_max = monitor_max + (config.caps ? 20 : 0);
 
   while (actions.size() < config.action_count) {
     // Weighted action selection (x10 integer weights).
     const auto roll = rng.uniform(0, roll_max);
-    if (roll > base_max) {  // explicit monitor check (monitor band)
+    if (roll > monitor_max) {  // typed capability activity (caps band)
+      const auto sub = rng.uniform(0, 99);
+      if (sub < 30 || model.cap_providers.empty()) {
+        // Register a provider/consumer pair. The consumer's use binds (or
+        // stays revoked, when the provider's random descriptor is disabled
+        // or fails activation) at its own activation.
+        const std::string gname = fresh_name(rng, model, "g", 6);
+        const std::string uname = fresh_name(rng, model, "u", 6);
+        const ComponentDescriptor provider =
+            cap_provider_descriptor(rng, gname, config.cpus);
+        const ComponentDescriptor consumer =
+            cap_consumer_descriptor(rng, uname, gname, config.cpus);
+        Action reg;
+        reg.kind = ActionKind::kRegisterComponent;
+        reg.name = gname;
+        reg.payload = drcom::write_descriptor(provider);
+        actions.push_back(std::move(reg));
+        model.add_component(gname, provider);
+        model.cap_providers.push_back(gname);
+        Action use;
+        use.kind = ActionKind::kRegisterComponent;
+        use.name = uname;
+        use.payload = drcom::write_descriptor(consumer);
+        actions.push_back(std::move(use));
+        model.add_component(uname, consumer);
+        model.cap_routes.emplace_back(uname, gname);
+      } else if (sub < 75) {  // typed call burst on a known route
+        const auto& route = model.cap_routes[static_cast<std::size_t>(
+            rng.uniform(0, std::ssize(model.cap_routes) - 1))];
+        Action a;
+        a.kind = ActionKind::kCapCall;
+        a.name = route.first;
+        a.extra.push_back(route.second);
+        a.payload = "ctl";
+        // Ordinal 3 is deliberately unknown: the invalid-argument refusal
+        // must never enter the conservation ledger (invariant 12).
+        a.node = static_cast<std::size_t>(rng.uniform(1, 3));
+        a.peer = static_cast<std::size_t>(rng.uniform(1, 4));  // burst size
+        actions.push_back(std::move(a));
+      } else if (sub < 85) {  // external client bind
+        const std::string& provider =
+            model.cap_providers[static_cast<std::size_t>(
+                rng.uniform(0, std::ssize(model.cap_providers) - 1))];
+        Action a;
+        a.kind = ActionKind::kCapConnect;
+        a.name = "ext";
+        a.extra.push_back(provider);
+        a.payload = "ctl";
+        if (fed_mode) a.peer = pick_node(rng);  // client-side node
+        model.cap_routes.emplace_back("ext", provider);
+        actions.push_back(std::move(a));
+      } else if (sub < 92) {  // revoke mid-traffic: disable a provider
+        Action a;
+        a.kind = ActionKind::kDisableComponent;
+        a.name = model.cap_providers[static_cast<std::size_t>(
+            rng.uniform(0, std::ssize(model.cap_providers) - 1))];
+        actions.push_back(std::move(a));
+      } else {  // cyclic-offer system: admission would be a bug
+        Action a;
+        a.kind = ActionKind::kCapDeployCycle;
+        a.name = fresh_name(rng, model, "y", 4);
+        a.payload = cyclic_offer_system(a.name);
+        actions.push_back(std::move(a));
+      }
+    } else if (roll > base_max) {  // explicit monitor check (monitor band)
       Action a;
       a.kind = ActionKind::kMonitorCheck;
       actions.push_back(std::move(a));

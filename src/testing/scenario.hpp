@@ -57,6 +57,11 @@ enum class ActionKind {
   // Monitor action (generated only when config.monitor is set; appended at
   // the enum tail so earlier repro files keep their meaning).
   kMonitorCheck,        ///< ContractMonitor::check_now + adaptation pass
+  // Capability actions (generated only when config.caps is set; appended at
+  // the enum tail so earlier repro files keep their meaning).
+  kCapCall,             ///< typed call burst on a bound/revoked connection
+  kCapConnect,          ///< external client bind via connect_capability
+  kCapDeployCycle,      ///< deploy a cyclic-offer system; admission = bug
 };
 
 [[nodiscard]] const char* to_string(ActionKind kind);
@@ -116,6 +121,14 @@ struct ScenarioConfig {
   /// report contract-consistency and the shrinker must reduce the prefix).
   /// Implies `monitor` (drt_fuzz sets both).
   bool plant_monitor_bug = false;
+  /// Adds the typed-capability band to the mix: some registered components
+  /// declare/expose the fuzz "ctl" protocol and consumers bind routes to
+  /// them; actions then fire typed call bursts (including on revoked
+  /// endpoints after a provider disable), bind external clients, and deploy
+  /// cyclic-offer systems that MUST be refused with a typed error. Oracle
+  /// invariant 12 cross-checks the per-connection conservation ledger after
+  /// every action. false keeps every pre-caps seed byte-identical.
+  bool caps = false;
   /// > 1 runs the scenario against a fed::Federation of this many nodes
   /// (one engine shard each): registrations flow through the coordinator's
   /// global placement, and membership / partition / migration / channel

@@ -32,6 +32,7 @@ enum class ErrorCode {
   kParseError,         ///< XML / repro-file syntax error
   kIo,                 ///< host filesystem failure (exporters, snapshots)
   kContractViolated,   ///< observed execution time exceeds the declared contract
+  kCapabilityRevoked,  ///< typed capability endpoint invalidated by the DRCR
 };
 
 [[nodiscard]] constexpr const char* to_string(ErrorCode ec) {
@@ -48,6 +49,7 @@ enum class ErrorCode {
     case ErrorCode::kParseError: return "parse_error";
     case ErrorCode::kIo: return "io";
     case ErrorCode::kContractViolated: return "contract_violated";
+    case ErrorCode::kCapabilityRevoked: return "capability_revoked";
   }
   return "?";
 }

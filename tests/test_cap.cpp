@@ -1,0 +1,411 @@
+// Typed capability channels (docs/CHANNELS.md): IDL-lite descriptor
+// declarations, the CapRouter bind/revoke/rebind lifecycle, per-connection
+// conservation accounting, the reply path, offer-cycle refusal at system
+// validation, and the fuzzer's caps band.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "cap/channel.hpp"
+#include "drcom/drcr.hpp"
+#include "drcom/system_descriptor.hpp"
+#include "test_helpers.hpp"
+#include "testing/scenario.hpp"
+
+namespace drt {
+namespace {
+
+using rtos::testing::quiet_config;
+
+std::array<std::byte, 8> payload8(std::uint64_t value) {
+  std::array<std::byte, 8> bytes{};
+  std::memcpy(bytes.data(), &value, sizeof(value));
+  return bytes;
+}
+
+cap::ProtocolSpec ctl_protocol() {
+  cap::ProtocolSpec spec;
+  spec.name = "ctl";
+  cap::MethodSpec ping;
+  ping.name = "ping";
+  ping.ordinal = 1;
+  ping.request_bytes = 8;
+  spec.methods.push_back(std::move(ping));
+  cap::MethodSpec query;
+  query.name = "query";
+  query.ordinal = 2;
+  query.request_bytes = 8;
+  query.response_bytes = 4;
+  spec.methods.push_back(std::move(query));
+  return spec;
+}
+
+/// Per-connection conservation (oracle invariant 12).
+void expect_conserved(const cap::Connection& connection) {
+  const auto& c = connection.counters();
+  EXPECT_EQ(c.sent, c.accepted + c.rejected + c.revoked)
+      << connection.client() << " -> " << connection.provider() << "/"
+      << connection.protocol();
+}
+
+// ------------------------------------------------------------- descriptor
+
+constexpr const char* kCapableXml = R"(<?xml version="1.0"?>
+<drt:component name="cam" desc="capability provider"
+    type="periodic" cpuusage="0.1">
+  <implementation bincode="test.Cam"/>
+  <periodictask frequence="100" runoncpu="0" priority="5"/>
+  <protocol name="ctl">
+    <method name="ping" ordinal="1" request="8"/>
+    <method name="query" ordinal="2" request="8" response="4"/>
+  </protocol>
+  <expose protocol="ctl" queue="16"/>
+  <use protocol="tune" from="tuner"/>
+</drt:component>)";
+
+TEST(CapDescriptor, ParsesProtocolExposeUse) {
+  auto parsed = drcom::parse_descriptor(kCapableXml);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().to_string();
+  const auto descriptor = std::move(parsed).take();
+  ASSERT_EQ(descriptor.protocols.size(), 1u);
+  const auto& protocol = descriptor.protocols.front();
+  EXPECT_EQ(protocol.name, "ctl");
+  ASSERT_EQ(protocol.methods.size(), 2u);
+  EXPECT_EQ(protocol.methods[0].ordinal, 1u);
+  EXPECT_EQ(protocol.methods[0].request_bytes, 8u);
+  EXPECT_EQ(protocol.methods[0].response_bytes, 0u);  // one-way
+  EXPECT_EQ(protocol.methods[1].response_bytes, 4u);
+  ASSERT_EQ(descriptor.exposes.size(), 1u);
+  EXPECT_EQ(descriptor.exposes.front().protocol, "ctl");
+  EXPECT_EQ(descriptor.exposes.front().queue, 16u);
+  ASSERT_EQ(descriptor.uses.size(), 1u);
+  EXPECT_EQ(descriptor.uses.front().protocol, "tune");
+  EXPECT_EQ(descriptor.uses.front().provider, "tuner");
+}
+
+TEST(CapDescriptor, CapabilityDialectRoundTripsFixpoint) {
+  auto first = drcom::parse_descriptor(kCapableXml);
+  ASSERT_TRUE(first.ok());
+  const std::string written = drcom::write_descriptor(first.value());
+  auto second = drcom::parse_descriptor(written);
+  ASSERT_TRUE(second.ok()) << second.error().to_string();
+  // write(parse(write(d))) == write(d): the serialized dialect is stable.
+  EXPECT_EQ(drcom::write_descriptor(second.value()), written);
+  EXPECT_EQ(second.value().protocols.size(), 1u);
+  EXPECT_EQ(second.value().exposes.size(), 1u);
+  EXPECT_EQ(second.value().uses.size(), 1u);
+}
+
+TEST(CapDescriptor, ProtocolLessDescriptorStaysOnSeedDialect) {
+  // A descriptor with no capability declarations must serialize with no
+  // trace of the new elements — byte-identical to the pre-capability
+  // dialect (the quickstart example is the runtime compat witness).
+  constexpr const char* kSeedXml = R"(<?xml version="1.0"?>
+<drt:component name="blink" desc="seed dialect"
+    type="periodic" cpuusage="0.05">
+  <implementation bincode="test.Blink"/>
+  <periodictask frequence="10" runoncpu="0" priority="5"/>
+  <outport name="beat" interface="RTAI.SHM" type="Integer" size="4"/>
+</drt:component>)";
+  auto parsed = drcom::parse_descriptor(kSeedXml);
+  ASSERT_TRUE(parsed.ok());
+  const std::string written = drcom::write_descriptor(parsed.value());
+  EXPECT_EQ(written.find("protocol"), std::string::npos);
+  EXPECT_EQ(written.find("expose"), std::string::npos);
+  EXPECT_EQ(written.find("use"), std::string::npos);
+  auto reparsed = drcom::parse_descriptor(written);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(drcom::write_descriptor(reparsed.value()), written);
+}
+
+TEST(CapDescriptor, ExposeWithoutDeclarationIsRefused) {
+  auto parsed = drcom::parse_descriptor(kCapableXml);
+  ASSERT_TRUE(parsed.ok());
+  auto descriptor = std::move(parsed).take();
+  descriptor.protocols.clear();  // expose "ctl" now dangles
+  const auto valid = drcom::validate(descriptor);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_EQ(valid.error().ec, ErrorCode::kInvalidDescriptor);
+}
+
+TEST(CapDescriptor, DuplicateOrdinalIsRefused) {
+  auto parsed = drcom::parse_descriptor(kCapableXml);
+  ASSERT_TRUE(parsed.ok());
+  auto descriptor = std::move(parsed).take();
+  descriptor.protocols.front().methods[1].ordinal = 1;
+  EXPECT_FALSE(drcom::validate(descriptor).ok());
+}
+
+// -------------------------------------------------------------- CapRouter
+
+struct RouterFixture : public ::testing::Test {
+  RouterFixture() : kernel(engine, quiet_config()), router(kernel) {}
+
+  rtos::SimEngine engine;
+  rtos::RtKernel kernel;
+  cap::CapRouter router;
+};
+
+TEST_F(RouterFixture, PublishBindCallDeliver) {
+  cap::ServerEnd* server = router.publish("prov", ctl_protocol()).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  ASSERT_NE(connection, nullptr);
+  EXPECT_TRUE(connection->bound());
+  EXPECT_FALSE(connection->remote());
+
+  EXPECT_EQ(connection->call(1, payload8(0xabcd)), ErrorCode::kNone);
+  auto frame = server->try_next();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->method->ordinal, 1u);
+  EXPECT_EQ(frame->connection, connection->id());
+  std::uint64_t value = 0;
+  ASSERT_EQ(frame->payload().size(), 8u);
+  std::memcpy(&value, frame->payload().data(), sizeof(value));
+  EXPECT_EQ(value, 0xabcdu);
+
+  EXPECT_EQ(connection->counters().sent, 1u);
+  EXPECT_EQ(connection->counters().accepted, 1u);
+  expect_conserved(*connection);
+  EXPECT_FALSE(server->try_next().has_value());
+}
+
+TEST_F(RouterFixture, RingFullRejectsWithLimitExceeded) {
+  (void)router.publish("prov", ctl_protocol(), /*queue=*/2).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  EXPECT_EQ(connection->call(1, payload8(1)), ErrorCode::kNone);
+  EXPECT_EQ(connection->call(1, payload8(2)), ErrorCode::kNone);
+  EXPECT_EQ(connection->call(1, payload8(3)), ErrorCode::kLimitExceeded);
+  EXPECT_EQ(connection->counters().rejected, 1u);
+  expect_conserved(*connection);
+}
+
+TEST_F(RouterFixture, CallerBugsAreTypedAndUncounted) {
+  (void)router.publish("prov", ctl_protocol()).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  // Unknown ordinal and wrong payload size are caller bugs, not traffic.
+  EXPECT_EQ(connection->call(99, payload8(0)), ErrorCode::kInvalidArgument);
+  std::array<std::byte, 3> wrong{};
+  EXPECT_EQ(connection->call(1, wrong), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(connection->counters().sent, 0u);
+  expect_conserved(*connection);
+}
+
+TEST_F(RouterFixture, RevokeOnProviderDownThenRebindSamePointer) {
+  (void)router.publish("prov", ctl_protocol()).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  EXPECT_EQ(connection->call(1, payload8(1)), ErrorCode::kNone);
+
+  router.on_component_down("prov");
+  EXPECT_FALSE(connection->bound());
+  EXPECT_EQ(connection->call(1, payload8(2)), ErrorCode::kCapabilityRevoked);
+  EXPECT_EQ(connection->counters().revoked, 1u);
+
+  // Provider comes back: the SAME Connection object re-binds, so pointers
+  // held by client components stay valid across provider churn.
+  (void)router.publish("prov", ctl_protocol()).value();
+  EXPECT_TRUE(connection->bound());
+  cap::ServerEnd* server = router.find_server("prov", "ctl");
+  ASSERT_NE(server, nullptr);
+  EXPECT_EQ(connection->call(1, payload8(3)), ErrorCode::kNone);
+  EXPECT_TRUE(server->try_next().has_value());
+
+  EXPECT_EQ(connection->counters().sent, 3u);
+  EXPECT_EQ(connection->counters().accepted, 2u);
+  expect_conserved(*connection);
+  EXPECT_GE(router.bind_count(), 2u);
+  EXPECT_GE(router.revocation_count(), 1u);
+}
+
+TEST_F(RouterFixture, RetiredFoldsDestroyedConnectionCounters) {
+  (void)router.publish("prov", ctl_protocol()).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  EXPECT_EQ(connection->call(1, payload8(1)), ErrorCode::kNone);
+  EXPECT_EQ(connection->call(1, payload8(2)), ErrorCode::kNone);
+  router.on_component_down("cli");  // client leaves: connection destroyed
+  EXPECT_EQ(router.connection_count(), 0u);
+  EXPECT_EQ(router.retired().sent, 2u);
+  EXPECT_EQ(router.retired().accepted, 2u);
+}
+
+TEST_F(RouterFixture, ConnectRequiresPublishedProvider) {
+  auto missing = router.connect("ext", "ghost", "ctl");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().ec, ErrorCode::kNotFound);
+  (void)router.publish("prov", ctl_protocol()).value();
+  auto connected = router.connect("ext", "prov", "ctl");
+  ASSERT_TRUE(connected.ok());
+  EXPECT_TRUE(connected.value()->bound());
+}
+
+TEST_F(RouterFixture, ReplyPathRoundTrips) {
+  cap::ServerEnd* server = router.publish("prov", ctl_protocol()).value();
+  cap::Connection* connection = router.ensure_connection("cli", "prov", "ctl");
+  ASSERT_NE(connection->reply_mailbox(), nullptr);
+
+  EXPECT_EQ(connection->call(2, payload8(7)), ErrorCode::kNone);
+  auto frame = server->try_next();
+  ASSERT_TRUE(frame.has_value());
+  std::array<std::byte, 4> reply{};
+  std::int32_t answer = 42;
+  std::memcpy(reply.data(), &answer, sizeof(answer));
+  EXPECT_TRUE(server->reply(*frame, reply));
+
+  auto message = kernel.mailbox_try_receive(*connection->reply_mailbox());
+  ASSERT_TRUE(message.has_value());
+  ASSERT_GE(message->bytes().size(), cap::kHeaderBytes);
+  const auto header = cap::decode_header(message->bytes().data());
+  EXPECT_EQ(header.ordinal, 2u);
+  EXPECT_EQ(message->bytes().size(), cap::kHeaderBytes + 4);
+
+  // A reply to a one-way frame is refused.
+  EXPECT_EQ(connection->call(1, payload8(8)), ErrorCode::kNone);
+  auto oneway = server->try_next();
+  ASSERT_TRUE(oneway.has_value());
+  EXPECT_FALSE(server->reply(*oneway, reply));
+  // So is a mis-sized reply payload.
+  EXPECT_EQ(connection->call(2, payload8(9)), ErrorCode::kNone);
+  auto two_way = server->try_next();
+  ASSERT_TRUE(two_way.has_value());
+  std::array<std::byte, 2> short_reply{};
+  EXPECT_FALSE(server->reply(*two_way, short_reply));
+}
+
+TEST_F(RouterFixture, MalformedInboxBytesAreDroppedAndCounted) {
+  cap::ServerEnd* server = router.publish("prov", ctl_protocol()).value();
+  // Raw bytes shoved straight into the cap inbox (no valid frame header).
+  ASSERT_TRUE(
+      kernel.mailbox_send(server->inbox(), rtos::message_from_string("junk")));
+  EXPECT_FALSE(server->try_next().has_value());
+  EXPECT_EQ(server->bad_frames(), 1u);
+}
+
+// ------------------------------------------------------------------- DRCR
+
+class IdleComponent : public drcom::RtComponent {
+ public:
+  rtos::TaskCoro run(drcom::JobContext& job) override {
+    while (job.active()) {
+      co_await job.consume(microseconds(10));
+      co_await job.next_cycle();
+    }
+  }
+};
+
+drcom::ComponentDescriptor cap_component(std::string name) {
+  drcom::ComponentDescriptor d;
+  d.name = std::move(name);
+  d.bincode = "test.Idle";
+  d.type = rtos::TaskType::kPeriodic;
+  d.cpu_usage = 0.05;
+  d.periodic = drcom::PeriodicSpec{100.0, 0, 5};
+  return d;
+}
+
+struct DrcrCapFixture : public ::testing::Test {
+  DrcrCapFixture() : kernel(engine, quiet_config()), drcr(framework, kernel) {
+    drcr.factories().register_factory(
+        "test.Idle", [] { return std::make_unique<IdleComponent>(); });
+  }
+
+  rtos::SimEngine engine;
+  osgi::Framework framework;
+  rtos::RtKernel kernel;
+  drcom::Drcr drcr;
+};
+
+TEST_F(DrcrCapFixture, BindsDeclaredRoutesAtActivationRevokesOnDisable) {
+  auto provider = cap_component("prov");
+  provider.protocols.push_back(ctl_protocol());
+  provider.exposes.push_back(drcom::ExposeSpec{"ctl", 8});
+  auto consumer = cap_component("cli");
+  consumer.uses.push_back(drcom::UseSpec{"ctl", "prov"});
+
+  ASSERT_TRUE(drcr.register_component(provider).ok());
+  ASSERT_TRUE(drcr.register_component(consumer).ok());
+  auto& router = drcr.cap_router();
+  ASSERT_NE(router.find_server("prov", "ctl"), nullptr);
+  cap::Connection* route = router.find_connection("cli", "prov", "ctl");
+  ASSERT_NE(route, nullptr);
+  EXPECT_TRUE(route->bound());
+  EXPECT_EQ(route->call(1, payload8(1)), ErrorCode::kNone);
+
+  // Disabling the provider revokes the route (typed refusal, not a drop)…
+  ASSERT_TRUE(drcr.disable_component("prov").ok());
+  EXPECT_FALSE(route->bound());
+  EXPECT_EQ(route->call(1, payload8(2)), ErrorCode::kCapabilityRevoked);
+  // …and re-enabling re-binds the same endpoint.
+  ASSERT_TRUE(drcr.enable_component("prov").ok());
+  EXPECT_TRUE(route->bound());
+  EXPECT_EQ(route->call(1, payload8(3)), ErrorCode::kNone);
+  expect_conserved(*route);
+}
+
+TEST_F(DrcrCapFixture, ExternalClientsConnectAgainstExposedProtocols) {
+  auto provider = cap_component("prov");
+  provider.protocols.push_back(ctl_protocol());
+  provider.exposes.push_back(drcom::ExposeSpec{"ctl", 8});
+  ASSERT_TRUE(drcr.register_component(provider).ok());
+
+  auto connected = drcr.connect_capability("mgr", "prov", "ctl");
+  ASSERT_TRUE(connected.ok()) << connected.error().to_string();
+  EXPECT_EQ(connected.value()->call(1, payload8(5)), ErrorCode::kNone);
+
+  auto missing = drcr.connect_capability("mgr", "prov", "nope");
+  EXPECT_FALSE(missing.ok());
+}
+
+TEST_F(DrcrCapFixture, OfferCycleIsRefusedAtValidation) {
+  drcom::SystemDescriptor system;
+  system.name = "loop";
+  auto a = cap_component("sysa");
+  a.protocols.push_back(ctl_protocol());
+  a.exposes.push_back(drcom::ExposeSpec{"ctl", 8});
+  a.uses.push_back(drcom::UseSpec{"ctl", "sysb"});
+  auto b = cap_component("sysb");
+  b.protocols.push_back(ctl_protocol());
+  b.exposes.push_back(drcom::ExposeSpec{"ctl", 8});
+  b.uses.push_back(drcom::UseSpec{"ctl", "sysa"});
+  system.components = {a, b};
+  system.offers.push_back(drcom::OfferSpec{"ctl", "sysa", "sysb"});
+  system.offers.push_back(drcom::OfferSpec{"ctl", "sysb", "sysa"});
+
+  const auto valid = drcom::validate_system(system);
+  ASSERT_FALSE(valid.ok());
+  EXPECT_EQ(valid.error().ec, ErrorCode::kInvalidDescriptor);
+  EXPECT_NE(valid.error().to_string().find("cycle"), std::string::npos);
+  // deploy_system runs the same validation: the cycle never deploys.
+  EXPECT_FALSE(drcr.deploy_system(system).ok());
+  EXPECT_EQ(drcr.active_count(), 0u);
+}
+
+// ------------------------------------------------------------ fuzz band
+
+TEST(CapScenario, CapsBandGeneratesCapActionsOnlyWhenEnabled) {
+  testing::ScenarioConfig config;
+  config.action_count = 300;
+  auto count_caps = [&](std::uint64_t seed) {
+    std::size_t caps = 0;
+    for (const auto& action : testing::generate_actions(seed, config)) {
+      if (action.kind == testing::ActionKind::kCapCall ||
+          action.kind == testing::ActionKind::kCapConnect ||
+          action.kind == testing::ActionKind::kCapDeployCycle) {
+        ++caps;
+      }
+    }
+    return caps;
+  };
+
+  config.caps = false;
+  std::size_t without = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) without += count_caps(seed);
+  EXPECT_EQ(without, 0u);
+
+  config.caps = true;
+  std::size_t with = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) with += count_caps(seed);
+  EXPECT_GT(with, 0u);
+}
+
+}  // namespace
+}  // namespace drt

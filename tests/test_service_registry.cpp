@@ -222,6 +222,48 @@ TEST(ServiceTracker, CloseDeliversRemovals) {
   EXPECT_EQ(tracker.size(), 0u);
 }
 
+TEST(ServiceTracker, EntriesResortWhenRankingPropertyChanges) {
+  // entries() promises best-first order ACROSS modify events: bumping a
+  // ranking via set_properties must re-sort the cached vector, not just
+  // fire on_modified (regression guard for the sort-free read path).
+  Framework framework;
+  auto& context = framework.system_context();
+  ServiceTracker tracker(context, "app.S");
+  tracker.open();
+  Properties low;
+  low.set("service.ranking", std::int64_t{1});
+  low.set("tag", std::string("riser"));
+  auto riser =
+      context.register_service("app.S", std::make_shared<Greeter>(), low);
+  Properties high;
+  high.set("service.ranking", std::int64_t{5});
+  high.set("tag", std::string("steady"));
+  context.register_service("app.S", std::make_shared<Greeter>(), high);
+
+  ASSERT_EQ(tracker.entries().size(), 2u);
+  EXPECT_EQ(
+      tracker.entries().front().reference.properties().get_string("tag"),
+      "steady");
+
+  Properties bumped;
+  bumped.set("service.ranking", std::int64_t{9});
+  bumped.set("tag", std::string("riser"));
+  riser.set_properties(bumped);
+  ASSERT_EQ(tracker.entries().size(), 2u);
+  EXPECT_EQ(
+      tracker.entries().front().reference.properties().get_string("tag"),
+      "riser");
+  // Ties (and demotions) fall back to registration order: drop the ranking
+  // below the steady service and the original winner leads again.
+  Properties demoted;
+  demoted.set("service.ranking", std::int64_t{0});
+  demoted.set("tag", std::string("riser"));
+  riser.set_properties(demoted);
+  EXPECT_EQ(
+      tracker.entries().front().reference.properties().get_string("tag"),
+      "steady");
+}
+
 TEST(ServiceTracker, ModifiedPropertiesMoveServicesInAndOut) {
   Framework framework;
   auto& context = framework.system_context();
